@@ -1,0 +1,41 @@
+//! Criterion benchmarks of the simulation harness itself: how fast the
+//! DES regenerates (reduced-size) paper figures. Keeps `cargo bench`
+//! exercising the full figure pipeline end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zc_bench::experiments::{kissdb, synthetic};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_figures");
+    group.sample_size(10);
+
+    let params = synthetic::SynthParams {
+        total_ops: 10_000,
+        threads: 8,
+        g_pauses: 500,
+        workers: 2,
+    };
+    group.bench_function("fig2_c1_10k_ocalls", |b| {
+        b.iter(|| synthetic::run_synthetic(synthetic::SynthConfig::C1, params));
+    });
+
+    let trace = kissdb::set_trace(500);
+    let cfgs = kissdb::configs(2);
+    let zc = cfgs.iter().find(|m| m.label == "zc").unwrap();
+    group.bench_function("fig8_kissdb_zc_500_keys", |b| {
+        b.iter(|| kissdb::run(&trace, zc));
+    });
+    let no_sl = cfgs.iter().find(|m| m.label == "no_sl").unwrap();
+    group.bench_function("fig8_kissdb_no_sl_500_keys", |b| {
+        b.iter(|| kissdb::run(&trace, no_sl));
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_figures
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion microbenchmarks of the real-thread ocall paths: regular
+//! (transition-paying), Intel switchless and ZC switchless dispatch.
+//!
+//! Note: on hosts with fewer cores than the modelled machine the
+//! switchless paths time-share with their worker threads; relative
+//! numbers are still informative, absolute ones are not.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sgx_sim::{Enclave, RegularOcall};
+use std::sync::Arc;
+use switchless_core::{
+    CpuSpec, IntelConfig, OcallDispatcher, OcallRequest, OcallTable, ZcConfig, MAX_OCALL_ARGS,
+};
+
+fn nop_table() -> (Arc<OcallTable>, switchless_core::FuncId) {
+    let mut t = OcallTable::new();
+    let nop = t.register("nop", |_: &[u64; MAX_OCALL_ARGS], _: &[u8], _: &mut Vec<u8>| 0);
+    (Arc::new(t), nop)
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ocall_paths");
+    group.sample_size(20);
+
+    let (table, nop) = nop_table();
+    let enclave = Enclave::new(CpuSpec::paper_machine());
+    let req = OcallRequest::new(nop, &[]);
+
+    // Regular: cost-injected transition (~3.55 us modelled).
+    let regular = RegularOcall::new(Arc::clone(&table), enclave.clone());
+    group.bench_function("regular_transition", |b| {
+        let mut out = Vec::new();
+        b.iter(|| regular.dispatch(&req, b"payload", &mut out).unwrap());
+    });
+
+    // Regular without cost injection: pure marshalling overhead.
+    let free = RegularOcall::new(Arc::clone(&table), enclave.clone()).without_cost_injection();
+    group.bench_function("marshalling_only", |b| {
+        let mut out = Vec::new();
+        b.iter(|| free.dispatch(&req, b"payload", &mut out).unwrap());
+    });
+
+    // Intel switchless with one dedicated worker.
+    let intel = intel_switchless::IntelSwitchless::start(
+        IntelConfig::new(1, [nop]),
+        Arc::clone(&table),
+        enclave.clone(),
+    )
+    .unwrap();
+    group.bench_function("intel_switchless", |b| {
+        let mut out = Vec::new();
+        b.iter(|| intel.dispatch(&req, b"payload", &mut out).unwrap());
+    });
+
+    // ZC switchless.
+    let zc = zc_switchless::ZcRuntime::start(
+        ZcConfig::default().with_quantum_ms(1000), // hold workers steady
+        Arc::clone(&table),
+        enclave,
+    )
+    .unwrap();
+    group.bench_function("zc_switchless", |b| {
+        let mut out = Vec::new();
+        b.iter(|| zc.dispatch(&req, b"payload", &mut out).unwrap());
+    });
+
+    group.finish();
+    intel.shutdown();
+    zc.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_paths
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Fig. 3: runtime for 100 000 ocalls with 8 enclave threads, for `g`
+//! durations of 0–500 pauses and 1–5 workers (C1, C2, C4, C5).
+//!
+//! Usage: `fig3_duration [--quick]`
+
+use zc_bench::experiments::synthetic::{fig3, SynthParams};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = SynthParams {
+        total_ops: if quick { 10_000 } else { 100_000 },
+        ..SynthParams::default()
+    };
+    let g = if quick {
+        vec![0u64, 250, 500]
+    } else {
+        vec![0u64, 100, 200, 300, 400, 500]
+    };
+    let workers = if quick { vec![1usize, 3, 5] } else { vec![1usize, 2, 3, 4, 5] };
+    let t = fig3(params, &g, &workers);
+    t.emit(Some(std::path::Path::new("results/fig3_duration.csv")));
+}

@@ -1,0 +1,20 @@
+//! Experiment logic behind each figure/table binary.
+//!
+//! Per-experiment index (see also `DESIGN.md` §4):
+//!
+//! | module | paper item | binary |
+//! |---|---|---|
+//! | [`synthetic`] | §III-A numbers, Fig. 2, Fig. 3 | `fig2_selection`, `fig3_duration` |
+//! | [`kissdb`] | Fig. 8, Fig. 9 | `fig8_kissdb_latency`, `fig9_kissdb_cpu` |
+//! | [`openssl`] | Fig. 10, §V-B residency | `fig10_openssl` |
+//! | [`lmbench`] | Fig. 11, Fig. 12 | `fig11_lmbench_tput`, `fig12_lmbench_cpu` |
+//! | [`memcpy`] | Fig. 7, Fig. 13 | `fig7_memcpy_vanilla`, `fig13_memcpy_zc` |
+//! | [`ablations`] | ours: rbf sweep, scheduler Q/µ sweep | `ablation_rbf`, `ablation_quantum` |
+
+pub mod ablations;
+pub mod fscommon;
+pub mod kissdb;
+pub mod lmbench;
+pub mod memcpy;
+pub mod openssl;
+pub mod synthetic;

@@ -1,0 +1,1065 @@
+//! Discrete-event kernel: virtual cores, preemptive round-robin
+//! scheduling, spin-waits, sleeps and parking — all in virtual cycles.
+//!
+//! # Model
+//!
+//! * The machine has `N` identical cores. Runnable threads beyond `N`
+//!   wait in a FIFO run queue; a running thread is preempted at the end
+//!   of its round-robin quantum whenever the queue is non-empty.
+//! * Threads are [`Actor`]s: each time the previous syscall finishes, the
+//!   kernel calls [`Actor::step`] with the result and executes the
+//!   returned [`Syscall`].
+//! * **Busy-waiting is modelled, not stepped**: a [`Syscall::SpinUntil`]
+//!   occupies its core (and is charged as *busy* time) but the kernel
+//!   does not simulate each `pause` iteration. When another thread sets
+//!   the awaited flag, a running spinner observes it one pause-latency
+//!   later; a preempted spinner observes it as soon as it is scheduled
+//!   again. Spin timeouts (`rbf`/`rbs`) are measured in pauses and only
+//!   elapse while the spinner actually holds a core — exactly like a real
+//!   pause loop.
+//! * Instant syscalls ([`Syscall::SetFlag`], [`Syscall::Unpark`], …)
+//!   execute at the current instant and the actor is immediately stepped
+//!   again; since event processing is serialized, actors may also touch
+//!   shared `RefCell` protocol state inside `step` without data races —
+//!   atomicity is a property of the kernel, mirroring word-sized atomic
+//!   operations on real hardware.
+//!
+//! Determinism: no wall clock, no OS threads, FIFO tie-breaking by event
+//! sequence number. Two runs with the same actors produce identical
+//! traces.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Thread identifier within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tid(pub usize);
+
+/// Identifier of a kernel flag cell (a shared `u64` used for spin-wait
+/// rendezvous).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlagId(pub usize);
+
+/// Condition a spin-wait is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpinTarget {
+    /// Wait until the flag equals this value.
+    Eq(u64),
+    /// Wait until the flag differs from this value (doorbell pattern:
+    /// spin on the last-seen value, wake on any change).
+    Ne(u64),
+}
+
+impl SpinTarget {
+    /// Is the condition satisfied by `value`?
+    #[must_use]
+    pub fn matches(self, value: u64) -> bool {
+        match self {
+            SpinTarget::Eq(v) => value == v,
+            SpinTarget::Ne(v) => value != v,
+        }
+    }
+}
+
+/// What a thread asks the kernel to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Syscall {
+    /// Execute `0` or more cycles of useful work (busy).
+    Compute(u64),
+    /// Busy-wait (busy) until the flag satisfies `target`, or until
+    /// `timeout_pauses` pauses have elapsed *on-CPU* (if `Some`).
+    SpinUntil {
+        /// Flag to watch.
+        flag: FlagId,
+        /// Condition to wait for.
+        target: SpinTarget,
+        /// Give up after this many on-CPU pauses.
+        timeout_pauses: Option<u64>,
+    },
+    /// Write `value` to `flag` (instant; wakes matching spinners).
+    SetFlag {
+        /// Flag to write.
+        flag: FlagId,
+        /// New value.
+        value: u64,
+    },
+    /// Yield the core and sleep for the given cycles (idle).
+    Sleep(u64),
+    /// Yield the core until someone calls [`Syscall::Unpark`] (idle).
+    /// A pending unpark token makes this return immediately.
+    Park,
+    /// Deliver an unpark token to `Tid` (instant).
+    Unpark(Tid),
+    /// Terminate this thread.
+    Done,
+}
+
+/// Result of the previously issued syscall, passed to [`Actor::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyscallResult {
+    /// First step of the thread; no previous syscall.
+    Init,
+    /// The previous syscall completed normally (compute finished, flag
+    /// observed, sleep elapsed, park released, instant op applied).
+    Ok,
+    /// A `SpinUntil` gave up after its pause budget.
+    TimedOut,
+}
+
+/// A simulated thread body.
+pub trait Actor {
+    /// Decide the next syscall given the previous result and the current
+    /// virtual time.
+    fn step(&mut self, res: SyscallResult, now: u64) -> Syscall;
+
+    /// Label used for per-group accounting (e.g. `"caller"`, `"worker"`).
+    fn group(&self) -> &str {
+        "thread"
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pending {
+    Compute {
+        remaining: u64,
+    },
+    Spin {
+        flag: FlagId,
+        target: SpinTarget,
+        remaining_pauses: Option<u64>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadState {
+    Runnable,
+    Running { core: usize },
+    Sleeping,
+    Parked,
+    Finished,
+}
+
+struct ThreadCb {
+    actor: Box<dyn Actor>,
+    state: ThreadState,
+    pending: Option<Pending>,
+    /// Result to deliver at the next `step`.
+    next_result: SyscallResult,
+    unpark_pending: bool,
+    /// Event generation: stale timer/complete events are ignored.
+    generation: u64,
+    busy_cycles: u64,
+    idle_cycles: u64,
+    /// When the current on-core (or sleeping/parked) segment started.
+    segment_start: u64,
+    group: String,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// The pending op of `tid` completes (compute end, spin observation,
+    /// spin timeout).
+    OpComplete { tid: Tid, generation: u64 },
+    /// Round-robin quantum check for `core`.
+    Quantum { core: usize, generation: u64 },
+    /// Sleep finished.
+    Timer { tid: Tid, generation: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CoreState {
+    running: Option<Tid>,
+    /// Generation of the quantum event for the current occupancy.
+    quantum_generation: u64,
+}
+
+struct Flag {
+    value: u64,
+    /// Tids currently spin-waiting on this flag.
+    waiters: Vec<Tid>,
+}
+
+/// Wrapper giving `Event` a (trivial) total order: the heap orders by the
+/// `(time, seq)` key, never by the event itself.
+#[derive(Debug, Clone, Copy)]
+struct EventBox(Event);
+
+impl PartialEq for EventBox {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl Eq for EventBox {}
+impl PartialOrd for EventBox {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventBox {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+/// Default round-robin quantum: 3 ms at 3.8 GHz.
+pub const DEFAULT_RR_QUANTUM: u64 = 11_400_000;
+
+/// One core-occupancy change, recorded when tracing is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccupancyEvent {
+    /// Virtual time of the change.
+    pub t: u64,
+    /// Core affected.
+    pub core: usize,
+    /// Thread now occupying the core (`None` = core went idle).
+    pub tid: Option<Tid>,
+}
+
+/// The discrete-event kernel. See module docs.
+pub struct Kernel {
+    now: u64,
+    cores: Vec<CoreState>,
+    runq: VecDeque<Tid>,
+    events: BinaryHeap<Reverse<(u64, u64, EventBox)>>,
+    seq: u64,
+    threads: Vec<ThreadCb>,
+    flags: Vec<Flag>,
+    rr_quantum: u64,
+    pause_cycles: u64,
+    live_threads: usize,
+    steps: u64,
+    trace: Option<Vec<OccupancyEvent>>,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("now", &self.now)
+            .field("cores", &self.cores.len())
+            .field("threads", &self.threads.len())
+            .field("live", &self.live_threads)
+            .finish()
+    }
+}
+
+impl Kernel {
+    /// Kernel with `cores` cores, a round-robin quantum and the pause
+    /// latency (both in cycles).
+    #[must_use]
+    pub fn new(cores: usize, rr_quantum: u64, pause_cycles: u64) -> Self {
+        Kernel {
+            now: 0,
+            cores: vec![
+                CoreState {
+                    running: None,
+                    quantum_generation: 0,
+                };
+                cores.max(1)
+            ],
+            runq: VecDeque::new(),
+            events: BinaryHeap::new(),
+            seq: 0,
+            threads: Vec::new(),
+            flags: Vec::new(),
+            rr_quantum: rr_quantum.max(1),
+            pause_cycles: pause_cycles.max(1),
+            live_threads: 0,
+            steps: 0,
+            trace: None,
+        }
+    }
+
+    /// Record core-occupancy changes for later inspection (e.g. the
+    /// [`gantt`](crate::gantt) renderer). Call before `run`.
+    pub fn enable_tracing(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Occupancy trace recorded so far (empty unless tracing enabled).
+    #[must_use]
+    pub fn trace(&self) -> &[OccupancyEvent] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Number of cores in the machine.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    fn trace_occupancy(&mut self, core: usize, tid: Option<Tid>) {
+        let now = self.now;
+        if let Some(trace) = &mut self.trace {
+            trace.push(OccupancyEvent { t: now, core, tid });
+        }
+    }
+
+    /// Current virtual time in cycles.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Allocate a flag cell initialised to `value`.
+    pub fn new_flag(&mut self, value: u64) -> FlagId {
+        self.flags.push(Flag {
+            value,
+            waiters: Vec::new(),
+        });
+        FlagId(self.flags.len() - 1)
+    }
+
+    /// Current value of a flag.
+    #[must_use]
+    pub fn flag(&self, id: FlagId) -> u64 {
+        self.flags[id.0].value
+    }
+
+    /// Spawn an actor as a runnable thread; returns its [`Tid`].
+    pub fn spawn(&mut self, actor: Box<dyn Actor>) -> Tid {
+        let tid = Tid(self.threads.len());
+        let group = actor.group().to_string();
+        self.threads.push(ThreadCb {
+            actor,
+            state: ThreadState::Runnable,
+            pending: None,
+            next_result: SyscallResult::Init,
+            unpark_pending: false,
+            generation: 0,
+            busy_cycles: 0,
+            idle_cycles: 0,
+            segment_start: 0,
+            group,
+        });
+        self.live_threads += 1;
+        self.runq.push_back(tid);
+        tid
+    }
+
+    /// `(busy, idle)` cycles recorded for `tid` so far.
+    #[must_use]
+    pub fn thread_cycles(&self, tid: Tid) -> (u64, u64) {
+        let t = &self.threads[tid.0];
+        (t.busy_cycles, t.idle_cycles)
+    }
+
+    /// Sum of busy cycles over all threads whose group name equals
+    /// `group`.
+    #[must_use]
+    pub fn group_busy_cycles(&self, group: &str) -> u64 {
+        self.threads
+            .iter()
+            .filter(|t| t.group == group)
+            .map(|t| t.busy_cycles)
+            .sum()
+    }
+
+    /// Total busy cycles over all threads.
+    #[must_use]
+    pub fn total_busy_cycles(&self) -> u64 {
+        self.threads.iter().map(|t| t.busy_cycles).sum()
+    }
+
+    /// Number of threads not yet finished.
+    #[must_use]
+    pub fn live_threads(&self) -> usize {
+        self.live_threads
+    }
+
+    /// Total actor steps executed (diagnostics / runaway detection).
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn push_event(&mut self, time: u64, ev: Event) {
+        self.seq += 1;
+        self.events.push(Reverse((time, self.seq, EventBox(ev))));
+    }
+
+    /// Run until every thread finishes or virtual time reaches
+    /// `deadline`. Returns the final virtual time.
+    pub fn run_until(&mut self, deadline: u64) -> u64 {
+        self.run_while(deadline, || true)
+    }
+
+    /// Run until every thread finishes, virtual time reaches `deadline`,
+    /// or `keep_going` returns `false` (checked after each event).
+    /// Returns the final virtual time.
+    pub fn run_while(&mut self, deadline: u64, mut keep_going: impl FnMut() -> bool) -> u64 {
+        self.dispatch();
+        while self.live_threads > 0 {
+            let Some(&Reverse((time, _, _))) = self.events.peek() else {
+                // Live threads but no future events: everything is parked
+                // forever. Return rather than hang.
+                break;
+            };
+            if time > deadline {
+                self.now = deadline.max(self.now);
+                break;
+            }
+            let Reverse((time, _, EventBox(ev))) = self.events.pop().expect("peeked event");
+            debug_assert!(time >= self.now);
+            self.now = time;
+            self.handle(ev);
+            self.dispatch();
+            if !keep_going() {
+                break;
+            }
+        }
+        self.now
+    }
+
+    /// Run to completion (no deadline).
+    pub fn run(&mut self) -> u64 {
+        self.run_until(u64::MAX)
+    }
+
+    /// Account the on-core segment of a running thread up to `now` and
+    /// restart the segment clock. Returns the segment length.
+    fn account_running(&mut self, tid: Tid) -> u64 {
+        let now = self.now;
+        let t = &mut self.threads[tid.0];
+        let seg = now.saturating_sub(t.segment_start);
+        t.busy_cycles += seg;
+        t.segment_start = now;
+        seg
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::OpComplete { tid, generation } => {
+                if self.threads[tid.0].generation != generation {
+                    return; // stale
+                }
+                // A spin op completing while its flag is still unequal to
+                // the target is a timeout; everything else is success.
+                let result = match self.threads[tid.0].pending {
+                    Some(Pending::Spin { flag, target, .. })
+                        if !target.matches(self.flags[flag.0].value) =>
+                    {
+                        SyscallResult::TimedOut
+                    }
+                    _ => SyscallResult::Ok,
+                };
+                self.finish_op(tid, result);
+            }
+            Event::Quantum { core, generation } => {
+                if self.cores[core].quantum_generation != generation {
+                    return; // stale occupancy
+                }
+                let Some(tid) = self.cores[core].running else {
+                    return;
+                };
+                if self.runq.is_empty() {
+                    // Nobody waiting: renew the quantum in place without
+                    // touching the thread's op.
+                    self.cores[core].quantum_generation += 1;
+                    let generation = self.cores[core].quantum_generation;
+                    self.push_event(self.now + self.rr_quantum, Event::Quantum { core, generation });
+                } else {
+                    self.preempt(tid, core);
+                }
+            }
+            Event::Timer { tid, generation } => {
+                if self.threads[tid.0].generation != generation {
+                    return;
+                }
+                let now = self.now;
+                let t = &mut self.threads[tid.0];
+                debug_assert_eq!(t.state, ThreadState::Sleeping);
+                t.idle_cycles += now.saturating_sub(t.segment_start);
+                t.state = ThreadState::Runnable;
+                t.next_result = SyscallResult::Ok;
+                t.pending = None;
+                self.runq.push_back(tid);
+            }
+        }
+    }
+
+    /// Complete the current op of the running thread `tid` and step its
+    /// actor (the thread retains its core and quantum).
+    fn finish_op(&mut self, tid: Tid, result: SyscallResult) {
+        self.account_running(tid);
+        let core = match self.threads[tid.0].state {
+            ThreadState::Running { core } => core,
+            other => unreachable!("finish_op on non-running thread in state {other:?}"),
+        };
+        self.remove_spin_waiter(tid);
+        self.threads[tid.0].pending = None;
+        self.threads[tid.0].generation += 1; // invalidate stale events
+        self.threads[tid.0].next_result = result;
+        self.step_thread_on_core(tid, core);
+    }
+
+    /// Take `tid` off `core` at a quantum boundary, shrinking its pending
+    /// op by the progress made.
+    fn preempt(&mut self, tid: Tid, core: usize) {
+        let on_core = self.account_running(tid);
+        match &mut self.threads[tid.0].pending {
+            Some(Pending::Compute { remaining }) => {
+                *remaining = remaining.saturating_sub(on_core);
+            }
+            Some(Pending::Spin {
+                remaining_pauses: Some(p),
+                ..
+            }) => {
+                *p = p.saturating_sub(on_core / self.pause_cycles);
+            }
+            _ => {}
+        }
+        self.threads[tid.0].state = ThreadState::Runnable;
+        self.threads[tid.0].generation += 1; // invalidate in-flight events
+        self.cores[core].running = None;
+        self.cores[core].quantum_generation += 1;
+        self.trace_occupancy(core, None);
+        self.runq.push_back(tid);
+    }
+
+    /// Arm the completion event(s) for the pending op of the thread
+    /// running on `core`. Does not touch the quantum.
+    fn arm_op(&mut self, tid: Tid, core: usize) {
+        let now = self.now;
+        self.threads[tid.0].state = ThreadState::Running { core };
+        self.threads[tid.0].segment_start = now;
+        self.threads[tid.0].generation += 1;
+        let generation = self.threads[tid.0].generation;
+        match self.threads[tid.0].pending {
+            Some(Pending::Compute { remaining }) => {
+                self.push_event(now + remaining, Event::OpComplete { tid, generation });
+            }
+            Some(Pending::Spin {
+                flag,
+                target,
+                remaining_pauses,
+            }) => {
+                if target.matches(self.flags[flag.0].value) {
+                    // Condition already true: observed after one pause.
+                    self.push_event(now + self.pause_cycles, Event::OpComplete { tid, generation });
+                } else {
+                    if !self.flags[flag.0].waiters.contains(&tid) {
+                        self.flags[flag.0].waiters.push(tid);
+                    }
+                    if let Some(p) = remaining_pauses {
+                        self.push_event(
+                            now + p.max(1) * self.pause_cycles,
+                            Event::OpComplete { tid, generation },
+                        );
+                    }
+                    // Without a timeout, only a flag write or preemption
+                    // moves this thread.
+                }
+            }
+            None => unreachable!("arm_op without a pending op"),
+        }
+    }
+
+    /// Remove `tid` from any flag waiter list.
+    fn remove_spin_waiter(&mut self, tid: Tid) {
+        if let Some(Pending::Spin { flag, .. }) = self.threads[tid.0].pending {
+            self.flags[flag.0].waiters.retain(|&w| w != tid);
+        }
+    }
+
+    /// Pull threads from the run queue onto idle cores.
+    fn dispatch(&mut self) {
+        loop {
+            let Some(core) = self.cores.iter().position(|c| c.running.is_none()) else {
+                return;
+            };
+            let Some(tid) = self.runq.pop_front() else {
+                return;
+            };
+            // Fresh quantum for the new occupancy; the busy segment
+            // starts now (arm_op refreshes it again for timed ops).
+            self.threads[tid.0].segment_start = self.now;
+            self.cores[core].running = Some(tid);
+            self.cores[core].quantum_generation += 1;
+            self.trace_occupancy(core, Some(tid));
+            let qgen = self.cores[core].quantum_generation;
+            self.push_event(
+                self.now + self.rr_quantum,
+                Event::Quantum { core, generation: qgen },
+            );
+            if self.threads[tid.0].pending.is_none() {
+                self.step_thread_on_core(tid, core);
+            } else {
+                self.arm_op(tid, core);
+            }
+        }
+    }
+
+    /// Step the actor of the thread owning `core`, executing instant
+    /// syscalls inline until a time-consuming one is returned.
+    fn step_thread_on_core(&mut self, tid: Tid, core: usize) {
+        debug_assert_eq!(self.cores[core].running, Some(tid));
+        self.threads[tid.0].state = ThreadState::Running { core };
+        loop {
+            self.steps += 1;
+            let res = self.threads[tid.0].next_result;
+            self.threads[tid.0].next_result = SyscallResult::Ok;
+            let now = self.now;
+            let sys = self.threads[tid.0].actor.step(res, now);
+            match sys {
+                Syscall::Compute(cycles) => {
+                    self.threads[tid.0].pending = Some(Pending::Compute { remaining: cycles });
+                    self.arm_op(tid, core);
+                    return;
+                }
+                Syscall::SpinUntil {
+                    flag,
+                    target,
+                    timeout_pauses,
+                } => {
+                    self.threads[tid.0].pending = Some(Pending::Spin {
+                        flag,
+                        target,
+                        remaining_pauses: timeout_pauses,
+                    });
+                    self.arm_op(tid, core);
+                    return;
+                }
+                Syscall::SetFlag { flag, value } => {
+                    self.set_flag_internal(flag, value);
+                }
+                Syscall::Unpark(target) => {
+                    self.unpark_internal(target);
+                }
+                Syscall::Sleep(cycles) => {
+                    self.release_core(tid, core);
+                    let now = self.now;
+                    let t = &mut self.threads[tid.0];
+                    t.state = ThreadState::Sleeping;
+                    t.segment_start = now;
+                    t.generation += 1;
+                    let generation = t.generation;
+                    self.push_event(now + cycles, Event::Timer { tid, generation });
+                    return;
+                }
+                Syscall::Park => {
+                    if self.threads[tid.0].unpark_pending {
+                        self.threads[tid.0].unpark_pending = false;
+                        continue; // token available: return immediately
+                    }
+                    self.release_core(tid, core);
+                    let now = self.now;
+                    let t = &mut self.threads[tid.0];
+                    t.state = ThreadState::Parked;
+                    t.segment_start = now;
+                    t.generation += 1;
+                    return;
+                }
+                Syscall::Done => {
+                    self.release_core(tid, core);
+                    self.threads[tid.0].state = ThreadState::Finished;
+                    self.threads[tid.0].generation += 1;
+                    self.live_threads -= 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    fn release_core(&mut self, tid: Tid, core: usize) {
+        debug_assert_eq!(self.cores[core].running, Some(tid));
+        self.account_running(tid);
+        self.cores[core].running = None;
+        self.cores[core].quantum_generation += 1;
+        self.threads[tid.0].pending = None;
+        self.trace_occupancy(core, None);
+    }
+
+    fn set_flag_internal(&mut self, flag: FlagId, value: u64) {
+        self.flags[flag.0].value = value;
+        let waiters: Vec<Tid> = self.flags[flag.0].waiters.clone();
+        for tid in waiters {
+            let Some(Pending::Spin { target, .. }) = self.threads[tid.0].pending else {
+                continue;
+            };
+            if !target.matches(value) {
+                continue;
+            }
+            if let ThreadState::Running { .. } = self.threads[tid.0].state {
+                // Observed one pause later; a fresh generation supersedes
+                // any armed timeout event.
+                self.threads[tid.0].generation += 1;
+                let generation = self.threads[tid.0].generation;
+                self.push_event(
+                    self.now + self.pause_cycles,
+                    Event::OpComplete { tid, generation },
+                );
+            }
+            // Runnable spinners observe the value via arm_op when next
+            // scheduled; sleeping/parked threads are never flag waiters.
+        }
+    }
+
+    fn unpark_internal(&mut self, target: Tid) {
+        let now = self.now;
+        let t = &mut self.threads[target.0];
+        match t.state {
+            ThreadState::Parked => {
+                t.idle_cycles += now.saturating_sub(t.segment_start);
+                t.state = ThreadState::Runnable;
+                t.next_result = SyscallResult::Ok;
+                t.pending = None;
+                self.runq.push_back(target);
+            }
+            ThreadState::Finished => {}
+            _ => {
+                t.unpark_pending = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Scripted actor: plays a fixed list of syscalls, recording results.
+    struct Script {
+        steps: Vec<Syscall>,
+        i: usize,
+        log: Rc<RefCell<Vec<(u64, SyscallResult)>>>,
+    }
+
+    impl Script {
+        fn new(steps: Vec<Syscall>, log: Rc<RefCell<Vec<(u64, SyscallResult)>>>) -> Box<Self> {
+            Box::new(Script { steps, i: 0, log })
+        }
+    }
+
+    impl Actor for Script {
+        fn step(&mut self, res: SyscallResult, now: u64) -> Syscall {
+            self.log.borrow_mut().push((now, res));
+            let s = self.steps.get(self.i).copied().unwrap_or(Syscall::Done);
+            self.i += 1;
+            s
+        }
+        fn group(&self) -> &str {
+            "script"
+        }
+    }
+
+    fn kernel(cores: usize) -> Kernel {
+        Kernel::new(cores, 1_000_000, 140)
+    }
+
+    #[test]
+    fn single_compute_finishes_at_exact_time() {
+        let mut k = kernel(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        k.spawn(Script::new(vec![Syscall::Compute(5_000)], Rc::clone(&log)));
+        let end = k.run();
+        assert_eq!(end, 5_000);
+        let log = log.borrow();
+        assert_eq!(log[0], (0, SyscallResult::Init));
+        assert_eq!(log[1], (5_000, SyscallResult::Ok));
+    }
+
+    #[test]
+    fn two_threads_one_core_serialize() {
+        let mut k = kernel(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let a = k.spawn(Script::new(vec![Syscall::Compute(300_000)], Rc::clone(&log)));
+        let b = k.spawn(Script::new(vec![Syscall::Compute(300_000)], Rc::clone(&log)));
+        let end = k.run();
+        assert_eq!(end, 600_000, "one core must serialize the work");
+        assert_eq!(k.thread_cycles(a).0, 300_000);
+        assert_eq!(k.thread_cycles(b).0, 300_000);
+    }
+
+    #[test]
+    fn two_threads_two_cores_parallelize() {
+        let mut k = kernel(2);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        k.spawn(Script::new(vec![Syscall::Compute(300_000)], Rc::clone(&log)));
+        k.spawn(Script::new(vec![Syscall::Compute(300_000)], Rc::clone(&log)));
+        assert_eq!(k.run(), 300_000);
+    }
+
+    #[test]
+    fn round_robin_interleaves_long_jobs() {
+        // Quantum 1M: two 3M jobs on one core must alternate and finish
+        // within one quantum of each other, not FIFO at 3M/6M.
+        let mut k = kernel(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        k.spawn(Script::new(vec![Syscall::Compute(3_000_000)], Rc::clone(&log)));
+        k.spawn(Script::new(vec![Syscall::Compute(3_000_000)], Rc::clone(&log)));
+        let end = k.run();
+        assert_eq!(end, 6_000_000, "total work is conserved under preemption");
+        let finish_times: Vec<u64> = log
+            .borrow()
+            .iter()
+            .filter(|(_, r)| *r == SyscallResult::Ok)
+            .map(|(t, _)| *t)
+            .collect();
+        assert_eq!(finish_times.len(), 2);
+        assert!(
+            finish_times[1] - finish_times[0] <= 1_000_000,
+            "RR must interleave: finishes {finish_times:?}"
+        );
+    }
+
+    #[test]
+    fn sleep_yields_the_core() {
+        let mut k = kernel(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let sleeper = k.spawn(Script::new(vec![Syscall::Sleep(1_000_000)], Rc::clone(&log)));
+        let worker = k.spawn(Script::new(vec![Syscall::Compute(500_000)], Rc::clone(&log)));
+        let end = k.run();
+        assert_eq!(end, 1_000_000, "sleep dominates");
+        assert_eq!(k.thread_cycles(sleeper), (0, 1_000_000));
+        assert_eq!(k.thread_cycles(worker).0, 500_000);
+        // The worker's compute completed at 500k, while the sleeper was
+        // off-core.
+        assert!(log.borrow().contains(&(500_000, SyscallResult::Ok)));
+    }
+
+    #[test]
+    fn spin_wakes_one_pause_after_flag_set() {
+        let mut k = kernel(2);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let flag = k.new_flag(0);
+        k.spawn(Script::new(
+            vec![Syscall::SpinUntil { flag, target: SpinTarget::Eq(1), timeout_pauses: None }],
+            Rc::clone(&log),
+        ));
+        k.spawn(Script::new(
+            vec![Syscall::Compute(10_000), Syscall::SetFlag { flag, value: 1 }],
+            Rc::clone(&log),
+        ));
+        let end = k.run();
+        assert_eq!(end, 10_000 + 140, "observed one pause after the set");
+        assert_eq!(k.thread_cycles(Tid(0)).0, 10_140, "spinner burned CPU throughout");
+    }
+
+    #[test]
+    fn spin_timeout_fires_after_budget() {
+        let mut k = kernel(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let flag = k.new_flag(0);
+        k.spawn(Script::new(
+            vec![Syscall::SpinUntil { flag, target: SpinTarget::Eq(1), timeout_pauses: Some(100) }],
+            Rc::clone(&log),
+        ));
+        let end = k.run();
+        assert_eq!(end, 100 * 140);
+        assert_eq!(log.borrow()[1], (14_000, SyscallResult::TimedOut));
+    }
+
+    #[test]
+    fn spin_on_already_set_flag_returns_after_one_pause() {
+        let mut k = kernel(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let flag = k.new_flag(7);
+        k.spawn(Script::new(
+            vec![Syscall::SpinUntil { flag, target: SpinTarget::Eq(7), timeout_pauses: Some(5) }],
+            Rc::clone(&log),
+        ));
+        let end = k.run();
+        assert_eq!(end, 140);
+        assert_eq!(log.borrow()[1].1, SyscallResult::Ok);
+    }
+
+    #[test]
+    fn park_and_unpark() {
+        let mut k = kernel(2);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let parked = k.spawn(Script::new(vec![Syscall::Park], Rc::clone(&log)));
+        k.spawn(Script::new(
+            vec![Syscall::Compute(50_000), Syscall::Unpark(parked)],
+            Rc::clone(&log),
+        ));
+        let end = k.run();
+        assert_eq!(end, 50_000);
+        assert_eq!(k.thread_cycles(parked), (0, 50_000), "parked time is idle");
+    }
+
+    #[test]
+    fn unpark_token_prevents_park() {
+        let mut k = kernel(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        // Unparker runs first; the target parks later and must consume
+        // the pending token without blocking.
+        let target = Tid(1);
+        k.spawn(Script::new(
+            vec![Syscall::Unpark(target), Syscall::Compute(1_000)],
+            Rc::clone(&log),
+        ));
+        k.spawn(Script::new(
+            vec![Syscall::Park, Syscall::Compute(500)],
+            Rc::clone(&log),
+        ));
+        let end = k.run();
+        assert_eq!(end, 1_500, "park must not block with a pending token");
+    }
+
+    #[test]
+    fn spinner_occupying_core_blocks_other_work_on_one_core() {
+        // One core: the spinner's 1000-pause budget (140k cycles) is
+        // shorter than the quantum (1M), so it times out before the
+        // setter ever runs.
+        let mut k = kernel(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let flag = k.new_flag(0);
+        k.spawn(Script::new(
+            vec![Syscall::SpinUntil { flag, target: SpinTarget::Eq(1), timeout_pauses: Some(1_000) }],
+            Rc::clone(&log),
+        ));
+        k.spawn(Script::new(vec![Syscall::SetFlag { flag, value: 1 }], Rc::clone(&log)));
+        k.run();
+        assert_eq!(
+            log.borrow()[1],
+            (140_000, SyscallResult::TimedOut),
+            "spinner must exhaust its budget before the setter ever runs"
+        );
+    }
+
+    #[test]
+    fn preempted_spinner_observes_flag_when_rescheduled() {
+        // One core, 10k quantum, untimed spinner. Timeline: spinner spins
+        // 10k (quantum), setter computes 5k and sets the flag, spinner is
+        // rescheduled and observes one pause later.
+        let mut k = Kernel::new(1, 10_000, 140);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let flag = k.new_flag(0);
+        k.spawn(Script::new(
+            vec![Syscall::SpinUntil { flag, target: SpinTarget::Eq(1), timeout_pauses: None }],
+            Rc::clone(&log),
+        ));
+        k.spawn(Script::new(
+            vec![Syscall::Compute(5_000), Syscall::SetFlag { flag, value: 1 }],
+            Rc::clone(&log),
+        ));
+        let end = k.run();
+        assert_eq!(end, 15_140);
+    }
+
+    #[test]
+    fn preempted_compute_conserves_total_work() {
+        // Three 1M jobs, one core, 100k quantum: heavy preemption, but
+        // total busy time must equal total work and the clock must end at
+        // exactly 3M.
+        let mut k = Kernel::new(1, 100_000, 140);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..3 {
+            k.spawn(Script::new(vec![Syscall::Compute(1_000_000)], Rc::clone(&log)));
+        }
+        let end = k.run();
+        assert_eq!(end, 3_000_000);
+        assert_eq!(k.total_busy_cycles(), 3_000_000);
+    }
+
+    #[test]
+    fn spin_timeout_budget_only_burns_on_cpu() {
+        // One core, quantum 7k (50 pauses). Spinner A (timeout 100
+        // pauses) shares the core with a long compute B. A's budget must
+        // last 2 on-core stints (~100 pauses of CPU), so its timeout
+        // fires after roughly twice the wall time of an uncontended spin.
+        let mut k = Kernel::new(1, 7_000, 140);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let flag = k.new_flag(0);
+        k.spawn(Script::new(
+            vec![Syscall::SpinUntil { flag, target: SpinTarget::Eq(1), timeout_pauses: Some(100) }],
+            Rc::clone(&log),
+        ));
+        k.spawn(Script::new(vec![Syscall::Compute(50_000)], Rc::clone(&log)));
+        k.run();
+        let timeout_at = log
+            .borrow()
+            .iter()
+            .find(|(_, r)| *r == SyscallResult::TimedOut)
+            .map(|(t, _)| *t)
+            .expect("spinner must time out");
+        assert!(
+            timeout_at > 14_000,
+            "budget must not burn while preempted (timed out at {timeout_at})"
+        );
+        // 100 pauses = 14k on-CPU; with ~7k quantum alternation the wall
+        // time is ~21k plus rounding.
+        assert!(timeout_at <= 30_000, "timed out too late: {timeout_at}");
+    }
+
+    #[test]
+    fn deadline_stops_the_clock() {
+        let mut k = kernel(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        k.spawn(Script::new(vec![Syscall::Compute(u64::MAX / 2)], Rc::clone(&log)));
+        let end = k.run_until(1_000_000);
+        assert_eq!(end, 1_000_000);
+        assert_eq!(k.live_threads(), 1);
+    }
+
+    #[test]
+    fn all_parked_terminates_run() {
+        let mut k = kernel(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        k.spawn(Script::new(vec![Syscall::Park], Rc::clone(&log)));
+        let end = k.run_until(10_000);
+        // The initial quantum event sits past the deadline; the clock
+        // stops at the deadline with the parked thread still live.
+        assert_eq!(end, 10_000);
+        assert_eq!(k.live_threads(), 1);
+    }
+
+    #[test]
+    fn group_accounting() {
+        let mut k = kernel(2);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        k.spawn(Script::new(vec![Syscall::Compute(1_000)], Rc::clone(&log)));
+        k.spawn(Script::new(vec![Syscall::Compute(2_000)], Rc::clone(&log)));
+        k.run();
+        assert_eq!(k.group_busy_cycles("script"), 3_000);
+        assert_eq!(k.group_busy_cycles("other"), 0);
+        assert_eq!(k.total_busy_cycles(), 3_000);
+    }
+
+    #[test]
+    fn determinism_same_script_same_trace() {
+        let run = || {
+            let mut k = Kernel::new(2, 10_000, 140);
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let flag = k.new_flag(0);
+            for i in 0..4 {
+                k.spawn(Script::new(
+                    vec![
+                        Syscall::Compute(1_000 * (i + 1)),
+                        Syscall::SetFlag { flag, value: i },
+                        Syscall::Compute(500),
+                    ],
+                    Rc::clone(&log),
+                ));
+            }
+            k.run();
+            let trace = log.borrow().clone();
+            trace
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zero_compute_is_instantaneous_but_valid() {
+        let mut k = kernel(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        k.spawn(Script::new(
+            vec![Syscall::Compute(0), Syscall::Compute(100)],
+            Rc::clone(&log),
+        ));
+        assert_eq!(k.run(), 100);
+    }
+
+    #[test]
+    fn flags_read_back() {
+        let mut k = kernel(1);
+        let f = k.new_flag(3);
+        assert_eq!(k.flag(f), 3);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        k.spawn(Script::new(vec![Syscall::SetFlag { flag: f, value: 9 }], Rc::clone(&log)));
+        k.run();
+        assert_eq!(k.flag(f), 9);
+    }
+}

@@ -1,0 +1,38 @@
+//! Deterministic discrete-event simulation of a multi-core SGX machine.
+//!
+//! The host running this reproduction has a single core, while the
+//! paper's experiments need eight logical CPUs saturated with
+//! busy-waiting worker threads. This crate therefore simulates the
+//! *machine* — cores, preemptive scheduling, spin-waits, sleeps — in
+//! virtual time, and runs the switchless-call protocols on top:
+//!
+//! * [`kernel`] — the event-driven kernel: virtual cores, round-robin
+//!   preemption, flags (spin-wait rendezvous), park/unpark.
+//! * [`ocall`] — the three mechanisms under study as virtual-thread
+//!   protocols: regular ocalls, the Intel switchless mechanism
+//!   (task pool, `rbf`/`rbs`) and ZC-SWITCHLESS (idle-worker handoff,
+//!   immediate fallback, adaptive scheduler driven by
+//!   [`switchless_core::policy`]).
+//! * [`workload`] — caller behaviours: closed-loop call mixes and the
+//!   phase-driven dynamic load of the lmbench experiment.
+//! * [`sim`] — experiment assembly: build a machine + mechanism +
+//!   workload, run it, collect a [`sim::SimReport`].
+//!
+//! All results are in cycles of the modelled CPU and bit-for-bit
+//! reproducible across hosts. Enable [`Kernel::enable_tracing`] and
+//! render with [`gantt`] to see per-core occupancy timelines.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod gantt;
+pub mod kernel;
+pub mod metrics;
+pub mod ocall;
+pub mod sim;
+pub mod workload;
+
+pub use kernel::{Actor, FlagId, Kernel, SpinTarget, Syscall, SyscallResult, Tid};
+pub use ocall::{CallDesc, CostModel, Dispatcher, Step};
+pub use sim::{run, Mechanism, SimConfig, SimReport, ZcSimParams};
+pub use workload::{CallClass, PhasedLoad, WorkloadSpec};

@@ -1,0 +1,216 @@
+//! Counters and time series collected during a simulation.
+
+use serde::{Deserialize, Serialize};
+
+/// Shared event counters, mutated by actors as the protocol runs.
+///
+/// Lives in an `Rc<RefCell<_>>` world: kernel event processing is
+/// serialized, so plain fields suffice.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimCounters {
+    /// Calls executed switchlessly (no transition).
+    pub switchless: u64,
+    /// Calls that attempted switchless execution and fell back.
+    pub fallback: u64,
+    /// Calls executed as plain regular ocalls (statically non-switchless).
+    pub regular: u64,
+    /// Untrusted-pool reallocations (each costs one extra transition).
+    pub pool_reallocs: u64,
+    /// Completed ocalls per caller index.
+    pub ops_per_caller: Vec<u64>,
+    /// Completed ocalls per call class (workload-defined, e.g.
+    /// `f`/`g` or `fseeko`/`fread`/`fwrite`).
+    pub ops_per_class: Vec<u64>,
+    /// Callers that have not yet finished their workload.
+    pub callers_live: usize,
+    /// Virtual time at which the last caller finished (0 until then).
+    pub last_completion: u64,
+}
+
+impl SimCounters {
+    /// Counters for `callers` caller threads and `classes` call classes.
+    #[must_use]
+    pub fn new(callers: usize, classes: usize) -> Self {
+        SimCounters {
+            ops_per_caller: vec![0; callers],
+            ops_per_class: vec![0; classes],
+            callers_live: callers,
+            ..SimCounters::default()
+        }
+    }
+
+    /// Record one completed ocall.
+    pub fn record_call(&mut self, caller: usize, class: usize, path: switchless_core::CallPath) {
+        match path {
+            switchless_core::CallPath::Switchless => self.switchless += 1,
+            switchless_core::CallPath::Fallback => self.fallback += 1,
+            switchless_core::CallPath::Regular => self.regular += 1,
+        }
+        if caller < self.ops_per_caller.len() {
+            self.ops_per_caller[caller] += 1;
+        }
+        if class < self.ops_per_class.len() {
+            self.ops_per_class[class] += 1;
+        }
+    }
+
+    /// Total completed ocalls.
+    #[must_use]
+    pub fn total_calls(&self) -> u64 {
+        self.switchless + self.fallback + self.regular
+    }
+
+    /// Transitions paid (fallback + regular + pool reallocations).
+    #[must_use]
+    pub fn transitions(&self) -> u64 {
+        self.fallback + self.regular + self.pool_reallocs
+    }
+}
+
+/// One timeline sample, taken by the simulation driver at a fixed virtual
+/// interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Virtual time of the sample (cycles).
+    pub t_cycles: u64,
+    /// Cumulative completed ops per caller.
+    pub ops_per_caller: Vec<u64>,
+    /// Cumulative busy cycles over all simulated threads.
+    pub busy_cycles: u64,
+    /// Cumulative fallback count.
+    pub fallbacks: u64,
+    /// Cumulative switchless count.
+    pub switchless: u64,
+    /// Active ZC workers at sample time (0 for other mechanisms).
+    pub active_workers: usize,
+}
+
+/// Timeline of samples with per-interval derived series.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Samples in increasing time order.
+    pub samples: Vec<Sample>,
+}
+
+impl Timeline {
+    /// Per-interval throughput of `caller` in ops per second, given the
+    /// modelled clock frequency.
+    #[must_use]
+    pub fn throughput_ops_per_sec(&self, caller: usize, freq_hz: u64) -> Vec<f64> {
+        self.samples
+            .windows(2)
+            .map(|w| {
+                let dt = (w[1].t_cycles - w[0].t_cycles) as f64 / freq_hz as f64;
+                if dt <= 0.0 {
+                    return 0.0;
+                }
+                let dops = w[1].ops_per_caller.get(caller).copied().unwrap_or(0)
+                    - w[0].ops_per_caller.get(caller).copied().unwrap_or(0);
+                dops as f64 / dt
+            })
+            .collect()
+    }
+
+    /// Per-interval machine CPU utilisation in percent for a machine with
+    /// `cores` cores.
+    #[must_use]
+    pub fn cpu_percent(&self, cores: usize) -> Vec<f64> {
+        self.samples
+            .windows(2)
+            .map(|w| {
+                let dt = (w[1].t_cycles - w[0].t_cycles) as f64 * cores as f64;
+                if dt <= 0.0 {
+                    return 0.0;
+                }
+                let dbusy = (w[1].busy_cycles - w[0].busy_cycles) as f64;
+                (dbusy / dt * 100.0).min(100.0)
+            })
+            .collect()
+    }
+
+    /// Interval midpoints in seconds (x-axis for the per-interval
+    /// series).
+    #[must_use]
+    pub fn interval_midpoints_secs(&self, freq_hz: u64) -> Vec<f64> {
+        self.samples
+            .windows(2)
+            .map(|w| (w[0].t_cycles + w[1].t_cycles) as f64 / 2.0 / freq_hz as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use switchless_core::CallPath;
+
+    #[test]
+    fn counters_record_by_path_and_class() {
+        let mut c = SimCounters::new(2, 3);
+        c.record_call(0, 1, CallPath::Switchless);
+        c.record_call(1, 1, CallPath::Fallback);
+        c.record_call(0, 2, CallPath::Regular);
+        assert_eq!(c.switchless, 1);
+        assert_eq!(c.fallback, 1);
+        assert_eq!(c.regular, 1);
+        assert_eq!(c.total_calls(), 3);
+        assert_eq!(c.ops_per_caller, vec![2, 1]);
+        assert_eq!(c.ops_per_class, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn out_of_range_indices_are_ignored() {
+        let mut c = SimCounters::new(1, 1);
+        c.record_call(5, 9, CallPath::Switchless);
+        assert_eq!(c.switchless, 1);
+        assert_eq!(c.ops_per_caller, vec![0]);
+    }
+
+    #[test]
+    fn transitions_include_pool_reallocs() {
+        let mut c = SimCounters::new(1, 1);
+        c.fallback = 2;
+        c.regular = 3;
+        c.pool_reallocs = 4;
+        assert_eq!(c.transitions(), 9);
+    }
+
+    fn sample(t: u64, ops: u64, busy: u64) -> Sample {
+        Sample {
+            t_cycles: t,
+            ops_per_caller: vec![ops],
+            busy_cycles: busy,
+            fallbacks: 0,
+            switchless: 0,
+            active_workers: 0,
+        }
+    }
+
+    #[test]
+    fn throughput_series() {
+        let tl = Timeline {
+            samples: vec![sample(0, 0, 0), sample(1_000, 10, 0), sample(2_000, 30, 0)],
+        };
+        // freq 1000 Hz -> each interval is 1 s.
+        let tput = tl.throughput_ops_per_sec(0, 1_000);
+        assert_eq!(tput, vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn cpu_percent_series_clamped() {
+        let tl = Timeline {
+            samples: vec![sample(0, 0, 0), sample(1_000, 0, 500), sample(2_000, 0, 5_000)],
+        };
+        let cpu = tl.cpu_percent(2);
+        assert_eq!(cpu[0], 25.0); // 500 busy / 2000 capacity
+        assert_eq!(cpu[1], 100.0, "overshoot clamps to 100");
+    }
+
+    #[test]
+    fn empty_timeline_yields_empty_series() {
+        let tl = Timeline::default();
+        assert!(tl.throughput_ops_per_sec(0, 1).is_empty());
+        assert!(tl.cpu_percent(1).is_empty());
+        assert!(tl.interval_midpoints_secs(1).is_empty());
+    }
+}

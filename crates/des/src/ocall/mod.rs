@@ -1,0 +1,151 @@
+//! Switchless-call mechanisms as virtual-thread protocols.
+//!
+//! Each mechanism implements [`Dispatcher`]: a per-caller dialogue state
+//! machine that the caller actor drives one [`Syscall`] at a time.
+//! Protocol state shared between callers, workers and schedulers lives in
+//! `Rc<RefCell<…>>` worlds — kernel event processing is serialized, so
+//! each `step` executes atomically (the analogue of the word-sized atomic
+//! operations the real runtimes use).
+//!
+//! * [`regular`] — every call pays the enclave transition and runs the
+//!   host function on the caller's own core (`no_sl`).
+//! * [`intel`] — the Intel SDK mechanism: static switchless set, task
+//!   queue, `rbf`-bounded caller spin, `rbs`-bounded worker poll + sleep.
+//! * [`zc`] — ZC-SWITCHLESS: idle-worker claim, immediate fallback, and
+//!   the adaptive worker scheduler from [`switchless_core::policy`].
+//! * [`hotcalls`] — HotCalls (Weisse et al., ISCA'17): always-spinning
+//!   dedicated workers, no fallback — the prior art in the paper's
+//!   related work.
+
+pub mod hotcalls;
+pub mod intel;
+pub mod regular;
+pub mod zc;
+
+use crate::kernel::{Syscall, SyscallResult};
+use serde::{Deserialize, Serialize};
+use switchless_core::CallPath;
+
+/// Description of one ocall a workload wants to issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct CallDesc {
+    /// Workload-defined class index (e.g. 0 = `f`, 1 = `g`; or
+    /// 0 = `fseeko`, 1 = `fread`, 2 = `fwrite`). Drives the static
+    /// switchless sets and per-class statistics.
+    pub class: usize,
+    /// In-enclave computation preceding the call (e.g. AES encryption of
+    /// the chunk about to be written).
+    pub pre_compute_cycles: u64,
+    /// Untrusted host-function duration.
+    pub host_cycles: u64,
+    /// Payload bytes crossing the boundary into untrusted memory.
+    pub payload_bytes: u64,
+    /// Result bytes crossing back into the enclave.
+    pub ret_bytes: u64,
+}
+
+/// Cost model of the boundary machinery, in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Enclave transition round trip `T_es`.
+    pub t_es_cycles: u64,
+    /// Claiming a worker / task slot and publishing a request
+    /// (CAS + request-struct copy + cache-line transfer).
+    pub handoff_cycles: u64,
+    /// Collecting results and releasing the worker/slot.
+    pub collect_cycles: u64,
+    /// Boundary copy throughput: cycles per 16 bytes (the optimised
+    /// `memcpy` moves ~16 B/cycle; the DES always models the optimised
+    /// copy — the vanilla-vs-zc comparison runs on real hardware).
+    pub copy_cycles_per_16b: u64,
+}
+
+impl CostModel {
+    /// Paper-machine cost model.
+    #[must_use]
+    pub fn paper() -> Self {
+        CostModel {
+            t_es_cycles: 13_500,
+            handoff_cycles: 600,
+            collect_cycles: 300,
+            copy_cycles_per_16b: 1,
+        }
+    }
+
+    /// Cycles to copy `bytes` across the boundary.
+    #[must_use]
+    pub fn copy_cycles(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(16) * self.copy_cycles_per_16b
+    }
+
+    /// Total cycles of a full regular-ocall execution of `call`
+    /// (transition + both copies + host time).
+    #[must_use]
+    pub fn regular_call_cycles(&self, call: &CallDesc) -> u64 {
+        self.t_es_cycles
+            + self.copy_cycles(call.payload_bytes)
+            + call.host_cycles
+            + self.copy_cycles(call.ret_bytes)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::paper()
+    }
+}
+
+/// Next move in an ocall dialogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Execute this syscall and call `advance` with its result.
+    Next(Syscall),
+    /// The call finished via the given path.
+    Complete(CallPath),
+}
+
+/// Per-caller dialogue driver for one mechanism.
+///
+/// The caller actor calls [`begin`](Dispatcher::begin) to start an ocall,
+/// executes the returned syscall, then repeatedly feeds results to
+/// [`advance`](Dispatcher::advance) until it yields
+/// [`Step::Complete`].
+pub trait Dispatcher {
+    /// Start a new ocall dialogue. Must only be called when the previous
+    /// dialogue has completed.
+    fn begin(&mut self, call: &CallDesc, now: u64) -> Syscall;
+
+    /// Continue the dialogue after the previous syscall finished.
+    fn advance(&mut self, call: &CallDesc, res: SyscallResult, now: u64) -> Step;
+
+    /// Mechanism label for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_cost_rounds_up_to_16b_granules() {
+        let m = CostModel::paper();
+        assert_eq!(m.copy_cycles(0), 0);
+        assert_eq!(m.copy_cycles(1), 1);
+        assert_eq!(m.copy_cycles(16), 1);
+        assert_eq!(m.copy_cycles(17), 2);
+        assert_eq!(m.copy_cycles(4096), 256);
+    }
+
+    #[test]
+    fn regular_call_cost_composition() {
+        let m = CostModel::paper();
+        let call = CallDesc {
+            class: 0,
+            pre_compute_cycles: 0,
+            host_cycles: 1_000,
+            payload_bytes: 160,
+            ret_bytes: 32,
+        };
+        assert_eq!(m.regular_call_cycles(&call), 13_500 + 10 + 1_000 + 2);
+    }
+}

@@ -1,0 +1,63 @@
+//! The `no_sl` baseline: every ocall pays the enclave transition and the
+//! caller's own core runs the host function (EEXIT → host → EENTER).
+
+use super::{CallDesc, CostModel, Dispatcher, Step};
+use crate::kernel::{Syscall, SyscallResult};
+use switchless_core::CallPath;
+
+/// Dispatcher executing every call as a regular ocall.
+#[derive(Debug, Clone)]
+pub struct RegularDispatcher {
+    costs: CostModel,
+    in_call: bool,
+}
+
+impl RegularDispatcher {
+    /// New regular-ocall dispatcher with the given cost model.
+    #[must_use]
+    pub fn new(costs: CostModel) -> Self {
+        RegularDispatcher {
+            costs,
+            in_call: false,
+        }
+    }
+}
+
+impl Dispatcher for RegularDispatcher {
+    fn begin(&mut self, call: &CallDesc, _now: u64) -> Syscall {
+        debug_assert!(!self.in_call, "begin during an active dialogue");
+        self.in_call = true;
+        Syscall::Compute(self.costs.regular_call_cycles(call))
+    }
+
+    fn advance(&mut self, _call: &CallDesc, res: SyscallResult, _now: u64) -> Step {
+        debug_assert_eq!(res, SyscallResult::Ok);
+        debug_assert!(self.in_call);
+        self.in_call = false;
+        Step::Complete(CallPath::Regular)
+    }
+
+    fn name(&self) -> &'static str {
+        "no_sl"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dialogue_is_one_compute_then_done() {
+        let mut d = RegularDispatcher::new(CostModel::paper());
+        let call = CallDesc {
+            host_cycles: 500,
+            ..CallDesc::default()
+        };
+        let s = d.begin(&call, 0);
+        assert_eq!(s, Syscall::Compute(13_500 + 500));
+        let step = d.advance(&call, SyscallResult::Ok, 14_000);
+        assert_eq!(step, Step::Complete(CallPath::Regular));
+        // Reusable for the next call.
+        let _ = d.begin(&call, 14_000);
+    }
+}

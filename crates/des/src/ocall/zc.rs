@@ -1,0 +1,395 @@
+//! ZC-SWITCHLESS as a virtual-thread protocol.
+//!
+//! Mirrors the real runtime in `zc-switchless`: callers claim an `UNUSED`
+//! worker (atomic within one kernel step), copy the payload into the
+//! worker's untrusted pool (reallocated via one transition when full),
+//! post the request and spin; with no idle worker they fall back
+//! *immediately*. Workers idle-spin on a doorbell flag; the scheduler
+//! actor drives the identical [`SchedulerPolicy`] used by the real
+//! runtime, probing worker counts every configuration phase and parking
+//! surplus workers.
+//!
+//! [`SchedulerPolicy`]: switchless_core::policy::SchedulerPolicy
+
+use super::{CallDesc, CostModel, Dispatcher, Step};
+use crate::kernel::{FlagId, Kernel, SpinTarget, Syscall, SyscallResult, Tid};
+use crate::metrics::SimCounters;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use switchless_core::policy::{PolicyParams, SchedulerPolicy};
+use switchless_core::stats::WorkerResidency;
+use switchless_core::{CallPath, WorkerState};
+
+/// Scheduler command posted to a worker (DES model: no exit — the driver
+/// simply stops the simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmd {
+    /// Keep polling.
+    Run,
+    /// Park when next idle.
+    Deactivate,
+}
+
+/// Shared state of one simulated worker.
+#[derive(Debug)]
+pub struct WorkerSt {
+    /// Paper state machine word.
+    pub state: WorkerState,
+    /// Scheduler command.
+    pub cmd: Cmd,
+    /// Host-function duration of the posted request.
+    pub host_cycles: u64,
+    /// Result bytes of the posted request.
+    pub ret_bytes: u64,
+    /// Caller index owning the current request.
+    pub caller: usize,
+    /// Bytes bump-allocated in this worker's untrusted pool.
+    pub pool_used: u64,
+}
+
+/// Shared ZC protocol state.
+#[derive(Debug)]
+pub struct ZcWorld {
+    /// Per-worker protocol state.
+    pub workers: Vec<WorkerSt>,
+    /// Worker thread ids (filled at spawn).
+    pub worker_tids: Vec<Tid>,
+    /// Worker doorbells (rung on request post and scheduler commands).
+    pub worker_db: Vec<FlagId>,
+    /// Authoritative doorbell counters (actors cannot read kernel flags).
+    pub worker_db_val: Vec<u64>,
+    /// Caller doorbells (rung on request completion).
+    pub caller_db: Vec<FlagId>,
+    /// Authoritative caller doorbell counters.
+    pub caller_db_val: Vec<u64>,
+    /// Per-worker untrusted pool capacity in bytes.
+    pub pool_bytes: u64,
+    /// Worker count of the current scheduler step.
+    pub active_workers: usize,
+    /// Worker-count residency histogram (paper §V-B).
+    pub residency: WorkerResidency,
+    /// Completed scheduler decisions.
+    pub decisions: u64,
+}
+
+impl ZcWorld {
+    /// Build the world and allocate its kernel flags.
+    pub fn new(kernel: &mut Kernel, max_workers: usize, callers: usize, pool_bytes: u64) -> Rc<RefCell<ZcWorld>> {
+        let workers = (0..max_workers)
+            .map(|_| WorkerSt {
+                state: WorkerState::Unused,
+                cmd: Cmd::Run,
+                host_cycles: 0,
+                ret_bytes: 0,
+                caller: usize::MAX,
+                pool_used: 0,
+            })
+            .collect();
+        let worker_db = (0..max_workers).map(|_| kernel.new_flag(0)).collect();
+        let caller_db = (0..callers).map(|_| kernel.new_flag(0)).collect();
+        Rc::new(RefCell::new(ZcWorld {
+            workers,
+            worker_tids: Vec::new(),
+            worker_db,
+            worker_db_val: vec![0; max_workers],
+            caller_db,
+            caller_db_val: vec![0; callers],
+            pool_bytes,
+            active_workers: 0,
+            residency: WorkerResidency::new(max_workers),
+            decisions: 0,
+        }))
+    }
+
+    fn find_unused(&self) -> Option<usize> {
+        self.workers.iter().position(|w| w.state == WorkerState::Unused)
+    }
+}
+
+/// Per-caller ZC dialogue.
+#[derive(Debug)]
+pub struct ZcDispatcher {
+    world: Rc<RefCell<ZcWorld>>,
+    counters: Rc<RefCell<SimCounters>>,
+    costs: CostModel,
+    caller: usize,
+    dialog: Dialog,
+    await_db_val: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dialog {
+    Idle,
+    /// Copying the payload into the claimed worker's pool.
+    Post { w: usize },
+    /// Ringing the worker's doorbell.
+    Ring { w: usize },
+    /// Spinning for completion.
+    Await { w: usize },
+    /// Ringing the worker's doorbell after release.
+    ReleaseRing,
+    /// Copying results back.
+    Collect,
+    /// Executing the fallback regular ocall.
+    FallbackExec,
+}
+
+impl ZcDispatcher {
+    /// Dialogue driver for `caller`.
+    #[must_use]
+    pub fn new(
+        world: Rc<RefCell<ZcWorld>>,
+        counters: Rc<RefCell<SimCounters>>,
+        costs: CostModel,
+        caller: usize,
+    ) -> Self {
+        ZcDispatcher {
+            world,
+            counters,
+            costs,
+            caller,
+            dialog: Dialog::Idle,
+            await_db_val: 0,
+        }
+    }
+}
+
+impl Dispatcher for ZcDispatcher {
+    fn begin(&mut self, call: &CallDesc, _now: u64) -> Syscall {
+        debug_assert_eq!(self.dialog, Dialog::Idle, "begin during an active dialogue");
+        let mut wld = self.world.borrow_mut();
+        let Some(w) = wld.find_unused() else {
+            // No idle worker: immediate fallback, no busy-wait.
+            self.dialog = Dialog::FallbackExec;
+            return Syscall::Compute(self.costs.regular_call_cycles(call));
+        };
+        // Claim (UNUSED -> RESERVED is atomic within this step).
+        wld.workers[w].state = WorkerState::Reserved;
+        wld.workers[w].caller = self.caller;
+        if call.payload_bytes > wld.pool_bytes {
+            // Larger than the pool: release and fall back.
+            wld.workers[w].state = WorkerState::Unused;
+            self.dialog = Dialog::FallbackExec;
+            return Syscall::Compute(self.costs.regular_call_cycles(call));
+        }
+        // Pool allocation; exhaustion costs one reallocation transition.
+        let mut extra = 0;
+        if wld.workers[w].pool_used + call.payload_bytes > wld.pool_bytes {
+            wld.workers[w].pool_used = call.payload_bytes;
+            self.counters.borrow_mut().pool_reallocs += 1;
+            extra = self.costs.t_es_cycles;
+        } else {
+            wld.workers[w].pool_used += call.payload_bytes;
+        }
+        self.dialog = Dialog::Post { w };
+        Syscall::Compute(
+            self.costs.handoff_cycles + self.costs.copy_cycles(call.payload_bytes) + extra,
+        )
+    }
+
+    fn advance(&mut self, call: &CallDesc, res: SyscallResult, _now: u64) -> Step {
+        debug_assert_eq!(res, SyscallResult::Ok, "zc dialogues never time out");
+        match self.dialog {
+            Dialog::Post { w } => {
+                let mut wld = self.world.borrow_mut();
+                debug_assert_eq!(wld.workers[w].state, WorkerState::Reserved);
+                wld.workers[w].state = WorkerState::Processing;
+                wld.workers[w].host_cycles = call.host_cycles;
+                wld.workers[w].ret_bytes = call.ret_bytes;
+                // Sample my own doorbell BEFORE ringing the worker so the
+                // completion ring can never be missed.
+                self.await_db_val = wld.caller_db_val[self.caller];
+                wld.worker_db_val[w] += 1;
+                let v = wld.worker_db_val[w];
+                let flag = wld.worker_db[w];
+                self.dialog = Dialog::Ring { w };
+                Step::Next(Syscall::SetFlag { flag, value: v })
+            }
+            Dialog::Ring { w } => {
+                let flag = self.world.borrow().caller_db[self.caller];
+                self.dialog = Dialog::Await { w };
+                Step::Next(Syscall::SpinUntil {
+                    flag,
+                    target: SpinTarget::Ne(self.await_db_val),
+                    timeout_pauses: None,
+                })
+            }
+            Dialog::Await { w } => {
+                let mut wld = self.world.borrow_mut();
+                debug_assert_eq!(
+                    wld.workers[w].state,
+                    WorkerState::Waiting,
+                    "caller woke before the worker published results"
+                );
+                wld.workers[w].state = WorkerState::Unused;
+                // Ring the worker on release: it may have missed a
+                // scheduler Deactivate while executing, and only
+                // re-evaluates its command word when its doorbell rings.
+                wld.worker_db_val[w] += 1;
+                let v = wld.worker_db_val[w];
+                let flag = wld.worker_db[w];
+                self.dialog = Dialog::ReleaseRing;
+                Step::Next(Syscall::SetFlag { flag, value: v })
+            }
+            Dialog::ReleaseRing => {
+                self.dialog = Dialog::Collect;
+                Step::Next(Syscall::Compute(
+                    self.costs.collect_cycles + self.costs.copy_cycles(call.ret_bytes),
+                ))
+            }
+            Dialog::Collect => {
+                self.dialog = Dialog::Idle;
+                Step::Complete(CallPath::Switchless)
+            }
+            Dialog::FallbackExec => {
+                self.dialog = Dialog::Idle;
+                Step::Complete(CallPath::Fallback)
+            }
+            Dialog::Idle => unreachable!("advance without an active dialogue"),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "zc"
+    }
+}
+
+/// Worker actor of the ZC model.
+#[derive(Debug)]
+pub struct ZcWorkerActor {
+    world: Rc<RefCell<ZcWorld>>,
+    idx: usize,
+    executing: bool,
+}
+
+impl ZcWorkerActor {
+    /// Worker actor for slot `idx`.
+    #[must_use]
+    pub fn new(world: Rc<RefCell<ZcWorld>>, idx: usize) -> Self {
+        ZcWorkerActor {
+            world,
+            idx,
+            executing: false,
+        }
+    }
+}
+
+impl crate::kernel::Actor for ZcWorkerActor {
+    fn step(&mut self, _res: SyscallResult, _now: u64) -> Syscall {
+        let mut wld = self.world.borrow_mut();
+        let idx = self.idx;
+        if self.executing {
+            // Host function finished: publish results, ring the caller.
+            self.executing = false;
+            debug_assert_eq!(wld.workers[idx].state, WorkerState::Processing);
+            wld.workers[idx].state = WorkerState::Waiting;
+            let caller = wld.workers[idx].caller;
+            wld.caller_db_val[caller] += 1;
+            let v = wld.caller_db_val[caller];
+            let flag = wld.caller_db[caller];
+            return Syscall::SetFlag { flag, value: v };
+        }
+        match wld.workers[idx].state {
+            WorkerState::Processing => {
+                self.executing = true;
+                Syscall::Compute(wld.workers[idx].host_cycles)
+            }
+            WorkerState::Unused if wld.workers[idx].cmd == Cmd::Deactivate => {
+                wld.workers[idx].state = WorkerState::Paused;
+                Syscall::Park
+            }
+            // Idle (or caller mid-post): spin on the doorbell. Reading
+            // the authoritative counter and arming the spin is atomic
+            // within this step, so no ring can be lost.
+            _ => {
+                let v = wld.worker_db_val[idx];
+                let flag = wld.worker_db[idx];
+                Syscall::SpinUntil {
+                    flag,
+                    target: SpinTarget::Ne(v),
+                    timeout_pauses: None,
+                }
+            }
+        }
+    }
+
+    fn group(&self) -> &str {
+        "worker"
+    }
+}
+
+/// The adaptive scheduler actor, driving the shared [`SchedulerPolicy`].
+#[derive(Debug)]
+pub struct ZcSchedulerActor {
+    world: Rc<RefCell<ZcWorld>>,
+    counters: Rc<RefCell<SimCounters>>,
+    policy: SchedulerPolicy,
+    queue: VecDeque<Syscall>,
+    last_fallbacks: u64,
+}
+
+impl ZcSchedulerActor {
+    /// Scheduler with the given policy parameters and initial worker
+    /// count.
+    #[must_use]
+    pub fn new(
+        world: Rc<RefCell<ZcWorld>>,
+        counters: Rc<RefCell<SimCounters>>,
+        params: PolicyParams,
+        initial_workers: usize,
+    ) -> Self {
+        ZcSchedulerActor {
+            world,
+            counters,
+            policy: SchedulerPolicy::new(params, initial_workers),
+            queue: VecDeque::new(),
+            last_fallbacks: 0,
+        }
+    }
+}
+
+impl crate::kernel::Actor for ZcSchedulerActor {
+    fn step(&mut self, _res: SyscallResult, _now: u64) -> Syscall {
+        if let Some(s) = self.queue.pop_front() {
+            return s;
+        }
+        // Previous policy step finished: report its fallback delta and
+        // fetch the next one.
+        let fb = self.counters.borrow().fallback;
+        let delta = fb.saturating_sub(self.last_fallbacks);
+        self.last_fallbacks = fb;
+        let step = self.policy.next(delta);
+        let m = step.workers();
+        {
+            let mut wld = self.world.borrow_mut();
+            wld.active_workers = m;
+            wld.residency.record(m, step.duration_cycles());
+            wld.decisions = self.policy.decisions();
+            for i in 0..wld.workers.len() {
+                if i < m {
+                    wld.workers[i].cmd = Cmd::Run;
+                    if wld.workers[i].state == WorkerState::Paused {
+                        wld.workers[i].state = WorkerState::Unused;
+                        let tid = wld.worker_tids[i];
+                        self.queue.push_back(Syscall::Unpark(tid));
+                    }
+                } else if wld.workers[i].cmd != Cmd::Deactivate {
+                    wld.workers[i].cmd = Cmd::Deactivate;
+                    // Ring the doorbell so an idle spinner re-checks its
+                    // command word and parks.
+                    wld.worker_db_val[i] += 1;
+                    let v = wld.worker_db_val[i];
+                    let flag = wld.worker_db[i];
+                    self.queue.push_back(Syscall::SetFlag { flag, value: v });
+                }
+            }
+        }
+        self.queue.push_back(Syscall::Sleep(step.duration_cycles()));
+        self.queue.pop_front().expect("queue holds at least the sleep")
+    }
+
+    fn group(&self) -> &str {
+        "scheduler"
+    }
+}

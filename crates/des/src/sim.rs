@@ -1,0 +1,563 @@
+//! Experiment assembly: machine + mechanism + workload → report.
+
+use crate::kernel::{Kernel, DEFAULT_RR_QUANTUM};
+use crate::metrics::{Sample, SimCounters, Timeline};
+use crate::ocall::hotcalls::{HotWorkerActor, HotcallsConfig, HotcallsDispatcher, HotcallsWorld};
+use crate::ocall::intel::{IntelDispatcher, IntelSimConfig, IntelWorkerActor, IntelWorld};
+use crate::ocall::regular::RegularDispatcher;
+use crate::ocall::zc::{ZcDispatcher, ZcSchedulerActor, ZcWorkerActor, ZcWorld};
+use crate::ocall::{CostModel, Dispatcher};
+use crate::workload::{CallerActor, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+use switchless_core::cpu::CpuSpec;
+use switchless_core::policy::PolicyParams;
+use switchless_core::stats::WorkerResidency;
+
+/// ZC model parameters (paper defaults; all overridable for ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZcSimParams {
+    /// Scheduling quantum in milliseconds (paper: 10).
+    pub quantum_ms: u64,
+    /// Inverse micro-quantum fraction (paper: 100).
+    pub mu_inverse: u64,
+    /// Initial worker count (paper: `N/2`); `None` = max.
+    pub initial_workers: Option<usize>,
+    /// Maximum workers (paper: `N/2`); `None` = `N/2`.
+    pub max_workers: Option<usize>,
+    /// Per-worker untrusted pool bytes.
+    pub pool_bytes: u64,
+    /// Scheduler fallback weight (see
+    /// [`switchless_core::policy::PolicyParams::fallback_weight`]).
+    pub fallback_weight: u64,
+}
+
+impl Default for ZcSimParams {
+    fn default() -> Self {
+        ZcSimParams {
+            quantum_ms: 10,
+            mu_inverse: 100,
+            initial_workers: None,
+            max_workers: None,
+            pool_bytes: 64 * 1024,
+            fallback_weight: switchless_core::policy::DEFAULT_FALLBACK_WEIGHT,
+        }
+    }
+}
+
+/// Which switchless mechanism the simulation runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mechanism {
+    /// All calls as regular ocalls.
+    NoSl,
+    /// The Intel SDK mechanism with a static configuration.
+    Intel(IntelSimConfig),
+    /// ZC-SWITCHLESS with its adaptive scheduler.
+    Zc(ZcSimParams),
+    /// HotCalls: dedicated always-spinning workers, no fallback.
+    Hotcalls(HotcallsConfig),
+}
+
+/// Full experiment description.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Machine model.
+    pub cpu: CpuSpec,
+    /// OS round-robin quantum in cycles.
+    pub rr_quantum: u64,
+    /// Boundary cost model.
+    pub costs: CostModel,
+    /// Mechanism under test.
+    pub mechanism: Mechanism,
+    /// One workload per caller thread.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Number of call classes used by the workloads.
+    pub classes: usize,
+    /// Timeline sample interval in cycles (`0` = final sample only).
+    pub sample_interval_cycles: u64,
+    /// Hard stop in cycles (safety net for open-loop runs).
+    pub deadline_cycles: u64,
+    /// When non-zero, record core occupancy and render a text Gantt
+    /// chart with this many columns into [`SimReport::gantt`].
+    pub gantt_buckets: usize,
+}
+
+impl SimConfig {
+    /// Experiment on the paper machine with default costs, a 60-virtual-
+    /// second deadline and no intermediate sampling.
+    #[must_use]
+    pub fn new(mechanism: Mechanism, workloads: Vec<WorkloadSpec>, classes: usize) -> Self {
+        let cpu = CpuSpec::paper_machine();
+        SimConfig {
+            cpu,
+            rr_quantum: DEFAULT_RR_QUANTUM,
+            costs: CostModel::paper(),
+            mechanism,
+            workloads,
+            classes,
+            sample_interval_cycles: 0,
+            deadline_cycles: cpu.freq_hz * 120,
+            gantt_buckets: 0,
+        }
+    }
+
+    /// Builder-style timeline sampling interval.
+    #[must_use]
+    pub fn with_sampling(mut self, interval_cycles: u64) -> Self {
+        self.sample_interval_cycles = interval_cycles;
+        self
+    }
+
+    /// Builder-style deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline_cycles: u64) -> Self {
+        self.deadline_cycles = deadline_cycles;
+        self
+    }
+
+    /// Builder-style Gantt rendering (see [`SimReport::gantt`]).
+    #[must_use]
+    pub fn with_gantt(mut self, buckets: usize) -> Self {
+        self.gantt_buckets = buckets;
+        self
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Virtual time when the last caller finished (or the deadline).
+    pub duration_cycles: u64,
+    /// Final counters.
+    pub counters: SimCounters,
+    /// Timeline samples (empty unless sampling was enabled).
+    pub timeline: Timeline,
+    /// Total busy cycles over all threads.
+    pub total_busy_cycles: u64,
+    /// Busy cycles of caller threads.
+    pub caller_busy_cycles: u64,
+    /// Busy cycles of worker threads.
+    pub worker_busy_cycles: u64,
+    /// ZC worker-count residency (empty histogram for other mechanisms).
+    pub residency: WorkerResidency,
+    /// Mean active ZC workers weighted by time (0 otherwise).
+    pub mean_active_workers: f64,
+    /// Machine model the run used.
+    pub cpu: CpuSpec,
+    /// Text Gantt chart of core occupancy (only when
+    /// [`SimConfig::gantt_buckets`] was non-zero).
+    pub gantt: Option<String>,
+}
+
+impl SimReport {
+    /// Run duration in (virtual) seconds.
+    #[must_use]
+    pub fn duration_secs(&self) -> f64 {
+        self.cpu.cycles_to_secs(self.duration_cycles)
+    }
+
+    /// Machine-wide average CPU utilisation in percent over the run.
+    #[must_use]
+    pub fn cpu_percent(&self) -> f64 {
+        let capacity = self.duration_cycles.saturating_mul(self.cpu.logical_cpus as u64);
+        if capacity == 0 {
+            return 0.0;
+        }
+        (self.total_busy_cycles as f64 / capacity as f64 * 100.0).min(100.0)
+    }
+
+    /// Mean throughput of one caller in ops/second.
+    #[must_use]
+    pub fn caller_throughput(&self, caller: usize) -> f64 {
+        let secs = self.duration_secs();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.counters.ops_per_caller.get(caller).copied().unwrap_or(0) as f64 / secs
+    }
+
+    /// Mean per-call latency over all callers, in microseconds (wall
+    /// time × callers / total calls — the kissdb/OpenSSL "average
+    /// latency" metric).
+    #[must_use]
+    pub fn mean_latency_us(&self) -> f64 {
+        let total = self.counters.total_calls();
+        if total == 0 {
+            return 0.0;
+        }
+        self.duration_secs() * 1e6 * self.workload_threads() as f64 / total as f64
+    }
+
+    fn workload_threads(&self) -> usize {
+        self.counters.ops_per_caller.len()
+    }
+}
+
+/// Run one experiment to completion (all callers done or deadline).
+pub fn run(config: &SimConfig) -> SimReport {
+    let mut kernel = Kernel::new(config.cpu.logical_cpus, config.rr_quantum, config.cpu.pause_cycles);
+    if config.gantt_buckets > 0 {
+        kernel.enable_tracing();
+    }
+    let callers = config.workloads.len();
+    let counters = Rc::new(RefCell::new(SimCounters::new(callers, config.classes)));
+
+    // Build the mechanism world, workers and per-caller dispatchers.
+    type DispatcherFactory = Box<dyn FnMut(usize) -> Box<dyn Dispatcher>>;
+    let mut make_dispatcher: DispatcherFactory;
+    let mut zc_world_handle: Option<Rc<RefCell<ZcWorld>>> = None;
+
+    match &config.mechanism {
+        Mechanism::NoSl => {
+            let costs = config.costs;
+            make_dispatcher = Box::new(move |_| Box::new(RegularDispatcher::new(costs)));
+        }
+        Mechanism::Intel(icfg) => {
+            let world = IntelWorld::new(&mut kernel, icfg.clone(), callers);
+            for i in 0..icfg.workers {
+                let tid = kernel.spawn(Box::new(IntelWorkerActor::new(Rc::clone(&world), i)));
+                world.borrow_mut().worker_tids.push(tid);
+            }
+            let costs = config.costs;
+            let counters2 = Rc::clone(&counters);
+            let world2 = Rc::clone(&world);
+            make_dispatcher = Box::new(move |caller| {
+                Box::new(IntelDispatcher::new(
+                    Rc::clone(&world2),
+                    Rc::clone(&counters2),
+                    costs,
+                    caller,
+                ))
+            });
+        }
+        Mechanism::Hotcalls(hcfg) => {
+            let world = HotcallsWorld::new(&mut kernel, hcfg.clone(), callers);
+            for i in 0..hcfg.workers {
+                let tid = kernel.spawn(Box::new(HotWorkerActor::new(Rc::clone(&world), i)));
+                world.borrow_mut().worker_tids.push(tid);
+            }
+            let costs = config.costs;
+            let counters2 = Rc::clone(&counters);
+            let world2 = Rc::clone(&world);
+            make_dispatcher = Box::new(move |caller| {
+                Box::new(HotcallsDispatcher::new(
+                    Rc::clone(&world2),
+                    Rc::clone(&counters2),
+                    costs,
+                    caller,
+                ))
+            });
+        }
+        Mechanism::Zc(zp) => {
+            let max_workers = zp.max_workers.unwrap_or(config.cpu.zc_max_workers()).max(1);
+            let initial = zp.initial_workers.unwrap_or(max_workers).min(max_workers);
+            let world = ZcWorld::new(&mut kernel, max_workers, callers, zp.pool_bytes);
+            for i in 0..max_workers {
+                let tid = kernel.spawn(Box::new(ZcWorkerActor::new(Rc::clone(&world), i)));
+                world.borrow_mut().worker_tids.push(tid);
+            }
+            let params = PolicyParams {
+                t_es_cycles: config.cpu.t_es_cycles,
+                quantum_cycles: config.cpu.quantum_cycles(zp.quantum_ms),
+                mu_inverse: zp.mu_inverse,
+                max_workers,
+                fallback_weight: zp.fallback_weight,
+            };
+            kernel.spawn(Box::new(ZcSchedulerActor::new(
+                Rc::clone(&world),
+                Rc::clone(&counters),
+                params,
+                initial,
+            )));
+            let costs = config.costs;
+            let counters2 = Rc::clone(&counters);
+            let world2 = Rc::clone(&world);
+            zc_world_handle = Some(Rc::clone(&world));
+            make_dispatcher = Box::new(move |caller| {
+                Box::new(ZcDispatcher::new(
+                    Rc::clone(&world2),
+                    Rc::clone(&counters2),
+                    costs,
+                    caller,
+                ))
+            });
+        }
+    }
+
+    for (i, spec) in config.workloads.iter().enumerate() {
+        let d = make_dispatcher(i);
+        kernel.spawn(Box::new(CallerActor::new(
+            i,
+            d,
+            Rc::clone(&counters),
+            spec.clone(),
+        )));
+    }
+    drop(make_dispatcher);
+
+    // Drive the run, sampling the timeline externally.
+    let mut timeline = Timeline::default();
+    let take_sample = |kernel: &Kernel, timeline: &mut Timeline| {
+        let c = counters.borrow();
+        timeline.samples.push(Sample {
+            t_cycles: kernel.now(),
+            ops_per_caller: c.ops_per_caller.clone(),
+            busy_cycles: kernel.total_busy_cycles(),
+            fallbacks: c.fallback,
+            switchless: c.switchless,
+            active_workers: zc_world_handle
+                .as_ref()
+                .map_or(0, |w| w.borrow().active_workers),
+        });
+    };
+
+    take_sample(&kernel, &mut timeline);
+    let interval = if config.sample_interval_cycles == 0 {
+        config.deadline_cycles
+    } else {
+        config.sample_interval_cycles
+    };
+    loop {
+        let next = (kernel.now() + interval).min(config.deadline_cycles);
+        // Stop the instant the last caller finishes: simulating idle
+        // workers and the scheduler past that point would pollute the
+        // CPU and residency metrics.
+        kernel.run_while(next, || counters.borrow().callers_live > 0);
+        take_sample(&kernel, &mut timeline);
+        let done = counters.borrow().callers_live == 0;
+        if done || kernel.now() >= config.deadline_cycles || kernel.live_threads() == 0 {
+            break;
+        }
+    }
+
+    let counters_final = counters.borrow().clone();
+    let duration_cycles = if counters_final.callers_live == 0 && counters_final.last_completion > 0
+    {
+        counters_final.last_completion
+    } else {
+        kernel.now()
+    };
+    let (residency, mean_active) = zc_world_handle.map_or_else(
+        || (WorkerResidency::new(0), 0.0),
+        |w| {
+            let w = w.borrow();
+            (w.residency.clone(), w.residency.mean_workers())
+        },
+    );
+    let gantt = (config.gantt_buckets > 0)
+        .then(|| crate::gantt::render_kernel(&kernel, config.gantt_buckets));
+    SimReport {
+        duration_cycles,
+        total_busy_cycles: kernel.total_busy_cycles(),
+        caller_busy_cycles: kernel.group_busy_cycles("caller"),
+        worker_busy_cycles: kernel.group_busy_cycles("worker"),
+        counters: counters_final,
+        timeline,
+        residency,
+        mean_active_workers: mean_active,
+        cpu: config.cpu,
+        gantt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ocall::CallDesc;
+
+    fn simple_call(host: u64) -> CallDesc {
+        CallDesc {
+            host_cycles: host,
+            payload_bytes: 64,
+            ret_bytes: 0,
+            ..CallDesc::default()
+        }
+    }
+
+    fn closed(ops: u64, host: u64) -> WorkloadSpec {
+        WorkloadSpec::ClosedLoop {
+            pattern: vec![simple_call(host)],
+            total_ops: ops,
+        }
+    }
+
+    #[test]
+    fn no_sl_baseline_runs() {
+        let r = run(&SimConfig::new(Mechanism::NoSl, vec![closed(1_000, 500)], 1));
+        assert_eq!(r.counters.total_calls(), 1_000);
+        assert_eq!(r.counters.regular, 1_000);
+        assert_eq!(r.counters.switchless, 0);
+        // Duration ≈ 1000 * (13500 + copy + 500).
+        assert!(r.duration_cycles >= 1_000 * 14_000);
+        assert!(r.duration_cycles < 1_000 * 16_000);
+    }
+
+    #[test]
+    fn intel_switchless_runs_mostly_switchless() {
+        let cfg = SimConfig::new(
+            Mechanism::Intel(IntelSimConfig::new(2, [0])),
+            vec![closed(1_000, 500); 2],
+            1,
+        );
+        let r = run(&cfg);
+        assert_eq!(r.counters.total_calls(), 2_000);
+        assert!(
+            r.counters.switchless > 1_800,
+            "dedicated workers should serve nearly all calls switchlessly, got {}",
+            r.counters.switchless
+        );
+        assert!(r.worker_busy_cycles > 0);
+    }
+
+    #[test]
+    fn intel_non_switchless_class_goes_regular() {
+        let cfg = SimConfig::new(
+            Mechanism::Intel(IntelSimConfig::new(2, [7])), // class 7 only
+            vec![closed(500, 500)],
+            1,
+        );
+        let r = run(&cfg);
+        assert_eq!(r.counters.regular, 500);
+        assert_eq!(r.counters.switchless, 0);
+    }
+
+    #[test]
+    fn hotcalls_serves_everything_switchlessly_without_fallback() {
+        use crate::ocall::hotcalls::HotcallsConfig;
+        let cfg = SimConfig::new(
+            Mechanism::Hotcalls(HotcallsConfig::new(2, [0])),
+            vec![closed(2_000, 500); 3],
+            1,
+        );
+        let r = run(&cfg);
+        assert_eq!(r.counters.total_calls(), 6_000);
+        assert_eq!(r.counters.switchless, 6_000, "hotcalls never falls back");
+        assert_eq!(r.counters.fallback, 0);
+        assert!(r.worker_busy_cycles > 0);
+    }
+
+    #[test]
+    fn hotcalls_burns_cpu_even_when_idle_intel_sleeps() {
+        use crate::ocall::hotcalls::HotcallsConfig;
+        use crate::ocall::intel::IntelSimConfig;
+        // A workload with long in-enclave gaps between calls: hot workers
+        // keep spinning through the gaps, Intel workers sleep after rbs.
+        let sparse = WorkloadSpec::ClosedLoop {
+            pattern: vec![CallDesc {
+                pre_compute_cycles: 10_000_000, // ~2.6 ms of enclave work
+                host_cycles: 500,
+                ..CallDesc::default()
+            }],
+            total_ops: 20,
+        };
+        let hot = run(&SimConfig::new(
+            Mechanism::Hotcalls(HotcallsConfig::new(2, [0])),
+            vec![sparse.clone()],
+            1,
+        ));
+        let intel = run(&SimConfig::new(
+            Mechanism::Intel(IntelSimConfig::new(2, [0]).with_rbs(1_000)),
+            vec![sparse],
+            1,
+        ));
+        assert!(
+            hot.worker_busy_cycles > intel.worker_busy_cycles * 2,
+            "hot workers ({}) must burn far more than sleeping intel workers ({})",
+            hot.worker_busy_cycles,
+            intel.worker_busy_cycles
+        );
+    }
+
+    #[test]
+    fn zc_runs_and_schedules() {
+        let cfg = SimConfig::new(
+            Mechanism::Zc(ZcSimParams::default()),
+            vec![closed(20_000, 500); 2],
+            1,
+        );
+        let r = run(&cfg);
+        assert_eq!(r.counters.total_calls(), 40_000);
+        assert!(
+            r.counters.switchless > 0,
+            "zc must serve some calls switchlessly"
+        );
+        assert!(r.residency.total_cycles() > 0, "scheduler must record residency");
+    }
+
+    #[test]
+    fn zc_faster_than_no_sl_for_short_frequent_calls() {
+        // The paper's core claim: switchless wins for short calls.
+        let wl = vec![closed(10_000, 200); 4];
+        let no_sl = run(&SimConfig::new(Mechanism::NoSl, wl.clone(), 1));
+        let zc = run(&SimConfig::new(Mechanism::Zc(ZcSimParams::default()), wl, 1));
+        assert!(
+            zc.duration_cycles < no_sl.duration_cycles,
+            "zc ({}) must beat no_sl ({}) on short calls",
+            zc.duration_cycles,
+            no_sl.duration_cycles
+        );
+    }
+
+    #[test]
+    fn deadline_bounds_runaway_workloads() {
+        let cfg = SimConfig::new(Mechanism::NoSl, vec![closed(u64::MAX / 2, 1_000)], 1)
+            .with_deadline(10_000_000);
+        let r = run(&cfg);
+        assert!(r.duration_cycles <= 10_000_001);
+        assert!(r.counters.callers_live > 0);
+    }
+
+    #[test]
+    fn sampling_produces_a_timeline() {
+        let cfg = SimConfig::new(Mechanism::NoSl, vec![closed(1_000, 500)], 1)
+            .with_sampling(1_000_000);
+        let r = run(&cfg);
+        assert!(r.timeline.samples.len() > 3);
+        // Ops are monotonically non-decreasing.
+        for w in r.timeline.samples.windows(2) {
+            assert!(w[1].ops_per_caller[0] >= w[0].ops_per_caller[0]);
+            assert!(w[1].busy_cycles >= w[0].busy_cycles);
+        }
+    }
+
+    #[test]
+    fn determinism_same_config_same_report() {
+        let cfg = SimConfig::new(
+            Mechanism::Zc(ZcSimParams::default()),
+            vec![closed(2_000, 300); 3],
+            1,
+        );
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.duration_cycles, b.duration_cycles);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.total_busy_cycles, b.total_busy_cycles);
+    }
+
+    #[test]
+    fn gantt_rendering_shows_callers_and_workers() {
+        let cfg = SimConfig::new(
+            Mechanism::Zc(ZcSimParams::default()),
+            vec![closed(500, 2_000); 2],
+            1,
+        )
+        .with_gantt(40);
+        let r = run(&cfg);
+        let g = r.gantt.expect("gantt requested");
+        assert_eq!(g.lines().count(), 8, "one row per core:\n{g}");
+        assert!(g.contains('|'), "{g}");
+        // Without the flag, no gantt is produced.
+        let r2 = run(&SimConfig::new(Mechanism::NoSl, vec![closed(10, 100)], 1));
+        assert!(r2.gantt.is_none());
+    }
+
+    #[test]
+    fn report_metrics_are_consistent() {
+        let r = run(&SimConfig::new(Mechanism::NoSl, vec![closed(100, 100)], 1));
+        assert!(r.duration_secs() > 0.0);
+        assert!(r.cpu_percent() > 0.0 && r.cpu_percent() <= 100.0);
+        assert!(r.caller_throughput(0) > 0.0);
+        assert!(r.mean_latency_us() > 0.0);
+    }
+}

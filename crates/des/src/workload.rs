@@ -1,0 +1,447 @@
+//! Caller behaviours: what calls to make and when.
+//!
+//! A [`CallerActor`] owns a [`WorkloadSpec`] (the *what*) and a
+//! [`Dispatcher`](crate::ocall::Dispatcher) implementation (the *how*),
+//! driving both:
+//! optional in-enclave pre-compute, then the ocall dialogue, repeated
+//! until the workload is exhausted.
+
+use crate::kernel::{Actor, Syscall, SyscallResult};
+use crate::metrics::SimCounters;
+use crate::ocall::{CallDesc, Dispatcher, Step};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A named call class (workload vocabulary for figures and static
+/// switchless sets).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CallClass {
+    /// Class index used in [`CallDesc::class`].
+    pub index: usize,
+    /// Human-readable name (`"f"`, `"fseeko"`, `"read"`, …).
+    pub name: String,
+}
+
+/// What a caller thread does.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// Closed loop: cycle through `pattern`, `total_ops` calls in total,
+    /// back to back (each [`CallDesc`] carries its own pre-compute).
+    ClosedLoop {
+        /// Repeating call pattern.
+        pattern: Vec<CallDesc>,
+        /// Total calls to issue.
+        total_ops: u64,
+    },
+    /// Rate-phased open loop (the lmbench dynamic workload, §V-C): time
+    /// is divided into periods of `period_cycles`; during each period the
+    /// caller issues the phase-defined number of calls back to back, then
+    /// sleeps out the remainder of the period.
+    Phased(PhasedLoad),
+}
+
+/// Phase-driven dynamic load.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhasedLoad {
+    /// The single call issued repeatedly.
+    pub call: CallDesc,
+    /// Period `τ` in cycles (paper: 0.5 s).
+    pub period_cycles: u64,
+    /// Ops in the very first period.
+    pub initial_ops: u64,
+    /// The three phases (paper: increase, constant, decrease — 20 s
+    /// each).
+    pub phases: Vec<Phase>,
+}
+
+/// One phase of a [`PhasedLoad`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Phase duration in cycles.
+    pub duration_cycles: u64,
+    /// How the per-period op count evolves within the phase.
+    pub mode: PhaseMode,
+}
+
+/// Evolution of the per-period op count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PhaseMode {
+    /// Double the op count every period.
+    Doubling,
+    /// Keep the op count constant.
+    Constant,
+    /// Halve the op count every period (minimum 1).
+    Halving,
+}
+
+impl PhasedLoad {
+    /// The paper's dynamic workload: 3 phases of 20 s, τ = 0.5 s.
+    #[must_use]
+    pub fn paper_dynamic(call: CallDesc, freq_hz: u64, initial_ops: u64) -> Self {
+        let secs = |s: u64| freq_hz * s;
+        PhasedLoad {
+            call,
+            period_cycles: secs(1) / 2,
+            initial_ops,
+            phases: vec![
+                Phase { duration_cycles: secs(20), mode: PhaseMode::Doubling },
+                Phase { duration_cycles: secs(20), mode: PhaseMode::Constant },
+                Phase { duration_cycles: secs(20), mode: PhaseMode::Halving },
+            ],
+        }
+    }
+
+    /// Target ops for the period starting at `t` (cycles since workload
+    /// start), or `None` when all phases are over.
+    #[must_use]
+    pub fn ops_for_period(&self, t: u64) -> Option<u64> {
+        let mut phase_start = 0u64;
+        let mut ops_at_phase_start = self.initial_ops.max(1);
+        for phase in &self.phases {
+            let periods_in_phase = phase.duration_cycles / self.period_cycles;
+            if t < phase_start + phase.duration_cycles {
+                let k = (t - phase_start) / self.period_cycles;
+                return Some(match phase.mode {
+                    PhaseMode::Doubling => ops_at_phase_start.saturating_mul(1 << k.min(40)),
+                    PhaseMode::Constant => ops_at_phase_start,
+                    PhaseMode::Halving => (ops_at_phase_start >> k.min(40)).max(1),
+                });
+            }
+            // Advance the baseline to the end of this phase.
+            ops_at_phase_start = match phase.mode {
+                PhaseMode::Doubling => {
+                    ops_at_phase_start.saturating_mul(1 << periods_in_phase.saturating_sub(1).min(40))
+                }
+                PhaseMode::Constant => ops_at_phase_start,
+                PhaseMode::Halving => {
+                    (ops_at_phase_start >> periods_in_phase.saturating_sub(1).min(40)).max(1)
+                }
+            };
+            phase_start += phase.duration_cycles;
+        }
+        None
+    }
+
+    /// Total workload duration in cycles.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.phases.iter().map(|p| p.duration_cycles).sum()
+    }
+}
+
+/// A caller thread: issues its workload through its dispatcher.
+pub struct CallerActor {
+    id: usize,
+    dispatcher: Box<dyn Dispatcher>,
+    counters: Rc<RefCell<SimCounters>>,
+    spec: WorkloadSpec,
+    state: CallerState,
+    ops_issued: u64,
+    /// Phased mode: absolute start of the current period.
+    period_start: u64,
+    /// Phased mode: ops remaining in the current period.
+    period_remaining: u64,
+    /// Phased mode: workload start time.
+    started_at: Option<u64>,
+}
+
+impl std::fmt::Debug for CallerActor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CallerActor")
+            .field("id", &self.id)
+            .field("mechanism", &self.dispatcher.name())
+            .field("ops_issued", &self.ops_issued)
+            .finish()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CallerState {
+    /// Deciding what to do next.
+    Deciding,
+    /// Running the pre-compute of the pending call.
+    PreCompute,
+    /// Mid ocall dialogue.
+    InCall,
+    /// Sleeping out the rest of a phased period.
+    PeriodSleep,
+    /// Workload exhausted.
+    Finishing,
+}
+
+impl CallerActor {
+    /// Caller `id` running `spec` through `dispatcher`.
+    #[must_use]
+    pub fn new(
+        id: usize,
+        dispatcher: Box<dyn Dispatcher>,
+        counters: Rc<RefCell<SimCounters>>,
+        spec: WorkloadSpec,
+    ) -> Self {
+        CallerActor {
+            id,
+            dispatcher,
+            counters,
+            spec,
+            state: CallerState::Deciding,
+            ops_issued: 0,
+            period_start: 0,
+            period_remaining: 0,
+            started_at: None,
+        }
+    }
+
+    fn current_call(&self) -> CallDesc {
+        match &self.spec {
+            WorkloadSpec::ClosedLoop { pattern, .. } => {
+                pattern[(self.ops_issued % pattern.len() as u64) as usize]
+            }
+            WorkloadSpec::Phased(p) => p.call,
+        }
+    }
+
+    /// Decide the next action at `now`.
+    fn decide(&mut self, now: u64) -> Syscall {
+        match &self.spec {
+            WorkloadSpec::ClosedLoop { total_ops, .. } => {
+                if self.ops_issued >= *total_ops {
+                    return self.finish(now);
+                }
+                self.start_call(now)
+            }
+            WorkloadSpec::Phased(p) => {
+                let started = *self.started_at.get_or_insert(now);
+                let p = p.clone();
+                // Locate the period containing `now`.
+                let elapsed = now.saturating_sub(started);
+                let period_idx = elapsed / p.period_cycles;
+                let this_period_start = started + period_idx * p.period_cycles;
+                if self.period_remaining > 0 && self.period_start == this_period_start {
+                    self.period_remaining -= 1;
+                    return self.start_call(now);
+                }
+                // Either the quota is done or the period rolled over
+                // while a backlog was pending — unfinished quota is
+                // abandoned at the boundary (an overloaded open-loop
+                // client drops, it does not queue forever).
+                match p.ops_for_period(this_period_start - started) {
+                    None => self.finish(now),
+                    Some(ops) => {
+                        if self.period_start == this_period_start && self.ops_issued > 0 {
+                            // Current period quota done: sleep to the
+                            // next period boundary.
+                            let next = this_period_start + p.period_cycles;
+                            self.state = CallerState::PeriodSleep;
+                            return Syscall::Sleep(next.saturating_sub(now).max(1));
+                        }
+                        self.period_start = this_period_start;
+                        self.period_remaining = ops.saturating_sub(1);
+                        self.start_call(now)
+                    }
+                }
+            }
+        }
+    }
+
+    fn start_call(&mut self, now: u64) -> Syscall {
+        let call = self.current_call();
+        if call.pre_compute_cycles > 0 {
+            self.state = CallerState::PreCompute;
+            return Syscall::Compute(call.pre_compute_cycles);
+        }
+        self.state = CallerState::InCall;
+        self.dispatcher.begin(&call, now)
+    }
+
+    fn finish(&mut self, now: u64) -> Syscall {
+        self.state = CallerState::Finishing;
+        let mut c = self.counters.borrow_mut();
+        c.callers_live = c.callers_live.saturating_sub(1);
+        if c.callers_live == 0 || now > c.last_completion {
+            c.last_completion = now;
+        }
+        Syscall::Done
+    }
+}
+
+impl Actor for CallerActor {
+    fn step(&mut self, res: SyscallResult, now: u64) -> Syscall {
+        loop {
+            match self.state {
+                CallerState::Deciding => return self.decide(now),
+                CallerState::PreCompute => {
+                    let call = self.current_call();
+                    self.state = CallerState::InCall;
+                    return self.dispatcher.begin(&call, now);
+                }
+                CallerState::InCall => {
+                    let call = self.current_call();
+                    match self.dispatcher.advance(&call, res, now) {
+                        Step::Next(s) => return s,
+                        Step::Complete(path) => {
+                            self.counters.borrow_mut().record_call(self.id, call.class, path);
+                            self.ops_issued += 1;
+                            self.state = CallerState::Deciding;
+                            // Loop to decide the next action immediately.
+                        }
+                    }
+                }
+                CallerState::PeriodSleep => {
+                    self.state = CallerState::Deciding;
+                    // Loop back into decide at the new period.
+                }
+                CallerState::Finishing => return Syscall::Done,
+            }
+        }
+    }
+
+    fn group(&self) -> &str {
+        "caller"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(host: u64) -> CallDesc {
+        CallDesc {
+            host_cycles: host,
+            ..CallDesc::default()
+        }
+    }
+
+    #[test]
+    fn phased_ops_follow_double_constant_halve() {
+        // freq chosen so period = 10 cycles, phases of 40 cycles each
+        // (4 periods per phase).
+        let p = PhasedLoad {
+            call: call(1),
+            period_cycles: 10,
+            initial_ops: 2,
+            phases: vec![
+                Phase { duration_cycles: 40, mode: PhaseMode::Doubling },
+                Phase { duration_cycles: 40, mode: PhaseMode::Constant },
+                Phase { duration_cycles: 40, mode: PhaseMode::Halving },
+            ],
+        };
+        // Doubling: 2,4,8,16
+        assert_eq!(p.ops_for_period(0), Some(2));
+        assert_eq!(p.ops_for_period(10), Some(4));
+        assert_eq!(p.ops_for_period(35), Some(16));
+        // Constant at the doubling peak (16).
+        assert_eq!(p.ops_for_period(40), Some(16));
+        assert_eq!(p.ops_for_period(79), Some(16));
+        // Halving: 16,8,4,2
+        assert_eq!(p.ops_for_period(80), Some(16));
+        assert_eq!(p.ops_for_period(90), Some(8));
+        assert_eq!(p.ops_for_period(119), Some(2));
+        // Over.
+        assert_eq!(p.ops_for_period(120), None);
+        assert_eq!(p.total_cycles(), 120);
+    }
+
+    #[test]
+    fn halving_never_reaches_zero() {
+        let p = PhasedLoad {
+            call: call(1),
+            period_cycles: 10,
+            initial_ops: 2,
+            phases: vec![Phase { duration_cycles: 100, mode: PhaseMode::Halving }],
+        };
+        assert_eq!(p.ops_for_period(90), Some(1));
+    }
+
+    #[test]
+    fn paper_dynamic_shape() {
+        let p = PhasedLoad::paper_dynamic(call(1), 1_000_000, 8);
+        assert_eq!(p.period_cycles, 500_000);
+        assert_eq!(p.phases.len(), 3);
+        assert_eq!(p.total_cycles(), 60_000_000);
+        assert_eq!(p.ops_for_period(0), Some(8));
+    }
+
+    #[test]
+    fn closed_loop_caller_runs_to_completion() {
+        use crate::kernel::Kernel;
+        use crate::ocall::regular::RegularDispatcher;
+        use crate::ocall::CostModel;
+
+        let mut k = Kernel::new(2, 1_000_000, 140);
+        let counters = Rc::new(RefCell::new(SimCounters::new(1, 2)));
+        let spec = WorkloadSpec::ClosedLoop {
+            pattern: vec![call(100), call(100), call(100), call(200)],
+            total_ops: 8,
+        };
+        k.spawn(Box::new(CallerActor::new(
+            0,
+            Box::new(RegularDispatcher::new(CostModel::paper())),
+            Rc::clone(&counters),
+            spec,
+        )));
+        let end = k.run();
+        let c = counters.borrow();
+        assert_eq!(c.total_calls(), 8);
+        assert_eq!(c.regular, 8);
+        assert_eq!(c.ops_per_caller, vec![8]);
+        assert_eq!(c.callers_live, 0);
+        assert_eq!(c.last_completion, end);
+        // 8 calls: 6×(13500+100) + 2×(13500+200)
+        assert_eq!(end, 6 * 13_600 + 2 * 13_700);
+    }
+
+    #[test]
+    fn pattern_classes_are_recorded() {
+        use crate::kernel::Kernel;
+        use crate::ocall::regular::RegularDispatcher;
+        use crate::ocall::CostModel;
+
+        let mut k = Kernel::new(1, 1_000_000, 140);
+        let counters = Rc::new(RefCell::new(SimCounters::new(1, 2)));
+        let f = CallDesc { class: 0, ..call(0) };
+        let g = CallDesc { class: 1, ..call(50) };
+        let spec = WorkloadSpec::ClosedLoop {
+            pattern: vec![f, f, f, g],
+            total_ops: 12,
+        };
+        k.spawn(Box::new(CallerActor::new(
+            0,
+            Box::new(RegularDispatcher::new(CostModel::paper())),
+            Rc::clone(&counters),
+            spec,
+        )));
+        k.run();
+        assert_eq!(counters.borrow().ops_per_class, vec![9, 3], "α = 3β mix");
+    }
+
+    #[test]
+    fn phased_caller_sleeps_between_periods() {
+        use crate::kernel::Kernel;
+        use crate::ocall::regular::RegularDispatcher;
+        use crate::ocall::CostModel;
+
+        let mut k = Kernel::new(1, 10_000_000_000, 140);
+        let counters = Rc::new(RefCell::new(SimCounters::new(1, 1)));
+        // 2 periods of 1M cycles, 3 ops each, constant; each op ~13.6k
+        // cycles, so the caller sleeps most of each period.
+        let p = PhasedLoad {
+            call: call(100),
+            period_cycles: 1_000_000,
+            initial_ops: 3,
+            phases: vec![Phase { duration_cycles: 2_000_000, mode: PhaseMode::Constant }],
+        };
+        k.spawn(Box::new(CallerActor::new(
+            0,
+            Box::new(RegularDispatcher::new(CostModel::paper())),
+            Rc::clone(&counters),
+            WorkloadSpec::Phased(p),
+        )));
+        let end = k.run();
+        let c = counters.borrow();
+        assert_eq!(c.total_calls(), 6, "3 ops in each of 2 periods");
+        assert!(end >= 2_000_000, "caller must sleep out both periods, ended at {end}");
+        // Busy time far below elapsed time.
+        assert!(k.thread_cycles(crate::kernel::Tid(0)).0 < 200_000);
+    }
+}

@@ -1,0 +1,140 @@
+//! Protocol-level assertions on the mechanism models, checked through
+//! tiny single-purpose simulations (the dialogue state machines are
+//! driven by the real kernel, not mocked).
+
+use zc_des::ocall::hotcalls::HotcallsConfig;
+use zc_des::ocall::intel::IntelSimConfig;
+use zc_des::ocall::CallDesc;
+use zc_des::{Mechanism, SimConfig, WorkloadSpec, ZcSimParams};
+
+fn one_call(host: u64, payload: u64) -> WorkloadSpec {
+    WorkloadSpec::ClosedLoop {
+        pattern: vec![CallDesc {
+            host_cycles: host,
+            payload_bytes: payload,
+            ..CallDesc::default()
+        }],
+        total_ops: 1,
+    }
+}
+
+#[test]
+fn regular_call_duration_is_exactly_modelled() {
+    // One caller, one regular call: duration = T_es + copies + host.
+    let r = zc_des::run(&SimConfig::new(Mechanism::NoSl, vec![one_call(1_000, 160)], 1));
+    assert_eq!(r.duration_cycles, 13_500 + 10 + 1_000);
+}
+
+#[test]
+fn zc_switchless_call_is_cheaper_than_a_transition() {
+    // One caller, one short call, worker held active by a huge quantum:
+    // the switchless round trip must cost far less than T_es.
+    let r = zc_des::run(&SimConfig::new(
+        Mechanism::Zc(ZcSimParams { quantum_ms: 10_000, ..ZcSimParams::default() }),
+        vec![one_call(1_000, 160)],
+        1,
+    ));
+    assert_eq!(r.counters.switchless, 1);
+    assert!(
+        r.duration_cycles < 13_500,
+        "switchless call ({} cycles) must beat one transition",
+        r.duration_cycles
+    );
+    // handoff 600 + copy 10 + ring/pause latencies + host 1000 + collect.
+    assert!(r.duration_cycles > 1_900, "cost model floor: {}", r.duration_cycles);
+}
+
+#[test]
+fn intel_task_pool_overflow_falls_back() {
+    // 8 callers, 1 worker with a minimal pool and long calls: overflowing
+    // submissions must fall back rather than block forever.
+    let cfg = IntelSimConfig {
+        capacity: 1,
+        ..IntelSimConfig::new(1, [0])
+    };
+    let workloads = vec![
+        WorkloadSpec::ClosedLoop {
+            pattern: vec![CallDesc { host_cycles: 100_000, ..CallDesc::default() }],
+            total_ops: 5,
+        };
+        8
+    ];
+    let r = zc_des::run(&SimConfig::new(Mechanism::Intel(cfg), workloads, 1));
+    assert_eq!(r.counters.total_calls(), 40);
+    assert!(r.counters.fallback > 0, "pool of 1 must overflow under 8 callers");
+    assert!(r.counters.switchless > 0, "the worker must still serve some calls");
+}
+
+#[test]
+fn zc_pool_reallocation_is_charged() {
+    // Payloads sized to exhaust the worker pool every few calls.
+    let zp = ZcSimParams { pool_bytes: 1_000, quantum_ms: 10_000, ..ZcSimParams::default() };
+    let workloads = vec![WorkloadSpec::ClosedLoop {
+        pattern: vec![CallDesc { payload_bytes: 400, host_cycles: 500, ..CallDesc::default() }],
+        total_ops: 20,
+    }];
+    let r = zc_des::run(&SimConfig::new(Mechanism::Zc(zp), workloads, 1));
+    assert!(
+        r.counters.pool_reallocs >= 5,
+        "20 x 400 B through a 1 kB pool must realloc: {:?}",
+        r.counters
+    );
+}
+
+#[test]
+fn zc_oversized_payload_falls_back() {
+    let zp = ZcSimParams { pool_bytes: 100, quantum_ms: 10_000, ..ZcSimParams::default() };
+    let r = zc_des::run(&SimConfig::new(
+        Mechanism::Zc(zp),
+        vec![one_call(500, 10_000)],
+        1,
+    ));
+    assert_eq!(r.counters.fallback, 1, "payload > pool must fall back");
+    assert_eq!(r.counters.pool_reallocs, 0);
+}
+
+#[test]
+fn hotcalls_callers_queue_rather_than_fall_back() {
+    // 4 callers, 1 hot worker, long calls: everything is eventually
+    // served switchlessly; total time ~ serialized host time.
+    let r = zc_des::run(&SimConfig::new(
+        Mechanism::Hotcalls(HotcallsConfig::new(1, [0])),
+        vec![
+            WorkloadSpec::ClosedLoop {
+                pattern: vec![CallDesc { host_cycles: 50_000, ..CallDesc::default() }],
+                total_ops: 3,
+            };
+            4
+        ],
+        1,
+    ));
+    assert_eq!(r.counters.switchless, 12);
+    assert_eq!(r.counters.fallback, 0);
+    assert!(
+        r.duration_cycles >= 12 * 50_000,
+        "one worker serializes all 12 calls: {}",
+        r.duration_cycles
+    );
+}
+
+#[test]
+fn intel_default_rbf_outlasts_long_waits() {
+    // 2 callers, 1 worker, host 1M cycles (~7400 pauses of waiting for
+    // the second caller): with the default rbf (20k pauses) nobody falls
+    // back; with rbf=100 the blocked caller does.
+    let long_call = |rbf| {
+        let cfg = IntelSimConfig::new(1, [0]).with_rbf(rbf);
+        let workloads = vec![
+            WorkloadSpec::ClosedLoop {
+                pattern: vec![CallDesc { host_cycles: 1_000_000, ..CallDesc::default() }],
+                total_ops: 2,
+            };
+            2
+        ];
+        zc_des::run(&SimConfig::new(Mechanism::Intel(cfg), workloads, 1))
+    };
+    let default = long_call(20_000);
+    assert_eq!(default.counters.fallback, 0, "default rbf waits through 1M-cycle calls");
+    let tight = long_call(100);
+    assert!(tight.counters.fallback > 0, "rbf=100 must give up: {:?}", tight.counters);
+}

@@ -1,0 +1,473 @@
+//! The Intel switchless runtime: worker threads + caller protocol.
+//!
+//! See the crate docs for the mechanism. One deliberate deviation from
+//! the SDK: busy-wait loops issue `std::thread::yield_now()` every
+//! [`YIELD_EVERY`] modelled pauses so the protocol stays live on hosts
+//! with fewer cores than the modelled machine (the SDK assumes dedicated
+//! cores and never yields). On an idle multicore host the yield is a
+//! no-op; the modelled pause costs are charged either way.
+
+use crate::pool::TaskPool;
+use parking_lot::{Condvar, Mutex};
+use sgx_sim::{CpuAccounting, CycleClock, Enclave, RegularOcall};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use switchless_core::{
+    CallPath, CallStats, IntelConfig, OcallDispatcher, OcallRequest, OcallTable, SwitchlessError,
+};
+
+/// Busy-wait loops yield to the OS scheduler after this many pauses.
+pub const YIELD_EVERY: u32 = 64;
+
+#[derive(Debug)]
+struct Shared {
+    config: IntelConfig,
+    table: Arc<OcallTable>,
+    pool: TaskPool,
+    fallback: RegularOcall,
+    stats: Arc<CallStats>,
+    clock: CycleClock,
+    running: AtomicBool,
+    sleepers: AtomicUsize,
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+    accounting: Option<Arc<CpuAccounting>>,
+}
+
+impl Shared {
+    fn wake_one(&self) {
+        if self.sleepers.load(Ordering::Acquire) > 0 {
+            let _g = self.sleep_lock.lock();
+            self.sleep_cv.notify_one();
+        }
+    }
+
+    fn wake_all(&self) {
+        let _g = self.sleep_lock.lock();
+        self.sleep_cv.notify_all();
+    }
+}
+
+/// The Intel SGX SDK switchless mechanism (reimplementation).
+///
+/// Build with [`IntelSwitchless::start`]; dispatch ocalls through the
+/// [`OcallDispatcher`] impl; worker threads are joined on drop (or via
+/// [`IntelSwitchless::shutdown`]).
+///
+/// # Example
+///
+/// ```
+/// use intel_switchless::IntelSwitchless;
+/// use sgx_sim::Enclave;
+/// use switchless_core::{CpuSpec, IntelConfig, OcallDispatcher, OcallRequest, OcallTable};
+/// use std::sync::Arc;
+///
+/// let mut table = OcallTable::new();
+/// let nop = table.register("nop", |_: &[u64; 6], _: &[u8], _: &mut Vec<u8>| 0);
+/// let enclave = Enclave::new(CpuSpec::paper_machine());
+/// // `nop` is statically marked switchless with 1 worker.
+/// let rt = IntelSwitchless::start(IntelConfig::new(1, [nop]), Arc::new(table), enclave)?;
+/// let mut out = Vec::new();
+/// let (ret, _path) = rt.dispatch(&OcallRequest::new(nop, &[]), &[], &mut out)?;
+/// assert_eq!(ret, 0);
+/// rt.shutdown();
+/// # Ok::<(), switchless_core::SwitchlessError>(())
+/// ```
+#[derive(Debug)]
+pub struct IntelSwitchless {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl IntelSwitchless {
+    /// Start the runtime: spawns `config.num_uworkers` worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwitchlessError::InvalidConfig`] if switchless functions
+    /// are configured but no workers.
+    pub fn start(
+        config: IntelConfig,
+        table: Arc<OcallTable>,
+        enclave: Enclave,
+    ) -> Result<Self, SwitchlessError> {
+        Self::start_with_accounting(config, table, enclave, None)
+    }
+
+    /// [`start`](IntelSwitchless::start) with CPU accounting: each worker
+    /// registers a meter and classifies poll/execute cycles as busy and
+    /// sleep as idle.
+    pub fn start_with_accounting(
+        config: IntelConfig,
+        table: Arc<OcallTable>,
+        enclave: Enclave,
+        accounting: Option<Arc<CpuAccounting>>,
+    ) -> Result<Self, SwitchlessError> {
+        if !config.switchless_funcs.is_empty() && config.num_uworkers == 0 {
+            return Err(SwitchlessError::InvalidConfig(
+                "switchless functions configured but num_uworkers is 0".into(),
+            ));
+        }
+        let stats = Arc::new(CallStats::new());
+        let fallback =
+            RegularOcall::new(Arc::clone(&table), enclave.clone()).with_stats(Arc::clone(&stats));
+        let shared = Arc::new(Shared {
+            pool: TaskPool::new(config.task_pool_capacity),
+            config,
+            table,
+            fallback,
+            stats,
+            clock: enclave.clock(),
+            running: AtomicBool::new(true),
+            sleepers: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            accounting,
+        });
+        let workers = (0..shared.config.num_uworkers)
+            .map(|i| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("intel-uworker-{i}"))
+                    .spawn(move || worker_loop(&sh, i))
+                    .expect("failed to spawn intel switchless worker")
+            })
+            .collect();
+        Ok(IntelSwitchless {
+            shared,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// Shared call statistics.
+    #[must_use]
+    pub fn stats(&self) -> &Arc<CallStats> {
+        &self.shared.stats
+    }
+
+    /// The static configuration this runtime was started with.
+    #[must_use]
+    pub fn config(&self) -> &IntelConfig {
+        &self.shared.config
+    }
+
+    /// Stop workers and join them. Idempotent; also invoked on drop.
+    pub fn shutdown(&self) {
+        self.shared.running.store(false, Ordering::Release);
+        self.shared.wake_all();
+        let mut workers = self.workers.lock();
+        for h in workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for IntelSwitchless {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl OcallDispatcher for IntelSwitchless {
+    fn dispatch(
+        &self,
+        req: &OcallRequest,
+        payload_in: &[u8],
+        payload_out: &mut Vec<u8>,
+    ) -> Result<(i64, CallPath), SwitchlessError> {
+        let sh = &*self.shared;
+        if !sh.running.load(Ordering::Acquire) {
+            return Err(SwitchlessError::RuntimeStopped);
+        }
+        // Statically non-switchless functions always pay the transition.
+        if !sh.config.is_switchless(req.func) {
+            let ret = sh.fallback.execute_transition(req, payload_in, payload_out)?;
+            sh.stats.record_regular();
+            return Ok((ret, CallPath::Regular));
+        }
+        // Switchless attempt: claim a slot (pool full -> immediate
+        // fallback, as in the SDK).
+        let Some(idx) = sh.pool.claim() else {
+            let ret = sh.fallback.execute_transition(req, payload_in, payload_out)?;
+            sh.stats.record_fallback();
+            return Ok((ret, CallPath::Fallback));
+        };
+        sh.pool.submit(idx, *req, payload_in);
+        sh.wake_one();
+
+        // Busy-wait up to rbf pauses for a worker to accept.
+        let mut retries: u32 = 0;
+        while !sh.pool.is_accepted_or_done(idx) {
+            if retries >= sh.config.retries_before_fallback {
+                if sh.pool.cancel(idx) {
+                    let ret = sh.fallback.execute_transition(req, payload_in, payload_out)?;
+                    sh.stats.record_fallback();
+                    return Ok((ret, CallPath::Fallback));
+                }
+                // A worker accepted at the last moment: wait for it.
+                break;
+            }
+            sh.clock.pause();
+            retries += 1;
+            if retries.is_multiple_of(YIELD_EVERY) {
+                std::thread::yield_now();
+            }
+        }
+        // Accepted: busy-wait for completion (the caller thread pins its
+        // core, exactly as in the SDK).
+        let mut spins: u32 = 0;
+        while !sh.pool.is_done(idx) {
+            sh.clock.pause();
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(YIELD_EVERY) {
+                std::thread::yield_now();
+            }
+        }
+        let ret = sh.pool.collect(idx, |d| {
+            payload_out.clear();
+            payload_out.extend_from_slice(&d.payload_out);
+            d.reply.ret
+        });
+        sh.stats.record_switchless();
+        Ok((ret, CallPath::Switchless))
+    }
+}
+
+fn worker_loop(sh: &Shared, index: usize) {
+    let meter = sh
+        .accounting
+        .as_ref()
+        .map(|acc| acc.register(format!("intel-uworker-{index}")));
+    let mut poll_retries: u32 = 0;
+    let mut busy_since = sh.clock.now_cycles();
+    while sh.running.load(Ordering::Acquire) {
+        if let Some(idx) = sh.pool.accept() {
+            poll_retries = 0;
+            sh.pool.complete(idx, |data| {
+                let req = data.request.take().expect("accepted slot without request");
+                // Contain host-function panics (see zc worker): a dead
+                // worker would strand its caller mid-spin.
+                let ret = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    sh.table
+                        .invoke(&req, &data.payload_in, &mut data.payload_out)
+                        .unwrap_or(-1)
+                }))
+                .unwrap_or(-1);
+                data.reply.ret = ret;
+                data.reply.payload_len = data.payload_out.len() as u32;
+            });
+            continue;
+        }
+        if poll_retries < sh.config.retries_before_sleep {
+            sh.clock.pause();
+            poll_retries += 1;
+            if poll_retries.is_multiple_of(YIELD_EVERY) {
+                std::thread::yield_now();
+            }
+            continue;
+        }
+        // rbs exhausted: sleep until a submission wakes us.
+        poll_retries = 0;
+        if let Some(m) = &meter {
+            m.add_busy(sh.clock.now_cycles().saturating_sub(busy_since));
+        }
+        let slept_at = sh.clock.now_cycles();
+        {
+            let mut g = sh.sleep_lock.lock();
+            // Re-check under the lock to avoid a lost wakeup: a caller
+            // that submitted before we raised the sleeper count has
+            // nobody to wake.
+            if sh.running.load(Ordering::Acquire) && !sh.pool.has_pending() {
+                sh.sleepers.fetch_add(1, Ordering::AcqRel);
+                sh.sleep_cv.wait(&mut g);
+                sh.sleepers.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+        busy_since = sh.clock.now_cycles();
+        if let Some(m) = &meter {
+            m.add_idle(busy_since.saturating_sub(slept_at));
+        }
+    }
+    if let Some(m) = &meter {
+        m.add_busy(sh.clock.now_cycles().saturating_sub(busy_since));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use switchless_core::MAX_OCALL_ARGS;
+
+    fn table() -> (Arc<OcallTable>, switchless_core::FuncId, switchless_core::FuncId) {
+        let mut t = OcallTable::new();
+        let echo = t.register(
+            "echo",
+            |_: &[u64; MAX_OCALL_ARGS], pin: &[u8], pout: &mut Vec<u8>| {
+                pout.extend_from_slice(pin);
+                pin.len() as i64
+            },
+        );
+        let add = t.register(
+            "add",
+            |args: &[u64; MAX_OCALL_ARGS], _: &[u8], _: &mut Vec<u8>| (args[0] + args[1]) as i64,
+        );
+        (Arc::new(t), echo, add)
+    }
+
+    fn enclave() -> Enclave {
+        Enclave::new(switchless_core::CpuSpec::paper_machine())
+    }
+
+    #[test]
+    fn non_switchless_function_goes_regular() {
+        let (t, echo, add) = table();
+        let rt = IntelSwitchless::start(IntelConfig::new(1, [echo]), t, enclave()).unwrap();
+        let mut out = Vec::new();
+        let (ret, path) = rt.dispatch(&OcallRequest::new(add, &[1, 2]), &[], &mut out).unwrap();
+        assert_eq!(ret, 3);
+        assert_eq!(path, CallPath::Regular);
+        assert_eq!(rt.stats().snapshot().regular, 1);
+    }
+
+    #[test]
+    fn switchless_function_executes_correctly() {
+        let (t, echo, _) = table();
+        let rt = IntelSwitchless::start(IntelConfig::new(2, [echo]), t, enclave()).unwrap();
+        let mut out = Vec::new();
+        for i in 0..20 {
+            let payload = vec![i as u8; 64];
+            let (ret, path) = rt
+                .dispatch(&OcallRequest::new(echo, &[]), &payload, &mut out)
+                .unwrap();
+            assert_eq!(ret, 64);
+            assert_eq!(out, payload);
+            assert!(
+                matches!(path, CallPath::Switchless | CallPath::Fallback),
+                "switchless-configured call must go switchless or fall back"
+            );
+        }
+        let snap = rt.stats().snapshot();
+        assert_eq!(snap.total_calls(), 20);
+        assert_eq!(snap.regular, 0);
+    }
+
+    #[test]
+    fn zero_workers_with_switchless_funcs_is_invalid() {
+        let (t, echo, _) = table();
+        let err = IntelSwitchless::start(IntelConfig::new(0, [echo]), t, enclave()).unwrap_err();
+        assert!(matches!(err, SwitchlessError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn zero_workers_without_switchless_funcs_is_fine() {
+        let (t, _, add) = table();
+        let rt = IntelSwitchless::start(IntelConfig::new(0, []), t, enclave()).unwrap();
+        let mut out = Vec::new();
+        let (ret, path) = rt.dispatch(&OcallRequest::new(add, &[5, 5]), &[], &mut out).unwrap();
+        assert_eq!(ret, 10);
+        assert_eq!(path, CallPath::Regular);
+    }
+
+    #[test]
+    fn tiny_rbf_forces_fallback_when_workers_are_busy() {
+        let (t, echo, _) = table();
+        // rbf = 0: the caller gives up immediately unless a worker
+        // accepts between submit and the first check.
+        let cfg = IntelConfig::new(1, [echo]).with_retries_before_fallback(0);
+        let rt = IntelSwitchless::start(cfg, t, enclave()).unwrap();
+        let mut out = Vec::new();
+        let mut fallbacks = 0;
+        for _ in 0..50 {
+            let (ret, path) = rt.dispatch(&OcallRequest::new(echo, &[]), b"x", &mut out).unwrap();
+            assert_eq!(ret, 1);
+            if path == CallPath::Fallback {
+                fallbacks += 1;
+            }
+        }
+        let snap = rt.stats().snapshot();
+        assert_eq!(snap.fallback, fallbacks);
+        assert_eq!(snap.total_calls(), 50);
+    }
+
+    #[test]
+    fn dispatch_after_shutdown_errors() {
+        let (t, echo, _) = table();
+        let rt = IntelSwitchless::start(IntelConfig::new(1, [echo]), t, enclave()).unwrap();
+        rt.shutdown();
+        let mut out = Vec::new();
+        let err = rt.dispatch(&OcallRequest::new(echo, &[]), &[], &mut out).unwrap_err();
+        assert_eq!(err, SwitchlessError::RuntimeStopped);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let (t, echo, _) = table();
+        let rt = IntelSwitchless::start(IntelConfig::new(2, [echo]), t, enclave()).unwrap();
+        rt.shutdown();
+        rt.shutdown();
+        drop(rt); // must not hang or panic
+    }
+
+    #[test]
+    fn workers_sleep_and_wake() {
+        let (t, echo, _) = table();
+        // rbs = 0: workers sleep immediately when the pool is empty.
+        let cfg = IntelConfig::new(1, [echo])
+            .with_retries_before_sleep(0)
+            .with_retries_before_fallback(2_000_000);
+        let rt = IntelSwitchless::start(cfg, t, enclave()).unwrap();
+        // Give the worker a moment to go to sleep.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut out = Vec::new();
+        let (ret, path) = rt.dispatch(&OcallRequest::new(echo, &[]), b"wake", &mut out).unwrap();
+        assert_eq!(ret, 4);
+        assert_eq!(out, b"wake");
+        assert_eq!(path, CallPath::Switchless, "sleeping worker must be woken");
+    }
+
+    #[test]
+    fn concurrent_callers_all_complete() {
+        let (t, echo, _) = table();
+        let cfg = IntelConfig::new(2, [echo]).with_retries_before_fallback(1_000);
+        let rt = Arc::new(IntelSwitchless::start(cfg, t, enclave()).unwrap());
+        let mut handles = Vec::new();
+        for c in 0..4 {
+            let rt = Arc::clone(&rt);
+            handles.push(std::thread::spawn(move || {
+                let mut out = Vec::new();
+                for i in 0..25 {
+                    let payload = vec![(c * 25 + i) as u8; 16];
+                    let (ret, _) = rt
+                        .dispatch(&OcallRequest::new(echo, &[]), &payload, &mut out)
+                        .unwrap();
+                    assert_eq!(ret, 16);
+                    assert_eq!(out, payload, "caller {c} iteration {i} corrupted");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rt.stats().snapshot().total_calls(), 100);
+    }
+
+    #[test]
+    fn accounting_meters_register_workers() {
+        let (t, echo, _) = table();
+        let acc = Arc::new(CpuAccounting::new());
+        let rt = IntelSwitchless::start_with_accounting(
+            IntelConfig::new(2, [echo]),
+            t,
+            enclave(),
+            Some(Arc::clone(&acc)),
+        )
+        .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        rt.shutdown();
+        let per = acc.per_thread();
+        assert_eq!(per.len(), 2);
+        assert!(per.iter().all(|(name, _, _)| name.starts_with("intel-uworker-")));
+        assert!(acc.total_busy_cycles() > 0, "pollers must record busy time");
+    }
+}

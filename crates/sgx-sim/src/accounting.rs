@@ -1,0 +1,215 @@
+//! Per-thread busy/idle CPU accounting.
+//!
+//! Reproduces the paper's CPU-utilisation metric (§V-A2), which on the
+//! real system comes from `/proc/stat`:
+//!
+//! ```text
+//! %cpu = (user + nice + system) / (user + nice + system + idle) * 100
+//! ```
+//!
+//! Here each participating thread owns a [`ThreadMeter`] and classifies
+//! its own elapsed cycles as *busy* (useful work **or** busy-waiting — a
+//! spinning core is a busy core, exactly as the kernel sees it) or *idle*
+//! (sleeping/parked). The registry aggregates across threads and
+//! normalises by the machine's logical CPU count.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct Meter {
+    name: String,
+    busy_cycles: AtomicU64,
+    idle_cycles: AtomicU64,
+}
+
+/// Registry of thread meters for one experiment run.
+#[derive(Debug, Default)]
+pub struct CpuAccounting {
+    meters: Mutex<Vec<Arc<Meter>>>,
+}
+
+impl CpuAccounting {
+    /// New empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a thread under `name`, returning its meter handle.
+    pub fn register(&self, name: impl Into<String>) -> ThreadMeter {
+        let meter = Arc::new(Meter {
+            name: name.into(),
+            ..Meter::default()
+        });
+        self.meters.lock().push(Arc::clone(&meter));
+        ThreadMeter { meter }
+    }
+
+    /// Sum of busy cycles across all registered threads.
+    #[must_use]
+    pub fn total_busy_cycles(&self) -> u64 {
+        self.meters
+            .lock()
+            .iter()
+            .map(|m| m.busy_cycles.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Sum of idle cycles across all registered threads.
+    #[must_use]
+    pub fn total_idle_cycles(&self) -> u64 {
+        self.meters
+            .lock()
+            .iter()
+            .map(|m| m.idle_cycles.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Machine-wide CPU utilisation in percent over an interval of
+    /// `interval_cycles` per core, for a machine with `logical_cpus`
+    /// cores: `busy / (logical_cpus * interval)`.
+    ///
+    /// Threads beyond the core count cannot make the result exceed 100 %:
+    /// it is clamped, mirroring a fully busy machine.
+    #[must_use]
+    pub fn cpu_percent(&self, logical_cpus: usize, interval_cycles: u64) -> f64 {
+        let capacity = (logical_cpus as u64).saturating_mul(interval_cycles);
+        if capacity == 0 {
+            return 0.0;
+        }
+        let busy = self.total_busy_cycles();
+        (busy as f64 / capacity as f64 * 100.0).min(100.0)
+    }
+
+    /// Per-thread `(name, busy_cycles, idle_cycles)` snapshot.
+    #[must_use]
+    pub fn per_thread(&self) -> Vec<(String, u64, u64)> {
+        self.meters
+            .lock()
+            .iter()
+            .map(|m| {
+                (
+                    m.name.clone(),
+                    m.busy_cycles.load(Ordering::Relaxed),
+                    m.idle_cycles.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Handle a thread uses to classify its own elapsed cycles.
+///
+/// Cloneable; clones feed the same underlying meter.
+#[derive(Debug, Clone)]
+pub struct ThreadMeter {
+    meter: Arc<Meter>,
+}
+
+impl ThreadMeter {
+    /// Record `cycles` of useful work or busy-waiting.
+    pub fn add_busy(&self, cycles: u64) {
+        self.meter.busy_cycles.fetch_add(cycles, Ordering::Relaxed);
+    }
+
+    /// Record `cycles` spent sleeping or parked.
+    pub fn add_idle(&self, cycles: u64) {
+        self.meter.idle_cycles.fetch_add(cycles, Ordering::Relaxed);
+    }
+
+    /// Busy cycles recorded so far.
+    #[must_use]
+    pub fn busy_cycles(&self) -> u64 {
+        self.meter.busy_cycles.load(Ordering::Relaxed)
+    }
+
+    /// Idle cycles recorded so far.
+    #[must_use]
+    pub fn idle_cycles(&self) -> u64 {
+        self.meter.idle_cycles.load(Ordering::Relaxed)
+    }
+
+    /// Thread name given at registration.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.meter.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_accumulate() {
+        let acc = CpuAccounting::new();
+        let m = acc.register("worker-0");
+        m.add_busy(100);
+        m.add_busy(50);
+        m.add_idle(850);
+        assert_eq!(m.busy_cycles(), 150);
+        assert_eq!(m.idle_cycles(), 850);
+        assert_eq!(acc.total_busy_cycles(), 150);
+        assert_eq!(acc.total_idle_cycles(), 850);
+        assert_eq!(m.name(), "worker-0");
+    }
+
+    #[test]
+    fn cpu_percent_matches_proc_stat_formula() {
+        let acc = CpuAccounting::new();
+        let a = acc.register("a");
+        let b = acc.register("b");
+        // Two threads on a 4-core machine over 1000 cycles: one fully
+        // busy, one half busy -> 1500 busy / 4000 capacity = 37.5 %.
+        a.add_busy(1000);
+        b.add_busy(500);
+        b.add_idle(500);
+        let pct = acc.cpu_percent(4, 1000);
+        assert!((pct - 37.5).abs() < 1e-9, "got {pct}");
+    }
+
+    #[test]
+    fn cpu_percent_clamps_at_100() {
+        let acc = CpuAccounting::new();
+        let m = acc.register("hog");
+        m.add_busy(10_000);
+        assert_eq!(acc.cpu_percent(1, 1_000), 100.0);
+    }
+
+    #[test]
+    fn cpu_percent_zero_interval_is_zero() {
+        let acc = CpuAccounting::new();
+        assert_eq!(acc.cpu_percent(4, 0), 0.0);
+        assert_eq!(acc.cpu_percent(0, 100), 0.0);
+    }
+
+    #[test]
+    fn clones_share_a_meter() {
+        let acc = CpuAccounting::new();
+        let m = acc.register("t");
+        let m2 = m.clone();
+        m.add_busy(10);
+        m2.add_busy(5);
+        assert_eq!(m.busy_cycles(), 15);
+        // Only one meter registered.
+        assert_eq!(acc.per_thread().len(), 1);
+    }
+
+    #[test]
+    fn per_thread_snapshot() {
+        let acc = CpuAccounting::new();
+        let a = acc.register("x");
+        a.add_busy(7);
+        let snap = acc.per_thread();
+        assert_eq!(snap, vec![("x".to_string(), 7, 0)]);
+    }
+
+    #[test]
+    fn accounting_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CpuAccounting>();
+        assert_send_sync::<ThreadMeter>();
+    }
+}

@@ -1,0 +1,150 @@
+//! Cycle clock and cost injection for the modelled CPU.
+//!
+//! The clock maps host wall-clock time onto cycles of the *modelled*
+//! machine (`CpuSpec::freq_hz`). Injected costs — enclave transitions,
+//! `pause` instructions — are realised as calibrated busy-spins so they
+//! consume real CPU exactly like the hardware they stand in for.
+
+use std::sync::Arc;
+use std::time::Instant;
+use switchless_core::cpu::CpuSpec;
+
+/// Clock measuring elapsed cycles of the modelled CPU and providing
+/// cost-injection spins.
+///
+/// Cheap to clone ([`Arc`] inside); all methods take `&self` and are
+/// thread-safe.
+///
+/// # Example
+///
+/// ```
+/// use sgx_sim::CycleClock;
+/// use switchless_core::CpuSpec;
+///
+/// let clock = CycleClock::new(CpuSpec::paper_machine());
+/// let t0 = clock.now_cycles();
+/// clock.spin_cycles(10_000); // burn ~10k modelled cycles (~2.6 us)
+/// assert!(clock.now_cycles() - t0 >= 10_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CycleClock {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    spec: CpuSpec,
+    epoch: Instant,
+}
+
+impl CycleClock {
+    /// New clock for the given machine model; cycle zero is "now".
+    #[must_use]
+    pub fn new(spec: CpuSpec) -> Self {
+        CycleClock {
+            inner: Arc::new(Inner {
+                spec,
+                epoch: Instant::now(),
+            }),
+        }
+    }
+
+    /// Machine model this clock measures.
+    #[must_use]
+    pub fn spec(&self) -> &CpuSpec {
+        &self.inner.spec
+    }
+
+    /// Cycles of the modelled CPU elapsed since clock creation.
+    #[must_use]
+    pub fn now_cycles(&self) -> u64 {
+        let ns = self.inner.epoch.elapsed().as_nanos();
+        // cycles = ns * freq / 1e9, in u128 to avoid overflow.
+        (ns * u128::from(self.inner.spec.freq_hz) / 1_000_000_000) as u64
+    }
+
+    /// Busy-spin until `cycles` modelled cycles have elapsed, consuming
+    /// host CPU for the whole duration (cost injection).
+    pub fn spin_cycles(&self, cycles: u64) {
+        let start = Instant::now();
+        let target_ns = u128::from(cycles) * 1_000_000_000 / u128::from(self.inner.spec.freq_hz);
+        while start.elapsed().as_nanos() < target_ns {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// One modelled `asm("pause")`: spins for `CpuSpec::pause_cycles`.
+    pub fn pause(&self) {
+        self.spin_cycles(self.inner.spec.pause_cycles);
+    }
+
+    /// One enclave transition round trip: spins for
+    /// `CpuSpec::t_es_cycles` (the paper's `T_es` ≈ 13 500 cycles).
+    pub fn enclave_transition(&self) {
+        self.spin_cycles(self.inner.spec.t_es_cycles);
+    }
+
+    /// Elapsed seconds of the modelled machine since clock creation.
+    #[must_use]
+    pub fn now_secs(&self) -> f64 {
+        self.inner.spec.cycles_to_secs(self.now_cycles())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_advance_monotonically() {
+        let clock = CycleClock::new(CpuSpec::paper_machine());
+        let a = clock.now_cycles();
+        let b = clock.now_cycles();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn spin_consumes_at_least_requested_cycles() {
+        let clock = CycleClock::new(CpuSpec::paper_machine());
+        let t0 = clock.now_cycles();
+        clock.spin_cycles(100_000); // ~26 us
+        let dt = clock.now_cycles() - t0;
+        assert!(dt >= 100_000, "spun only {dt} cycles");
+        // Sanity bound: should not be wildly more (allow generous 100x
+        // slack for CI preemption).
+        assert!(dt < 10_000_000, "spun {dt} cycles, far over target");
+    }
+
+    #[test]
+    fn pause_is_short() {
+        let clock = CycleClock::new(CpuSpec::paper_machine());
+        let t0 = clock.now_cycles();
+        for _ in 0..10 {
+            clock.pause();
+        }
+        assert!(clock.now_cycles() - t0 >= 10 * 140);
+    }
+
+    #[test]
+    fn transition_costs_t_es() {
+        let clock = CycleClock::new(CpuSpec::paper_machine());
+        let t0 = clock.now_cycles();
+        clock.enclave_transition();
+        assert!(clock.now_cycles() - t0 >= 13_500);
+    }
+
+    #[test]
+    fn clones_share_the_epoch() {
+        let clock = CycleClock::new(CpuSpec::paper_machine());
+        let c2 = clock.clone();
+        clock.spin_cycles(50_000);
+        assert!(c2.now_cycles() >= 50_000);
+    }
+
+    #[test]
+    fn now_secs_tracks_cycles() {
+        let clock = CycleClock::new(CpuSpec::paper_machine());
+        clock.spin_cycles(38_000); // 10 us modelled
+        assert!(clock.now_secs() >= 9e-6);
+    }
+}

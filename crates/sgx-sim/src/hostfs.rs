@@ -1,0 +1,566 @@
+//! In-memory untrusted host filesystem.
+//!
+//! The paper's workloads funnel all file I/O through ocalls: kissdb uses
+//! `fseeko`/`fread`/`fwrite`, the OpenSSL benchmark adds
+//! `fopen`/`fclose`, and the lmbench benchmark reads `/dev/zero` and
+//! writes `/dev/null`. [`HostFs`] provides those operations over
+//! deterministic in-memory files (plus the two special devices), and
+//! [`FsFuncs::register`] exposes them as ocall host functions.
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+use switchless_core::{FuncId, OcallTable, MAX_OCALL_ARGS};
+
+/// Error from a host filesystem operation (bad descriptor, missing
+/// file, mode violation, or invalid position). The ocall layer flattens
+/// this to an errno-style `-1`, like the real untrusted runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FsError;
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("host filesystem operation failed")
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Open mode for [`HostFs::open`], mirroring `fopen` mode strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u64)]
+pub enum OpenMode {
+    /// `"r"` — read-only; fails if the file does not exist.
+    Read = 0,
+    /// `"w"` — write-only; creates or truncates.
+    Write = 1,
+    /// `"a"` — append; creates if missing.
+    Append = 2,
+    /// `"r+"`-style read/write; creates if missing.
+    ReadWrite = 3,
+}
+
+impl OpenMode {
+    /// Decode from an ocall scalar argument.
+    #[must_use]
+    pub fn from_u64(v: u64) -> Option<OpenMode> {
+        match v {
+            0 => Some(OpenMode::Read),
+            1 => Some(OpenMode::Write),
+            2 => Some(OpenMode::Append),
+            3 => Some(OpenMode::ReadWrite),
+            _ => None,
+        }
+    }
+}
+
+/// Whence for [`HostFs::seek`], matching `fseeko`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum Whence {
+    /// `SEEK_SET` — absolute position.
+    Set = 0,
+    /// `SEEK_CUR` — relative to the current position.
+    Cur = 1,
+    /// `SEEK_END` — relative to the end of the file.
+    End = 2,
+}
+
+impl Whence {
+    /// Decode from an ocall scalar argument.
+    #[must_use]
+    pub fn from_u64(v: u64) -> Option<Whence> {
+        match v {
+            0 => Some(Whence::Set),
+            1 => Some(Whence::Cur),
+            2 => Some(Whence::End),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum FileKind {
+    Regular(Arc<RwLock<Vec<u8>>>),
+    DevZero,
+    DevNull,
+}
+
+#[derive(Debug)]
+struct Handle {
+    kind: FileKind,
+    pos: u64,
+    readable: bool,
+    writable: bool,
+}
+
+#[derive(Debug, Default)]
+struct FsInner {
+    files: HashMap<String, Arc<RwLock<Vec<u8>>>>,
+    handles: Vec<Option<Handle>>,
+    free_fds: Vec<usize>,
+    // Telemetry used by workloads/tests.
+    reads: u64,
+    writes: u64,
+    seeks: u64,
+}
+
+/// Thread-safe in-memory filesystem (cheaply cloneable handle).
+#[derive(Debug, Clone, Default)]
+pub struct HostFs {
+    inner: Arc<Mutex<FsInner>>,
+}
+
+impl HostFs {
+    /// New empty filesystem (special devices are always present).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open `path` with `mode`, returning a file descriptor.
+    ///
+    /// `/dev/zero` and `/dev/null` are built-in devices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] when opening a missing file read-only.
+    pub fn open(&self, path: &str, mode: OpenMode) -> Result<u64, FsError> {
+        let mut fs = self.inner.lock();
+        let kind = match path {
+            "/dev/zero" => FileKind::DevZero,
+            "/dev/null" => FileKind::DevNull,
+            _ => {
+                let exists = fs.files.contains_key(path);
+                match mode {
+                    OpenMode::Read if !exists => return Err(FsError),
+                    OpenMode::Write => {
+                        let f = Arc::new(RwLock::new(Vec::new()));
+                        fs.files.insert(path.to_string(), Arc::clone(&f));
+                        FileKind::Regular(f)
+                    }
+                    _ => {
+                        let f = fs
+                            .files
+                            .entry(path.to_string())
+                            .or_insert_with(|| Arc::new(RwLock::new(Vec::new())));
+                        FileKind::Regular(Arc::clone(f))
+                    }
+                }
+            }
+        };
+        let pos = match (&kind, mode) {
+            (FileKind::Regular(f), OpenMode::Append) => f.read().len() as u64,
+            _ => 0,
+        };
+        let handle = Handle {
+            kind,
+            pos,
+            readable: matches!(mode, OpenMode::Read | OpenMode::ReadWrite),
+            writable: !matches!(mode, OpenMode::Read),
+        };
+        let fd = if let Some(fd) = fs.free_fds.pop() {
+            fs.handles[fd] = Some(handle);
+            fd
+        } else {
+            fs.handles.push(Some(handle));
+            fs.handles.len() - 1
+        };
+        Ok(fd as u64)
+    }
+
+    /// Close `fd`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] for an invalid descriptor.
+    pub fn close(&self, fd: u64) -> Result<(), FsError> {
+        let mut fs = self.inner.lock();
+        let slot = fs.handles.get_mut(fd as usize).ok_or(FsError)?;
+        if slot.take().is_none() {
+            return Err(FsError);
+        }
+        fs.free_fds.push(fd as usize);
+        Ok(())
+    }
+
+    /// Reposition `fd` (like `fseeko`), returning the new position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] for an invalid descriptor or a seek before the
+    /// start of the file.
+    pub fn seek(&self, fd: u64, offset: i64, whence: Whence) -> Result<u64, FsError> {
+        let mut fs = self.inner.lock();
+        fs.seeks += 1;
+        let handle = fs.handles.get_mut(fd as usize).ok_or(FsError)?.as_mut().ok_or(FsError)?;
+        let base: i64 = match (whence, &handle.kind) {
+            (Whence::Set, _) => 0,
+            (Whence::Cur, _) => handle.pos as i64,
+            (Whence::End, FileKind::Regular(f)) => f.read().len() as i64,
+            (Whence::End, _) => 0,
+        };
+        let new = base.checked_add(offset).filter(|&p| p >= 0).ok_or(FsError)?;
+        handle.pos = new as u64;
+        Ok(handle.pos)
+    }
+
+    /// Read up to `len` bytes at the current position into `out`
+    /// (appended), returning the byte count. `/dev/zero` always yields
+    /// `len` zero bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] for an invalid or non-readable descriptor.
+    pub fn read(&self, fd: u64, len: usize, out: &mut Vec<u8>) -> Result<usize, FsError> {
+        let mut fs = self.inner.lock();
+        fs.reads += 1;
+        let handle = fs.handles.get_mut(fd as usize).ok_or(FsError)?.as_mut().ok_or(FsError)?;
+        if !handle.readable {
+            return Err(FsError);
+        }
+        match &handle.kind {
+            FileKind::DevZero => {
+                out.resize(out.len() + len, 0);
+                Ok(len)
+            }
+            FileKind::DevNull => Ok(0),
+            FileKind::Regular(f) => {
+                let data = f.read();
+                let start = (handle.pos as usize).min(data.len());
+                let n = len.min(data.len() - start);
+                out.extend_from_slice(&data[start..start + n]);
+                handle.pos += n as u64;
+                Ok(n)
+            }
+        }
+    }
+
+    /// Write `data` at the current position, returning the byte count.
+    /// `/dev/null` discards everything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError`] for an invalid or non-writable descriptor.
+    pub fn write(&self, fd: u64, data: &[u8]) -> Result<usize, FsError> {
+        let mut fs = self.inner.lock();
+        fs.writes += 1;
+        let handle = fs.handles.get_mut(fd as usize).ok_or(FsError)?.as_mut().ok_or(FsError)?;
+        if !handle.writable {
+            return Err(FsError);
+        }
+        match &handle.kind {
+            FileKind::DevNull | FileKind::DevZero => Ok(data.len()),
+            FileKind::Regular(f) => {
+                let mut file = f.write();
+                let pos = handle.pos as usize;
+                if pos > file.len() {
+                    file.resize(pos, 0); // sparse hole filled with zeros
+                }
+                let overlap = (file.len() - pos).min(data.len());
+                file[pos..pos + overlap].copy_from_slice(&data[..overlap]);
+                file.extend_from_slice(&data[overlap..]);
+                handle.pos += data.len() as u64;
+                Ok(data.len())
+            }
+        }
+    }
+
+    /// Size of a regular file, if it exists.
+    #[must_use]
+    pub fn file_size(&self, path: &str) -> Option<usize> {
+        self.inner.lock().files.get(path).map(|f| f.read().len())
+    }
+
+    /// Full contents of a regular file, if it exists (test/diagnostic
+    /// helper).
+    #[must_use]
+    pub fn file_contents(&self, path: &str) -> Option<Vec<u8>> {
+        self.inner.lock().files.get(path).map(|f| f.read().clone())
+    }
+
+    /// Create/overwrite a file with `data` (workload setup helper).
+    pub fn put_file(&self, path: &str, data: Vec<u8>) {
+        self.inner
+            .lock()
+            .files
+            .insert(path.to_string(), Arc::new(RwLock::new(data)));
+    }
+
+    /// `(reads, writes, seeks)` operation counters.
+    #[must_use]
+    pub fn op_counts(&self) -> (u64, u64, u64) {
+        let fs = self.inner.lock();
+        (fs.reads, fs.writes, fs.seeks)
+    }
+}
+
+/// Function ids of the filesystem ocalls registered by
+/// [`FsFuncs::register`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FsFuncs {
+    /// `fopen(mode; payload=path) -> fd | -1`.
+    pub fopen: FuncId,
+    /// `fclose(fd) -> 0 | -1`.
+    pub fclose: FuncId,
+    /// `fseeko(fd, offset, whence) -> new_pos | -1`.
+    pub fseeko: FuncId,
+    /// `fread(fd, len; payload_out=bytes) -> n | -1`.
+    pub fread: FuncId,
+    /// `fwrite(fd; payload=data) -> n | -1`.
+    pub fwrite: FuncId,
+}
+
+impl FsFuncs {
+    /// Register the five filesystem ocalls against `fs`.
+    pub fn register(table: &mut OcallTable, fs: &HostFs) -> FsFuncs {
+        let f = fs.clone();
+        let fopen = table.register(
+            "fopen",
+            move |args: &[u64; MAX_OCALL_ARGS], pin: &[u8], _out: &mut Vec<u8>| {
+                let Some(mode) = OpenMode::from_u64(args[0]) else {
+                    return -1;
+                };
+                let Ok(path) = std::str::from_utf8(pin) else {
+                    return -1;
+                };
+                f.open(path, mode).map_or(-1, |fd| fd as i64)
+            },
+        );
+        let f = fs.clone();
+        let fclose = table.register(
+            "fclose",
+            move |args: &[u64; MAX_OCALL_ARGS], _: &[u8], _: &mut Vec<u8>| {
+                f.close(args[0]).map_or(-1, |()| 0)
+            },
+        );
+        let f = fs.clone();
+        let fseeko = table.register(
+            "fseeko",
+            move |args: &[u64; MAX_OCALL_ARGS], _: &[u8], _: &mut Vec<u8>| {
+                let Some(whence) = Whence::from_u64(args[2]) else {
+                    return -1;
+                };
+                f.seek(args[0], args[1] as i64, whence).map_or(-1, |p| p as i64)
+            },
+        );
+        let f = fs.clone();
+        let fread = table.register(
+            "fread",
+            move |args: &[u64; MAX_OCALL_ARGS], _: &[u8], out: &mut Vec<u8>| {
+                f.read(args[0], args[1] as usize, out).map_or(-1, |n| n as i64)
+            },
+        );
+        let f = fs.clone();
+        let fwrite = table.register(
+            "fwrite",
+            move |args: &[u64; MAX_OCALL_ARGS], pin: &[u8], _: &mut Vec<u8>| {
+                f.write(args[0], pin).map_or(-1, |n| n as i64)
+            },
+        );
+        FsFuncs {
+            fopen,
+            fclose,
+            fseeko,
+            fread,
+            fwrite,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use switchless_core::OcallRequest;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let fs = HostFs::new();
+        let fd = fs.open("/tmp/a", OpenMode::Write).unwrap();
+        assert_eq!(fs.write(fd, b"hello world").unwrap(), 11);
+        fs.close(fd).unwrap();
+
+        let fd = fs.open("/tmp/a", OpenMode::Read).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(fs.read(fd, 5, &mut out).unwrap(), 5);
+        assert_eq!(out, b"hello");
+        assert_eq!(fs.read(fd, 100, &mut out).unwrap(), 6);
+        assert_eq!(out, b"hello world");
+        assert_eq!(fs.read(fd, 10, &mut out).unwrap(), 0, "EOF");
+        fs.close(fd).unwrap();
+    }
+
+    #[test]
+    fn read_missing_file_fails() {
+        let fs = HostFs::new();
+        assert!(fs.open("/missing", OpenMode::Read).is_err());
+    }
+
+    #[test]
+    fn write_truncates_existing() {
+        let fs = HostFs::new();
+        fs.put_file("/f", b"0123456789".to_vec());
+        let fd = fs.open("/f", OpenMode::Write).unwrap();
+        fs.write(fd, b"ab").unwrap();
+        fs.close(fd).unwrap();
+        assert_eq!(fs.file_contents("/f").unwrap(), b"ab");
+    }
+
+    #[test]
+    fn append_positions_at_end() {
+        let fs = HostFs::new();
+        fs.put_file("/f", b"abc".to_vec());
+        let fd = fs.open("/f", OpenMode::Append).unwrap();
+        fs.write(fd, b"def").unwrap();
+        fs.close(fd).unwrap();
+        assert_eq!(fs.file_contents("/f").unwrap(), b"abcdef");
+    }
+
+    #[test]
+    fn seek_set_cur_end() {
+        let fs = HostFs::new();
+        fs.put_file("/f", b"0123456789".to_vec());
+        let fd = fs.open("/f", OpenMode::ReadWrite).unwrap();
+        assert_eq!(fs.seek(fd, 4, Whence::Set).unwrap(), 4);
+        assert_eq!(fs.seek(fd, 2, Whence::Cur).unwrap(), 6);
+        assert_eq!(fs.seek(fd, -1, Whence::End).unwrap(), 9);
+        let mut out = Vec::new();
+        fs.read(fd, 1, &mut out).unwrap();
+        assert_eq!(out, b"9");
+        assert!(fs.seek(fd, -100, Whence::Set).is_err(), "negative position");
+        fs.close(fd).unwrap();
+    }
+
+    #[test]
+    fn sparse_write_fills_hole_with_zeros() {
+        let fs = HostFs::new();
+        let fd = fs.open("/f", OpenMode::Write).unwrap();
+        fs.seek(fd, 4, Whence::Set).unwrap();
+        fs.write(fd, b"xy").unwrap();
+        fs.close(fd).unwrap();
+        assert_eq!(fs.file_contents("/f").unwrap(), b"\0\0\0\0xy");
+    }
+
+    #[test]
+    fn overwrite_middle_extends_correctly() {
+        let fs = HostFs::new();
+        fs.put_file("/f", b"abcdef".to_vec());
+        let fd = fs.open("/f", OpenMode::ReadWrite).unwrap();
+        fs.seek(fd, 4, Whence::Set).unwrap();
+        fs.write(fd, b"XYZ").unwrap();
+        fs.close(fd).unwrap();
+        assert_eq!(fs.file_contents("/f").unwrap(), b"abcdXYZ");
+    }
+
+    #[test]
+    fn dev_zero_and_dev_null() {
+        let fs = HostFs::new();
+        let z = fs.open("/dev/zero", OpenMode::Read).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(fs.read(z, 8, &mut out).unwrap(), 8);
+        assert_eq!(out, vec![0u8; 8]);
+        let n = fs.open("/dev/null", OpenMode::Write).unwrap();
+        assert_eq!(fs.write(n, b"discard me").unwrap(), 10);
+        fs.close(z).unwrap();
+        fs.close(n).unwrap();
+    }
+
+    #[test]
+    fn fd_reuse_after_close() {
+        let fs = HostFs::new();
+        let a = fs.open("/dev/null", OpenMode::Write).unwrap();
+        fs.close(a).unwrap();
+        let b = fs.open("/dev/null", OpenMode::Write).unwrap();
+        assert_eq!(a, b, "closed fd is recycled");
+        assert!(fs.close(99).is_err());
+        assert!(fs.close(a).is_ok());
+        assert!(fs.close(a).is_err(), "double close fails");
+    }
+
+    #[test]
+    fn mode_enforcement() {
+        let fs = HostFs::new();
+        fs.put_file("/f", b"data".to_vec());
+        let r = fs.open("/f", OpenMode::Read).unwrap();
+        assert!(fs.write(r, b"x").is_err(), "read-only fd rejects writes");
+        let w = fs.open("/f", OpenMode::Write).unwrap();
+        let mut out = Vec::new();
+        assert!(fs.read(w, 1, &mut out).is_err(), "write-only fd rejects reads");
+    }
+
+    #[test]
+    fn op_counters_track_calls() {
+        let fs = HostFs::new();
+        let fd = fs.open("/dev/zero", OpenMode::ReadWrite).unwrap();
+        let mut out = Vec::new();
+        fs.read(fd, 1, &mut out).unwrap();
+        fs.write(fd, b"x").unwrap();
+        fs.seek(fd, 0, Whence::Set).unwrap();
+        assert_eq!(fs.op_counts(), (1, 1, 1));
+    }
+
+    #[test]
+    fn ocall_registration_end_to_end() {
+        let fs = HostFs::new();
+        let mut table = OcallTable::new();
+        let funcs = FsFuncs::register(&mut table, &fs);
+        let mut out = Vec::new();
+
+        // fopen /tmp/x for write
+        let fd = table
+            .invoke(
+                &OcallRequest::new(funcs.fopen, &[OpenMode::Write as u64]),
+                b"/tmp/x",
+                &mut out,
+            )
+            .unwrap();
+        assert!(fd >= 0);
+        // fwrite
+        let n = table
+            .invoke(&OcallRequest::new(funcs.fwrite, &[fd as u64]), b"payload", &mut out)
+            .unwrap();
+        assert_eq!(n, 7);
+        // fseeko to 0
+        let p = table
+            .invoke(&OcallRequest::new(funcs.fseeko, &[fd as u64, 0, 0]), &[], &mut out)
+            .unwrap();
+        assert_eq!(p, 0);
+        // reopen readable? fd was write-only; use fread on a read fd.
+        table
+            .invoke(&OcallRequest::new(funcs.fclose, &[fd as u64]), &[], &mut out)
+            .unwrap();
+        let rfd = table
+            .invoke(
+                &OcallRequest::new(funcs.fopen, &[OpenMode::Read as u64]),
+                b"/tmp/x",
+                &mut out,
+            )
+            .unwrap();
+        let n = table
+            .invoke(&OcallRequest::new(funcs.fread, &[rfd as u64, 100]), &[], &mut out)
+            .unwrap();
+        assert_eq!(n, 7);
+        assert_eq!(out, b"payload");
+        // invalid mode / whence / utf8
+        assert_eq!(
+            table.invoke(&OcallRequest::new(funcs.fopen, &[9]), b"/x", &mut out).unwrap(),
+            -1
+        );
+        assert_eq!(
+            table
+                .invoke(&OcallRequest::new(funcs.fseeko, &[rfd as u64, 0, 9]), &[], &mut out)
+                .unwrap(),
+            -1
+        );
+        assert_eq!(
+            table
+                .invoke(
+                    &OcallRequest::new(funcs.fopen, &[0]),
+                    &[0xff, 0xfe],
+                    &mut out
+                )
+                .unwrap(),
+            -1
+        );
+    }
+}

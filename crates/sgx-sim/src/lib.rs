@@ -1,0 +1,52 @@
+//! Simulated Intel SGX machine.
+//!
+//! Real SGX hardware is unavailable in this environment, so this crate
+//! substitutes the *costs* that make the switchless-call problem
+//! interesting, while keeping everything else real code:
+//!
+//! * [`clock`] — a cycle clock for a modelled CPU ([`CpuSpec`]) plus
+//!   calibrated busy-spins used to *inject* enclave-transition and
+//!   `pause` costs into real threads.
+//! * [`accounting`] — per-thread busy/idle accounting reproducing the
+//!   paper's `/proc/stat`-style `%CPU` metric.
+//! * [`enclave`] — the enclave model: EPC budget, trusted heap accounting
+//!   and transition counters.
+//! * [`transition`] — the regular (switch-paying) ocall path: cost
+//!   injection + boundary copy + host dispatch.
+//! * [`memory`] — untrusted memory arenas with explicit alignment
+//!   control, used to stage ocall payloads exactly like the SDK's
+//!   boundary marshalling.
+//! * [`tlibc`] — the trusted-libc model: Intel's vanilla `memcpy`
+//!   (word-by-word aligned / byte-by-byte unaligned) versus the paper's
+//!   optimised `rep movsb`-style copy.
+//! * [`hostfs`] — an in-memory untrusted host filesystem exposing
+//!   `fopen`/`fclose`/`fseeko`/`fread`/`fwrite` plus `/dev/zero` and
+//!   `/dev/null`, registered as ocall host functions.
+//! * [`profiler`] — an ocall profiler with switchless-candidate
+//!   recommendations (the paper's §VII monitoring extension).
+//!
+//! The simulation philosophy (see `DESIGN.md` §2): all *relative* costs —
+//! transition vs. call duration vs. pause latency — come from the paper's
+//! published measurements, so protocols built on this substrate face the
+//! same trade-off space as on the paper's Xeon E3-1275 v6.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accounting;
+pub mod clock;
+pub mod enclave;
+pub mod hostfs;
+pub mod memory;
+pub mod profiler;
+pub mod tlibc;
+pub mod transition;
+
+pub use accounting::{CpuAccounting, ThreadMeter};
+pub use clock::CycleClock;
+pub use enclave::Enclave;
+pub use hostfs::{FsFuncs, HostFs};
+pub use memory::{Alignment, UntrustedArena};
+pub use switchless_core::cpu::CpuSpec;
+pub use tlibc::MemcpyKind;
+pub use transition::RegularOcall;

@@ -1,0 +1,187 @@
+//! Untrusted memory staging for ocall payloads.
+//!
+//! Ocall arguments must be copied from trusted (enclave) memory into
+//! untrusted memory before the host may touch them, and results copied
+//! back — this marshalling is where tlibc's `memcpy` dominates (paper
+//! §IV-F). [`UntrustedArena`] provides staging buffers whose placement
+//! relative to the source buffer is *controlled*: congruent modulo 8
+//! ([`Alignment::Aligned`]) or deliberately incongruent
+//! ([`Alignment::Unaligned`]), reproducing the aligned/unaligned split of
+//! Figs. 7 and 13.
+
+use crate::tlibc::MemcpyKind;
+use serde::{Deserialize, Serialize};
+
+/// Relative placement of an untrusted staging buffer with respect to the
+/// trusted source buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Alignment {
+    /// Staging address congruent to the source modulo 8 — tlibc takes
+    /// its word-by-word path.
+    #[default]
+    Aligned,
+    /// Staging address incongruent to the source — tlibc degrades to the
+    /// byte-by-byte path.
+    Unaligned,
+}
+
+impl Alignment {
+    /// Offset (0..8) to add to an 8-aligned base so that the staging
+    /// buffer has the desired congruence with a source at phase
+    /// `src_phase = src_addr % 8`.
+    #[must_use]
+    pub fn staging_phase(self, src_phase: usize) -> usize {
+        match self {
+            Alignment::Aligned => src_phase % 8,
+            // Any different phase breaks congruence; +1 mod 8 is the
+            // canonical worst case.
+            Alignment::Unaligned => (src_phase + 1) % 8,
+        }
+    }
+}
+
+/// A reusable untrusted staging arena with explicit phase control.
+///
+/// One arena holds a single staging area that is re-placed on every
+/// [`stage_in`](UntrustedArena::stage_in) call; runtimes keep one arena
+/// per thread (or per worker buffer) exactly like the SDK's per-call
+/// marshalling area.
+#[derive(Debug)]
+pub struct UntrustedArena {
+    buf: Vec<u8>,
+    /// Offset and length of the currently staged payload.
+    staged: (usize, usize),
+}
+
+impl UntrustedArena {
+    /// Arena able to stage payloads up to `capacity` bytes.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        UntrustedArena {
+            // +16 slack so any phase 0..8 fits.
+            buf: vec![0u8; capacity + 16],
+            staged: (0, 0),
+        }
+    }
+
+    /// Maximum payload this arena can stage.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.buf.len() - 16
+    }
+
+    /// Copy `src` (trusted memory) into the arena using `kind`, placing
+    /// the staging buffer with the requested `alignment` relative to
+    /// `src`. Returns the staged slice (untrusted view).
+    ///
+    /// Grows the arena if `src` exceeds the current capacity.
+    pub fn stage_in(&mut self, src: &[u8], kind: MemcpyKind, alignment: Alignment) -> &[u8] {
+        if src.len() > self.capacity() {
+            self.buf.resize(src.len() + 16, 0);
+        }
+        let base_phase = (self.buf.as_ptr() as usize) % 8;
+        let want_phase = alignment.staging_phase((src.as_ptr() as usize) % 8);
+        let off = (want_phase + 8 - base_phase) % 8;
+        kind.copy(&mut self.buf[off..off + src.len()], src);
+        self.staged = (off, src.len());
+        &self.buf[off..off + src.len()]
+    }
+
+    /// Copy untrusted bytes back into a trusted destination vector using
+    /// `kind` (result marshalling). The destination is resized to
+    /// `src.len()`.
+    pub fn stage_out(src: &[u8], dst: &mut Vec<u8>, kind: MemcpyKind) {
+        dst.resize(src.len(), 0);
+        kind.copy(dst, src);
+    }
+
+    /// Currently staged payload, if any.
+    #[must_use]
+    pub fn staged(&self) -> &[u8] {
+        let (off, len) = self.staged;
+        &self.buf[off..off + len]
+    }
+}
+
+impl Default for UntrustedArena {
+    fn default() -> Self {
+        UntrustedArena::new(64 * 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_staging_is_congruent_with_source() {
+        let mut arena = UntrustedArena::new(1024);
+        let src = vec![7u8; 100];
+        for shift in 0..8 {
+            let sub = &src[shift..shift + 64];
+            let staged = arena.stage_in(sub, MemcpyKind::Zc, Alignment::Aligned);
+            assert_eq!(
+                (staged.as_ptr() as usize) % 8,
+                (sub.as_ptr() as usize) % 8,
+                "aligned staging must be congruent mod 8"
+            );
+            assert_eq!(staged, sub);
+        }
+    }
+
+    #[test]
+    fn unaligned_staging_is_incongruent_with_source() {
+        let mut arena = UntrustedArena::new(1024);
+        let src = vec![3u8; 100];
+        for shift in 0..8 {
+            let sub = &src[shift..shift + 64];
+            let staged = arena.stage_in(sub, MemcpyKind::Vanilla, Alignment::Unaligned);
+            assert_ne!(
+                (staged.as_ptr() as usize) % 8,
+                (sub.as_ptr() as usize) % 8,
+                "unaligned staging must break congruence"
+            );
+            assert_eq!(staged, sub);
+        }
+    }
+
+    #[test]
+    fn arena_grows_for_large_payloads() {
+        let mut arena = UntrustedArena::new(16);
+        let src = vec![9u8; 4096];
+        let staged = arena.stage_in(&src, MemcpyKind::Zc, Alignment::Aligned);
+        assert_eq!(staged.len(), 4096);
+        assert!(arena.capacity() >= 4096);
+    }
+
+    #[test]
+    fn stage_out_round_trips() {
+        let mut out = Vec::new();
+        UntrustedArena::stage_out(b"result bytes", &mut out, MemcpyKind::Vanilla);
+        assert_eq!(out, b"result bytes");
+        UntrustedArena::stage_out(b"", &mut out, MemcpyKind::Zc);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn staged_accessor_reflects_last_stage() {
+        let mut arena = UntrustedArena::new(64);
+        arena.stage_in(b"abc", MemcpyKind::Zc, Alignment::Aligned);
+        assert_eq!(arena.staged(), b"abc");
+    }
+
+    #[test]
+    fn staging_phase_math() {
+        assert_eq!(Alignment::Aligned.staging_phase(3), 3);
+        assert_eq!(Alignment::Unaligned.staging_phase(3), 4);
+        assert_eq!(Alignment::Unaligned.staging_phase(7), 0);
+        for p in 0..8 {
+            assert_ne!(Alignment::Unaligned.staging_phase(p), p);
+        }
+    }
+
+    #[test]
+    fn default_arena_capacity() {
+        assert_eq!(UntrustedArena::default().capacity(), 64 * 1024);
+    }
+}

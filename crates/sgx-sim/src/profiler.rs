@@ -1,0 +1,458 @@
+//! Ocall profiler — the paper's §VII extension ("integrating with
+//! profiling tools, to offer deployers an additional monitoring knob").
+//!
+//! [`OcallProfiler`] wraps any [`OcallDispatcher`] and records, per
+//! function: call count, routing (switchless/fallback/regular), total and
+//! min/max duration, and a log₂ latency histogram. Its report applies
+//! the Intel SDK's own selection guidance — *short duration* and
+//! *frequently called* — to recommend switchless candidates, i.e. it
+//! automates the build-time analysis the paper argues developers cannot
+//! do by hand (§III-A), and doubles as a monitor for ZC's runtime
+//! behaviour.
+
+use crate::clock::CycleClock;
+use parking_lot::Mutex;
+use std::fmt;
+use switchless_core::{CallPath, CpuSpec, OcallDispatcher, OcallRequest, SwitchlessError};
+
+const BUCKETS: usize = 40;
+
+/// Per-function accumulated statistics.
+#[derive(Debug, Clone)]
+pub struct FuncProfile {
+    /// Function name (from the table) or `#<id>`.
+    pub name: String,
+    /// Total calls observed.
+    pub calls: u64,
+    /// Calls per routing outcome.
+    pub switchless: u64,
+    /// Fallback-routed calls.
+    pub fallback: u64,
+    /// Regular-routed calls.
+    pub regular: u64,
+    /// Sum of call durations in cycles.
+    pub total_cycles: u64,
+    /// Shortest observed call.
+    pub min_cycles: u64,
+    /// Longest observed call.
+    pub max_cycles: u64,
+    /// log₂ duration histogram: bucket `i` counts calls in
+    /// `[2^i, 2^(i+1))` cycles.
+    pub histogram: [u64; BUCKETS],
+}
+
+impl FuncProfile {
+    fn new(name: String) -> Self {
+        FuncProfile {
+            name,
+            calls: 0,
+            switchless: 0,
+            fallback: 0,
+            regular: 0,
+            total_cycles: 0,
+            min_cycles: u64::MAX,
+            max_cycles: 0,
+            histogram: [0; BUCKETS],
+        }
+    }
+
+    fn record(&mut self, cycles: u64, path: CallPath) {
+        self.calls += 1;
+        match path {
+            CallPath::Switchless => self.switchless += 1,
+            CallPath::Fallback => self.fallback += 1,
+            CallPath::Regular => self.regular += 1,
+        }
+        self.total_cycles += cycles;
+        self.min_cycles = self.min_cycles.min(cycles);
+        self.max_cycles = self.max_cycles.max(cycles);
+        let bucket = (64 - cycles.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.histogram[bucket] += 1;
+    }
+
+    /// Mean call duration in cycles (0 when never called).
+    #[must_use]
+    pub fn mean_cycles(&self) -> u64 {
+        self.total_cycles.checked_div(self.calls).unwrap_or(0)
+    }
+
+    /// Median-ish duration: the lower edge of the histogram bucket
+    /// containing the 50th percentile.
+    #[must_use]
+    pub fn p50_bucket_cycles(&self) -> u64 {
+        let mut remaining = self.calls / 2;
+        for (i, &c) in self.histogram.iter().enumerate() {
+            if c > remaining {
+                return 1 << i;
+            }
+            remaining -= c;
+        }
+        0
+    }
+}
+
+/// Recommendation for one function, following the SDK guidance the paper
+/// quotes: mark a routine switchless if it is *short* and *frequent*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recommendation {
+    /// Short and frequent: a switchless candidate.
+    Switchless,
+    /// Long relative to the transition cost: keep regular.
+    KeepRegular,
+    /// Too few calls to matter either way.
+    TooRare,
+}
+
+impl fmt::Display for Recommendation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Recommendation::Switchless => "switchless candidate",
+            Recommendation::KeepRegular => "keep regular",
+            Recommendation::TooRare => "too rare to matter",
+        })
+    }
+}
+
+/// Dispatcher wrapper that profiles every call it forwards.
+///
+/// # Example
+///
+/// ```
+/// use sgx_sim::{Enclave, RegularOcall};
+/// use sgx_sim::profiler::OcallProfiler;
+/// use switchless_core::{CpuSpec, OcallDispatcher, OcallRequest, OcallTable};
+/// use std::sync::Arc;
+///
+/// let mut table = OcallTable::new();
+/// let nop = table.register("nop", |_: &[u64; 6], _: &[u8], _: &mut Vec<u8>| 0);
+/// let table = Arc::new(table);
+/// let enclave = Enclave::new(CpuSpec::paper_machine());
+/// let inner = RegularOcall::new(Arc::clone(&table), enclave.clone());
+/// let prof = OcallProfiler::new(inner, enclave.clock(), Arc::clone(&table));
+/// let mut out = Vec::new();
+/// prof.dispatch(&OcallRequest::new(nop, &[]), &[], &mut out)?;
+/// let report = prof.report();
+/// assert_eq!(report.rows[nop.0 as usize].calls, 1);
+/// # Ok::<(), switchless_core::SwitchlessError>(())
+/// ```
+pub struct OcallProfiler<D> {
+    inner: D,
+    clock: CycleClock,
+    profiles: Mutex<Vec<FuncProfile>>,
+    started_at: u64,
+}
+
+impl<D> fmt::Debug for OcallProfiler<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OcallProfiler")
+            .field("functions", &self.profiles.lock().len())
+            .finish()
+    }
+}
+
+impl<D: OcallDispatcher> OcallProfiler<D> {
+    /// Profile calls through `inner`, naming functions from `table`.
+    #[must_use]
+    pub fn new(
+        inner: D,
+        clock: CycleClock,
+        table: std::sync::Arc<switchless_core::OcallTable>,
+    ) -> Self {
+        let profiles = (0..table.len())
+            .map(|i| {
+                let id = switchless_core::FuncId(i as u16);
+                FuncProfile::new(table.name(id).unwrap_or("#?").to_string())
+            })
+            .collect();
+        let started_at = clock.now_cycles();
+        OcallProfiler {
+            inner,
+            clock,
+            profiles: Mutex::new(profiles),
+            started_at,
+        }
+    }
+
+    /// Build the profile report.
+    #[must_use]
+    pub fn report(&self) -> ProfileReport {
+        ProfileReport {
+            rows: self.profiles.lock().clone(),
+            window_cycles: self.clock.now_cycles().saturating_sub(self.started_at),
+            cpu: *self.clock.spec(),
+        }
+    }
+
+    /// Access the wrapped dispatcher.
+    #[must_use]
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: OcallDispatcher> OcallDispatcher for OcallProfiler<D> {
+    fn dispatch(
+        &self,
+        req: &OcallRequest,
+        payload_in: &[u8],
+        payload_out: &mut Vec<u8>,
+    ) -> Result<(i64, CallPath), SwitchlessError> {
+        let t0 = self.clock.now_cycles();
+        let result = self.inner.dispatch(req, payload_in, payload_out);
+        let dt = self.clock.now_cycles().saturating_sub(t0);
+        if let Ok((_, path)) = &result {
+            let mut profiles = self.profiles.lock();
+            let idx = req.func.0 as usize;
+            if idx >= profiles.len() {
+                profiles.resize_with(idx + 1, || FuncProfile::new(format!("#{idx}")));
+            }
+            profiles[idx].record(dt, *path);
+        }
+        result
+    }
+}
+
+/// Snapshot of all function profiles with recommendation logic.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Per-function rows, indexed by function id.
+    pub rows: Vec<FuncProfile>,
+    /// Profiled window length in cycles.
+    pub window_cycles: u64,
+    /// Machine model (for the `T_es` threshold and rates).
+    pub cpu: CpuSpec,
+}
+
+impl ProfileReport {
+    /// Fraction of all calls that hit function `idx`.
+    #[must_use]
+    pub fn call_share(&self, idx: usize) -> f64 {
+        let total: u64 = self.rows.iter().map(|r| r.calls).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.rows.get(idx).map_or(0.0, |r| r.calls as f64 / total as f64)
+    }
+
+    /// SDK-guidance recommendation for function `idx`: *short* means a
+    /// mean host-side duration below `2 × T_es` (a switchless execution
+    /// would at least halve the per-call cost), *frequent* means at
+    /// least 1 % of all calls and 100 calls absolute.
+    #[must_use]
+    pub fn recommendation(&self, idx: usize) -> Recommendation {
+        let Some(row) = self.rows.get(idx) else {
+            return Recommendation::TooRare;
+        };
+        if row.calls < 100 || self.call_share(idx) < 0.01 {
+            return Recommendation::TooRare;
+        }
+        // The measured duration includes the transition itself for
+        // regular-routed calls; subtract it to estimate host time.
+        let mean = row.mean_cycles();
+        let host_estimate = if row.regular + row.fallback > row.switchless {
+            mean.saturating_sub(self.cpu.t_es_cycles)
+        } else {
+            mean
+        };
+        if host_estimate <= 2 * self.cpu.t_es_cycles {
+            Recommendation::Switchless
+        } else {
+            Recommendation::KeepRegular
+        }
+    }
+
+    /// Names of all functions recommended for switchless execution.
+    #[must_use]
+    pub fn switchless_candidates(&self) -> Vec<&str> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.recommendation(*i) == Recommendation::Switchless)
+            .map(|(_, r)| r.name.as_str())
+            .collect()
+    }
+}
+
+impl fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ocall profile over {:.3} s:",
+            self.cpu.cycles_to_secs(self.window_cycles)
+        )?;
+        writeln!(
+            f,
+            "{:>16} {:>9} {:>10} {:>10} {:>10} {:>11} {:>8}  recommendation",
+            "function", "calls", "switchless", "fallback", "regular", "mean (cyc)", "share"
+        )?;
+        for (i, r) in self.rows.iter().enumerate() {
+            if r.calls == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "{:>16} {:>9} {:>10} {:>10} {:>10} {:>11} {:>7.1}%  {}",
+                r.name,
+                r.calls,
+                r.switchless,
+                r.fallback,
+                r.regular,
+                r.mean_cycles(),
+                self.call_share(i) * 100.0,
+                self.recommendation(i)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enclave::Enclave;
+    use crate::transition::RegularOcall;
+    use std::sync::Arc;
+    use switchless_core::{OcallTable, MAX_OCALL_ARGS};
+
+    fn setup() -> (OcallProfiler<RegularOcall>, switchless_core::FuncId, switchless_core::FuncId, CycleClock)
+    {
+        let mut table = OcallTable::new();
+        let short = table.register("short", |_: &[u64; MAX_OCALL_ARGS], _: &[u8], _: &mut Vec<u8>| 0);
+        let enclave = Enclave::new(CpuSpec::paper_machine());
+        let clock = enclave.clock();
+        let c2 = clock.clone();
+        let long = table.register(
+            "long",
+            move |_: &[u64; MAX_OCALL_ARGS], _: &[u8], _: &mut Vec<u8>| {
+                c2.spin_cycles(100_000); // ~7x T_es
+                0
+            },
+        );
+        let table = Arc::new(table);
+        let inner = RegularOcall::new(Arc::clone(&table), enclave);
+        (
+            OcallProfiler::new(inner, clock.clone(), table),
+            short,
+            long,
+            clock,
+        )
+    }
+
+    #[test]
+    fn records_counts_and_durations() {
+        let (prof, short, long, _) = setup();
+        let mut out = Vec::new();
+        for _ in 0..150 {
+            prof.dispatch(&OcallRequest::new(short, &[]), &[], &mut out).unwrap();
+        }
+        for _ in 0..110 {
+            prof.dispatch(&OcallRequest::new(long, &[]), &[], &mut out).unwrap();
+        }
+        let report = prof.report();
+        assert_eq!(report.rows[short.0 as usize].calls, 150);
+        assert_eq!(report.rows[long.0 as usize].calls, 110);
+        assert!(
+            report.rows[long.0 as usize].mean_cycles()
+                > report.rows[short.0 as usize].mean_cycles() + 50_000,
+            "long must measure much slower than short"
+        );
+        assert!(report.rows[short.0 as usize].min_cycles <= report.rows[short.0 as usize].max_cycles);
+        assert!(report.window_cycles > 0);
+    }
+
+    #[test]
+    fn recommendations_follow_sdk_guidance() {
+        // Deterministic: build the report from synthetic rows rather
+        // than wall-clock measurements (which a loaded host can skew).
+        let mut short = FuncProfile::new("short".into());
+        let mut long = FuncProfile::new("long".into());
+        let cpu = CpuSpec::paper_machine();
+        for _ in 0..200 {
+            // Regular-routed short call: measured = T_es + small host.
+            short.record(cpu.t_es_cycles + 1_000, CallPath::Regular);
+            // Long call: host ~7x T_es.
+            long.record(cpu.t_es_cycles + 7 * cpu.t_es_cycles, CallPath::Regular);
+        }
+        let report = ProfileReport {
+            rows: vec![short, long],
+            window_cycles: 1_000_000,
+            cpu,
+        };
+        assert_eq!(
+            report.recommendation(0),
+            Recommendation::Switchless,
+            "short+frequent must be a candidate"
+        );
+        assert_eq!(
+            report.recommendation(1),
+            Recommendation::KeepRegular,
+            "calls ~7x T_es must stay regular"
+        );
+        assert_eq!(report.switchless_candidates(), vec!["short"]);
+    }
+
+    #[test]
+    fn live_measurement_separates_short_from_long() {
+        // Wall-clock smoke test with a generous margin only.
+        let (prof, short, long, _) = setup();
+        let mut out = Vec::new();
+        for _ in 0..50 {
+            prof.dispatch(&OcallRequest::new(short, &[]), &[], &mut out).unwrap();
+            prof.dispatch(&OcallRequest::new(long, &[]), &[], &mut out).unwrap();
+        }
+        let report = prof.report();
+        assert!(
+            report.rows[long.0 as usize].mean_cycles()
+                > report.rows[short.0 as usize].mean_cycles(),
+            "long must measure slower than short"
+        );
+    }
+
+    #[test]
+    fn rare_functions_are_flagged_rare() {
+        let (prof, short, long, _) = setup();
+        let mut out = Vec::new();
+        for _ in 0..500 {
+            prof.dispatch(&OcallRequest::new(short, &[]), &[], &mut out).unwrap();
+        }
+        prof.dispatch(&OcallRequest::new(long, &[]), &[], &mut out).unwrap();
+        let report = prof.report();
+        assert_eq!(report.recommendation(long.0 as usize), Recommendation::TooRare);
+    }
+
+    #[test]
+    fn report_displays_every_called_function() {
+        let (prof, short, _, _) = setup();
+        let mut out = Vec::new();
+        prof.dispatch(&OcallRequest::new(short, &[]), &[], &mut out).unwrap();
+        let text = prof.report().to_string();
+        assert!(text.contains("short"));
+        assert!(text.contains("recommendation"));
+        assert!(!text.contains("long"), "uncalled functions are omitted");
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut p = FuncProfile::new("x".into());
+        p.record(1, CallPath::Regular);
+        p.record(2, CallPath::Regular);
+        p.record(3, CallPath::Regular);
+        p.record(1024, CallPath::Regular);
+        assert_eq!(p.histogram[0], 1); // [1,2)
+        assert_eq!(p.histogram[1], 2); // [2,4)
+        assert_eq!(p.histogram[10], 1); // [1024,2048)
+        assert_eq!(p.p50_bucket_cycles(), 2);
+    }
+
+    #[test]
+    fn empty_report_math_is_safe() {
+        let r = ProfileReport {
+            rows: vec![FuncProfile::new("f".into())],
+            window_cycles: 0,
+            cpu: CpuSpec::paper_machine(),
+        };
+        assert_eq!(r.call_share(0), 0.0);
+        assert_eq!(r.recommendation(0), Recommendation::TooRare);
+        assert_eq!(r.recommendation(99), Recommendation::TooRare);
+    }
+}

@@ -1,0 +1,251 @@
+//! Configuration types for the two switchless mechanisms under study.
+//!
+//! [`IntelConfig`] captures everything an SGX developer must decide *at
+//! build time* with the Intel SDK's switchless library — the exact
+//! friction ZC-SWITCHLESS removes. [`ZcConfig`] by contrast carries only
+//! machine-derived scheduler constants; there is nothing workload-specific
+//! to tune ("configless").
+
+use crate::cpu::CpuSpec;
+use crate::func::FuncId;
+use crate::policy::PolicyParams;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Default retry counts of the Intel SDK (developer reference §III-C):
+/// both `retries_before_fallback` and `retries_before_sleep` are 20 000.
+pub const INTEL_DEFAULT_RETRIES: u32 = 20_000;
+
+/// Static build-time configuration of the Intel SGX SDK switchless
+/// library (reimplemented in the `intel-switchless` crate).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntelConfig {
+    /// Ocall functions marked `transition_using_threads` in the EDL: only
+    /// these may execute switchlessly.
+    pub switchless_funcs: BTreeSet<FuncId>,
+    /// Fixed number of untrusted worker threads.
+    pub num_uworkers: usize,
+    /// Pauses a *caller* spends waiting for a worker to pick up its task
+    /// before cancelling and falling back to a regular ocall (`rbf`).
+    pub retries_before_fallback: u32,
+    /// Pauses a *worker* spends polling for tasks before sleeping (`rbs`).
+    pub retries_before_sleep: u32,
+    /// Capacity of the shared task pool (SDK default: one slot per
+    /// worker-facing task "window"; we default to `2 * num_uworkers`,
+    /// minimum 4).
+    pub task_pool_capacity: usize,
+}
+
+impl IntelConfig {
+    /// SDK-default configuration with `workers` untrusted workers and the
+    /// given switchless function set.
+    #[must_use]
+    pub fn new(workers: usize, switchless: impl IntoIterator<Item = FuncId>) -> Self {
+        IntelConfig {
+            switchless_funcs: switchless.into_iter().collect(),
+            num_uworkers: workers,
+            retries_before_fallback: INTEL_DEFAULT_RETRIES,
+            retries_before_sleep: INTEL_DEFAULT_RETRIES,
+            task_pool_capacity: (2 * workers).max(4),
+        }
+    }
+
+    /// Is `func` configured to attempt switchless execution?
+    #[must_use]
+    pub fn is_switchless(&self, func: FuncId) -> bool {
+        self.switchless_funcs.contains(&func)
+    }
+
+    /// Builder-style override of `retries_before_fallback`.
+    #[must_use]
+    pub fn with_retries_before_fallback(mut self, rbf: u32) -> Self {
+        self.retries_before_fallback = rbf;
+        self
+    }
+
+    /// Builder-style override of `retries_before_sleep`.
+    #[must_use]
+    pub fn with_retries_before_sleep(mut self, rbs: u32) -> Self {
+        self.retries_before_sleep = rbs;
+        self
+    }
+
+    /// Builder-style override of the task pool capacity.
+    #[must_use]
+    pub fn with_task_pool_capacity(mut self, cap: usize) -> Self {
+        self.task_pool_capacity = cap.max(1);
+        self
+    }
+}
+
+impl Default for IntelConfig {
+    /// Two workers, no switchless functions, SDK-default retries.
+    fn default() -> Self {
+        IntelConfig::new(2, [])
+    }
+}
+
+/// Configuration of the ZC-SWITCHLESS runtime.
+///
+/// All fields derive from the machine model; none encode workload
+/// knowledge. This is the paper's headline property: *configless*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZcConfig {
+    /// Machine model (costs and core count).
+    pub cpu: CpuSpec,
+    /// Scheduling-phase quantum `Q` in cycles (paper: 10 ms).
+    pub quantum_cycles: u64,
+    /// Inverse micro-quantum fraction (paper: `µ = 1/100`).
+    pub mu_inverse: u64,
+    /// Workers created at startup (paper §V: `N/2`, the scheduler then
+    /// adapts within `0..=N/2`).
+    pub initial_workers: usize,
+    /// Per-worker untrusted request-pool size in bytes. Pool exhaustion
+    /// triggers one real ocall to reallocate (paper §IV-B), visible as
+    /// latency spikes in Fig. 8.
+    pub pool_bytes: usize,
+    /// Fallback weight of the scheduler argmin (see
+    /// [`crate::policy::PolicyParams::fallback_weight`]).
+    pub fallback_weight: u64,
+}
+
+impl ZcConfig {
+    /// Paper-faithful configuration for the given machine.
+    #[must_use]
+    pub fn for_cpu(cpu: CpuSpec) -> Self {
+        ZcConfig {
+            cpu,
+            quantum_cycles: cpu.quantum_cycles(10),
+            mu_inverse: 100,
+            initial_workers: cpu.zc_max_workers(),
+            pool_bytes: 64 * 1024,
+            fallback_weight: crate::policy::DEFAULT_FALLBACK_WEIGHT,
+        }
+    }
+
+    /// Maximum worker count the scheduler will use (`N/2`).
+    #[must_use]
+    pub fn max_workers(&self) -> usize {
+        self.cpu.zc_max_workers().max(1)
+    }
+
+    /// Scheduler policy parameters corresponding to this configuration.
+    #[must_use]
+    pub fn policy_params(&self) -> PolicyParams {
+        PolicyParams {
+            t_es_cycles: self.cpu.t_es_cycles,
+            quantum_cycles: self.quantum_cycles,
+            mu_inverse: self.mu_inverse,
+            max_workers: self.max_workers(),
+            fallback_weight: self.fallback_weight,
+        }
+    }
+
+    /// Builder-style override of the scheduling quantum (milliseconds).
+    #[must_use]
+    pub fn with_quantum_ms(mut self, ms: u64) -> Self {
+        self.quantum_cycles = self.cpu.quantum_cycles(ms);
+        self
+    }
+
+    /// Builder-style override of `µ⁻¹`.
+    #[must_use]
+    pub fn with_mu_inverse(mut self, inv: u64) -> Self {
+        self.mu_inverse = inv.max(1);
+        self
+    }
+
+    /// Builder-style override of the initial worker count.
+    #[must_use]
+    pub fn with_initial_workers(mut self, n: usize) -> Self {
+        self.initial_workers = n;
+        self
+    }
+
+    /// Builder-style override of the per-worker pool size.
+    #[must_use]
+    pub fn with_pool_bytes(mut self, bytes: usize) -> Self {
+        self.pool_bytes = bytes.max(256);
+        self
+    }
+
+    /// Builder-style override of the scheduler fallback weight.
+    #[must_use]
+    pub fn with_fallback_weight(mut self, weight: u64) -> Self {
+        self.fallback_weight = weight.max(1);
+        self
+    }
+}
+
+impl Default for ZcConfig {
+    fn default() -> Self {
+        ZcConfig::for_cpu(CpuSpec::paper_machine())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intel_defaults_match_sdk() {
+        let c = IntelConfig::default();
+        assert_eq!(c.retries_before_fallback, 20_000);
+        assert_eq!(c.retries_before_sleep, 20_000);
+        assert_eq!(c.num_uworkers, 2);
+        assert!(c.switchless_funcs.is_empty());
+    }
+
+    #[test]
+    fn intel_switchless_membership() {
+        let c = IntelConfig::new(4, [FuncId(1), FuncId(3)]);
+        assert!(c.is_switchless(FuncId(1)));
+        assert!(c.is_switchless(FuncId(3)));
+        assert!(!c.is_switchless(FuncId(2)));
+        assert_eq!(c.task_pool_capacity, 8);
+    }
+
+    #[test]
+    fn intel_builder_overrides() {
+        let c = IntelConfig::new(2, [])
+            .with_retries_before_fallback(100)
+            .with_retries_before_sleep(50)
+            .with_task_pool_capacity(0);
+        assert_eq!(c.retries_before_fallback, 100);
+        assert_eq!(c.retries_before_sleep, 50);
+        assert_eq!(c.task_pool_capacity, 1, "capacity clamps to >=1");
+    }
+
+    #[test]
+    fn zc_defaults_are_paper_faithful() {
+        let c = ZcConfig::default();
+        assert_eq!(c.quantum_cycles, 38_000_000);
+        assert_eq!(c.mu_inverse, 100);
+        assert_eq!(c.initial_workers, 4);
+        assert_eq!(c.max_workers(), 4);
+        let p = c.policy_params();
+        assert_eq!(p.max_workers, 4);
+        assert_eq!(p.t_es_cycles, 13_500);
+    }
+
+    #[test]
+    fn zc_builder_overrides() {
+        let c = ZcConfig::default()
+            .with_quantum_ms(20)
+            .with_mu_inverse(0)
+            .with_initial_workers(1)
+            .with_pool_bytes(0);
+        assert_eq!(c.quantum_cycles, 76_000_000);
+        assert_eq!(c.mu_inverse, 1, "mu_inverse clamps to >=1");
+        assert_eq!(c.initial_workers, 1);
+        assert_eq!(c.pool_bytes, 256, "pool clamps to a usable minimum");
+    }
+
+    #[test]
+    fn zc_max_workers_never_zero() {
+        let mut cpu = CpuSpec::paper_machine();
+        cpu.logical_cpus = 1;
+        let c = ZcConfig::for_cpu(cpu);
+        assert_eq!(c.max_workers(), 1);
+    }
+}

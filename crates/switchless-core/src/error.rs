@@ -1,0 +1,69 @@
+//! Error type shared by all switchless-call runtimes.
+
+use crate::func::FuncId;
+use std::fmt;
+
+/// Errors returned by ocall dispatch and runtime management.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SwitchlessError {
+    /// The requested function id has not been registered in the
+    /// [`OcallTable`](crate::OcallTable).
+    UnknownFunc(FuncId),
+    /// The runtime has been stopped; no further calls are accepted.
+    RuntimeStopped,
+    /// A caller-side buffer exceeded the untrusted pool's slot capacity.
+    PayloadTooLarge {
+        /// Requested payload size in bytes.
+        requested: usize,
+        /// Maximum supported payload size in bytes.
+        capacity: usize,
+    },
+    /// Configuration rejected (e.g. zero workers for the Intel baseline
+    /// with a non-empty switchless set).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SwitchlessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwitchlessError::UnknownFunc(id) => {
+                write!(f, "unknown ocall function id {id}")
+            }
+            SwitchlessError::RuntimeStopped => write!(f, "switchless runtime stopped"),
+            SwitchlessError::PayloadTooLarge {
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "ocall payload of {requested} bytes exceeds pool slot capacity {capacity}"
+            ),
+            SwitchlessError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SwitchlessError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = SwitchlessError::UnknownFunc(FuncId(42));
+        assert_eq!(e.to_string(), "unknown ocall function id 42");
+        let e = SwitchlessError::PayloadTooLarge {
+            requested: 100,
+            capacity: 64,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("64"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SwitchlessError>();
+    }
+}

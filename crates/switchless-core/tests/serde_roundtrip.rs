@@ -1,0 +1,74 @@
+//! Trait-conformance tests (API-guidelines checklist): every data
+//! structure implements Serde's `Serialize`/`Deserialize` (C-SERDE) and
+//! the common std traits (C-COMMON-TRAITS), `Debug` output is never
+//! empty (C-DEBUG-NONEMPTY), and error/display strings follow the
+//! lowercase-no-punctuation convention (C-GOOD-ERR). The workspace
+//! deliberately adds no serialization-format dependency, so conformance
+//! is asserted at the trait level.
+
+use switchless_core::cpu::CpuSpec;
+use switchless_core::policy::{MicroQuantumReport, PolicyParams, PolicyStep};
+use switchless_core::stats::{CallStatsSnapshot, WorkerResidency};
+use switchless_core::{CallPath, FuncId, IntelConfig, OcallReply, OcallRequest, ZcConfig};
+
+/// The derives must exist and be object-safe for generic serializers.
+fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+
+#[test]
+fn all_data_structures_implement_serde() {
+    assert_serde::<CpuSpec>();
+    assert_serde::<PolicyParams>();
+    assert_serde::<PolicyStep>();
+    assert_serde::<MicroQuantumReport>();
+    assert_serde::<CallStatsSnapshot>();
+    assert_serde::<WorkerResidency>();
+    assert_serde::<IntelConfig>();
+    assert_serde::<ZcConfig>();
+    assert_serde::<FuncId>();
+    assert_serde::<OcallRequest>();
+    assert_serde::<OcallReply>();
+}
+
+#[test]
+fn common_traits_are_eagerly_implemented() {
+    // C-COMMON-TRAITS spot checks: Clone/Copy/PartialEq/Debug/Hash where
+    // applicable.
+    fn assert_common<T: Clone + PartialEq + std::fmt::Debug + Send + Sync>() {}
+    assert_common::<CpuSpec>();
+    assert_common::<PolicyParams>();
+    assert_common::<PolicyStep>();
+    assert_common::<CallStatsSnapshot>();
+    assert_common::<WorkerResidency>();
+    assert_common::<IntelConfig>();
+    assert_common::<ZcConfig>();
+    assert_common::<FuncId>();
+    assert_common::<OcallRequest>();
+    assert_common::<CallPath>();
+
+    fn assert_hash<T: std::hash::Hash>() {}
+    assert_hash::<FuncId>();
+    assert_hash::<CpuSpec>();
+    assert_hash::<CallPath>();
+}
+
+#[test]
+fn debug_representations_are_never_empty() {
+    // C-DEBUG-NONEMPTY.
+    assert!(!format!("{:?}", CpuSpec::paper_machine()).is_empty());
+    assert!(!format!("{:?}", ZcConfig::default()).is_empty());
+    assert!(!format!("{:?}", IntelConfig::default()).is_empty());
+    assert!(!format!("{:?}", WorkerResidency::new(0)).is_empty());
+    assert!(!format!("{:?}", CallStatsSnapshot::default()).is_empty());
+    assert!(!format!("{:?}", FuncId::default()).is_empty());
+}
+
+#[test]
+fn display_impls_are_lowercase_without_trailing_punctuation() {
+    // C-GOOD-ERR style for user-facing strings.
+    let e = switchless_core::SwitchlessError::RuntimeStopped;
+    let s = e.to_string();
+    assert!(s.chars().next().unwrap().is_lowercase());
+    assert!(!s.ends_with('.'));
+    let s = switchless_core::WorkerState::Processing.to_string();
+    assert_eq!(s, "PROCESSING");
+}

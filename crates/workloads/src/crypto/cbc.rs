@@ -1,0 +1,167 @@
+//! CBC mode with PKCS#7 padding over [`Aes256`].
+
+use super::aes::{Aes256, BLOCK};
+
+/// CBC encryption/decryption errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CbcError {
+    /// Ciphertext length is not a positive multiple of the block size.
+    BadLength(usize),
+    /// Padding bytes are inconsistent (wrong key/IV or corrupt data).
+    BadPadding,
+}
+
+impl std::fmt::Display for CbcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CbcError::BadLength(n) => {
+                write!(f, "ciphertext length {n} is not a positive multiple of 16")
+            }
+            CbcError::BadPadding => write!(f, "invalid pkcs#7 padding"),
+        }
+    }
+}
+
+impl std::error::Error for CbcError {}
+
+/// Encrypt `plaintext` with AES-256-CBC and PKCS#7 padding.
+///
+/// Output length is `plaintext.len()` rounded up to the next multiple of
+/// 16 (a full padding block is added when already aligned).
+#[must_use]
+pub fn encrypt(aes: &Aes256, iv: &[u8; BLOCK], plaintext: &[u8]) -> Vec<u8> {
+    let pad = BLOCK - plaintext.len() % BLOCK;
+    let mut data = Vec::with_capacity(plaintext.len() + pad);
+    data.extend_from_slice(plaintext);
+    data.extend(std::iter::repeat_n(pad as u8, pad));
+    let mut prev = *iv;
+    for chunk in data.chunks_exact_mut(BLOCK) {
+        let mut block: [u8; BLOCK] = chunk.try_into().expect("exact chunk");
+        for i in 0..BLOCK {
+            block[i] ^= prev[i];
+        }
+        aes.encrypt_block(&mut block);
+        chunk.copy_from_slice(&block);
+        prev = block;
+    }
+    data
+}
+
+/// Decrypt AES-256-CBC ciphertext and strip PKCS#7 padding.
+///
+/// # Errors
+///
+/// [`CbcError::BadLength`] for a non-multiple-of-16 (or empty) input,
+/// [`CbcError::BadPadding`] when the padding is inconsistent.
+pub fn decrypt(aes: &Aes256, iv: &[u8; BLOCK], ciphertext: &[u8]) -> Result<Vec<u8>, CbcError> {
+    if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(BLOCK) {
+        return Err(CbcError::BadLength(ciphertext.len()));
+    }
+    let mut out = Vec::with_capacity(ciphertext.len());
+    let mut prev = *iv;
+    for chunk in ciphertext.chunks_exact(BLOCK) {
+        let ct: [u8; BLOCK] = chunk.try_into().expect("exact chunk");
+        let mut block = ct;
+        aes.decrypt_block(&mut block);
+        for i in 0..BLOCK {
+            block[i] ^= prev[i];
+        }
+        out.extend_from_slice(&block);
+        prev = ct;
+    }
+    let pad = *out.last().expect("non-empty") as usize;
+    if pad == 0 || pad > BLOCK || out.len() < pad {
+        return Err(CbcError::BadPadding);
+    }
+    if out[out.len() - pad..].iter().any(|&b| b as usize != pad) {
+        return Err(CbcError::BadPadding);
+    }
+    out.truncate(out.len() - pad);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crypto::aes::KEY_SIZE;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn nist() -> (Aes256, [u8; 16]) {
+        let key: [u8; KEY_SIZE] =
+            hex("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4")
+                .try_into()
+                .unwrap();
+        let iv: [u8; 16] = hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        (Aes256::new(&key), iv)
+    }
+
+    #[test]
+    fn sp800_38a_cbc_vector_first_blocks() {
+        // NIST SP 800-38A F.2.5 (CBC-AES256). Our output appends a
+        // padding block; the leading blocks must match the vector.
+        let (aes, iv) = nist();
+        let pt = hex(
+            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710",
+        );
+        let expected = hex(
+            "f58c4c04d6e5f1ba779eabfb5f7bfbd69cfc4e967edb808d679f777bc6702c7d\
+             39f23369a9d9bacfa530e26304231461b2eb05e2c39be9fcda6c19078c6a9d1b",
+        );
+        let ct = encrypt(&aes, &iv, &pt);
+        assert_eq!(&ct[..64], &expected[..], "CBC blocks must match NIST");
+        assert_eq!(ct.len(), 80, "one extra padding block");
+        assert_eq!(decrypt(&aes, &iv, &ct).unwrap(), pt);
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let (aes, iv) = nist();
+        for len in [0usize, 1, 15, 16, 17, 100, 4096] {
+            let pt: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            let ct = encrypt(&aes, &iv, &pt);
+            assert_eq!(ct.len() % 16, 0);
+            assert!(ct.len() > pt.len(), "padding always added");
+            assert_eq!(decrypt(&aes, &iv, &ct).unwrap(), pt, "len {len}");
+        }
+    }
+
+    #[test]
+    fn tampered_ciphertext_fails_padding_or_differs() {
+        let (aes, iv) = nist();
+        let pt = b"attack at dawn!!".to_vec();
+        let mut ct = encrypt(&aes, &iv, &pt);
+        let last = ct.len() - 1;
+        ct[last] ^= 0xff;
+        match decrypt(&aes, &iv, &ct) {
+            Err(CbcError::BadPadding) => {}
+            Ok(other) => assert_ne!(other, pt, "tampering must not round-trip"),
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_lengths_rejected() {
+        let (aes, iv) = nist();
+        assert_eq!(decrypt(&aes, &iv, &[]).unwrap_err(), CbcError::BadLength(0));
+        assert_eq!(
+            decrypt(&aes, &iv, &[0u8; 17]).unwrap_err(),
+            CbcError::BadLength(17)
+        );
+    }
+
+    #[test]
+    fn different_iv_different_ciphertext() {
+        let (aes, iv) = nist();
+        let mut iv2 = iv;
+        iv2[0] ^= 1;
+        let pt = vec![0u8; 64];
+        assert_ne!(encrypt(&aes, &iv, &pt), encrypt(&aes, &iv2, &pt));
+    }
+}

@@ -1,0 +1,238 @@
+//! Enclave-side file I/O over ocalls.
+//!
+//! [`EnclaveIo`] wraps an [`OcallDispatcher`] and the registered
+//! filesystem ocall ids ([`FsFuncs`]) behind `fopen`-style methods, so
+//! workloads read exactly like the C they port: every call crosses the
+//! (simulated) enclave boundary through whichever mechanism the
+//! dispatcher implements.
+
+use sgx_sim::hostfs::{FsFuncs, OpenMode, Whence};
+use switchless_core::{OcallDispatcher, OcallRequest, SwitchlessError};
+
+/// Errors surfaced by enclave-side file operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoError {
+    /// The host function reported failure (bad fd, missing file, …).
+    Host,
+    /// The dispatch itself failed (runtime stopped, unknown function).
+    Dispatch(SwitchlessError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Host => write!(f, "host file operation failed"),
+            IoError::Dispatch(e) => write!(f, "ocall dispatch failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<SwitchlessError> for IoError {
+    fn from(e: SwitchlessError) -> Self {
+        IoError::Dispatch(e)
+    }
+}
+
+/// Enclave-side handle on the untrusted filesystem.
+pub struct EnclaveIo<'a> {
+    disp: &'a dyn OcallDispatcher,
+    funcs: FsFuncs,
+}
+
+impl std::fmt::Debug for EnclaveIo<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnclaveIo").field("funcs", &self.funcs).finish()
+    }
+}
+
+impl<'a> EnclaveIo<'a> {
+    /// I/O facade over `disp` using the fs ocalls `funcs`.
+    #[must_use]
+    pub fn new(disp: &'a dyn OcallDispatcher, funcs: FsFuncs) -> Self {
+        EnclaveIo { disp, funcs }
+    }
+
+    /// Function ids this facade dispatches to.
+    #[must_use]
+    pub fn funcs(&self) -> FsFuncs {
+        self.funcs
+    }
+
+    /// `fopen(path, mode)`.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::Host`] when the host rejects the open (e.g. missing
+    /// file in read mode).
+    pub fn open(&self, path: &str, mode: OpenMode) -> Result<u64, IoError> {
+        let mut out = Vec::new();
+        let (ret, _) = self.disp.dispatch(
+            &OcallRequest::new(self.funcs.fopen, &[mode as u64]),
+            path.as_bytes(),
+            &mut out,
+        )?;
+        if ret < 0 {
+            return Err(IoError::Host);
+        }
+        Ok(ret as u64)
+    }
+
+    /// `fclose(fd)`.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::Host`] for an invalid descriptor.
+    pub fn close(&self, fd: u64) -> Result<(), IoError> {
+        let mut out = Vec::new();
+        let (ret, _) =
+            self.disp
+                .dispatch(&OcallRequest::new(self.funcs.fclose, &[fd]), &[], &mut out)?;
+        if ret < 0 {
+            return Err(IoError::Host);
+        }
+        Ok(())
+    }
+
+    /// `fseeko(fd, offset, whence)`, returning the new position.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::Host`] for an invalid descriptor or position.
+    pub fn seek(&self, fd: u64, offset: i64, whence: Whence) -> Result<u64, IoError> {
+        let mut out = Vec::new();
+        let (ret, _) = self.disp.dispatch(
+            &OcallRequest::new(self.funcs.fseeko, &[fd, offset as u64, whence as u64]),
+            &[],
+            &mut out,
+        )?;
+        if ret < 0 {
+            return Err(IoError::Host);
+        }
+        Ok(ret as u64)
+    }
+
+    /// `fread(fd, len)` into `buf` (replaced, not appended). Returns the
+    /// byte count (0 at EOF).
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::Host`] for an invalid or non-readable descriptor.
+    pub fn read(&self, fd: u64, len: usize, buf: &mut Vec<u8>) -> Result<usize, IoError> {
+        let (ret, _) = self.disp.dispatch(
+            &OcallRequest::new(self.funcs.fread, &[fd, len as u64]),
+            &[],
+            buf,
+        )?;
+        if ret < 0 {
+            return Err(IoError::Host);
+        }
+        Ok(ret as usize)
+    }
+
+    /// Read exactly `len` bytes or fail.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::Host`] if fewer than `len` bytes are available.
+    pub fn read_exact(&self, fd: u64, len: usize, buf: &mut Vec<u8>) -> Result<(), IoError> {
+        let n = self.read(fd, len, buf)?;
+        if n != len {
+            return Err(IoError::Host);
+        }
+        Ok(())
+    }
+
+    /// `fwrite(fd, data)`, returning the byte count.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::Host`] for an invalid or non-writable descriptor.
+    pub fn write(&self, fd: u64, data: &[u8]) -> Result<usize, IoError> {
+        let mut out = Vec::new();
+        let (ret, _) = self.disp.dispatch(
+            &OcallRequest::new(self.funcs.fwrite, &[fd]),
+            data,
+            &mut out,
+        )?;
+        if ret < 0 {
+            return Err(IoError::Host);
+        }
+        Ok(ret as usize)
+    }
+}
+
+/// Build a ready-to-use test fixture: an in-memory host fs, its ocall
+/// table and a cost-free regular dispatcher.
+#[must_use]
+pub fn regular_fixture() -> (sgx_sim::HostFs, sgx_sim::RegularOcall, FsFuncs) {
+    use std::sync::Arc;
+    let fs = sgx_sim::HostFs::new();
+    let mut table = switchless_core::OcallTable::new();
+    let funcs = FsFuncs::register(&mut table, &fs);
+    let enclave = sgx_sim::Enclave::new(switchless_core::CpuSpec::paper_machine());
+    let disp = sgx_sim::RegularOcall::new(Arc::new(table), enclave).without_cost_injection();
+    (fs, disp, funcs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_write_seek_read_close() {
+        let (_fs, disp, funcs) = regular_fixture();
+        let io = EnclaveIo::new(&disp, funcs);
+        let fd = io.open("/f", OpenMode::Write).unwrap();
+        assert_eq!(io.write(fd, b"hello world").unwrap(), 11);
+        io.close(fd).unwrap();
+
+        let fd = io.open("/f", OpenMode::Read).unwrap();
+        assert_eq!(io.seek(fd, 6, Whence::Set).unwrap(), 6);
+        let mut buf = Vec::new();
+        io.read_exact(fd, 5, &mut buf).unwrap();
+        assert_eq!(buf, b"world");
+        io.close(fd).unwrap();
+    }
+
+    #[test]
+    fn read_replaces_buffer_contents() {
+        let (_fs, disp, funcs) = regular_fixture();
+        let io = EnclaveIo::new(&disp, funcs);
+        let fd = io.open("/f", OpenMode::Write).unwrap();
+        io.write(fd, b"abc").unwrap();
+        io.close(fd).unwrap();
+        let fd = io.open("/f", OpenMode::Read).unwrap();
+        let mut buf = vec![9u8; 100];
+        let n = io.read(fd, 3, &mut buf).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(buf, b"abc", "stale contents must not survive");
+        io.close(fd).unwrap();
+    }
+
+    #[test]
+    fn host_errors_surface() {
+        let (_fs, disp, funcs) = regular_fixture();
+        let io = EnclaveIo::new(&disp, funcs);
+        assert_eq!(io.open("/missing", OpenMode::Read).unwrap_err(), IoError::Host);
+        assert_eq!(io.close(42).unwrap_err(), IoError::Host);
+        let mut buf = Vec::new();
+        assert_eq!(io.read(42, 1, &mut buf).unwrap_err(), IoError::Host);
+        assert_eq!(io.write(42, b"x").unwrap_err(), IoError::Host);
+        assert_eq!(io.seek(42, 0, Whence::Set).unwrap_err(), IoError::Host);
+    }
+
+    #[test]
+    fn read_exact_rejects_short_reads() {
+        let (_fs, disp, funcs) = regular_fixture();
+        let io = EnclaveIo::new(&disp, funcs);
+        let fd = io.open("/f", OpenMode::Write).unwrap();
+        io.write(fd, b"ab").unwrap();
+        io.close(fd).unwrap();
+        let fd = io.open("/f", OpenMode::Read).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(io.read_exact(fd, 5, &mut buf).unwrap_err(), IoError::Host);
+        io.close(fd).unwrap();
+    }
+}

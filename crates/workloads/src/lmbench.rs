@@ -1,0 +1,164 @@
+//! lmbench-style syscall microbenchmarks (paper §V-C).
+//!
+//! The dynamic benchmark issues word-granularity `read`s of `/dev/zero`
+//! and `write`s to `/dev/null` through the ocall layer, with a phase-
+//! driven rate: 20 s of doubling load, 20 s constant, 20 s halving
+//! (τ = 0.5 s periods). The real-runtime driver here mirrors the DES
+//! phased workload so examples can run the same experiment on real
+//! threads.
+
+use crate::efile::{EnclaveIo, IoError};
+use sgx_sim::hostfs::OpenMode;
+
+/// Word size read/written per operation (one machine word, as in
+/// lmbench's `bw_unix`-style loops).
+pub const WORD: usize = 8;
+
+/// Which lmbench call the driver issues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// `read(fd_zero, buf, 8)`.
+    Read,
+    /// `write(fd_null, buf, 8)`.
+    Write,
+}
+
+/// A reader or writer bound to its device fd.
+pub struct LmbenchDriver<'a> {
+    io: EnclaveIo<'a>,
+    fd: u64,
+    kind: OpKind,
+    ops: u64,
+}
+
+impl std::fmt::Debug for LmbenchDriver<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LmbenchDriver")
+            .field("kind", &self.kind)
+            .field("ops", &self.ops)
+            .finish()
+    }
+}
+
+impl<'a> LmbenchDriver<'a> {
+    /// Open the appropriate device for `kind`.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError`] if the device cannot be opened.
+    pub fn open(io: EnclaveIo<'a>, kind: OpKind) -> Result<Self, IoError> {
+        let fd = match kind {
+            OpKind::Read => io.open("/dev/zero", OpenMode::Read)?,
+            OpKind::Write => io.open("/dev/null", OpenMode::Write)?,
+        };
+        Ok(LmbenchDriver { io, fd, kind, ops: 0 })
+    }
+
+    /// Issue one word-sized operation.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError`] on dispatch or host failure.
+    pub fn op(&mut self) -> Result<(), IoError> {
+        match self.kind {
+            OpKind::Read => {
+                let mut buf = Vec::with_capacity(WORD);
+                let n = self.io.read(self.fd, WORD, &mut buf)?;
+                debug_assert_eq!(n, WORD);
+            }
+            OpKind::Write => {
+                let n = self.io.write(self.fd, &[0u8; WORD])?;
+                debug_assert_eq!(n, WORD);
+            }
+        }
+        self.ops += 1;
+        Ok(())
+    }
+
+    /// Operations issued so far.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Close the device.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError`] for an invalid descriptor.
+    pub fn close(self) -> Result<(), IoError> {
+        self.io.close(self.fd)
+    }
+}
+
+/// Per-period op counts of the paper's 3-phase dynamic load, for a total
+/// of `periods` periods split evenly across doubling / constant / halving
+/// phases, starting at `initial_ops`.
+#[must_use]
+pub fn dynamic_schedule(initial_ops: u64, periods: usize) -> Vec<u64> {
+    let third = periods / 3;
+    let mut out = Vec::with_capacity(periods);
+    let mut ops = initial_ops.max(1);
+    for _ in 0..third {
+        out.push(ops);
+        ops = ops.saturating_mul(2);
+    }
+    let peak = out.last().copied().unwrap_or(ops);
+    for _ in 0..third {
+        out.push(peak);
+    }
+    let mut ops = peak;
+    for _ in out.len()..periods {
+        out.push(ops.max(1));
+        ops = (ops / 2).max(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::efile::regular_fixture;
+
+    #[test]
+    fn read_and_write_drivers_complete_ops() {
+        let (fs, disp, funcs) = regular_fixture();
+        let mut reader = LmbenchDriver::open(EnclaveIo::new(&disp, funcs), OpKind::Read).unwrap();
+        let mut writer = LmbenchDriver::open(EnclaveIo::new(&disp, funcs), OpKind::Write).unwrap();
+        for _ in 0..100 {
+            reader.op().unwrap();
+            writer.op().unwrap();
+        }
+        assert_eq!(reader.ops(), 100);
+        assert_eq!(writer.ops(), 100);
+        let (reads, writes, _) = fs.op_counts();
+        assert_eq!(reads, 100);
+        assert_eq!(writes, 100);
+        reader.close().unwrap();
+        writer.close().unwrap();
+    }
+
+    #[test]
+    fn dynamic_schedule_shape() {
+        let s = dynamic_schedule(8, 12);
+        assert_eq!(s, vec![8, 16, 32, 64, 64, 64, 64, 64, 64, 32, 16, 8]);
+    }
+
+    #[test]
+    fn dynamic_schedule_never_zero() {
+        let s = dynamic_schedule(1, 30);
+        assert!(s.iter().all(|&x| x >= 1));
+        // Halving phase floors at 1.
+        assert_eq!(*s.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn dynamic_schedule_non_multiple_of_three() {
+        let s = dynamic_schedule(4, 10);
+        assert_eq!(s.len(), 10);
+        // 3 doubling + 3 constant + 4 halving.
+        assert_eq!(&s[..3], &[4, 8, 16]);
+        assert_eq!(&s[3..6], &[16, 16, 16]);
+        assert_eq!(&s[6..], &[16, 8, 4, 2]);
+    }
+}

@@ -1,0 +1,117 @@
+//! The §III synthetic microbenchmark: `f` (empty, switchless-friendly)
+//! and `g` (a pause loop, transition-friendly).
+//!
+//! The paper issues `n = α + β` ocalls with `α = 3β`: three calls to
+//! `void f(void) {}` for every call to `g`, where `g` executes
+//! `asm("pause")` in a loop (0–500 pauses in Fig. 3).
+
+use sgx_sim::CycleClock;
+use switchless_core::{FuncId, OcallTable, MAX_OCALL_ARGS};
+use zc_des::ocall::CallDesc;
+
+/// Call class of `f` in synthetic workloads.
+pub const CLASS_F: usize = 0;
+/// Call class of `g` in synthetic workloads.
+pub const CLASS_G: usize = 1;
+
+/// Function ids of the registered synthetic ocalls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyntheticFuncs {
+    /// `void f(void) {}`.
+    pub f: FuncId,
+    /// `g`: spins `args[0]` pauses host-side.
+    pub g: FuncId,
+}
+
+/// Register `f` and `g` against `table`; `g` burns real pause time on
+/// `clock`.
+pub fn register(table: &mut OcallTable, clock: CycleClock) -> SyntheticFuncs {
+    let f = table.register("f", |_: &[u64; MAX_OCALL_ARGS], _: &[u8], _: &mut Vec<u8>| 0);
+    let g = table.register(
+        "g",
+        move |args: &[u64; MAX_OCALL_ARGS], _: &[u8], _: &mut Vec<u8>| {
+            for _ in 0..args[0] {
+                clock.pause();
+            }
+            0
+        },
+    );
+    SyntheticFuncs { f, g }
+}
+
+/// DES call descriptor for `f` (empty host function).
+#[must_use]
+pub fn des_f() -> CallDesc {
+    CallDesc {
+        class: CLASS_F,
+        ..CallDesc::default()
+    }
+}
+
+/// DES call descriptor for `g` with the given pause count.
+#[must_use]
+pub fn des_g(pauses: u64, pause_cycles: u64) -> CallDesc {
+    CallDesc {
+        class: CLASS_G,
+        host_cycles: pauses * pause_cycles,
+        ..CallDesc::default()
+    }
+}
+
+/// The paper's α = 3β pattern: `f f f g`, repeated.
+#[must_use]
+pub fn alpha3beta_pattern(g_pauses: u64, pause_cycles: u64) -> Vec<CallDesc> {
+    vec![des_f(), des_f(), des_f(), des_g(g_pauses, pause_cycles)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgx_sim::Enclave;
+    use std::sync::Arc;
+    use switchless_core::{CpuSpec, OcallDispatcher, OcallRequest};
+
+    #[test]
+    fn f_is_empty_and_g_burns_pauses() {
+        let enclave = Enclave::new(CpuSpec::paper_machine());
+        let clock = enclave.clock();
+        let mut table = OcallTable::new();
+        let funcs = register(&mut table, clock.clone());
+        let disp =
+            sgx_sim::RegularOcall::new(Arc::new(table), enclave).without_cost_injection();
+        let mut out = Vec::new();
+
+        // Warm up (thread-local staging buffers initialise lazily).
+        disp.dispatch(&OcallRequest::new(funcs.f, &[]), &[], &mut out).unwrap();
+
+        let t0 = clock.now_cycles();
+        for _ in 0..10 {
+            disp.dispatch(&OcallRequest::new(funcs.f, &[]), &[], &mut out).unwrap();
+        }
+        let f_cost = clock.now_cycles() - t0;
+
+        let t0 = clock.now_cycles();
+        for _ in 0..10 {
+            disp.dispatch(&OcallRequest::new(funcs.g, &[1_000]), &[], &mut out).unwrap();
+        }
+        let g_cost = clock.now_cycles() - t0;
+
+        assert!(g_cost >= 10 * 1_000 * 140, "g must burn its pauses");
+        assert!(g_cost > f_cost * 5, "g must dwarf f (f={f_cost}, g={g_cost})");
+    }
+
+    #[test]
+    fn pattern_is_three_to_one() {
+        let p = alpha3beta_pattern(250, 140);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.iter().filter(|c| c.class == CLASS_F).count(), 3);
+        assert_eq!(p[3].host_cycles, 35_000);
+    }
+
+    #[test]
+    fn zero_pause_g_is_still_class_g() {
+        let g = des_g(0, 140);
+        assert_eq!(g.class, CLASS_G);
+        assert_eq!(g.host_cycles, 0);
+    }
+}

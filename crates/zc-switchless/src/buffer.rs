@@ -1,0 +1,220 @@
+//! Per-worker shared buffers (paper §IV-B).
+//!
+//! Each worker owns a buffer with the four fields of the paper's design:
+//! a preallocated untrusted memory pool, a slot for the most recent
+//! switchless request, an atomic status word driving the
+//! `UNUSED → RESERVED → PROCESSING → WAITING → UNUSED` state machine, and
+//! a scheduler-communication word ([`SchedCommand`]).
+//!
+//! Status transitions use compare-and-swap with the legality table of
+//! [`WorkerState::can_transition`] enforced in debug builds — an illegal
+//! transition is a protocol bug, not a recoverable condition.
+
+use crate::pool::RequestPool;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::thread::Thread;
+use switchless_core::{OcallReply, OcallRequest, WorkerState};
+
+/// Command word the scheduler writes into a worker's buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SchedCommand {
+    /// Keep running.
+    Run = 0,
+    /// Pause when idle (scheduler shrank the active set).
+    Deactivate = 1,
+    /// Terminate (program shutdown).
+    Exit = 2,
+}
+
+impl SchedCommand {
+    fn from_u8(v: u8) -> SchedCommand {
+        match v {
+            0 => SchedCommand::Run,
+            1 => SchedCommand::Deactivate,
+            2 => SchedCommand::Exit,
+            _ => unreachable!("invalid scheduler command {v}"),
+        }
+    }
+}
+
+/// The request slot: what the caller hands to the worker and what the
+/// worker hands back. Only the current owner (per the status word)
+/// touches it, so the mutex is uncontended.
+#[derive(Debug, Default)]
+pub struct RequestSlot {
+    /// The posted request.
+    pub request: Option<OcallRequest>,
+    /// Offset/length of the caller's payload inside the worker pool.
+    pub payload_in: (usize, usize),
+    /// Host-function output (untrusted side).
+    pub payload_out: Vec<u8>,
+    /// Completed reply.
+    pub reply: OcallReply,
+}
+
+/// Shared buffer of one ZC worker.
+#[derive(Debug)]
+pub struct WorkerBuffer {
+    status: AtomicU8,
+    sched_cmd: AtomicU8,
+    slot: Mutex<RequestSlot>,
+    pool: Mutex<RequestPool>,
+    thread: OnceLock<Thread>,
+}
+
+impl WorkerBuffer {
+    /// New buffer in the `UNUSED` state with a pool of `pool_bytes`.
+    #[must_use]
+    pub fn new(pool_bytes: usize) -> Self {
+        WorkerBuffer {
+            status: AtomicU8::new(WorkerState::Unused.as_u8()),
+            sched_cmd: AtomicU8::new(SchedCommand::Run as u8),
+            slot: Mutex::new(RequestSlot::default()),
+            pool: Mutex::new(RequestPool::new(pool_bytes)),
+            thread: OnceLock::new(),
+        }
+    }
+
+    /// Current worker state.
+    #[must_use]
+    pub fn state(&self) -> WorkerState {
+        WorkerState::from_u8(self.status.load(Ordering::Acquire)).expect("corrupt status word")
+    }
+
+    /// Attempt the `from -> to` transition.
+    ///
+    /// Returns `true` on success. Debug-asserts that the edge is legal in
+    /// the paper's state machine.
+    pub fn try_transition(&self, from: WorkerState, to: WorkerState) -> bool {
+        debug_assert!(
+            from.can_transition(to),
+            "illegal worker transition {from} -> {to}"
+        );
+        self.status
+            .compare_exchange(
+                from.as_u8(),
+                to.as_u8(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// Scheduler command currently posted.
+    #[must_use]
+    pub fn sched_command(&self) -> SchedCommand {
+        SchedCommand::from_u8(self.sched_cmd.load(Ordering::Acquire))
+    }
+
+    /// Post a scheduler command.
+    pub fn post_command(&self, cmd: SchedCommand) {
+        self.sched_cmd.store(cmd as u8, Ordering::Release);
+    }
+
+    /// Access the request slot. Callers/workers must hold ownership per
+    /// the status word before touching it.
+    pub fn with_slot<R>(&self, f: impl FnOnce(&mut RequestSlot) -> R) -> R {
+        f(&mut self.slot.lock())
+    }
+
+    /// Access the untrusted request pool.
+    pub fn with_pool<R>(&self, f: impl FnOnce(&mut RequestPool) -> R) -> R {
+        f(&mut self.pool.lock())
+    }
+
+    /// Record the worker's thread handle (once, from the worker itself)
+    /// so the scheduler can unpark it.
+    pub fn set_thread(&self, t: Thread) {
+        let _ = self.thread.set(t);
+    }
+
+    /// Unpark the worker thread, if registered.
+    pub fn unpark(&self) {
+        if let Some(t) = self.thread.get() {
+            t.unpark();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use switchless_core::FuncId;
+
+    #[test]
+    fn starts_unused_and_running() {
+        let b = WorkerBuffer::new(1024);
+        assert_eq!(b.state(), WorkerState::Unused);
+        assert_eq!(b.sched_command(), SchedCommand::Run);
+    }
+
+    #[test]
+    fn happy_path_transitions() {
+        let b = WorkerBuffer::new(1024);
+        assert!(b.try_transition(WorkerState::Unused, WorkerState::Reserved));
+        assert!(b.try_transition(WorkerState::Reserved, WorkerState::Processing));
+        assert!(b.try_transition(WorkerState::Processing, WorkerState::Waiting));
+        assert!(b.try_transition(WorkerState::Waiting, WorkerState::Unused));
+        assert_eq!(b.state(), WorkerState::Unused);
+    }
+
+    #[test]
+    fn failed_cas_leaves_state_untouched() {
+        let b = WorkerBuffer::new(1024);
+        assert!(b.try_transition(WorkerState::Unused, WorkerState::Reserved));
+        // Second claim must lose.
+        assert!(!b.try_transition(WorkerState::Unused, WorkerState::Reserved));
+        assert_eq!(b.state(), WorkerState::Reserved);
+    }
+
+    #[test]
+    fn commands_round_trip() {
+        let b = WorkerBuffer::new(1024);
+        b.post_command(SchedCommand::Deactivate);
+        assert_eq!(b.sched_command(), SchedCommand::Deactivate);
+        b.post_command(SchedCommand::Exit);
+        assert_eq!(b.sched_command(), SchedCommand::Exit);
+        b.post_command(SchedCommand::Run);
+        assert_eq!(b.sched_command(), SchedCommand::Run);
+    }
+
+    #[test]
+    fn slot_carries_request_and_reply() {
+        let b = WorkerBuffer::new(1024);
+        b.with_slot(|s| {
+            s.request = Some(OcallRequest::new(FuncId(3), &[1]));
+            s.payload_in = (0, 5);
+            s.reply.ret = 9;
+        });
+        b.with_slot(|s| {
+            assert_eq!(s.request.unwrap().func, FuncId(3));
+            assert_eq!(s.payload_in, (0, 5));
+            assert_eq!(s.reply.ret, 9);
+        });
+    }
+
+    #[test]
+    fn pool_is_per_buffer() {
+        let b = WorkerBuffer::new(128);
+        b.with_pool(|p| assert_eq!(p.capacity(), 128));
+    }
+
+    #[test]
+    fn unpark_without_thread_is_noop() {
+        let b = WorkerBuffer::new(64);
+        b.unpark(); // must not panic
+        b.set_thread(std::thread::current());
+        b.unpark();
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "illegal worker transition")]
+    fn illegal_transition_panics_in_debug() {
+        let b = WorkerBuffer::new(64);
+        let _ = b.try_transition(WorkerState::Processing, WorkerState::Unused);
+    }
+}

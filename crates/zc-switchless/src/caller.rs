@@ -1,0 +1,108 @@
+//! The ZC caller path (paper §IV-B/§IV-C).
+//!
+//! Any ocall is a switchless candidate: the caller scans the worker
+//! buffers for an `UNUSED` worker and claims it with one CAS. If none is
+//! found the call falls back to a regular ocall **immediately** — there
+//! is no `rbf`-style busy-wait, which is what saves ZC from the Intel
+//! SDK's long-ocall pathology (paper Take-away 7).
+
+use crate::buffer::WorkerBuffer;
+use crate::pool::PoolAlloc;
+use crate::runtime::{Shared, YIELD_EVERY};
+use std::sync::atomic::Ordering;
+use switchless_core::{CallPath, OcallRequest, SwitchlessError, WorkerState};
+
+/// Dispatch one ocall through the ZC protocol.
+pub(crate) fn dispatch(
+    shared: &Shared,
+    req: &OcallRequest,
+    payload_in: &[u8],
+    payload_out: &mut Vec<u8>,
+) -> Result<(i64, CallPath), SwitchlessError> {
+    if !shared.running.load(Ordering::Acquire) {
+        return Err(SwitchlessError::RuntimeStopped);
+    }
+    let n = shared.workers.len();
+    // Rotate the scan start so callers spread over workers.
+    let start = shared.rotor.fetch_add(1, Ordering::Relaxed) % n.max(1);
+    for k in 0..n {
+        let w = &shared.workers[(start + k) % n];
+        if w.try_transition(WorkerState::Unused, WorkerState::Reserved) {
+            return switchless_call(shared, w, req, payload_in, payload_out);
+        }
+    }
+    // No idle worker: immediate fallback.
+    let ret = shared
+        .fallback
+        .execute_transition(req, payload_in, payload_out)?;
+    shared.stats.record_fallback();
+    Ok((ret, CallPath::Fallback))
+}
+
+/// Complete a switchless call on a worker already claimed (`RESERVED`).
+fn switchless_call(
+    shared: &Shared,
+    w: &WorkerBuffer,
+    req: &OcallRequest,
+    payload_in: &[u8],
+    payload_out: &mut Vec<u8>,
+) -> Result<(i64, CallPath), SwitchlessError> {
+    // Allocate the request payload from the worker's untrusted pool.
+    let alloc = w.with_pool(|p| p.alloc(payload_in.len()));
+    let offset = match alloc {
+        PoolAlloc::Fit { offset } => offset,
+        PoolAlloc::AfterRealloc => {
+            // The pool was freed and reallocated: costs one real ocall
+            // (the Fig. 8 latency spikes).
+            shared.stats.record_pool_realloc();
+            shared.enclave.record_ocall();
+            shared.clock.enclave_transition();
+            0
+        }
+        PoolAlloc::TooLarge => {
+            // Payload exceeds the pool outright: release the worker and
+            // execute as a regular ocall (the untrusted heap handles it).
+            let ok = w.try_transition(WorkerState::Reserved, WorkerState::Unused);
+            debug_assert!(ok, "RESERVED -> UNUSED release must not be contended");
+            let ret = shared
+                .fallback
+                .execute_transition(req, payload_in, payload_out)?;
+            shared.stats.record_fallback();
+            return Ok((ret, CallPath::Fallback));
+        }
+    };
+    // Copy the payload to untrusted memory with the boundary memcpy and
+    // publish the request.
+    w.with_pool(|p| {
+        p.write_with(offset, payload_in, |dst, src| shared.memcpy.copy(dst, src));
+    });
+    w.with_slot(|slot| {
+        slot.request = Some(*req);
+        slot.payload_in = (offset, payload_in.len());
+        slot.payload_out.clear();
+    });
+    let ok = w.try_transition(WorkerState::Reserved, WorkerState::Processing);
+    debug_assert!(ok, "RESERVED -> PROCESSING must not be contended");
+
+    // Busy-wait for completion: while the worker runs our call, this
+    // enclave thread spins — the "exactly one busy-waiting thread per
+    // active worker" invariant of §IV-A.
+    let mut spins: u32 = 0;
+    while w.state() != WorkerState::Waiting {
+        shared.clock.pause();
+        spins = spins.wrapping_add(1);
+        if spins.is_multiple_of(YIELD_EVERY) {
+            std::thread::yield_now();
+        }
+    }
+    // Copy results back into enclave memory and release the worker.
+    let ret = w.with_slot(|slot| {
+        payload_out.resize(slot.payload_out.len(), 0);
+        shared.memcpy.copy(payload_out, &slot.payload_out);
+        slot.reply.ret
+    });
+    let ok = w.try_transition(WorkerState::Waiting, WorkerState::Unused);
+    debug_assert!(ok, "WAITING -> UNUSED release must not be contended");
+    shared.stats.record_switchless();
+    Ok((ret, CallPath::Switchless))
+}

@@ -1,0 +1,435 @@
+//! Public API of the ZC-SWITCHLESS runtime.
+
+use crate::buffer::{SchedCommand, WorkerBuffer};
+use crate::{caller, scheduler, worker};
+use parking_lot::Mutex;
+use sgx_sim::{CpuAccounting, CycleClock, Enclave, MemcpyKind, RegularOcall};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use switchless_core::stats::WorkerResidency;
+use switchless_core::{
+    CallPath, CallStats, OcallDispatcher, OcallRequest, OcallTable, SwitchlessError, ZcConfig,
+};
+
+/// Busy-wait loops yield to the OS scheduler after this many pauses
+/// (keeps the protocol live when the host has fewer cores than the
+/// modelled machine; a no-op cost-wise on idle multicore hosts).
+pub const YIELD_EVERY: u32 = 64;
+
+/// State shared between callers, workers and the scheduler.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    pub(crate) config: ZcConfig,
+    pub(crate) table: Arc<OcallTable>,
+    pub(crate) workers: Vec<WorkerBuffer>,
+    pub(crate) fallback: RegularOcall,
+    pub(crate) enclave: Enclave,
+    pub(crate) stats: Arc<CallStats>,
+    pub(crate) clock: CycleClock,
+    pub(crate) memcpy: MemcpyKind,
+    pub(crate) running: AtomicBool,
+    pub(crate) active_workers: AtomicUsize,
+    pub(crate) decisions: AtomicU64,
+    pub(crate) rotor: AtomicUsize,
+    pub(crate) residency: Mutex<WorkerResidency>,
+    pub(crate) accounting: Option<Arc<CpuAccounting>>,
+}
+
+/// The ZC-SWITCHLESS runtime: adaptive switchless ocalls with zero
+/// workload-specific configuration.
+///
+/// Start with [`ZcRuntime::start`]; issue calls through the
+/// [`OcallDispatcher`] impl from any number of enclave threads; the
+/// embedded scheduler resizes the worker pool every quantum. Threads are
+/// joined on [`shutdown`](ZcRuntime::shutdown) or drop.
+#[derive(Debug)]
+pub struct ZcRuntime {
+    shared: Arc<Shared>,
+    worker_handles: Mutex<Vec<JoinHandle<()>>>,
+    scheduler_handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ZcRuntime {
+    /// Start the runtime: spawns `config.max_workers()` worker threads
+    /// (the scheduler activates `config.initial_workers` of them) plus
+    /// the scheduler thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwitchlessError::InvalidConfig`] if the machine model
+    /// yields zero maximum workers.
+    pub fn start(
+        config: ZcConfig,
+        table: Arc<OcallTable>,
+        enclave: Enclave,
+    ) -> Result<Self, SwitchlessError> {
+        Self::start_with_accounting(config, table, enclave, None)
+    }
+
+    /// Start a runtime serving **switchless ecalls**: the symmetric
+    /// host→enclave case the paper notes its techniques apply to equally
+    /// (§II). Workers model *trusted* threads inside the enclave serving
+    /// requests posted by untrusted callers; the fallback path pays a
+    /// regular ecall transition.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`start`](ZcRuntime::start).
+    pub fn start_ecalls(
+        config: ZcConfig,
+        table: Arc<OcallTable>,
+        enclave: Enclave,
+    ) -> Result<Self, SwitchlessError> {
+        Self::start_inner(config, table, enclave, None, true)
+    }
+
+    /// [`start`](ZcRuntime::start) with CPU accounting: workers and the
+    /// scheduler register meters (busy while spinning/executing, idle
+    /// while parked/sleeping).
+    pub fn start_with_accounting(
+        config: ZcConfig,
+        table: Arc<OcallTable>,
+        enclave: Enclave,
+        accounting: Option<Arc<CpuAccounting>>,
+    ) -> Result<Self, SwitchlessError> {
+        Self::start_inner(config, table, enclave, accounting, false)
+    }
+
+    fn start_inner(
+        config: ZcConfig,
+        table: Arc<OcallTable>,
+        enclave: Enclave,
+        accounting: Option<Arc<CpuAccounting>>,
+        ecalls: bool,
+    ) -> Result<Self, SwitchlessError> {
+        let max = config.max_workers();
+        if max == 0 {
+            return Err(SwitchlessError::InvalidConfig(
+                "machine model yields zero maximum workers".into(),
+            ));
+        }
+        let stats = Arc::new(CallStats::new());
+        let mut fallback =
+            RegularOcall::new(Arc::clone(&table), enclave.clone()).with_stats(Arc::clone(&stats));
+        if ecalls {
+            fallback = fallback.as_ecalls();
+        }
+        let workers = (0..max).map(|_| WorkerBuffer::new(config.pool_bytes)).collect();
+        let shared = Arc::new(Shared {
+            clock: enclave.clock(),
+            workers,
+            fallback,
+            enclave,
+            stats,
+            table,
+            memcpy: MemcpyKind::Zc,
+            running: AtomicBool::new(true),
+            active_workers: AtomicUsize::new(config.initial_workers.min(max)),
+            decisions: AtomicU64::new(0),
+            rotor: AtomicUsize::new(0),
+            residency: Mutex::new(WorkerResidency::new(max)),
+            accounting,
+            config,
+        });
+        // Initial activation before any thread runs: first
+        // `initial_workers` active, rest deactivated.
+        scheduler::set_active_workers(&shared, shared.active_workers.load(Ordering::Relaxed));
+
+        let worker_handles = (0..max)
+            .map(|i| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("zc-worker-{i}"))
+                    .spawn(move || worker::worker_loop(&sh, i))
+                    .expect("failed to spawn zc worker")
+            })
+            .collect();
+        let sh = Arc::clone(&shared);
+        let scheduler_handle = std::thread::Builder::new()
+            .name("zc-scheduler".into())
+            .spawn(move || scheduler::scheduler_loop(&sh))
+            .expect("failed to spawn zc scheduler");
+        Ok(ZcRuntime {
+            shared,
+            worker_handles: Mutex::new(worker_handles),
+            scheduler_handle: Mutex::new(Some(scheduler_handle)),
+        })
+    }
+
+    /// Shared call statistics (switchless / fallback / pool reallocs).
+    #[must_use]
+    pub fn stats(&self) -> &Arc<CallStats> {
+        &self.shared.stats
+    }
+
+    /// Configuration the runtime was started with.
+    #[must_use]
+    pub fn config(&self) -> &ZcConfig {
+        &self.shared.config
+    }
+
+    /// Worker count chosen by the scheduler for the current step.
+    #[must_use]
+    pub fn active_workers(&self) -> usize {
+        self.shared.active_workers.load(Ordering::Acquire)
+    }
+
+    /// Completed scheduler decisions (configuration phases).
+    #[must_use]
+    pub fn scheduler_decisions(&self) -> u64 {
+        self.shared.decisions.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of the worker-count residency histogram (paper §V-B).
+    #[must_use]
+    pub fn residency(&self) -> WorkerResidency {
+        self.shared.residency.lock().clone()
+    }
+
+    /// Stop the scheduler and workers and join them. Idempotent; also
+    /// runs on drop. In-flight calls complete first.
+    pub fn shutdown(&self) {
+        self.shared.running.store(false, Ordering::Release);
+        if let Some(h) = self.scheduler_handle.lock().take() {
+            let _ = h.join();
+        }
+        for w in &self.shared.workers {
+            w.post_command(SchedCommand::Exit);
+            w.unpark();
+        }
+        let mut handles = self.worker_handles.lock();
+        for h in handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ZcRuntime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl OcallDispatcher for ZcRuntime {
+    fn dispatch(
+        &self,
+        req: &OcallRequest,
+        payload_in: &[u8],
+        payload_out: &mut Vec<u8>,
+    ) -> Result<(i64, CallPath), SwitchlessError> {
+        caller::dispatch(&self.shared, req, payload_in, payload_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use switchless_core::{CpuSpec, FuncId, MAX_OCALL_ARGS};
+
+    fn table() -> (Arc<OcallTable>, FuncId, FuncId) {
+        let mut t = OcallTable::new();
+        let echo = t.register(
+            "echo",
+            |_: &[u64; MAX_OCALL_ARGS], pin: &[u8], pout: &mut Vec<u8>| {
+                pout.extend_from_slice(pin);
+                pin.len() as i64
+            },
+        );
+        let add = t.register(
+            "add",
+            |args: &[u64; MAX_OCALL_ARGS], _: &[u8], _: &mut Vec<u8>| (args[0] + args[1]) as i64,
+        );
+        (Arc::new(t), echo, add)
+    }
+
+    /// Small machine (2 workers max) with a fast quantum so scheduler
+    /// activity is visible in short tests.
+    fn test_config() -> ZcConfig {
+        let mut cpu = CpuSpec::paper_machine();
+        cpu.logical_cpus = 4; // max 2 workers
+        ZcConfig::for_cpu(cpu).with_quantum_ms(5).with_initial_workers(1)
+    }
+
+    fn enclave(cfg: &ZcConfig) -> Enclave {
+        Enclave::new(cfg.cpu)
+    }
+
+    #[test]
+    fn calls_complete_correctly() {
+        let (t, echo, add) = table();
+        let cfg = test_config();
+        let rt = ZcRuntime::start(cfg, t, enclave(&cfg)).unwrap();
+        let mut out = Vec::new();
+        for i in 0..30u64 {
+            let payload = vec![i as u8; 32];
+            let (ret, path) = rt
+                .dispatch(&OcallRequest::new(echo, &[]), &payload, &mut out)
+                .unwrap();
+            assert_eq!(ret, 32);
+            assert_eq!(out, payload);
+            assert!(matches!(path, CallPath::Switchless | CallPath::Fallback));
+            let (ret, _) = rt
+                .dispatch(&OcallRequest::new(add, &[i, 1]), &[], &mut out)
+                .unwrap();
+            assert_eq!(ret, (i + 1) as i64);
+        }
+        let snap = rt.stats().snapshot();
+        assert_eq!(snap.total_calls(), 60);
+        assert_eq!(snap.regular, 0, "zc has no statically-regular path");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn any_function_is_a_switchless_candidate() {
+        // Unlike Intel, no function set is configured: with an active
+        // worker available, calls go switchless.
+        let (t, echo, _) = table();
+        let cfg = test_config().with_quantum_ms(1000); // scheduler holds initial count
+        let rt = ZcRuntime::start(cfg, t, enclave(&cfg)).unwrap();
+        let mut out = Vec::new();
+        let mut switchless = 0;
+        for _ in 0..50 {
+            let (_, path) = rt.dispatch(&OcallRequest::new(echo, &[]), b"p", &mut out).unwrap();
+            if path == CallPath::Switchless {
+                switchless += 1;
+            }
+        }
+        assert!(switchless > 0, "at least some calls must go switchless");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn oversized_payload_falls_back() {
+        let (t, echo, _) = table();
+        let mut cfg = test_config();
+        cfg = cfg.with_pool_bytes(256);
+        let rt = ZcRuntime::start(cfg, t, enclave(&cfg)).unwrap();
+        let big = vec![7u8; 1024];
+        let mut out = Vec::new();
+        let (ret, path) = rt.dispatch(&OcallRequest::new(echo, &[]), &big, &mut out).unwrap();
+        assert_eq!(ret, 1024);
+        assert_eq!(out, big);
+        assert_eq!(path, CallPath::Fallback, "payload larger than pool must fall back");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn pool_exhaustion_reallocates_and_still_completes() {
+        let (t, echo, _) = table();
+        let cfg = test_config().with_pool_bytes(256).with_quantum_ms(1000);
+        let rt = ZcRuntime::start(cfg, t, enclave(&cfg)).unwrap();
+        let payload = vec![1u8; 200];
+        let mut out = Vec::new();
+        let mut switchless_calls = 0;
+        for _ in 0..20 {
+            let (ret, path) = rt
+                .dispatch(&OcallRequest::new(echo, &[]), &payload, &mut out)
+                .unwrap();
+            assert_eq!(ret, 200);
+            assert_eq!(out, payload);
+            if path == CallPath::Switchless {
+                switchless_calls += 1;
+            }
+        }
+        let snap = rt.stats().snapshot();
+        if switchless_calls >= 2 {
+            assert!(
+                snap.pool_reallocs > 0,
+                "repeated 200 B payloads in a 256 B pool must trigger reallocs \
+                 (switchless={switchless_calls})"
+            );
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn dispatch_after_shutdown_errors() {
+        let (t, echo, _) = table();
+        let cfg = test_config();
+        let rt = ZcRuntime::start(cfg, t, enclave(&cfg)).unwrap();
+        rt.shutdown();
+        let mut out = Vec::new();
+        assert_eq!(
+            rt.dispatch(&OcallRequest::new(echo, &[]), &[], &mut out).unwrap_err(),
+            SwitchlessError::RuntimeStopped
+        );
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let (t, _, _) = table();
+        let cfg = test_config();
+        let rt = ZcRuntime::start(cfg, t, enclave(&cfg)).unwrap();
+        rt.shutdown();
+        rt.shutdown();
+        drop(rt);
+    }
+
+    #[test]
+    fn scheduler_makes_decisions_and_records_residency() {
+        let (t, echo, _) = table();
+        let cfg = test_config(); // 5 ms quantum
+        let rt = ZcRuntime::start(cfg, t, enclave(&cfg)).unwrap();
+        // Generate some load while the scheduler cycles.
+        let mut out = Vec::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(120);
+        while std::time::Instant::now() < deadline {
+            let _ = rt.dispatch(&OcallRequest::new(echo, &[]), b"load", &mut out).unwrap();
+        }
+        assert!(
+            rt.scheduler_decisions() >= 1,
+            "scheduler must complete at least one configuration phase in 120 ms"
+        );
+        let res = rt.residency();
+        assert!(res.total_cycles() > 0, "residency must be recorded");
+        assert!(rt.active_workers() <= rt.config().max_workers());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn concurrent_callers_are_linearizable() {
+        let (t, echo, _) = table();
+        let cfg = test_config();
+        let rt = Arc::new(ZcRuntime::start(cfg, t, enclave(&cfg)).unwrap());
+        let mut handles = Vec::new();
+        for c in 0..4u8 {
+            let rt = Arc::clone(&rt);
+            handles.push(std::thread::spawn(move || {
+                let mut out = Vec::new();
+                for i in 0..25u8 {
+                    let payload = vec![c.wrapping_mul(25).wrapping_add(i); 24];
+                    let (ret, _) = rt
+                        .dispatch(&OcallRequest::new(echo, &[]), &payload, &mut out)
+                        .unwrap();
+                    assert_eq!(ret, 24);
+                    assert_eq!(out, payload, "caller {c} got another caller's payload");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rt.stats().snapshot().total_calls(), 100);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn accounting_registers_workers_and_scheduler() {
+        let (t, _echo, _add) = table();
+        let cfg = test_config();
+        let acc = Arc::new(CpuAccounting::new());
+        let rt = ZcRuntime::start_with_accounting(
+            cfg,
+            t,
+            enclave(&cfg),
+            Some(Arc::clone(&acc)),
+        )
+        .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        rt.shutdown();
+        let names: Vec<String> = acc.per_thread().into_iter().map(|(n, _, _)| n).collect();
+        assert!(names.iter().any(|n| n == "zc-scheduler"));
+        assert!(names.iter().filter(|n| n.starts_with("zc-worker-")).count() >= 2);
+    }
+}

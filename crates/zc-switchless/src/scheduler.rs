@@ -1,0 +1,92 @@
+//! The ZC scheduler thread (paper §IV-A).
+//!
+//! Drives the pure [`SchedulerPolicy`] phase machine in real time:
+//! execute each [`PolicyStep`] by (de)activating workers, sleep for the
+//! step's duration, then report the fallback delta observed during the
+//! step back to the policy. Worker-count residency is recorded for the
+//! §V-B analysis.
+//!
+//! [`PolicyStep`]: switchless_core::policy::PolicyStep
+
+use crate::buffer::SchedCommand;
+use crate::runtime::Shared;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+use switchless_core::policy::SchedulerPolicy;
+use switchless_core::WorkerState;
+
+/// Maximum chunk of real sleep between `running` checks.
+const SLEEP_CHUNK: Duration = Duration::from_millis(5);
+
+/// Body of the scheduler thread.
+pub(crate) fn scheduler_loop(shared: &Shared) {
+    let meter = shared
+        .accounting
+        .as_ref()
+        .map(|acc| acc.register("zc-scheduler"));
+    let mut policy = SchedulerPolicy::new(
+        shared.config.policy_params(),
+        shared.config.initial_workers,
+    );
+    let spec = *shared.clock.spec();
+    let mut fallbacks_at_step_start = shared.stats.fallbacks();
+    let mut last_delta = 0u64;
+
+    while shared.running.load(Ordering::Acquire) {
+        let step = policy.next(last_delta);
+        set_active_workers(shared, step.workers());
+        shared
+            .active_workers
+            .store(step.workers(), Ordering::Release);
+
+        // Sleep out the step in real time (the scheduler itself is idle:
+        // its CPU cost is negligible by design).
+        let step_ns = spec.cycles_to_ns(step.duration_cycles());
+        let slept_at = shared.clock.now_cycles();
+        sleep_interruptible(shared, Duration::from_nanos(step_ns));
+        let now = shared.clock.now_cycles();
+        if let Some(m) = &meter {
+            m.add_idle(now.saturating_sub(slept_at));
+        }
+        shared
+            .residency
+            .lock()
+            .record(step.workers(), now.saturating_sub(slept_at));
+
+        let fb = shared.stats.fallbacks();
+        last_delta = fb.saturating_sub(fallbacks_at_step_start);
+        fallbacks_at_step_start = fb;
+        shared.decisions.store(policy.decisions(), Ordering::Release);
+    }
+}
+
+/// Activate the first `m` workers and post `Deactivate` to the rest.
+pub(crate) fn set_active_workers(shared: &Shared, m: usize) {
+    for (i, w) in shared.workers.iter().enumerate() {
+        if i < m {
+            w.post_command(SchedCommand::Run);
+            if w.state() == WorkerState::Paused
+                && w.try_transition(WorkerState::Paused, WorkerState::Unused)
+            {
+                w.unpark();
+            }
+        } else {
+            w.post_command(SchedCommand::Deactivate);
+            // The worker pauses itself next time it is idle; a worker
+            // currently serving a caller finishes that call first
+            // (UNUSED -> PAUSED is the only legal pause edge).
+        }
+    }
+}
+
+fn sleep_interruptible(shared: &Shared, total: Duration) {
+    let mut remaining = total;
+    while !remaining.is_zero() {
+        if !shared.running.load(Ordering::Acquire) {
+            return;
+        }
+        let chunk = remaining.min(SLEEP_CHUNK);
+        std::thread::sleep(chunk);
+        remaining = remaining.saturating_sub(chunk);
+    }
+}

@@ -1,0 +1,146 @@
+//! The ZC worker thread loop.
+//!
+//! A worker spins on its [`WorkerBuffer`] status word:
+//!
+//! * `PROCESSING` — a caller posted a request: invoke the host function,
+//!   publish results, move to `WAITING`;
+//! * `UNUSED` — idle: honour the scheduler command (`Deactivate` → park
+//!   in `PAUSED`, `Exit` → terminate) or keep pause-spinning for work;
+//! * `RESERVED` / `WAITING` — owned by a caller mid-handoff: spin.
+//!
+//! Idle spinning is the *deliberate* CPU cost the ZC scheduler manages:
+//! for every active worker there is always exactly one busy-waiting
+//! thread (paper §IV-A).
+
+use crate::buffer::{SchedCommand, WorkerBuffer};
+use crate::runtime::{Shared, YIELD_EVERY};
+use switchless_core::WorkerState;
+
+/// Body of worker thread `index`. Returns when the worker reaches the
+/// `EXIT` state.
+pub(crate) fn worker_loop(shared: &Shared, index: usize) {
+    let me = &shared.workers[index];
+    me.set_thread(std::thread::current());
+    let meter = shared
+        .accounting
+        .as_ref()
+        .map(|acc| acc.register(format!("zc-worker-{index}")));
+    let mut busy_since = shared.clock.now_cycles();
+    let mut spins: u32 = 0;
+
+    loop {
+        match me.state() {
+            WorkerState::Processing => {
+                spins = 0;
+                execute(shared, me);
+            }
+            WorkerState::Unused => match me.sched_command() {
+                SchedCommand::Exit => {
+                    if me.try_transition(WorkerState::Unused, WorkerState::Exit) {
+                        break;
+                    }
+                }
+                SchedCommand::Deactivate => {
+                    if me.try_transition(WorkerState::Unused, WorkerState::Paused) {
+                        // Account the spin time up to here as busy, the
+                        // parked time as idle.
+                        let now = shared.clock.now_cycles();
+                        if let Some(m) = &meter {
+                            m.add_busy(now.saturating_sub(busy_since));
+                        }
+                        let parked_at = now;
+                        park_until_released(me);
+                        busy_since = shared.clock.now_cycles();
+                        if let Some(m) = &meter {
+                            m.add_idle(busy_since.saturating_sub(parked_at));
+                        }
+                        if me.state() == WorkerState::Exit {
+                            // Final cleanup happened inside the park loop.
+                            if let Some(m) = &meter {
+                                m.add_busy(0);
+                            }
+                            return;
+                        }
+                    }
+                }
+                SchedCommand::Run => {
+                    shared.clock.pause();
+                    spins = spins.wrapping_add(1);
+                    if spins.is_multiple_of(YIELD_EVERY) {
+                        std::thread::yield_now();
+                    }
+                }
+            },
+            WorkerState::Reserved | WorkerState::Waiting => {
+                // Caller-owned interim states: stay hot.
+                shared.clock.pause();
+                spins = spins.wrapping_add(1);
+                if spins.is_multiple_of(YIELD_EVERY) {
+                    std::thread::yield_now();
+                }
+            }
+            WorkerState::Paused => {
+                // Only reachable on a spurious unpark race; re-park.
+                park_until_released(me);
+                if me.state() == WorkerState::Exit {
+                    break;
+                }
+            }
+            WorkerState::Exit => break,
+        }
+    }
+    if let Some(m) = &meter {
+        m.add_busy(shared.clock.now_cycles().saturating_sub(busy_since));
+    }
+}
+
+/// Park while `PAUSED`. Returns when the scheduler reactivates the worker
+/// (state left `PAUSED`) or after self-transitioning to `EXIT` on an exit
+/// command.
+fn park_until_released(me: &WorkerBuffer) {
+    loop {
+        if me.sched_command() == SchedCommand::Exit {
+            // Either we win PAUSED -> EXIT, or the scheduler already
+            // moved us out of PAUSED (reactivation raced the shutdown).
+            if me.try_transition(WorkerState::Paused, WorkerState::Exit)
+                || me.state() == WorkerState::Exit
+            {
+                return;
+            }
+        }
+        if me.state() != WorkerState::Paused {
+            return; // reactivated
+        }
+        std::thread::park();
+    }
+}
+
+/// Execute the posted request and publish results
+/// (`PROCESSING -> WAITING`).
+fn execute(shared: &Shared, me: &WorkerBuffer) {
+    me.with_pool(|pool| {
+        me.with_slot(|slot| {
+            let req = slot
+                .request
+                .take()
+                .expect("PROCESSING worker without a posted request");
+            let (off, len) = slot.payload_in;
+            let payload_in = pool.slice(off, len);
+            // Contain host-function panics: an unwinding worker would
+            // leave its caller spinning forever. The host side is
+            // untrusted anyway — a crash there maps to an error return,
+            // mirroring how a killed ocall surfaces in SGX.
+            let ret = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                shared
+                    .table
+                    .invoke(&req, payload_in, &mut slot.payload_out)
+                    .unwrap_or(-1)
+            }))
+            .unwrap_or(-1);
+            slot.reply.ret = ret;
+            slot.reply.payload_len = slot.payload_out.len() as u32;
+        });
+    });
+    let ok = me.try_transition(WorkerState::Processing, WorkerState::Waiting);
+    debug_assert!(ok, "PROCESSING -> WAITING must not be contended");
+}

@@ -1,0 +1,150 @@
+//! Stress and adversarial-interleaving tests of the ZC runtime: many
+//! callers, scheduler churn, ecalls, and payload-integrity under
+//! concurrency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use switchless_core::{
+    CpuSpec, OcallDispatcher, OcallRequest, OcallTable, ZcConfig, MAX_OCALL_ARGS,
+};
+use zc_switchless::ZcRuntime;
+
+fn test_cpu() -> CpuSpec {
+    let mut cpu = CpuSpec::paper_machine();
+    cpu.logical_cpus = 4;
+    cpu
+}
+
+fn checksum_table() -> (Arc<OcallTable>, switchless_core::FuncId) {
+    let mut t = OcallTable::new();
+    // Returns a checksum of the payload so cross-caller corruption is
+    // detectable even when lengths collide.
+    let sum = t.register(
+        "sum",
+        |_: &[u64; MAX_OCALL_ARGS], pin: &[u8], pout: &mut Vec<u8>| {
+            let s: u64 = pin.iter().map(|&b| u64::from(b)).sum();
+            pout.extend_from_slice(&s.to_le_bytes());
+            s as i64
+        },
+    );
+    (Arc::new(t), sum)
+}
+
+#[test]
+fn many_callers_with_scheduler_churn_never_corrupt_payloads() {
+    let (table, sum) = checksum_table();
+    // 1 ms quantum: the scheduler reconfigures constantly under load.
+    let cfg = ZcConfig::for_cpu(test_cpu()).with_quantum_ms(1);
+    let rt = Arc::new(ZcRuntime::start(cfg, table, sgx_sim::Enclave::new(test_cpu())).unwrap());
+    let total = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        for c in 0..6u64 {
+            let rt = Arc::clone(&rt);
+            let total = Arc::clone(&total);
+            s.spawn(move || {
+                let mut out = Vec::new();
+                for i in 0..150u64 {
+                    let len = ((c * 37 + i * 11) % 300 + 1) as usize;
+                    let byte = ((c * 13 + i) % 251) as u8;
+                    let payload = vec![byte; len];
+                    let expect: u64 = u64::from(byte) * len as u64;
+                    let (ret, _) = rt
+                        .dispatch(&OcallRequest::new(sum, &[]), &payload, &mut out)
+                        .unwrap();
+                    assert_eq!(ret, expect as i64, "caller {c} op {i}: checksum mismatch");
+                    assert_eq!(
+                        out,
+                        expect.to_le_bytes(),
+                        "caller {c} op {i}: returned payload corrupted"
+                    );
+                    total.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(total.load(Ordering::Relaxed), 900);
+    let snap = rt.stats().snapshot();
+    assert_eq!(snap.total_calls(), 900);
+    assert!(
+        rt.scheduler_decisions() >= 1,
+        "the 1 ms quantum must have produced scheduler churn"
+    );
+    rt.shutdown();
+}
+
+#[test]
+fn switchless_ecalls_work_and_count_ecall_transitions() {
+    let mut t = OcallTable::new();
+    // A "trusted" function: runs inside the enclave on trusted workers.
+    let seal = t.register(
+        "seal_data",
+        |_: &[u64; MAX_OCALL_ARGS], pin: &[u8], pout: &mut Vec<u8>| {
+            // Toy sealing: xor with a fixed key.
+            pout.extend(pin.iter().map(|b| b ^ 0xA5));
+            pin.len() as i64
+        },
+    );
+    let enclave = sgx_sim::Enclave::new(test_cpu());
+    let cfg = ZcConfig::for_cpu(test_cpu()).with_quantum_ms(5);
+    let rt = ZcRuntime::start_ecalls(cfg, Arc::new(t), enclave.clone()).unwrap();
+    let mut out = Vec::new();
+    for i in 0..50u8 {
+        let payload = vec![i; 64];
+        let (ret, _) = rt.dispatch(&OcallRequest::new(seal, &[]), &payload, &mut out).unwrap();
+        assert_eq!(ret, 64);
+        assert!(out.iter().all(|&b| b == i ^ 0xA5));
+    }
+    assert_eq!(rt.stats().snapshot().total_calls(), 50);
+    // Fallback transitions (if any) must have been counted as ecalls.
+    assert_eq!(enclave.ocalls(), 0, "an ecall runtime never records ocalls");
+    rt.shutdown();
+}
+
+#[test]
+fn rapid_start_shutdown_cycles_are_clean() {
+    let (table, sum) = checksum_table();
+    for round in 0..10 {
+        let cfg = ZcConfig::for_cpu(test_cpu()).with_quantum_ms(1);
+        let rt = ZcRuntime::start(cfg, Arc::clone(&table), sgx_sim::Enclave::new(test_cpu()))
+            .unwrap();
+        let mut out = Vec::new();
+        let (ret, _) = rt
+            .dispatch(&OcallRequest::new(sum, &[]), &[1, 2, 3], &mut out)
+            .unwrap();
+        assert_eq!(ret, 6, "round {round}");
+        rt.shutdown();
+    }
+}
+
+#[test]
+fn residency_accumulates_under_load() {
+    let (table, sum) = checksum_table();
+    let cfg = ZcConfig::for_cpu(test_cpu()).with_quantum_ms(2);
+    let rt = ZcRuntime::start(cfg, table, sgx_sim::Enclave::new(test_cpu())).unwrap();
+    let mut out = Vec::new();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(80);
+    while std::time::Instant::now() < deadline {
+        rt.dispatch(&OcallRequest::new(sum, &[]), b"load", &mut out).unwrap();
+    }
+    let res = rt.residency();
+    assert!(res.total_cycles() > 0);
+    let fr = res.fractions();
+    let s: f64 = fr.iter().sum();
+    assert!((s - 1.0).abs() < 1e-9, "fractions must sum to 1, got {s}");
+    assert!(res.mean_workers() <= rt.config().max_workers() as f64);
+    rt.shutdown();
+}
+
+#[test]
+fn zero_length_payloads_and_replies_are_fine() {
+    let mut t = OcallTable::new();
+    let nop = t.register("nop", |_: &[u64; MAX_OCALL_ARGS], _: &[u8], _: &mut Vec<u8>| 0);
+    let cfg = ZcConfig::for_cpu(test_cpu()).with_quantum_ms(5);
+    let rt = ZcRuntime::start(cfg, Arc::new(t), sgx_sim::Enclave::new(test_cpu())).unwrap();
+    let mut out = vec![9u8; 16];
+    let (ret, _) = rt.dispatch(&OcallRequest::new(nop, &[]), &[], &mut out).unwrap();
+    assert_eq!(ret, 0);
+    assert!(out.is_empty(), "stale output must be cleared");
+    rt.shutdown();
+}

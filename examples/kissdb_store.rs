@@ -1,0 +1,53 @@
+//! kissdb under ZC-SWITCHLESS: a key/value store whose file I/O rides
+//! adaptive switchless ocalls (the paper's §V-A scenario).
+//!
+//! Run with: `cargo run --release --example kissdb_store`
+
+use std::sync::Arc;
+use switchless_core::{CpuSpec, OcallTable, ZcConfig};
+use zc_switchless_repro::sgx_sim::{hostfs::FsFuncs, Enclave, HostFs};
+use zc_switchless_repro::zc_switchless::ZcRuntime;
+use zc_switchless_repro::zc_workloads::{EnclaveIo, KissDb};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fs = HostFs::new();
+    let mut table = OcallTable::new();
+    let funcs = FsFuncs::register(&mut table, &fs);
+    let enclave = Enclave::new(CpuSpec::paper_machine());
+    let zc = ZcRuntime::start(ZcConfig::default(), Arc::new(table), enclave)?;
+
+    // Open the store: 8-byte keys and values, as in the paper's bench.
+    let io = EnclaveIo::new(&zc, funcs);
+    let mut db = KissDb::open(io, "/store.db", 1024, 8, 8)?;
+
+    let n: u64 = 5_000;
+    let t0 = std::time::Instant::now();
+    for i in 0..n {
+        db.put(&i.to_le_bytes(), &(i * i).to_le_bytes())?;
+    }
+    let set_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = std::time::Instant::now();
+    let mut hits = 0u64;
+    for i in 0..n {
+        if let Some(v) = db.get(&i.to_le_bytes())? {
+            assert_eq!(u64::from_le_bytes(v.try_into().unwrap()), i * i);
+            hits += 1;
+        }
+    }
+    let get_ms = t0.elapsed().as_secs_f64() * 1e3;
+    db.close()?;
+
+    let snap = zc.stats().snapshot();
+    println!("kissdb over ZC-SWITCHLESS");
+    println!("  {n} SETs in {set_ms:.1} ms ({:.1} us/op)", set_ms * 1e3 / n as f64);
+    println!("  {hits}/{n} GETs in {get_ms:.1} ms ({:.1} us/op)", get_ms * 1e3 / n as f64);
+    println!(
+        "  ocalls: {} switchless, {} fallback, {} pool reallocs",
+        snap.switchless, snap.fallback, snap.pool_reallocs
+    );
+    println!("  db file: {} bytes", fs.file_size("/store.db").unwrap_or(0));
+    println!("  scheduler decisions: {}", zc.scheduler_decisions());
+    zc.shutdown();
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Profile a mixed workload and print switchless recommendations — the
+//! paper's §VII "monitoring knob" extension in action.
+//!
+//! The profiler wraps any dispatcher; here it watches a kissdb burst and
+//! a crypto burst over regular ocalls, then reports which functions the
+//! SDK guidance (short + frequent) would mark switchless — exactly the
+//! analysis ZC-SWITCHLESS makes unnecessary, now available as telemetry.
+//!
+//! Run with: `cargo run --release --example profile_report`
+
+use std::sync::Arc;
+use switchless_core::{CpuSpec, OcallTable};
+use zc_switchless_repro::sgx_sim::profiler::OcallProfiler;
+use zc_switchless_repro::sgx_sim::{hostfs::FsFuncs, Enclave, HostFs, RegularOcall};
+use zc_switchless_repro::zc_workloads::crypto::{self, Aes256};
+use zc_switchless_repro::zc_workloads::{EnclaveIo, KissDb};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fs = HostFs::new();
+    let mut table = OcallTable::new();
+    let funcs = FsFuncs::register(&mut table, &fs);
+    let table = Arc::new(table);
+    let enclave = Enclave::new(CpuSpec::paper_machine());
+    let inner = RegularOcall::new(Arc::clone(&table), enclave.clone());
+    let prof = OcallProfiler::new(inner, enclave.clock(), Arc::clone(&table));
+
+    // Workload 1: kissdb SET burst (short, frequent fseeko/fread/fwrite).
+    {
+        let io = EnclaveIo::new(&prof, funcs);
+        let mut db = KissDb::open(io, "/profile.db", 512, 8, 8)?;
+        for i in 0..2_000u64 {
+            db.put(&i.to_le_bytes(), &(i * 7).to_le_bytes())?;
+        }
+        db.close()?;
+    }
+    // Workload 2: crypto pipeline (bigger reads/writes, rare opens).
+    {
+        fs.put_file("/plain", vec![5u8; 256 * 1024]);
+        let io = EnclaveIo::new(&prof, funcs);
+        let aes = Aes256::new(&[1u8; crypto::KEY_SIZE]);
+        crypto::encrypt_file(&io, &aes, &[0u8; crypto::BLOCK], "/plain", "/ct", 8192)?;
+    }
+
+    let report = prof.report();
+    println!("{report}");
+    println!("switchless candidates: {:?}", report.switchless_candidates());
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! Quickstart: issue ocalls through all three mechanisms and compare.
+//!
+//! Builds a tiny "enclave application" that writes records through the
+//! ocall layer, then runs it under (1) regular ocalls, (2) the Intel
+//! static switchless baseline and (3) ZC-SWITCHLESS, printing the call
+//! routing and enclave-transition counts of each.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::sync::Arc;
+use switchless_core::{
+    CpuSpec, IntelConfig, OcallDispatcher, OcallRequest, OcallTable, ZcConfig,
+};
+use zc_switchless_repro::sgx_sim::{Enclave, HostFs, RegularOcall};
+use zc_switchless_repro::{intel_switchless::IntelSwitchless, zc_switchless::ZcRuntime};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The untrusted world: a host filesystem and the ocall table.
+    let fs = HostFs::new();
+    let mut table = OcallTable::new();
+    let funcs = zc_switchless_repro::sgx_sim::hostfs::FsFuncs::register(&mut table, &fs);
+    let table = Arc::new(table);
+
+    // 2. The enclave (simulated: transition costs are injected).
+    let enclave = Enclave::new(CpuSpec::paper_machine());
+
+    // A small workload: open a log file and append 2000 records.
+    let workload = |disp: &dyn OcallDispatcher| -> Result<(), Box<dyn std::error::Error>> {
+        let mut out = Vec::new();
+        let (fd, _) = disp.dispatch(
+            &OcallRequest::new(funcs.fopen, &[1 /* write */]),
+            b"/quickstart.log",
+            &mut out,
+        )?;
+        for i in 0..2_000u64 {
+            let record = format!("record {i}\n");
+            disp.dispatch(
+                &OcallRequest::new(funcs.fwrite, &[fd as u64]),
+                record.as_bytes(),
+                &mut out,
+            )?;
+        }
+        disp.dispatch(&OcallRequest::new(funcs.fclose, &[fd as u64]), &[], &mut out)?;
+        Ok(())
+    };
+
+    // 3a. Regular ocalls: every call pays the enclave transition.
+    let regular = RegularOcall::new(Arc::clone(&table), enclave.clone());
+    let t0 = std::time::Instant::now();
+    workload(&regular)?;
+    println!(
+        "regular : {:>6.2} ms, transitions={}, stats={:?}",
+        t0.elapsed().as_secs_f64() * 1e3,
+        enclave.ocalls(),
+        regular.stats().snapshot()
+    );
+
+    // 3b. Intel switchless: fwrite statically marked, 2 workers.
+    let intel = IntelSwitchless::start(
+        IntelConfig::new(2, [funcs.fwrite]),
+        Arc::clone(&table),
+        enclave.clone(),
+    )?;
+    let t0 = std::time::Instant::now();
+    workload(&intel)?;
+    println!(
+        "intel   : {:>6.2} ms, stats={:?}",
+        t0.elapsed().as_secs_f64() * 1e3,
+        intel.stats().snapshot()
+    );
+    intel.shutdown();
+
+    // 3c. ZC-SWITCHLESS: nothing to configure.
+    let zc = ZcRuntime::start(ZcConfig::default(), Arc::clone(&table), enclave.clone())?;
+    let t0 = std::time::Instant::now();
+    workload(&zc)?;
+    println!(
+        "zc      : {:>6.2} ms, stats={:?}, active workers={}",
+        t0.elapsed().as_secs_f64() * 1e3,
+        zc.stats().snapshot(),
+        zc.active_workers()
+    );
+    zc.shutdown();
+
+    println!(
+        "\nlog file size: {} bytes",
+        fs.file_size("/quickstart.log").unwrap_or(0)
+    );
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! Umbrella crate for the ZC-SWITCHLESS reproduction.
+//!
+//! Re-exports the workspace crates under one roof so the examples and
+//! integration tests read naturally. See the individual crates for the
+//! real APIs:
+//!
+//! * [`zc_switchless`] — the paper's contribution: adaptive switchless
+//!   ocalls (real threads).
+//! * [`intel_switchless`] — the Intel SDK switchless baseline.
+//! * [`sgx_sim`] — the simulated SGX machine (costs, memory, tlibc,
+//!   host filesystem).
+//! * [`switchless_core`] — shared vocabulary (requests, states, policy).
+//! * [`zc_des`] — the deterministic multi-core simulator behind the
+//!   figure reproductions.
+//! * [`zc_workloads`] — kissdb, AES-256-CBC file crypto, lmbench
+//!   drivers, synthetic benchmarks.
+
+pub use intel_switchless;
+pub use sgx_sim;
+pub use switchless_core;
+pub use zc_des;
+pub use zc_switchless;
+pub use zc_workloads;

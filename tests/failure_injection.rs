@@ -1,0 +1,153 @@
+//! Failure injection: hostile host functions must not wedge the
+//! switchless runtimes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use switchless_core::{
+    CpuSpec, IntelConfig, OcallDispatcher, OcallRequest, OcallTable, ZcConfig, MAX_OCALL_ARGS,
+};
+use zc_switchless_repro::intel_switchless::IntelSwitchless;
+use zc_switchless_repro::sgx_sim::Enclave;
+use zc_switchless_repro::zc_switchless::ZcRuntime;
+
+fn test_cpu() -> CpuSpec {
+    let mut cpu = CpuSpec::paper_machine();
+    cpu.logical_cpus = 4;
+    cpu
+}
+
+/// A table with a well-behaved function and one that panics on demand.
+fn hostile_table() -> (Arc<OcallTable>, switchless_core::FuncId, switchless_core::FuncId) {
+    let mut t = OcallTable::new();
+    let ok = t.register(
+        "ok",
+        |_: &[u64; MAX_OCALL_ARGS], pin: &[u8], pout: &mut Vec<u8>| {
+            pout.extend_from_slice(pin);
+            pin.len() as i64
+        },
+    );
+    let bomb = t.register(
+        "bomb",
+        |args: &[u64; MAX_OCALL_ARGS], _: &[u8], _: &mut Vec<u8>| {
+            if args[0] == 1 {
+                panic!("host function crashed");
+            }
+            0
+        },
+    );
+    (Arc::new(t), ok, bomb)
+}
+
+#[test]
+fn zc_survives_panicking_host_functions() {
+    let (table, ok, bomb) = hostile_table();
+    let cfg = ZcConfig::for_cpu(test_cpu()).with_quantum_ms(5);
+    let rt = ZcRuntime::start(cfg, table, Enclave::new(test_cpu())).unwrap();
+    let mut out = Vec::new();
+    // Trigger several panics; the worker must survive each one.
+    let mut bombs_handled = 0;
+    for i in 0..10 {
+        let (ret, _) = rt
+            .dispatch(&OcallRequest::new(bomb, &[u64::from(i % 2 == 0)]), &[], &mut out)
+            .unwrap();
+        if i % 2 == 0 {
+            assert_eq!(ret, -1, "panic must surface as an error return");
+            bombs_handled += 1;
+        } else {
+            assert_eq!(ret, 0);
+        }
+    }
+    assert_eq!(bombs_handled, 5);
+    // The runtime still serves normal calls afterwards.
+    let (ret, _) = rt.dispatch(&OcallRequest::new(ok, &[]), b"still alive", &mut out).unwrap();
+    assert_eq!(ret, 11);
+    assert_eq!(out, b"still alive");
+    rt.shutdown();
+}
+
+#[test]
+fn intel_survives_panicking_host_functions() {
+    let (table, ok, bomb) = hostile_table();
+    let rt = IntelSwitchless::start(
+        IntelConfig::new(1, [ok, bomb]),
+        table,
+        Enclave::new(test_cpu()),
+    )
+    .unwrap();
+    let mut out = Vec::new();
+    for _ in 0..5 {
+        let (ret, _) = rt.dispatch(&OcallRequest::new(bomb, &[1]), &[], &mut out).unwrap();
+        assert_eq!(ret, -1);
+    }
+    let (ret, _) = rt.dispatch(&OcallRequest::new(ok, &[]), b"ping", &mut out).unwrap();
+    assert_eq!(ret, 4);
+    rt.shutdown();
+}
+
+#[test]
+fn slow_host_functions_do_not_block_other_workers() {
+    // One call sleeps; with two workers the other calls keep flowing.
+    let mut t = OcallTable::new();
+    let calls = Arc::new(AtomicU64::new(0));
+    let c2 = Arc::clone(&calls);
+    let slow = t.register(
+        "slow",
+        move |_: &[u64; MAX_OCALL_ARGS], _: &[u8], _: &mut Vec<u8>| {
+            std::thread::sleep(std::time::Duration::from_millis(40));
+            0
+        },
+    );
+    let fast = t.register(
+        "fast",
+        move |_: &[u64; MAX_OCALL_ARGS], _: &[u8], _: &mut Vec<u8>| {
+            c2.fetch_add(1, Ordering::Relaxed);
+            0
+        },
+    );
+    let cfg = ZcConfig::for_cpu(test_cpu()).with_quantum_ms(1000); // hold 2 workers
+    let rt = Arc::new(ZcRuntime::start(cfg, Arc::new(t), Enclave::new(test_cpu())).unwrap());
+
+    std::thread::scope(|s| {
+        let rt_slow = Arc::clone(&rt);
+        let slow_h = s.spawn(move || {
+            let mut out = Vec::new();
+            rt_slow.dispatch(&OcallRequest::new(slow, &[]), &[], &mut out).unwrap()
+        });
+        // Give the slow call a moment to occupy its worker.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let mut out = Vec::new();
+        for _ in 0..20 {
+            let (ret, _) = rt.dispatch(&OcallRequest::new(fast, &[]), &[], &mut out).unwrap();
+            assert_eq!(ret, 0);
+        }
+        let (ret, _) = slow_h.join().unwrap();
+        assert_eq!(ret, 0);
+    });
+    assert_eq!(calls.load(Ordering::Relaxed), 20);
+    rt.shutdown();
+}
+
+#[test]
+fn unknown_function_ids_error_cleanly_everywhere() {
+    let (table, ok, _) = hostile_table();
+    let bad = OcallRequest::new(switchless_core::FuncId(999), &[]);
+    let mut out = Vec::new();
+
+    let zc = ZcRuntime::start(
+        ZcConfig::for_cpu(test_cpu()).with_quantum_ms(5),
+        Arc::clone(&table),
+        Enclave::new(test_cpu()),
+    )
+    .unwrap();
+    // Unknown ids surface as -1 via the switchless path (the worker
+    // cannot return a typed error through shared memory) or as a typed
+    // error via the fallback path — either way, no hang and no panic.
+    match zc.dispatch(&bad, &[], &mut out) {
+        Ok((ret, _)) => assert_eq!(ret, -1),
+        Err(e) => assert_eq!(e, switchless_core::SwitchlessError::UnknownFunc(bad.func)),
+    }
+    // Still functional.
+    let (ret, _) = zc.dispatch(&OcallRequest::new(ok, &[]), b"x", &mut out).unwrap();
+    assert_eq!(ret, 1);
+    zc.shutdown();
+}

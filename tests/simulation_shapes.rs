@@ -1,0 +1,150 @@
+//! Integration tests asserting the paper's headline *shapes* on the
+//! simulator — the claims EXPERIMENTS.md reports, pinned as tests so a
+//! regression in any layer (kernel, protocol models, policy) trips CI.
+
+use zc_bench::experiments::{ablations, kissdb, lmbench, openssl, synthetic};
+
+#[test]
+fn takeaway_1_improper_selection_degrades_performance() {
+    // §III-A: C1 (f switchless) fastest, C2 (g switchless) worst, C5
+    // (all regular) in between — with long g.
+    let p = synthetic::SynthParams {
+        total_ops: 16_000,
+        threads: 8,
+        g_pauses: 500,
+        workers: 2,
+    };
+    let c1 = synthetic::run_synthetic(synthetic::SynthConfig::C1, p).duration_cycles;
+    let c2 = synthetic::run_synthetic(synthetic::SynthConfig::C2, p).duration_cycles;
+    let c5 = synthetic::run_synthetic(synthetic::SynthConfig::C5, p).duration_cycles;
+    assert!(c1 < c2, "C1 ({c1}) must beat C2 ({c2})");
+    // The paper's C1-vs-C5 margin is only ~10 %; accept a tie band.
+    assert!(
+        (c1 as f64) < c5 as f64 * 1.10,
+        "C1 ({c1}) must not lose to C5 ({c5}) by more than 10%"
+    );
+    assert!(c5 < c2, "C5 ({c5}) must beat the worst misconfiguration C2 ({c2})");
+    // The paper's ratio C2/C1 ≈ 1.8; accept a generous band.
+    let ratio = c2 as f64 / c1 as f64;
+    assert!(
+        (1.2..4.0).contains(&ratio),
+        "C2/C1 ratio {ratio:.2} out of the plausible band"
+    );
+}
+
+#[test]
+fn takeaway_2_switchless_wins_for_short_calls_only() {
+    // Fig. 3: all-switchless (C4) beats all-regular (C5) for empty g,
+    // and loses for long g (500 pauses) at low worker counts.
+    let base = synthetic::SynthParams {
+        total_ops: 16_000,
+        threads: 8,
+        g_pauses: 0,
+        workers: 2,
+    };
+    let c4_short =
+        synthetic::run_synthetic(synthetic::SynthConfig::C4, base).duration_cycles;
+    let c5_short =
+        synthetic::run_synthetic(synthetic::SynthConfig::C5, base).duration_cycles;
+    assert!(
+        c4_short < c5_short,
+        "short calls: C4 ({c4_short}) must beat C5 ({c5_short})"
+    );
+    let long = synthetic::SynthParams { g_pauses: 500, ..base };
+    let c4_long = synthetic::run_synthetic(synthetic::SynthConfig::C4, long).duration_cycles;
+    let c5_long = synthetic::run_synthetic(synthetic::SynthConfig::C5, long).duration_cycles;
+    assert!(
+        c5_long < c4_long,
+        "long calls: C5 ({c5_long}) must beat C4 ({c4_long})"
+    );
+}
+
+#[test]
+fn takeaway_4_zc_beats_no_sl_and_misconfigured_intel_on_kissdb() {
+    let trace = kissdb::set_trace(600);
+    let cfgs = kissdb::configs(2);
+    let find = |l: &str| cfgs.iter().find(|m| m.label == l).unwrap();
+    let zc = kissdb::run(&trace, find("zc")).duration_cycles;
+    let no_sl = kissdb::run(&trace, find("no_sl")).duration_cycles;
+    let fread = kissdb::run(&trace, find("i-fread-2")).duration_cycles;
+    let fwrite = kissdb::run(&trace, find("i-fwrite-2")).duration_cycles;
+    assert!(zc < no_sl, "zc ({zc}) vs no_sl ({no_sl})");
+    assert!(zc < fread, "zc ({zc}) vs i-fread-2 ({fread})");
+    assert!(zc < fwrite, "zc ({zc}) vs i-fwrite-2 ({fwrite})");
+}
+
+#[test]
+fn takeaway_6_zc_cpu_sits_between_no_sl_and_intel_4() {
+    let trace = kissdb::set_trace(600);
+    let cfgs4 = kissdb::configs(4);
+    let find4 = |l: &str| cfgs4.iter().find(|m| m.label == l).unwrap();
+    let zc = kissdb::run(&trace, find4("zc")).cpu_percent();
+    let no_sl = kissdb::run(&trace, find4("no_sl")).cpu_percent();
+    let i_all4 = kissdb::run(&trace, find4("i-all-4")).cpu_percent();
+    assert!(
+        no_sl < zc,
+        "no_sl CPU ({no_sl:.1}) must be below zc ({zc:.1})"
+    );
+    assert!(
+        zc <= i_all4 * 1.05,
+        "zc CPU ({zc:.1}) must not exceed i-all-4 ({i_all4:.1})"
+    );
+}
+
+#[test]
+fn fig10_shape_foc_is_the_worst_intel_configuration() {
+    // fopen/fclose are rare: marking only them switchless leaves nearly
+    // every ocall paying a transition.
+    let (enc, dec) = openssl::pipeline_traces(64 * 1024, 2048);
+    let cfgs = openssl::configs(2);
+    let find = |l: &str| cfgs.iter().find(|m| m.label == l).unwrap();
+    let foc = openssl::run(&enc, &dec, find("i-foc-2")).duration_cycles;
+    let frw = openssl::run(&enc, &dec, find("i-frw-2")).duration_cycles;
+    let frwoc = openssl::run(&enc, &dec, find("i-frwoc-2")).duration_cycles;
+    assert!(frw < foc, "i-frw ({frw}) must beat i-foc ({foc})");
+    assert!(frwoc <= frw, "i-frwoc ({frwoc}) must be best-or-equal ({frw})");
+}
+
+#[test]
+fn fig11_shape_misconfiguration_halves_a_thread_throughput() {
+    let p = lmbench::LmbenchParams {
+        phase_secs: 1,
+        tau_ms: 100,
+        initial_ops: 128,
+        host_cycles: 3_000,
+    };
+    let cfgs = lmbench::configs(2);
+    let find = |l: &str| cfgs.iter().find(|m| m.label == l).unwrap();
+    let i_write = lmbench::run(&p, find("i-write-2"));
+    let i_all = lmbench::run(&p, find("i-all-2"));
+    // Under i-write the reader (caller 0) never goes switchless.
+    let reader_misconf = i_write.counters.ops_per_caller[0];
+    let reader_good = i_all.counters.ops_per_caller[0];
+    assert!(
+        reader_good > reader_misconf,
+        "i-all reader ({reader_good}) must out-run i-write reader ({reader_misconf})"
+    );
+}
+
+#[test]
+fn rbf_pathology_is_monotone_in_rbf() {
+    // More spinning before fallback can only hurt an oversubscribed
+    // system (6 callers, 2 workers, long calls).
+    let r64 = ablations::run_rbf(64, 6, 2, 300, 200_000).duration_cycles;
+    let r20k = ablations::run_rbf(20_000, 6, 2, 300, 200_000).duration_cycles;
+    let r200k = ablations::run_rbf(200_000, 6, 2, 300, 200_000).duration_cycles;
+    assert!(r64 < r20k, "rbf 64 ({r64}) vs 20k ({r20k})");
+    assert!(r20k <= r200k, "rbf 20k ({r20k}) vs 200k ({r200k})");
+}
+
+#[test]
+fn simulation_reports_are_deterministic() {
+    let trace = kissdb::set_trace(300);
+    let zc = &kissdb::configs(2)[6];
+    assert_eq!(zc.label, "zc");
+    let a = kissdb::run(&trace, zc);
+    let b = kissdb::run(&trace, zc);
+    assert_eq!(a.duration_cycles, b.duration_cycles);
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.total_busy_cycles, b.total_busy_cycles);
+}
