@@ -18,7 +18,11 @@ fn bench_copies(c: &mut Criterion) {
         let dbase = (8 - (dst_buf.as_ptr() as usize) % 8) % 8;
         for (label, kind, doff) in [
             ("vanilla/aligned", MemcpyKind::Vanilla, dbase + sphase),
-            ("vanilla/unaligned", MemcpyKind::Vanilla, dbase + (sphase + 1) % 8),
+            (
+                "vanilla/unaligned",
+                MemcpyKind::Vanilla,
+                dbase + (sphase + 1) % 8,
+            ),
             ("zc/aligned", MemcpyKind::Zc, dbase + sphase),
             ("zc/unaligned", MemcpyKind::Zc, dbase + (sphase + 1) % 8),
         ] {

@@ -14,7 +14,10 @@ use switchless_core::{
 
 fn nop_table() -> (Arc<OcallTable>, switchless_core::FuncId) {
     let mut t = OcallTable::new();
-    let nop = t.register("nop", |_: &[u64; MAX_OCALL_ARGS], _: &[u8], _: &mut Vec<u8>| 0);
+    let nop = t.register(
+        "nop",
+        |_: &[u64; MAX_OCALL_ARGS], _: &[u8], _: &mut Vec<u8>| 0,
+    );
     (Arc::new(t), nop)
 }
 

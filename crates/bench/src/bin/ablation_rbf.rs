@@ -14,5 +14,7 @@ fn main() {
     let t = fallback_ablation(6, ops);
     t.emit(Some(std::path::Path::new("results/ablation_fallback.csv")));
     let t = mechanism_comparison(if quick { 500 } else { 3_000 });
-    t.emit(Some(std::path::Path::new("results/ablation_mechanisms.csv")));
+    t.emit(Some(std::path::Path::new(
+        "results/ablation_mechanisms.csv",
+    )));
 }

@@ -19,23 +19,40 @@ fn main() {
     synthetic::fig2(params, &[1, 2, 3, 4, 5]).emit(Some(Path::new("results/fig2_selection.csv")));
 
     banner("Fig 3: g-duration sweep");
-    let g: Vec<u64> = if quick { vec![0, 500] } else { vec![0, 100, 200, 300, 400, 500] };
+    let g: Vec<u64> = if quick {
+        vec![0, 500]
+    } else {
+        vec![0, 100, 200, 300, 400, 500]
+    };
     synthetic::fig3(params, &g, &[1, 3, 5]).emit(Some(Path::new("results/fig3_duration.csv")));
 
     banner("Fig 7 / Fig 13: memcpy (real hardware)");
     let ops = if quick { 2_000 } else { 20_000 };
-    memcpy::fig7(ops, &memcpy::PAPER_SIZES).emit(Some(Path::new("results/fig7_memcpy_vanilla.csv")));
+    memcpy::fig7(ops, &memcpy::PAPER_SIZES)
+        .emit(Some(Path::new("results/fig7_memcpy_vanilla.csv")));
     memcpy::fig13(ops, &memcpy::PAPER_SIZES).emit(Some(Path::new("results/fig13_memcpy_zc.csv")));
 
     banner("Fig 8 / Fig 9: kissdb");
-    let keys: Vec<u64> = if quick { vec![500, 2_000] } else { vec![500, 1_000, 2_500, 5_000, 7_500, 10_000] };
+    let keys: Vec<u64> = if quick {
+        vec![500, 2_000]
+    } else {
+        vec![500, 1_000, 2_500, 5_000, 7_500, 10_000]
+    };
     for w in [2usize, 4] {
-        kissdb::fig8(&keys, w).emit(Some(Path::new(&format!("results/fig8_kissdb_latency_{w}w.csv"))));
-        kissdb::fig9(&keys, w).emit(Some(Path::new(&format!("results/fig9_kissdb_cpu_{w}w.csv"))));
+        kissdb::fig8(&keys, w).emit(Some(Path::new(&format!(
+            "results/fig8_kissdb_latency_{w}w.csv"
+        ))));
+        kissdb::fig9(&keys, w).emit(Some(Path::new(&format!(
+            "results/fig9_kissdb_cpu_{w}w.csv"
+        ))));
     }
 
     banner("Fig 10: OpenSSL-substitute");
-    let (fb, ch) = if quick { (256 * 1024, 4 * 1024) } else { (8 * 1024 * 1024, 16 * 1024) };
+    let (fb, ch) = if quick {
+        (256 * 1024, 4 * 1024)
+    } else {
+        (8 * 1024 * 1024, 16 * 1024)
+    };
     for w in [2usize, 4] {
         openssl::fig10(fb, ch, w).emit(Some(Path::new(&format!("results/fig10_openssl_{w}w.csv"))));
     }
@@ -43,16 +60,21 @@ fn main() {
 
     banner("Fig 11 / Fig 12: lmbench dynamic");
     let p = if quick {
-        lmbench::LmbenchParams { phase_secs: 1, ..lmbench::LmbenchParams::default() }
+        lmbench::LmbenchParams {
+            phase_secs: 1,
+            ..lmbench::LmbenchParams::default()
+        }
     } else {
         lmbench::LmbenchParams::default()
     };
     for w in [2usize, 4] {
         let reports = lmbench::run_all(&p, w);
-        lmbench::fig11(&p, &reports, w)
-            .emit(Some(Path::new(&format!("results/fig11_lmbench_tput_{w}w.csv"))));
-        lmbench::fig12(&reports, w)
-            .emit(Some(Path::new(&format!("results/fig12_lmbench_cpu_{w}w.csv"))));
+        lmbench::fig11(&p, &reports, w).emit(Some(Path::new(&format!(
+            "results/fig11_lmbench_tput_{w}w.csv"
+        ))));
+        lmbench::fig12(&reports, w).emit(Some(Path::new(&format!(
+            "results/fig12_lmbench_cpu_{w}w.csv"
+        ))));
     }
 
     banner("Ablations A1-A5");

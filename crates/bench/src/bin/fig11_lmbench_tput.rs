@@ -10,7 +10,10 @@ use zc_bench::experiments::lmbench::{fig11, run_all, series_table, LmbenchParams
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let p = if quick {
-        LmbenchParams { phase_secs: 1, ..LmbenchParams::default() }
+        LmbenchParams {
+            phase_secs: 1,
+            ..LmbenchParams::default()
+        }
     } else {
         LmbenchParams::default()
     };

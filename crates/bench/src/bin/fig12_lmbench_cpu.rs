@@ -8,7 +8,10 @@ use zc_bench::experiments::lmbench::{fig12, run_all, LmbenchParams};
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let p = if quick {
-        LmbenchParams { phase_secs: 1, ..LmbenchParams::default() }
+        LmbenchParams {
+            phase_secs: 1,
+            ..LmbenchParams::default()
+        }
     } else {
         LmbenchParams::default()
     };

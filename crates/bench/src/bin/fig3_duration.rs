@@ -16,7 +16,11 @@ fn main() {
     } else {
         vec![0u64, 100, 200, 300, 400, 500]
     };
-    let workers = if quick { vec![1usize, 3, 5] } else { vec![1usize, 2, 3, 4, 5] };
+    let workers = if quick {
+        vec![1usize, 3, 5]
+    } else {
+        vec![1usize, 2, 3, 4, 5]
+    };
     let t = fig3(params, &g, &workers);
     t.emit(Some(std::path::Path::new("results/fig3_duration.csv")));
 }

@@ -14,5 +14,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(20_000);
     let t = fig7(ops, &PAPER_SIZES);
-    t.emit(Some(std::path::Path::new("results/fig7_memcpy_vanilla.csv")));
+    t.emit(Some(std::path::Path::new(
+        "results/fig7_memcpy_vanilla.csv",
+    )));
 }

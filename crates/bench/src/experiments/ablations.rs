@@ -55,7 +55,13 @@ pub fn rbf_sweep(
             "Ablation A1: Intel rbf sweep ({callers} callers, {workers} workers, \
              {ops_per_caller} ops each, {host_cycles}-cycle host calls)"
         ),
-        &["rbf (pauses)", "runtime (s)", "%cpu", "switchless", "fallback"],
+        &[
+            "rbf (pauses)",
+            "runtime (s)",
+            "%cpu",
+            "switchless",
+            "fallback",
+        ],
     );
     for &rbf in rbfs {
         let r = run_rbf(rbf, callers, workers, ops_per_caller, host_cycles);
@@ -93,7 +99,14 @@ pub fn fallback_weight_sweep(n_keys: u64, weights: &[u64]) -> Table {
     let trace = kissdb::set_trace(n_keys);
     let mut table = Table::new(
         format!("Ablation A3: zc fallback-weight sweep (kissdb, {n_keys} keys)"),
-        &["weight", "runtime (s)", "%cpu", "mean workers", "switchless", "fallback"],
+        &[
+            "weight",
+            "runtime (s)",
+            "%cpu",
+            "mean workers",
+            "switchless",
+            "fallback",
+        ],
     );
     for &w in weights {
         let mech = NamedMechanism {
@@ -122,7 +135,14 @@ pub fn quantum_sweep(n_keys: u64, quanta_ms: &[u64], mu_inverses: &[u64]) -> Tab
     let trace = kissdb::set_trace(n_keys);
     let mut table = Table::new(
         format!("Ablation A2: zc scheduler Q/µ sweep (kissdb, {n_keys} keys)"),
-        &["Q (ms)", "1/µ", "runtime (s)", "%cpu", "mean workers", "fallback"],
+        &[
+            "Q (ms)",
+            "1/µ",
+            "runtime (s)",
+            "%cpu",
+            "mean workers",
+            "fallback",
+        ],
     );
     for &q in quanta_ms {
         for &mu in mu_inverses {
@@ -178,7 +198,10 @@ pub fn fallback_ablation(callers: usize, ops_per_caller: u64) -> Table {
         workloads,
         fscommon::CLASS_COUNT,
     ));
-    for (label, r) in [("zc (immediate fallback)", &zc), ("intel (rbf=20000)", &intel)] {
+    for (label, r) in [
+        ("zc (immediate fallback)", &zc),
+        ("intel (rbf=20000)", &intel),
+    ] {
         table.row(vec![
             label.to_string(),
             f3(r.duration_secs()),
@@ -203,24 +226,43 @@ pub fn mechanism_comparison(n_keys: u64) -> Table {
     // zc workers release their cores through the gaps, hot workers spin.
     let sparse: Vec<CallDesc> = trace
         .iter()
-        .map(|c| CallDesc { pre_compute_cycles: c.pre_compute_cycles + 5_000_000, ..*c })
+        .map(|c| CallDesc {
+            pre_compute_cycles: c.pre_compute_cycles + 5_000_000,
+            ..*c
+        })
         .collect();
     let fs_classes = [fscommon::FSEEKO, fscommon::FREAD, fscommon::FWRITE];
     let mechanisms: Vec<(&str, Mechanism)> = vec![
         ("no_sl", Mechanism::NoSl),
-        ("hotcalls-2", Mechanism::Hotcalls(HotcallsConfig::new(2, fs_classes))),
-        ("i-all-2", Mechanism::Intel(IntelSimConfig::new(2, fs_classes))),
+        (
+            "hotcalls-2",
+            Mechanism::Hotcalls(HotcallsConfig::new(2, fs_classes)),
+        ),
+        (
+            "i-all-2",
+            Mechanism::Intel(IntelSimConfig::new(2, fs_classes)),
+        ),
         ("zc", Mechanism::Zc(ZcSimParams::default())),
     ];
     let mut table = Table::new(
         format!("Ablation A5: mechanism comparison (kissdb + 5M-cycle think, {n_keys} keys)"),
-        &["mechanism", "runtime (s)", "%cpu", "worker busy Mcyc", "switchless", "fallback"],
+        &[
+            "mechanism",
+            "runtime (s)",
+            "%cpu",
+            "worker busy Mcyc",
+            "switchless",
+            "fallback",
+        ],
     );
     for (label, mech) in mechanisms {
         let per = sparse.len().div_ceil(2);
         let workloads: Vec<WorkloadSpec> = sparse
             .chunks(per.max(1))
-            .map(|c| WorkloadSpec::ClosedLoop { pattern: c.to_vec(), total_ops: c.len() as u64 })
+            .map(|c| WorkloadSpec::ClosedLoop {
+                pattern: c.to_vec(),
+                total_ops: c.len() as u64,
+            })
             .collect();
         let r = zc_des::run(&SimConfig::new(mech, workloads, fscommon::CLASS_COUNT));
         table.row(vec![
@@ -244,7 +286,13 @@ pub fn tes_sweep(n_keys: u64, tes_values: &[u64]) -> Table {
     let trace = kissdb::set_trace(n_keys);
     let mut table = Table::new(
         format!("Ablation A4: transition-cost sweep (kissdb, {n_keys} keys)"),
-        &["T_es (cycles)", "no_sl (s)", "i-all-2 (s)", "zc (s)", "zc vs no_sl"],
+        &[
+            "T_es (cycles)",
+            "no_sl (s)",
+            "i-all-2 (s)",
+            "zc (s)",
+            "zc vs no_sl",
+        ],
     );
     for &tes in tes_values {
         let mut cpu = switchless_core::CpuSpec::paper_machine();
@@ -274,7 +322,10 @@ pub fn tes_sweep(n_keys: u64, tes_values: &[u64]) -> Table {
             f3(no_sl.duration_secs()),
             f3(intel.duration_secs()),
             f3(zc.duration_secs()),
-            format!("{:.2}x", no_sl.duration_secs() / zc.duration_secs().max(1e-12)),
+            format!(
+                "{:.2}x",
+                no_sl.duration_secs() / zc.duration_secs().max(1e-12)
+            ),
         ]);
     }
     table

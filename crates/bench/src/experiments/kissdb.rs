@@ -95,8 +95,7 @@ pub fn fig8(key_counts: &[u64], workers: usize) -> Table {
         format!("Fig 8: kissdb avg SET latency, {workers} Intel workers"),
         &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
-    let traces: Vec<(u64, Vec<CallDesc>)> =
-        key_counts.iter().map(|&k| (k, set_trace(k))).collect();
+    let traces: Vec<(u64, Vec<CallDesc>)> = key_counts.iter().map(|&k| (k, set_trace(k))).collect();
     for mech in configs(workers) {
         let mut row = vec![mech.label.clone()];
         for (k, trace) in &traces {
@@ -117,8 +116,7 @@ pub fn fig9(key_counts: &[u64], workers: usize) -> Table {
         format!("Fig 9: kissdb avg %CPU, {workers} Intel workers"),
         &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
-    let traces: Vec<(u64, Vec<CallDesc>)> =
-        key_counts.iter().map(|&k| (k, set_trace(k))).collect();
+    let traces: Vec<(u64, Vec<CallDesc>)> = key_counts.iter().map(|&k| (k, set_trace(k))).collect();
     for mech in configs(workers) {
         let mut row = vec![mech.label.clone()];
         for (_k, trace) in &traces {
@@ -140,7 +138,10 @@ mod tests {
         let seeks = trace.iter().filter(|c| c.class == fscommon::FSEEKO).count();
         let reads = trace.iter().filter(|c| c.class == fscommon::FREAD).count();
         let writes = trace.iter().filter(|c| c.class == fscommon::FWRITE).count();
-        assert!(seeks > reads && seeks > writes, "paper: fseeko most frequent");
+        assert!(
+            seeks > reads && seeks > writes,
+            "paper: fseeko most frequent"
+        );
         assert!(reads > 0 && writes > 0);
     }
 
@@ -184,7 +185,15 @@ mod tests {
         let labels: Vec<String> = configs(4).into_iter().map(|m| m.label).collect();
         assert_eq!(
             labels,
-            vec!["no_sl", "i-fseeko-4", "i-fread-4", "i-fwrite-4", "i-frw-4", "i-all-4", "zc"]
+            vec![
+                "no_sl",
+                "i-fseeko-4",
+                "i-fread-4",
+                "i-fwrite-4",
+                "i-frw-4",
+                "i-all-4",
+                "zc"
+            ]
         );
     }
 }

@@ -72,9 +72,18 @@ fn phased(call: CallDesc, p: &LmbenchParams, freq_hz: u64) -> WorkloadSpec {
         period_cycles: freq_hz / 1_000 * p.tau_ms,
         initial_ops: p.initial_ops,
         phases: vec![
-            Phase { duration_cycles: secs(p.phase_secs), mode: PhaseMode::Doubling },
-            Phase { duration_cycles: secs(p.phase_secs), mode: PhaseMode::Constant },
-            Phase { duration_cycles: secs(p.phase_secs), mode: PhaseMode::Halving },
+            Phase {
+                duration_cycles: secs(p.phase_secs),
+                mode: PhaseMode::Doubling,
+            },
+            Phase {
+                duration_cycles: secs(p.phase_secs),
+                mode: PhaseMode::Constant,
+            },
+            Phase {
+                duration_cycles: secs(p.phase_secs),
+                mode: PhaseMode::Halving,
+            },
         ],
     })
 }
@@ -84,7 +93,10 @@ fn phased(call: CallDesc, p: &LmbenchParams, freq_hz: u64) -> WorkloadSpec {
 #[must_use]
 pub fn configs(workers: usize) -> Vec<NamedMechanism> {
     vec![
-        NamedMechanism { label: "no_sl".into(), mechanism: Mechanism::NoSl },
+        NamedMechanism {
+            label: "no_sl".into(),
+            mechanism: Mechanism::NoSl,
+        },
         NamedMechanism {
             label: format!("i-read-{workers}"),
             mechanism: Mechanism::Intel(IntelSimConfig::new(workers, [CLASS_READ])),
@@ -95,10 +107,7 @@ pub fn configs(workers: usize) -> Vec<NamedMechanism> {
         },
         NamedMechanism {
             label: format!("i-all-{workers}"),
-            mechanism: Mechanism::Intel(IntelSimConfig::new(
-                workers,
-                [CLASS_READ, CLASS_WRITE],
-            )),
+            mechanism: Mechanism::Intel(IntelSimConfig::new(workers, [CLASS_READ, CLASS_WRITE])),
         },
         NamedMechanism {
             label: "zc".into(),
@@ -248,8 +257,7 @@ mod tests {
         let i_all = run(&p, find("i-all-2"));
         // The reader's calls are never switchless under i-write.
         assert_eq!(
-            i_write.counters.ops_per_class[CLASS_READ],
-            i_write.counters.regular,
+            i_write.counters.ops_per_class[CLASS_READ], i_write.counters.regular,
             "all reads regular under i-write"
         );
         assert!(

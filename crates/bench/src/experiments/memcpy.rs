@@ -54,7 +54,9 @@ pub fn measure(
         disp = disp.without_cost_injection();
     }
     let io = EnclaveIo::new(&disp, funcs);
-    let fd = io.open("/dev/null", sgx_sim::hostfs::OpenMode::Write).expect("open /dev/null");
+    let fd = io
+        .open("/dev/null", sgx_sim::hostfs::OpenMode::Write)
+        .expect("open /dev/null");
 
     // Source buffer at a fixed phase so alignment control is stable.
     let payload = vec![0xA5u8; size];
@@ -62,7 +64,8 @@ pub fn measure(
     let mut out = Vec::new();
     // Warm-up.
     for _ in 0..64 {
-        disp.dispatch(&req, &payload, &mut out).expect("warmup write");
+        disp.dispatch(&req, &payload, &mut out)
+            .expect("warmup write");
     }
     let start = Instant::now();
     for _ in 0..ops {
@@ -141,7 +144,13 @@ mod tests {
         // The headline effect, isolated from the transition spin. Small
         // op counts keep the test fast; the margin is enormous (paper:
         // 15×), so noise is not a concern.
-        let v = measure(MemcpyKind::Vanilla, Alignment::Unaligned, 32_768, 300, false);
+        let v = measure(
+            MemcpyKind::Vanilla,
+            Alignment::Unaligned,
+            32_768,
+            300,
+            false,
+        );
         let z = measure(MemcpyKind::Zc, Alignment::Unaligned, 32_768, 300, false);
         assert!(
             z.gbps > v.gbps * 2.0,
@@ -154,7 +163,13 @@ mod tests {
     #[test]
     fn vanilla_aligned_beats_vanilla_unaligned() {
         let a = measure(MemcpyKind::Vanilla, Alignment::Aligned, 32_768, 300, false);
-        let u = measure(MemcpyKind::Vanilla, Alignment::Unaligned, 32_768, 300, false);
+        let u = measure(
+            MemcpyKind::Vanilla,
+            Alignment::Unaligned,
+            32_768,
+            300,
+            false,
+        );
         assert!(
             a.gbps > u.gbps * 1.5,
             "word copy ({:.2}) must beat byte copy ({:.2})",

@@ -108,7 +108,14 @@ pub fn fig10(file_bytes: usize, chunk_bytes: usize, workers: usize) -> Table {
             file_bytes / 1024,
             chunk_bytes
         ),
-        &["config", "runtime (s)", "%cpu", "switchless", "fallback", "regular"],
+        &[
+            "config",
+            "runtime (s)",
+            "%cpu",
+            "switchless",
+            "fallback",
+            "regular",
+        ],
     );
     for mech in configs(workers) {
         let r = run(&enc, &dec, &mech);
@@ -173,7 +180,10 @@ mod tests {
             "AES work must precede writes: {}",
             w.pre_compute_cycles
         );
-        let r = enc.iter().find(|c| c.class == fscommon::FREAD).expect("has reads");
+        let r = enc
+            .iter()
+            .find(|c| c.class == fscommon::FREAD)
+            .expect("has reads");
         assert_eq!(r.pre_compute_cycles, 0);
     }
 

@@ -82,7 +82,10 @@ impl SynthConfig {
 /// half of each in the `_a` classes.
 #[must_use]
 pub fn split_pattern(g_pauses: u64, pause_cycles: u64) -> Vec<CallDesc> {
-    let f = |class| CallDesc { class, ..CallDesc::default() };
+    let f = |class| CallDesc {
+        class,
+        ..CallDesc::default()
+    };
     let g = |class| CallDesc {
         class,
         host_cycles: g_pauses * pause_cycles,
@@ -156,7 +159,13 @@ pub fn fig2(params: SynthParams, workers: &[usize]) -> Table {
     for cfg in SynthConfig::ALL {
         let mut row = vec![cfg.label().to_string()];
         for &w in workers {
-            let report = run_synthetic(cfg, SynthParams { workers: w, ..params });
+            let report = run_synthetic(
+                cfg,
+                SynthParams {
+                    workers: w,
+                    ..params
+                },
+            );
             row.push(f3(report.duration_secs()));
         }
         table.row(row);
@@ -177,7 +186,12 @@ pub fn fig3(params: SynthParams, g_pauses: &[u64], workers: &[usize]) -> Table {
         ),
         &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
-    for cfg in [SynthConfig::C1, SynthConfig::C2, SynthConfig::C4, SynthConfig::C5] {
+    for cfg in [
+        SynthConfig::C1,
+        SynthConfig::C2,
+        SynthConfig::C4,
+        SynthConfig::C5,
+    ] {
         for &g in g_pauses {
             let mut row = vec![cfg.label().to_string(), g.to_string()];
             for &w in workers {

@@ -76,7 +76,13 @@ pub fn render(trace: &[OccupancyEvent], cores: usize, t0: u64, t1: u64, buckets:
 /// Convenience: render a finished kernel's whole trace.
 #[must_use]
 pub fn render_kernel(kernel: &Kernel, buckets: usize) -> String {
-    render(kernel.trace(), kernel.cores(), 0, kernel.now().max(1), buckets)
+    render(
+        kernel.trace(),
+        kernel.cores(),
+        0,
+        kernel.now().max(1),
+        buckets,
+    )
 }
 
 #[cfg(test)]
@@ -105,8 +111,14 @@ mod tests {
         let g = render_kernel(&k, 10);
         let lines: Vec<&str> = g.lines().collect();
         assert_eq!(lines.len(), 2);
-        assert!(lines[0].contains('0'), "thread 0 must appear on core 0: {g}");
-        assert!(lines[1].contains('1'), "thread 1 must appear on core 1: {g}");
+        assert!(
+            lines[0].contains('0'),
+            "thread 0 must appear on core 0: {g}"
+        );
+        assert!(
+            lines[1].contains('1'),
+            "thread 1 must appear on core 1: {g}"
+        );
         // Core 0 goes idle halfway (thread 0 finishes at 1000 of 2000).
         assert!(lines[0].contains('-'), "core 0 must show idle time: {g}");
     }
@@ -134,7 +146,11 @@ mod tests {
 
     #[test]
     fn glyphs_wrap_past_36_threads() {
-        let ev = [OccupancyEvent { t: 0, core: 0, tid: Some(Tid(37)) }];
+        let ev = [OccupancyEvent {
+            t: 0,
+            core: 0,
+            tid: Some(Tid(37)),
+        }];
         let g = render(&ev, 1, 0, 10, 2);
         assert!(g.contains('1'), "37 % 36 = 1: {g}");
     }

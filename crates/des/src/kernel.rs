@@ -456,7 +456,10 @@ impl Kernel {
                     // touching the thread's op.
                     self.cores[core].quantum_generation += 1;
                     let generation = self.cores[core].quantum_generation;
-                    self.push_event(self.now + self.rr_quantum, Event::Quantum { core, generation });
+                    self.push_event(
+                        self.now + self.rr_quantum,
+                        Event::Quantum { core, generation },
+                    );
                 } else {
                     self.preempt(tid, core);
                 }
@@ -535,7 +538,10 @@ impl Kernel {
             }) => {
                 if target.matches(self.flags[flag.0].value) {
                     // Condition already true: observed after one pause.
-                    self.push_event(now + self.pause_cycles, Event::OpComplete { tid, generation });
+                    self.push_event(
+                        now + self.pause_cycles,
+                        Event::OpComplete { tid, generation },
+                    );
                 } else {
                     if !self.flags[flag.0].waiters.contains(&tid) {
                         self.flags[flag.0].waiters.push(tid);
@@ -579,7 +585,10 @@ impl Kernel {
             let qgen = self.cores[core].quantum_generation;
             self.push_event(
                 self.now + self.rr_quantum,
-                Event::Quantum { core, generation: qgen },
+                Event::Quantum {
+                    core,
+                    generation: qgen,
+                },
             );
             if self.threads[tid.0].pending.is_none() {
                 self.step_thread_on_core(tid, core);
@@ -764,8 +773,14 @@ mod tests {
     fn two_threads_one_core_serialize() {
         let mut k = kernel(1);
         let log = Rc::new(RefCell::new(Vec::new()));
-        let a = k.spawn(Script::new(vec![Syscall::Compute(300_000)], Rc::clone(&log)));
-        let b = k.spawn(Script::new(vec![Syscall::Compute(300_000)], Rc::clone(&log)));
+        let a = k.spawn(Script::new(
+            vec![Syscall::Compute(300_000)],
+            Rc::clone(&log),
+        ));
+        let b = k.spawn(Script::new(
+            vec![Syscall::Compute(300_000)],
+            Rc::clone(&log),
+        ));
         let end = k.run();
         assert_eq!(end, 600_000, "one core must serialize the work");
         assert_eq!(k.thread_cycles(a).0, 300_000);
@@ -776,8 +791,14 @@ mod tests {
     fn two_threads_two_cores_parallelize() {
         let mut k = kernel(2);
         let log = Rc::new(RefCell::new(Vec::new()));
-        k.spawn(Script::new(vec![Syscall::Compute(300_000)], Rc::clone(&log)));
-        k.spawn(Script::new(vec![Syscall::Compute(300_000)], Rc::clone(&log)));
+        k.spawn(Script::new(
+            vec![Syscall::Compute(300_000)],
+            Rc::clone(&log),
+        ));
+        k.spawn(Script::new(
+            vec![Syscall::Compute(300_000)],
+            Rc::clone(&log),
+        ));
         assert_eq!(k.run(), 300_000);
     }
 
@@ -787,8 +808,14 @@ mod tests {
         // within one quantum of each other, not FIFO at 3M/6M.
         let mut k = kernel(1);
         let log = Rc::new(RefCell::new(Vec::new()));
-        k.spawn(Script::new(vec![Syscall::Compute(3_000_000)], Rc::clone(&log)));
-        k.spawn(Script::new(vec![Syscall::Compute(3_000_000)], Rc::clone(&log)));
+        k.spawn(Script::new(
+            vec![Syscall::Compute(3_000_000)],
+            Rc::clone(&log),
+        ));
+        k.spawn(Script::new(
+            vec![Syscall::Compute(3_000_000)],
+            Rc::clone(&log),
+        ));
         let end = k.run();
         assert_eq!(end, 6_000_000, "total work is conserved under preemption");
         let finish_times: Vec<u64> = log
@@ -808,8 +835,14 @@ mod tests {
     fn sleep_yields_the_core() {
         let mut k = kernel(1);
         let log = Rc::new(RefCell::new(Vec::new()));
-        let sleeper = k.spawn(Script::new(vec![Syscall::Sleep(1_000_000)], Rc::clone(&log)));
-        let worker = k.spawn(Script::new(vec![Syscall::Compute(500_000)], Rc::clone(&log)));
+        let sleeper = k.spawn(Script::new(
+            vec![Syscall::Sleep(1_000_000)],
+            Rc::clone(&log),
+        ));
+        let worker = k.spawn(Script::new(
+            vec![Syscall::Compute(500_000)],
+            Rc::clone(&log),
+        ));
         let end = k.run();
         assert_eq!(end, 1_000_000, "sleep dominates");
         assert_eq!(k.thread_cycles(sleeper), (0, 1_000_000));
@@ -825,16 +858,27 @@ mod tests {
         let log = Rc::new(RefCell::new(Vec::new()));
         let flag = k.new_flag(0);
         k.spawn(Script::new(
-            vec![Syscall::SpinUntil { flag, target: SpinTarget::Eq(1), timeout_pauses: None }],
+            vec![Syscall::SpinUntil {
+                flag,
+                target: SpinTarget::Eq(1),
+                timeout_pauses: None,
+            }],
             Rc::clone(&log),
         ));
         k.spawn(Script::new(
-            vec![Syscall::Compute(10_000), Syscall::SetFlag { flag, value: 1 }],
+            vec![
+                Syscall::Compute(10_000),
+                Syscall::SetFlag { flag, value: 1 },
+            ],
             Rc::clone(&log),
         ));
         let end = k.run();
         assert_eq!(end, 10_000 + 140, "observed one pause after the set");
-        assert_eq!(k.thread_cycles(Tid(0)).0, 10_140, "spinner burned CPU throughout");
+        assert_eq!(
+            k.thread_cycles(Tid(0)).0,
+            10_140,
+            "spinner burned CPU throughout"
+        );
     }
 
     #[test]
@@ -843,7 +887,11 @@ mod tests {
         let log = Rc::new(RefCell::new(Vec::new()));
         let flag = k.new_flag(0);
         k.spawn(Script::new(
-            vec![Syscall::SpinUntil { flag, target: SpinTarget::Eq(1), timeout_pauses: Some(100) }],
+            vec![Syscall::SpinUntil {
+                flag,
+                target: SpinTarget::Eq(1),
+                timeout_pauses: Some(100),
+            }],
             Rc::clone(&log),
         ));
         let end = k.run();
@@ -857,7 +905,11 @@ mod tests {
         let log = Rc::new(RefCell::new(Vec::new()));
         let flag = k.new_flag(7);
         k.spawn(Script::new(
-            vec![Syscall::SpinUntil { flag, target: SpinTarget::Eq(7), timeout_pauses: Some(5) }],
+            vec![Syscall::SpinUntil {
+                flag,
+                target: SpinTarget::Eq(7),
+                timeout_pauses: Some(5),
+            }],
             Rc::clone(&log),
         ));
         let end = k.run();
@@ -907,10 +959,17 @@ mod tests {
         let log = Rc::new(RefCell::new(Vec::new()));
         let flag = k.new_flag(0);
         k.spawn(Script::new(
-            vec![Syscall::SpinUntil { flag, target: SpinTarget::Eq(1), timeout_pauses: Some(1_000) }],
+            vec![Syscall::SpinUntil {
+                flag,
+                target: SpinTarget::Eq(1),
+                timeout_pauses: Some(1_000),
+            }],
             Rc::clone(&log),
         ));
-        k.spawn(Script::new(vec![Syscall::SetFlag { flag, value: 1 }], Rc::clone(&log)));
+        k.spawn(Script::new(
+            vec![Syscall::SetFlag { flag, value: 1 }],
+            Rc::clone(&log),
+        ));
         k.run();
         assert_eq!(
             log.borrow()[1],
@@ -928,7 +987,11 @@ mod tests {
         let log = Rc::new(RefCell::new(Vec::new()));
         let flag = k.new_flag(0);
         k.spawn(Script::new(
-            vec![Syscall::SpinUntil { flag, target: SpinTarget::Eq(1), timeout_pauses: None }],
+            vec![Syscall::SpinUntil {
+                flag,
+                target: SpinTarget::Eq(1),
+                timeout_pauses: None,
+            }],
             Rc::clone(&log),
         ));
         k.spawn(Script::new(
@@ -947,7 +1010,10 @@ mod tests {
         let mut k = Kernel::new(1, 100_000, 140);
         let log = Rc::new(RefCell::new(Vec::new()));
         for _ in 0..3 {
-            k.spawn(Script::new(vec![Syscall::Compute(1_000_000)], Rc::clone(&log)));
+            k.spawn(Script::new(
+                vec![Syscall::Compute(1_000_000)],
+                Rc::clone(&log),
+            ));
         }
         let end = k.run();
         assert_eq!(end, 3_000_000);
@@ -964,7 +1030,11 @@ mod tests {
         let log = Rc::new(RefCell::new(Vec::new()));
         let flag = k.new_flag(0);
         k.spawn(Script::new(
-            vec![Syscall::SpinUntil { flag, target: SpinTarget::Eq(1), timeout_pauses: Some(100) }],
+            vec![Syscall::SpinUntil {
+                flag,
+                target: SpinTarget::Eq(1),
+                timeout_pauses: Some(100),
+            }],
             Rc::clone(&log),
         ));
         k.spawn(Script::new(vec![Syscall::Compute(50_000)], Rc::clone(&log)));
@@ -988,7 +1058,10 @@ mod tests {
     fn deadline_stops_the_clock() {
         let mut k = kernel(1);
         let log = Rc::new(RefCell::new(Vec::new()));
-        k.spawn(Script::new(vec![Syscall::Compute(u64::MAX / 2)], Rc::clone(&log)));
+        k.spawn(Script::new(
+            vec![Syscall::Compute(u64::MAX / 2)],
+            Rc::clone(&log),
+        ));
         let end = k.run_until(1_000_000);
         assert_eq!(end, 1_000_000);
         assert_eq!(k.live_threads(), 1);
@@ -1058,7 +1131,10 @@ mod tests {
         let f = k.new_flag(3);
         assert_eq!(k.flag(f), 3);
         let log = Rc::new(RefCell::new(Vec::new()));
-        k.spawn(Script::new(vec![Syscall::SetFlag { flag: f, value: 9 }], Rc::clone(&log)));
+        k.spawn(Script::new(
+            vec![Syscall::SetFlag { flag: f, value: 9 }],
+            Rc::clone(&log),
+        ));
         k.run();
         assert_eq!(k.flag(f), 9);
     }

@@ -199,7 +199,11 @@ mod tests {
     #[test]
     fn cpu_percent_series_clamped() {
         let tl = Timeline {
-            samples: vec![sample(0, 0, 0), sample(1_000, 0, 500), sample(2_000, 0, 5_000)],
+            samples: vec![
+                sample(0, 0, 0),
+                sample(1_000, 0, 500),
+                sample(2_000, 0, 5_000),
+            ],
         };
         let cpu = tl.cpu_percent(2);
         assert_eq!(cpu[0], 25.0); // 500 busy / 2000 capacity

@@ -107,7 +107,9 @@ impl HotcallsWorld {
     }
 
     fn find_unused(&self) -> Option<usize> {
-        self.workers.iter().position(|w| w.state == WorkerState::Unused)
+        self.workers
+            .iter()
+            .position(|w| w.state == WorkerState::Unused)
     }
 }
 
@@ -129,11 +131,17 @@ enum Dialog {
     /// Spinning on the release doorbell for a free worker.
     AwaitFree,
     /// Copying the payload to the claimed worker.
-    Post { w: usize },
+    Post {
+        w: usize,
+    },
     /// Ringing the worker.
-    Ring { w: usize },
+    Ring {
+        w: usize,
+    },
     /// Spinning for completion.
-    Await { w: usize },
+    Await {
+        w: usize,
+    },
     /// Ringing the release doorbell after collecting.
     ReleaseRing,
     /// Copying results back.

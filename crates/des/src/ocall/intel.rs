@@ -96,7 +96,11 @@ pub struct IntelWorld {
 
 impl IntelWorld {
     /// Build the world and allocate its kernel flags.
-    pub fn new(kernel: &mut Kernel, config: IntelSimConfig, callers: usize) -> Rc<RefCell<IntelWorld>> {
+    pub fn new(
+        kernel: &mut Kernel,
+        config: IntelSimConfig,
+        callers: usize,
+    ) -> Rc<RefCell<IntelWorld>> {
         let queue_db = kernel.new_flag(0);
         let accept_db = (0..callers).map(|_| kernel.new_flag(0)).collect();
         let done_db = (0..callers).map(|_| kernel.new_flag(0)).collect();
@@ -136,7 +140,9 @@ enum Dialog {
     /// Copying the payload into untrusted memory before submitting.
     CopyIn,
     /// Ringing the queue doorbell (then optionally waking a sleeper).
-    RingQueue { wake: Option<Tid> },
+    RingQueue {
+        wake: Option<Tid>,
+    },
     /// Waking a sleeping worker.
     Wake,
     /// Spinning for acceptance with the rbf budget.
@@ -370,7 +376,10 @@ impl crate::kernel::Actor for IntelWorkerActor {
                     self.phase = WPhase::Poll;
                     // Loop back to re-poll immediately.
                 }
-                WPhase::Accepted { caller, host_cycles } => {
+                WPhase::Accepted {
+                    caller,
+                    host_cycles,
+                } => {
                     self.phase = WPhase::Executing { caller };
                     return Syscall::Compute(host_cycles);
                 }

@@ -75,7 +75,12 @@ pub struct ZcWorld {
 
 impl ZcWorld {
     /// Build the world and allocate its kernel flags.
-    pub fn new(kernel: &mut Kernel, max_workers: usize, callers: usize, pool_bytes: u64) -> Rc<RefCell<ZcWorld>> {
+    pub fn new(
+        kernel: &mut Kernel,
+        max_workers: usize,
+        callers: usize,
+        pool_bytes: u64,
+    ) -> Rc<RefCell<ZcWorld>> {
         let workers = (0..max_workers)
             .map(|_| WorkerSt {
                 state: WorkerState::Unused,
@@ -103,7 +108,9 @@ impl ZcWorld {
     }
 
     fn find_unused(&self) -> Option<usize> {
-        self.workers.iter().position(|w| w.state == WorkerState::Unused)
+        self.workers
+            .iter()
+            .position(|w| w.state == WorkerState::Unused)
     }
 }
 
@@ -122,11 +129,17 @@ pub struct ZcDispatcher {
 enum Dialog {
     Idle,
     /// Copying the payload into the claimed worker's pool.
-    Post { w: usize },
+    Post {
+        w: usize,
+    },
     /// Ringing the worker's doorbell.
-    Ring { w: usize },
+    Ring {
+        w: usize,
+    },
     /// Spinning for completion.
-    Await { w: usize },
+    Await {
+        w: usize,
+    },
     /// Ringing the worker's doorbell after release.
     ReleaseRing,
     /// Copying results back.
@@ -386,7 +399,9 @@ impl crate::kernel::Actor for ZcSchedulerActor {
             }
         }
         self.queue.push_back(Syscall::Sleep(step.duration_cycles()));
-        self.queue.pop_front().expect("queue holds at least the sleep")
+        self.queue
+            .pop_front()
+            .expect("queue holds at least the sleep")
     }
 
     fn group(&self) -> &str {

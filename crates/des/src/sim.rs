@@ -160,7 +160,9 @@ impl SimReport {
     /// Machine-wide average CPU utilisation in percent over the run.
     #[must_use]
     pub fn cpu_percent(&self) -> f64 {
-        let capacity = self.duration_cycles.saturating_mul(self.cpu.logical_cpus as u64);
+        let capacity = self
+            .duration_cycles
+            .saturating_mul(self.cpu.logical_cpus as u64);
         if capacity == 0 {
             return 0.0;
         }
@@ -174,7 +176,12 @@ impl SimReport {
         if secs <= 0.0 {
             return 0.0;
         }
-        self.counters.ops_per_caller.get(caller).copied().unwrap_or(0) as f64 / secs
+        self.counters
+            .ops_per_caller
+            .get(caller)
+            .copied()
+            .unwrap_or(0) as f64
+            / secs
     }
 
     /// Mean per-call latency over all callers, in microseconds (wall
@@ -196,7 +203,11 @@ impl SimReport {
 
 /// Run one experiment to completion (all callers done or deadline).
 pub fn run(config: &SimConfig) -> SimReport {
-    let mut kernel = Kernel::new(config.cpu.logical_cpus, config.rr_quantum, config.cpu.pause_cycles);
+    let mut kernel = Kernel::new(
+        config.cpu.logical_cpus,
+        config.rr_quantum,
+        config.cpu.pause_cycles,
+    );
     if config.gantt_buckets > 0 {
         kernel.enable_tracing();
     }
@@ -384,7 +395,11 @@ mod tests {
 
     #[test]
     fn no_sl_baseline_runs() {
-        let r = run(&SimConfig::new(Mechanism::NoSl, vec![closed(1_000, 500)], 1));
+        let r = run(&SimConfig::new(
+            Mechanism::NoSl,
+            vec![closed(1_000, 500)],
+            1,
+        ));
         assert_eq!(r.counters.total_calls(), 1_000);
         assert_eq!(r.counters.regular, 1_000);
         assert_eq!(r.counters.switchless, 0);
@@ -482,7 +497,10 @@ mod tests {
             r.counters.switchless > 0,
             "zc must serve some calls switchlessly"
         );
-        assert!(r.residency.total_cycles() > 0, "scheduler must record residency");
+        assert!(
+            r.residency.total_cycles() > 0,
+            "scheduler must record residency"
+        );
     }
 
     #[test]
@@ -490,7 +508,11 @@ mod tests {
         // The paper's core claim: switchless wins for short calls.
         let wl = vec![closed(10_000, 200); 4];
         let no_sl = run(&SimConfig::new(Mechanism::NoSl, wl.clone(), 1));
-        let zc = run(&SimConfig::new(Mechanism::Zc(ZcSimParams::default()), wl, 1));
+        let zc = run(&SimConfig::new(
+            Mechanism::Zc(ZcSimParams::default()),
+            wl,
+            1,
+        ));
         assert!(
             zc.duration_cycles < no_sl.duration_cycles,
             "zc ({}) must beat no_sl ({}) on short calls",
@@ -510,8 +532,8 @@ mod tests {
 
     #[test]
     fn sampling_produces_a_timeline() {
-        let cfg = SimConfig::new(Mechanism::NoSl, vec![closed(1_000, 500)], 1)
-            .with_sampling(1_000_000);
+        let cfg =
+            SimConfig::new(Mechanism::NoSl, vec![closed(1_000, 500)], 1).with_sampling(1_000_000);
         let r = run(&cfg);
         assert!(r.timeline.samples.len() > 3);
         // Ops are monotonically non-decreasing.

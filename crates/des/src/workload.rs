@@ -85,9 +85,18 @@ impl PhasedLoad {
             period_cycles: secs(1) / 2,
             initial_ops,
             phases: vec![
-                Phase { duration_cycles: secs(20), mode: PhaseMode::Doubling },
-                Phase { duration_cycles: secs(20), mode: PhaseMode::Constant },
-                Phase { duration_cycles: secs(20), mode: PhaseMode::Halving },
+                Phase {
+                    duration_cycles: secs(20),
+                    mode: PhaseMode::Doubling,
+                },
+                Phase {
+                    duration_cycles: secs(20),
+                    mode: PhaseMode::Constant,
+                },
+                Phase {
+                    duration_cycles: secs(20),
+                    mode: PhaseMode::Halving,
+                },
             ],
         }
     }
@@ -110,9 +119,8 @@ impl PhasedLoad {
             }
             // Advance the baseline to the end of this phase.
             ops_at_phase_start = match phase.mode {
-                PhaseMode::Doubling => {
-                    ops_at_phase_start.saturating_mul(1 << periods_in_phase.saturating_sub(1).min(40))
-                }
+                PhaseMode::Doubling => ops_at_phase_start
+                    .saturating_mul(1 << periods_in_phase.saturating_sub(1).min(40)),
                 PhaseMode::Constant => ops_at_phase_start,
                 PhaseMode::Halving => {
                     (ops_at_phase_start >> periods_in_phase.saturating_sub(1).min(40)).max(1)
@@ -280,7 +288,9 @@ impl Actor for CallerActor {
                     match self.dispatcher.advance(&call, res, now) {
                         Step::Next(s) => return s,
                         Step::Complete(path) => {
-                            self.counters.borrow_mut().record_call(self.id, call.class, path);
+                            self.counters
+                                .borrow_mut()
+                                .record_call(self.id, call.class, path);
                             self.ops_issued += 1;
                             self.state = CallerState::Deciding;
                             // Loop to decide the next action immediately.
@@ -321,9 +331,18 @@ mod tests {
             period_cycles: 10,
             initial_ops: 2,
             phases: vec![
-                Phase { duration_cycles: 40, mode: PhaseMode::Doubling },
-                Phase { duration_cycles: 40, mode: PhaseMode::Constant },
-                Phase { duration_cycles: 40, mode: PhaseMode::Halving },
+                Phase {
+                    duration_cycles: 40,
+                    mode: PhaseMode::Doubling,
+                },
+                Phase {
+                    duration_cycles: 40,
+                    mode: PhaseMode::Constant,
+                },
+                Phase {
+                    duration_cycles: 40,
+                    mode: PhaseMode::Halving,
+                },
             ],
         };
         // Doubling: 2,4,8,16
@@ -348,7 +367,10 @@ mod tests {
             call: call(1),
             period_cycles: 10,
             initial_ops: 2,
-            phases: vec![Phase { duration_cycles: 100, mode: PhaseMode::Halving }],
+            phases: vec![Phase {
+                duration_cycles: 100,
+                mode: PhaseMode::Halving,
+            }],
         };
         assert_eq!(p.ops_for_period(90), Some(1));
     }
@@ -399,8 +421,14 @@ mod tests {
 
         let mut k = Kernel::new(1, 1_000_000, 140);
         let counters = Rc::new(RefCell::new(SimCounters::new(1, 2)));
-        let f = CallDesc { class: 0, ..call(0) };
-        let g = CallDesc { class: 1, ..call(50) };
+        let f = CallDesc {
+            class: 0,
+            ..call(0)
+        };
+        let g = CallDesc {
+            class: 1,
+            ..call(50)
+        };
         let spec = WorkloadSpec::ClosedLoop {
             pattern: vec![f, f, f, g],
             total_ops: 12,
@@ -429,7 +457,10 @@ mod tests {
             call: call(100),
             period_cycles: 1_000_000,
             initial_ops: 3,
-            phases: vec![Phase { duration_cycles: 2_000_000, mode: PhaseMode::Constant }],
+            phases: vec![Phase {
+                duration_cycles: 2_000_000,
+                mode: PhaseMode::Constant,
+            }],
         };
         k.spawn(Box::new(CallerActor::new(
             0,
@@ -440,7 +471,10 @@ mod tests {
         let end = k.run();
         let c = counters.borrow();
         assert_eq!(c.total_calls(), 6, "3 ops in each of 2 periods");
-        assert!(end >= 2_000_000, "caller must sleep out both periods, ended at {end}");
+        assert!(
+            end >= 2_000_000,
+            "caller must sleep out both periods, ended at {end}"
+        );
         // Busy time far below elapsed time.
         assert!(k.thread_cycles(crate::kernel::Tid(0)).0 < 200_000);
     }

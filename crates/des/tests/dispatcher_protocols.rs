@@ -21,7 +21,11 @@ fn one_call(host: u64, payload: u64) -> WorkloadSpec {
 #[test]
 fn regular_call_duration_is_exactly_modelled() {
     // One caller, one regular call: duration = T_es + copies + host.
-    let r = zc_des::run(&SimConfig::new(Mechanism::NoSl, vec![one_call(1_000, 160)], 1));
+    let r = zc_des::run(&SimConfig::new(
+        Mechanism::NoSl,
+        vec![one_call(1_000, 160)],
+        1,
+    ));
     assert_eq!(r.duration_cycles, 13_500 + 10 + 1_000);
 }
 
@@ -30,7 +34,10 @@ fn zc_switchless_call_is_cheaper_than_a_transition() {
     // One caller, one short call, worker held active by a huge quantum:
     // the switchless round trip must cost far less than T_es.
     let r = zc_des::run(&SimConfig::new(
-        Mechanism::Zc(ZcSimParams { quantum_ms: 10_000, ..ZcSimParams::default() }),
+        Mechanism::Zc(ZcSimParams {
+            quantum_ms: 10_000,
+            ..ZcSimParams::default()
+        }),
         vec![one_call(1_000, 160)],
         1,
     ));
@@ -41,7 +48,11 @@ fn zc_switchless_call_is_cheaper_than_a_transition() {
         r.duration_cycles
     );
     // handoff 600 + copy 10 + ring/pause latencies + host 1000 + collect.
-    assert!(r.duration_cycles > 1_900, "cost model floor: {}", r.duration_cycles);
+    assert!(
+        r.duration_cycles > 1_900,
+        "cost model floor: {}",
+        r.duration_cycles
+    );
 }
 
 #[test]
@@ -54,23 +65,40 @@ fn intel_task_pool_overflow_falls_back() {
     };
     let workloads = vec![
         WorkloadSpec::ClosedLoop {
-            pattern: vec![CallDesc { host_cycles: 100_000, ..CallDesc::default() }],
+            pattern: vec![CallDesc {
+                host_cycles: 100_000,
+                ..CallDesc::default()
+            }],
             total_ops: 5,
         };
         8
     ];
     let r = zc_des::run(&SimConfig::new(Mechanism::Intel(cfg), workloads, 1));
     assert_eq!(r.counters.total_calls(), 40);
-    assert!(r.counters.fallback > 0, "pool of 1 must overflow under 8 callers");
-    assert!(r.counters.switchless > 0, "the worker must still serve some calls");
+    assert!(
+        r.counters.fallback > 0,
+        "pool of 1 must overflow under 8 callers"
+    );
+    assert!(
+        r.counters.switchless > 0,
+        "the worker must still serve some calls"
+    );
 }
 
 #[test]
 fn zc_pool_reallocation_is_charged() {
     // Payloads sized to exhaust the worker pool every few calls.
-    let zp = ZcSimParams { pool_bytes: 1_000, quantum_ms: 10_000, ..ZcSimParams::default() };
+    let zp = ZcSimParams {
+        pool_bytes: 1_000,
+        quantum_ms: 10_000,
+        ..ZcSimParams::default()
+    };
     let workloads = vec![WorkloadSpec::ClosedLoop {
-        pattern: vec![CallDesc { payload_bytes: 400, host_cycles: 500, ..CallDesc::default() }],
+        pattern: vec![CallDesc {
+            payload_bytes: 400,
+            host_cycles: 500,
+            ..CallDesc::default()
+        }],
         total_ops: 20,
     }];
     let r = zc_des::run(&SimConfig::new(Mechanism::Zc(zp), workloads, 1));
@@ -83,7 +111,11 @@ fn zc_pool_reallocation_is_charged() {
 
 #[test]
 fn zc_oversized_payload_falls_back() {
-    let zp = ZcSimParams { pool_bytes: 100, quantum_ms: 10_000, ..ZcSimParams::default() };
+    let zp = ZcSimParams {
+        pool_bytes: 100,
+        quantum_ms: 10_000,
+        ..ZcSimParams::default()
+    };
     let r = zc_des::run(&SimConfig::new(
         Mechanism::Zc(zp),
         vec![one_call(500, 10_000)],
@@ -101,7 +133,10 @@ fn hotcalls_callers_queue_rather_than_fall_back() {
         Mechanism::Hotcalls(HotcallsConfig::new(1, [0])),
         vec![
             WorkloadSpec::ClosedLoop {
-                pattern: vec![CallDesc { host_cycles: 50_000, ..CallDesc::default() }],
+                pattern: vec![CallDesc {
+                    host_cycles: 50_000,
+                    ..CallDesc::default()
+                }],
                 total_ops: 3,
             };
             4
@@ -126,7 +161,10 @@ fn intel_default_rbf_outlasts_long_waits() {
         let cfg = IntelSimConfig::new(1, [0]).with_rbf(rbf);
         let workloads = vec![
             WorkloadSpec::ClosedLoop {
-                pattern: vec![CallDesc { host_cycles: 1_000_000, ..CallDesc::default() }],
+                pattern: vec![CallDesc {
+                    host_cycles: 1_000_000,
+                    ..CallDesc::default()
+                }],
                 total_ops: 2,
             };
             2
@@ -134,7 +172,14 @@ fn intel_default_rbf_outlasts_long_waits() {
         zc_des::run(&SimConfig::new(Mechanism::Intel(cfg), workloads, 1))
     };
     let default = long_call(20_000);
-    assert_eq!(default.counters.fallback, 0, "default rbf waits through 1M-cycle calls");
+    assert_eq!(
+        default.counters.fallback, 0,
+        "default rbf waits through 1M-cycle calls"
+    );
     let tight = long_call(100);
-    assert!(tight.counters.fallback > 0, "rbf=100 must give up: {:?}", tight.counters);
+    assert!(
+        tight.counters.fallback > 0,
+        "rbf=100 must give up: {:?}",
+        tight.counters
+    );
 }

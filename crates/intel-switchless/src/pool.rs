@@ -329,10 +329,16 @@ mod tests {
         for _ in 0..4 {
             let p = Arc::clone(&pool);
             handles.push(std::thread::spawn(move || {
-                (0..2).filter_map(|_| p.claim()).map(|s| s.0).collect::<Vec<_>>()
+                (0..2)
+                    .filter_map(|_| p.claim())
+                    .map(|s| s.0)
+                    .collect::<Vec<_>>()
             }));
         }
-        let mut all: Vec<usize> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_unstable();
         let n = all.len();
         all.dedup();

@@ -13,8 +13,10 @@ use sgx_sim::{CpuAccounting, CycleClock, Enclave, RegularOcall};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 use switchless_core::{
-    CallPath, CallStats, IntelConfig, OcallDispatcher, OcallRequest, OcallTable, SwitchlessError,
+    CallPath, CallStats, DrainReport, FaultInjector, IntelConfig, OcallDispatcher, OcallRequest,
+    OcallTable, SwitchlessError, WorkerFault,
 };
 
 /// Busy-wait loops yield to the OS scheduler after this many pauses.
@@ -33,6 +35,7 @@ struct Shared {
     sleep_lock: Mutex<()>,
     sleep_cv: Condvar,
     accounting: Option<Arc<CpuAccounting>>,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl Shared {
@@ -92,7 +95,7 @@ impl IntelSwitchless {
         table: Arc<OcallTable>,
         enclave: Enclave,
     ) -> Result<Self, SwitchlessError> {
-        Self::start_with_accounting(config, table, enclave, None)
+        Self::start_inner(config, table, enclave, None, None)
     }
 
     /// [`start`](IntelSwitchless::start) with CPU accounting: each worker
@@ -104,14 +107,45 @@ impl IntelSwitchless {
         enclave: Enclave,
         accounting: Option<Arc<CpuAccounting>>,
     ) -> Result<Self, SwitchlessError> {
+        Self::start_inner(config, table, enclave, accounting, None)
+    }
+
+    /// [`start`](IntelSwitchless::start) with a [`FaultInjector`]: workers
+    /// consult `faults` before picking up pending tasks (crash / stall /
+    /// hang), the fallback engine consults it per transition, and dispatch
+    /// applies injected clock skew. A crashed worker is degraded around by
+    /// the existing `rbf`-timeout → cancel → fallback path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`start`](IntelSwitchless::start).
+    pub fn start_with_faults(
+        config: IntelConfig,
+        table: Arc<OcallTable>,
+        enclave: Enclave,
+        faults: Arc<FaultInjector>,
+    ) -> Result<Self, SwitchlessError> {
+        Self::start_inner(config, table, enclave, None, Some(faults))
+    }
+
+    fn start_inner(
+        config: IntelConfig,
+        table: Arc<OcallTable>,
+        enclave: Enclave,
+        accounting: Option<Arc<CpuAccounting>>,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Result<Self, SwitchlessError> {
         if !config.switchless_funcs.is_empty() && config.num_uworkers == 0 {
             return Err(SwitchlessError::InvalidConfig(
                 "switchless functions configured but num_uworkers is 0".into(),
             ));
         }
         let stats = Arc::new(CallStats::new());
-        let fallback =
+        let mut fallback =
             RegularOcall::new(Arc::clone(&table), enclave.clone()).with_stats(Arc::clone(&stats));
+        if let Some(f) = &faults {
+            fallback = fallback.with_faults(Arc::clone(f));
+        }
         let shared = Arc::new(Shared {
             pool: TaskPool::new(config.task_pool_capacity),
             config,
@@ -124,6 +158,7 @@ impl IntelSwitchless {
             sleep_lock: Mutex::new(()),
             sleep_cv: Condvar::new(),
             accounting,
+            faults,
         });
         let workers = (0..shared.config.num_uworkers)
             .map(|i| {
@@ -152,14 +187,59 @@ impl IntelSwitchless {
         &self.shared.config
     }
 
+    /// Workers currently asleep on the wake condvar (rbs exhausted with
+    /// an empty task pool). Lets tests observe sleep/wake behaviour by
+    /// polling instead of guessing with wall-clock sleeps.
+    #[must_use]
+    pub fn sleeping_workers(&self) -> usize {
+        self.shared.sleepers.load(Ordering::Acquire)
+    }
+
     /// Stop workers and join them. Idempotent; also invoked on drop.
+    /// Delegates to [`shutdown_with_timeout`](Self::shutdown_with_timeout)
+    /// with a generous drain budget, so even a wedged worker cannot hang
+    /// shutdown forever.
     pub fn shutdown(&self) {
+        let _ = self.shutdown_with_timeout(Duration::from_secs(30));
+    }
+
+    /// Stop the runtime, draining workers for at most `timeout` of
+    /// modelled time; workers still alive at the deadline (e.g. wedged by
+    /// an injected hang) are abandoned — detached rather than joined. On
+    /// a virtual clock the deadline advances logically and no wall-clock
+    /// time is slept.
+    pub fn shutdown_with_timeout(&self, timeout: Duration) -> DrainReport {
         self.shared.running.store(false, Ordering::Release);
         self.shared.wake_all();
+        let clock = &self.shared.clock;
+        let deadline = clock
+            .now_cycles()
+            .saturating_add(clock.duration_to_cycles(timeout));
         let mut workers = self.workers.lock();
-        for h in workers.drain(..) {
-            let _ = h.join();
+        let mut report = DrainReport::default();
+        loop {
+            let mut still_running = Vec::new();
+            for h in workers.drain(..) {
+                if h.is_finished() {
+                    let _ = h.join();
+                    report.drained += 1;
+                } else {
+                    still_running.push(h);
+                }
+            }
+            if still_running.is_empty() {
+                break;
+            }
+            if clock.now_cycles() >= deadline {
+                report.abandoned = still_running.len();
+                drop(still_running);
+                break;
+            }
+            *workers = still_running;
+            self.shared.wake_all();
+            clock.sleep(Duration::from_millis(1));
         }
+        report
     }
 }
 
@@ -180,16 +260,26 @@ impl OcallDispatcher for IntelSwitchless {
         if !sh.running.load(Ordering::Acquire) {
             return Err(SwitchlessError::RuntimeStopped);
         }
+        if let Some(faults) = &sh.faults {
+            let skew = faults.on_dispatch();
+            if skew > 0 {
+                sh.clock.advance_cycles(skew);
+            }
+        }
         // Statically non-switchless functions always pay the transition.
         if !sh.config.is_switchless(req.func) {
-            let ret = sh.fallback.execute_transition(req, payload_in, payload_out)?;
+            let ret = sh
+                .fallback
+                .execute_transition(req, payload_in, payload_out)?;
             sh.stats.record_regular();
             return Ok((ret, CallPath::Regular));
         }
         // Switchless attempt: claim a slot (pool full -> immediate
         // fallback, as in the SDK).
         let Some(idx) = sh.pool.claim() else {
-            let ret = sh.fallback.execute_transition(req, payload_in, payload_out)?;
+            let ret = sh
+                .fallback
+                .execute_transition(req, payload_in, payload_out)?;
             sh.stats.record_fallback();
             return Ok((ret, CallPath::Fallback));
         };
@@ -201,7 +291,9 @@ impl OcallDispatcher for IntelSwitchless {
         while !sh.pool.is_accepted_or_done(idx) {
             if retries >= sh.config.retries_before_fallback {
                 if sh.pool.cancel(idx) {
-                    let ret = sh.fallback.execute_transition(req, payload_in, payload_out)?;
+                    let ret = sh
+                        .fallback
+                        .execute_transition(req, payload_in, payload_out)?;
                     sh.stats.record_fallback();
                     return Ok((ret, CallPath::Fallback));
                 }
@@ -242,6 +334,22 @@ fn worker_loop(sh: &Shared, index: usize) {
     let mut poll_retries: u32 = 0;
     let mut busy_since = sh.clock.now_cycles();
     while sh.running.load(Ordering::Acquire) {
+        // Fault-injection site: evaluated once per observed pending task,
+        // *before* the task is accepted — a crashed/hung worker leaves the
+        // submission unaccepted, so the caller's rbf timeout cancels it
+        // and degrades to a regular ocall.
+        if sh.pool.has_pending() {
+            if let Some(faults) = &sh.faults {
+                match faults.on_worker_call() {
+                    WorkerFault::None => {}
+                    WorkerFault::Stall(cycles) => sh.clock.spin_cycles(cycles),
+                    WorkerFault::Crash => return,
+                    WorkerFault::Hang => loop {
+                        std::thread::park();
+                    },
+                }
+            }
+        }
         if let Some(idx) = sh.pool.accept() {
             poll_retries = 0;
             sh.pool.complete(idx, |data| {
@@ -299,7 +407,11 @@ mod tests {
     use super::*;
     use switchless_core::MAX_OCALL_ARGS;
 
-    fn table() -> (Arc<OcallTable>, switchless_core::FuncId, switchless_core::FuncId) {
+    fn table() -> (
+        Arc<OcallTable>,
+        switchless_core::FuncId,
+        switchless_core::FuncId,
+    ) {
         let mut t = OcallTable::new();
         let echo = t.register(
             "echo",
@@ -324,7 +436,9 @@ mod tests {
         let (t, echo, add) = table();
         let rt = IntelSwitchless::start(IntelConfig::new(1, [echo]), t, enclave()).unwrap();
         let mut out = Vec::new();
-        let (ret, path) = rt.dispatch(&OcallRequest::new(add, &[1, 2]), &[], &mut out).unwrap();
+        let (ret, path) = rt
+            .dispatch(&OcallRequest::new(add, &[1, 2]), &[], &mut out)
+            .unwrap();
         assert_eq!(ret, 3);
         assert_eq!(path, CallPath::Regular);
         assert_eq!(rt.stats().snapshot().regular, 1);
@@ -364,7 +478,9 @@ mod tests {
         let (t, _, add) = table();
         let rt = IntelSwitchless::start(IntelConfig::new(0, []), t, enclave()).unwrap();
         let mut out = Vec::new();
-        let (ret, path) = rt.dispatch(&OcallRequest::new(add, &[5, 5]), &[], &mut out).unwrap();
+        let (ret, path) = rt
+            .dispatch(&OcallRequest::new(add, &[5, 5]), &[], &mut out)
+            .unwrap();
         assert_eq!(ret, 10);
         assert_eq!(path, CallPath::Regular);
     }
@@ -379,7 +495,9 @@ mod tests {
         let mut out = Vec::new();
         let mut fallbacks = 0;
         for _ in 0..50 {
-            let (ret, path) = rt.dispatch(&OcallRequest::new(echo, &[]), b"x", &mut out).unwrap();
+            let (ret, path) = rt
+                .dispatch(&OcallRequest::new(echo, &[]), b"x", &mut out)
+                .unwrap();
             assert_eq!(ret, 1);
             if path == CallPath::Fallback {
                 fallbacks += 1;
@@ -396,7 +514,9 @@ mod tests {
         let rt = IntelSwitchless::start(IntelConfig::new(1, [echo]), t, enclave()).unwrap();
         rt.shutdown();
         let mut out = Vec::new();
-        let err = rt.dispatch(&OcallRequest::new(echo, &[]), &[], &mut out).unwrap_err();
+        let err = rt
+            .dispatch(&OcallRequest::new(echo, &[]), &[], &mut out)
+            .unwrap_err();
         assert_eq!(err, SwitchlessError::RuntimeStopped);
     }
 
@@ -417,10 +537,20 @@ mod tests {
             .with_retries_before_sleep(0)
             .with_retries_before_fallback(2_000_000);
         let rt = IntelSwitchless::start(cfg, t, enclave()).unwrap();
-        // Give the worker a moment to go to sleep.
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Wait (bounded) until the worker has actually gone to sleep —
+        // observable via the sleeper count, no wall-clock guessing.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while rt.sleeping_workers() == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "worker never went to sleep"
+            );
+            std::thread::yield_now();
+        }
         let mut out = Vec::new();
-        let (ret, path) = rt.dispatch(&OcallRequest::new(echo, &[]), b"wake", &mut out).unwrap();
+        let (ret, path) = rt
+            .dispatch(&OcallRequest::new(echo, &[]), b"wake", &mut out)
+            .unwrap();
         assert_eq!(ret, 4);
         assert_eq!(out, b"wake");
         assert_eq!(path, CallPath::Switchless, "sleeping worker must be woken");
@@ -463,11 +593,19 @@ mod tests {
             Some(Arc::clone(&acc)),
         )
         .unwrap();
-        std::thread::sleep(std::time::Duration::from_millis(5));
+        // One real call guarantees each meter has busy cycles to record;
+        // no wall-clock sleep needed.
+        let mut out = Vec::new();
+        let (ret, _) = rt
+            .dispatch(&OcallRequest::new(echo, &[]), b"acct", &mut out)
+            .unwrap();
+        assert_eq!(ret, 4);
         rt.shutdown();
         let per = acc.per_thread();
         assert_eq!(per.len(), 2);
-        assert!(per.iter().all(|(name, _, _)| name.starts_with("intel-uworker-")));
+        assert!(per
+            .iter()
+            .all(|(name, _, _)| name.starts_with("intel-uworker-")));
         assert!(acc.total_busy_cycles() > 0, "pollers must record busy time");
     }
 }

@@ -187,5 +187,9 @@ fn exactly_once_under_thread_stress() {
     for h in workers {
         h.join().unwrap();
     }
-    assert_eq!(served.load(Ordering::Relaxed), 600, "each task served exactly once");
+    assert_eq!(
+        served.load(Ordering::Relaxed),
+        600,
+        "each task served exactly once"
+    );
 }

@@ -87,13 +87,40 @@ impl Enclave {
         Self::with_limits(spec, PAPER_HEAP_MAX, PAPER_USABLE_EPC)
     }
 
+    /// New enclave with the paper's limits, running on *virtual* time:
+    /// every runtime built on this enclave inherits a
+    /// [`CycleClock::new_virtual`] clock, so scheduler quanta, injected
+    /// costs and drain timeouts advance logical time instead of sleeping
+    /// or spinning on the wall clock. This is the constructor the
+    /// deterministic fault-injection tests use.
+    #[must_use]
+    pub fn new_virtual(spec: CpuSpec) -> Self {
+        Self::with_clock(
+            spec,
+            CycleClock::new_virtual(spec),
+            PAPER_HEAP_MAX,
+            PAPER_USABLE_EPC,
+        )
+    }
+
     /// New enclave with explicit heap maximum and usable EPC.
     #[must_use]
     pub fn with_limits(spec: CpuSpec, heap_max: usize, usable_epc: usize) -> Self {
+        Self::with_clock(spec, CycleClock::new(spec), heap_max, usable_epc)
+    }
+
+    /// New enclave with an explicit clock (real or virtual) and limits.
+    #[must_use]
+    pub fn with_clock(
+        spec: CpuSpec,
+        clock: CycleClock,
+        heap_max: usize,
+        usable_epc: usize,
+    ) -> Self {
         Enclave {
             inner: Arc::new(Inner {
                 spec,
-                clock: CycleClock::new(spec),
+                clock,
                 heap_max,
                 usable_epc,
                 allocated: AtomicUsize::new(0),
@@ -130,13 +157,14 @@ impl Enclave {
     pub fn alloc(&self, bytes: usize) -> Result<TrustedAlloc, EnclaveOom> {
         let prev = loop {
             let cur = self.inner.allocated.load(Ordering::Relaxed);
-            let next = cur.checked_add(bytes).filter(|&n| n <= self.inner.heap_max).ok_or(
-                EnclaveOom {
+            let next = cur
+                .checked_add(bytes)
+                .filter(|&n| n <= self.inner.heap_max)
+                .ok_or(EnclaveOom {
                     requested: bytes,
                     in_use: cur,
                     heap_max: self.inner.heap_max,
-                },
-            )?;
+                })?;
             if self
                 .inner
                 .allocated
@@ -147,15 +175,21 @@ impl Enclave {
             }
         };
         let new_total = prev + bytes;
-        self.inner.peak_allocated.fetch_max(new_total, Ordering::Relaxed);
+        self.inner
+            .peak_allocated
+            .fetch_max(new_total, Ordering::Relaxed);
         // Pages newly beyond the usable EPC must be swapped in.
         if new_total > self.inner.usable_epc {
             let over_before = prev.saturating_sub(self.inner.usable_epc);
             let over_after = new_total - self.inner.usable_epc;
             let new_pages = (over_after.div_ceil(PAGE) - over_before.div_ceil(PAGE)) as u64;
             if new_pages > 0 {
-                self.inner.paged_pages.fetch_add(new_pages, Ordering::Relaxed);
-                self.inner.clock.spin_cycles(new_pages * EPC_PAGE_SWAP_CYCLES);
+                self.inner
+                    .paged_pages
+                    .fetch_add(new_pages, Ordering::Relaxed);
+                self.inner
+                    .clock
+                    .spin_cycles(new_pages * EPC_PAGE_SWAP_CYCLES);
             }
         }
         Ok(TrustedAlloc {
@@ -230,7 +264,9 @@ impl TrustedAlloc {
 
 impl Drop for TrustedAlloc {
     fn drop(&mut self) {
-        self.enclave.allocated.fetch_sub(self.bytes, Ordering::Relaxed);
+        self.enclave
+            .allocated
+            .fetch_sub(self.bytes, Ordering::Relaxed);
     }
 }
 
@@ -306,6 +342,17 @@ mod tests {
         assert_eq!(e2.allocated_bytes(), 1024);
         e2.record_ocall();
         assert_eq!(e.ocalls(), 1);
+    }
+
+    #[test]
+    fn virtual_enclave_hands_out_a_virtual_clock() {
+        let e = Enclave::new_virtual(CpuSpec::paper_machine());
+        assert!(e.clock().is_virtual());
+        assert_eq!(e.clock().now_cycles(), 0);
+        // Paging penalties advance logical time instantly.
+        let e2 = Enclave::with_clock(CpuSpec::paper_machine(), e.clock(), 64 * 1024, 16 * 1024);
+        let _a = e2.alloc(24 * 1024).unwrap(); // 8 KB over EPC -> 2 pages
+        assert_eq!(e2.clock().now_cycles(), 2 * EPC_PAGE_SWAP_CYCLES);
     }
 
     #[test]

@@ -193,14 +193,22 @@ impl HostFs {
     pub fn seek(&self, fd: u64, offset: i64, whence: Whence) -> Result<u64, FsError> {
         let mut fs = self.inner.lock();
         fs.seeks += 1;
-        let handle = fs.handles.get_mut(fd as usize).ok_or(FsError)?.as_mut().ok_or(FsError)?;
+        let handle = fs
+            .handles
+            .get_mut(fd as usize)
+            .ok_or(FsError)?
+            .as_mut()
+            .ok_or(FsError)?;
         let base: i64 = match (whence, &handle.kind) {
             (Whence::Set, _) => 0,
             (Whence::Cur, _) => handle.pos as i64,
             (Whence::End, FileKind::Regular(f)) => f.read().len() as i64,
             (Whence::End, _) => 0,
         };
-        let new = base.checked_add(offset).filter(|&p| p >= 0).ok_or(FsError)?;
+        let new = base
+            .checked_add(offset)
+            .filter(|&p| p >= 0)
+            .ok_or(FsError)?;
         handle.pos = new as u64;
         Ok(handle.pos)
     }
@@ -215,7 +223,12 @@ impl HostFs {
     pub fn read(&self, fd: u64, len: usize, out: &mut Vec<u8>) -> Result<usize, FsError> {
         let mut fs = self.inner.lock();
         fs.reads += 1;
-        let handle = fs.handles.get_mut(fd as usize).ok_or(FsError)?.as_mut().ok_or(FsError)?;
+        let handle = fs
+            .handles
+            .get_mut(fd as usize)
+            .ok_or(FsError)?
+            .as_mut()
+            .ok_or(FsError)?;
         if !handle.readable {
             return Err(FsError);
         }
@@ -245,7 +258,12 @@ impl HostFs {
     pub fn write(&self, fd: u64, data: &[u8]) -> Result<usize, FsError> {
         let mut fs = self.inner.lock();
         fs.writes += 1;
-        let handle = fs.handles.get_mut(fd as usize).ok_or(FsError)?.as_mut().ok_or(FsError)?;
+        let handle = fs
+            .handles
+            .get_mut(fd as usize)
+            .ok_or(FsError)?
+            .as_mut()
+            .ok_or(FsError)?;
         if !handle.writable {
             return Err(FsError);
         }
@@ -341,14 +359,16 @@ impl FsFuncs {
                 let Some(whence) = Whence::from_u64(args[2]) else {
                     return -1;
                 };
-                f.seek(args[0], args[1] as i64, whence).map_or(-1, |p| p as i64)
+                f.seek(args[0], args[1] as i64, whence)
+                    .map_or(-1, |p| p as i64)
             },
         );
         let f = fs.clone();
         let fread = table.register(
             "fread",
             move |args: &[u64; MAX_OCALL_ARGS], _: &[u8], out: &mut Vec<u8>| {
-                f.read(args[0], args[1] as usize, out).map_or(-1, |n| n as i64)
+                f.read(args[0], args[1] as usize, out)
+                    .map_or(-1, |n| n as i64)
             },
         );
         let f = fs.clone();
@@ -485,7 +505,10 @@ mod tests {
         assert!(fs.write(r, b"x").is_err(), "read-only fd rejects writes");
         let w = fs.open("/f", OpenMode::Write).unwrap();
         let mut out = Vec::new();
-        assert!(fs.read(w, 1, &mut out).is_err(), "write-only fd rejects reads");
+        assert!(
+            fs.read(w, 1, &mut out).is_err(),
+            "write-only fd rejects reads"
+        );
     }
 
     #[test]
@@ -517,17 +540,29 @@ mod tests {
         assert!(fd >= 0);
         // fwrite
         let n = table
-            .invoke(&OcallRequest::new(funcs.fwrite, &[fd as u64]), b"payload", &mut out)
+            .invoke(
+                &OcallRequest::new(funcs.fwrite, &[fd as u64]),
+                b"payload",
+                &mut out,
+            )
             .unwrap();
         assert_eq!(n, 7);
         // fseeko to 0
         let p = table
-            .invoke(&OcallRequest::new(funcs.fseeko, &[fd as u64, 0, 0]), &[], &mut out)
+            .invoke(
+                &OcallRequest::new(funcs.fseeko, &[fd as u64, 0, 0]),
+                &[],
+                &mut out,
+            )
             .unwrap();
         assert_eq!(p, 0);
         // reopen readable? fd was write-only; use fread on a read fd.
         table
-            .invoke(&OcallRequest::new(funcs.fclose, &[fd as u64]), &[], &mut out)
+            .invoke(
+                &OcallRequest::new(funcs.fclose, &[fd as u64]),
+                &[],
+                &mut out,
+            )
             .unwrap();
         let rfd = table
             .invoke(
@@ -537,18 +572,28 @@ mod tests {
             )
             .unwrap();
         let n = table
-            .invoke(&OcallRequest::new(funcs.fread, &[rfd as u64, 100]), &[], &mut out)
+            .invoke(
+                &OcallRequest::new(funcs.fread, &[rfd as u64, 100]),
+                &[],
+                &mut out,
+            )
             .unwrap();
         assert_eq!(n, 7);
         assert_eq!(out, b"payload");
         // invalid mode / whence / utf8
         assert_eq!(
-            table.invoke(&OcallRequest::new(funcs.fopen, &[9]), b"/x", &mut out).unwrap(),
+            table
+                .invoke(&OcallRequest::new(funcs.fopen, &[9]), b"/x", &mut out)
+                .unwrap(),
             -1
         );
         assert_eq!(
             table
-                .invoke(&OcallRequest::new(funcs.fseeko, &[rfd as u64, 0, 9]), &[], &mut out)
+                .invoke(
+                    &OcallRequest::new(funcs.fseeko, &[rfd as u64, 0, 9]),
+                    &[],
+                    &mut out
+                )
                 .unwrap(),
             -1
         );

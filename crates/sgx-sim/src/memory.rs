@@ -116,7 +116,7 @@ mod tests {
     #[test]
     fn aligned_staging_is_congruent_with_source() {
         let mut arena = UntrustedArena::new(1024);
-        let src = vec![7u8; 100];
+        let src = [7u8; 100];
         for shift in 0..8 {
             let sub = &src[shift..shift + 64];
             let staged = arena.stage_in(sub, MemcpyKind::Zc, Alignment::Aligned);
@@ -132,7 +132,7 @@ mod tests {
     #[test]
     fn unaligned_staging_is_incongruent_with_source() {
         let mut arena = UntrustedArena::new(1024);
-        let src = vec![3u8; 100];
+        let src = [3u8; 100];
         for shift in 0..8 {
             let sub = &src[shift..shift + 64];
             let staged = arena.stage_in(sub, MemcpyKind::Vanilla, Alignment::Unaligned);

@@ -231,7 +231,9 @@ impl ProfileReport {
         if total == 0 {
             return 0.0;
         }
-        self.rows.get(idx).map_or(0.0, |r| r.calls as f64 / total as f64)
+        self.rows
+            .get(idx)
+            .map_or(0.0, |r| r.calls as f64 / total as f64)
     }
 
     /// SDK-guidance recommendation for function `idx`: *short* means a
@@ -314,10 +316,17 @@ mod tests {
     use std::sync::Arc;
     use switchless_core::{OcallTable, MAX_OCALL_ARGS};
 
-    fn setup() -> (OcallProfiler<RegularOcall>, switchless_core::FuncId, switchless_core::FuncId, CycleClock)
-    {
+    fn setup() -> (
+        OcallProfiler<RegularOcall>,
+        switchless_core::FuncId,
+        switchless_core::FuncId,
+        CycleClock,
+    ) {
         let mut table = OcallTable::new();
-        let short = table.register("short", |_: &[u64; MAX_OCALL_ARGS], _: &[u8], _: &mut Vec<u8>| 0);
+        let short = table.register(
+            "short",
+            |_: &[u64; MAX_OCALL_ARGS], _: &[u8], _: &mut Vec<u8>| 0,
+        );
         let enclave = Enclave::new(CpuSpec::paper_machine());
         let clock = enclave.clock();
         let c2 = clock.clone();
@@ -343,10 +352,12 @@ mod tests {
         let (prof, short, long, _) = setup();
         let mut out = Vec::new();
         for _ in 0..150 {
-            prof.dispatch(&OcallRequest::new(short, &[]), &[], &mut out).unwrap();
+            prof.dispatch(&OcallRequest::new(short, &[]), &[], &mut out)
+                .unwrap();
         }
         for _ in 0..110 {
-            prof.dispatch(&OcallRequest::new(long, &[]), &[], &mut out).unwrap();
+            prof.dispatch(&OcallRequest::new(long, &[]), &[], &mut out)
+                .unwrap();
         }
         let report = prof.report();
         assert_eq!(report.rows[short.0 as usize].calls, 150);
@@ -356,7 +367,9 @@ mod tests {
                 > report.rows[short.0 as usize].mean_cycles() + 50_000,
             "long must measure much slower than short"
         );
-        assert!(report.rows[short.0 as usize].min_cycles <= report.rows[short.0 as usize].max_cycles);
+        assert!(
+            report.rows[short.0 as usize].min_cycles <= report.rows[short.0 as usize].max_cycles
+        );
         assert!(report.window_cycles > 0);
     }
 
@@ -397,8 +410,10 @@ mod tests {
         let (prof, short, long, _) = setup();
         let mut out = Vec::new();
         for _ in 0..50 {
-            prof.dispatch(&OcallRequest::new(short, &[]), &[], &mut out).unwrap();
-            prof.dispatch(&OcallRequest::new(long, &[]), &[], &mut out).unwrap();
+            prof.dispatch(&OcallRequest::new(short, &[]), &[], &mut out)
+                .unwrap();
+            prof.dispatch(&OcallRequest::new(long, &[]), &[], &mut out)
+                .unwrap();
         }
         let report = prof.report();
         assert!(
@@ -413,18 +428,24 @@ mod tests {
         let (prof, short, long, _) = setup();
         let mut out = Vec::new();
         for _ in 0..500 {
-            prof.dispatch(&OcallRequest::new(short, &[]), &[], &mut out).unwrap();
+            prof.dispatch(&OcallRequest::new(short, &[]), &[], &mut out)
+                .unwrap();
         }
-        prof.dispatch(&OcallRequest::new(long, &[]), &[], &mut out).unwrap();
+        prof.dispatch(&OcallRequest::new(long, &[]), &[], &mut out)
+            .unwrap();
         let report = prof.report();
-        assert_eq!(report.recommendation(long.0 as usize), Recommendation::TooRare);
+        assert_eq!(
+            report.recommendation(long.0 as usize),
+            Recommendation::TooRare
+        );
     }
 
     #[test]
     fn report_displays_every_called_function() {
         let (prof, short, _, _) = setup();
         let mut out = Vec::new();
-        prof.dispatch(&OcallRequest::new(short, &[]), &[], &mut out).unwrap();
+        prof.dispatch(&OcallRequest::new(short, &[]), &[], &mut out)
+            .unwrap();
         let text = prof.report().to_string();
         assert!(text.contains("short"));
         assert!(text.contains("recommendation"));

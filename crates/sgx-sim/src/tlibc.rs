@@ -181,16 +181,21 @@ pub fn memcmp_zc(a: &[u8], b: &[u8]) -> i32 {
 ///
 /// Panics if either range exceeds the buffer.
 pub fn memmove_vanilla(buf: &mut [u8], src: usize, dst: usize, len: usize) {
-    assert!(src + len <= buf.len() && dst + len <= buf.len(), "memmove out of range");
+    assert!(
+        src + len <= buf.len() && dst + len <= buf.len(),
+        "memmove out of range"
+    );
     let p = buf.as_mut_ptr();
     unsafe {
         if dst < src {
             for i in 0..len {
-                p.add(dst + i).write_volatile(p.add(src + i).read_volatile());
+                p.add(dst + i)
+                    .write_volatile(p.add(src + i).read_volatile());
             }
         } else {
             for i in (0..len).rev() {
-                p.add(dst + i).write_volatile(p.add(src + i).read_volatile());
+                p.add(dst + i)
+                    .write_volatile(p.add(src + i).read_volatile());
             }
         }
     }
@@ -202,7 +207,10 @@ pub fn memmove_vanilla(buf: &mut [u8], src: usize, dst: usize, len: usize) {
 ///
 /// Panics if either range exceeds the buffer.
 pub fn memmove_zc(buf: &mut [u8], src: usize, dst: usize, len: usize) {
-    assert!(src + len <= buf.len() && dst + len <= buf.len(), "memmove out of range");
+    assert!(
+        src + len <= buf.len() && dst + len <= buf.len(),
+        "memmove out of range"
+    );
     unsafe { std::ptr::copy(buf.as_ptr().add(src), buf.as_mut_ptr().add(dst), len) };
 }
 
@@ -254,7 +262,7 @@ mod tests {
     fn vanilla_congruent_copies_correctly() {
         for n in [0, 1, 7, 8, 9, 63, 64, 65, 1000] {
             for phase in 0..8 {
-                with_phases(n, phase, phase, |d, s| memcpy_vanilla(d, s));
+                with_phases(n, phase, phase, memcpy_vanilla);
             }
         }
     }
@@ -262,8 +270,8 @@ mod tests {
     #[test]
     fn vanilla_incongruent_copies_correctly() {
         for n in [1, 8, 17, 255, 1024] {
-            with_phases(n, 0, 3, |d, s| memcpy_vanilla(d, s));
-            with_phases(n, 5, 2, |d, s| memcpy_vanilla(d, s));
+            with_phases(n, 0, 3, memcpy_vanilla);
+            with_phases(n, 5, 2, memcpy_vanilla);
         }
     }
 
@@ -271,7 +279,7 @@ mod tests {
     fn zc_copies_correctly_any_alignment() {
         for n in [0, 1, 9, 4096] {
             for (dp, sp) in [(0, 0), (1, 5), (3, 3), (7, 0)] {
-                with_phases(n, dp, sp, |d, s| memcpy_zc(d, s));
+                with_phases(n, dp, sp, memcpy_zc);
             }
         }
     }

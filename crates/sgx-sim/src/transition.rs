@@ -16,8 +16,12 @@ use crate::tlibc::MemcpyKind;
 use std::cell::RefCell;
 use std::sync::Arc;
 use switchless_core::{
-    CallPath, CallStats, OcallDispatcher, OcallRequest, OcallTable, SwitchlessError,
+    CallPath, CallStats, FaultInjector, OcallDispatcher, OcallRequest, OcallTable, SwitchlessError,
 };
+
+/// Retries granted after a failed transition attempt before giving up
+/// with [`SwitchlessError::TransitionFailed`].
+const TRANSITION_RETRY_MAX: u32 = 3;
 
 thread_local! {
     static STAGING: RefCell<(UntrustedArena, Vec<u8>)> =
@@ -67,6 +71,7 @@ pub struct RegularOcall {
     stats: Arc<CallStats>,
     inject_cost: bool,
     kind: TransitionKind,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl RegularOcall {
@@ -84,6 +89,7 @@ impl RegularOcall {
             stats: Arc::new(CallStats::new()),
             inject_cost: true,
             kind: TransitionKind::OCall,
+            faults: None,
         }
     }
 
@@ -126,6 +132,14 @@ impl RegularOcall {
         self
     }
 
+    /// Builder-style fault injection: transitions consult `faults` and
+    /// retry (with bounded pause backoff) when a failure is injected.
+    #[must_use]
+    pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Shared statistics of this dispatcher.
     #[must_use]
     pub fn stats(&self) -> &Arc<CallStats> {
@@ -150,13 +164,33 @@ impl RegularOcall {
     ///
     /// # Errors
     ///
-    /// Propagates [`SwitchlessError::UnknownFunc`] from the table.
+    /// Propagates [`SwitchlessError::UnknownFunc`] from the table, and
+    /// returns [`SwitchlessError::TransitionFailed`] if fault injection
+    /// fails the transition more times than the bounded retry budget.
     pub fn execute_transition(
         &self,
         req: &OcallRequest,
         payload_in: &[u8],
         payload_out: &mut Vec<u8>,
     ) -> Result<i64, SwitchlessError> {
+        // Graceful degradation: an injected transition failure is retried
+        // with exponential pause backoff (1, 2, 4 pauses) before the call
+        // is abandoned — a transient EEXIT/EENTER hiccup should not kill
+        // an application-level ocall.
+        if let Some(faults) = &self.faults {
+            let mut attempts: u32 = 0;
+            loop {
+                attempts += 1;
+                if !faults.on_transition() {
+                    break;
+                }
+                if attempts > TRANSITION_RETRY_MAX {
+                    return Err(SwitchlessError::TransitionFailed { attempts });
+                }
+                self.clock
+                    .spin_cycles(self.clock.spec().pause_cycles << (attempts - 1));
+            }
+        }
         match self.kind {
             TransitionKind::OCall => self.enclave.record_ocall(),
             TransitionKind::ECall => self.enclave.record_ecall(),
@@ -229,7 +263,9 @@ mod tests {
     fn scalar_args_pass_through() {
         let (d, _, add) = setup();
         let mut out = Vec::new();
-        let (ret, _) = d.dispatch(&OcallRequest::new(add, &[40, 2]), &[], &mut out).unwrap();
+        let (ret, _) = d
+            .dispatch(&OcallRequest::new(add, &[40, 2]), &[], &mut out)
+            .unwrap();
         assert_eq!(ret, 42);
         assert!(out.is_empty());
     }
@@ -239,7 +275,8 @@ mod tests {
         let (d, echo, _) = setup();
         let mut out = Vec::new();
         for _ in 0..3 {
-            d.dispatch(&OcallRequest::new(echo, &[]), b"x", &mut out).unwrap();
+            d.dispatch(&OcallRequest::new(echo, &[]), b"x", &mut out)
+                .unwrap();
         }
         assert_eq!(d.enclave().ocalls(), 3);
         let snap = d.stats().snapshot();
@@ -251,7 +288,8 @@ mod tests {
     fn execute_transition_skips_stats() {
         let (d, echo, _) = setup();
         let mut out = Vec::new();
-        d.execute_transition(&OcallRequest::new(echo, &[]), b"y", &mut out).unwrap();
+        d.execute_transition(&OcallRequest::new(echo, &[]), b"y", &mut out)
+            .unwrap();
         assert_eq!(d.stats().snapshot().total_calls(), 0);
         assert_eq!(d.enclave().ocalls(), 1, "transition still counted");
     }
@@ -274,7 +312,9 @@ mod tests {
             .with_alignment(Alignment::Unaligned);
         let payload: Vec<u8> = (0..1000).map(|i| i as u8).collect();
         let mut out = Vec::new();
-        let (ret, _) = d.dispatch(&OcallRequest::new(echo, &[]), &payload, &mut out).unwrap();
+        let (ret, _) = d
+            .dispatch(&OcallRequest::new(echo, &[]), &payload, &mut out)
+            .unwrap();
         assert_eq!(ret, 1000);
         assert_eq!(out, payload);
     }
@@ -284,21 +324,64 @@ mod tests {
         let (d, echo, _) = setup();
         let d = d.as_ecalls();
         let mut out = Vec::new();
-        d.dispatch(&OcallRequest::new(echo, &[]), b"in", &mut out).unwrap();
+        d.dispatch(&OcallRequest::new(echo, &[]), b"in", &mut out)
+            .unwrap();
         assert_eq!(d.enclave().ecalls(), 1);
         assert_eq!(d.enclave().ocalls(), 0);
     }
 
     #[test]
+    fn injected_transition_failures_are_retried() {
+        use switchless_core::{FaultInjector, FaultPlan};
+        let (d, echo, _) = setup();
+        let faults = Arc::new(FaultInjector::new(
+            FaultPlan::new().fail_transitions_first(2),
+        ));
+        let d = d.with_faults(Arc::clone(&faults));
+        let mut out = Vec::new();
+        // Attempts 1 and 2 fail, attempt 3 succeeds within the retry budget.
+        let ret = d
+            .execute_transition(&OcallRequest::new(echo, &[]), b"retry", &mut out)
+            .unwrap();
+        assert_eq!(ret, 5);
+        assert_eq!(out, b"retry");
+        assert_eq!(faults.counts().transition_failures, 2);
+    }
+
+    #[test]
+    fn exhausted_transition_retries_error_out() {
+        use switchless_core::{FaultInjector, FaultPlan};
+        let (d, echo, _) = setup();
+        let faults = Arc::new(FaultInjector::new(
+            FaultPlan::new().fail_transitions_first(100),
+        ));
+        let d = d.with_faults(faults);
+        let mut out = Vec::new();
+        let err = d
+            .execute_transition(&OcallRequest::new(echo, &[]), b"doomed", &mut out)
+            .unwrap_err();
+        assert_eq!(err, SwitchlessError::TransitionFailed { attempts: 4 });
+        // Later transitions past the failure window succeed again.
+        let d2 = d.with_faults(Arc::new(FaultInjector::new(FaultPlan::new())));
+        assert!(d2
+            .execute_transition(&OcallRequest::new(echo, &[]), b"ok", &mut out)
+            .is_ok());
+    }
+
+    #[test]
     fn cost_injection_spins_t_es() {
         let mut table = OcallTable::new();
-        let nop = table.register("nop", |_: &[u64; MAX_OCALL_ARGS], _: &[u8], _: &mut Vec<u8>| 0);
+        let nop = table.register(
+            "nop",
+            |_: &[u64; MAX_OCALL_ARGS], _: &[u8], _: &mut Vec<u8>| 0,
+        );
         let enclave = Enclave::new(switchless_core::CpuSpec::paper_machine());
         let clock = enclave.clock();
         let d = RegularOcall::new(Arc::new(table), enclave);
         let t0 = clock.now_cycles();
         let mut out = Vec::new();
-        d.dispatch(&OcallRequest::new(nop, &[]), &[], &mut out).unwrap();
+        d.dispatch(&OcallRequest::new(nop, &[]), &[], &mut out)
+            .unwrap();
         assert!(clock.now_cycles() - t0 >= 13_500);
     }
 }

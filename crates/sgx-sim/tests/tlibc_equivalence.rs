@@ -1,0 +1,221 @@
+//! Exhaustive equivalence tests of the tlibc boundary-copy models
+//! (paper §IV-F).
+//!
+//! The Fig. 7 plateau exists because Intel's vanilla `memcpy` switches
+//! between a word path (pointers congruent mod 8) and a byte path — so
+//! the *correctness* of both our models has to hold at every alignment
+//! phase and at every size that straddles the prefix/word-body/tail
+//! thresholds. Each primitive is checked against a naive index-loop
+//! oracle across alignment offsets `0..16` for source and destination
+//! (covering every congruent and incongruent phase pair twice) and a
+//! size ladder spanning the 8-byte word boundaries.
+
+use sgx_sim::tlibc::{
+    memcmp_vanilla, memcmp_zc, memcpy_vanilla, memcpy_zc, memmove_vanilla, memmove_zc,
+    memset_vanilla, memset_zc, strlen_vanilla, strlen_zc, MemcpyKind,
+};
+
+/// Sizes straddling every interesting threshold: empty, sub-word, the
+/// word boundary itself, word ±1, multi-word ±1, and page-ish bulk.
+const SIZES: &[usize] = &[
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 23, 24, 25, 31, 32, 33, 63, 64, 65, 127, 128, 129,
+    255, 256, 257, 4095, 4096, 4097,
+];
+
+/// Alignment phases for each pointer: two full trips around mod 8 so
+/// congruent (`doff % 8 == soff % 8`) and incongruent pairs both occur
+/// at small and large absolute offsets.
+const OFFSETS: std::ops::Range<usize> = 0..16;
+
+/// An 8-byte-aligned byte arena of at least `n + 16` usable bytes.
+fn arena(n: usize) -> Vec<u64> {
+    vec![0u64; n / 8 + 4]
+}
+
+fn bytes(a: &mut [u64]) -> &mut [u8] {
+    unsafe { std::slice::from_raw_parts_mut(a.as_mut_ptr().cast::<u8>(), a.len() * 8) }
+}
+
+fn pattern(n: usize, seed: usize) -> Vec<u8> {
+    (0..n)
+        .map(|i| (i.wrapping_mul(31) + seed.wrapping_mul(17) + 7) as u8)
+        .collect()
+}
+
+#[test]
+fn memcpy_vanilla_and_zc_agree_across_alignments_and_sizes() {
+    for &n in SIZES {
+        let data = pattern(n, n);
+        for doff in OFFSETS {
+            for soff in OFFSETS {
+                let mut src_a = arena(n + 16);
+                let src_b = bytes(&mut src_a);
+                src_b[soff..soff + n].copy_from_slice(&data);
+
+                // Oracle: the std copy (independent of both models).
+                let mut oracle = vec![0u8; n];
+                oracle.copy_from_slice(&src_b[soff..soff + n]);
+
+                let mut d1_a = arena(n + 16);
+                let d1 = bytes(&mut d1_a);
+                memcpy_vanilla(&mut d1[doff..doff + n], &src_b[soff..soff + n]);
+                assert_eq!(
+                    &d1[doff..doff + n],
+                    &oracle[..],
+                    "vanilla memcpy wrong at n={n} doff={doff} soff={soff} \
+                     (congruent={})",
+                    doff % 8 == soff % 8
+                );
+                // Copy must not scribble outside the destination range.
+                assert!(
+                    d1[..doff].iter().all(|&b| b == 0),
+                    "vanilla underflow at n={n}"
+                );
+                assert!(
+                    d1[doff + n..].iter().all(|&b| b == 0),
+                    "vanilla overflow at n={n}"
+                );
+
+                let mut d2_a = arena(n + 16);
+                let d2 = bytes(&mut d2_a);
+                memcpy_zc(&mut d2[doff..doff + n], &src_b[soff..soff + n]);
+                assert_eq!(
+                    &d2[doff..doff + n],
+                    &oracle[..],
+                    "zc memcpy wrong at n={n} doff={doff} soff={soff}"
+                );
+                assert!(d2[..doff].iter().all(|&b| b == 0), "zc underflow at n={n}");
+                assert!(
+                    d2[doff + n..].iter().all(|&b| b == 0),
+                    "zc overflow at n={n}"
+                );
+
+                // Source must be untouched.
+                assert_eq!(
+                    &src_b[soff..soff + n],
+                    &data[..],
+                    "source clobbered at n={n}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn memcpy_kind_dispatch_matches_free_functions() {
+    let data = pattern(257, 3);
+    for kind in [MemcpyKind::Vanilla, MemcpyKind::Zc] {
+        let mut dst = vec![0u8; data.len()];
+        kind.copy(&mut dst, &data);
+        assert_eq!(dst, data, "{kind:?} dispatch must copy faithfully");
+    }
+}
+
+#[test]
+fn memset_vanilla_and_zc_agree_across_alignments_and_sizes() {
+    for &n in SIZES {
+        for off in OFFSETS {
+            for value in [0u8, 1, 0x5A, 0xFF] {
+                let mut a1 = arena(n + 16);
+                let b1 = bytes(&mut a1);
+                memset_vanilla(&mut b1[off..off + n], value);
+                let mut a2 = arena(n + 16);
+                let b2 = bytes(&mut a2);
+                memset_zc(&mut b2[off..off + n], value);
+                assert_eq!(
+                    &b1[off..off + n],
+                    &b2[off..off + n],
+                    "n={n} off={off} v={value}"
+                );
+                assert!(b1[off..off + n].iter().all(|&b| b == value));
+                assert!(b1[..off].iter().all(|&b| b == 0), "memset underflow");
+                assert!(b1[off + n..].iter().all(|&b| b == 0), "memset overflow");
+            }
+        }
+    }
+}
+
+#[test]
+fn memcmp_vanilla_and_zc_agree_on_sign() {
+    for &n in SIZES {
+        let base = pattern(n, 1);
+        // Equal buffers.
+        assert_eq!(memcmp_vanilla(&base, &base), 0, "n={n}");
+        assert_eq!(memcmp_zc(&base, &base), 0, "n={n}");
+        // A single differing byte at the front, middle, back.
+        for pos in [0usize, n / 2, n.saturating_sub(1)] {
+            if n == 0 {
+                continue;
+            }
+            let mut hi = base.clone();
+            hi[pos] = hi[pos].wrapping_add(1).max(1);
+            let mut lo = base.clone();
+            lo[pos] = 0;
+            for (a, b) in [(&hi, &base), (&base, &hi), (&lo, &hi), (&hi, &lo)] {
+                let v = memcmp_vanilla(a, b);
+                let z = memcmp_zc(a, b);
+                assert_eq!(
+                    v.signum(),
+                    z.signum(),
+                    "sign mismatch at n={n} pos={pos}: vanilla={v} zc={z}"
+                );
+            }
+        }
+        // Prefix-of relation orders by length.
+        if n > 0 {
+            let shorter = &base[..n - 1];
+            assert_eq!(memcmp_vanilla(shorter, &base).signum(), -1, "n={n}");
+            assert_eq!(memcmp_zc(shorter, &base).signum(), -1, "n={n}");
+        }
+    }
+}
+
+#[test]
+fn memmove_vanilla_and_zc_agree_under_overlap() {
+    // Forward, backward and disjoint moves at every distance 0..16 and
+    // threshold-spanning lengths, vs a copy-out oracle.
+    for &len in &[0usize, 1, 7, 8, 9, 16, 17, 64, 65, 256] {
+        for dist in 0..16usize {
+            let size = len + dist + 32;
+            let init = pattern(size, len + dist);
+            for (src, dst) in [(dist, 0), (0, dist), (8, 8 + dist)] {
+                if src + len > size || dst + len > size {
+                    continue;
+                }
+                // Oracle: copy the source range out first, then paste.
+                let mut oracle = init.clone();
+                let chunk: Vec<u8> = oracle[src..src + len].to_vec();
+                oracle[dst..dst + len].copy_from_slice(&chunk);
+
+                let mut b1 = init.clone();
+                memmove_vanilla(&mut b1, src, dst, len);
+                assert_eq!(b1, oracle, "vanilla memmove len={len} src={src} dst={dst}");
+
+                let mut b2 = init.clone();
+                memmove_zc(&mut b2, src, dst, len);
+                assert_eq!(b2, oracle, "zc memmove len={len} src={src} dst={dst}");
+            }
+        }
+    }
+}
+
+#[test]
+fn strlen_vanilla_and_zc_agree() {
+    for &n in SIZES {
+        // NUL at every position, plus no NUL at all.
+        let mut positions: Vec<usize> = (0..n.min(24)).collect();
+        positions.extend([n / 2, n.saturating_sub(1)]);
+        for &p in &positions {
+            if p >= n {
+                continue;
+            }
+            let mut buf: Vec<u8> = (0..n).map(|i| (i % 250 + 1) as u8).collect();
+            buf[p] = 0;
+            assert_eq!(strlen_vanilla(&buf), p, "n={n} p={p}");
+            assert_eq!(strlen_zc(&buf), p, "n={n} p={p}");
+        }
+        let no_nul: Vec<u8> = vec![7u8; n];
+        assert_eq!(strlen_vanilla(&no_nul), n);
+        assert_eq!(strlen_zc(&no_nul), n);
+    }
+}

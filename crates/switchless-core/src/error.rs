@@ -22,6 +22,13 @@ pub enum SwitchlessError {
     /// Configuration rejected (e.g. zero workers for the Intel baseline
     /// with a non-empty switchless set).
     InvalidConfig(String),
+    /// The enclave transition machinery failed and bounded retries were
+    /// exhausted. Only produced under fault injection
+    /// ([`FaultPlan::fail_transitions_first`](crate::FaultPlan::fail_transitions_first)).
+    TransitionFailed {
+        /// Transition attempts made, including the retries.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for SwitchlessError {
@@ -39,6 +46,9 @@ impl fmt::Display for SwitchlessError {
                 "ocall payload of {requested} bytes exceeds pool slot capacity {capacity}"
             ),
             SwitchlessError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SwitchlessError::TransitionFailed { attempts } => {
+                write!(f, "enclave transition failed after {attempts} attempts")
+            }
         }
     }
 }

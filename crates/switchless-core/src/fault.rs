@@ -1,0 +1,430 @@
+//! Scriptable fault injection for the switchless runtimes.
+//!
+//! A [`FaultPlan`] describes *which* failures to provoke and *when* —
+//! worker crash/stall/hang at a given call index, forced pool
+//! exhaustion, enclave-transition failure, clock skew — and a
+//! [`FaultInjector`] (shared as an `Arc` between callers, workers and
+//! the fallback engine) evaluates the plan at each instrumented site
+//! with plain atomic counters, so injection decisions are deterministic
+//! functions of call order alone: no timers, no randomness.
+//!
+//! The runtimes consume the injector at five sites:
+//!
+//! | site | hook | plan knob | degradation exercised |
+//! |------|------|-----------|-----------------------|
+//! | worker picks up a call | [`FaultInjector::on_worker_call`] | crash / stall / hang | poisoned-worker quarantine, caller re-route |
+//! | caller allocates from the request pool | [`FaultInjector::on_pool_alloc`] | forced exhaustion | bounded retry-with-backoff, then fallback |
+//! | regular ocall transition | [`FaultInjector::on_transition`] | forced failure | bounded retry-with-backoff, then [`TransitionFailed`] |
+//! | dispatch entry | [`FaultInjector::on_dispatch`] | clock skew | timestamp-robust accounting |
+//! | shutdown | (drain loop) | hang | drain-with-timeout, [`DrainReport`] |
+//!
+//! [`TransitionFailed`]: crate::SwitchlessError::TransitionFailed
+
+use crate::state::WorkerState;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Script of failures to inject, all keyed on deterministic call indices
+/// (0-based). An empty (default) plan injects nothing.
+///
+/// # Example
+///
+/// ```
+/// use switchless_core::fault::{FaultInjector, FaultPlan, WorkerFault};
+///
+/// let plan = FaultPlan::new().crash_worker_at(1).fail_transitions_first(2);
+/// let inj = FaultInjector::new(plan);
+/// assert_eq!(inj.on_worker_call(), WorkerFault::None); // call 0
+/// assert_eq!(inj.on_worker_call(), WorkerFault::Crash); // call 1
+/// assert!(inj.on_transition()); // transition 0: forced failure
+/// assert!(inj.on_transition()); // transition 1: forced failure
+/// assert!(!inj.on_transition()); // transition 2 proceeds
+/// assert_eq!(inj.counts().crashes, 1);
+/// assert_eq!(inj.counts().transition_failures, 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Crash the worker servicing the n-th switchless call: the worker
+    /// thread terminates *before* invoking the host function, leaving its
+    /// buffer poisoned.
+    pub crash_worker_at_call: Option<u64>,
+    /// Stall the worker servicing the n-th switchless call for
+    /// [`stall_cycles`](Self::stall_cycles) before it proceeds.
+    pub stall_worker_at_call: Option<u64>,
+    /// Stall duration in modelled cycles.
+    pub stall_cycles: u64,
+    /// Wedge the worker servicing the n-th switchless call forever (it
+    /// poisons its buffer and never observes another command) — the
+    /// shutdown drain must abandon it.
+    pub hang_worker_at_call: Option<u64>,
+    /// Force the first n request-pool allocations to report exhaustion.
+    pub exhaust_pool_first: u64,
+    /// Force the first n enclave transitions to fail.
+    pub fail_transition_first: u64,
+    /// Skew the clock forward on every n-th dispatch (1 = every
+    /// dispatch).
+    pub skew_every_dispatch: Option<u64>,
+    /// Skew amount in modelled cycles.
+    pub skew_cycles: u64,
+}
+
+impl FaultPlan {
+    /// Empty plan (injects nothing).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Crash the worker servicing switchless call `n` (0-based).
+    #[must_use]
+    pub fn crash_worker_at(mut self, n: u64) -> Self {
+        self.crash_worker_at_call = Some(n);
+        self
+    }
+
+    /// Stall the worker servicing switchless call `n` for `cycles`.
+    #[must_use]
+    pub fn stall_worker_at(mut self, n: u64, cycles: u64) -> Self {
+        self.stall_worker_at_call = Some(n);
+        self.stall_cycles = cycles;
+        self
+    }
+
+    /// Wedge the worker servicing switchless call `n` forever.
+    #[must_use]
+    pub fn hang_worker_at(mut self, n: u64) -> Self {
+        self.hang_worker_at_call = Some(n);
+        self
+    }
+
+    /// Force the first `n` pool allocations to report exhaustion.
+    #[must_use]
+    pub fn exhaust_pool_first(mut self, n: u64) -> Self {
+        self.exhaust_pool_first = n;
+        self
+    }
+
+    /// Force the first `n` enclave transitions to fail.
+    #[must_use]
+    pub fn fail_transitions_first(mut self, n: u64) -> Self {
+        self.fail_transition_first = n;
+        self
+    }
+
+    /// Skew the clock by `cycles` on every `every`-th dispatch.
+    #[must_use]
+    pub fn skew_clock(mut self, every: u64, cycles: u64) -> Self {
+        self.skew_every_dispatch = Some(every.max(1));
+        self.skew_cycles = cycles;
+        self
+    }
+}
+
+/// Decision returned by [`FaultInjector::on_worker_call`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerFault {
+    /// Proceed normally.
+    None,
+    /// Burn the given number of modelled cycles before proceeding.
+    Stall(u64),
+    /// Terminate the worker thread (before touching the request).
+    Crash,
+    /// Wedge forever (park in an unrecoverable loop).
+    Hang,
+}
+
+/// Snapshot of faults injected so far (observability for tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Worker crashes injected.
+    pub crashes: u64,
+    /// Worker stalls injected.
+    pub stalls: u64,
+    /// Worker hangs injected.
+    pub hangs: u64,
+    /// Pool allocations forced to report exhaustion.
+    pub pool_exhaustions: u64,
+    /// Enclave transitions forced to fail.
+    pub transition_failures: u64,
+    /// Clock skews applied.
+    pub clock_skews: u64,
+}
+
+/// Thread-safe evaluator of a [`FaultPlan`]: each instrumented site
+/// calls its `on_*` hook, which advances a per-site atomic counter and
+/// reports whether (and how) to misbehave.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    worker_calls: AtomicU64,
+    pool_allocs: AtomicU64,
+    transitions: AtomicU64,
+    dispatches: AtomicU64,
+    crashes: AtomicU64,
+    stalls: AtomicU64,
+    hangs: AtomicU64,
+    pool_exhaustions: AtomicU64,
+    transition_failures: AtomicU64,
+    clock_skews: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Injector evaluating `plan`.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            worker_calls: AtomicU64::new(0),
+            pool_allocs: AtomicU64::new(0),
+            transitions: AtomicU64::new(0),
+            dispatches: AtomicU64::new(0),
+            crashes: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+            hangs: AtomicU64::new(0),
+            pool_exhaustions: AtomicU64::new(0),
+            transition_failures: AtomicU64::new(0),
+            clock_skews: AtomicU64::new(0),
+        }
+    }
+
+    /// The plan this injector evaluates.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Site hook: a worker is about to service a switchless call.
+    /// Advances the worker-call index and returns the fault to inject.
+    pub fn on_worker_call(&self) -> WorkerFault {
+        let n = self.worker_calls.fetch_add(1, Ordering::AcqRel);
+        if self.plan.crash_worker_at_call == Some(n) {
+            self.crashes.fetch_add(1, Ordering::Relaxed);
+            return WorkerFault::Crash;
+        }
+        if self.plan.hang_worker_at_call == Some(n) {
+            self.hangs.fetch_add(1, Ordering::Relaxed);
+            return WorkerFault::Hang;
+        }
+        if self.plan.stall_worker_at_call == Some(n) {
+            self.stalls.fetch_add(1, Ordering::Relaxed);
+            return WorkerFault::Stall(self.plan.stall_cycles);
+        }
+        WorkerFault::None
+    }
+
+    /// Site hook: a caller is allocating from a request pool. Returns
+    /// `true` if the allocation must report exhaustion.
+    pub fn on_pool_alloc(&self) -> bool {
+        let n = self.pool_allocs.fetch_add(1, Ordering::AcqRel);
+        if n < self.plan.exhaust_pool_first {
+            self.pool_exhaustions.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Site hook: a regular enclave transition is about to execute.
+    /// Returns `true` if the transition must fail.
+    pub fn on_transition(&self) -> bool {
+        let n = self.transitions.fetch_add(1, Ordering::AcqRel);
+        if n < self.plan.fail_transition_first {
+            self.transition_failures.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Site hook: a dispatch is entering the runtime. Returns the clock
+    /// skew (in cycles) to apply, `0` for none.
+    pub fn on_dispatch(&self) -> u64 {
+        let n = self.dispatches.fetch_add(1, Ordering::AcqRel);
+        match self.plan.skew_every_dispatch {
+            Some(every) if (n + 1).is_multiple_of(every) => {
+                self.clock_skews.fetch_add(1, Ordering::Relaxed);
+                self.plan.skew_cycles
+            }
+            _ => 0,
+        }
+    }
+
+    /// Faults injected so far.
+    #[must_use]
+    pub fn counts(&self) -> FaultCounts {
+        FaultCounts {
+            crashes: self.crashes.load(Ordering::Acquire),
+            stalls: self.stalls.load(Ordering::Acquire),
+            hangs: self.hangs.load(Ordering::Acquire),
+            pool_exhaustions: self.pool_exhaustions.load(Ordering::Acquire),
+            transition_failures: self.transition_failures.load(Ordering::Acquire),
+            clock_skews: self.clock_skews.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// Outcome of a drain-with-timeout shutdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Worker threads that exited and were joined within the timeout.
+    pub drained: usize,
+    /// Worker threads still alive at the deadline, detached instead of
+    /// joined (e.g. wedged by a [`WorkerFault::Hang`]).
+    pub abandoned: usize,
+}
+
+impl DrainReport {
+    /// `true` when every worker exited within the timeout.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.abandoned == 0
+    }
+}
+
+/// Recorder of successful worker-state transitions, for state-machine
+/// property tests: attach one to every worker buffer and assert
+/// afterwards that only legal edges of the paper's state machine were
+/// taken, even under injected faults.
+#[derive(Debug, Default)]
+pub struct TransitionLog {
+    edges: Mutex<Vec<(WorkerState, WorkerState)>>,
+}
+
+impl TransitionLog {
+    /// Empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one successful `from -> to` transition.
+    pub fn record(&self, from: WorkerState, to: WorkerState) {
+        self.edges
+            .lock()
+            .expect("transition log poisoned")
+            .push((from, to));
+    }
+
+    /// All recorded edges, in global observation order.
+    #[must_use]
+    pub fn edges(&self) -> Vec<(WorkerState, WorkerState)> {
+        self.edges.lock().expect("transition log poisoned").clone()
+    }
+
+    /// Recorded edges that are illegal per
+    /// [`WorkerState::can_transition`]. Empty on a correct run.
+    #[must_use]
+    pub fn illegal_edges(&self) -> Vec<(WorkerState, WorkerState)> {
+        self.edges()
+            .into_iter()
+            .filter(|(from, to)| !from.can_transition(*to))
+            .collect()
+    }
+
+    /// Number of recorded edges.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.edges.lock().expect("transition log poisoned").len()
+    }
+
+    /// `true` if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let inj = FaultInjector::new(FaultPlan::new());
+        for _ in 0..100 {
+            assert_eq!(inj.on_worker_call(), WorkerFault::None);
+            assert!(!inj.on_pool_alloc());
+            assert!(!inj.on_transition());
+            assert_eq!(inj.on_dispatch(), 0);
+        }
+        assert_eq!(inj.counts(), FaultCounts::default());
+    }
+
+    #[test]
+    fn crash_fires_exactly_once_at_index() {
+        let inj = FaultInjector::new(FaultPlan::new().crash_worker_at(3));
+        let decisions: Vec<_> = (0..6).map(|_| inj.on_worker_call()).collect();
+        assert_eq!(decisions[3], WorkerFault::Crash);
+        assert_eq!(
+            decisions
+                .iter()
+                .filter(|d| **d == WorkerFault::Crash)
+                .count(),
+            1
+        );
+        assert_eq!(inj.counts().crashes, 1);
+    }
+
+    #[test]
+    fn stall_and_hang_fire_at_their_indices() {
+        let inj = FaultInjector::new(FaultPlan::new().stall_worker_at(0, 5_000).hang_worker_at(2));
+        assert_eq!(inj.on_worker_call(), WorkerFault::Stall(5_000));
+        assert_eq!(inj.on_worker_call(), WorkerFault::None);
+        assert_eq!(inj.on_worker_call(), WorkerFault::Hang);
+        let c = inj.counts();
+        assert_eq!((c.stalls, c.hangs), (1, 1));
+    }
+
+    #[test]
+    fn pool_and_transition_prefixes() {
+        let inj = FaultInjector::new(
+            FaultPlan::new()
+                .exhaust_pool_first(2)
+                .fail_transitions_first(1),
+        );
+        assert!(inj.on_pool_alloc());
+        assert!(inj.on_pool_alloc());
+        assert!(!inj.on_pool_alloc());
+        assert!(inj.on_transition());
+        assert!(!inj.on_transition());
+        let c = inj.counts();
+        assert_eq!((c.pool_exhaustions, c.transition_failures), (2, 1));
+    }
+
+    #[test]
+    fn skew_fires_every_nth_dispatch() {
+        let inj = FaultInjector::new(FaultPlan::new().skew_clock(3, 1_000));
+        let skews: Vec<u64> = (0..9).map(|_| inj.on_dispatch()).collect();
+        assert_eq!(skews, vec![0, 0, 1_000, 0, 0, 1_000, 0, 0, 1_000]);
+        assert_eq!(inj.counts().clock_skews, 3);
+    }
+
+    #[test]
+    fn transition_log_flags_illegal_edges() {
+        let log = TransitionLog::new();
+        log.record(WorkerState::Unused, WorkerState::Reserved);
+        log.record(WorkerState::Reserved, WorkerState::Processing);
+        assert!(log.illegal_edges().is_empty());
+        log.record(WorkerState::Processing, WorkerState::Unused); // illegal
+        assert_eq!(
+            log.illegal_edges(),
+            vec![(WorkerState::Processing, WorkerState::Unused)]
+        );
+        assert_eq!(log.len(), 3);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn drain_report_cleanliness() {
+        assert!(DrainReport {
+            drained: 3,
+            abandoned: 0
+        }
+        .is_clean());
+        assert!(!DrainReport {
+            drained: 2,
+            abandoned: 1
+        }
+        .is_clean());
+    }
+}

@@ -82,8 +82,12 @@ pub struct OcallReply {
 /// the call). The return value travels back in [`OcallReply::ret`].
 pub trait HostFn: Send + Sync {
     /// Execute the host-side operation.
-    fn call(&self, args: &[u64; MAX_OCALL_ARGS], payload_in: &[u8], payload_out: &mut Vec<u8>)
-        -> i64;
+    fn call(
+        &self,
+        args: &[u64; MAX_OCALL_ARGS],
+        payload_in: &[u8],
+        payload_out: &mut Vec<u8>,
+    ) -> i64;
 
     /// Human-readable name for diagnostics (e.g. `"fwrite"`).
     fn name(&self) -> &str {
@@ -140,7 +144,11 @@ impl fmt::Debug for OcallTable {
         f.debug_struct("OcallTable")
             .field(
                 "functions",
-                &self.entries.iter().map(|e| e.name.as_str()).collect::<Vec<_>>(),
+                &self
+                    .entries
+                    .iter()
+                    .map(|e| e.name.as_str())
+                    .collect::<Vec<_>>(),
             )
             .finish()
     }
@@ -257,7 +265,8 @@ mod tests {
     fn payload_out_is_cleared_between_calls() {
         let (t, id) = echo_table();
         let mut out = vec![1, 2, 3];
-        t.invoke(&OcallRequest::new(id, &[0]), b"x", &mut out).unwrap();
+        t.invoke(&OcallRequest::new(id, &[0]), b"x", &mut out)
+            .unwrap();
         assert_eq!(out, b"x");
     }
 

@@ -47,6 +47,7 @@
 pub mod config;
 pub mod cpu;
 pub mod error;
+pub mod fault;
 pub mod func;
 pub mod policy;
 pub mod state;
@@ -55,6 +56,7 @@ pub mod stats;
 pub use config::{IntelConfig, ZcConfig};
 pub use cpu::CpuSpec;
 pub use error::SwitchlessError;
+pub use fault::{DrainReport, FaultCounts, FaultInjector, FaultPlan, TransitionLog, WorkerFault};
 pub use func::{FuncId, HostFn, OcallReply, OcallRequest, OcallTable, MAX_OCALL_ARGS};
 pub use state::WorkerState;
 pub use stats::{CallStats, CallStatsSnapshot};

@@ -89,7 +89,12 @@ impl PolicyParams {
 
 /// Wasted cycles `U = F·T_es + M·T` over an interval of `interval_cycles`.
 #[must_use]
-pub fn wasted_cycles(fallbacks: u64, t_es_cycles: u64, workers: usize, interval_cycles: u64) -> u64 {
+pub fn wasted_cycles(
+    fallbacks: u64,
+    t_es_cycles: u64,
+    workers: usize,
+    interval_cycles: u64,
+) -> u64 {
     fallbacks
         .saturating_mul(t_es_cycles)
         .saturating_add((workers as u64).saturating_mul(interval_cycles))
@@ -179,8 +184,12 @@ impl PolicyStep {
     #[must_use]
     pub fn duration_cycles(&self) -> u64 {
         match *self {
-            PolicyStep::Schedule { duration_cycles, .. }
-            | PolicyStep::Probe { duration_cycles, .. } => duration_cycles,
+            PolicyStep::Schedule {
+                duration_cycles, ..
+            }
+            | PolicyStep::Probe {
+                duration_cycles, ..
+            } => duration_cycles,
         }
     }
 }
@@ -290,7 +299,10 @@ impl SchedulerPolicy {
                     duration_cycles: mq,
                 }
             }
-            Phase::Configuring { next_probe, reports } => {
+            Phase::Configuring {
+                next_probe,
+                reports,
+            } => {
                 // Record the fallbacks of the probe that just completed.
                 reports.push(MicroQuantumReport {
                     workers: *next_probe - 1,
@@ -358,7 +370,10 @@ mod tests {
     fn choose_workers_prefers_fewer_on_tie() {
         // Zero fallbacks everywhere: 0 workers waste least.
         let reports: Vec<_> = (0..=4)
-            .map(|w| MicroQuantumReport { workers: w, fallbacks: 0 })
+            .map(|w| MicroQuantumReport {
+                workers: w,
+                fallbacks: 0,
+            })
             .collect();
         assert_eq!(choose_workers(&reports, 13_500, 380_000), 0);
     }
@@ -371,9 +386,18 @@ mod tests {
         let mq = 380_000;
         let tes = 13_500;
         let reports = vec![
-            MicroQuantumReport { workers: 0, fallbacks: 100 },
-            MicroQuantumReport { workers: 1, fallbacks: 40 },
-            MicroQuantumReport { workers: 2, fallbacks: 5 },
+            MicroQuantumReport {
+                workers: 0,
+                fallbacks: 100,
+            },
+            MicroQuantumReport {
+                workers: 1,
+                fallbacks: 40,
+            },
+            MicroQuantumReport {
+                workers: 2,
+                fallbacks: 5,
+            },
         ];
         // U_0 = 1_350_000; U_1 = 540_000 + 380_000 = 920_000;
         // U_2 = 67_500 + 760_000 = 827_500 -> choose 2.
@@ -392,21 +416,30 @@ mod tests {
         let s0 = policy.next(0);
         assert_eq!(
             s0,
-            PolicyStep::Schedule { workers: 4, duration_cycles: p.quantum_cycles }
+            PolicyStep::Schedule {
+                workers: 4,
+                duration_cycles: p.quantum_cycles
+            }
         );
         // N/2 + 1 = 5 probes with 0..=4 workers.
         for expect in 0..=4usize {
             let s = policy.next(0);
             assert_eq!(
                 s,
-                PolicyStep::Probe { workers: expect, duration_cycles: p.micro_quantum_cycles() }
+                PolicyStep::Probe {
+                    workers: expect,
+                    duration_cycles: p.micro_quantum_cycles()
+                }
             );
         }
         // All-zero fallbacks -> argmin picks 0 workers.
         let s = policy.next(0);
         assert_eq!(
             s,
-            PolicyStep::Schedule { workers: 0, duration_cycles: p.quantum_cycles }
+            PolicyStep::Schedule {
+                workers: 0,
+                duration_cycles: p.quantum_cycles
+            }
         );
         assert_eq!(policy.decisions(), 1);
     }
@@ -417,8 +450,8 @@ mod tests {
         let mut policy = SchedulerPolicy::new(p, 0);
         policy.next(0); // initial schedule
         policy.next(999); // finish schedule (ignored), start probe 0
-        // Feed fallbacks such that 3 workers is optimal:
-        // heavy fallbacks until w=3, then zero.
+                          // Feed fallbacks such that 3 workers is optimal:
+                          // heavy fallbacks until w=3, then zero.
         let fb = [10_000u64, 5_000, 2_000, 0, 0];
         // We are now executing probe 0; report its fallbacks when asking
         // for the next step.
@@ -430,7 +463,10 @@ mod tests {
         // U_2 = 27M + 0.76M = 27.76M; U_3 = 1.14M; U_4 = 1.52M -> 3.
         assert_eq!(
             decision,
-            PolicyStep::Schedule { workers: 3, duration_cycles: p.quantum_cycles }
+            PolicyStep::Schedule {
+                workers: 3,
+                duration_cycles: p.quantum_cycles
+            }
         );
         assert_eq!(policy.current_workers(), 3);
     }
@@ -444,7 +480,10 @@ mod tests {
 
     #[test]
     fn step_accessors() {
-        let s = PolicyStep::Probe { workers: 3, duration_cycles: 99 };
+        let s = PolicyStep::Probe {
+            workers: 3,
+            duration_cycles: 99,
+        };
         assert_eq!(s.workers(), 3);
         assert_eq!(s.duration_cycles(), 99);
     }

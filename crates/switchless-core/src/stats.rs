@@ -220,8 +220,18 @@ mod tests {
 
     #[test]
     fn delta_since_is_saturating_per_counter() {
-        let a = CallStatsSnapshot { switchless: 10, fallback: 3, regular: 1, pool_reallocs: 0 };
-        let b = CallStatsSnapshot { switchless: 4, fallback: 5, regular: 0, pool_reallocs: 0 };
+        let a = CallStatsSnapshot {
+            switchless: 10,
+            fallback: 3,
+            regular: 1,
+            pool_reallocs: 0,
+        };
+        let b = CallStatsSnapshot {
+            switchless: 4,
+            fallback: 5,
+            regular: 0,
+            pool_reallocs: 0,
+        };
         let d = a.delta_since(&b);
         assert_eq!(d.switchless, 6);
         assert_eq!(d.fallback, 0, "negative deltas clamp to zero");
@@ -230,7 +240,12 @@ mod tests {
 
     #[test]
     fn snapshot_wasted_cycles_counts_all_transitions() {
-        let snap = CallStatsSnapshot { switchless: 100, fallback: 2, regular: 3, pool_reallocs: 1 };
+        let snap = CallStatsSnapshot {
+            switchless: 100,
+            fallback: 2,
+            regular: 3,
+            pool_reallocs: 1,
+        };
         // (2+3+1) * 13_500 + 2 * 1_000
         assert_eq!(snap.wasted_cycles(13_500, 2, 1_000), 6 * 13_500 + 2_000);
     }

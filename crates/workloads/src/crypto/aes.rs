@@ -204,7 +204,8 @@ fn mix_columns(b: &mut [u8; 16]) {
 fn inv_mix_columns(b: &mut [u8; 16]) {
     for c in 0..4 {
         let col = [b[4 * c], b[4 * c + 1], b[4 * c + 2], b[4 * c + 3]];
-        b[4 * c] = gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
+        b[4 * c] =
+            gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
         b[4 * c + 1] =
             gmul(col[0], 0x09) ^ gmul(col[1], 0x0e) ^ gmul(col[2], 0x0b) ^ gmul(col[3], 0x0d);
         b[4 * c + 2] =

@@ -127,7 +127,8 @@ pub fn decrypt_file(
         if len == 0 || !len.is_multiple_of(BLOCK) || len > 1 << 30 {
             return Err(PipelineError::BadFrame);
         }
-        io.read_exact(in_fd, len, &mut ct).map_err(|_| PipelineError::BadFrame)?;
+        io.read_exact(in_fd, len, &mut ct)
+            .map_err(|_| PipelineError::BadFrame)?;
         total_in += 4 + len as u64;
         let pt = cbc::decrypt(aes, &iv, &ct)?;
         iv.copy_from_slice(&ct[ct.len() - BLOCK..]);
@@ -209,8 +210,8 @@ mod tests {
         let (fs, disp, funcs) = regular_fixture();
         let io = EnclaveIo::new(&disp, funcs);
         fs.put_file("/cipher", vec![0xff, 0xff, 0xff, 0x7f, 1, 2, 3]);
-        let err = decrypt_file(&io, &Aes256::new(&key()), &[0u8; BLOCK], "/cipher", "/out")
-            .unwrap_err();
+        let err =
+            decrypt_file(&io, &Aes256::new(&key()), &[0u8; BLOCK], "/cipher", "/out").unwrap_err();
         assert_eq!(err, PipelineError::BadFrame);
     }
 

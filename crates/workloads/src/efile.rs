@@ -43,7 +43,9 @@ pub struct EnclaveIo<'a> {
 
 impl std::fmt::Debug for EnclaveIo<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EnclaveIo").field("funcs", &self.funcs).finish()
+        f.debug_struct("EnclaveIo")
+            .field("funcs", &self.funcs)
+            .finish()
     }
 }
 
@@ -151,11 +153,9 @@ impl<'a> EnclaveIo<'a> {
     /// [`IoError::Host`] for an invalid or non-writable descriptor.
     pub fn write(&self, fd: u64, data: &[u8]) -> Result<usize, IoError> {
         let mut out = Vec::new();
-        let (ret, _) = self.disp.dispatch(
-            &OcallRequest::new(self.funcs.fwrite, &[fd]),
-            data,
-            &mut out,
-        )?;
+        let (ret, _) =
+            self.disp
+                .dispatch(&OcallRequest::new(self.funcs.fwrite, &[fd]), data, &mut out)?;
         if ret < 0 {
             return Err(IoError::Host);
         }
@@ -215,7 +215,10 @@ mod tests {
     fn host_errors_surface() {
         let (_fs, disp, funcs) = regular_fixture();
         let io = EnclaveIo::new(&disp, funcs);
-        assert_eq!(io.open("/missing", OpenMode::Read).unwrap_err(), IoError::Host);
+        assert_eq!(
+            io.open("/missing", OpenMode::Read).unwrap_err(),
+            IoError::Host
+        );
         assert_eq!(io.close(42).unwrap_err(), IoError::Host);
         let mut buf = Vec::new();
         assert_eq!(io.read(42, 1, &mut buf).unwrap_err(), IoError::Host);

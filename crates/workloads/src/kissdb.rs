@@ -107,7 +107,10 @@ impl<'a> KissDb<'a> {
         value_size: usize,
     ) -> Result<Self, DbError> {
         assert!(hash_table_size > 0, "hash table size must be positive");
-        assert!(key_size > 0 && value_size > 0, "key/value sizes must be positive");
+        assert!(
+            key_size > 0 && value_size > 0,
+            "key/value sizes must be positive"
+        );
         // Try to open existing; create otherwise.
         let existing = io.open(path, OpenMode::ReadWrite)?;
         let mut db = KissDb {
@@ -165,7 +168,8 @@ impl<'a> KissDb<'a> {
             let n = self.tables.len();
             self.tables[n - 1][self.hash_table_size as usize] = pos;
         }
-        self.tables.push(vec![0u64; (self.hash_table_size + 1) as usize]);
+        self.tables
+            .push(vec![0u64; (self.hash_table_size + 1) as usize]);
         self.table_offsets.push(pos);
         Ok(())
     }
@@ -331,7 +335,12 @@ impl<'a> KissDb<'a> {
     pub fn len(&self) -> usize {
         self.tables
             .iter()
-            .map(|t| t[..self.hash_table_size as usize].iter().filter(|&&s| s != 0).count())
+            .map(|t| {
+                t[..self.hash_table_size as usize]
+                    .iter()
+                    .filter(|&&s| s != 0)
+                    .count()
+            })
             .sum()
     }
 
@@ -489,7 +498,10 @@ mod tests {
         all.sort();
         assert_eq!(all.len(), 40);
         for i in 0..40u64 {
-            assert!(all.binary_search(&(key8(i), key8(i + 1))).is_ok(), "pair {i} missing");
+            assert!(
+                all.binary_search(&(key8(i), key8(i + 1))).is_ok(),
+                "pair {i} missing"
+            );
         }
         // Overwrites must not duplicate entries.
         db.put(&key8(3), &key8(99)).unwrap();
@@ -507,7 +519,9 @@ mod tests {
         // Deterministic mixed workload with overwrites and misses.
         let mut x: u64 = 0x243F_6A88_85A3_08D3;
         for step in 0..500u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = key8(x % 64);
             match step % 3 {
                 0 | 1 => {

@@ -51,7 +51,12 @@ impl<'a> LmbenchDriver<'a> {
             OpKind::Read => io.open("/dev/zero", OpenMode::Read)?,
             OpKind::Write => io.open("/dev/null", OpenMode::Write)?,
         };
-        Ok(LmbenchDriver { io, fd, kind, ops: 0 })
+        Ok(LmbenchDriver {
+            io,
+            fd,
+            kind,
+            ops: 0,
+        })
     }
 
     /// Issue one word-sized operation.

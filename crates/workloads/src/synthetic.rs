@@ -26,7 +26,10 @@ pub struct SyntheticFuncs {
 /// Register `f` and `g` against `table`; `g` burns real pause time on
 /// `clock`.
 pub fn register(table: &mut OcallTable, clock: CycleClock) -> SyntheticFuncs {
-    let f = table.register("f", |_: &[u64; MAX_OCALL_ARGS], _: &[u8], _: &mut Vec<u8>| 0);
+    let f = table.register(
+        "f",
+        |_: &[u64; MAX_OCALL_ARGS], _: &[u8], _: &mut Vec<u8>| 0,
+    );
     let g = table.register(
         "g",
         move |args: &[u64; MAX_OCALL_ARGS], _: &[u8], _: &mut Vec<u8>| {
@@ -77,27 +80,32 @@ mod tests {
         let clock = enclave.clock();
         let mut table = OcallTable::new();
         let funcs = register(&mut table, clock.clone());
-        let disp =
-            sgx_sim::RegularOcall::new(Arc::new(table), enclave).without_cost_injection();
+        let disp = sgx_sim::RegularOcall::new(Arc::new(table), enclave).without_cost_injection();
         let mut out = Vec::new();
 
         // Warm up (thread-local staging buffers initialise lazily).
-        disp.dispatch(&OcallRequest::new(funcs.f, &[]), &[], &mut out).unwrap();
+        disp.dispatch(&OcallRequest::new(funcs.f, &[]), &[], &mut out)
+            .unwrap();
 
         let t0 = clock.now_cycles();
         for _ in 0..10 {
-            disp.dispatch(&OcallRequest::new(funcs.f, &[]), &[], &mut out).unwrap();
+            disp.dispatch(&OcallRequest::new(funcs.f, &[]), &[], &mut out)
+                .unwrap();
         }
         let f_cost = clock.now_cycles() - t0;
 
         let t0 = clock.now_cycles();
         for _ in 0..10 {
-            disp.dispatch(&OcallRequest::new(funcs.g, &[1_000]), &[], &mut out).unwrap();
+            disp.dispatch(&OcallRequest::new(funcs.g, &[1_000]), &[], &mut out)
+                .unwrap();
         }
         let g_cost = clock.now_cycles() - t0;
 
         assert!(g_cost >= 10 * 1_000 * 140, "g must burn its pauses");
-        assert!(g_cost > f_cost * 5, "g must dwarf f (f={f_cost}, g={g_cost})");
+        assert!(
+            g_cost > f_cost * 5,
+            "g must dwarf f (f={f_cost}, g={g_cost})"
+        );
     }
 
     #[test]

@@ -205,8 +205,16 @@ mod tests {
     fn cost_scales_with_transfer_size() {
         let (_fs, _disp, funcs) = regular_fixture();
         let m = HostCostModel::default();
-        let small = TraceOp { func: funcs.fread, payload_in: 0, payload_out: 8 };
-        let big = TraceOp { func: funcs.fread, payload_in: 0, payload_out: 64 * 1024 };
+        let small = TraceOp {
+            func: funcs.fread,
+            payload_in: 0,
+            payload_out: 8,
+        };
+        let big = TraceOp {
+            func: funcs.fread,
+            payload_in: 0,
+            payload_out: 64 * 1024,
+        };
         assert!(m.cycles_for(&big, &funcs) > m.cycles_for(&small, &funcs) + 4_000);
     }
 

@@ -12,10 +12,10 @@
 
 use crate::pool::RequestPool;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::thread::Thread;
-use switchless_core::{OcallReply, OcallRequest, WorkerState};
+use switchless_core::{OcallReply, OcallRequest, TransitionLog, WorkerState};
 
 /// Command word the scheduler writes into a worker's buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -63,6 +63,8 @@ pub struct WorkerBuffer {
     slot: Mutex<RequestSlot>,
     pool: Mutex<RequestPool>,
     thread: OnceLock<Thread>,
+    poisoned: AtomicBool,
+    recorder: OnceLock<Arc<TransitionLog>>,
 }
 
 impl WorkerBuffer {
@@ -75,6 +77,8 @@ impl WorkerBuffer {
             slot: Mutex::new(RequestSlot::default()),
             pool: Mutex::new(RequestPool::new(pool_bytes)),
             thread: OnceLock::new(),
+            poisoned: AtomicBool::new(false),
+            recorder: OnceLock::new(),
         }
     }
 
@@ -93,14 +97,40 @@ impl WorkerBuffer {
             from.can_transition(to),
             "illegal worker transition {from} -> {to}"
         );
-        self.status
+        let ok = self
+            .status
             .compare_exchange(
                 from.as_u8(),
                 to.as_u8(),
                 Ordering::AcqRel,
                 Ordering::Acquire,
             )
-            .is_ok()
+            .is_ok();
+        if ok {
+            if let Some(log) = self.recorder.get() {
+                log.record(from, to);
+            }
+        }
+        ok
+    }
+
+    /// Mark this worker unusable: a fault (crash/hang) struck its thread.
+    /// Poisoned workers are skipped by dispatch and by scheduler
+    /// activation, and callers waiting on them re-route to the fallback.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`poison`](Self::poison) has been called.
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Attach a [`TransitionLog`] recording every *successful* status
+    /// transition (first caller wins; used by state-machine tests).
+    pub fn set_recorder(&self, log: Arc<TransitionLog>) {
+        let _ = self.recorder.set(log);
     }
 
     /// Scheduler command currently posted.
@@ -216,5 +246,33 @@ mod tests {
     fn illegal_transition_panics_in_debug() {
         let b = WorkerBuffer::new(64);
         let _ = b.try_transition(WorkerState::Processing, WorkerState::Unused);
+    }
+
+    #[test]
+    fn poison_flag_latches() {
+        let b = WorkerBuffer::new(64);
+        assert!(!b.is_poisoned());
+        b.poison();
+        assert!(b.is_poisoned());
+        b.poison(); // idempotent
+        assert!(b.is_poisoned());
+    }
+
+    #[test]
+    fn recorder_sees_successful_transitions_only() {
+        let b = WorkerBuffer::new(64);
+        let log = Arc::new(TransitionLog::new());
+        b.set_recorder(Arc::clone(&log));
+        assert!(b.try_transition(WorkerState::Unused, WorkerState::Reserved));
+        assert!(!b.try_transition(WorkerState::Unused, WorkerState::Reserved)); // lost CAS
+        assert!(b.try_transition(WorkerState::Reserved, WorkerState::Processing));
+        assert_eq!(
+            log.edges(),
+            vec![
+                (WorkerState::Unused, WorkerState::Reserved),
+                (WorkerState::Reserved, WorkerState::Processing),
+            ]
+        );
+        assert!(log.illegal_edges().is_empty());
     }
 }

@@ -12,6 +12,10 @@ use crate::runtime::{Shared, YIELD_EVERY};
 use std::sync::atomic::Ordering;
 use switchless_core::{CallPath, OcallRequest, SwitchlessError, WorkerState};
 
+/// Retries granted to a pool allocation hit by injected exhaustion
+/// before the call degrades to a regular ocall.
+const POOL_RETRY_MAX: u32 = 3;
+
 /// Dispatch one ocall through the ZC protocol.
 pub(crate) fn dispatch(
     shared: &Shared,
@@ -22,11 +26,21 @@ pub(crate) fn dispatch(
     if !shared.running.load(Ordering::Acquire) {
         return Err(SwitchlessError::RuntimeStopped);
     }
+    if let Some(faults) = &shared.faults {
+        let skew = faults.on_dispatch();
+        if skew > 0 {
+            shared.clock.advance_cycles(skew);
+        }
+    }
     let n = shared.workers.len();
     // Rotate the scan start so callers spread over workers.
     let start = shared.rotor.fetch_add(1, Ordering::Relaxed) % n.max(1);
     for k in 0..n {
         let w = &shared.workers[(start + k) % n];
+        if w.is_poisoned() {
+            // Quarantined: a fault killed this worker's thread.
+            continue;
+        }
         if w.try_transition(WorkerState::Unused, WorkerState::Reserved) {
             return switchless_call(shared, w, req, payload_in, payload_out);
         }
@@ -47,8 +61,27 @@ fn switchless_call(
     payload_in: &[u8],
     payload_out: &mut Vec<u8>,
 ) -> Result<(i64, CallPath), SwitchlessError> {
-    // Allocate the request payload from the worker's untrusted pool.
-    let alloc = w.with_pool(|p| p.alloc(payload_in.len()));
+    // Allocate the request payload from the worker's untrusted pool. An
+    // injected exhaustion is retried with bounded pause backoff (the
+    // graceful-degradation path for transient pressure on the untrusted
+    // heap); persistent exhaustion degrades to the regular-ocall path
+    // below, exactly like an oversized payload.
+    let alloc = {
+        let mut attempts: u32 = 0;
+        loop {
+            let forced = shared.faults.as_ref().is_some_and(|f| f.on_pool_alloc());
+            if !forced {
+                break w.with_pool(|p| p.alloc(payload_in.len()));
+            }
+            if attempts >= POOL_RETRY_MAX {
+                break PoolAlloc::TooLarge;
+            }
+            shared
+                .clock
+                .spin_cycles(shared.clock.spec().pause_cycles << attempts);
+            attempts += 1;
+        }
+    };
     let offset = match alloc {
         PoolAlloc::Fit { offset } => offset,
         PoolAlloc::AfterRealloc => {
@@ -89,6 +122,17 @@ fn switchless_call(
     // active worker" invariant of §IV-A.
     let mut spins: u32 = 0;
     while w.state() != WorkerState::Waiting {
+        if w.is_poisoned() {
+            // The worker crashed or hung *before* invoking our request
+            // (poisoning happens ahead of any slot access), so re-routing
+            // to a regular ocall cannot double-execute side effects. The
+            // buffer stays quarantined in PROCESSING forever.
+            let ret = shared
+                .fallback
+                .execute_transition(req, payload_in, payload_out)?;
+            shared.stats.record_fallback();
+            return Ok((ret, CallPath::Fallback));
+        }
         shared.clock.pause();
         spins = spins.wrapping_add(1);
         if spins.is_multiple_of(YIELD_EVERY) {

@@ -103,12 +103,7 @@ impl RequestPool {
     /// # Panics
     ///
     /// Panics if the range exceeds the pool.
-    pub fn write_with(
-        &mut self,
-        offset: usize,
-        data: &[u8],
-        copy: impl FnOnce(&mut [u8], &[u8]),
-    ) {
+    pub fn write_with(&mut self, offset: usize, data: &[u8], copy: impl FnOnce(&mut [u8], &[u8])) {
         copy(&mut self.buf[offset..offset + data.len()], data);
     }
 
@@ -168,7 +163,9 @@ mod tests {
     #[test]
     fn write_and_read_back() {
         let mut p = RequestPool::new(64);
-        let PoolAlloc::Fit { offset } = p.alloc(5) else { panic!() };
+        let PoolAlloc::Fit { offset } = p.alloc(5) else {
+            panic!()
+        };
         p.write_with(offset, b"hello", |d, s| d.copy_from_slice(s));
         assert_eq!(p.slice(offset, 5), b"hello");
     }

@@ -7,9 +7,11 @@ use sgx_sim::{CpuAccounting, CycleClock, Enclave, MemcpyKind, RegularOcall};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 use switchless_core::stats::WorkerResidency;
 use switchless_core::{
-    CallPath, CallStats, OcallDispatcher, OcallRequest, OcallTable, SwitchlessError, ZcConfig,
+    CallPath, CallStats, DrainReport, FaultInjector, OcallDispatcher, OcallRequest, OcallTable,
+    SwitchlessError, TransitionLog, ZcConfig,
 };
 
 /// Busy-wait loops yield to the OS scheduler after this many pauses
@@ -34,6 +36,7 @@ pub(crate) struct Shared {
     pub(crate) rotor: AtomicUsize,
     pub(crate) residency: Mutex<WorkerResidency>,
     pub(crate) accounting: Option<Arc<CpuAccounting>>,
+    pub(crate) faults: Option<Arc<FaultInjector>>,
 }
 
 /// The ZC-SWITCHLESS runtime: adaptive switchless ocalls with zero
@@ -81,7 +84,25 @@ impl ZcRuntime {
         table: Arc<OcallTable>,
         enclave: Enclave,
     ) -> Result<Self, SwitchlessError> {
-        Self::start_inner(config, table, enclave, None, true)
+        Self::start_inner(config, table, enclave, None, true, None)
+    }
+
+    /// [`start`](ZcRuntime::start) with a [`FaultInjector`]: workers,
+    /// callers and the fallback engine consult `faults` at their
+    /// instrumented sites, exercising the graceful-degradation paths
+    /// (poisoned-worker quarantine, pool-exhaustion retry, transition
+    /// retry, drain-with-timeout).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`start`](ZcRuntime::start).
+    pub fn start_with_faults(
+        config: ZcConfig,
+        table: Arc<OcallTable>,
+        enclave: Enclave,
+        faults: Arc<FaultInjector>,
+    ) -> Result<Self, SwitchlessError> {
+        Self::start_inner(config, table, enclave, None, false, Some(faults))
     }
 
     /// [`start`](ZcRuntime::start) with CPU accounting: workers and the
@@ -93,7 +114,7 @@ impl ZcRuntime {
         enclave: Enclave,
         accounting: Option<Arc<CpuAccounting>>,
     ) -> Result<Self, SwitchlessError> {
-        Self::start_inner(config, table, enclave, accounting, false)
+        Self::start_inner(config, table, enclave, accounting, false, None)
     }
 
     fn start_inner(
@@ -102,6 +123,7 @@ impl ZcRuntime {
         enclave: Enclave,
         accounting: Option<Arc<CpuAccounting>>,
         ecalls: bool,
+        faults: Option<Arc<FaultInjector>>,
     ) -> Result<Self, SwitchlessError> {
         let max = config.max_workers();
         if max == 0 {
@@ -115,7 +137,12 @@ impl ZcRuntime {
         if ecalls {
             fallback = fallback.as_ecalls();
         }
-        let workers = (0..max).map(|_| WorkerBuffer::new(config.pool_bytes)).collect();
+        if let Some(f) = &faults {
+            fallback = fallback.with_faults(Arc::clone(f));
+        }
+        let workers = (0..max)
+            .map(|_| WorkerBuffer::new(config.pool_bytes))
+            .collect();
         let shared = Arc::new(Shared {
             clock: enclave.clock(),
             workers,
@@ -130,6 +157,7 @@ impl ZcRuntime {
             rotor: AtomicUsize::new(0),
             residency: Mutex::new(WorkerResidency::new(max)),
             accounting,
+            faults,
             config,
         });
         // Initial activation before any thread runs: first
@@ -169,6 +197,13 @@ impl ZcRuntime {
         &self.shared.config
     }
 
+    /// The runtime's shared cycle clock (inherited from the enclave;
+    /// virtual when the enclave was built with `Enclave::new_virtual`).
+    #[must_use]
+    pub fn clock(&self) -> CycleClock {
+        self.shared.clock.clone()
+    }
+
     /// Worker count chosen by the scheduler for the current step.
     #[must_use]
     pub fn active_workers(&self) -> usize {
@@ -187,9 +222,42 @@ impl ZcRuntime {
         self.shared.residency.lock().clone()
     }
 
+    /// Attach a fresh [`TransitionLog`] to every worker buffer, recording
+    /// each successful status transition from this point on (test
+    /// instrumentation; first installation wins per worker).
+    pub fn install_transition_log(&self) -> Arc<TransitionLog> {
+        let log = Arc::new(TransitionLog::new());
+        for w in &self.shared.workers {
+            w.set_recorder(Arc::clone(&log));
+        }
+        log
+    }
+
+    /// Workers quarantined by the poisoned-worker degradation path.
+    #[must_use]
+    pub fn poisoned_workers(&self) -> usize {
+        self.shared
+            .workers
+            .iter()
+            .filter(|w| w.is_poisoned())
+            .count()
+    }
+
     /// Stop the scheduler and workers and join them. Idempotent; also
-    /// runs on drop. In-flight calls complete first.
+    /// runs on drop. In-flight calls complete first. Delegates to
+    /// [`shutdown_with_timeout`](ZcRuntime::shutdown_with_timeout) with a
+    /// generous drain budget, so even a wedged worker cannot hang
+    /// shutdown forever.
     pub fn shutdown(&self) {
+        let _ = self.shutdown_with_timeout(Duration::from_secs(30));
+    }
+
+    /// Stop the runtime, draining workers for at most `timeout` of
+    /// modelled time. Workers still alive at the deadline (e.g. wedged by
+    /// an injected hang) are *abandoned* — detached rather than joined —
+    /// so shutdown always completes. On a virtual clock the deadline
+    /// advances logically and no wall-clock time is slept.
+    pub fn shutdown_with_timeout(&self, timeout: Duration) -> DrainReport {
         self.shared.running.store(false, Ordering::Release);
         if let Some(h) = self.scheduler_handle.lock().take() {
             let _ = h.join();
@@ -198,10 +266,39 @@ impl ZcRuntime {
             w.post_command(SchedCommand::Exit);
             w.unpark();
         }
+        let clock = &self.shared.clock;
+        let deadline = clock
+            .now_cycles()
+            .saturating_add(clock.duration_to_cycles(timeout));
         let mut handles = self.worker_handles.lock();
-        for h in handles.drain(..) {
-            let _ = h.join();
+        let mut report = DrainReport::default();
+        loop {
+            let mut still_running = Vec::new();
+            for h in handles.drain(..) {
+                if h.is_finished() {
+                    let _ = h.join();
+                    report.drained += 1;
+                } else {
+                    still_running.push(h);
+                }
+            }
+            if still_running.is_empty() {
+                break;
+            }
+            if clock.now_cycles() >= deadline {
+                report.abandoned = still_running.len();
+                // Detach: dropping the handles leaves the threads to die
+                // with the process instead of wedging shutdown.
+                drop(still_running);
+                break;
+            }
+            *handles = still_running;
+            for w in &self.shared.workers {
+                w.unpark();
+            }
+            clock.sleep(Duration::from_millis(1));
         }
+        report
     }
 }
 
@@ -248,7 +345,9 @@ mod tests {
     fn test_config() -> ZcConfig {
         let mut cpu = CpuSpec::paper_machine();
         cpu.logical_cpus = 4; // max 2 workers
-        ZcConfig::for_cpu(cpu).with_quantum_ms(5).with_initial_workers(1)
+        ZcConfig::for_cpu(cpu)
+            .with_quantum_ms(5)
+            .with_initial_workers(1)
     }
 
     fn enclave(cfg: &ZcConfig) -> Enclave {
@@ -290,7 +389,9 @@ mod tests {
         let mut out = Vec::new();
         let mut switchless = 0;
         for _ in 0..50 {
-            let (_, path) = rt.dispatch(&OcallRequest::new(echo, &[]), b"p", &mut out).unwrap();
+            let (_, path) = rt
+                .dispatch(&OcallRequest::new(echo, &[]), b"p", &mut out)
+                .unwrap();
             if path == CallPath::Switchless {
                 switchless += 1;
             }
@@ -307,10 +408,16 @@ mod tests {
         let rt = ZcRuntime::start(cfg, t, enclave(&cfg)).unwrap();
         let big = vec![7u8; 1024];
         let mut out = Vec::new();
-        let (ret, path) = rt.dispatch(&OcallRequest::new(echo, &[]), &big, &mut out).unwrap();
+        let (ret, path) = rt
+            .dispatch(&OcallRequest::new(echo, &[]), &big, &mut out)
+            .unwrap();
         assert_eq!(ret, 1024);
         assert_eq!(out, big);
-        assert_eq!(path, CallPath::Fallback, "payload larger than pool must fall back");
+        assert_eq!(
+            path,
+            CallPath::Fallback,
+            "payload larger than pool must fall back"
+        );
         rt.shutdown();
     }
 
@@ -351,7 +458,8 @@ mod tests {
         rt.shutdown();
         let mut out = Vec::new();
         assert_eq!(
-            rt.dispatch(&OcallRequest::new(echo, &[]), &[], &mut out).unwrap_err(),
+            rt.dispatch(&OcallRequest::new(echo, &[]), &[], &mut out)
+                .unwrap_err(),
             SwitchlessError::RuntimeStopped
         );
     }
@@ -368,19 +476,26 @@ mod tests {
 
     #[test]
     fn scheduler_makes_decisions_and_records_residency() {
+        // Virtual clock: scheduler quanta advance logical time instantly,
+        // so configuration phases complete deterministically without the
+        // test betting on wall-clock timing.
         let (t, echo, _) = table();
         let cfg = test_config(); // 5 ms quantum
-        let rt = ZcRuntime::start(cfg, t, enclave(&cfg)).unwrap();
-        // Generate some load while the scheduler cycles.
+        let rt = ZcRuntime::start(cfg, t, Enclave::new_virtual(cfg.cpu)).unwrap();
+        // Generate load until the scheduler has completed a decision
+        // (wall-clock bound is only a failure backstop, never slept on).
         let mut out = Vec::new();
-        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(120);
-        while std::time::Instant::now() < deadline {
-            let _ = rt.dispatch(&OcallRequest::new(echo, &[]), b"load", &mut out).unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while rt.scheduler_decisions() < 1 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no scheduler decision"
+            );
+            let _ = rt
+                .dispatch(&OcallRequest::new(echo, &[]), b"load", &mut out)
+                .unwrap();
         }
-        assert!(
-            rt.scheduler_decisions() >= 1,
-            "scheduler must complete at least one configuration phase in 120 ms"
-        );
+        assert!(rt.scheduler_decisions() >= 1);
         let res = rt.residency();
         assert!(res.total_cycles() > 0, "residency must be recorded");
         assert!(rt.active_workers() <= rt.config().max_workers());
@@ -416,17 +531,24 @@ mod tests {
 
     #[test]
     fn accounting_registers_workers_and_scheduler() {
-        let (t, _echo, _add) = table();
+        let (t, echo, _add) = table();
         let cfg = test_config();
         let acc = Arc::new(CpuAccounting::new());
         let rt = ZcRuntime::start_with_accounting(
             cfg,
             t,
-            enclave(&cfg),
+            Enclave::new_virtual(cfg.cpu),
             Some(Arc::clone(&acc)),
         )
         .unwrap();
-        std::thread::sleep(std::time::Duration::from_millis(30));
+        // A couple of real calls instead of a wall-clock sleep: all
+        // threads are registered at spawn, before any call completes.
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            let _ = rt
+                .dispatch(&OcallRequest::new(echo, &[]), b"acct", &mut out)
+                .unwrap();
+        }
         rt.shutdown();
         let names: Vec<String> = acc.per_thread().into_iter().map(|(n, _, _)| n).collect();
         assert!(names.iter().any(|n| n == "zc-scheduler"));

@@ -24,10 +24,8 @@ pub(crate) fn scheduler_loop(shared: &Shared) {
         .accounting
         .as_ref()
         .map(|acc| acc.register("zc-scheduler"));
-    let mut policy = SchedulerPolicy::new(
-        shared.config.policy_params(),
-        shared.config.initial_workers,
-    );
+    let mut policy =
+        SchedulerPolicy::new(shared.config.policy_params(), shared.config.initial_workers);
     let spec = *shared.clock.spec();
     let mut fallbacks_at_step_start = shared.stats.fallbacks();
     let mut last_delta = 0u64;
@@ -56,14 +54,20 @@ pub(crate) fn scheduler_loop(shared: &Shared) {
         let fb = shared.stats.fallbacks();
         last_delta = fb.saturating_sub(fallbacks_at_step_start);
         fallbacks_at_step_start = fb;
-        shared.decisions.store(policy.decisions(), Ordering::Release);
+        shared
+            .decisions
+            .store(policy.decisions(), Ordering::Release);
     }
 }
 
-/// Activate the first `m` workers and post `Deactivate` to the rest.
+/// Activate the first `m` *healthy* workers and post `Deactivate` to the
+/// rest. Poisoned (quarantined) workers are passed over, so a spare
+/// healthy worker takes the slot a crashed one would have occupied.
 pub(crate) fn set_active_workers(shared: &Shared, m: usize) {
-    for (i, w) in shared.workers.iter().enumerate() {
-        if i < m {
+    let mut activated = 0;
+    for w in shared.workers.iter() {
+        if activated < m && !w.is_poisoned() {
+            activated += 1;
             w.post_command(SchedCommand::Run);
             if w.state() == WorkerState::Paused
                 && w.try_transition(WorkerState::Paused, WorkerState::Unused)
@@ -86,7 +90,9 @@ fn sleep_interruptible(shared: &Shared, total: Duration) {
             return;
         }
         let chunk = remaining.min(SLEEP_CHUNK);
-        std::thread::sleep(chunk);
+        // On a virtual clock this advances logical time instantly, so
+        // quanta and micro-quanta step through without wall-clock sleeps.
+        shared.clock.sleep(chunk);
         remaining = remaining.saturating_sub(chunk);
     }
 }

@@ -14,7 +14,7 @@
 
 use crate::buffer::{SchedCommand, WorkerBuffer};
 use crate::runtime::{Shared, YIELD_EVERY};
-use switchless_core::WorkerState;
+use switchless_core::{WorkerFault, WorkerState};
 
 /// Body of worker thread `index`. Returns when the worker reaches the
 /// `EXIT` state.
@@ -32,7 +32,13 @@ pub(crate) fn worker_loop(shared: &Shared, index: usize) {
         match me.state() {
             WorkerState::Processing => {
                 spins = 0;
-                execute(shared, me);
+                if !execute(shared, me) {
+                    // Injected crash: the thread dies abruptly. The buffer
+                    // stays POISONED in PROCESSING, so it can never be
+                    // claimed again — the quarantine the caller re-routes
+                    // around.
+                    break;
+                }
             }
             WorkerState::Unused => match me.sched_command() {
                 SchedCommand::Exit => {
@@ -116,8 +122,30 @@ fn park_until_released(me: &WorkerBuffer) {
 }
 
 /// Execute the posted request and publish results
-/// (`PROCESSING -> WAITING`).
-fn execute(shared: &Shared, me: &WorkerBuffer) {
+/// (`PROCESSING -> WAITING`). Returns `false` if an injected crash
+/// terminated the worker (the caller's request was *not* invoked).
+fn execute(shared: &Shared, me: &WorkerBuffer) -> bool {
+    if let Some(faults) = &shared.faults {
+        match faults.on_worker_call() {
+            WorkerFault::None => {}
+            WorkerFault::Stall(cycles) => shared.clock.spin_cycles(cycles),
+            WorkerFault::Crash => {
+                // Poison *before* touching the slot: the request has not
+                // been invoked yet, so the caller re-executing it through
+                // the fallback path is side-effect-safe.
+                me.poison();
+                return false;
+            }
+            WorkerFault::Hang => {
+                me.poison();
+                // Wedge forever: unparks (e.g. from shutdown) just re-park.
+                // Shutdown must abandon this thread via its drain timeout.
+                loop {
+                    std::thread::park();
+                }
+            }
+        }
+    }
     me.with_pool(|pool| {
         me.with_slot(|slot| {
             let req = slot
@@ -143,4 +171,5 @@ fn execute(shared: &Shared, me: &WorkerBuffer) {
     });
     let ok = me.try_transition(WorkerState::Processing, WorkerState::Waiting);
     debug_assert!(ok, "PROCESSING -> WAITING must not be contended");
+    true
 }

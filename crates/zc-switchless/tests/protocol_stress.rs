@@ -91,7 +91,9 @@ fn switchless_ecalls_work_and_count_ecall_transitions() {
     let mut out = Vec::new();
     for i in 0..50u8 {
         let payload = vec![i; 64];
-        let (ret, _) = rt.dispatch(&OcallRequest::new(seal, &[]), &payload, &mut out).unwrap();
+        let (ret, _) = rt
+            .dispatch(&OcallRequest::new(seal, &[]), &payload, &mut out)
+            .unwrap();
         assert_eq!(ret, 64);
         assert!(out.iter().all(|&b| b == i ^ 0xA5));
     }
@@ -106,8 +108,8 @@ fn rapid_start_shutdown_cycles_are_clean() {
     let (table, sum) = checksum_table();
     for round in 0..10 {
         let cfg = ZcConfig::for_cpu(test_cpu()).with_quantum_ms(1);
-        let rt = ZcRuntime::start(cfg, Arc::clone(&table), sgx_sim::Enclave::new(test_cpu()))
-            .unwrap();
+        let rt =
+            ZcRuntime::start(cfg, Arc::clone(&table), sgx_sim::Enclave::new(test_cpu())).unwrap();
         let mut out = Vec::new();
         let (ret, _) = rt
             .dispatch(&OcallRequest::new(sum, &[]), &[1, 2, 3], &mut out)
@@ -121,11 +123,19 @@ fn rapid_start_shutdown_cycles_are_clean() {
 fn residency_accumulates_under_load() {
     let (table, sum) = checksum_table();
     let cfg = ZcConfig::for_cpu(test_cpu()).with_quantum_ms(2);
-    let rt = ZcRuntime::start(cfg, table, sgx_sim::Enclave::new(test_cpu())).unwrap();
+    // Virtual clock: scheduler quanta elapse in logical time, so
+    // residency accumulates after a handful of dispatches instead of
+    // 80 ms of wall-clock hammering.
+    let rt = ZcRuntime::start(cfg, table, sgx_sim::Enclave::new_virtual(test_cpu())).unwrap();
     let mut out = Vec::new();
-    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(80);
-    while std::time::Instant::now() < deadline {
-        rt.dispatch(&OcallRequest::new(sum, &[]), b"load", &mut out).unwrap();
+    let backstop = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while rt.residency().total_cycles() == 0 {
+        assert!(
+            std::time::Instant::now() < backstop,
+            "residency never accumulated on the virtual clock"
+        );
+        rt.dispatch(&OcallRequest::new(sum, &[]), b"load", &mut out)
+            .unwrap();
     }
     let res = rt.residency();
     assert!(res.total_cycles() > 0);
@@ -139,11 +149,16 @@ fn residency_accumulates_under_load() {
 #[test]
 fn zero_length_payloads_and_replies_are_fine() {
     let mut t = OcallTable::new();
-    let nop = t.register("nop", |_: &[u64; MAX_OCALL_ARGS], _: &[u8], _: &mut Vec<u8>| 0);
+    let nop = t.register(
+        "nop",
+        |_: &[u64; MAX_OCALL_ARGS], _: &[u8], _: &mut Vec<u8>| 0,
+    );
     let cfg = ZcConfig::for_cpu(test_cpu()).with_quantum_ms(5);
     let rt = ZcRuntime::start(cfg, Arc::new(t), sgx_sim::Enclave::new(test_cpu())).unwrap();
     let mut out = vec![9u8; 16];
-    let (ret, _) = rt.dispatch(&OcallRequest::new(nop, &[]), &[], &mut out).unwrap();
+    let (ret, _) = rt
+        .dispatch(&OcallRequest::new(nop, &[]), &[], &mut out)
+        .unwrap();
     assert_eq!(ret, 0);
     assert!(out.is_empty(), "stale output must be cleared");
     rt.shutdown();

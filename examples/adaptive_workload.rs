@@ -23,7 +23,11 @@ fn real_runtime_demo() -> Result<(), Box<dyn std::error::Error>> {
     let zc = ZcRuntime::start(cfg, Arc::new(table), enclave)?;
 
     let mut out = Vec::new();
-    let (fd, _) = zc.dispatch(&OcallRequest::new(funcs.fopen, &[1]), b"/burst.log", &mut out)?;
+    let (fd, _) = zc.dispatch(
+        &OcallRequest::new(funcs.fopen, &[1]),
+        b"/burst.log",
+        &mut out,
+    )?;
     for phase in 0..4 {
         let bursty = phase % 2 == 0;
         let deadline = std::time::Instant::now() + std::time::Duration::from_millis(60);
@@ -46,7 +50,11 @@ fn real_runtime_demo() -> Result<(), Box<dyn std::error::Error>> {
             zc.active_workers()
         );
     }
-    zc.dispatch(&OcallRequest::new(funcs.fclose, &[fd as u64]), &[], &mut out)?;
+    zc.dispatch(
+        &OcallRequest::new(funcs.fclose, &[fd as u64]),
+        &[],
+        &mut out,
+    )?;
     println!("residency fractions: {:?}", zc.residency().fractions());
     zc.shutdown();
     Ok(())
@@ -59,15 +67,28 @@ fn simulator_demo() {
     use zc_des::{Mechanism, SimConfig, WorkloadSpec, ZcSimParams};
 
     let cpu = CpuSpec::paper_machine();
-    let call = CallDesc { host_cycles: 3_000, ret_bytes: 8, ..CallDesc::default() };
+    let call = CallDesc {
+        host_cycles: 3_000,
+        ret_bytes: 8,
+        ..CallDesc::default()
+    };
     let load = PhasedLoad {
         call,
         period_cycles: cpu.freq_hz / 10, // 100 ms periods
         initial_ops: 1_000,
         phases: vec![
-            Phase { duration_cycles: cpu.freq_hz, mode: PhaseMode::Doubling },
-            Phase { duration_cycles: cpu.freq_hz, mode: PhaseMode::Constant },
-            Phase { duration_cycles: cpu.freq_hz, mode: PhaseMode::Halving },
+            Phase {
+                duration_cycles: cpu.freq_hz,
+                mode: PhaseMode::Doubling,
+            },
+            Phase {
+                duration_cycles: cpu.freq_hz,
+                mode: PhaseMode::Constant,
+            },
+            Phase {
+                duration_cycles: cpu.freq_hz,
+                mode: PhaseMode::Halving,
+            },
         ],
     };
     // Two callers: the wasted-cycle objective U = F*T_es + M*T only
@@ -76,7 +97,10 @@ fn simulator_demo() {
     let report = zc_des::run(
         &SimConfig::new(
             Mechanism::Zc(ZcSimParams::default()),
-            vec![WorkloadSpec::Phased(load.clone()), WorkloadSpec::Phased(load)],
+            vec![
+                WorkloadSpec::Phased(load.clone()),
+                WorkloadSpec::Phased(load),
+            ],
             1,
         )
         .with_sampling(cpu.freq_hz / 2),

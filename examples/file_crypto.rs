@@ -17,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut table = OcallTable::new();
     let funcs = FsFuncs::register(&mut table, &fs);
     let enclave = Enclave::new(CpuSpec::paper_machine());
-    let zc = Arc::new(ZcRuntime::start(ZcConfig::default(), Arc::new(table), enclave)?);
+    let zc = Arc::new(ZcRuntime::start(
+        ZcConfig::default(),
+        Arc::new(table),
+        enclave,
+    )?);
 
     // 1 MB of plaintext.
     let plaintext: Vec<u8> = (0..1_048_576u32).map(|i| (i % 253) as u8).collect();
@@ -31,25 +35,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let key = [9u8; crypto::KEY_SIZE];
     let t0 = std::time::Instant::now();
-    std::thread::scope(|s| -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
-        let zc_enc = Arc::clone(&zc);
-        let enc = s.spawn(move || {
-            let io = EnclaveIo::new(zc_enc.as_ref(), funcs);
-            let aes = Aes256::new(&key);
-            crypto::encrypt_file(&io, &aes, &[2u8; crypto::BLOCK], "/plain", "/cipher1", 4096)
-        });
-        let zc_dec = Arc::clone(&zc);
-        let dec = s.spawn(move || {
-            let io = EnclaveIo::new(zc_dec.as_ref(), funcs);
-            let aes = Aes256::new(&key);
-            crypto::decrypt_file(&io, &aes, &[1u8; crypto::BLOCK], "/cipher0", "/restored")
-        });
-        let (pin, pout) = enc.join().expect("encrypt thread").expect("encrypt");
-        let (cin, cout) = dec.join().expect("decrypt thread").expect("decrypt");
-        println!("encrypted {pin} plaintext bytes -> {pout} ciphertext bytes");
-        println!("decrypted {cin} ciphertext bytes -> {cout} plaintext bytes");
-        Ok(())
-    })
+    std::thread::scope(
+        |s| -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+            let zc_enc = Arc::clone(&zc);
+            let enc = s.spawn(move || {
+                let io = EnclaveIo::new(zc_enc.as_ref(), funcs);
+                let aes = Aes256::new(&key);
+                crypto::encrypt_file(&io, &aes, &[2u8; crypto::BLOCK], "/plain", "/cipher1", 4096)
+            });
+            let zc_dec = Arc::clone(&zc);
+            let dec = s.spawn(move || {
+                let io = EnclaveIo::new(zc_dec.as_ref(), funcs);
+                let aes = Aes256::new(&key);
+                crypto::decrypt_file(&io, &aes, &[1u8; crypto::BLOCK], "/cipher0", "/restored")
+            });
+            let (pin, pout) = enc.join().expect("encrypt thread").expect("encrypt");
+            let (cin, cout) = dec.join().expect("decrypt thread").expect("decrypt");
+            println!("encrypted {pin} plaintext bytes -> {pout} ciphertext bytes");
+            println!("decrypted {cin} ciphertext bytes -> {cout} plaintext bytes");
+            Ok(())
+        },
+    )
     .map_err(|e| -> Box<dyn std::error::Error> { e })?;
     let elapsed = t0.elapsed();
 

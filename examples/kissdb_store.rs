@@ -40,13 +40,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let snap = zc.stats().snapshot();
     println!("kissdb over ZC-SWITCHLESS");
-    println!("  {n} SETs in {set_ms:.1} ms ({:.1} us/op)", set_ms * 1e3 / n as f64);
-    println!("  {hits}/{n} GETs in {get_ms:.1} ms ({:.1} us/op)", get_ms * 1e3 / n as f64);
+    println!(
+        "  {n} SETs in {set_ms:.1} ms ({:.1} us/op)",
+        set_ms * 1e3 / n as f64
+    );
+    println!(
+        "  {hits}/{n} GETs in {get_ms:.1} ms ({:.1} us/op)",
+        get_ms * 1e3 / n as f64
+    );
     println!(
         "  ocalls: {} switchless, {} fallback, {} pool reallocs",
         snap.switchless, snap.fallback, snap.pool_reallocs
     );
-    println!("  db file: {} bytes", fs.file_size("/store.db").unwrap_or(0));
+    println!(
+        "  db file: {} bytes",
+        fs.file_size("/store.db").unwrap_or(0)
+    );
     println!("  scheduler decisions: {}", zc.scheduler_decisions());
     zc.shutdown();
     Ok(())

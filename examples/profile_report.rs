@@ -43,6 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let report = prof.report();
     println!("{report}");
-    println!("switchless candidates: {:?}", report.switchless_candidates());
+    println!(
+        "switchless candidates: {:?}",
+        report.switchless_candidates()
+    );
     Ok(())
 }

@@ -8,9 +8,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use std::sync::Arc;
-use switchless_core::{
-    CpuSpec, IntelConfig, OcallDispatcher, OcallRequest, OcallTable, ZcConfig,
-};
+use switchless_core::{CpuSpec, IntelConfig, OcallDispatcher, OcallRequest, OcallTable, ZcConfig};
 use zc_switchless_repro::sgx_sim::{Enclave, HostFs, RegularOcall};
 use zc_switchless_repro::{intel_switchless::IntelSwitchless, zc_switchless::ZcRuntime};
 
@@ -40,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 &mut out,
             )?;
         }
-        disp.dispatch(&OcallRequest::new(funcs.fclose, &[fd as u64]), &[], &mut out)?;
+        disp.dispatch(
+            &OcallRequest::new(funcs.fclose, &[fd as u64]),
+            &[],
+            &mut out,
+        )?;
         Ok(())
     };
 

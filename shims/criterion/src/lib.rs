@@ -1,0 +1,273 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the small slice of the criterion API the bench targets use
+//! (`Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `criterion_group!`, `criterion_main!`)
+//! backed by a plain wall-clock sampler: warm up briefly, then time
+//! `sample_size` samples and print mean / min / max ns per iteration
+//! (plus derived throughput when declared). No statistics, plots or
+//! baseline storage — enough for `cargo bench` to produce comparable
+//! numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness configuration (sample count, per-benchmark time).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the wall-clock budget each benchmark aims to spend measuring.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            measurement_time,
+            throughput: None,
+        }
+    }
+}
+
+/// Declared units of work per iteration, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a parameterised benchmark: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A named set of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark closure with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reports are printed as
+    /// each benchmark finishes).
+    pub fn finish(&mut self) {}
+
+    fn run(&self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        let full = format!("{}/{}", self.name, id);
+        if b.samples.is_empty() {
+            println!("{full:<50} (no samples)");
+            return;
+        }
+        let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+        let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = b.samples.iter().cloned().fold(0.0f64, f64::max);
+        let thr = match self.throughput {
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!(
+                    "  {:>10.1} MiB/s",
+                    n as f64 / mean * 1e9 / (1024.0 * 1024.0)
+                )
+            }
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  {:>10.1} Melem/s", n as f64 / mean * 1e9 / 1e6)
+            }
+            _ => String::new(),
+        };
+        println!("{full:<50} {mean:>12.1} ns/iter  [{min:.1} .. {max:.1}]{thr}");
+    }
+}
+
+/// Timer handed to benchmark closures.
+pub struct Bencher {
+    /// Mean ns/iteration per sample.
+    samples: Vec<f64>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit in ~1/10 of a sample budget.
+        let calib_start = Instant::now();
+        let mut calib_iters = 0u64;
+        while calib_start.elapsed() < Duration::from_millis(5) && calib_iters < 1_000_000 {
+            std::hint::black_box(routine());
+            calib_iters += 1;
+        }
+        let per_iter = calib_start.elapsed().as_nanos() as f64 / calib_iters as f64;
+        let budget = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter.max(1.0)) as u64).clamp(1, 10_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export for code importing `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30));
+        let mut group = c.benchmark_group("shim");
+        let mut count = 0u64;
+        group.throughput(Throughput::Bytes(64));
+        group.bench_function("counter", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+
+    criterion_group! {
+        name = smoke;
+        config = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(10));
+        targets = smoke_target
+    }
+
+    fn smoke_target(c: &mut Criterion) {
+        c.benchmark_group("g")
+            .bench_function("f", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macro_expands() {
+        smoke();
+    }
+}

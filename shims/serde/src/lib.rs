@@ -1,0 +1,63 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace marks its public data types `Serialize`/`Deserialize`
+//! so downstream users can persist them, but never serialises anything
+//! itself (no format crate is a dependency). Since the build container
+//! has no registry access, this shim replaces the real crate with
+//! method-less marker traits carrying blanket impls, keeping every
+//! `#[derive(Serialize, Deserialize)]` and `T: Serialize` bound compiling
+//! unchanged. Swapping the workspace dependency back to crates.io serde
+//! requires no source edits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no methods; blanket-implemented
+/// for every type).
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize` (no methods;
+/// blanket-implemented for every sized type).
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+/// Minimal `serde::de` namespace for `de::DeserializeOwned` paths.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn blanket_impls_cover_arbitrary_types() {
+        fn assert_serde<T: crate::Serialize + for<'de> crate::Deserialize<'de>>() {}
+        struct Local(#[allow(dead_code)] u8);
+        assert_serde::<u64>();
+        assert_serde::<String>();
+        assert_serde::<Local>();
+        assert_serde::<Vec<(u8, String)>>();
+    }
+
+    #[test]
+    fn derives_expand_without_error() {
+        #[derive(crate::Serialize, crate::Deserialize)]
+        struct S {
+            #[allow(dead_code)]
+            x: u32,
+        }
+        #[derive(crate::Serialize, crate::Deserialize)]
+        enum E {
+            #[allow(dead_code)]
+            A,
+        }
+        let _ = S { x: 1 };
+        let _ = E::A;
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The container building this workspace has no access to crates.io, so
+//! the real serde proc macros are unavailable. Nothing in this workspace
+//! actually serialises bytes (there is no `serde_json`/`bincode` dep);
+//! `#[derive(Serialize, Deserialize)]` is only used as a marker so types
+//! stay serialisation-ready. These derives therefore expand to nothing —
+//! the sibling `serde` shim supplies blanket impls of the (method-less)
+//! traits, so `T: Serialize` bounds still hold for every derived type.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: accepts (and ignores) `#[serde(...)]`
+/// attributes for source compatibility.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`: accepts (and ignores) `#[serde(...)]`
+/// attributes for source compatibility.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

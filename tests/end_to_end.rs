@@ -122,7 +122,10 @@ fn concurrent_mixed_workload_over_zc_is_correct() {
                 db.put(&i.to_le_bytes(), &(!i).to_le_bytes()).unwrap();
             }
             for i in (0..500u64).step_by(7) {
-                assert_eq!(db.get(&i.to_le_bytes()).unwrap(), Some((!i).to_le_bytes().to_vec()));
+                assert_eq!(
+                    db.get(&i.to_le_bytes()).unwrap(),
+                    Some((!i).to_le_bytes().to_vec())
+                );
             }
             db.close().unwrap();
         });
@@ -145,24 +148,37 @@ fn fallback_paths_preserve_results() {
     // Force heavy fallback by limiting zc pools to the minimum; payload
     // integrity must hold on both the switchless and fallback paths.
     let (_fs, table, funcs, enclave) = fixture();
-    let cfg = ZcConfig::for_cpu(test_cpu()).with_quantum_ms(5).with_pool_bytes(0);
+    let cfg = ZcConfig::for_cpu(test_cpu())
+        .with_quantum_ms(5)
+        .with_pool_bytes(0);
     let rt = ZcRuntime::start(cfg, table, enclave).unwrap();
     let mut out = Vec::new();
     let (fd, _) = rt
-        .dispatch(&OcallRequest::new(funcs.fopen, &[1]), b"/fallbacks", &mut out)
+        .dispatch(
+            &OcallRequest::new(funcs.fopen, &[1]),
+            b"/fallbacks",
+            &mut out,
+        )
         .unwrap();
     let mut fallbacks = 0;
     for i in 0..200u32 {
         let payload = vec![i as u8; 512]; // larger than the 256 B pool
         let (ret, path) = rt
-            .dispatch(&OcallRequest::new(funcs.fwrite, &[fd as u64]), &payload, &mut out)
+            .dispatch(
+                &OcallRequest::new(funcs.fwrite, &[fd as u64]),
+                &payload,
+                &mut out,
+            )
             .unwrap();
         assert_eq!(ret, 512);
         if path == CallPath::Fallback {
             fallbacks += 1;
         }
     }
-    assert!(fallbacks > 0, "oversized payloads must exercise the fallback path");
+    assert!(
+        fallbacks > 0,
+        "oversized payloads must exercise the fallback path"
+    );
     rt.shutdown();
 }
 
@@ -181,14 +197,25 @@ fn intel_and_zc_stats_account_every_call() {
         .unwrap();
     for _ in 0..50 {
         intel
-            .dispatch(&OcallRequest::new(funcs.fwrite, &[fd as u64]), b"x", &mut out)
+            .dispatch(
+                &OcallRequest::new(funcs.fwrite, &[fd as u64]),
+                b"x",
+                &mut out,
+            )
             .unwrap();
     }
     intel
-        .dispatch(&OcallRequest::new(funcs.fclose, &[fd as u64]), &[], &mut out)
+        .dispatch(
+            &OcallRequest::new(funcs.fclose, &[fd as u64]),
+            &[],
+            &mut out,
+        )
         .unwrap();
     let snap = intel.stats().snapshot();
     assert_eq!(snap.total_calls(), 52);
-    assert_eq!(snap.regular, 2, "fopen/fclose are not switchless-configured");
+    assert_eq!(
+        snap.regular, 2,
+        "fopen/fclose are not switchless-configured"
+    );
     intel.shutdown();
 }

@@ -17,7 +17,11 @@ fn test_cpu() -> CpuSpec {
 }
 
 /// A table with a well-behaved function and one that panics on demand.
-fn hostile_table() -> (Arc<OcallTable>, switchless_core::FuncId, switchless_core::FuncId) {
+fn hostile_table() -> (
+    Arc<OcallTable>,
+    switchless_core::FuncId,
+    switchless_core::FuncId,
+) {
     let mut t = OcallTable::new();
     let ok = t.register(
         "ok",
@@ -48,7 +52,11 @@ fn zc_survives_panicking_host_functions() {
     let mut bombs_handled = 0;
     for i in 0..10 {
         let (ret, _) = rt
-            .dispatch(&OcallRequest::new(bomb, &[u64::from(i % 2 == 0)]), &[], &mut out)
+            .dispatch(
+                &OcallRequest::new(bomb, &[u64::from(i % 2 == 0)]),
+                &[],
+                &mut out,
+            )
             .unwrap();
         if i % 2 == 0 {
             assert_eq!(ret, -1, "panic must surface as an error return");
@@ -59,7 +67,9 @@ fn zc_survives_panicking_host_functions() {
     }
     assert_eq!(bombs_handled, 5);
     // The runtime still serves normal calls afterwards.
-    let (ret, _) = rt.dispatch(&OcallRequest::new(ok, &[]), b"still alive", &mut out).unwrap();
+    let (ret, _) = rt
+        .dispatch(&OcallRequest::new(ok, &[]), b"still alive", &mut out)
+        .unwrap();
     assert_eq!(ret, 11);
     assert_eq!(out, b"still alive");
     rt.shutdown();
@@ -76,24 +86,38 @@ fn intel_survives_panicking_host_functions() {
     .unwrap();
     let mut out = Vec::new();
     for _ in 0..5 {
-        let (ret, _) = rt.dispatch(&OcallRequest::new(bomb, &[1]), &[], &mut out).unwrap();
+        let (ret, _) = rt
+            .dispatch(&OcallRequest::new(bomb, &[1]), &[], &mut out)
+            .unwrap();
         assert_eq!(ret, -1);
     }
-    let (ret, _) = rt.dispatch(&OcallRequest::new(ok, &[]), b"ping", &mut out).unwrap();
+    let (ret, _) = rt
+        .dispatch(&OcallRequest::new(ok, &[]), b"ping", &mut out)
+        .unwrap();
     assert_eq!(ret, 4);
     rt.shutdown();
 }
 
 #[test]
 fn slow_host_functions_do_not_block_other_workers() {
-    // One call sleeps; with two workers the other calls keep flowing.
+    // One call holds its worker hostage; the other calls keep flowing.
+    // Instead of wall-clock sleeps, the "slow" function is gated on
+    // flags: it signals when it has occupied a worker and blocks until
+    // the main thread has pushed 20 fast calls past it.
+    use std::sync::atomic::AtomicBool;
     let mut t = OcallTable::new();
     let calls = Arc::new(AtomicU64::new(0));
     let c2 = Arc::clone(&calls);
+    let started = Arc::new(AtomicBool::new(false));
+    let release = Arc::new(AtomicBool::new(false));
+    let (started_fn, release_fn) = (Arc::clone(&started), Arc::clone(&release));
     let slow = t.register(
         "slow",
         move |_: &[u64; MAX_OCALL_ARGS], _: &[u8], _: &mut Vec<u8>| {
-            std::thread::sleep(std::time::Duration::from_millis(40));
+            started_fn.store(true, Ordering::Release);
+            while !release_fn.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
             0
         },
     );
@@ -111,15 +135,28 @@ fn slow_host_functions_do_not_block_other_workers() {
         let rt_slow = Arc::clone(&rt);
         let slow_h = s.spawn(move || {
             let mut out = Vec::new();
-            rt_slow.dispatch(&OcallRequest::new(slow, &[]), &[], &mut out).unwrap()
+            rt_slow
+                .dispatch(&OcallRequest::new(slow, &[]), &[], &mut out)
+                .unwrap()
         });
-        // Give the slow call a moment to occupy its worker.
-        std::thread::sleep(std::time::Duration::from_millis(5));
+        // Wait (bounded) until the slow call actually occupies a worker
+        // or the fallback path; either way it is in flight.
+        let backstop = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while !started.load(Ordering::Acquire) {
+            assert!(
+                std::time::Instant::now() < backstop,
+                "slow call never started"
+            );
+            std::thread::yield_now();
+        }
         let mut out = Vec::new();
         for _ in 0..20 {
-            let (ret, _) = rt.dispatch(&OcallRequest::new(fast, &[]), &[], &mut out).unwrap();
+            let (ret, _) = rt
+                .dispatch(&OcallRequest::new(fast, &[]), &[], &mut out)
+                .unwrap();
             assert_eq!(ret, 0);
         }
+        release.store(true, Ordering::Release);
         let (ret, _) = slow_h.join().unwrap();
         assert_eq!(ret, 0);
     });
@@ -147,7 +184,9 @@ fn unknown_function_ids_error_cleanly_everywhere() {
         Err(e) => assert_eq!(e, switchless_core::SwitchlessError::UnknownFunc(bad.func)),
     }
     // Still functional.
-    let (ret, _) = zc.dispatch(&OcallRequest::new(ok, &[]), b"x", &mut out).unwrap();
+    let (ret, _) = zc
+        .dispatch(&OcallRequest::new(ok, &[]), b"x", &mut out)
+        .unwrap();
     assert_eq!(ret, 1);
     zc.shutdown();
 }

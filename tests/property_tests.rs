@@ -1,12 +1,19 @@
 //! Property-based tests over the core invariants (proptest).
 
 use proptest::prelude::*;
+use std::sync::Arc;
 use switchless_core::policy::{
-    choose_workers_weighted, wasted_cycles, MicroQuantumReport, PolicyParams, SchedulerPolicy,
+    choose_workers_weighted, wasted_cycles, MicroQuantumReport, PolicyParams, PolicyStep,
+    SchedulerPolicy,
 };
-use switchless_core::WorkerState;
-use zc_switchless_repro::sgx_sim::tlibc::{memcpy_vanilla, memcpy_zc};
+use switchless_core::{
+    CpuSpec, FaultInjector, FaultPlan, OcallDispatcher, OcallRequest, OcallTable, WorkerState,
+    ZcConfig, MAX_OCALL_ARGS,
+};
 use zc_switchless_repro::sgx_sim::hostfs::{HostFs, OpenMode, Whence};
+use zc_switchless_repro::sgx_sim::tlibc::{memcpy_vanilla, memcpy_zc};
+use zc_switchless_repro::sgx_sim::Enclave;
+use zc_switchless_repro::zc_switchless::ZcRuntime;
 use zc_switchless_repro::zc_workloads::crypto::{cbc, Aes256};
 
 proptest! {
@@ -144,6 +151,133 @@ proptest! {
         prop_assert_eq!(fs.file_contents("/oracle").unwrap(), oracle);
     }
 
+    /// One full policy cycle is exactly: a scheduling quantum, then
+    /// `N/2 + 1` configuration micro-quanta probing `0, 1, …, N/2`
+    /// workers in order (each lasting `µQ` cycles), then a scheduling
+    /// quantum whose worker count is the weighted argmin of the probed
+    /// fallback counts — for arbitrary machine shapes and fallback feeds.
+    #[test]
+    fn policy_cycle_is_schedule_probes_argmin_schedule(
+        max_workers in 1usize..8,
+        initial in 0usize..8,
+        weight in 1u64..16,
+        feed in prop::collection::vec(0u64..50_000, 16),
+    ) {
+        let params = PolicyParams {
+            t_es_cycles: 13_500,
+            quantum_cycles: 38_000_000,
+            mu_inverse: 100,
+            max_workers,
+            fallback_weight: weight,
+        };
+        let mut policy = SchedulerPolicy::new(params, initial);
+        let first = policy.next(0);
+        prop_assert_eq!(first, PolicyStep::Schedule {
+            workers: initial.min(max_workers),
+            duration_cycles: params.quantum_cycles,
+        });
+        let mut feed_iter = feed.into_iter().cycle();
+        // Finish the scheduling quantum (its fallback count is ignored)
+        // and walk the configuration phase.
+        let mut step = policy.next(feed_iter.next().unwrap());
+        let mut probed = Vec::new();
+        let mut fed = Vec::new();
+        let decision = loop {
+            match step {
+                PolicyStep::Probe { workers, duration_cycles } => {
+                    prop_assert_eq!(
+                        duration_cycles,
+                        params.micro_quantum_cycles(),
+                        "every probe lasts exactly one micro-quantum"
+                    );
+                    probed.push(workers);
+                    let f = feed_iter.next().unwrap();
+                    fed.push(f);
+                    step = policy.next(f);
+                }
+                PolicyStep::Schedule { workers, duration_cycles } => {
+                    prop_assert_eq!(duration_cycles, params.quantum_cycles);
+                    break workers;
+                }
+            }
+        };
+        // Exactly N/2 + 1 probes, in ascending order 0..=N/2.
+        prop_assert_eq!(&probed, &(0..=max_workers).collect::<Vec<_>>());
+        // The decision is the weighted argmin over exactly the fed
+        // fallback counts.
+        let reports: Vec<MicroQuantumReport> = fed
+            .iter()
+            .enumerate()
+            .map(|(w, &f)| MicroQuantumReport { workers: w, fallbacks: f })
+            .collect();
+        let expect = choose_workers_weighted(
+            &reports,
+            params.t_es_cycles,
+            params.micro_quantum_cycles(),
+            weight,
+        );
+        prop_assert_eq!(decision, expect);
+        prop_assert_eq!(policy.current_workers(), expect);
+        prop_assert_eq!(policy.decisions(), 1);
+    }
+
+    /// Under arbitrary scripted faults (crashes, stalls, pool exhaustion,
+    /// transition failures) the worker status words only ever take legal
+    /// edges of the UNUSED → RESERVED → PROCESSING → WAITING → UNUSED
+    /// state machine (plus PAUSED/EXIT), and every call still completes
+    /// with an intact payload.
+    #[test]
+    fn worker_transitions_stay_legal_under_faults(
+        kind in 0u8..3,
+        at in 0u64..4,
+        exhaust in 0u64..6,
+        trans_fail in 0u64..3,
+        calls in 10u64..40,
+    ) {
+        let mut plan = FaultPlan::new()
+            .exhaust_pool_first(exhaust)
+            .fail_transitions_first(trans_fail);
+        plan = match kind {
+            1 => plan.crash_worker_at(at),
+            2 => plan.stall_worker_at(at, 500_000),
+            _ => plan,
+        };
+        let mut t = OcallTable::new();
+        let echo = t.register(
+            "echo",
+            |_: &[u64; MAX_OCALL_ARGS], pin: &[u8], pout: &mut Vec<u8>| {
+                pout.extend_from_slice(pin);
+                pin.len() as i64
+            },
+        );
+        let mut cpu = CpuSpec::paper_machine();
+        cpu.logical_cpus = 4;
+        let cfg = ZcConfig::for_cpu(cpu).with_quantum_ms(10).with_initial_workers(2);
+        let rt = ZcRuntime::start_with_faults(
+            cfg,
+            Arc::new(t),
+            Enclave::new_virtual(cpu),
+            Arc::new(FaultInjector::new(plan)),
+        )
+        .unwrap();
+        let log = rt.install_transition_log();
+        let mut out = Vec::new();
+        for i in 0..calls {
+            let payload = vec![(i % 251) as u8; 8];
+            // `trans_fail < 4` stays inside the retry budget, so every
+            // call must succeed (switchlessly or via fallback).
+            let (ret, _) = rt
+                .dispatch(&OcallRequest::new(echo, &[]), &payload, &mut out)
+                .unwrap();
+            prop_assert_eq!(ret, 8);
+            prop_assert_eq!(&out, &payload);
+        }
+        rt.shutdown();
+        prop_assert!(!log.edges().is_empty(), "workers must have recorded transitions");
+        let illegal = log.illegal_edges();
+        prop_assert!(illegal.is_empty(), "illegal state-machine edges observed: {illegal:?}");
+    }
+
     /// Random walks over the worker state machine: any sequence of legal
     /// transitions keeps the state consistent, and `can_transition` is
     /// antisymmetric on the happy path.
@@ -179,7 +313,9 @@ fn des_randomized_workloads_are_deterministic() {
 
     let mut seed = 0x1234_5678u64;
     let mut rand = move || {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         seed >> 33
     };
     for _ in 0..5 {

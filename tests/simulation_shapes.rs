@@ -23,7 +23,10 @@ fn takeaway_1_improper_selection_degrades_performance() {
         (c1 as f64) < c5 as f64 * 1.10,
         "C1 ({c1}) must not lose to C5 ({c5}) by more than 10%"
     );
-    assert!(c5 < c2, "C5 ({c5}) must beat the worst misconfiguration C2 ({c2})");
+    assert!(
+        c5 < c2,
+        "C5 ({c5}) must beat the worst misconfiguration C2 ({c2})"
+    );
     // The paper's ratio C2/C1 ≈ 1.8; accept a generous band.
     let ratio = c2 as f64 / c1 as f64;
     assert!(
@@ -42,15 +45,16 @@ fn takeaway_2_switchless_wins_for_short_calls_only() {
         g_pauses: 0,
         workers: 2,
     };
-    let c4_short =
-        synthetic::run_synthetic(synthetic::SynthConfig::C4, base).duration_cycles;
-    let c5_short =
-        synthetic::run_synthetic(synthetic::SynthConfig::C5, base).duration_cycles;
+    let c4_short = synthetic::run_synthetic(synthetic::SynthConfig::C4, base).duration_cycles;
+    let c5_short = synthetic::run_synthetic(synthetic::SynthConfig::C5, base).duration_cycles;
     assert!(
         c4_short < c5_short,
         "short calls: C4 ({c4_short}) must beat C5 ({c5_short})"
     );
-    let long = synthetic::SynthParams { g_pauses: 500, ..base };
+    let long = synthetic::SynthParams {
+        g_pauses: 500,
+        ..base
+    };
     let c4_long = synthetic::run_synthetic(synthetic::SynthConfig::C4, long).duration_cycles;
     let c5_long = synthetic::run_synthetic(synthetic::SynthConfig::C5, long).duration_cycles;
     assert!(
@@ -102,7 +106,10 @@ fn fig10_shape_foc_is_the_worst_intel_configuration() {
     let frw = openssl::run(&enc, &dec, find("i-frw-2")).duration_cycles;
     let frwoc = openssl::run(&enc, &dec, find("i-frwoc-2")).duration_cycles;
     assert!(frw < foc, "i-frw ({frw}) must beat i-foc ({foc})");
-    assert!(frwoc <= frw, "i-frwoc ({frwoc}) must be best-or-equal ({frw})");
+    assert!(
+        frwoc <= frw,
+        "i-frwoc ({frwoc}) must be best-or-equal ({frw})"
+    );
 }
 
 #[test]
