@@ -18,15 +18,24 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo check (telemetry disabled)"
+# The telemetry feature must stay optional: with it off, the runtimes
+# and the simulator compile back to the exact untraced hot paths.
+cargo check -q -p zc-switchless -p intel-switchless -p zc-des --no-default-features
+
 echo "==> cargo test (workspace)"
 cargo test -q --workspace
 
 if [[ $quick -eq 0 ]]; then
-    # The fault-injection and property suites must be deterministic on
-    # the virtual clock: two more full runs guard against flakes.
+    # The fault-injection, property and telemetry-trace suites must be
+    # deterministic on the virtual clock: two more full runs guard
+    # against flakes, plus an explicit pass of the trace-determinism
+    # suite (each test itself compares two same-seed runs).
     for i in 2 3; do
         echo "==> cargo test (flake check, run $i/3)"
         cargo test -q --workspace
+        echo "==> cargo test --test telemetry_trace (determinism, run $i/3)"
+        cargo test -q --test telemetry_trace
     done
 fi
 

@@ -13,5 +13,6 @@
 
 pub mod experiments;
 pub mod table;
+pub mod telemetry;
 
 pub use table::Table;

@@ -1,0 +1,95 @@
+//! Per-figure telemetry capture for the bench harness.
+//!
+//! [`FigureScope::begin`] installs a fresh hub as the process-global
+//! default ([`zc_telemetry::global`]); the DES simulator and any
+//! telemetry-started runtime that runs while the scope is open report
+//! into it. [`FigureScope::finish`] drains events and snapshots
+//! metrics into `results/telemetry_<figure>.jsonl` — one JSON object
+//! per line, metrics first (`{"metric": ...}`) then events in
+//! admission order (`{"kind": ...}`).
+
+use std::fs;
+use std::path::Path;
+use std::sync::Arc;
+use zc_telemetry::export::{event_jsonl_line, metrics_to_jsonl};
+use zc_telemetry::Telemetry;
+
+/// One open figure-capture window. Create with
+/// [`begin`](FigureScope::begin), close with
+/// [`finish`](FigureScope::finish) (dropping without finishing just
+/// uninstalls the hub and writes nothing).
+#[derive(Debug)]
+pub struct FigureScope {
+    name: String,
+    hub: Arc<Telemetry>,
+}
+
+impl FigureScope {
+    /// Open a capture window for the figure `name` and install its hub
+    /// as the process-global default.
+    #[must_use]
+    pub fn begin(name: &str) -> Self {
+        let hub = Telemetry::new();
+        zc_telemetry::global::install(Arc::clone(&hub));
+        FigureScope {
+            name: name.to_string(),
+            hub,
+        }
+    }
+
+    /// The hub of this scope, for passing explicitly to
+    /// `start_with_telemetry`-style constructors.
+    #[must_use]
+    pub fn hub(&self) -> &Arc<Telemetry> {
+        &self.hub
+    }
+
+    /// Close the window: uninstall the global hub and write
+    /// `results/telemetry_<figure>.jsonl`. Returns the output path on
+    /// success; I/O failure is reported to stderr, never panics (the
+    /// figures themselves must not be casualties of telemetry).
+    pub fn finish(self) -> Option<std::path::PathBuf> {
+        zc_telemetry::global::uninstall();
+        let events = self.hub.tracer().drain();
+        let snapshot = self.hub.metrics().snapshot();
+        let mut out = metrics_to_jsonl(&snapshot);
+        for ev in &events {
+            out.push_str(&event_jsonl_line(ev, true));
+            out.push('\n');
+        }
+        let path = Path::new("results").join(format!("telemetry_{}.jsonl", self.name));
+        if let Err(e) = fs::create_dir_all("results").and_then(|()| fs::write(&path, out)) {
+            eprintln!("telemetry: could not write {}: {e}", path.display());
+            return None;
+        }
+        if self.hub.tracer().dropped() > 0 {
+            eprintln!(
+                "telemetry: {} events dropped for figure {} (ring full)",
+                self.hub.tracer().dropped(),
+                self.name
+            );
+        }
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zc_telemetry::{Event, Origin};
+
+    #[test]
+    fn scope_installs_and_uninstalls_global() {
+        let scope = FigureScope::begin("unit_scope");
+        let global = zc_telemetry::global::current().expect("installed");
+        assert!(Arc::ptr_eq(&global, scope.hub()));
+        global.record(1, Origin::Sim, Event::Marker { label: "m" });
+        scope.hub().metrics().counter("unit_total").inc();
+        let path = scope.finish().expect("written");
+        assert!(zc_telemetry::global::current().is_none());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("unit_total"));
+        assert!(text.contains("\"kind\":\"marker\""));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -340,6 +340,10 @@ pub struct ZcSchedulerActor {
     policy: SchedulerPolicy,
     queue: VecDeque<Syscall>,
     last_fallbacks: u64,
+    #[cfg(feature = "telemetry")]
+    telemetry: Option<std::sync::Arc<zc_telemetry::Telemetry>>,
+    #[cfg(feature = "telemetry")]
+    traced_decisions: u64,
 }
 
 impl ZcSchedulerActor {
@@ -358,7 +362,23 @@ impl ZcSchedulerActor {
             policy: SchedulerPolicy::new(params, initial_workers),
             queue: VecDeque::new(),
             last_fallbacks: 0,
+            #[cfg(feature = "telemetry")]
+            telemetry: None,
+            #[cfg(feature = "telemetry")]
+            traced_decisions: 0,
         }
+    }
+
+    /// Builder-style telemetry hub: the actor traces phase starts and
+    /// argmin decisions (with their measured `F_i` and derived `U_i`)
+    /// stamped with **kernel virtual time**, at [`Origin::Scheduler`].
+    ///
+    /// [`Origin::Scheduler`]: zc_telemetry::Origin::Scheduler
+    #[cfg(feature = "telemetry")]
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: std::sync::Arc<zc_telemetry::Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 }
 
@@ -373,6 +393,36 @@ impl crate::kernel::Actor for ZcSchedulerActor {
         let delta = fb.saturating_sub(self.last_fallbacks);
         self.last_fallbacks = fb;
         let step = self.policy.next(delta);
+        #[cfg(feature = "telemetry")]
+        if let Some(hub) = &self.telemetry {
+            use switchless_core::policy::PolicyStep;
+            use zc_telemetry::{Event, Origin, PhaseKind};
+            if self.policy.decisions() > self.traced_decisions {
+                self.traced_decisions = self.policy.decisions();
+                if let Some(d) = self.policy.last_decision() {
+                    hub.record(
+                        _now,
+                        Origin::Scheduler,
+                        Event::Decision {
+                            decision: d.clone(),
+                        },
+                    );
+                }
+            }
+            let kind = match step {
+                PolicyStep::Schedule { .. } => PhaseKind::Schedule,
+                PolicyStep::Probe { .. } => PhaseKind::Probe,
+            };
+            hub.record(
+                _now,
+                Origin::Scheduler,
+                Event::PhaseStart {
+                    kind,
+                    workers: step.workers() as u32,
+                    duration_cycles: step.duration_cycles(),
+                },
+            );
+        }
         let m = step.workers();
         {
             let mut wld = self.world.borrow_mut();

@@ -81,6 +81,12 @@ pub struct SimConfig {
     /// When non-zero, record core occupancy and render a text Gantt
     /// chart with this many columns into [`SimReport::gantt`].
     pub gantt_buckets: usize,
+    /// Telemetry hub receiving scheduler events (stamped with kernel
+    /// virtual time) and end-of-run counters. `None` falls back to the
+    /// process-global hub ([`zc_telemetry::global::current`]), so bench
+    /// binaries can observe runs without threading a handle through.
+    #[cfg(feature = "telemetry")]
+    pub telemetry: Option<std::sync::Arc<zc_telemetry::Telemetry>>,
 }
 
 impl SimConfig {
@@ -99,7 +105,17 @@ impl SimConfig {
             sample_interval_cycles: 0,
             deadline_cycles: cpu.freq_hz * 120,
             gantt_buckets: 0,
+            #[cfg(feature = "telemetry")]
+            telemetry: None,
         }
+    }
+
+    /// Builder-style telemetry hub (see [`SimConfig::telemetry`]).
+    #[cfg(feature = "telemetry")]
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: std::sync::Arc<zc_telemetry::Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// Builder-style timeline sampling interval.
@@ -213,6 +229,11 @@ pub fn run(config: &SimConfig) -> SimReport {
     }
     let callers = config.workloads.len();
     let counters = Rc::new(RefCell::new(SimCounters::new(callers, config.classes)));
+    #[cfg(feature = "telemetry")]
+    let telemetry = config
+        .telemetry
+        .clone()
+        .or_else(zc_telemetry::global::current);
 
     // Build the mechanism world, workers and per-caller dispatchers.
     type DispatcherFactory = Box<dyn FnMut(usize) -> Box<dyn Dispatcher>>;
@@ -275,12 +296,14 @@ pub fn run(config: &SimConfig) -> SimReport {
                 max_workers,
                 fallback_weight: zp.fallback_weight,
             };
-            kernel.spawn(Box::new(ZcSchedulerActor::new(
-                Rc::clone(&world),
-                Rc::clone(&counters),
-                params,
-                initial,
-            )));
+            let scheduler =
+                ZcSchedulerActor::new(Rc::clone(&world), Rc::clone(&counters), params, initial);
+            #[cfg(feature = "telemetry")]
+            let scheduler = match &telemetry {
+                Some(hub) => scheduler.with_telemetry(std::sync::Arc::clone(hub)),
+                None => scheduler,
+            };
+            kernel.spawn(Box::new(scheduler));
             let costs = config.costs;
             let counters2 = Rc::clone(&counters);
             let world2 = Rc::clone(&world);
@@ -349,6 +372,8 @@ pub fn run(config: &SimConfig) -> SimReport {
     } else {
         kernel.now()
     };
+    #[cfg(feature = "telemetry")]
+    let zc_decisions = zc_world_handle.as_ref().map_or(0, |w| w.borrow().decisions);
     let (residency, mean_active) = zc_world_handle.map_or_else(
         || (WorkerResidency::new(0), 0.0),
         |w| {
@@ -358,6 +383,32 @@ pub fn run(config: &SimConfig) -> SimReport {
     );
     let gantt = (config.gantt_buckets > 0)
         .then(|| crate::gantt::render_kernel(&kernel, config.gantt_buckets));
+    #[cfg(feature = "telemetry")]
+    if let Some(hub) = &telemetry {
+        // Publish the run's counters into the hub registry in one pass
+        // (counters accumulate across runs sharing a hub), and mark the
+        // end of the run on the event timeline at Origin::Sim.
+        let m = hub.metrics();
+        m.counter("des_calls_total{path=\"switchless\"}")
+            .add(counters_final.switchless);
+        m.counter("des_calls_total{path=\"fallback\"}")
+            .add(counters_final.fallback);
+        m.counter("des_calls_total{path=\"regular\"}")
+            .add(counters_final.regular);
+        m.counter("des_pool_reallocs_total")
+            .add(counters_final.pool_reallocs);
+        m.counter("des_scheduler_decisions_total").add(zc_decisions);
+        m.gauge("des_duration_cycles").set(duration_cycles);
+        m.gauge("des_mean_active_workers_milli")
+            .set((mean_active * 1000.0) as u64);
+        hub.record(
+            duration_cycles,
+            zc_telemetry::Origin::Sim,
+            zc_telemetry::Event::Marker {
+                label: "sim_run_end",
+            },
+        );
+    }
     SimReport {
         duration_cycles,
         total_busy_cycles: kernel.total_busy_cycles(),

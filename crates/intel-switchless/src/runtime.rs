@@ -36,9 +36,21 @@ struct Shared {
     sleep_cv: Condvar,
     accounting: Option<Arc<CpuAccounting>>,
     faults: Option<Arc<FaultInjector>>,
+    #[cfg(feature = "telemetry")]
+    telemetry: Option<Arc<zc_telemetry::Telemetry>>,
 }
 
 impl Shared {
+    /// Record one event stamped with the runtime clock from an explicit
+    /// origin. One branch when no hub is installed.
+    #[cfg(feature = "telemetry")]
+    #[inline]
+    fn telemetry_event(&self, origin: zc_telemetry::Origin, event: zc_telemetry::Event) {
+        if let Some(t) = &self.telemetry {
+            t.record(self.clock.now_cycles(), origin, event);
+        }
+    }
+
     fn wake_one(&self) {
         if self.sleepers.load(Ordering::Acquire) > 0 {
             let _g = self.sleep_lock.lock();
@@ -95,7 +107,35 @@ impl IntelSwitchless {
         table: Arc<OcallTable>,
         enclave: Enclave,
     ) -> Result<Self, SwitchlessError> {
-        Self::start_inner(config, table, enclave, None, None)
+        Self::start_inner(
+            config,
+            table,
+            enclave,
+            None,
+            None,
+            #[cfg(feature = "telemetry")]
+            None,
+        )
+    }
+
+    /// [`start`](IntelSwitchless::start) with a telemetry hub: callers
+    /// trace routed-call spans, workers trace injected faults, shutdown
+    /// traces the drain outcome, and the runtime registers a metrics
+    /// collector publishing its [`CallStats`] (from one consistent
+    /// snapshot) and sleeping-worker gauge.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`start`](IntelSwitchless::start).
+    #[cfg(feature = "telemetry")]
+    pub fn start_with_telemetry(
+        config: IntelConfig,
+        table: Arc<OcallTable>,
+        enclave: Enclave,
+        telemetry: Arc<zc_telemetry::Telemetry>,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Result<Self, SwitchlessError> {
+        Self::start_inner(config, table, enclave, None, faults, Some(telemetry))
     }
 
     /// [`start`](IntelSwitchless::start) with CPU accounting: each worker
@@ -107,7 +147,15 @@ impl IntelSwitchless {
         enclave: Enclave,
         accounting: Option<Arc<CpuAccounting>>,
     ) -> Result<Self, SwitchlessError> {
-        Self::start_inner(config, table, enclave, accounting, None)
+        Self::start_inner(
+            config,
+            table,
+            enclave,
+            accounting,
+            None,
+            #[cfg(feature = "telemetry")]
+            None,
+        )
     }
 
     /// [`start`](IntelSwitchless::start) with a [`FaultInjector`]: workers
@@ -125,7 +173,15 @@ impl IntelSwitchless {
         enclave: Enclave,
         faults: Arc<FaultInjector>,
     ) -> Result<Self, SwitchlessError> {
-        Self::start_inner(config, table, enclave, None, Some(faults))
+        Self::start_inner(
+            config,
+            table,
+            enclave,
+            None,
+            Some(faults),
+            #[cfg(feature = "telemetry")]
+            None,
+        )
     }
 
     fn start_inner(
@@ -134,6 +190,7 @@ impl IntelSwitchless {
         enclave: Enclave,
         accounting: Option<Arc<CpuAccounting>>,
         faults: Option<Arc<FaultInjector>>,
+        #[cfg(feature = "telemetry")] telemetry: Option<Arc<zc_telemetry::Telemetry>>,
     ) -> Result<Self, SwitchlessError> {
         if !config.switchless_funcs.is_empty() && config.num_uworkers == 0 {
             return Err(SwitchlessError::InvalidConfig(
@@ -159,7 +216,42 @@ impl IntelSwitchless {
             sleep_cv: Condvar::new(),
             accounting,
             faults,
+            #[cfg(feature = "telemetry")]
+            telemetry,
         });
+        #[cfg(feature = "telemetry")]
+        if let Some(hub) = &shared.telemetry {
+            let weak = Arc::downgrade(&shared);
+            hub.metrics().register_collector(move || {
+                use zc_telemetry::MetricValue;
+                let Some(sh) = weak.upgrade() else {
+                    return Vec::new();
+                };
+                let s = sh.stats.snapshot();
+                vec![
+                    (
+                        "intel_calls_total{path=\"switchless\"}".into(),
+                        MetricValue::Counter(s.switchless),
+                    ),
+                    (
+                        "intel_calls_total{path=\"fallback\"}".into(),
+                        MetricValue::Counter(s.fallback),
+                    ),
+                    (
+                        "intel_calls_total{path=\"regular\"}".into(),
+                        MetricValue::Counter(s.regular),
+                    ),
+                    (
+                        "intel_enclave_transitions_total".into(),
+                        MetricValue::Counter(s.transitions()),
+                    ),
+                    (
+                        "intel_sleeping_workers".into(),
+                        MetricValue::Gauge(sh.sleepers.load(Ordering::Acquire) as u64),
+                    ),
+                ]
+            });
+        }
         let workers = (0..shared.config.num_uworkers)
             .map(|i| {
                 let sh = Arc::clone(&shared);
@@ -239,6 +331,17 @@ impl IntelSwitchless {
             self.shared.wake_all();
             clock.sleep(Duration::from_millis(1));
         }
+        #[cfg(feature = "telemetry")]
+        if let Some(hub) = &self.shared.telemetry {
+            hub.record(
+                clock.now_cycles(),
+                hub.caller_origin(),
+                zc_telemetry::Event::Drain {
+                    drained: report.drained as u64,
+                    abandoned: report.abandoned as u64,
+                },
+            );
+        }
         report
     }
 }
@@ -256,77 +359,110 @@ impl OcallDispatcher for IntelSwitchless {
         payload_in: &[u8],
         payload_out: &mut Vec<u8>,
     ) -> Result<(i64, CallPath), SwitchlessError> {
-        let sh = &*self.shared;
-        if !sh.running.load(Ordering::Acquire) {
-            return Err(SwitchlessError::RuntimeStopped);
-        }
-        if let Some(faults) = &sh.faults {
-            let skew = faults.on_dispatch();
-            if skew > 0 {
-                sh.clock.advance_cycles(skew);
-            }
-        }
-        // Statically non-switchless functions always pay the transition.
-        if !sh.config.is_switchless(req.func) {
-            let ret = sh
-                .fallback
-                .execute_transition(req, payload_in, payload_out)?;
-            sh.stats.record_regular();
-            return Ok((ret, CallPath::Regular));
-        }
-        // Switchless attempt: claim a slot (pool full -> immediate
-        // fallback, as in the SDK).
-        let Some(idx) = sh.pool.claim() else {
-            let ret = sh
-                .fallback
-                .execute_transition(req, payload_in, payload_out)?;
-            sh.stats.record_fallback();
-            return Ok((ret, CallPath::Fallback));
-        };
-        sh.pool.submit(idx, *req, payload_in);
-        sh.wake_one();
-
-        // Busy-wait up to rbf pauses for a worker to accept.
-        let mut retries: u32 = 0;
-        while !sh.pool.is_accepted_or_done(idx) {
-            if retries >= sh.config.retries_before_fallback {
-                if sh.pool.cancel(idx) {
-                    let ret = sh
-                        .fallback
-                        .execute_transition(req, payload_in, payload_out)?;
-                    sh.stats.record_fallback();
-                    return Ok((ret, CallPath::Fallback));
+        #[cfg(feature = "telemetry")]
+        {
+            let sh = &*self.shared;
+            if let Some(hub) = &sh.telemetry {
+                let start = sh.clock.now_cycles();
+                let result = dispatch_inner(sh, req, payload_in, payload_out);
+                if let Ok((_, path)) = &result {
+                    let now = sh.clock.now_cycles();
+                    hub.record(
+                        now,
+                        hub.caller_origin(),
+                        zc_telemetry::Event::CallRouted {
+                            func: req.func.0,
+                            path: *path,
+                            start_cycles: start,
+                            duration_cycles: now.saturating_sub(start),
+                        },
+                    );
                 }
-                // A worker accepted at the last moment: wait for it.
-                break;
-            }
-            sh.clock.pause();
-            retries += 1;
-            if retries.is_multiple_of(YIELD_EVERY) {
-                std::thread::yield_now();
+                return result;
             }
         }
-        // Accepted: busy-wait for completion (the caller thread pins its
-        // core, exactly as in the SDK).
-        let mut spins: u32 = 0;
-        while !sh.pool.is_done(idx) {
-            sh.clock.pause();
-            spins = spins.wrapping_add(1);
-            if spins.is_multiple_of(YIELD_EVERY) {
-                std::thread::yield_now();
-            }
-        }
-        let ret = sh.pool.collect(idx, |d| {
-            payload_out.clear();
-            payload_out.extend_from_slice(&d.payload_out);
-            d.reply.ret
-        });
-        sh.stats.record_switchless();
-        Ok((ret, CallPath::Switchless))
+        dispatch_inner(&self.shared, req, payload_in, payload_out)
     }
 }
 
+/// The Intel dispatch protocol itself (telemetry-free hot path).
+fn dispatch_inner(
+    sh: &Shared,
+    req: &OcallRequest,
+    payload_in: &[u8],
+    payload_out: &mut Vec<u8>,
+) -> Result<(i64, CallPath), SwitchlessError> {
+    if !sh.running.load(Ordering::Acquire) {
+        return Err(SwitchlessError::RuntimeStopped);
+    }
+    if let Some(faults) = &sh.faults {
+        let skew = faults.on_dispatch();
+        if skew > 0 {
+            sh.clock.advance_cycles(skew);
+        }
+    }
+    // Statically non-switchless functions always pay the transition.
+    if !sh.config.is_switchless(req.func) {
+        let ret = sh
+            .fallback
+            .execute_transition(req, payload_in, payload_out)?;
+        sh.stats.record_regular();
+        return Ok((ret, CallPath::Regular));
+    }
+    // Switchless attempt: claim a slot (pool full -> immediate
+    // fallback, as in the SDK).
+    let Some(idx) = sh.pool.claim() else {
+        let ret = sh
+            .fallback
+            .execute_transition(req, payload_in, payload_out)?;
+        sh.stats.record_fallback();
+        return Ok((ret, CallPath::Fallback));
+    };
+    sh.pool.submit(idx, *req, payload_in);
+    sh.wake_one();
+
+    // Busy-wait up to rbf pauses for a worker to accept.
+    let mut retries: u32 = 0;
+    while !sh.pool.is_accepted_or_done(idx) {
+        if retries >= sh.config.retries_before_fallback {
+            if sh.pool.cancel(idx) {
+                let ret = sh
+                    .fallback
+                    .execute_transition(req, payload_in, payload_out)?;
+                sh.stats.record_fallback();
+                return Ok((ret, CallPath::Fallback));
+            }
+            // A worker accepted at the last moment: wait for it.
+            break;
+        }
+        sh.clock.pause();
+        retries += 1;
+        if retries.is_multiple_of(YIELD_EVERY) {
+            std::thread::yield_now();
+        }
+    }
+    // Accepted: busy-wait for completion (the caller thread pins its
+    // core, exactly as in the SDK).
+    let mut spins: u32 = 0;
+    while !sh.pool.is_done(idx) {
+        sh.clock.pause();
+        spins = spins.wrapping_add(1);
+        if spins.is_multiple_of(YIELD_EVERY) {
+            std::thread::yield_now();
+        }
+    }
+    let ret = sh.pool.collect(idx, |d| {
+        payload_out.clear();
+        payload_out.extend_from_slice(&d.payload_out);
+        d.reply.ret
+    });
+    sh.stats.record_switchless();
+    Ok((ret, CallPath::Switchless))
+}
+
 fn worker_loop(sh: &Shared, index: usize) {
+    #[cfg(not(feature = "telemetry"))]
+    let _ = index;
     let meter = sh
         .accounting
         .as_ref()
@@ -340,13 +476,36 @@ fn worker_loop(sh: &Shared, index: usize) {
         // and degrades to a regular ocall.
         if sh.pool.has_pending() {
             if let Some(faults) = &sh.faults {
+                #[cfg(feature = "telemetry")]
+                macro_rules! trace_fault {
+                    ($kind:ident) => {
+                        sh.telemetry_event(
+                            zc_telemetry::Origin::Worker(index as u32),
+                            zc_telemetry::Event::Fault {
+                                kind: zc_telemetry::FaultKind::$kind,
+                            },
+                        )
+                    };
+                }
                 match faults.on_worker_call() {
                     WorkerFault::None => {}
-                    WorkerFault::Stall(cycles) => sh.clock.spin_cycles(cycles),
-                    WorkerFault::Crash => return,
-                    WorkerFault::Hang => loop {
-                        std::thread::park();
-                    },
+                    WorkerFault::Stall(cycles) => {
+                        #[cfg(feature = "telemetry")]
+                        trace_fault!(WorkerStall);
+                        sh.clock.spin_cycles(cycles);
+                    }
+                    WorkerFault::Crash => {
+                        #[cfg(feature = "telemetry")]
+                        trace_fault!(WorkerCrash);
+                        return;
+                    }
+                    WorkerFault::Hang => {
+                        #[cfg(feature = "telemetry")]
+                        trace_fault!(WorkerHang);
+                        loop {
+                            std::thread::park();
+                        }
+                    }
                 }
             }
         }

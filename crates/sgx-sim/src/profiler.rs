@@ -63,7 +63,11 @@ impl FuncProfile {
             CallPath::Fallback => self.fallback += 1,
             CallPath::Regular => self.regular += 1,
         }
-        self.total_cycles += cycles;
+        // Saturate rather than wrap: a single pathological duration (or
+        // a very long profiling window) must not corrupt the mean, and
+        // durations at or beyond 2^BUCKETS cycles clamp into the last
+        // bucket instead of indexing out of range.
+        self.total_cycles = self.total_cycles.saturating_add(cycles);
         self.min_cycles = self.min_cycles.min(cycles);
         self.max_cycles = self.max_cycles.max(cycles);
         let bucket = (64 - cycles.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
@@ -463,6 +467,31 @@ mod tests {
         assert_eq!(p.histogram[1], 2); // [2,4)
         assert_eq!(p.histogram[10], 1); // [1024,2048)
         assert_eq!(p.p50_bucket_cycles(), 2);
+    }
+
+    #[test]
+    fn histogram_saturates_instead_of_overflowing() {
+        // Durations at or beyond 2^BUCKETS cycles (~15 minutes at the
+        // paper machine's clock) must clamp into the last bucket, and
+        // the running total must saturate instead of wrapping.
+        let mut p = FuncProfile::new("x".into());
+        p.record(1u64 << BUCKETS, CallPath::Regular); // first out-of-range value
+        p.record(u64::MAX, CallPath::Regular); // extreme
+        p.record(u64::MAX, CallPath::Regular); // would wrap a wrapping sum
+        assert_eq!(p.calls, 3);
+        assert_eq!(
+            p.histogram[BUCKETS - 1],
+            3,
+            "oversized durations land in the last bucket"
+        );
+        assert_eq!(p.histogram.iter().sum::<u64>(), 3, "no bucket is skipped");
+        assert_eq!(
+            p.total_cycles,
+            u64::MAX,
+            "total saturates instead of wrapping"
+        );
+        assert_eq!(p.max_cycles, u64::MAX);
+        assert_eq!(p.mean_cycles(), u64::MAX / 3);
     }
 
     #[test]

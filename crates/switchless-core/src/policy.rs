@@ -149,6 +149,23 @@ pub fn choose_workers_weighted(
         .map_or(0, |(_, w)| w)
 }
 
+/// The full record of one completed configuration phase: the measured
+/// per-count fallback reports `F_i`, the derived costs
+/// `U_i = weight·F_i·T_es + i·µQ`, and the argmin.
+///
+/// Kept by [`SchedulerPolicy`] after every decision so observability
+/// layers can explain *why* a worker count was chosen, not just what
+/// it was.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionRecord {
+    /// The argmin worker count the scheduler switched to.
+    pub chosen_workers: usize,
+    /// One report per probed worker count, in probe order (`F_i`).
+    pub probes: Vec<MicroQuantumReport>,
+    /// Weighted wasted-cycle cost per probe, same order (`U_i`).
+    pub costs: Vec<u64>,
+}
+
 /// What the scheduler should do next: set a worker count and let the
 /// system run for a duration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -238,6 +255,7 @@ pub struct SchedulerPolicy {
     /// `None` until the first call to `next`.
     started: bool,
     decisions: u64,
+    last_decision: Option<DecisionRecord>,
 }
 
 impl SchedulerPolicy {
@@ -251,6 +269,7 @@ impl SchedulerPolicy {
             current_workers: initial_workers.min(params.max_workers),
             started: false,
             decisions: 0,
+            last_decision: None,
         }
     }
 
@@ -270,6 +289,13 @@ impl SchedulerPolicy {
     #[must_use]
     pub fn decisions(&self) -> u64 {
         self.decisions
+    }
+
+    /// The most recent completed decision with its `F_i`/`U_i` inputs,
+    /// or `None` before the first configuration phase finishes.
+    #[must_use]
+    pub fn last_decision(&self) -> Option<&DecisionRecord> {
+        self.last_decision.as_ref()
     }
 
     /// Advance the phase machine.
@@ -317,12 +343,25 @@ impl SchedulerPolicy {
                     }
                 } else {
                     // All probes done: pick argmin and start scheduling.
-                    self.current_workers = choose_workers_weighted(
-                        reports,
-                        self.params.t_es_cycles,
-                        mq,
-                        self.params.fallback_weight,
-                    );
+                    let weight = self.params.fallback_weight;
+                    self.current_workers =
+                        choose_workers_weighted(reports, self.params.t_es_cycles, mq, weight);
+                    let costs = reports
+                        .iter()
+                        .map(|r| {
+                            wasted_cycles(
+                                r.fallbacks.saturating_mul(weight.max(1)),
+                                self.params.t_es_cycles,
+                                r.workers,
+                                mq,
+                            )
+                        })
+                        .collect();
+                    self.last_decision = Some(DecisionRecord {
+                        chosen_workers: self.current_workers,
+                        probes: std::mem::take(reports),
+                        costs,
+                    });
                     self.decisions += 1;
                     self.phase = Phase::Scheduling;
                     PolicyStep::Schedule {
@@ -469,6 +508,52 @@ mod tests {
             }
         );
         assert_eq!(policy.current_workers(), 3);
+    }
+
+    #[test]
+    fn decision_record_keeps_probe_inputs_and_costs() {
+        let p = params();
+        let mut policy = SchedulerPolicy::new(p, 0);
+        assert!(policy.last_decision().is_none());
+        policy.next(0); // initial schedule
+        policy.next(0); // probe 0 begins
+        let fb = [10_000u64, 5_000, 2_000, 0, 0];
+        for &f in &fb[..4] {
+            policy.next(f);
+        }
+        policy.next(fb[4]); // decision
+        let d = policy.last_decision().expect("decision recorded");
+        assert_eq!(d.chosen_workers, 3);
+        assert_eq!(d.probes.len(), 5);
+        assert_eq!(d.costs.len(), 5);
+        assert_eq!(
+            d.probes[0],
+            MicroQuantumReport {
+                workers: 0,
+                fallbacks: 10_000
+            }
+        );
+        // U_i consistency: cost equals the weighted formula per probe,
+        // and the argmin of the published costs is the chosen count.
+        for (i, r) in d.probes.iter().enumerate() {
+            assert_eq!(
+                d.costs[i],
+                wasted_cycles(
+                    r.fallbacks * DEFAULT_FALLBACK_WEIGHT,
+                    p.t_es_cycles,
+                    r.workers,
+                    p.micro_quantum_cycles()
+                )
+            );
+        }
+        let argmin = d
+            .costs
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, c)| (**c, *i))
+            .map(|(i, _)| i)
+            .unwrap();
+        assert_eq!(argmin, d.chosen_workers);
     }
 
     #[test]

@@ -51,16 +51,25 @@ impl CallStats {
         self.pool_reallocs.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Current fallback count; the scheduler differences successive reads
-    /// to obtain per-micro-quantum `F_i`.
+    /// Current fallback count.
+    ///
+    /// Prefer [`CallStats::snapshot`] for anything that combines or
+    /// differences counters: mixing this getter with other individual
+    /// reads produces torn totals (each read samples a different
+    /// moment). The scheduler and bench call sites difference
+    /// successive `snapshot()`s instead.
     #[must_use]
     pub fn fallbacks(&self) -> u64 {
         self.fallback.load(Ordering::Relaxed)
     }
 
-    /// Consistent-enough snapshot for reporting (individual counters are
-    /// read independently; totals may be momentarily skewed while calls
-    /// are in flight).
+    /// Single-pass snapshot: each counter is read exactly once, in one
+    /// pass, and every derived total ([`CallStatsSnapshot::total_calls`],
+    /// [`CallStatsSnapshot::transitions`], …) is computed from those
+    /// same four readings — so totals are never torn across reads.
+    /// Counters updated concurrently may still skew between each other
+    /// by in-flight calls (relaxed ordering), which is inherent and
+    /// harmless for monotonic telemetry.
     #[must_use]
     pub fn snapshot(&self) -> CallStatsSnapshot {
         CallStatsSnapshot {

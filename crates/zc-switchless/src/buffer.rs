@@ -55,6 +55,46 @@ pub struct RequestSlot {
     pub reply: OcallReply,
 }
 
+/// Emits a telemetry event for every successful status transition of
+/// one buffer, attributed to the buffer's worker index (whichever
+/// thread — caller, worker or scheduler — performed the CAS).
+#[cfg(feature = "telemetry")]
+#[derive(Debug)]
+pub struct TransitionTracer {
+    telemetry: Arc<zc_telemetry::Telemetry>,
+    clock: sgx_sim::CycleClock,
+    worker: u32,
+}
+
+#[cfg(feature = "telemetry")]
+impl TransitionTracer {
+    /// New tracer for worker buffer `worker`, stamping with `clock`.
+    #[must_use]
+    pub fn new(
+        telemetry: Arc<zc_telemetry::Telemetry>,
+        clock: sgx_sim::CycleClock,
+        worker: u32,
+    ) -> Self {
+        TransitionTracer {
+            telemetry,
+            clock,
+            worker,
+        }
+    }
+
+    fn emit(&self, from: WorkerState, to: WorkerState) {
+        self.telemetry.record(
+            self.clock.now_cycles(),
+            zc_telemetry::Origin::Worker(self.worker),
+            zc_telemetry::Event::WorkerTransition {
+                worker: self.worker,
+                from,
+                to,
+            },
+        );
+    }
+}
+
 /// Shared buffer of one ZC worker.
 #[derive(Debug)]
 pub struct WorkerBuffer {
@@ -65,6 +105,8 @@ pub struct WorkerBuffer {
     thread: OnceLock<Thread>,
     poisoned: AtomicBool,
     recorder: OnceLock<Arc<TransitionLog>>,
+    #[cfg(feature = "telemetry")]
+    tracer: OnceLock<TransitionTracer>,
 }
 
 impl WorkerBuffer {
@@ -79,6 +121,8 @@ impl WorkerBuffer {
             thread: OnceLock::new(),
             poisoned: AtomicBool::new(false),
             recorder: OnceLock::new(),
+            #[cfg(feature = "telemetry")]
+            tracer: OnceLock::new(),
         }
     }
 
@@ -110,6 +154,10 @@ impl WorkerBuffer {
             if let Some(log) = self.recorder.get() {
                 log.record(from, to);
             }
+            #[cfg(feature = "telemetry")]
+            if let Some(tracer) = self.tracer.get() {
+                tracer.emit(from, to);
+            }
         }
         ok
     }
@@ -131,6 +179,14 @@ impl WorkerBuffer {
     /// transition (first caller wins; used by state-machine tests).
     pub fn set_recorder(&self, log: Arc<TransitionLog>) {
         let _ = self.recorder.set(log);
+    }
+
+    /// Attach a telemetry [`TransitionTracer`] emitting an event per
+    /// successful status transition (first caller wins; installed by
+    /// `ZcRuntime::start_with_telemetry`).
+    #[cfg(feature = "telemetry")]
+    pub fn set_tracer(&self, tracer: TransitionTracer) {
+        let _ = self.tracer.set(tracer);
     }
 
     /// Scheduler command currently posted.

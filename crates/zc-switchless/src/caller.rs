@@ -17,7 +17,45 @@ use switchless_core::{CallPath, OcallRequest, SwitchlessError, WorkerState};
 const POOL_RETRY_MAX: u32 = 3;
 
 /// Dispatch one ocall through the ZC protocol.
+///
+/// With the `telemetry` feature off this *is* [`dispatch_inner`]; with
+/// it on but no hub installed, the added cost is one branch. Only when
+/// a hub is present does the caller read the clock and record a
+/// `CallRouted` span (one relaxed-CAS ring push, no locks, no heap
+/// allocation).
+#[cfg(feature = "telemetry")]
 pub(crate) fn dispatch(
+    shared: &Shared,
+    req: &OcallRequest,
+    payload_in: &[u8],
+    payload_out: &mut Vec<u8>,
+) -> Result<(i64, CallPath), SwitchlessError> {
+    let Some(hub) = &shared.telemetry else {
+        return dispatch_inner(shared, req, payload_in, payload_out);
+    };
+    let start = shared.clock.now_cycles();
+    let result = dispatch_inner(shared, req, payload_in, payload_out);
+    if let Ok((_, path)) = &result {
+        let now = shared.clock.now_cycles();
+        hub.record(
+            now,
+            hub.caller_origin(),
+            zc_telemetry::Event::CallRouted {
+                func: req.func.0,
+                path: *path,
+                start_cycles: start,
+                duration_cycles: now.saturating_sub(start),
+            },
+        );
+    }
+    result
+}
+
+#[cfg(not(feature = "telemetry"))]
+pub(crate) use dispatch_inner as dispatch;
+
+/// The ZC dispatch protocol itself (telemetry-free hot path).
+pub(crate) fn dispatch_inner(
     shared: &Shared,
     req: &OcallRequest,
     payload_in: &[u8],
@@ -30,19 +68,24 @@ pub(crate) fn dispatch(
         let skew = faults.on_dispatch();
         if skew > 0 {
             shared.clock.advance_cycles(skew);
+            #[cfg(feature = "telemetry")]
+            shared.telemetry_caller_event(zc_telemetry::Event::Fault {
+                kind: zc_telemetry::FaultKind::ClockSkew,
+            });
         }
     }
     let n = shared.workers.len();
     // Rotate the scan start so callers spread over workers.
     let start = shared.rotor.fetch_add(1, Ordering::Relaxed) % n.max(1);
     for k in 0..n {
-        let w = &shared.workers[(start + k) % n];
+        let idx = (start + k) % n;
+        let w = &shared.workers[idx];
         if w.is_poisoned() {
             // Quarantined: a fault killed this worker's thread.
             continue;
         }
         if w.try_transition(WorkerState::Unused, WorkerState::Reserved) {
-            return switchless_call(shared, w, req, payload_in, payload_out);
+            return switchless_call(shared, w, idx, req, payload_in, payload_out);
         }
     }
     // No idle worker: immediate fallback.
@@ -57,10 +100,13 @@ pub(crate) fn dispatch(
 fn switchless_call(
     shared: &Shared,
     w: &WorkerBuffer,
+    widx: usize,
     req: &OcallRequest,
     payload_in: &[u8],
     payload_out: &mut Vec<u8>,
 ) -> Result<(i64, CallPath), SwitchlessError> {
+    #[cfg(not(feature = "telemetry"))]
+    let _ = widx;
     // Allocate the request payload from the worker's untrusted pool. An
     // injected exhaustion is retried with bounded pause backoff (the
     // graceful-degradation path for transient pressure on the untrusted
@@ -73,6 +119,10 @@ fn switchless_call(
             if !forced {
                 break w.with_pool(|p| p.alloc(payload_in.len()));
             }
+            #[cfg(feature = "telemetry")]
+            shared.telemetry_caller_event(zc_telemetry::Event::Fault {
+                kind: zc_telemetry::FaultKind::PoolExhaustion,
+            });
             if attempts >= POOL_RETRY_MAX {
                 break PoolAlloc::TooLarge;
             }
@@ -90,6 +140,11 @@ fn switchless_call(
             shared.stats.record_pool_realloc();
             shared.enclave.record_ocall();
             shared.clock.enclave_transition();
+            #[cfg(feature = "telemetry")]
+            shared.telemetry_caller_event(zc_telemetry::Event::PoolRealloc {
+                worker: widx as u32,
+                bytes: payload_in.len() as u64,
+            });
             0
         }
         PoolAlloc::TooLarge => {

@@ -37,6 +37,30 @@ pub(crate) struct Shared {
     pub(crate) residency: Mutex<WorkerResidency>,
     pub(crate) accounting: Option<Arc<CpuAccounting>>,
     pub(crate) faults: Option<Arc<FaultInjector>>,
+    #[cfg(feature = "telemetry")]
+    pub(crate) telemetry: Option<Arc<zc_telemetry::Telemetry>>,
+}
+
+#[cfg(feature = "telemetry")]
+impl Shared {
+    /// Record one event stamped with the runtime clock, attributed to
+    /// the calling (enclave application) thread. One branch when no hub
+    /// is installed; the clock is only read when one is.
+    #[inline]
+    pub(crate) fn telemetry_caller_event(&self, event: zc_telemetry::Event) {
+        if let Some(t) = &self.telemetry {
+            t.record(self.clock.now_cycles(), t.caller_origin(), event);
+        }
+    }
+
+    /// Record one event stamped with the runtime clock from an explicit
+    /// origin (worker / scheduler).
+    #[inline]
+    pub(crate) fn telemetry_event(&self, origin: zc_telemetry::Origin, event: zc_telemetry::Event) {
+        if let Some(t) = &self.telemetry {
+            t.record(self.clock.now_cycles(), origin, event);
+        }
+    }
 }
 
 /// The ZC-SWITCHLESS runtime: adaptive switchless ocalls with zero
@@ -84,7 +108,41 @@ impl ZcRuntime {
         table: Arc<OcallTable>,
         enclave: Enclave,
     ) -> Result<Self, SwitchlessError> {
-        Self::start_inner(config, table, enclave, None, true, None)
+        Self::start_inner(
+            config,
+            table,
+            enclave,
+            None,
+            true,
+            None,
+            #[cfg(feature = "telemetry")]
+            None,
+        )
+    }
+
+    /// [`start`](ZcRuntime::start) with a telemetry hub: the scheduler
+    /// traces phase starts and argmin decisions (with their `F_i`/`U_i`
+    /// inputs), workers trace state-machine edges and faults, callers
+    /// trace routed-call spans and pool reallocations, and the runtime
+    /// registers a metrics collector publishing its [`CallStats`],
+    /// residency and scheduler gauges into the hub's registry.
+    ///
+    /// `faults` may additionally inject deterministic faults (as in
+    /// [`start_with_faults`](ZcRuntime::start_with_faults)); injections
+    /// are traced as fault events.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`start`](ZcRuntime::start).
+    #[cfg(feature = "telemetry")]
+    pub fn start_with_telemetry(
+        config: ZcConfig,
+        table: Arc<OcallTable>,
+        enclave: Enclave,
+        telemetry: Arc<zc_telemetry::Telemetry>,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Result<Self, SwitchlessError> {
+        Self::start_inner(config, table, enclave, None, false, faults, Some(telemetry))
     }
 
     /// [`start`](ZcRuntime::start) with a [`FaultInjector`]: workers,
@@ -102,7 +160,16 @@ impl ZcRuntime {
         enclave: Enclave,
         faults: Arc<FaultInjector>,
     ) -> Result<Self, SwitchlessError> {
-        Self::start_inner(config, table, enclave, None, false, Some(faults))
+        Self::start_inner(
+            config,
+            table,
+            enclave,
+            None,
+            false,
+            Some(faults),
+            #[cfg(feature = "telemetry")]
+            None,
+        )
     }
 
     /// [`start`](ZcRuntime::start) with CPU accounting: workers and the
@@ -114,7 +181,16 @@ impl ZcRuntime {
         enclave: Enclave,
         accounting: Option<Arc<CpuAccounting>>,
     ) -> Result<Self, SwitchlessError> {
-        Self::start_inner(config, table, enclave, accounting, false, None)
+        Self::start_inner(
+            config,
+            table,
+            enclave,
+            accounting,
+            false,
+            None,
+            #[cfg(feature = "telemetry")]
+            None,
+        )
     }
 
     fn start_inner(
@@ -124,6 +200,7 @@ impl ZcRuntime {
         accounting: Option<Arc<CpuAccounting>>,
         ecalls: bool,
         faults: Option<Arc<FaultInjector>>,
+        #[cfg(feature = "telemetry")] telemetry: Option<Arc<zc_telemetry::Telemetry>>,
     ) -> Result<Self, SwitchlessError> {
         let max = config.max_workers();
         if max == 0 {
@@ -158,8 +235,76 @@ impl ZcRuntime {
             residency: Mutex::new(WorkerResidency::new(max)),
             accounting,
             faults,
+            #[cfg(feature = "telemetry")]
+            telemetry,
             config,
         });
+        #[cfg(feature = "telemetry")]
+        if let Some(hub) = &shared.telemetry {
+            // Trace worker state-machine edges alongside any
+            // TransitionLog recorder (the tracer sees edges made by
+            // whichever thread performed the CAS, attributed to the
+            // buffer's worker index).
+            for (i, w) in shared.workers.iter().enumerate() {
+                w.set_tracer(crate::buffer::TransitionTracer::new(
+                    Arc::clone(hub),
+                    shared.clock.clone(),
+                    i as u32,
+                ));
+            }
+            // One collector per runtime: publishes the CallStats block
+            // from a single snapshot (no torn totals) plus scheduler
+            // gauges into the hub's registry.
+            let weak = Arc::downgrade(&shared);
+            hub.metrics().register_collector(move || {
+                use zc_telemetry::MetricValue;
+                let Some(sh) = weak.upgrade() else {
+                    return Vec::new();
+                };
+                let s = sh.stats.snapshot();
+                let mean_milli = (sh.residency.lock().mean_workers() * 1000.0) as u64;
+                vec![
+                    (
+                        "zc_calls_total{path=\"switchless\"}".into(),
+                        MetricValue::Counter(s.switchless),
+                    ),
+                    (
+                        "zc_calls_total{path=\"fallback\"}".into(),
+                        MetricValue::Counter(s.fallback),
+                    ),
+                    (
+                        "zc_calls_total{path=\"regular\"}".into(),
+                        MetricValue::Counter(s.regular),
+                    ),
+                    (
+                        "zc_pool_reallocs_total".into(),
+                        MetricValue::Counter(s.pool_reallocs),
+                    ),
+                    (
+                        "zc_enclave_transitions_total".into(),
+                        MetricValue::Counter(s.transitions()),
+                    ),
+                    (
+                        "zc_scheduler_decisions_total".into(),
+                        MetricValue::Counter(sh.decisions.load(Ordering::Acquire)),
+                    ),
+                    (
+                        "zc_active_workers".into(),
+                        MetricValue::Gauge(sh.active_workers.load(Ordering::Acquire) as u64),
+                    ),
+                    (
+                        "zc_poisoned_workers".into(),
+                        MetricValue::Gauge(
+                            sh.workers.iter().filter(|w| w.is_poisoned()).count() as u64
+                        ),
+                    ),
+                    (
+                        "zc_residency_mean_workers_milli".into(),
+                        MetricValue::Gauge(mean_milli),
+                    ),
+                ]
+            });
+        }
         // Initial activation before any thread runs: first
         // `initial_workers` active, rest deactivated.
         scheduler::set_active_workers(&shared, shared.active_workers.load(Ordering::Relaxed));
@@ -298,6 +443,12 @@ impl ZcRuntime {
             }
             clock.sleep(Duration::from_millis(1));
         }
+        #[cfg(feature = "telemetry")]
+        self.shared
+            .telemetry_caller_event(zc_telemetry::Event::Drain {
+                drained: report.drained as u64,
+                abandoned: report.abandoned as u64,
+            });
         report
     }
 }

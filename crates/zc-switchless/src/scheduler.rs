@@ -27,11 +27,49 @@ pub(crate) fn scheduler_loop(shared: &Shared) {
     let mut policy =
         SchedulerPolicy::new(shared.config.policy_params(), shared.config.initial_workers);
     let spec = *shared.clock.spec();
-    let mut fallbacks_at_step_start = shared.stats.fallbacks();
+    // One consistent snapshot per step boundary: the per-step F_i delta
+    // and anything else derived from the counters come from the same
+    // four readings (CallStats::snapshot), never from interleaved
+    // individual getters.
+    let mut stats_at_step_start = shared.stats.snapshot();
     let mut last_delta = 0u64;
+    #[cfg(feature = "telemetry")]
+    let mut traced_decisions = 0u64;
 
     while shared.running.load(Ordering::Acquire) {
         let step = policy.next(last_delta);
+        #[cfg(feature = "telemetry")]
+        if let Some(hub) = &shared.telemetry {
+            use switchless_core::policy::PolicyStep;
+            use zc_telemetry::{Event, Origin, PhaseKind};
+            // A freshly completed configuration phase: publish the
+            // argmin decision with its F_i / U_i inputs.
+            if policy.decisions() > traced_decisions {
+                traced_decisions = policy.decisions();
+                if let Some(d) = policy.last_decision() {
+                    hub.record(
+                        shared.clock.now_cycles(),
+                        Origin::Scheduler,
+                        Event::Decision {
+                            decision: d.clone(),
+                        },
+                    );
+                }
+            }
+            let kind = match step {
+                PolicyStep::Schedule { .. } => PhaseKind::Schedule,
+                PolicyStep::Probe { .. } => PhaseKind::Probe,
+            };
+            hub.record(
+                shared.clock.now_cycles(),
+                Origin::Scheduler,
+                Event::PhaseStart {
+                    kind,
+                    workers: step.workers() as u32,
+                    duration_cycles: step.duration_cycles(),
+                },
+            );
+        }
         set_active_workers(shared, step.workers());
         shared
             .active_workers
@@ -51,9 +89,9 @@ pub(crate) fn scheduler_loop(shared: &Shared) {
             .lock()
             .record(step.workers(), now.saturating_sub(slept_at));
 
-        let fb = shared.stats.fallbacks();
-        last_delta = fb.saturating_sub(fallbacks_at_step_start);
-        fallbacks_at_step_start = fb;
+        let stats_now = shared.stats.snapshot();
+        last_delta = stats_now.delta_since(&stats_at_step_start).fallback;
+        stats_at_step_start = stats_now;
         shared
             .decisions
             .store(policy.decisions(), Ordering::Release);

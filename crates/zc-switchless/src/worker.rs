@@ -32,7 +32,7 @@ pub(crate) fn worker_loop(shared: &Shared, index: usize) {
         match me.state() {
             WorkerState::Processing => {
                 spins = 0;
-                if !execute(shared, me) {
+                if !execute(shared, me, index) {
                     // Injected crash: the thread dies abruptly. The buffer
                     // stays POISONED in PROCESSING, so it can never be
                     // claimed again — the quarantine the caller re-routes
@@ -124,12 +124,31 @@ fn park_until_released(me: &WorkerBuffer) {
 /// Execute the posted request and publish results
 /// (`PROCESSING -> WAITING`). Returns `false` if an injected crash
 /// terminated the worker (the caller's request was *not* invoked).
-fn execute(shared: &Shared, me: &WorkerBuffer) -> bool {
+fn execute(shared: &Shared, me: &WorkerBuffer, index: usize) -> bool {
+    #[cfg(not(feature = "telemetry"))]
+    let _ = index;
+    #[cfg(feature = "telemetry")]
+    macro_rules! trace_fault {
+        ($kind:ident) => {
+            shared.telemetry_event(
+                zc_telemetry::Origin::Worker(index as u32),
+                zc_telemetry::Event::Fault {
+                    kind: zc_telemetry::FaultKind::$kind,
+                },
+            )
+        };
+    }
     if let Some(faults) = &shared.faults {
         match faults.on_worker_call() {
             WorkerFault::None => {}
-            WorkerFault::Stall(cycles) => shared.clock.spin_cycles(cycles),
+            WorkerFault::Stall(cycles) => {
+                #[cfg(feature = "telemetry")]
+                trace_fault!(WorkerStall);
+                shared.clock.spin_cycles(cycles);
+            }
             WorkerFault::Crash => {
+                #[cfg(feature = "telemetry")]
+                trace_fault!(WorkerCrash);
                 // Poison *before* touching the slot: the request has not
                 // been invoked yet, so the caller re-executing it through
                 // the fallback path is side-effect-safe.
@@ -137,6 +156,8 @@ fn execute(shared: &Shared, me: &WorkerBuffer) -> bool {
                 return false;
             }
             WorkerFault::Hang => {
+                #[cfg(feature = "telemetry")]
+                trace_fault!(WorkerHang);
                 me.poison();
                 // Wedge forever: unparks (e.g. from shutdown) just re-park.
                 // Shutdown must abandon this thread via its drain timeout.

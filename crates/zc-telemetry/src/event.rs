@@ -1,0 +1,186 @@
+//! Typed trace events and their origins.
+
+use switchless_core::policy::DecisionRecord;
+use switchless_core::{CallPath, WorkerState};
+
+/// Which scheduler phase a step belongs to (paper §IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseKind {
+    /// A full scheduling quantum Q at the chosen worker count.
+    Schedule,
+    /// One micro-quantum of the configuration phase probing a count.
+    Probe,
+}
+
+impl PhaseKind {
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            PhaseKind::Schedule => "schedule",
+            PhaseKind::Probe => "probe",
+        }
+    }
+}
+
+/// The kind of injected or observed fault an event reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A worker thread crashed (poisoned its buffer and exited).
+    WorkerCrash,
+    /// A worker stalled for an injected number of cycles.
+    WorkerStall,
+    /// A worker hung (parked forever, still poisoned).
+    WorkerHang,
+    /// A pool allocation was forced to fail (injected exhaustion).
+    PoolExhaustion,
+    /// A CAS state transition was forced to fail.
+    TransitionFailure,
+    /// Injected clock skew was applied to a caller.
+    ClockSkew,
+}
+
+impl FaultKind {
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::WorkerCrash => "worker_crash",
+            FaultKind::WorkerStall => "worker_stall",
+            FaultKind::WorkerHang => "worker_hang",
+            FaultKind::PoolExhaustion => "pool_exhaustion",
+            FaultKind::TransitionFailure => "transition_failure",
+            FaultKind::ClockSkew => "clock_skew",
+        }
+    }
+}
+
+/// Who recorded an event.
+///
+/// Identity is supplied by the recording site: workers and the
+/// scheduler know their own index/role; application (caller) threads
+/// get a small per-hub id from [`crate::Tracer::caller_origin`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Origin {
+    /// An application thread issuing ocalls, numbered per hub in first-
+    /// event order.
+    Caller(u32),
+    /// An untrusted worker thread (or simulated worker), by index.
+    Worker(u32),
+    /// The scheduler thread (or simulated scheduler actor).
+    Scheduler,
+    /// The DES kernel / harness itself.
+    Sim,
+}
+
+impl Origin {
+    /// Human-readable label, e.g. `caller-3`, `worker-0`, `scheduler`.
+    pub fn label(&self) -> String {
+        match self {
+            Origin::Caller(i) => format!("caller-{i}"),
+            Origin::Worker(i) => format!("worker-{i}"),
+            Origin::Scheduler => "scheduler".to_string(),
+            Origin::Sim => "sim".to_string(),
+        }
+    }
+
+    /// Stable synthetic thread id for the Chrome trace exporter.
+    pub(crate) fn tid(&self) -> u64 {
+        match self {
+            Origin::Scheduler => 1,
+            Origin::Sim => 2,
+            Origin::Caller(i) => 100 + u64::from(*i),
+            Origin::Worker(i) => 1000 + u64::from(*i),
+        }
+    }
+}
+
+/// One typed trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// The scheduler started a phase step at `workers` active workers.
+    PhaseStart {
+        /// Schedule quantum or configuration micro-quantum.
+        kind: PhaseKind,
+        /// Worker count held during the step.
+        workers: u32,
+        /// Planned step length in cycles.
+        duration_cycles: u64,
+    },
+    /// A completed configuration phase chose a worker count from the
+    /// measured per-count fallback totals `F_i` and costs `U_i`.
+    Decision {
+        /// The probe reports, costs and argmin (see `DecisionRecord`).
+        decision: DecisionRecord,
+    },
+    /// A worker buffer state-machine edge (same edges as the fault
+    /// layer's `TransitionLog`).
+    WorkerTransition {
+        /// Buffer index the edge happened on.
+        worker: u32,
+        /// State before the CAS.
+        from: WorkerState,
+        /// State after the CAS.
+        to: WorkerState,
+    },
+    /// One ocall completed, routed over `path`.
+    CallRouted {
+        /// Registered function id.
+        func: u16,
+        /// Switchless / fallback / regular.
+        path: CallPath,
+        /// Cycle count when the dispatch began.
+        start_cycles: u64,
+        /// Dispatch latency in cycles.
+        duration_cycles: u64,
+    },
+    /// The per-worker request pool grew to satisfy an allocation.
+    PoolRealloc {
+        /// Worker buffer whose pool grew.
+        worker: u32,
+        /// Requested allocation in bytes.
+        bytes: u64,
+    },
+    /// An injected fault fired (see [`FaultKind`]).
+    Fault {
+        /// Which fault.
+        kind: FaultKind,
+    },
+    /// Shutdown drained the worker pool.
+    Drain {
+        /// In-flight calls that completed during the drain window.
+        drained: u64,
+        /// In-flight calls abandoned at the deadline.
+        abandoned: u64,
+    },
+    /// Free-form marker (phase labels in examples/benches).
+    Marker {
+        /// Static label.
+        label: &'static str,
+    },
+}
+
+impl Event {
+    /// Stable lowercase event-kind name used by the exporters.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Event::PhaseStart { .. } => "phase_start",
+            Event::Decision { .. } => "decision",
+            Event::WorkerTransition { .. } => "worker_transition",
+            Event::CallRouted { .. } => "call_routed",
+            Event::PoolRealloc { .. } => "pool_realloc",
+            Event::Fault { .. } => "fault",
+            Event::Drain { .. } => "drain",
+            Event::Marker { .. } => "marker",
+        }
+    }
+}
+
+/// An event as stored in the ring: payload plus timestamp and origin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedEvent {
+    /// Caller-provided cycle timestamp (CycleClock or DES kernel time).
+    pub t_cycles: u64,
+    /// Recording thread/actor.
+    pub origin: Origin,
+    /// The payload.
+    pub event: Event,
+}

@@ -1,0 +1,476 @@
+//! Exporters: JSON-lines event dumps, Prometheus text exposition, and
+//! Chrome `trace_event` JSON (viewable in `about://tracing` and
+//! Perfetto).
+//!
+//! All serialisation is hand-rolled: the workspace `serde` is an
+//! offline no-op shim, and the formats involved are simple enough that
+//! a string builder is clearer than a serialisation framework anyway.
+
+use crate::event::{Event, Origin, RecordedEvent};
+use crate::metrics::{MetricValue, MetricsSnapshot};
+use std::fmt::Write as _;
+use switchless_core::{CallPath, WorkerState};
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn path_name(p: CallPath) -> &'static str {
+    match p {
+        CallPath::Switchless => "switchless",
+        CallPath::Fallback => "fallback",
+        CallPath::Regular => "regular",
+    }
+}
+
+fn state_name(s: WorkerState) -> &'static str {
+    match s {
+        WorkerState::Unused => "unused",
+        WorkerState::Reserved => "reserved",
+        WorkerState::Processing => "processing",
+        WorkerState::Waiting => "waiting",
+        WorkerState::Paused => "paused",
+        WorkerState::Exit => "exit",
+    }
+}
+
+fn u64_list(vals: &[u64]) -> String {
+    let mut s = String::from("[");
+    for (i, v) in vals.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{v}");
+    }
+    s.push(']');
+    s
+}
+
+/// Event payload as a JSON fragment (the fields after `kind`, starting
+/// with a comma, or an empty string).
+fn event_fields(event: &Event) -> String {
+    match event {
+        Event::PhaseStart {
+            kind,
+            workers,
+            duration_cycles,
+        } => format!(
+            ",\"phase\":\"{}\",\"workers\":{workers},\"duration_cycles\":{duration_cycles}",
+            kind.name()
+        ),
+        Event::Decision { decision } => {
+            let mut probes = String::from("[");
+            for (i, p) in decision.probes.iter().enumerate() {
+                if i > 0 {
+                    probes.push(',');
+                }
+                let _ = write!(
+                    probes,
+                    "{{\"workers\":{},\"fallbacks\":{}}}",
+                    p.workers, p.fallbacks
+                );
+            }
+            probes.push(']');
+            format!(
+                ",\"chosen_workers\":{},\"probes\":{},\"costs\":{}",
+                decision.chosen_workers,
+                probes,
+                u64_list(&decision.costs)
+            )
+        }
+        Event::WorkerTransition { worker, from, to } => format!(
+            ",\"worker\":{worker},\"from\":\"{}\",\"to\":\"{}\"",
+            state_name(*from),
+            state_name(*to)
+        ),
+        Event::CallRouted {
+            func,
+            path,
+            start_cycles,
+            duration_cycles,
+        } => format!(
+            ",\"func\":{func},\"path\":\"{}\",\"start_cycles\":{start_cycles},\"duration_cycles\":{duration_cycles}",
+            path_name(*path)
+        ),
+        Event::PoolRealloc { worker, bytes } => {
+            format!(",\"worker\":{worker},\"bytes\":{bytes}")
+        }
+        Event::Fault { kind } => format!(",\"fault\":\"{}\"", kind.name()),
+        Event::Drain { drained, abandoned } => {
+            format!(",\"drained\":{drained},\"abandoned\":{abandoned}")
+        }
+        Event::Marker { label } => format!(",\"label\":\"{}\"", json_escape(label)),
+    }
+}
+
+/// One event as a JSON object (one JSONL line, without the newline).
+/// With `with_timestamps == false` the `t` field is omitted — the form
+/// used for run-to-run determinism comparisons, where cycle timestamps
+/// may race on the shared virtual clock.
+pub fn event_jsonl_line(ev: &RecordedEvent, with_timestamps: bool) -> String {
+    let t = if with_timestamps {
+        format!("\"t\":{},", ev.t_cycles)
+    } else {
+        String::new()
+    };
+    format!(
+        "{{{t}\"origin\":\"{}\",\"kind\":\"{}\"{}}}",
+        ev.origin.label(),
+        ev.event.kind_name(),
+        event_fields(&ev.event)
+    )
+}
+
+/// Full JSONL dump (timestamps included), one event per line.
+pub fn events_to_jsonl(events: &[RecordedEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&event_jsonl_line(ev, true));
+        out.push('\n');
+    }
+    out
+}
+
+/// Canonical JSONL projection for determinism checks: timestamps are
+/// stripped and only events matching `keep` are emitted, in ring
+/// admission order. Causally-ordered event kinds (faults, drains) are
+/// byte-identical across reruns of a deterministic scenario; see
+/// DESIGN.md §8 for the exact contract.
+pub fn canonical_jsonl<F>(events: &[RecordedEvent], keep: F) -> String
+where
+    F: Fn(&RecordedEvent) -> bool,
+{
+    let mut out = String::new();
+    for ev in events.iter().filter(|e| keep(e)) {
+        out.push_str(&event_jsonl_line(ev, false));
+        out.push('\n');
+    }
+    out
+}
+
+/// Base metric name (labels stripped) for Prometheus `# TYPE` lines.
+fn base_name(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// Prometheus text exposition of a metrics snapshot.
+///
+/// Counter/gauge entries become one sample each; histograms expand to
+/// cumulative `_bucket{le="..."}` samples plus `_count` and `_sum`.
+pub fn to_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_base = String::new();
+    for (name, value) in &snapshot.entries {
+        let base = base_name(name);
+        let type_str = match value {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram { .. } => "histogram",
+        };
+        if base != last_base {
+            let _ = writeln!(out, "# TYPE {base} {type_str}");
+            last_base = base.to_string();
+        }
+        match value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "{name} {v}");
+            }
+            MetricValue::Histogram {
+                buckets,
+                count,
+                sum,
+            } => {
+                let mut cumulative = 0u64;
+                for (i, b) in buckets.iter().enumerate() {
+                    cumulative += b;
+                    if *b != 0 || i + 1 == buckets.len() {
+                        let le = 1u128 << (i + 1);
+                        let _ = writeln!(out, "{base}_bucket{{le=\"{le}\"}} {cumulative}");
+                    }
+                }
+                let _ = writeln!(out, "{base}_bucket{{le=\"+Inf\"}} {count}");
+                let _ = writeln!(out, "{base}_sum {sum}");
+                let _ = writeln!(out, "{base}_count {count}");
+            }
+        }
+    }
+    out
+}
+
+/// Metrics snapshot as JSONL, one `{"metric":...}` object per line
+/// (the shape `all_figures` writes next to its tables).
+pub fn metrics_to_jsonl(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.entries {
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(
+                    out,
+                    "{{\"metric\":\"{}\",\"type\":\"counter\",\"value\":{v}}}",
+                    json_escape(name)
+                );
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(
+                    out,
+                    "{{\"metric\":\"{}\",\"type\":\"gauge\",\"value\":{v}}}",
+                    json_escape(name)
+                );
+            }
+            MetricValue::Histogram {
+                buckets,
+                count,
+                sum,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"metric\":\"{}\",\"type\":\"histogram\",\"count\":{count},\"sum\":{sum},\"buckets\":{}}}",
+                    json_escape(name),
+                    u64_list(buckets)
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Convert cycles to integer microseconds at `freq_hz` (for trace `ts`).
+fn cycles_to_us(cycles: u64, freq_hz: u64) -> u64 {
+    ((cycles as u128) * 1_000_000 / (freq_hz.max(1) as u128)) as u64
+}
+
+/// Chrome `trace_event` JSON for a batch of events.
+///
+/// `freq_hz` converts cycle timestamps to the microsecond `ts` field.
+/// Output shape: `{"traceEvents":[...],"displayTimeUnit":"ms"}` with
+/// - `M` thread-name metadata per distinct origin,
+/// - `X` complete events for routed-call spans,
+/// - `C` counter events tracking the scheduler's active worker count,
+/// - `i` instant events for decisions, transitions, faults and drains.
+pub fn to_chrome_trace(events: &[RecordedEvent], freq_hz: u64) -> String {
+    let mut lines: Vec<String> = Vec::new();
+
+    // Thread-name metadata, one per distinct origin, stable order.
+    let mut origins: Vec<Origin> = Vec::new();
+    for ev in events {
+        if !origins.contains(&ev.origin) {
+            origins.push(ev.origin);
+        }
+    }
+    origins.sort_by_key(|o| o.tid());
+    for o in &origins {
+        lines.push(format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}}",
+            o.tid(),
+            json_escape(&o.label())
+        ));
+    }
+
+    for ev in events {
+        let tid = ev.origin.tid();
+        let ts = cycles_to_us(ev.t_cycles, freq_hz);
+        match &ev.event {
+            Event::CallRouted {
+                func,
+                path,
+                start_cycles,
+                duration_cycles,
+            } => {
+                let start_us = cycles_to_us(*start_cycles, freq_hz);
+                // Sub-microsecond spans still get dur 1 so they render.
+                let dur_us = cycles_to_us(*duration_cycles, freq_hz).max(1);
+                let path = path_name(*path);
+                lines.push(format!(
+                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{start_us},\"dur\":{dur_us},\"name\":\"ocall-{func}\",\"cat\":\"{path}\",\"args\":{{\"path\":\"{path}\",\"cycles\":{duration_cycles}}}}}"
+                ));
+            }
+            Event::PhaseStart { kind, workers, .. } => {
+                lines.push(format!(
+                    "{{\"ph\":\"C\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"name\":\"active_workers\",\"args\":{{\"workers\":{workers}}}}}"
+                ));
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"t\",\"name\":\"{}\",\"args\":{{\"workers\":{workers}}}}}",
+                    kind.name()
+                ));
+            }
+            Event::Decision { decision } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"g\",\"name\":\"decision\",\"args\":{{\"chosen_workers\":{},\"costs\":{}}}}}",
+                    decision.chosen_workers,
+                    u64_list(&decision.costs)
+                ));
+            }
+            Event::WorkerTransition { from, to, .. } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"t\",\"name\":\"{}->{}\"}}",
+                    state_name(*from),
+                    state_name(*to)
+                ));
+            }
+            Event::PoolRealloc { bytes, .. } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"t\",\"name\":\"pool_realloc\",\"args\":{{\"bytes\":{bytes}}}}}"
+                ));
+            }
+            Event::Fault { kind } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"g\",\"name\":\"fault:{}\"}}",
+                    kind.name()
+                ));
+            }
+            Event::Drain { drained, abandoned } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"g\",\"name\":\"drain\",\"args\":{{\"drained\":{drained},\"abandoned\":{abandoned}}}}}"
+                ));
+            }
+            Event::Marker { label } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"g\",\"name\":\"{}\"}}",
+                    json_escape(label)
+                ));
+            }
+        }
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, line) in lines.iter().enumerate() {
+        out.push_str(line);
+        if i + 1 != lines.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{FaultKind, PhaseKind};
+    use switchless_core::policy::{DecisionRecord, MicroQuantumReport};
+
+    fn sample_events() -> Vec<RecordedEvent> {
+        vec![
+            RecordedEvent {
+                t_cycles: 100,
+                origin: Origin::Scheduler,
+                event: Event::PhaseStart {
+                    kind: PhaseKind::Probe,
+                    workers: 2,
+                    duration_cycles: 50,
+                },
+            },
+            RecordedEvent {
+                t_cycles: 200,
+                origin: Origin::Scheduler,
+                event: Event::Decision {
+                    decision: DecisionRecord {
+                        chosen_workers: 1,
+                        probes: vec![
+                            MicroQuantumReport {
+                                workers: 0,
+                                fallbacks: 9,
+                            },
+                            MicroQuantumReport {
+                                workers: 1,
+                                fallbacks: 0,
+                            },
+                        ],
+                        costs: vec![720, 34],
+                    },
+                },
+            },
+            RecordedEvent {
+                t_cycles: 300,
+                origin: Origin::Caller(0),
+                event: Event::CallRouted {
+                    func: 3,
+                    path: CallPath::Switchless,
+                    start_cycles: 250,
+                    duration_cycles: 50,
+                },
+            },
+            RecordedEvent {
+                t_cycles: 400,
+                origin: Origin::Worker(1),
+                event: Event::Fault {
+                    kind: FaultKind::WorkerCrash,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_lines_are_json_objects_with_expected_fields() {
+        let out = events_to_jsonl(&sample_events());
+        let lines: Vec<_> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+        assert!(lines[1].contains("\"kind\":\"decision\""));
+        assert!(lines[1].contains("\"probes\":[{\"workers\":0,\"fallbacks\":9}"));
+        assert!(lines[1].contains("\"costs\":[720,34]"));
+        assert!(lines[2].contains("\"path\":\"switchless\""));
+        assert!(lines[3].contains("\"fault\":\"worker_crash\""));
+    }
+
+    #[test]
+    fn canonical_projection_strips_timestamps() {
+        let evs = sample_events();
+        let canon = canonical_jsonl(&evs, |e| matches!(e.event, Event::Fault { .. }));
+        assert_eq!(
+            canon,
+            "{\"origin\":\"worker-1\",\"kind\":\"fault\",\"fault\":\"worker_crash\"}\n"
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        use crate::metrics::MetricsRegistry;
+        let reg = MetricsRegistry::new();
+        reg.counter("zc_calls_total{path=\"switchless\"}").add(5);
+        reg.counter("zc_calls_total{path=\"fallback\"}").add(2);
+        reg.gauge("zc_active_workers").set(3);
+        reg.histogram("zc_call_cycles").record(1000);
+        let text = to_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE zc_calls_total counter"));
+        assert!(text.contains("zc_calls_total{path=\"switchless\"} 5"));
+        assert!(text.contains("# TYPE zc_active_workers gauge"));
+        assert!(text.contains("zc_active_workers 3"));
+        assert!(text.contains("zc_call_cycles_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("zc_call_cycles_count 1"));
+        // TYPE emitted once per base name even with two labelled series.
+        assert_eq!(text.matches("# TYPE zc_calls_total").count(), 1);
+    }
+
+    #[test]
+    fn chrome_trace_wraps_and_converts_timestamps() {
+        // 1 GHz -> 1000 cycles per microsecond.
+        let trace = to_chrome_trace(&sample_events(), 1_000_000_000);
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.trim_end().ends_with("],\"displayTimeUnit\":\"ms\"}"));
+        assert!(trace.contains("\"ph\":\"X\""), "call span present");
+        assert!(trace.contains("\"ph\":\"C\""), "worker counter present");
+        assert!(trace.contains("\"ph\":\"M\""), "thread names present");
+        assert!(trace.contains("\"name\":\"scheduler\""));
+        // CallRouted at start_cycles 250 -> ts 0us (sub-us), dur >= 1.
+        assert!(trace.contains("\"ts\":0,\"dur\":1,\"name\":\"ocall-3\""));
+    }
+}

@@ -1,0 +1,51 @@
+//! Process-wide default telemetry hub.
+//!
+//! Harnesses that fan out through code with no convenient place to
+//! thread a handle (the bench figures, primarily) install a hub here;
+//! components that accept an explicit handle always prefer it and only
+//! fall back to the global default.
+
+use crate::Telemetry;
+use std::sync::{Arc, Mutex, OnceLock};
+
+fn slot() -> &'static Mutex<Option<Arc<Telemetry>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<Telemetry>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Install `hub` as the process-wide default, returning the previous
+/// one (if any).
+pub fn install(hub: Arc<Telemetry>) -> Option<Arc<Telemetry>> {
+    slot()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .replace(hub)
+}
+
+/// Remove and return the process-wide default.
+pub fn uninstall() -> Option<Arc<Telemetry>> {
+    slot().lock().unwrap_or_else(|e| e.into_inner()).take()
+}
+
+/// The current process-wide default, if one is installed.
+pub fn current() -> Option<Arc<Telemetry>> {
+    slot().lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_take_roundtrip() {
+        // Serialise against other tests touching the global slot.
+        let hub = Telemetry::with_capacity(8);
+        let prev = install(Arc::clone(&hub));
+        assert!(current().is_some());
+        let taken = uninstall().expect("installed hub comes back");
+        assert!(Arc::ptr_eq(&taken, &hub));
+        if let Some(p) = prev {
+            install(p);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! The event tracer: ring buffer plus per-thread caller identities.
+
+use crate::event::{Event, Origin, RecordedEvent};
+use crate::ring::Ring;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Monotonic id distinguishing tracer instances, so the thread-local
+/// caller id cache invalidates when a fresh tracer is created (caller
+/// numbering restarts at 0 per tracer — required for run-to-run
+/// deterministic traces).
+static TRACER_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// (tracer epoch, caller id) cached for this thread.
+    static CALLER_ID: Cell<(u64, u32)> = const { Cell::new((0, 0)) };
+}
+
+/// Lock-free bounded event tracer (MPSC).
+///
+/// Any thread may [`record`](Tracer::record); draining
+/// ([`drain`](Tracer::drain)) is serialised internally and meant for
+/// the cold export path.
+#[derive(Debug)]
+pub struct Tracer {
+    ring: Ring,
+    epoch: u64,
+    next_caller: AtomicU32,
+    /// Serialises the single-consumer side of the ring.
+    consumer: Mutex<()>,
+}
+
+impl std::fmt::Debug for Ring {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ring")
+            .field("capacity", &self.capacity())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// New tracer whose ring holds `capacity` events (rounded up to a
+    /// power of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer {
+            ring: Ring::with_capacity(capacity),
+            epoch: TRACER_EPOCH.fetch_add(1, Ordering::Relaxed),
+            next_caller: AtomicU32::new(0),
+            consumer: Mutex::new(()),
+        }
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+
+    /// Record one event; returns `false` if the ring was full and the
+    /// event was dropped (counted in [`dropped`](Tracer::dropped)).
+    #[inline]
+    pub fn record(&self, t_cycles: u64, origin: Origin, event: Event) -> bool {
+        self.ring.push(RecordedEvent {
+            t_cycles,
+            origin,
+            event,
+        })
+    }
+
+    /// The calling thread's [`Origin::Caller`] identity for this
+    /// tracer. Ids are dense, assigned in first-use order per tracer,
+    /// and cached in a thread-local, so a run that spawns callers in a
+    /// fixed order sees the same numbering every run.
+    pub fn caller_origin(&self) -> Origin {
+        let cached = CALLER_ID.get();
+        if cached.0 == self.epoch {
+            return Origin::Caller(cached.1);
+        }
+        let id = self.next_caller.fetch_add(1, Ordering::Relaxed);
+        CALLER_ID.set((self.epoch, id));
+        Origin::Caller(id)
+    }
+
+    /// Number of events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// Drain all currently buffered events in ring (admission) order.
+    pub fn drain(&self) -> Vec<RecordedEvent> {
+        let _guard = self.consumer.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::new();
+        // SAFETY: the consumer mutex guarantees single-consumer access.
+        while let Some(ev) = unsafe { self.ring.pop() } {
+            out.push(ev);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caller_ids_are_per_tracer_and_cached() {
+        let t1 = Tracer::with_capacity(8);
+        assert_eq!(t1.caller_origin(), Origin::Caller(0));
+        assert_eq!(t1.caller_origin(), Origin::Caller(0), "cached");
+        let t2 = Tracer::with_capacity(8);
+        assert_eq!(
+            t2.caller_origin(),
+            Origin::Caller(0),
+            "fresh tracer restarts"
+        );
+        let from_thread = std::thread::spawn(move || t2.caller_origin())
+            .join()
+            .unwrap();
+        assert_eq!(from_thread, Origin::Caller(1), "second thread gets next id");
+    }
+
+    #[test]
+    fn drain_returns_admission_order() {
+        let t = Tracer::with_capacity(8);
+        for i in 0..5 {
+            assert!(t.record(i, Origin::Scheduler, Event::Marker { label: "x" }));
+        }
+        let evs = t.drain();
+        assert_eq!(evs.len(), 5);
+        assert!(evs.windows(2).all(|w| w[0].t_cycles < w[1].t_cycles));
+        assert!(t.drain().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+}

@@ -20,4 +20,5 @@ pub use sgx_sim;
 pub use switchless_core;
 pub use zc_des;
 pub use zc_switchless;
+pub use zc_telemetry;
 pub use zc_workloads;

@@ -1,0 +1,236 @@
+//! Telemetry tier-1 suite: trace determinism under fault injection and
+//! end-to-end export validation.
+//!
+//! The determinism contract (DESIGN.md §8): full traces interleave
+//! per-thread streams nondeterministically, and cycle timestamps vary
+//! run to run even on a virtual clock — but the *causally ordered*
+//! projection (fault injections, pool reallocations, drain outcomes,
+//! with timestamps stripped) of a single-caller scripted-fault scenario
+//! is byte-identical across same-seed runs. That is what
+//! [`canonical_jsonl`] exports and what this suite pins down.
+//!
+//! [`canonical_jsonl`]: zc_telemetry::export::canonical_jsonl
+
+use sgx_sim::Enclave;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use switchless_core::{
+    CpuSpec, FaultInjector, FaultPlan, OcallDispatcher, OcallRequest, OcallTable, ZcConfig,
+    MAX_OCALL_ARGS,
+};
+use zc_switchless::ZcRuntime;
+use zc_telemetry::export::{canonical_jsonl, events_to_jsonl, to_chrome_trace, to_prometheus};
+use zc_telemetry::{Event, RecordedEvent, Telemetry};
+
+/// Failure backstop for bounded polls (never slept on).
+const BACKSTOP: Duration = Duration::from_secs(60);
+
+fn table() -> (Arc<OcallTable>, switchless_core::FuncId) {
+    let mut t = OcallTable::new();
+    let echo = t.register(
+        "echo",
+        |_: &[u64; MAX_OCALL_ARGS], pin: &[u8], pout: &mut Vec<u8>| {
+            pout.extend_from_slice(pin);
+            pin.len() as i64
+        },
+    );
+    (Arc::new(t), echo)
+}
+
+/// Keep only the causally-deterministic event kinds.
+fn causal(ev: &RecordedEvent) -> bool {
+    matches!(
+        ev.event,
+        Event::Fault { .. } | Event::Drain { .. } | Event::PoolRealloc { .. }
+    )
+}
+
+/// One scripted fault scenario: a single caller on a 1-worker machine
+/// (2 logical CPUs), first 2 pool allocations forced to exhaustion and
+/// the 3rd serviced call crashing the worker. Returns the canonical
+/// trace projection.
+fn faulted_run() -> String {
+    let hub = Telemetry::new();
+    let (t, echo) = table();
+    let mut cpu = CpuSpec::paper_machine();
+    cpu.logical_cpus = 2; // max_workers = 1: all worker events are Worker(0)
+    let cfg = ZcConfig::for_cpu(cpu).with_quantum_ms(10);
+    let plan = FaultPlan::new().crash_worker_at(3).exhaust_pool_first(2);
+    let faults = Arc::new(FaultInjector::new(plan));
+    let zc = ZcRuntime::start_with_telemetry(
+        cfg,
+        t,
+        Enclave::new_virtual(cpu),
+        Arc::clone(&hub),
+        Some(Arc::clone(&faults)),
+    )
+    .expect("zc runtime must start");
+
+    let mut out = Vec::new();
+    let deadline = Instant::now() + BACKSTOP;
+    loop {
+        zc.dispatch(&OcallRequest::new(echo, &[1]), b"payload", &mut out)
+            .expect("faulted calls still complete via fallback");
+        let c = faults.counts();
+        if c.crashes >= 1 && c.pool_exhaustions >= 2 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "faults never fired: {c:?}");
+    }
+    let report = zc.shutdown_with_timeout(Duration::from_secs(5));
+    assert_eq!(report.abandoned, 0, "no worker should be wedged");
+    drop(zc);
+    canonical_jsonl(&hub.tracer().drain(), causal)
+}
+
+#[test]
+fn faulted_trace_is_byte_identical_across_runs() {
+    let first = faulted_run();
+    let second = faulted_run();
+    assert!(
+        first.contains(r#""kind":"fault""#),
+        "canonical trace must contain injected faults:\n{first}"
+    );
+    assert!(
+        first.contains(r#""fault":"worker_crash""#),
+        "worker crash must be traced:\n{first}"
+    );
+    assert!(
+        first.contains(r#""fault":"pool_exhaustion""#),
+        "pool exhaustion must be traced:\n{first}"
+    );
+    assert!(
+        first.contains(r#""kind":"drain""#),
+        "drain outcome must be traced:\n{first}"
+    );
+    assert!(
+        !first.contains(r#""t":"#),
+        "canonical projection strips timestamps:\n{first}"
+    );
+    assert_eq!(
+        first, second,
+        "same scripted scenario must yield a byte-identical canonical trace"
+    );
+}
+
+#[test]
+fn runtime_trace_exports_decisions_transitions_and_all_formats() {
+    let hub = Telemetry::new();
+    let (t, echo) = table();
+    let cpu = CpuSpec::paper_machine();
+    // Short quantum: several configuration phases complete quickly.
+    let cfg = ZcConfig::for_cpu(cpu).with_quantum_ms(1);
+    let zc = ZcRuntime::start_with_telemetry(cfg, t, Enclave::new_virtual(cpu), hub.clone(), None)
+        .expect("zc runtime must start");
+
+    let mut out = Vec::new();
+    let deadline = Instant::now() + BACKSTOP;
+    while zc.scheduler_decisions() < 3 {
+        zc.dispatch(&OcallRequest::new(echo, &[1]), b"x", &mut out)
+            .expect("call must complete");
+        assert!(Instant::now() < deadline, "scheduler never decided");
+    }
+    zc.shutdown();
+
+    let events = hub.tracer().drain();
+    let decision = events
+        .iter()
+        .find_map(|e| match &e.event {
+            Event::Decision { decision } => Some(decision.clone()),
+            _ => None,
+        })
+        .expect("at least one completed configuration phase is traced");
+    assert!(
+        !decision.probes.is_empty(),
+        "decision must carry the measured F_i"
+    );
+    assert_eq!(
+        decision.probes.len(),
+        decision.costs.len(),
+        "one derived U_i per probed F_i"
+    );
+    assert!(
+        decision.chosen_workers <= zc.config().max_workers(),
+        "argmin stays within the worker budget"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.event, Event::WorkerTransition { .. })),
+        "worker state-machine edges must be traced"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.event, Event::CallRouted { .. })),
+        "routed calls must be traced"
+    );
+
+    // JSONL: one object per line, every line carries kind + timestamp.
+    let jsonl = events_to_jsonl(&events);
+    assert!(!jsonl.is_empty());
+    for line in jsonl.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "malformed JSONL line: {line}"
+        );
+        assert!(line.contains(r#""kind":"#), "line lacks kind: {line}");
+        assert!(line.contains(r#""t":"#), "line lacks timestamp: {line}");
+    }
+
+    // Prometheus text exposition via the runtime's registered collector.
+    let prom = to_prometheus(&hub.metrics().snapshot());
+    assert!(prom.contains("# TYPE zc_calls_total counter"), "{prom}");
+    assert!(
+        prom.contains(r#"zc_calls_total{path="switchless"}"#),
+        "{prom}"
+    );
+    assert!(prom.contains("zc_scheduler_decisions_total"), "{prom}");
+
+    // Chrome trace_event JSON: named threads, spans, counters.
+    let trace = to_chrome_trace(&events, cpu.freq_hz);
+    assert!(trace.starts_with(r#"{"traceEvents":["#), "{trace}");
+    assert!(trace.contains(r#""ph":"M""#), "thread metadata: {trace}");
+    assert!(trace.contains(r#""ph":"X""#), "call spans missing");
+    assert!(trace.contains(r#""ph":"C""#), "worker counter missing");
+}
+
+#[test]
+fn des_full_trace_is_deterministic_including_timestamps() {
+    use zc_des::ocall::CallDesc;
+    use zc_des::{run, Mechanism, SimConfig, WorkloadSpec, ZcSimParams};
+
+    let sim_trace = || {
+        let hub = Telemetry::new();
+        let call = CallDesc {
+            host_cycles: 2_000,
+            ret_bytes: 8,
+            ..CallDesc::default()
+        };
+        let cfg = SimConfig::new(
+            Mechanism::Zc(ZcSimParams::default()),
+            vec![
+                WorkloadSpec::ClosedLoop {
+                    pattern: vec![call],
+                    total_ops: 20_000,
+                };
+                2
+            ],
+            1,
+        )
+        .with_telemetry(Arc::clone(&hub));
+        let r = run(&cfg);
+        assert_eq!(r.counters.total_calls(), 40_000);
+        events_to_jsonl(&hub.tracer().drain())
+    };
+    let first = sim_trace();
+    assert!(
+        first.contains(r#""kind":"decision""#),
+        "sim scheduler decisions must be traced:\n{}",
+        &first[..first.len().min(2_000)]
+    );
+    assert!(first.contains(r#""kind":"phase_start""#));
+    // The DES kernel is single-threaded and fully virtual: even the
+    // timestamped full trace is byte-identical run to run.
+    assert_eq!(first, sim_trace(), "DES trace must be fully deterministic");
+}
