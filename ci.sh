@@ -30,12 +30,15 @@ if [[ $quick -eq 0 ]]; then
     # The fault-injection, property and telemetry-trace suites must be
     # deterministic on the virtual clock: two more full runs guard
     # against flakes, plus an explicit pass of the trace-determinism
-    # suite (each test itself compares two same-seed runs).
+    # and chaos-soak suites (each test itself compares two same-seed
+    # runs, so each pass here is a bounded deterministic soak).
     for i in 2 3; do
         echo "==> cargo test (flake check, run $i/3)"
         cargo test -q --workspace
         echo "==> cargo test --test telemetry_trace (determinism, run $i/3)"
         cargo test -q --test telemetry_trace
+        echo "==> cargo test --test chaos_soak (seeded soak, run $i/3)"
+        cargo test -q --test chaos_soak
     done
 fi
 

@@ -91,7 +91,7 @@ fn main() {
     }
     scope.finish();
 
-    banner("Ablations A1-A5");
+    banner("Ablations A1-A6");
     let ops = if quick { 500 } else { 5_000 };
     let scope = FigureScope::begin("ablations");
     ablations::rbf_sweep(&[0, 64, 1_000, 20_000, 200_000], 6, 2, ops, 200_000)
@@ -106,5 +106,10 @@ fn main() {
         .emit(Some(Path::new("results/ablation_tes.csv")));
     ablations::mechanism_comparison(if quick { 500 } else { 3_000 })
         .emit(Some(Path::new("results/ablation_mechanisms.csv")));
+    ablations::chaos_sweep(
+        if quick { 2_000 } else { 10_000 },
+        &[380_000, 800_000, 3_800_000],
+    )
+    .emit(Some(Path::new("results/ablation_chaos.csv")));
     scope.finish();
 }

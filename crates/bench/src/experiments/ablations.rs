@@ -13,7 +13,7 @@ use super::kissdb;
 use crate::table::{f2, f3, Table};
 use zc_des::ocall::intel::IntelSimConfig;
 use zc_des::ocall::CallDesc;
-use zc_des::{Mechanism, SimConfig, SimReport, WorkloadSpec, ZcSimParams};
+use zc_des::{Mechanism, SimConfig, SimReport, WorkloadSpec, ZcSimFaults, ZcSimParams};
 
 /// Run an oversubscribed Intel configuration (`callers` > `workers`) with
 /// a given `rbf`.
@@ -327,6 +327,90 @@ pub fn tes_sweep(n_keys: u64, tes_values: &[u64]) -> Table {
                 no_sl.duration_secs() / zc.duration_secs().max(1e-12)
             ),
         ]);
+    }
+    table
+}
+
+/// Run a closed-loop ZC workload under an optional chaos schedule
+/// (2 callers: with the 4 workers, scheduler and supervisor this fills
+/// the paper machine's 8 cores exactly, so supervisor timers fire at
+/// their nominal virtual times).
+#[must_use]
+pub fn run_chaos(faults: Option<ZcSimFaults>, ops_per_caller: u64, host_cycles: u64) -> SimReport {
+    let call = CallDesc {
+        class: 0,
+        host_cycles,
+        ..CallDesc::default()
+    };
+    let workloads = vec![
+        WorkloadSpec::ClosedLoop {
+            pattern: vec![call],
+            total_ops: ops_per_caller,
+        };
+        2
+    ];
+    let mut cfg = SimConfig::new(Mechanism::Zc(ZcSimParams::default()), workloads, 1);
+    cfg.zc_faults = faults;
+    zc_des::run(&cfg)
+}
+
+/// The seeded chaos schedule shared with `tests/chaos_soak.rs`:
+/// 3 crashes + 2 hangs inside the first ~1.3 virtual ms.
+#[must_use]
+pub fn chaos_schedule(respawn_delay: u64, watchdog_pauses: u64) -> ZcSimFaults {
+    ZcSimFaults::new()
+        .crash_at(1_000_000, 0)
+        .crash_at(3_000_000, 1)
+        .crash_at(5_000_000, 0)
+        .hang_at(2_000_000, 2)
+        .hang_at(4_000_000, 3)
+        .with_respawn_delay(respawn_delay)
+        .with_watchdog_pauses(watchdog_pauses)
+}
+
+/// A6: cost of chaos and of recovery latency. A fault-free baseline
+/// against the seeded 3-crash/2-hang schedule across supervisor
+/// respawn delays: the longer failed slots stay dead, the more calls
+/// pay the fallback transition, while conservation holds throughout.
+#[must_use]
+pub fn chaos_sweep(ops_per_caller: u64, respawn_delays: &[u64]) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Ablation A6: chaos soak, 3 crashes + 2 hangs \
+             (2 callers, {ops_per_caller} ops each)"
+        ),
+        &[
+            "respawn delay (us)",
+            "runtime (s)",
+            "%cpu",
+            "switchless",
+            "fallback",
+            "cancelled",
+            "respawns",
+        ],
+    );
+    let mut emit = |label: String, r: &SimReport| {
+        table.row(vec![
+            label,
+            f3(r.duration_secs()),
+            f2(r.cpu_percent()),
+            r.counters.switchless.to_string(),
+            r.counters.fallback.to_string(),
+            r.counters.cancelled.to_string(),
+            r.fault_recovery.respawns.to_string(),
+        ]);
+    };
+    let baseline = run_chaos(None, ops_per_caller, 500);
+    emit("no faults".into(), &baseline);
+    for &delay in respawn_delays {
+        let r = run_chaos(Some(chaos_schedule(delay, 5_000)), ops_per_caller, 500);
+        assert_eq!(
+            r.counters.total_calls(),
+            2 * ops_per_caller,
+            "chaos must not lose calls"
+        );
+        let cycles_per_us = switchless_core::CpuSpec::paper_machine().freq_hz / 1_000_000;
+        emit((delay / cycles_per_us).to_string(), &r);
     }
     table
 }

@@ -33,6 +33,7 @@ pub mod sim;
 pub mod workload;
 
 pub use kernel::{Actor, FlagId, Kernel, SpinTarget, Syscall, SyscallResult, Tid};
+pub use ocall::zc::ZcSimFaults;
 pub use ocall::{CallDesc, CostModel, Dispatcher, Step};
-pub use sim::{run, Mechanism, SimConfig, SimReport, ZcSimParams};
+pub use sim::{run, FaultRecovery, Mechanism, SimConfig, SimReport, ZcSimParams};
 pub use workload::{CallClass, PhasedLoad, WorkloadSpec};

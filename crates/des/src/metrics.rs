@@ -16,6 +16,12 @@ pub struct SimCounters {
     pub regular: u64,
     /// Untrusted-pool reallocations (each costs one extra transition).
     pub pool_reallocs: u64,
+    /// In-flight switchless calls cancelled by a caller watchdog. Each
+    /// cancelled call then completed on the regular path, so this is a
+    /// subset of [`fallback`](SimCounters::fallback), not an extra term
+    /// in [`total_calls`](SimCounters::total_calls).
+    #[serde(default)]
+    pub cancelled: u64,
     /// Completed ocalls per caller index.
     pub ops_per_caller: Vec<u64>,
     /// Completed ocalls per call class (workload-defined, e.g.

@@ -46,6 +46,15 @@ pub struct WorkerSt {
     pub caller: usize,
     /// Bytes bump-allocated in this worker's untrusted pool.
     pub pool_used: u64,
+    /// Worker crashed or hung: it serves nothing until revived by the
+    /// supervisor.
+    pub dead: bool,
+    /// The in-flight request was cancelled by the caller's watchdog; a
+    /// late completion must be discarded, never published.
+    pub cancelled: bool,
+    /// A dead worker's actor has actually parked — only then is the slot
+    /// safe to revive (no compute still draining on it).
+    pub parked_dead: bool,
 }
 
 /// Shared ZC protocol state.
@@ -71,6 +80,15 @@ pub struct ZcWorld {
     pub residency: WorkerResidency,
     /// Completed scheduler decisions.
     pub decisions: u64,
+    /// Injected crashes applied so far.
+    pub crashes: u64,
+    /// Injected hangs applied so far.
+    pub hangs: u64,
+    /// Worker slots recovered (supervisor revivals plus self-recoveries
+    /// of live workers whose call was watchdog-cancelled).
+    pub respawns: u64,
+    /// In-flight calls cancelled by caller watchdogs.
+    pub cancelled: u64,
 }
 
 impl ZcWorld {
@@ -89,6 +107,9 @@ impl ZcWorld {
                 ret_bytes: 0,
                 caller: usize::MAX,
                 pool_used: 0,
+                dead: false,
+                cancelled: false,
+                parked_dead: false,
             })
             .collect();
         let worker_db = (0..max_workers).map(|_| kernel.new_flag(0)).collect();
@@ -104,13 +125,17 @@ impl ZcWorld {
             active_workers: 0,
             residency: WorkerResidency::new(max_workers),
             decisions: 0,
+            crashes: 0,
+            hangs: 0,
+            respawns: 0,
+            cancelled: 0,
         }))
     }
 
     fn find_unused(&self) -> Option<usize> {
         self.workers
             .iter()
-            .position(|w| w.state == WorkerState::Unused)
+            .position(|w| w.state == WorkerState::Unused && !w.dead)
     }
 }
 
@@ -123,6 +148,10 @@ pub struct ZcDispatcher {
     caller: usize,
     dialog: Dialog,
     await_db_val: u64,
+    /// Caller watchdog: on-CPU pauses spent awaiting completion before
+    /// the in-flight call is cancelled and re-routed (None = wait
+    /// forever, the fault-free default).
+    watchdog_pauses: Option<u64>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,7 +193,17 @@ impl ZcDispatcher {
             caller,
             dialog: Dialog::Idle,
             await_db_val: 0,
+            watchdog_pauses: None,
         }
+    }
+
+    /// Builder-style watchdog: cancel an in-flight call after `pauses`
+    /// on-CPU pauses and re-route it to the regular path (mirrors the
+    /// real runtime's supervision watchdog).
+    #[must_use]
+    pub fn with_watchdog(mut self, pauses: u64) -> Self {
+        self.watchdog_pauses = Some(pauses);
+        self
     }
 }
 
@@ -202,7 +241,10 @@ impl Dispatcher for ZcDispatcher {
     }
 
     fn advance(&mut self, call: &CallDesc, res: SyscallResult, _now: u64) -> Step {
-        debug_assert_eq!(res, SyscallResult::Ok, "zc dialogues never time out");
+        debug_assert!(
+            res == SyscallResult::Ok || matches!(self.dialog, Dialog::Await { .. }),
+            "only the watchdog-armed await may time out"
+        );
         match self.dialog {
             Dialog::Post { w } => {
                 let mut wld = self.world.borrow_mut();
@@ -225,11 +267,25 @@ impl Dispatcher for ZcDispatcher {
                 Step::Next(Syscall::SpinUntil {
                     flag,
                     target: SpinTarget::Ne(self.await_db_val),
-                    timeout_pauses: None,
+                    timeout_pauses: self.watchdog_pauses,
                 })
             }
             Dialog::Await { w } => {
                 let mut wld = self.world.borrow_mut();
+                if res == SyscallResult::TimedOut {
+                    // Watchdog cancellation: the worker crashed, hung, or
+                    // overran the deadline. Poison the in-flight request
+                    // so a late completion is discarded (never published),
+                    // then re-route to the regular path. The slot stays
+                    // quarantined until the supervisor revives it (or the
+                    // still-live worker self-recovers).
+                    wld.workers[w].cancelled = true;
+                    wld.cancelled += 1;
+                    drop(wld);
+                    self.counters.borrow_mut().cancelled += 1;
+                    self.dialog = Dialog::FallbackExec;
+                    return Step::Next(Syscall::Compute(self.costs.regular_call_cycles(call)));
+                }
                 debug_assert_eq!(
                     wld.workers[w].state,
                     WorkerState::Waiting,
@@ -293,15 +349,37 @@ impl crate::kernel::Actor for ZcWorkerActor {
         let mut wld = self.world.borrow_mut();
         let idx = self.idx;
         if self.executing {
-            // Host function finished: publish results, ring the caller.
             self.executing = false;
-            debug_assert_eq!(wld.workers[idx].state, WorkerState::Processing);
-            wld.workers[idx].state = WorkerState::Waiting;
-            let caller = wld.workers[idx].caller;
-            wld.caller_db_val[caller] += 1;
-            let v = wld.caller_db_val[caller];
-            let flag = wld.caller_db[caller];
-            return Syscall::SetFlag { flag, value: v };
+            if !wld.workers[idx].cancelled && !wld.workers[idx].dead {
+                // Host function finished: publish results, ring the caller.
+                debug_assert_eq!(wld.workers[idx].state, WorkerState::Processing);
+                wld.workers[idx].state = WorkerState::Waiting;
+                let caller = wld.workers[idx].caller;
+                wld.caller_db_val[caller] += 1;
+                let v = wld.caller_db_val[caller];
+                let flag = wld.caller_db[caller];
+                return Syscall::SetFlag { flag, value: v };
+            }
+            // Cancelled by the caller's watchdog (or crashed mid-call):
+            // the results are discarded, never published.
+            if !wld.workers[idx].dead {
+                // Still alive — the caller merely gave up on a slow call.
+                // The slot self-recovers onto a fresh buffer (the real
+                // runtime's supervisor respawn after a watchdog cancel).
+                let w = &mut wld.workers[idx];
+                w.state = WorkerState::Unused;
+                w.cancelled = false;
+                w.pool_used = 0;
+                w.caller = usize::MAX;
+                wld.respawns += 1;
+            }
+        }
+        if wld.workers[idx].dead {
+            // Crashed or hung: park until the supervisor revives us. The
+            // flag tells the supervisor no compute is draining on this
+            // slot, so it is safe to reset.
+            wld.workers[idx].parked_dead = true;
+            return Syscall::Park;
         }
         match wld.workers[idx].state {
             WorkerState::Processing => {
@@ -456,5 +534,277 @@ impl crate::kernel::Actor for ZcSchedulerActor {
 
     fn group(&self) -> &str {
         "scheduler"
+    }
+}
+
+/// Deterministic worker-fault schedule for the ZC model, in virtual
+/// time. Attached to a simulation via
+/// [`SimConfig::with_zc_faults`](crate::sim::SimConfig::with_zc_faults);
+/// ignored by non-ZC mechanisms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZcSimFaults {
+    /// `(virtual cycle, worker index)` crash injections.
+    pub crashes: Vec<(u64, usize)>,
+    /// `(virtual cycle, worker index)` hang injections.
+    pub hangs: Vec<(u64, usize)>,
+    /// Dead time before the supervisor revives a failed worker slot
+    /// (the respawn/probation latency of the real runtime).
+    pub respawn_delay_cycles: u64,
+    /// Caller watchdog: on-CPU pauses spent awaiting completion before
+    /// an in-flight call is cancelled and re-routed.
+    pub watchdog_pauses: u64,
+}
+
+impl ZcSimFaults {
+    /// Empty schedule with a ~0.5 ms (at the paper machine's 3.8 GHz)
+    /// revive delay and a watchdog orders of magnitude above a healthy
+    /// call's completion spin.
+    #[must_use]
+    pub fn new() -> Self {
+        ZcSimFaults {
+            crashes: Vec::new(),
+            hangs: Vec::new(),
+            respawn_delay_cycles: 2_000_000,
+            watchdog_pauses: 10_000,
+        }
+    }
+
+    /// Builder-style crash of `worker` at virtual `cycle`.
+    #[must_use]
+    pub fn crash_at(mut self, cycle: u64, worker: usize) -> Self {
+        self.crashes.push((cycle, worker));
+        self
+    }
+
+    /// Builder-style hang of `worker` at virtual `cycle`.
+    #[must_use]
+    pub fn hang_at(mut self, cycle: u64, worker: usize) -> Self {
+        self.hangs.push((cycle, worker));
+        self
+    }
+
+    /// Builder-style revive delay.
+    #[must_use]
+    pub fn with_respawn_delay(mut self, cycles: u64) -> Self {
+        self.respawn_delay_cycles = cycles;
+        self
+    }
+
+    /// Builder-style caller watchdog budget.
+    #[must_use]
+    pub fn with_watchdog_pauses(mut self, pauses: u64) -> Self {
+        self.watchdog_pauses = pauses;
+        self
+    }
+}
+
+impl Default for ZcSimFaults {
+    fn default() -> Self {
+        ZcSimFaults::new()
+    }
+}
+
+/// One scheduled supervisor event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultEv {
+    Crash(usize),
+    Hang(usize),
+    Revive(usize),
+}
+
+impl FaultEv {
+    /// Total order for same-instant events (determinism).
+    fn rank(self) -> (u8, usize) {
+        match self {
+            FaultEv::Crash(w) => (0, w),
+            FaultEv::Hang(w) => (1, w),
+            FaultEv::Revive(w) => (2, w),
+        }
+    }
+}
+
+/// A revive that found the slot still busy (compute draining or a caller
+/// attached) retries after this many cycles.
+const REVIVE_RETRY_CYCLES: u64 = 100_000;
+
+/// The supervisor actor of the ZC fault model: applies the crash/hang
+/// schedule at its virtual times and revives each failed slot
+/// [`respawn_delay_cycles`](ZcSimFaults::respawn_delay_cycles) later —
+/// the DES mirror of the real runtime's `zc-supervisor` thread.
+///
+/// Failure → recovery sequence for one slot: the supervisor marks the
+/// worker dead (its actor parks); the owning caller's watchdog cancels
+/// the in-flight call and completes it on the regular path (no call is
+/// ever lost or double-completed); after the revive delay the slot is
+/// reset to `UNUSED` on a fresh pool and the actor is unparked.
+#[derive(Debug)]
+pub struct ZcSupervisorActor {
+    world: Rc<RefCell<ZcWorld>>,
+    /// Pending events, sorted by `(time, rank)` **descending** so the
+    /// earliest event pops from the back.
+    events: Vec<(u64, FaultEv)>,
+    queue: VecDeque<Syscall>,
+    /// Per-slot respawn generation (0 = initial spawn).
+    gens: Vec<u64>,
+    #[cfg(feature = "telemetry")]
+    telemetry: Option<std::sync::Arc<zc_telemetry::Telemetry>>,
+}
+
+impl ZcSupervisorActor {
+    /// Supervisor for `faults` over the workers of `world`.
+    #[must_use]
+    pub fn new(world: Rc<RefCell<ZcWorld>>, faults: &ZcSimFaults) -> Self {
+        let workers = world.borrow().workers.len();
+        let mut events = Vec::new();
+        for &(t, w) in &faults.crashes {
+            events.push((t, FaultEv::Crash(w)));
+            events.push((
+                t.saturating_add(faults.respawn_delay_cycles),
+                FaultEv::Revive(w),
+            ));
+        }
+        for &(t, w) in &faults.hangs {
+            events.push((t, FaultEv::Hang(w)));
+            events.push((
+                t.saturating_add(faults.respawn_delay_cycles),
+                FaultEv::Revive(w),
+            ));
+        }
+        events.retain(|&(_, ev)| ev.rank().1 < workers);
+        events.sort_by_key(|&(t, ev)| std::cmp::Reverse((t, ev.rank())));
+        ZcSupervisorActor {
+            world,
+            events,
+            queue: VecDeque::new(),
+            gens: vec![0; workers],
+            #[cfg(feature = "telemetry")]
+            telemetry: None,
+        }
+    }
+
+    /// Builder-style telemetry hub: fault injections are traced at
+    /// [`Origin::Worker`](zc_telemetry::Origin::Worker) and revivals as
+    /// `WorkerRespawned` at
+    /// [`Origin::Scheduler`](zc_telemetry::Origin::Scheduler), stamped
+    /// with kernel virtual time.
+    #[cfg(feature = "telemetry")]
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: std::sync::Arc<zc_telemetry::Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    fn insert(&mut self, t: u64, ev: FaultEv) {
+        let key = (t, ev.rank());
+        let pos = self
+            .events
+            .partition_point(|&(et, eev)| (et, eev.rank()) > key);
+        self.events.insert(pos, (t, ev));
+    }
+
+    fn apply(&mut self, ev: FaultEv, now: u64) {
+        #[cfg(not(feature = "telemetry"))]
+        let _ = now;
+        let mut wld = self.world.borrow_mut();
+        match ev {
+            FaultEv::Crash(w) | FaultEv::Hang(w) => {
+                if wld.workers[w].dead {
+                    return; // already down; the fault is a no-op
+                }
+                wld.workers[w].dead = true;
+                if matches!(ev, FaultEv::Crash(_)) {
+                    wld.crashes += 1;
+                } else {
+                    wld.hangs += 1;
+                }
+                if wld.workers[w].state == WorkerState::Paused {
+                    // Already parked by the scheduler: nothing drains.
+                    wld.workers[w].parked_dead = true;
+                } else {
+                    // Ring its doorbell so an idle spinner wakes, sees
+                    // `dead` and parks. A worker mid-compute ignores the
+                    // ring and parks when its compute drains.
+                    wld.worker_db_val[w] += 1;
+                    let v = wld.worker_db_val[w];
+                    let flag = wld.worker_db[w];
+                    self.queue.push_back(Syscall::SetFlag { flag, value: v });
+                }
+                #[cfg(feature = "telemetry")]
+                if let Some(hub) = &self.telemetry {
+                    let kind = if matches!(ev, FaultEv::Crash(_)) {
+                        zc_telemetry::FaultKind::WorkerCrash
+                    } else {
+                        zc_telemetry::FaultKind::WorkerHang
+                    };
+                    hub.record(
+                        now,
+                        zc_telemetry::Origin::Worker(w as u32),
+                        zc_telemetry::Event::Fault { kind },
+                    );
+                }
+            }
+            FaultEv::Revive(w) => {
+                let ready = {
+                    let st = &wld.workers[w];
+                    st.parked_dead
+                        && match st.state {
+                            WorkerState::Unused | WorkerState::Paused => true,
+                            // A caller is still attached: only safe once
+                            // its watchdog cancelled the call.
+                            WorkerState::Processing | WorkerState::Waiting => st.cancelled,
+                            _ => false, // RESERVED: caller mid-post
+                        }
+                };
+                if !ready {
+                    drop(wld);
+                    self.insert(now.saturating_add(REVIVE_RETRY_CYCLES), FaultEv::Revive(w));
+                    return;
+                }
+                let st = &mut wld.workers[w];
+                st.dead = false;
+                st.parked_dead = false;
+                st.cancelled = false;
+                st.state = WorkerState::Unused;
+                st.pool_used = 0;
+                st.caller = usize::MAX;
+                wld.respawns += 1;
+                let tid = wld.worker_tids[w];
+                self.queue.push_back(Syscall::Unpark(tid));
+                self.gens[w] += 1;
+                #[cfg(feature = "telemetry")]
+                if let Some(hub) = &self.telemetry {
+                    hub.record(
+                        now,
+                        zc_telemetry::Origin::Scheduler,
+                        zc_telemetry::Event::WorkerRespawned {
+                            worker: w as u32,
+                            generation: self.gens[w],
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl crate::kernel::Actor for ZcSupervisorActor {
+    fn step(&mut self, _res: SyscallResult, now: u64) -> Syscall {
+        loop {
+            if let Some(s) = self.queue.pop_front() {
+                return s;
+            }
+            match self.events.last() {
+                Some(&(t, _)) if t <= now => {
+                    let (_, ev) = self.events.pop().expect("checked non-empty");
+                    self.apply(ev, now);
+                }
+                Some(&(t, _)) => return Syscall::Sleep(t - now),
+                None => return Syscall::Park,
+            }
+        }
+    }
+
+    fn group(&self) -> &str {
+        "supervisor"
     }
 }

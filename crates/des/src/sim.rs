@@ -5,7 +5,9 @@ use crate::metrics::{Sample, SimCounters, Timeline};
 use crate::ocall::hotcalls::{HotWorkerActor, HotcallsConfig, HotcallsDispatcher, HotcallsWorld};
 use crate::ocall::intel::{IntelDispatcher, IntelSimConfig, IntelWorkerActor, IntelWorld};
 use crate::ocall::regular::RegularDispatcher;
-use crate::ocall::zc::{ZcDispatcher, ZcSchedulerActor, ZcWorkerActor, ZcWorld};
+use crate::ocall::zc::{
+    ZcDispatcher, ZcSchedulerActor, ZcSimFaults, ZcSupervisorActor, ZcWorkerActor, ZcWorld,
+};
 use crate::ocall::{CostModel, Dispatcher};
 use crate::workload::{CallerActor, WorkloadSpec};
 use serde::{Deserialize, Serialize};
@@ -81,6 +83,11 @@ pub struct SimConfig {
     /// When non-zero, record core occupancy and render a text Gantt
     /// chart with this many columns into [`SimReport::gantt`].
     pub gantt_buckets: usize,
+    /// Deterministic worker-fault schedule for the ZC mechanism: spawns
+    /// a supervisor actor applying the crashes/hangs at their virtual
+    /// times and arms every caller's watchdog. Ignored by non-ZC
+    /// mechanisms. `None` (the default) models a fault-free machine.
+    pub zc_faults: Option<ZcSimFaults>,
     /// Telemetry hub receiving scheduler events (stamped with kernel
     /// virtual time) and end-of-run counters. `None` falls back to the
     /// process-global hub ([`zc_telemetry::global::current`]), so bench
@@ -105,6 +112,7 @@ impl SimConfig {
             sample_interval_cycles: 0,
             deadline_cycles: cpu.freq_hz * 120,
             gantt_buckets: 0,
+            zc_faults: None,
             #[cfg(feature = "telemetry")]
             telemetry: None,
         }
@@ -138,6 +146,32 @@ impl SimConfig {
         self.gantt_buckets = buckets;
         self
     }
+
+    /// Builder-style ZC worker-fault schedule (see
+    /// [`SimConfig::zc_faults`]).
+    #[must_use]
+    pub fn with_zc_faults(mut self, faults: ZcSimFaults) -> Self {
+        self.zc_faults = Some(faults);
+        self
+    }
+}
+
+/// Fault-injection and recovery summary of one ZC run (all zero for
+/// fault-free runs and non-ZC mechanisms).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultRecovery {
+    /// Injected crashes applied.
+    pub crashes: u64,
+    /// Injected hangs applied.
+    pub hangs: u64,
+    /// Worker slots recovered (supervisor revivals plus watchdog-driven
+    /// self-recoveries).
+    pub respawns: u64,
+    /// In-flight calls cancelled by caller watchdogs (each completed on
+    /// the regular path instead — never lost).
+    pub cancelled: u64,
+    /// Workers still dead when the run ended (0 = full recovery).
+    pub dead_workers: u64,
 }
 
 /// Result of one simulation run.
@@ -159,6 +193,10 @@ pub struct SimReport {
     pub residency: WorkerResidency,
     /// Mean active ZC workers weighted by time (0 otherwise).
     pub mean_active_workers: f64,
+    /// Fault-injection and recovery summary (all zero unless
+    /// [`SimConfig::zc_faults`] was set).
+    #[serde(default)]
+    pub fault_recovery: FaultRecovery,
     /// Machine model the run used.
     pub cpu: CpuSpec,
     /// Text Gantt chart of core occupancy (only when
@@ -304,17 +342,26 @@ pub fn run(config: &SimConfig) -> SimReport {
                 None => scheduler,
             };
             kernel.spawn(Box::new(scheduler));
+            if let Some(faults) = &config.zc_faults {
+                let supervisor = ZcSupervisorActor::new(Rc::clone(&world), faults);
+                #[cfg(feature = "telemetry")]
+                let supervisor = match &telemetry {
+                    Some(hub) => supervisor.with_telemetry(std::sync::Arc::clone(hub)),
+                    None => supervisor,
+                };
+                kernel.spawn(Box::new(supervisor));
+            }
+            let watchdog = config.zc_faults.as_ref().map(|f| f.watchdog_pauses);
             let costs = config.costs;
             let counters2 = Rc::clone(&counters);
             let world2 = Rc::clone(&world);
             zc_world_handle = Some(Rc::clone(&world));
             make_dispatcher = Box::new(move |caller| {
-                Box::new(ZcDispatcher::new(
-                    Rc::clone(&world2),
-                    Rc::clone(&counters2),
-                    costs,
-                    caller,
-                ))
+                let d = ZcDispatcher::new(Rc::clone(&world2), Rc::clone(&counters2), costs, caller);
+                Box::new(match watchdog {
+                    Some(pauses) => d.with_watchdog(pauses),
+                    None => d,
+                })
             });
         }
     }
@@ -374,6 +421,18 @@ pub fn run(config: &SimConfig) -> SimReport {
     };
     #[cfg(feature = "telemetry")]
     let zc_decisions = zc_world_handle.as_ref().map_or(0, |w| w.borrow().decisions);
+    let fault_recovery = zc_world_handle
+        .as_ref()
+        .map_or_else(FaultRecovery::default, |w| {
+            let w = w.borrow();
+            FaultRecovery {
+                crashes: w.crashes,
+                hangs: w.hangs,
+                respawns: w.respawns,
+                cancelled: w.cancelled,
+                dead_workers: w.workers.iter().filter(|s| s.dead).count() as u64,
+            }
+        });
     let (residency, mean_active) = zc_world_handle.map_or_else(
         || (WorkerResidency::new(0), 0.0),
         |w| {
@@ -398,6 +457,14 @@ pub fn run(config: &SimConfig) -> SimReport {
         m.counter("des_pool_reallocs_total")
             .add(counters_final.pool_reallocs);
         m.counter("des_scheduler_decisions_total").add(zc_decisions);
+        m.counter("des_watchdog_cancels_total")
+            .add(counters_final.cancelled);
+        m.counter("des_worker_crashes_total")
+            .add(fault_recovery.crashes);
+        m.counter("des_worker_hangs_total")
+            .add(fault_recovery.hangs);
+        m.counter("des_worker_respawns_total")
+            .add(fault_recovery.respawns);
         m.gauge("des_duration_cycles").set(duration_cycles);
         m.gauge("des_mean_active_workers_milli")
             .set((mean_active * 1000.0) as u64);
@@ -418,6 +485,7 @@ pub fn run(config: &SimConfig) -> SimReport {
         timeline,
         residency,
         mean_active_workers: mean_active,
+        fault_recovery,
         cpu: config.cpu,
         gantt,
     }
@@ -570,6 +638,80 @@ mod tests {
             zc.duration_cycles,
             no_sl.duration_cycles
         );
+    }
+
+    fn chaos_faults() -> ZcSimFaults {
+        // 3 crashes + 2 hangs inside the first ~1.3 virtual ms, spread
+        // over distinct workers (slot 0 is hit twice, after its revival).
+        ZcSimFaults::new()
+            .crash_at(1_000_000, 0)
+            .crash_at(3_000_000, 1)
+            .crash_at(5_000_000, 0)
+            .hang_at(2_000_000, 2)
+            .hang_at(4_000_000, 3)
+            .with_respawn_delay(800_000)
+            .with_watchdog_pauses(5_000)
+    }
+
+    #[test]
+    fn zc_crashes_and_hangs_recover_without_losing_calls() {
+        // 2 callers + 4 workers + scheduler + supervisor = 8 threads on
+        // 8 cores: the supervisor gets a core the moment its timers
+        // fire, so the schedule is applied at (not merely after) its
+        // nominal virtual times and slot 0 is revived before its second
+        // crash.
+        let cfg = SimConfig::new(
+            Mechanism::Zc(ZcSimParams::default()),
+            vec![closed(30_000, 500); 2],
+            1,
+        )
+        .with_zc_faults(chaos_faults());
+        let r = run(&cfg);
+        // Conservation: every issued call completes exactly once.
+        assert_eq!(r.counters.total_calls(), 60_000);
+        assert_eq!(r.counters.ops_per_caller, vec![30_000; 2]);
+        // All scheduled faults applied (times are spaced beyond the
+        // revive delay, so no injection hits an already-dead worker).
+        assert_eq!(r.fault_recovery.crashes, 3);
+        assert_eq!(r.fault_recovery.hangs, 2);
+        // Every failed slot recovered; none stayed dead.
+        assert!(
+            r.fault_recovery.respawns >= 5,
+            "each fault must be revived, got {:?}",
+            r.fault_recovery
+        );
+        assert_eq!(r.fault_recovery.dead_workers, 0, "{:?}", r.fault_recovery);
+        // Cancelled calls completed on the regular path, never vanished.
+        assert!(r.counters.cancelled <= r.counters.fallback);
+    }
+
+    #[test]
+    fn zc_fault_runs_are_deterministic() {
+        let cfg = SimConfig::new(
+            Mechanism::Zc(ZcSimParams::default()),
+            vec![closed(5_000, 500); 3],
+            1,
+        )
+        .with_zc_faults(chaos_faults());
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.duration_cycles, b.duration_cycles);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.fault_recovery, b.fault_recovery);
+        assert_eq!(a.total_busy_cycles, b.total_busy_cycles);
+    }
+
+    #[test]
+    fn zc_faults_out_of_range_workers_are_ignored() {
+        let cfg = SimConfig::new(
+            Mechanism::Zc(ZcSimParams::default()),
+            vec![closed(1_000, 500)],
+            1,
+        )
+        .with_zc_faults(ZcSimFaults::new().crash_at(1_000_000, 999));
+        let r = run(&cfg);
+        assert_eq!(r.counters.total_calls(), 1_000);
+        assert_eq!(r.fault_recovery.crashes, 0);
     }
 
     #[test]

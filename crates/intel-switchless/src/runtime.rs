@@ -10,7 +10,7 @@
 use crate::pool::TaskPool;
 use parking_lot::{Condvar, Mutex};
 use sgx_sim::{CpuAccounting, CycleClock, Enclave, RegularOcall};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -36,6 +36,11 @@ struct Shared {
     sleep_cv: Condvar,
     accounting: Option<Arc<CpuAccounting>>,
     faults: Option<Arc<FaultInjector>>,
+    /// Worker thread handles; shared so a dying worker can push its
+    /// replacement's handle (respawn) for shutdown to join.
+    worker_handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Per-worker respawn generation counters (0 = initial spawn).
+    respawn_gens: Vec<AtomicU64>,
     #[cfg(feature = "telemetry")]
     telemetry: Option<Arc<zc_telemetry::Telemetry>>,
 }
@@ -92,7 +97,6 @@ impl Shared {
 #[derive(Debug)]
 pub struct IntelSwitchless {
     shared: Arc<Shared>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl IntelSwitchless {
@@ -203,6 +207,9 @@ impl IntelSwitchless {
         if let Some(f) = &faults {
             fallback = fallback.with_faults(Arc::clone(f));
         }
+        let respawn_gens = (0..config.num_uworkers)
+            .map(|_| AtomicU64::new(0))
+            .collect();
         let shared = Arc::new(Shared {
             pool: TaskPool::new(config.task_pool_capacity),
             config,
@@ -216,6 +223,8 @@ impl IntelSwitchless {
             sleep_cv: Condvar::new(),
             accounting,
             faults,
+            worker_handles: Mutex::new(Vec::new()),
+            respawn_gens,
             #[cfg(feature = "telemetry")]
             telemetry,
         });
@@ -252,19 +261,10 @@ impl IntelSwitchless {
                 ]
             });
         }
-        let workers = (0..shared.config.num_uworkers)
-            .map(|i| {
-                let sh = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("intel-uworker-{i}"))
-                    .spawn(move || worker_loop(&sh, i))
-                    .expect("failed to spawn intel switchless worker")
-            })
-            .collect();
-        Ok(IntelSwitchless {
-            shared,
-            workers: Mutex::new(workers),
-        })
+        for i in 0..shared.config.num_uworkers {
+            spawn_worker(&shared, i, 0);
+        }
+        Ok(IntelSwitchless { shared })
     }
 
     /// Shared call statistics.
@@ -287,6 +287,17 @@ impl IntelSwitchless {
         self.shared.sleepers.load(Ordering::Acquire)
     }
 
+    /// Total worker respawns so far (always 0 unless the configuration
+    /// enables [`respawn_workers`](IntelConfig::respawn_workers)).
+    #[must_use]
+    pub fn respawned_workers(&self) -> u64 {
+        self.shared
+            .respawn_gens
+            .iter()
+            .map(|g| g.load(Ordering::Acquire))
+            .sum()
+    }
+
     /// Stop workers and join them. Idempotent; also invoked on drop.
     /// Delegates to [`shutdown_with_timeout`](Self::shutdown_with_timeout)
     /// with a generous drain budget, so even a wedged worker cannot hang
@@ -307,7 +318,7 @@ impl IntelSwitchless {
         let deadline = clock
             .now_cycles()
             .saturating_add(clock.duration_to_cycles(timeout));
-        let mut workers = self.workers.lock();
+        let mut workers = self.shared.worker_handles.lock();
         let mut report = DrainReport::default();
         loop {
             let mut still_running = Vec::new();
@@ -395,6 +406,7 @@ fn dispatch_inner(
     if !sh.running.load(Ordering::Acquire) {
         return Err(SwitchlessError::RuntimeStopped);
     }
+    sh.stats.record_issued();
     if let Some(faults) = &sh.faults {
         let skew = faults.on_dispatch();
         if skew > 0 {
@@ -460,9 +472,18 @@ fn dispatch_inner(
     Ok((ret, CallPath::Switchless))
 }
 
-fn worker_loop(sh: &Shared, index: usize) {
-    #[cfg(not(feature = "telemetry"))]
-    let _ = index;
+/// Spawn worker thread `index`, generation `generation` (0 at startup,
+/// >0 when a dying worker respawns its replacement).
+fn spawn_worker(shared: &Arc<Shared>, index: usize, generation: u64) {
+    let sh = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("intel-uworker-{index}-g{generation}"))
+        .spawn(move || worker_loop(&sh, index))
+        .expect("failed to spawn intel switchless worker");
+    shared.worker_handles.lock().push(handle);
+}
+
+fn worker_loop(sh: &Arc<Shared>, index: usize) {
     let meter = sh
         .accounting
         .as_ref()
@@ -497,6 +518,23 @@ fn worker_loop(sh: &Shared, index: usize) {
                     WorkerFault::Crash => {
                         #[cfg(feature = "telemetry")]
                         trace_fault!(WorkerCrash);
+                        // Self-healing (opt-in): a dying worker spawns its
+                        // own successor — the SDK model has no supervisor
+                        // thread, so the respawn rides on the failing
+                        // thread's way out. The successor's handle lands in
+                        // `worker_handles` for shutdown to join.
+                        if sh.config.respawn_workers && sh.running.load(Ordering::Acquire) {
+                            let gen = sh.respawn_gens[index].fetch_add(1, Ordering::AcqRel) + 1;
+                            spawn_worker(sh, index, gen);
+                            #[cfg(feature = "telemetry")]
+                            sh.telemetry_event(
+                                zc_telemetry::Origin::Worker(index as u32),
+                                zc_telemetry::Event::WorkerRespawned {
+                                    worker: index as u32,
+                                    generation: gen,
+                                },
+                            );
+                        }
                         return;
                     }
                     WorkerFault::Hang => {
@@ -739,6 +777,58 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(rt.stats().snapshot().total_calls(), 100);
+    }
+
+    #[test]
+    fn crashed_worker_is_respawned_when_enabled() {
+        use switchless_core::{FaultInjector, FaultPlan};
+        let (t, echo, _) = table();
+        // Single worker, crash injected on its first observed task: with
+        // respawn on, the dying thread spawns a replacement and later
+        // calls still complete switchlessly.
+        let cfg = IntelConfig::new(1, [echo])
+            .with_retries_before_fallback(2_000_000)
+            .with_respawn();
+        let faults = Arc::new(FaultInjector::new(FaultPlan::new().crash_worker_at(0)));
+        let rt = IntelSwitchless::start_with_faults(cfg, t, enclave(), faults).unwrap();
+        let mut out = Vec::new();
+        for i in 0..10 {
+            let (ret, _) = rt
+                .dispatch(&OcallRequest::new(echo, &[]), b"resp", &mut out)
+                .unwrap();
+            assert_eq!(ret, 4, "call {i} must complete despite the crash");
+            assert_eq!(out, b"resp");
+        }
+        assert_eq!(rt.respawned_workers(), 1, "crash must trigger one respawn");
+        let snap = rt.stats().snapshot();
+        assert_eq!(snap.total_calls(), 10);
+        let report = rt.shutdown_with_timeout(Duration::from_secs(30));
+        assert_eq!(report.drained, 2, "original + replacement must both join");
+        assert_eq!(report.abandoned, 0);
+    }
+
+    #[test]
+    fn crashed_worker_stays_dead_without_respawn() {
+        use switchless_core::{FaultInjector, FaultPlan};
+        let (t, echo, _) = table();
+        // Same crash, respawn off (the default): every later call must
+        // degrade to the rbf-timeout fallback path, none may hang.
+        let cfg = IntelConfig::new(1, [echo]).with_retries_before_fallback(16);
+        let faults = Arc::new(FaultInjector::new(FaultPlan::new().crash_worker_at(0)));
+        let rt = IntelSwitchless::start_with_faults(cfg, t, enclave(), faults).unwrap();
+        let mut out = Vec::new();
+        for _ in 0..5 {
+            let (ret, _) = rt
+                .dispatch(&OcallRequest::new(echo, &[]), b"dead", &mut out)
+                .unwrap();
+            assert_eq!(ret, 4);
+        }
+        assert_eq!(rt.respawned_workers(), 0);
+        let snap = rt.stats().snapshot();
+        // After the crash the pool has no worker: at least the later
+        // calls must be fallbacks (the crash-triggering call itself also
+        // times out and falls back).
+        assert!(snap.fallback >= 4, "expected fallbacks, got {snap:?}");
     }
 
     #[test]

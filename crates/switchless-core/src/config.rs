@@ -9,6 +9,7 @@
 use crate::cpu::CpuSpec;
 use crate::func::FuncId;
 use crate::policy::PolicyParams;
+use crate::supervise::SuperviseParams;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -34,6 +35,10 @@ pub struct IntelConfig {
     /// worker-facing task "window"; we default to `2 * num_uworkers`,
     /// minimum 4).
     pub task_pool_capacity: usize,
+    /// Respawn crashed/hung workers instead of letting the pool shrink
+    /// permanently. Off by default: the SDK library has no such
+    /// mechanism, so the default stays SDK-faithful.
+    pub respawn_workers: bool,
 }
 
 impl IntelConfig {
@@ -47,6 +52,7 @@ impl IntelConfig {
             retries_before_fallback: INTEL_DEFAULT_RETRIES,
             retries_before_sleep: INTEL_DEFAULT_RETRIES,
             task_pool_capacity: (2 * workers).max(4),
+            respawn_workers: false,
         }
     }
 
@@ -74,6 +80,13 @@ impl IntelConfig {
     #[must_use]
     pub fn with_task_pool_capacity(mut self, cap: usize) -> Self {
         self.task_pool_capacity = cap.max(1);
+        self
+    }
+
+    /// Builder-style enable of worker respawning (self-healing pool).
+    #[must_use]
+    pub fn with_respawn(mut self) -> Self {
+        self.respawn_workers = true;
         self
     }
 }
@@ -107,6 +120,13 @@ pub struct ZcConfig {
     /// Fallback weight of the scheduler argmin (see
     /// [`crate::policy::PolicyParams::fallback_weight`]).
     pub fallback_weight: u64,
+    /// Self-healing supervision ([`SuperviseParams`]). `None` (the
+    /// default) preserves the paper's original lifecycle: crashed
+    /// workers stay quarantined and hung workers are abandoned at
+    /// drain. `Some` enables the supervisor thread: respawn with
+    /// backoff, probation healing, the caller-side watchdog and the
+    /// poison-request blacklist.
+    pub supervise: Option<SuperviseParams>,
 }
 
 impl ZcConfig {
@@ -120,6 +140,7 @@ impl ZcConfig {
             initial_workers: cpu.zc_max_workers(),
             pool_bytes: 64 * 1024,
             fallback_weight: crate::policy::DEFAULT_FALLBACK_WEIGHT,
+            supervise: None,
         }
     }
 
@@ -173,6 +194,21 @@ impl ZcConfig {
     #[must_use]
     pub fn with_fallback_weight(mut self, weight: u64) -> Self {
         self.fallback_weight = weight.max(1);
+        self
+    }
+
+    /// Builder-style enable of self-healing supervision with
+    /// machine-derived defaults ([`SuperviseParams::for_cpu`]).
+    #[must_use]
+    pub fn with_supervision(mut self) -> Self {
+        self.supervise = Some(SuperviseParams::for_cpu(self.cpu));
+        self
+    }
+
+    /// Builder-style enable of supervision with explicit parameters.
+    #[must_use]
+    pub fn with_supervise_params(mut self, params: SuperviseParams) -> Self {
+        self.supervise = Some(params);
         self
     }
 }
@@ -239,6 +275,23 @@ mod tests {
         assert_eq!(c.mu_inverse, 1, "mu_inverse clamps to >=1");
         assert_eq!(c.initial_workers, 1);
         assert_eq!(c.pool_bytes, 256, "pool clamps to a usable minimum");
+    }
+
+    #[test]
+    fn supervision_is_opt_in() {
+        assert!(ZcConfig::default().supervise.is_none());
+        assert!(!IntelConfig::default().respawn_workers);
+        let zc = ZcConfig::default().with_supervision();
+        assert_eq!(
+            zc.supervise,
+            Some(SuperviseParams::for_cpu(CpuSpec::paper_machine()))
+        );
+        let custom = SuperviseParams::default().with_poison_threshold(5);
+        assert_eq!(
+            ZcConfig::default().with_supervise_params(custom).supervise,
+            Some(custom)
+        );
+        assert!(IntelConfig::default().with_respawn().respawn_workers);
     }
 
     #[test]

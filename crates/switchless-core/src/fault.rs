@@ -24,8 +24,128 @@ use crate::state::WorkerState;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+/// A deterministic firing schedule over 0-based site indices: an
+/// explicit index set, an optional every-N stride, or both. An empty
+/// (default) schedule never fires.
+///
+/// The stride follows the clock-skew convention: `every(n)` fires at
+/// indices `n-1`, `2n-1`, … (every n-th occurrence), so `every(1)`
+/// fires at every index.
+///
+/// # Example
+///
+/// ```
+/// use switchless_core::fault::FaultSchedule;
+///
+/// let s = FaultSchedule::at_each([2, 5]).and_every(10);
+/// assert!(!s.fires_at(0));
+/// assert!(s.fires_at(2) && s.fires_at(5)); // explicit indices
+/// assert!(s.fires_at(9) && s.fires_at(19)); // every 10th occurrence
+/// assert!(!s.fires_at(10));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    /// Explicit indices, kept sorted and deduplicated.
+    indices: Vec<u64>,
+    /// Optional stride (clamped to ≥ 1 by the builders).
+    every: Option<u64>,
+}
+
+impl FaultSchedule {
+    /// Empty schedule (never fires).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule firing at the single index `n`.
+    #[must_use]
+    pub fn at(n: u64) -> Self {
+        Self::default().and_at(n)
+    }
+
+    /// Schedule firing at each of the given indices.
+    #[must_use]
+    pub fn at_each(ns: impl IntoIterator<Item = u64>) -> Self {
+        ns.into_iter().fold(Self::default(), Self::and_at)
+    }
+
+    /// Schedule firing at every `n`-th occurrence (indices `n-1`,
+    /// `2n-1`, …; `n` is clamped to ≥ 1).
+    #[must_use]
+    pub fn every(n: u64) -> Self {
+        Self::default().and_every(n)
+    }
+
+    /// Add the explicit index `n` to this schedule.
+    #[must_use]
+    pub fn and_at(mut self, n: u64) -> Self {
+        if let Err(pos) = self.indices.binary_search(&n) {
+            self.indices.insert(pos, n);
+        }
+        self
+    }
+
+    /// Add (or replace) the every-`n`-th stride (clamped to ≥ 1).
+    #[must_use]
+    pub fn and_every(mut self, n: u64) -> Self {
+        self.every = Some(n.max(1));
+        self
+    }
+
+    /// Does the schedule fire at 0-based index `n`?
+    #[must_use]
+    pub fn fires_at(&self, n: u64) -> bool {
+        self.indices.binary_search(&n).is_ok()
+            || self.every.is_some_and(|e| (n + 1).is_multiple_of(e))
+    }
+
+    /// `true` when the schedule can never fire.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty() && self.every.is_none()
+    }
+
+    /// The explicit indices, sorted ascending.
+    #[must_use]
+    pub fn indices(&self) -> &[u64] {
+        &self.indices
+    }
+
+    /// The every-N stride, if any.
+    #[must_use]
+    pub fn stride(&self) -> Option<u64> {
+        self.every
+    }
+
+    /// Number of firings with site index below `limit` (explicit indices
+    /// plus stride hits, counted without double-counting overlaps) —
+    /// lets tests predict how many faults a bounded run will see.
+    #[must_use]
+    pub fn firings_below(&self, limit: u64) -> u64 {
+        let explicit = self.indices.iter().filter(|&&i| i < limit).count() as u64;
+        match self.every {
+            None => explicit,
+            Some(e) => {
+                let stride_hits = limit / e;
+                let overlap = self
+                    .indices
+                    .iter()
+                    .filter(|&&i| i < limit && (i + 1).is_multiple_of(e))
+                    .count() as u64;
+                explicit + stride_hits - overlap
+            }
+        }
+    }
+}
+
 /// Script of failures to inject, all keyed on deterministic call indices
 /// (0-based). An empty (default) plan injects nothing.
+///
+/// Worker faults (crash / stall / hang) are driven by [`FaultSchedule`]s,
+/// so a single plan can describe repeatable multi-fault scenarios (the
+/// chaos-soak harness); the single-index builders remain as sugar for
+/// one-shot faults.
 ///
 /// # Example
 ///
@@ -44,19 +164,20 @@ use std::sync::Mutex;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
-    /// Crash the worker servicing the n-th switchless call: the worker
-    /// thread terminates *before* invoking the host function, leaving its
-    /// buffer poisoned.
-    pub crash_worker_at_call: Option<u64>,
-    /// Stall the worker servicing the n-th switchless call for
+    /// Crash the worker servicing each scheduled switchless call: the
+    /// worker thread terminates *before* invoking the host function,
+    /// leaving its buffer poisoned.
+    pub crash_worker_calls: FaultSchedule,
+    /// Stall the worker servicing each scheduled switchless call for
     /// [`stall_cycles`](Self::stall_cycles) before it proceeds.
-    pub stall_worker_at_call: Option<u64>,
+    pub stall_worker_calls: FaultSchedule,
     /// Stall duration in modelled cycles.
     pub stall_cycles: u64,
-    /// Wedge the worker servicing the n-th switchless call forever (it
-    /// poisons its buffer and never observes another command) — the
-    /// shutdown drain must abandon it.
-    pub hang_worker_at_call: Option<u64>,
+    /// Wedge the worker servicing each scheduled switchless call forever
+    /// (it poisons its buffer and never observes another command) — the
+    /// shutdown drain must abandon it unless a supervisor respawns the
+    /// slot first.
+    pub hang_worker_calls: FaultSchedule,
     /// Force the first n request-pool allocations to report exhaustion.
     pub exhaust_pool_first: u64,
     /// Force the first n enclave transitions to fail.
@@ -75,25 +196,62 @@ impl FaultPlan {
         Self::default()
     }
 
-    /// Crash the worker servicing switchless call `n` (0-based).
+    /// Crash the worker servicing switchless call `n` (0-based). May be
+    /// chained to build a multi-crash schedule.
     #[must_use]
     pub fn crash_worker_at(mut self, n: u64) -> Self {
-        self.crash_worker_at_call = Some(n);
+        self.crash_worker_calls = self.crash_worker_calls.and_at(n);
         self
     }
 
-    /// Stall the worker servicing switchless call `n` for `cycles`.
+    /// Crash the workers servicing each of the given switchless calls.
+    #[must_use]
+    pub fn crash_worker_at_each(mut self, ns: impl IntoIterator<Item = u64>) -> Self {
+        self.crash_worker_calls = ns
+            .into_iter()
+            .fold(self.crash_worker_calls, FaultSchedule::and_at);
+        self
+    }
+
+    /// Crash the worker servicing every `n`-th switchless call.
+    #[must_use]
+    pub fn crash_worker_every(mut self, n: u64) -> Self {
+        self.crash_worker_calls = self.crash_worker_calls.and_every(n);
+        self
+    }
+
+    /// Stall the worker servicing switchless call `n` for `cycles`. May
+    /// be chained; the last `cycles` value wins for all stalls.
     #[must_use]
     pub fn stall_worker_at(mut self, n: u64, cycles: u64) -> Self {
-        self.stall_worker_at_call = Some(n);
+        self.stall_worker_calls = self.stall_worker_calls.and_at(n);
         self.stall_cycles = cycles;
         self
     }
 
-    /// Wedge the worker servicing switchless call `n` forever.
+    /// Stall the worker servicing every `n`-th switchless call for
+    /// `cycles`.
+    #[must_use]
+    pub fn stall_worker_every(mut self, n: u64, cycles: u64) -> Self {
+        self.stall_worker_calls = self.stall_worker_calls.and_every(n);
+        self.stall_cycles = cycles;
+        self
+    }
+
+    /// Wedge the worker servicing switchless call `n` forever. May be
+    /// chained to build a multi-hang schedule.
     #[must_use]
     pub fn hang_worker_at(mut self, n: u64) -> Self {
-        self.hang_worker_at_call = Some(n);
+        self.hang_worker_calls = self.hang_worker_calls.and_at(n);
+        self
+    }
+
+    /// Wedge the workers servicing each of the given switchless calls.
+    #[must_use]
+    pub fn hang_worker_at_each(mut self, ns: impl IntoIterator<Item = u64>) -> Self {
+        self.hang_worker_calls = ns
+            .into_iter()
+            .fold(self.hang_worker_calls, FaultSchedule::and_at);
         self
     }
 
@@ -197,15 +355,15 @@ impl FaultInjector {
     /// Advances the worker-call index and returns the fault to inject.
     pub fn on_worker_call(&self) -> WorkerFault {
         let n = self.worker_calls.fetch_add(1, Ordering::AcqRel);
-        if self.plan.crash_worker_at_call == Some(n) {
+        if self.plan.crash_worker_calls.fires_at(n) {
             self.crashes.fetch_add(1, Ordering::Relaxed);
             return WorkerFault::Crash;
         }
-        if self.plan.hang_worker_at_call == Some(n) {
+        if self.plan.hang_worker_calls.fires_at(n) {
             self.hangs.fetch_add(1, Ordering::Relaxed);
             return WorkerFault::Hang;
         }
-        if self.plan.stall_worker_at_call == Some(n) {
+        if self.plan.stall_worker_calls.fires_at(n) {
             self.stalls.fetch_add(1, Ordering::Relaxed);
             return WorkerFault::Stall(self.plan.stall_cycles);
         }
@@ -397,6 +555,105 @@ mod tests {
         let skews: Vec<u64> = (0..9).map(|_| inj.on_dispatch()).collect();
         assert_eq!(skews, vec![0, 0, 1_000, 0, 0, 1_000, 0, 0, 1_000]);
         assert_eq!(inj.counts().clock_skews, 3);
+    }
+
+    #[test]
+    fn schedule_fires_at_each_explicit_index() {
+        let inj = FaultInjector::new(FaultPlan::new().crash_worker_at_each([1, 4, 5]));
+        let decisions: Vec<_> = (0..8).map(|_| inj.on_worker_call()).collect();
+        for (i, d) in decisions.iter().enumerate() {
+            let expect = if [1, 4, 5].contains(&i) {
+                WorkerFault::Crash
+            } else {
+                WorkerFault::None
+            };
+            assert_eq!(*d, expect, "call {i}");
+        }
+        assert_eq!(inj.counts().crashes, 3);
+    }
+
+    #[test]
+    fn chained_single_index_builders_accumulate() {
+        // Backward-compatible sugar: chaining the one-shot builder
+        // builds the same schedule as the multi-index form.
+        let chained = FaultPlan::new().crash_worker_at(2).crash_worker_at(7);
+        assert_eq!(
+            chained.crash_worker_calls,
+            FaultSchedule::at_each([7, 2]),
+            "order-insensitive"
+        );
+        let inj = FaultInjector::new(chained);
+        let crashes = (0..10)
+            .map(|_| inj.on_worker_call())
+            .filter(|d| *d == WorkerFault::Crash)
+            .count();
+        assert_eq!(crashes, 2);
+    }
+
+    #[test]
+    fn every_n_schedule_fires_periodically() {
+        let inj = FaultInjector::new(FaultPlan::new().stall_worker_every(3, 1_000));
+        let decisions: Vec<_> = (0..9).map(|_| inj.on_worker_call()).collect();
+        assert_eq!(
+            decisions,
+            vec![
+                WorkerFault::None,
+                WorkerFault::None,
+                WorkerFault::Stall(1_000),
+                WorkerFault::None,
+                WorkerFault::None,
+                WorkerFault::Stall(1_000),
+                WorkerFault::None,
+                WorkerFault::None,
+                WorkerFault::Stall(1_000),
+            ]
+        );
+        assert_eq!(inj.counts().stalls, 3);
+    }
+
+    #[test]
+    fn mixed_crash_and_hang_schedules_compose() {
+        let inj = FaultInjector::new(
+            FaultPlan::new()
+                .crash_worker_at_each([0, 3])
+                .hang_worker_at_each([1, 5]),
+        );
+        let d: Vec<_> = (0..6).map(|_| inj.on_worker_call()).collect();
+        assert_eq!(d[0], WorkerFault::Crash);
+        assert_eq!(d[1], WorkerFault::Hang);
+        assert_eq!(d[2], WorkerFault::None);
+        assert_eq!(d[3], WorkerFault::Crash);
+        assert_eq!(d[5], WorkerFault::Hang);
+        let c = inj.counts();
+        assert_eq!((c.crashes, c.hangs), (2, 2));
+    }
+
+    #[test]
+    fn crash_takes_precedence_over_hang_on_overlap() {
+        let inj = FaultInjector::new(FaultPlan::new().crash_worker_at(0).hang_worker_at(0));
+        assert_eq!(inj.on_worker_call(), WorkerFault::Crash);
+        assert_eq!(inj.counts().hangs, 0);
+    }
+
+    #[test]
+    fn schedule_firings_below_counts_without_double_counting() {
+        let s = FaultSchedule::at_each([2, 9]).and_every(5);
+        // stride hits below 20: indices 4, 9, 14, 19; explicit: 2, 9.
+        // index 9 overlaps -> 4 + 2 - 1 = 5.
+        assert_eq!(s.firings_below(20), 5);
+        assert_eq!(FaultSchedule::new().firings_below(100), 0);
+        assert_eq!(FaultSchedule::every(1).firings_below(7), 7);
+    }
+
+    #[test]
+    fn empty_schedule_never_fires_and_zero_stride_clamps() {
+        let s = FaultSchedule::new();
+        assert!(s.is_empty());
+        assert!(!s.fires_at(0));
+        let clamped = FaultSchedule::every(0);
+        assert_eq!(clamped.stride(), Some(1), "stride clamps to >=1");
+        assert!(clamped.fires_at(0) && clamped.fires_at(1));
+        assert!(!FaultSchedule::at(3).is_empty());
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   ([`IntelConfig`]) and ZC-SWITCHLESS ([`ZcConfig`]).
 //! * [`stats`] — lock-free statistics counters shared between callers,
 //!   workers and the scheduler.
+//! * [`supervise`] — the *pure* self-healing policy: per-worker health
+//!   ledger, respawn backoff, probation windows and the poison-request
+//!   blacklist ([`Supervisor`]).
 //!
 //! Both the real-thread runtimes (`zc-switchless`, `intel-switchless`) and
 //! the discrete-event simulator (`zc-des`) are written against these types,
@@ -52,14 +55,20 @@ pub mod func;
 pub mod policy;
 pub mod state;
 pub mod stats;
+pub mod supervise;
 
 pub use config::{IntelConfig, ZcConfig};
 pub use cpu::CpuSpec;
 pub use error::SwitchlessError;
-pub use fault::{DrainReport, FaultCounts, FaultInjector, FaultPlan, TransitionLog, WorkerFault};
+pub use fault::{
+    DrainReport, FaultCounts, FaultInjector, FaultPlan, FaultSchedule, TransitionLog, WorkerFault,
+};
 pub use func::{FuncId, HostFn, OcallReply, OcallRequest, OcallTable, MAX_OCALL_ARGS};
 pub use state::WorkerState;
 pub use stats::{CallStats, CallStatsSnapshot};
+pub use supervise::{
+    FailureKind, PoisonKey, SuperviseDecision, SuperviseParams, Supervisor, WorkerHealth,
+};
 
 /// How an individual ocall was ultimately executed.
 ///

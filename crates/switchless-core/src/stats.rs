@@ -16,9 +16,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// telemetry, never synchronisation points.
 #[derive(Debug, Default)]
 pub struct CallStats {
+    issued: AtomicU64,
     switchless: AtomicU64,
     fallback: AtomicU64,
     regular: AtomicU64,
+    cancelled: AtomicU64,
     pool_reallocs: AtomicU64,
 }
 
@@ -29,9 +31,24 @@ impl CallStats {
         Self::default()
     }
 
+    /// Record one call entering dispatch (before any routing decision).
+    /// At quiescence every issued call resolves to exactly one terminal
+    /// outcome: switchless, fallback, regular, or watchdog-cancelled
+    /// (see [`CallStatsSnapshot::is_conserved`]).
+    pub fn record_issued(&self) {
+        self.issued.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Record one call executed switchlessly (no transition).
     pub fn record_switchless(&self) {
         self.switchless.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one switchless attempt cancelled by the caller-side
+    /// watchdog (the call still completed, via the regular path, but is
+    /// accounted here rather than as a fallback).
+    pub fn record_cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one call that attempted switchless execution but fell back
@@ -73,9 +90,11 @@ impl CallStats {
     #[must_use]
     pub fn snapshot(&self) -> CallStatsSnapshot {
         CallStatsSnapshot {
+            issued: self.issued.load(Ordering::Relaxed),
             switchless: self.switchless.load(Ordering::Relaxed),
             fallback: self.fallback.load(Ordering::Relaxed),
             regular: self.regular.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
             pool_reallocs: self.pool_reallocs.load(Ordering::Relaxed),
         }
     }
@@ -84,28 +103,44 @@ impl CallStats {
 /// Point-in-time copy of [`CallStats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CallStatsSnapshot {
+    /// Calls that entered dispatch (0 for dispatchers that predate the
+    /// supervision layer and never call `record_issued`).
+    pub issued: u64,
     /// Calls executed switchlessly.
     pub switchless: u64,
     /// Calls that fell back to a regular ocall after a switchless attempt.
     pub fallback: u64,
     /// Calls executed as plain regular ocalls.
     pub regular: u64,
+    /// Switchless attempts cancelled by the caller-side watchdog (each
+    /// still completed via the regular path).
+    pub cancelled: u64,
     /// Untrusted-pool reallocations (each cost one extra real ocall).
     pub pool_reallocs: u64,
 }
 
 impl CallStatsSnapshot {
-    /// Total ocalls issued.
+    /// Total ocalls completed (every terminal outcome).
     #[must_use]
     pub fn total_calls(&self) -> u64 {
-        self.switchless + self.fallback + self.regular
+        self.switchless + self.fallback + self.regular + self.cancelled
     }
 
-    /// Enclave transitions paid (fallback + regular calls + pool
-    /// reallocations).
+    /// Enclave transitions paid (fallback + regular + watchdog-cancelled
+    /// calls + pool reallocations).
     #[must_use]
     pub fn transitions(&self) -> u64 {
-        self.fallback + self.regular + self.pool_reallocs
+        self.fallback + self.regular + self.cancelled + self.pool_reallocs
+    }
+
+    /// Conservation invariant of the supervision layer: every issued
+    /// call resolved to exactly one terminal outcome
+    /// (`issued = switchless + fallback + regular + cancelled`). Only
+    /// meaningful at quiescence (no calls in flight) and for runtimes
+    /// that record issuance.
+    #[must_use]
+    pub fn is_conserved(&self) -> bool {
+        self.issued == self.switchless + self.fallback + self.regular + self.cancelled
     }
 
     /// Wasted cycles attributable to transitions over an interval with
@@ -121,9 +156,11 @@ impl CallStatsSnapshot {
     #[must_use]
     pub fn delta_since(&self, earlier: &CallStatsSnapshot) -> CallStatsSnapshot {
         CallStatsSnapshot {
+            issued: self.issued.saturating_sub(earlier.issued),
             switchless: self.switchless.saturating_sub(earlier.switchless),
             fallback: self.fallback.saturating_sub(earlier.fallback),
             regular: self.regular.saturating_sub(earlier.regular),
+            cancelled: self.cancelled.saturating_sub(earlier.cancelled),
             pool_reallocs: self.pool_reallocs.saturating_sub(earlier.pool_reallocs),
         }
     }
@@ -218,6 +255,36 @@ mod tests {
     }
 
     #[test]
+    fn issued_and_cancelled_conserve() {
+        let s = CallStats::new();
+        for _ in 0..5 {
+            s.record_issued();
+        }
+        s.record_switchless();
+        s.record_switchless();
+        s.record_fallback();
+        s.record_regular();
+        s.record_cancelled();
+        let snap = s.snapshot();
+        assert_eq!(snap.issued, 5);
+        assert_eq!(snap.cancelled, 1);
+        assert!(snap.is_conserved(), "5 issued = 2 sl + 1 fb + 1 reg + 1 cx");
+        assert_eq!(snap.total_calls(), 5);
+        s.record_issued(); // in flight: conservation does not hold
+        assert!(!s.snapshot().is_conserved());
+    }
+
+    #[test]
+    fn cancelled_counts_as_a_transition() {
+        let snap = CallStatsSnapshot {
+            cancelled: 2,
+            fallback: 1,
+            ..CallStatsSnapshot::default()
+        };
+        assert_eq!(snap.transitions(), 3);
+    }
+
+    #[test]
     fn fallbacks_fast_path_matches_snapshot() {
         let s = CallStats::new();
         for _ in 0..5 {
@@ -233,13 +300,13 @@ mod tests {
             switchless: 10,
             fallback: 3,
             regular: 1,
-            pool_reallocs: 0,
+            ..CallStatsSnapshot::default()
         };
         let b = CallStatsSnapshot {
             switchless: 4,
             fallback: 5,
             regular: 0,
-            pool_reallocs: 0,
+            ..CallStatsSnapshot::default()
         };
         let d = a.delta_since(&b);
         assert_eq!(d.switchless, 6);
@@ -254,6 +321,7 @@ mod tests {
             fallback: 2,
             regular: 3,
             pool_reallocs: 1,
+            ..CallStatsSnapshot::default()
         };
         // (2+3+1) * 13_500 + 2 * 1_000
         assert_eq!(snap.wasted_cycles(13_500, 2, 1_000), 6 * 13_500 + 2_000);

@@ -10,7 +10,9 @@ use crate::buffer::WorkerBuffer;
 use crate::pool::PoolAlloc;
 use crate::runtime::{Shared, YIELD_EVERY};
 use std::sync::atomic::Ordering;
-use switchless_core::{CallPath, OcallRequest, SwitchlessError, WorkerState};
+use switchless_core::{
+    CallPath, FailureKind, OcallRequest, PoisonKey, SuperviseDecision, SwitchlessError, WorkerState,
+};
 
 /// Retries granted to a pool allocation hit by injected exhaustion
 /// before the call degrades to a regular ocall.
@@ -64,6 +66,20 @@ pub(crate) fn dispatch_inner(
     if !shared.running.load(Ordering::Acquire) {
         return Err(SwitchlessError::RuntimeStopped);
     }
+    shared.stats.record_issued();
+    if let Some(sup) = &shared.supervisor {
+        // Poison-request quarantine: a shape that killed too many
+        // workers is pinned to the regular path — no switchless attempt
+        // at all, so it can never poison another worker.
+        let key = PoisonKey::new(req.func, payload_in.len());
+        if sup.lock().is_blacklisted(key) {
+            let ret = shared
+                .fallback
+                .execute_transition(req, payload_in, payload_out)?;
+            shared.stats.record_regular();
+            return Ok((ret, CallPath::Regular));
+        }
+    }
     if let Some(faults) = &shared.faults {
         let skew = faults.on_dispatch();
         if skew > 0 {
@@ -79,13 +95,14 @@ pub(crate) fn dispatch_inner(
     let start = shared.rotor.fetch_add(1, Ordering::Relaxed) % n.max(1);
     for k in 0..n {
         let idx = (start + k) % n;
-        let w = &shared.workers[idx];
+        let w = shared.worker(idx);
         if w.is_poisoned() {
-            // Quarantined: a fault killed this worker's thread.
+            // Quarantined: a fault killed this worker's thread (and the
+            // supervisor, if enabled, has not yet respawned the slot).
             continue;
         }
         if w.try_transition(WorkerState::Unused, WorkerState::Reserved) {
-            return switchless_call(shared, w, idx, req, payload_in, payload_out);
+            return switchless_call(shared, &w, idx, req, payload_in, payload_out);
         }
     }
     // No idle worker: immediate fallback.
@@ -105,8 +122,6 @@ fn switchless_call(
     payload_in: &[u8],
     payload_out: &mut Vec<u8>,
 ) -> Result<(i64, CallPath), SwitchlessError> {
-    #[cfg(not(feature = "telemetry"))]
-    let _ = widx;
     // Allocate the request payload from the worker's untrusted pool. An
     // injected exhaustion is retried with bounded pause backoff (the
     // graceful-degradation path for transient pressure on the untrusted
@@ -174,19 +189,56 @@ fn switchless_call(
 
     // Busy-wait for completion: while the worker runs our call, this
     // enclave thread spins — the "exactly one busy-waiting thread per
-    // active worker" invariant of §IV-A.
+    // active worker" invariant of §IV-A. With supervision enabled the
+    // spin carries a watchdog deadline.
+    let posted_at = shared.clock.now_cycles();
+    let watchdog_deadline = shared
+        .config
+        .supervise
+        .map(|p| posted_at.saturating_add(p.watchdog_cycles));
     let mut spins: u32 = 0;
     while w.state() != WorkerState::Waiting {
         if w.is_poisoned() {
             // The worker crashed or hung *before* invoking our request
             // (poisoning happens ahead of any slot access), so re-routing
             // to a regular ocall cannot double-execute side effects. The
-            // buffer stays quarantined in PROCESSING forever.
+            // buffer stays quarantined in PROCESSING until the
+            // supervisor (if enabled) respawns the slot.
+            report_worker_failure(shared, widx, FailureKind::Crash, req, payload_in.len());
             let ret = shared
                 .fallback
                 .execute_transition(req, payload_in, payload_out)?;
             shared.stats.record_fallback();
             return Ok((ret, CallPath::Fallback));
+        }
+        if let Some(deadline) = watchdog_deadline {
+            let now = shared.clock.now_cycles();
+            if now >= deadline {
+                // Watchdog cancellation: the in-flight call exceeded its
+                // deadline. Poison the buffer first — the worker checks
+                // the flag before invoking, so a late-waking (stalled)
+                // worker retires without touching the request and the
+                // regular-ocall re-route below cannot double-execute.
+                w.poison();
+                report_worker_failure(
+                    shared,
+                    widx,
+                    FailureKind::WatchdogTimeout,
+                    req,
+                    payload_in.len(),
+                );
+                #[cfg(feature = "telemetry")]
+                shared.telemetry_caller_event(zc_telemetry::Event::WatchdogCancel {
+                    worker: widx as u32,
+                    func: req.func.0,
+                    waited_cycles: now.saturating_sub(posted_at),
+                });
+                shared.stats.record_cancelled();
+                let ret = shared
+                    .fallback
+                    .execute_transition(req, payload_in, payload_out)?;
+                return Ok((ret, CallPath::Fallback));
+            }
         }
         shared.clock.pause();
         spins = spins.wrapping_add(1);
@@ -204,4 +256,33 @@ fn switchless_call(
     debug_assert!(ok, "WAITING -> UNUSED release must not be contended");
     shared.stats.record_switchless();
     Ok((ret, CallPath::Switchless))
+}
+
+/// Report a caller-observed worker failure to the supervisor (no-op when
+/// supervision is off). The in-flight request shape is charged as the
+/// blacklist culprit; a shape crossing the poison threshold gets pinned
+/// to the regular path and traced.
+fn report_worker_failure(
+    shared: &Shared,
+    widx: usize,
+    kind: FailureKind,
+    req: &OcallRequest,
+    payload_len: usize,
+) {
+    let Some(sup) = &shared.supervisor else {
+        return;
+    };
+    let key = PoisonKey::new(req.func, payload_len);
+    let decision = sup
+        .lock()
+        .record_failure(widx, kind, Some(key), shared.clock.now_cycles());
+    if let Some(SuperviseDecision::Blacklist { key }) = decision {
+        #[cfg(feature = "telemetry")]
+        shared.telemetry_caller_event(zc_telemetry::Event::Blacklisted {
+            func: key.func.0,
+            shape: key.shape,
+        });
+        #[cfg(not(feature = "telemetry"))]
+        let _ = key;
+    }
 }

@@ -47,6 +47,7 @@ pub mod caller;
 pub mod pool;
 pub mod runtime;
 pub mod scheduler;
+pub mod supervise;
 pub mod worker;
 
 pub use buffer::{SchedCommand, WorkerBuffer};

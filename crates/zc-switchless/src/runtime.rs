@@ -1,8 +1,8 @@
 //! Public API of the ZC-SWITCHLESS runtime.
 
 use crate::buffer::{SchedCommand, WorkerBuffer};
-use crate::{caller, scheduler, worker};
-use parking_lot::Mutex;
+use crate::{caller, scheduler, supervise, worker};
+use parking_lot::{Mutex, RwLock};
 use sgx_sim::{CpuAccounting, CycleClock, Enclave, MemcpyKind, RegularOcall};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -11,7 +11,7 @@ use std::time::Duration;
 use switchless_core::stats::WorkerResidency;
 use switchless_core::{
     CallPath, CallStats, DrainReport, FaultInjector, OcallDispatcher, OcallRequest, OcallTable,
-    SwitchlessError, TransitionLog, ZcConfig,
+    Supervisor, SwitchlessError, TransitionLog, ZcConfig,
 };
 
 /// Busy-wait loops yield to the OS scheduler after this many pauses
@@ -19,12 +19,18 @@ use switchless_core::{
 /// modelled machine; a no-op cost-wise on idle multicore hosts).
 pub const YIELD_EVERY: u32 = 64;
 
-/// State shared between callers, workers and the scheduler.
+/// State shared between callers, workers, the scheduler and the
+/// supervisor.
+///
+/// Worker slots hold swappable `Arc<WorkerBuffer>`s: the supervisor
+/// *respawns* a failed slot by installing a fresh buffer (and thread)
+/// while the poisoned old buffer stays with whatever thread still
+/// references it.
 #[derive(Debug)]
 pub(crate) struct Shared {
     pub(crate) config: ZcConfig,
     pub(crate) table: Arc<OcallTable>,
-    pub(crate) workers: Vec<WorkerBuffer>,
+    pub(crate) workers: Vec<RwLock<Arc<WorkerBuffer>>>,
     pub(crate) fallback: RegularOcall,
     pub(crate) enclave: Enclave,
     pub(crate) stats: Arc<CallStats>,
@@ -37,8 +43,40 @@ pub(crate) struct Shared {
     pub(crate) residency: Mutex<WorkerResidency>,
     pub(crate) accounting: Option<Arc<CpuAccounting>>,
     pub(crate) faults: Option<Arc<FaultInjector>>,
+    /// Self-healing policy state; `Some` iff `config.supervise` is set.
+    pub(crate) supervisor: Option<Mutex<Supervisor>>,
+    /// TransitionLog attached via `install_transition_log`, kept so
+    /// respawned buffers inherit the same recorder.
+    pub(crate) transition_log: Mutex<Option<Arc<TransitionLog>>>,
+    /// Worker thread handles, tagged with their slot index. Shared with
+    /// the supervisor thread, which pushes respawned generations.
+    pub(crate) worker_handles: Mutex<Vec<(usize, JoinHandle<()>)>>,
     #[cfg(feature = "telemetry")]
     pub(crate) telemetry: Option<Arc<zc_telemetry::Telemetry>>,
+}
+
+impl Shared {
+    /// Current buffer of worker slot `i` (respawns swap it).
+    #[inline]
+    pub(crate) fn worker(&self, i: usize) -> Arc<WorkerBuffer> {
+        Arc::clone(&self.workers[i].read())
+    }
+
+    /// Spawn a worker thread for slot `index` serving buffer `buf`
+    /// (generation 0 at startup, >0 for supervisor respawns).
+    pub(crate) fn spawn_worker(
+        self: &Arc<Self>,
+        index: usize,
+        generation: u64,
+        buf: Arc<WorkerBuffer>,
+    ) {
+        let sh = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("zc-worker-{index}-g{generation}"))
+            .spawn(move || worker::worker_loop(&sh, index, &buf))
+            .expect("failed to spawn zc worker");
+        self.worker_handles.lock().push((index, handle));
+    }
 }
 
 #[cfg(feature = "telemetry")]
@@ -73,8 +111,8 @@ impl Shared {
 #[derive(Debug)]
 pub struct ZcRuntime {
     shared: Arc<Shared>,
-    worker_handles: Mutex<Vec<JoinHandle<()>>>,
     scheduler_handle: Mutex<Option<JoinHandle<()>>>,
+    supervisor_handle: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl ZcRuntime {
@@ -218,7 +256,7 @@ impl ZcRuntime {
             fallback = fallback.with_faults(Arc::clone(f));
         }
         let workers = (0..max)
-            .map(|_| WorkerBuffer::new(config.pool_bytes))
+            .map(|_| RwLock::new(Arc::new(WorkerBuffer::new(config.pool_bytes))))
             .collect();
         let shared = Arc::new(Shared {
             clock: enclave.clock(),
@@ -235,6 +273,11 @@ impl ZcRuntime {
             residency: Mutex::new(WorkerResidency::new(max)),
             accounting,
             faults,
+            supervisor: config
+                .supervise
+                .map(|params| Mutex::new(Supervisor::new(max, params))),
+            transition_log: Mutex::new(None),
+            worker_handles: Mutex::new(Vec::with_capacity(max)),
             #[cfg(feature = "telemetry")]
             telemetry,
             config,
@@ -246,7 +289,7 @@ impl ZcRuntime {
             // whichever thread performed the CAS, attributed to the
             // buffer's worker index).
             for (i, w) in shared.workers.iter().enumerate() {
-                w.set_tracer(crate::buffer::TransitionTracer::new(
+                w.read().set_tracer(crate::buffer::TransitionTracer::new(
                     Arc::clone(hub),
                     shared.clock.clone(),
                     i as u32,
@@ -263,7 +306,7 @@ impl ZcRuntime {
                 };
                 let s = sh.stats.snapshot();
                 let mean_milli = (sh.residency.lock().mean_workers() * 1000.0) as u64;
-                vec![
+                let mut out = vec![
                     (
                         "zc_calls_total{path=\"switchless\"}".into(),
                         MetricValue::Counter(s.switchless),
@@ -295,38 +338,61 @@ impl ZcRuntime {
                     (
                         "zc_poisoned_workers".into(),
                         MetricValue::Gauge(
-                            sh.workers.iter().filter(|w| w.is_poisoned()).count() as u64
+                            sh.workers.iter().filter(|w| w.read().is_poisoned()).count() as u64,
                         ),
                     ),
                     (
                         "zc_residency_mean_workers_milli".into(),
                         MetricValue::Gauge(mean_milli),
                     ),
-                ]
+                    (
+                        "zc_calls_issued_total".into(),
+                        MetricValue::Counter(s.issued),
+                    ),
+                    (
+                        "zc_watchdog_cancels_total".into(),
+                        MetricValue::Counter(s.cancelled),
+                    ),
+                ];
+                if let Some(sup) = &sh.supervisor {
+                    let sup = sup.lock();
+                    out.push((
+                        "zc_respawns_total".into(),
+                        MetricValue::Counter(sup.respawns()),
+                    ));
+                    out.push(("zc_heals_total".into(), MetricValue::Counter(sup.heals())));
+                    out.push((
+                        "zc_blacklisted_funcs".into(),
+                        MetricValue::Gauge(sup.blacklisted().len() as u64),
+                    ));
+                }
+                out
             });
         }
         // Initial activation before any thread runs: first
         // `initial_workers` active, rest deactivated.
         scheduler::set_active_workers(&shared, shared.active_workers.load(Ordering::Relaxed));
 
-        let worker_handles = (0..max)
-            .map(|i| {
-                let sh = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("zc-worker-{i}"))
-                    .spawn(move || worker::worker_loop(&sh, i))
-                    .expect("failed to spawn zc worker")
-            })
-            .collect();
+        for i in 0..max {
+            let buf = shared.worker(i);
+            shared.spawn_worker(i, 0, buf);
+        }
         let sh = Arc::clone(&shared);
         let scheduler_handle = std::thread::Builder::new()
             .name("zc-scheduler".into())
             .spawn(move || scheduler::scheduler_loop(&sh))
             .expect("failed to spawn zc scheduler");
+        let supervisor_handle = shared.supervisor.is_some().then(|| {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("zc-supervisor".into())
+                .spawn(move || supervise::supervise_loop(&sh))
+                .expect("failed to spawn zc supervisor")
+        });
         Ok(ZcRuntime {
             shared,
-            worker_handles: Mutex::new(worker_handles),
             scheduler_handle: Mutex::new(Some(scheduler_handle)),
+            supervisor_handle: Mutex::new(supervisor_handle),
         })
     }
 
@@ -372,20 +438,30 @@ impl ZcRuntime {
     /// instrumentation; first installation wins per worker).
     pub fn install_transition_log(&self) -> Arc<TransitionLog> {
         let log = Arc::new(TransitionLog::new());
+        *self.shared.transition_log.lock() = Some(Arc::clone(&log));
         for w in &self.shared.workers {
-            w.set_recorder(Arc::clone(&log));
+            w.read().set_recorder(Arc::clone(&log));
         }
         log
     }
 
-    /// Workers quarantined by the poisoned-worker degradation path.
+    /// Workers whose *current* buffer is quarantined (poisoned). With
+    /// supervision on, this drops back to zero once failed slots have
+    /// been respawned onto fresh buffers.
     #[must_use]
     pub fn poisoned_workers(&self) -> usize {
         self.shared
             .workers
             .iter()
-            .filter(|w| w.is_poisoned())
+            .filter(|w| w.read().is_poisoned())
             .count()
+    }
+
+    /// Snapshot of the supervisor's policy state (health ledger,
+    /// blacklist, respawn/heal totals). `None` when supervision is off.
+    #[must_use]
+    pub fn supervisor_state(&self) -> Option<Supervisor> {
+        self.shared.supervisor.as_ref().map(|s| s.lock().clone())
     }
 
     /// Stop the scheduler and workers and join them. Idempotent; also
@@ -407,7 +483,13 @@ impl ZcRuntime {
         if let Some(h) = self.scheduler_handle.lock().take() {
             let _ = h.join();
         }
+        // Join the supervisor before posting Exit: no thread may respawn
+        // a worker after the drain has started.
+        if let Some(h) = self.supervisor_handle.lock().take() {
+            let _ = h.join();
+        }
         for w in &self.shared.workers {
+            let w = w.read();
             w.post_command(SchedCommand::Exit);
             w.unpark();
         }
@@ -415,16 +497,16 @@ impl ZcRuntime {
         let deadline = clock
             .now_cycles()
             .saturating_add(clock.duration_to_cycles(timeout));
-        let mut handles = self.worker_handles.lock();
+        let mut handles = self.shared.worker_handles.lock();
         let mut report = DrainReport::default();
         loop {
             let mut still_running = Vec::new();
-            for h in handles.drain(..) {
+            for (slot, h) in handles.drain(..) {
                 if h.is_finished() {
                     let _ = h.join();
                     report.drained += 1;
                 } else {
-                    still_running.push(h);
+                    still_running.push((slot, h));
                 }
             }
             if still_running.is_empty() {
@@ -432,14 +514,23 @@ impl ZcRuntime {
             }
             if clock.now_cycles() >= deadline {
                 report.abandoned = still_running.len();
-                // Detach: dropping the handles leaves the threads to die
-                // with the process instead of wedging shutdown.
+                // A wedged worker is given up *loudly*: one event per
+                // abandoned slot, then detach — dropping the handles
+                // leaves the threads to die with the process instead of
+                // wedging shutdown.
+                for (_slot, _h) in &still_running {
+                    #[cfg(feature = "telemetry")]
+                    self.shared
+                        .telemetry_caller_event(zc_telemetry::Event::WorkerAbandoned {
+                            worker: *_slot as u32,
+                        });
+                }
                 drop(still_running);
                 break;
             }
             *handles = still_running;
             for w in &self.shared.workers {
-                w.unpark();
+                w.read().unpark();
             }
             clock.sleep(Duration::from_millis(1));
         }
@@ -678,6 +769,52 @@ mod tests {
         }
         assert_eq!(rt.stats().snapshot().total_calls(), 100);
         rt.shutdown();
+    }
+
+    #[test]
+    fn supervisor_respawns_crashed_worker_and_slot_heals() {
+        use switchless_core::{FaultInjector, FaultPlan, SuperviseParams};
+        let (t, echo, _) = table();
+        let cfg0 = test_config();
+        let params = SuperviseParams::for_cpu(cfg0.cpu)
+            .with_backoff_cycles(1_000, 8_000)
+            .with_probation_cycles(1_000)
+            // Generous deadline: no spurious cancels while idle spinners
+            // race the virtual clock forward.
+            .with_watchdog_cycles(u64::MAX / 2);
+        let cfg = cfg0.with_initial_workers(2).with_supervise_params(params);
+        let faults = Arc::new(FaultInjector::new(FaultPlan::new().crash_worker_at(2)));
+        let rt = ZcRuntime::start_with_faults(
+            cfg,
+            t,
+            Enclave::new_virtual(cfg.cpu),
+            Arc::clone(&faults),
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            rt.dispatch(&OcallRequest::new(echo, &[]), b"x", &mut out)
+                .unwrap();
+            let sup = rt.supervisor_state().expect("supervision is on");
+            if sup.respawns() >= 1 && sup.heals() >= 1 && rt.poisoned_workers() == 0 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "supervisor never recovered: respawns={} heals={} poisoned={}",
+                sup.respawns(),
+                sup.heals(),
+                rt.poisoned_workers()
+            );
+        }
+        assert_eq!(faults.counts().crashes, 1);
+        let report = rt.shutdown_with_timeout(Duration::from_secs(5));
+        assert_eq!(report.abandoned, 0, "a crashed thread exits and joins");
+        assert!(
+            report.drained >= 3,
+            "max workers plus the respawned generation must join: {report:?}"
+        );
     }
 
     #[test]

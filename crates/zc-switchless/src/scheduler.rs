@@ -103,7 +103,8 @@ pub(crate) fn scheduler_loop(shared: &Shared) {
 /// healthy worker takes the slot a crashed one would have occupied.
 pub(crate) fn set_active_workers(shared: &Shared, m: usize) {
     let mut activated = 0;
-    for w in shared.workers.iter() {
+    for slot in shared.workers.iter() {
+        let w = slot.read();
         if activated < m && !w.is_poisoned() {
             activated += 1;
             w.post_command(SchedCommand::Run);

@@ -1,0 +1,93 @@
+//! The supervisor thread: drives the pure [`Supervisor`] policy against
+//! the runtime clock, respawning failed worker slots onto fresh
+//! [`WorkerBuffer`]s and healing them after a clean probation.
+//!
+//! Division of labour:
+//!
+//! * **Callers** detect failures (observed poison, watchdog timeouts)
+//!   and report them to the shared [`Supervisor`] ledger (`caller.rs`).
+//! * **This thread** polls the ledger every
+//!   [`poll_cycles`](switchless_core::SuperviseParams::poll_cycles) and
+//!   executes its time-driven decisions: a `Respawn` swaps the slot's
+//!   buffer for a fresh one and spawns a new worker thread generation;
+//!   a `Heal` is bookkeeping (the slot's failure ladder resets) and is
+//!   traced so recovery is visible in the telemetry stream.
+//!
+//! The old poisoned buffer is never touched again: a crashed thread has
+//! already exited, a hung thread stays parked on it until shutdown
+//! abandons it (counted in `DrainReport` and traced per slot).
+
+use crate::buffer::WorkerBuffer;
+use crate::runtime::Shared;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+use switchless_core::SuperviseDecision;
+
+/// Body of the `zc-supervisor` thread. Returns when the runtime stops.
+pub(crate) fn supervise_loop(shared: &Arc<Shared>) {
+    let params = shared
+        .config
+        .supervise
+        .expect("supervise thread started without supervision config");
+    let poll = Duration::from_nanos(shared.clock.spec().cycles_to_ns(params.poll_cycles).max(1));
+    while shared.running.load(Ordering::Acquire) {
+        let decisions = {
+            let Some(sup) = &shared.supervisor else {
+                return;
+            };
+            sup.lock().poll(shared.clock.now_cycles())
+        };
+        for d in decisions {
+            match d {
+                SuperviseDecision::Respawn { worker, generation } => {
+                    respawn(shared, worker, generation);
+                }
+                SuperviseDecision::Heal { worker } => {
+                    let _ = worker;
+                    #[cfg(feature = "telemetry")]
+                    shared.telemetry_event(
+                        zc_telemetry::Origin::Scheduler,
+                        zc_telemetry::Event::WorkerHealed {
+                            worker: worker as u32,
+                        },
+                    );
+                }
+                // poll() never emits Blacklist (that happens at failure
+                // recording time, caller-side).
+                SuperviseDecision::Blacklist { .. } => {}
+            }
+        }
+        // On a virtual clock this advances logical time instantly, so
+        // backoff and probation windows elapse without wall-clock sleeps.
+        shared.clock.sleep(poll);
+    }
+}
+
+/// Respawn slot `worker`: install a fresh buffer (inheriting any
+/// transition recorder/tracer instrumentation) and spawn generation
+/// `generation` of the worker thread onto it.
+fn respawn(shared: &Arc<Shared>, worker: usize, generation: u64) {
+    let fresh = Arc::new(WorkerBuffer::new(shared.config.pool_bytes));
+    if let Some(log) = shared.transition_log.lock().clone() {
+        fresh.set_recorder(log);
+    }
+    #[cfg(feature = "telemetry")]
+    if let Some(hub) = &shared.telemetry {
+        fresh.set_tracer(crate::buffer::TransitionTracer::new(
+            Arc::clone(hub),
+            shared.clock.clone(),
+            worker as u32,
+        ));
+    }
+    *shared.workers[worker].write() = Arc::clone(&fresh);
+    shared.spawn_worker(worker, generation, fresh);
+    #[cfg(feature = "telemetry")]
+    shared.telemetry_event(
+        zc_telemetry::Origin::Scheduler,
+        zc_telemetry::Event::WorkerRespawned {
+            worker: worker as u32,
+            generation,
+        },
+    );
+}

@@ -16,10 +16,12 @@ use crate::buffer::{SchedCommand, WorkerBuffer};
 use crate::runtime::{Shared, YIELD_EVERY};
 use switchless_core::{WorkerFault, WorkerState};
 
-/// Body of worker thread `index`. Returns when the worker reaches the
+/// Body of worker thread `index` serving buffer `me` (passed explicitly
+/// rather than read from the slot: a supervisor respawn swaps the slot
+/// to a fresh buffer, and each thread generation must keep serving the
+/// buffer it was spawned with). Returns when the worker reaches the
 /// `EXIT` state.
-pub(crate) fn worker_loop(shared: &Shared, index: usize) {
-    let me = &shared.workers[index];
+pub(crate) fn worker_loop(shared: &Shared, index: usize, me: &WorkerBuffer) {
     me.set_thread(std::thread::current());
     let meter = shared
         .accounting
@@ -166,6 +168,13 @@ fn execute(shared: &Shared, me: &WorkerBuffer, index: usize) -> bool {
                 }
             }
         }
+    }
+    if me.is_poisoned() {
+        // The caller-side watchdog cancelled this call (e.g. after an
+        // injected stall outlived the deadline) and re-routed it to a
+        // regular ocall. The request must NOT be invoked here too —
+        // retire the thread instead; the supervisor respawns the slot.
+        return false;
     }
     me.with_pool(|pool| {
         me.with_slot(|slot| {

@@ -151,6 +151,43 @@ pub enum Event {
         /// In-flight calls abandoned at the deadline.
         abandoned: u64,
     },
+    /// Shutdown gave up on one wedged worker at the drain deadline.
+    WorkerAbandoned {
+        /// Worker slot whose thread never joined.
+        worker: u32,
+    },
+    /// The supervisor spawned a fresh worker (thread + buffer) for a
+    /// failed slot.
+    WorkerRespawned {
+        /// Worker slot that was respawned.
+        worker: u32,
+        /// Monotonic per-slot generation (initial spawn = 0).
+        generation: u64,
+    },
+    /// A respawned worker survived its probation window cleanly.
+    WorkerHealed {
+        /// Worker slot that healed.
+        worker: u32,
+    },
+    /// The caller-side watchdog cancelled an in-flight switchless call
+    /// that exceeded its deadline; the call re-routed to a regular
+    /// ocall and the worker was marked for recycling.
+    WatchdogCancel {
+        /// Worker slot the call was cancelled on.
+        worker: u32,
+        /// Registered function id of the cancelled call.
+        func: u16,
+        /// Cycles the call had been in flight when cancelled.
+        waited_cycles: u64,
+    },
+    /// A poison request shape was pinned to the regular-ocall path
+    /// after killing too many workers.
+    Blacklisted {
+        /// Registered function id of the poison shape.
+        func: u16,
+        /// `log2` payload-size bucket of the poison shape.
+        shape: u8,
+    },
     /// Free-form marker (phase labels in examples/benches).
     Marker {
         /// Static label.
@@ -169,6 +206,11 @@ impl Event {
             Event::PoolRealloc { .. } => "pool_realloc",
             Event::Fault { .. } => "fault",
             Event::Drain { .. } => "drain",
+            Event::WorkerAbandoned { .. } => "worker_abandoned",
+            Event::WorkerRespawned { .. } => "worker_respawned",
+            Event::WorkerHealed { .. } => "worker_healed",
+            Event::WatchdogCancel { .. } => "watchdog_cancel",
+            Event::Blacklisted { .. } => "blacklisted",
             Event::Marker { .. } => "marker",
         }
     }

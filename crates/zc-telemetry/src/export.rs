@@ -114,6 +114,17 @@ fn event_fields(event: &Event) -> String {
         Event::Drain { drained, abandoned } => {
             format!(",\"drained\":{drained},\"abandoned\":{abandoned}")
         }
+        Event::WorkerAbandoned { worker } => format!(",\"worker\":{worker}"),
+        Event::WorkerRespawned { worker, generation } => {
+            format!(",\"worker\":{worker},\"generation\":{generation}")
+        }
+        Event::WorkerHealed { worker } => format!(",\"worker\":{worker}"),
+        Event::WatchdogCancel {
+            worker,
+            func,
+            waited_cycles,
+        } => format!(",\"worker\":{worker},\"func\":{func},\"waited_cycles\":{waited_cycles}"),
+        Event::Blacklisted { func, shape } => format!(",\"func\":{func},\"shape\":{shape}"),
         Event::Marker { label } => format!(",\"label\":\"{}\"", json_escape(label)),
     }
 }
@@ -336,6 +347,35 @@ pub fn to_chrome_trace(events: &[RecordedEvent], freq_hz: u64) -> String {
             Event::Drain { drained, abandoned } => {
                 lines.push(format!(
                     "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"g\",\"name\":\"drain\",\"args\":{{\"drained\":{drained},\"abandoned\":{abandoned}}}}}"
+                ));
+            }
+            Event::WorkerAbandoned { worker } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"g\",\"name\":\"worker_abandoned\",\"args\":{{\"worker\":{worker}}}}}"
+                ));
+            }
+            Event::WorkerRespawned { worker, generation } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"g\",\"name\":\"worker_respawned\",\"args\":{{\"worker\":{worker},\"generation\":{generation}}}}}"
+                ));
+            }
+            Event::WorkerHealed { worker } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"t\",\"name\":\"worker_healed\",\"args\":{{\"worker\":{worker}}}}}"
+                ));
+            }
+            Event::WatchdogCancel {
+                worker,
+                func,
+                waited_cycles,
+            } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"g\",\"name\":\"watchdog_cancel\",\"args\":{{\"worker\":{worker},\"func\":{func},\"waited_cycles\":{waited_cycles}}}}}"
+                ));
+            }
+            Event::Blacklisted { func, shape } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"g\",\"name\":\"blacklisted\",\"args\":{{\"func\":{func},\"shape\":{shape}}}}}"
                 ));
             }
             Event::Marker { label } => {

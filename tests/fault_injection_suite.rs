@@ -279,8 +279,20 @@ fn zc_hung_worker_is_abandoned_by_drain_timeout() {
     // Wedge the worker servicing the first serviced call forever. The
     // caller is re-routed (a hang poisons the buffer before parking);
     // shutdown's drain must abandon exactly that thread and join the
-    // healthy one.
-    let (rt, faults, echo) = start_zc(FaultPlan::new().hang_worker_at(0));
+    // healthy one — and say so on the telemetry trace, not just in the
+    // drain report.
+    let (t, echo) = table();
+    let cfg = zc_config();
+    let hub = zc_telemetry::Telemetry::new();
+    let faults = Arc::new(FaultInjector::new(FaultPlan::new().hang_worker_at(0)));
+    let rt = ZcRuntime::start_with_telemetry(
+        cfg,
+        t,
+        Enclave::new_virtual(cfg.cpu),
+        Arc::clone(&hub),
+        Some(Arc::clone(&faults)),
+    )
+    .expect("zc runtime must start");
     let path = drive_until(&rt, echo, "injected hang", || faults.counts().hangs == 1);
     assert_eq!(
         path,
@@ -295,6 +307,17 @@ fn zc_hung_worker_is_abandoned_by_drain_timeout() {
         "exactly the wedged thread is abandoned"
     );
     assert_eq!(report.drained, rt.config().max_workers() - 1);
+    let abandoned: Vec<_> = hub
+        .tracer()
+        .drain()
+        .into_iter()
+        .filter(|ev| matches!(ev.event, zc_telemetry::Event::WorkerAbandoned { .. }))
+        .collect();
+    assert_eq!(
+        abandoned.len(),
+        1,
+        "exactly one worker_abandoned event must be traced: {abandoned:?}"
+    );
 }
 
 #[test]
