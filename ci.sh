@@ -29,9 +29,10 @@ cargo test -q --workspace
 if [[ $quick -eq 0 ]]; then
     # The fault-injection, property and telemetry-trace suites must be
     # deterministic on the virtual clock: two more full runs guard
-    # against flakes, plus an explicit pass of the trace-determinism
-    # and chaos-soak suites (each test itself compares two same-seed
-    # runs, so each pass here is a bounded deterministic soak).
+    # against flakes, plus an explicit pass of the trace-determinism,
+    # chaos-soak and adversarial-soak suites (each test itself compares
+    # two same-seed runs, so each pass here is a bounded deterministic
+    # soak).
     for i in 2 3; do
         echo "==> cargo test (flake check, run $i/3)"
         cargo test -q --workspace
@@ -39,6 +40,8 @@ if [[ $quick -eq 0 ]]; then
         cargo test -q --test telemetry_trace
         echo "==> cargo test --test chaos_soak (seeded soak, run $i/3)"
         cargo test -q --test chaos_soak
+        echo "==> cargo test --test byzantine_soak (hostile host, run $i/3)"
+        cargo test -q -p zc-switchless --test byzantine_soak --test byzantine_props
     done
 fi
 

@@ -19,7 +19,7 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 use switchless_core::policy::{PolicyParams, SchedulerPolicy};
 use switchless_core::stats::WorkerResidency;
-use switchless_core::{CallPath, WorkerState};
+use switchless_core::{CallPath, GuardKind, WorkerState};
 
 /// Scheduler command posted to a worker (DES model: no exit — the driver
 /// simply stops the simulation).
@@ -89,6 +89,9 @@ pub struct ZcWorld {
     pub respawns: u64,
     /// In-flight calls cancelled by caller watchdogs.
     pub cancelled: u64,
+    /// Byzantine corruptions detected by the trusted-side guards (each
+    /// quarantines its worker slot until revival).
+    pub guard_violations: u64,
 }
 
 impl ZcWorld {
@@ -129,6 +132,7 @@ impl ZcWorld {
             hangs: 0,
             respawns: 0,
             cancelled: 0,
+            guard_violations: 0,
         }))
     }
 
@@ -547,6 +551,14 @@ pub struct ZcSimFaults {
     pub crashes: Vec<(u64, usize)>,
     /// `(virtual cycle, worker index)` hang injections.
     pub hangs: Vec<(u64, usize)>,
+    /// `(virtual cycle, worker index, violation kind)` Byzantine
+    /// corruption injections: a hostile host scribbles on the shared
+    /// words / reply metadata of that worker's buffer. The trusted-side
+    /// guard detects the lie and quarantines the slot — the DES models
+    /// the detect-and-quarantine as one event; the owning caller's
+    /// watchdog re-routes any in-flight call to the regular path and the
+    /// supervisor revives the slot after the respawn delay.
+    pub byzantine: Vec<(u64, usize, GuardKind)>,
     /// Dead time before the supervisor revives a failed worker slot
     /// (the respawn/probation latency of the real runtime).
     pub respawn_delay_cycles: u64,
@@ -564,6 +576,7 @@ impl ZcSimFaults {
         ZcSimFaults {
             crashes: Vec::new(),
             hangs: Vec::new(),
+            byzantine: Vec::new(),
             respawn_delay_cycles: 2_000_000,
             watchdog_pauses: 10_000,
         }
@@ -581,6 +594,50 @@ impl ZcSimFaults {
     pub fn hang_at(mut self, cycle: u64, worker: usize) -> Self {
         self.hangs.push((cycle, worker));
         self
+    }
+
+    /// Builder-style Byzantine corruption of `worker` at virtual `cycle`
+    /// with an explicit violation kind.
+    #[must_use]
+    pub fn byzantine_at(mut self, cycle: u64, worker: usize, kind: GuardKind) -> Self {
+        self.byzantine.push((cycle, worker, kind));
+        self
+    }
+
+    /// Host flips `worker`'s status word to garbage at `cycle`.
+    #[must_use]
+    pub fn flip_status_at(self, cycle: u64, worker: usize) -> Self {
+        self.byzantine_at(cycle, worker, GuardKind::BadStatusWord)
+    }
+
+    /// Host scribbles on `worker`'s scheduler-command word at `cycle`.
+    #[must_use]
+    pub fn garbage_command_at(self, cycle: u64, worker: usize) -> Self {
+        self.byzantine_at(cycle, worker, GuardKind::BadCommandWord)
+    }
+
+    /// Host over-declares `worker`'s reply length at `cycle`.
+    #[must_use]
+    pub fn oversize_reply_at(self, cycle: u64, worker: usize) -> Self {
+        self.byzantine_at(cycle, worker, GuardKind::OversizedReply)
+    }
+
+    /// Host under-declares `worker`'s reply length at `cycle`.
+    #[must_use]
+    pub fn undersize_reply_at(self, cycle: u64, worker: usize) -> Self {
+        self.byzantine_at(cycle, worker, GuardKind::UndersizedReply)
+    }
+
+    /// Host replays a stale reply sequence tag on `worker` at `cycle`.
+    #[must_use]
+    pub fn stale_seq_at(self, cycle: u64, worker: usize) -> Self {
+        self.byzantine_at(cycle, worker, GuardKind::StaleSequence)
+    }
+
+    /// Host tears `worker`'s posted request slot at `cycle`.
+    #[must_use]
+    pub fn torn_request_at(self, cycle: u64, worker: usize) -> Self {
+        self.byzantine_at(cycle, worker, GuardKind::TornRequest)
     }
 
     /// Builder-style revive delay.
@@ -609,16 +666,20 @@ impl Default for ZcSimFaults {
 enum FaultEv {
     Crash(usize),
     Hang(usize),
+    Byzantine(usize, GuardKind),
     Revive(usize),
 }
 
 impl FaultEv {
-    /// Total order for same-instant events (determinism).
+    /// Total order for same-instant events (determinism; same-instant
+    /// Byzantine kinds on one worker keep schedule insertion order via
+    /// the stable sort).
     fn rank(self) -> (u8, usize) {
         match self {
             FaultEv::Crash(w) => (0, w),
             FaultEv::Hang(w) => (1, w),
-            FaultEv::Revive(w) => (2, w),
+            FaultEv::Byzantine(w, _) => (2, w),
+            FaultEv::Revive(w) => (3, w),
         }
     }
 }
@@ -627,10 +688,15 @@ impl FaultEv {
 /// attached) retries after this many cycles.
 const REVIVE_RETRY_CYCLES: u64 = 100_000;
 
-/// The supervisor actor of the ZC fault model: applies the crash/hang
-/// schedule at its virtual times and revives each failed slot
+/// The supervisor actor of the ZC fault model: applies the
+/// crash/hang/Byzantine schedule at its virtual times and revives each
+/// failed slot
 /// [`respawn_delay_cycles`](ZcSimFaults::respawn_delay_cycles) later —
-/// the DES mirror of the real runtime's `zc-supervisor` thread.
+/// the DES mirror of the real runtime's `zc-supervisor` thread. A
+/// Byzantine corruption quarantines the slot exactly like a crash (the
+/// trusted-side guard detected the lie and poisoned the buffer), but is
+/// counted in [`ZcWorld::guard_violations`] and traced as a
+/// `GuardViolation` event instead of a `Fault`.
 ///
 /// Failure → recovery sequence for one slot: the supervisor marks the
 /// worker dead (its actor parks); the owning caller's watchdog cancels
@@ -665,6 +731,13 @@ impl ZcSupervisorActor {
         }
         for &(t, w) in &faults.hangs {
             events.push((t, FaultEv::Hang(w)));
+            events.push((
+                t.saturating_add(faults.respawn_delay_cycles),
+                FaultEv::Revive(w),
+            ));
+        }
+        for &(t, w, kind) in &faults.byzantine {
+            events.push((t, FaultEv::Byzantine(w, kind)));
             events.push((
                 t.saturating_add(faults.respawn_delay_cycles),
                 FaultEv::Revive(w),
@@ -707,15 +780,15 @@ impl ZcSupervisorActor {
         let _ = now;
         let mut wld = self.world.borrow_mut();
         match ev {
-            FaultEv::Crash(w) | FaultEv::Hang(w) => {
+            FaultEv::Crash(w) | FaultEv::Hang(w) | FaultEv::Byzantine(w, _) => {
                 if wld.workers[w].dead {
                     return; // already down; the fault is a no-op
                 }
                 wld.workers[w].dead = true;
-                if matches!(ev, FaultEv::Crash(_)) {
-                    wld.crashes += 1;
-                } else {
-                    wld.hangs += 1;
+                match ev {
+                    FaultEv::Crash(_) => wld.crashes += 1,
+                    FaultEv::Hang(_) => wld.hangs += 1,
+                    _ => wld.guard_violations += 1,
                 }
                 if wld.workers[w].state == WorkerState::Paused {
                     // Already parked by the scheduler: nothing drains.
@@ -731,16 +804,20 @@ impl ZcSupervisorActor {
                 }
                 #[cfg(feature = "telemetry")]
                 if let Some(hub) = &self.telemetry {
-                    let kind = if matches!(ev, FaultEv::Crash(_)) {
-                        zc_telemetry::FaultKind::WorkerCrash
-                    } else {
-                        zc_telemetry::FaultKind::WorkerHang
+                    let event = match ev {
+                        FaultEv::Crash(_) => zc_telemetry::Event::Fault {
+                            kind: zc_telemetry::FaultKind::WorkerCrash,
+                        },
+                        FaultEv::Hang(_) => zc_telemetry::Event::Fault {
+                            kind: zc_telemetry::FaultKind::WorkerHang,
+                        },
+                        FaultEv::Byzantine(_, kind) => zc_telemetry::Event::GuardViolation {
+                            worker: w as u32,
+                            kind,
+                        },
+                        FaultEv::Revive(_) => unreachable!("outer arm excludes Revive"),
                     };
-                    hub.record(
-                        now,
-                        zc_telemetry::Origin::Worker(w as u32),
-                        zc_telemetry::Event::Fault { kind },
-                    );
+                    hub.record(now, zc_telemetry::Origin::Worker(w as u32), event);
                 }
             }
             FaultEv::Revive(w) => {

@@ -84,9 +84,10 @@ pub struct SimConfig {
     /// chart with this many columns into [`SimReport::gantt`].
     pub gantt_buckets: usize,
     /// Deterministic worker-fault schedule for the ZC mechanism: spawns
-    /// a supervisor actor applying the crashes/hangs at their virtual
-    /// times and arms every caller's watchdog. Ignored by non-ZC
-    /// mechanisms. `None` (the default) models a fault-free machine.
+    /// a supervisor actor applying the crashes/hangs/Byzantine
+    /// corruptions at their virtual times and arms every caller's
+    /// watchdog. Ignored by non-ZC mechanisms. `None` (the default)
+    /// models a fault-free, honest-host machine.
     pub zc_faults: Option<ZcSimFaults>,
     /// Telemetry hub receiving scheduler events (stamped with kernel
     /// virtual time) and end-of-run counters. `None` falls back to the
@@ -170,6 +171,10 @@ pub struct FaultRecovery {
     /// In-flight calls cancelled by caller watchdogs (each completed on
     /// the regular path instead — never lost).
     pub cancelled: u64,
+    /// Byzantine corruptions detected by the trusted-side guards (each
+    /// quarantined its worker slot until revival).
+    #[serde(default)]
+    pub guard_violations: u64,
     /// Workers still dead when the run ended (0 = full recovery).
     pub dead_workers: u64,
 }
@@ -430,6 +435,7 @@ pub fn run(config: &SimConfig) -> SimReport {
                 hangs: w.hangs,
                 respawns: w.respawns,
                 cancelled: w.cancelled,
+                guard_violations: w.guard_violations,
                 dead_workers: w.workers.iter().filter(|s| s.dead).count() as u64,
             }
         });
@@ -465,6 +471,8 @@ pub fn run(config: &SimConfig) -> SimReport {
             .add(fault_recovery.hangs);
         m.counter("des_worker_respawns_total")
             .add(fault_recovery.respawns);
+        m.counter("des_guard_violations_total")
+            .add(fault_recovery.guard_violations);
         m.gauge("des_duration_cycles").set(duration_cycles);
         m.gauge("des_mean_active_workers_milli")
             .set((mean_active * 1000.0) as u64);
@@ -683,6 +691,64 @@ mod tests {
         assert_eq!(r.fault_recovery.dead_workers, 0, "{:?}", r.fault_recovery);
         // Cancelled calls completed on the regular path, never vanished.
         assert!(r.counters.cancelled <= r.counters.fallback);
+    }
+
+    fn byzantine_faults() -> ZcSimFaults {
+        // All six corruption kinds inside the first ~1.6 virtual ms,
+        // spread over the 4 workers (slots 0 and 1 are hit twice, after
+        // their revivals).
+        ZcSimFaults::new()
+            .flip_status_at(1_000_000, 0)
+            .garbage_command_at(2_000_000, 1)
+            .oversize_reply_at(3_000_000, 2)
+            .undersize_reply_at(4_000_000, 3)
+            .stale_seq_at(5_000_000, 0)
+            .torn_request_at(6_000_000, 1)
+            .with_respawn_delay(800_000)
+            .with_watchdog_pauses(5_000)
+    }
+
+    #[test]
+    fn zc_byzantine_host_recovers_without_losing_calls() {
+        let cfg = SimConfig::new(
+            Mechanism::Zc(ZcSimParams::default()),
+            vec![closed(30_000, 500); 2],
+            1,
+        )
+        .with_zc_faults(byzantine_faults());
+        let r = run(&cfg);
+        // Conservation: every issued call completes exactly once, even
+        // under a lying host.
+        assert_eq!(r.counters.total_calls(), 60_000);
+        assert_eq!(r.counters.ops_per_caller, vec![30_000; 2]);
+        // Every injected corruption was detected and quarantined.
+        assert_eq!(r.fault_recovery.guard_violations, 6);
+        assert_eq!(r.fault_recovery.crashes, 0);
+        // Every quarantined slot recovered; none stayed dead.
+        assert!(
+            r.fault_recovery.respawns >= 6,
+            "each quarantined slot must be revived, got {:?}",
+            r.fault_recovery
+        );
+        assert_eq!(r.fault_recovery.dead_workers, 0, "{:?}", r.fault_recovery);
+        // Re-routed calls completed on the regular path, never vanished.
+        assert!(r.counters.cancelled <= r.counters.fallback);
+    }
+
+    #[test]
+    fn zc_byzantine_runs_are_deterministic() {
+        let cfg = SimConfig::new(
+            Mechanism::Zc(ZcSimParams::default()),
+            vec![closed(5_000, 500); 3],
+            1,
+        )
+        .with_zc_faults(byzantine_faults());
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.duration_cycles, b.duration_cycles);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.fault_recovery, b.fault_recovery);
+        assert_eq!(a.total_busy_cycles, b.total_busy_cycles);
     }
 
     #[test]

@@ -15,10 +15,18 @@
 //! a submitted task is executed **exactly once**: either a worker wins
 //! the `SUBMITTED -> ACCEPTED` CAS, or the caller wins
 //! `SUBMITTED -> CLAIMED` (cancel) and falls back.
+//!
+//! The state word lives in untrusted shared memory, so the trusted side
+//! treats every read and every CAS outcome as potentially hostile: an
+//! unknown byte decodes to a [`GuardViolation`] instead of panicking,
+//! and a CAS that the protocol guarantees (e.g. `CLAIMED -> SUBMITTED`
+//! by the claiming caller) failing means the host flipped the word — the
+//! slot is *poisoned* (permanently skipped) and the call degrades to the
+//! regular-ocall fallback.
 
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU8, Ordering};
-use switchless_core::{OcallReply, OcallRequest};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use switchless_core::{GuardKind, GuardViolation, OcallReply, OcallRequest};
 
 /// State word of one task slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,14 +45,16 @@ pub enum SlotState {
 }
 
 impl SlotState {
-    fn from_u8(v: u8) -> SlotState {
+    /// Fallible decode of a host-written state byte. Unknown bytes are
+    /// hostile input to reject, not a protocol bug to assert on.
+    pub fn from_u8(v: u8) -> Option<SlotState> {
         match v {
-            0 => SlotState::Free,
-            1 => SlotState::Claimed,
-            2 => SlotState::Submitted,
-            3 => SlotState::Accepted,
-            4 => SlotState::Done,
-            _ => unreachable!("invalid slot state {v}"),
+            0 => Some(SlotState::Free),
+            1 => Some(SlotState::Claimed),
+            2 => Some(SlotState::Submitted),
+            3 => Some(SlotState::Accepted),
+            4 => Some(SlotState::Done),
+            _ => None,
         }
     }
 }
@@ -70,6 +80,9 @@ pub struct SlotData {
 struct Slot {
     state: AtomicU8,
     data: Mutex<SlotData>,
+    /// Latched when a guard caught the host interfering with this slot's
+    /// state word; poisoned slots are skipped by claim/accept forever.
+    poisoned: AtomicBool,
 }
 
 /// Fixed-capacity pool of task slots.
@@ -90,6 +103,12 @@ impl SlotIdx {
     pub fn from_raw(i: usize) -> Self {
         SlotIdx(i)
     }
+
+    /// The slot's index in the pool (diagnostics / telemetry).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
 }
 
 impl TaskPool {
@@ -100,6 +119,7 @@ impl TaskPool {
             .map(|_| Slot {
                 state: AtomicU8::new(SlotState::Free as u8),
                 data: Mutex::new(SlotData::default()),
+                poisoned: AtomicBool::new(false),
             })
             .collect();
         TaskPool { slots }
@@ -111,10 +131,38 @@ impl TaskPool {
         self.slots.len()
     }
 
-    /// State of slot `idx` (diagnostics).
+    /// State of slot `idx`, validated by the trusted-side guard.
+    ///
+    /// # Errors
+    ///
+    /// [`GuardViolation`] (`BadStatusWord`) if the host scribbled an
+    /// unknown byte onto the state word.
+    pub fn state(&self, idx: SlotIdx) -> Result<SlotState, GuardViolation> {
+        let raw = self.slots[idx.0].state.load(Ordering::Acquire);
+        SlotState::from_u8(raw).ok_or_else(|| {
+            GuardViolation::new(
+                GuardKind::BadStatusWord,
+                u64::from(raw),
+                SlotState::Done as u64,
+            )
+        })
+    }
+
+    /// Quarantine slot `idx`: never claimed or accepted again.
+    pub fn poison(&self, idx: SlotIdx) {
+        self.slots[idx.0].poisoned.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`poison`](Self::poison) latched for slot `idx`.
     #[must_use]
-    pub fn state(&self, idx: SlotIdx) -> SlotState {
-        SlotState::from_u8(self.slots[idx.0].state.load(Ordering::Acquire))
+    pub fn is_poisoned(&self, idx: SlotIdx) -> bool {
+        self.slots[idx.0].poisoned.load(Ordering::Acquire)
+    }
+
+    /// Byzantine test hook: the "host" writes an arbitrary byte straight
+    /// onto a slot's state word, bypassing the CAS protocol.
+    pub fn host_write_state(&self, idx: SlotIdx, raw: u8) {
+        self.slots[idx.0].state.store(raw, Ordering::Release);
     }
 
     fn cas(&self, idx: usize, from: SlotState, to: SlotState) -> bool {
@@ -124,20 +172,53 @@ impl TaskPool {
             .is_ok()
     }
 
-    /// Caller: claim a free slot, if any.
+    /// A CAS the protocol *guarantees* (only this thread may own the
+    /// slot in `from`) failed: the host flipped the state word under us.
+    /// Poison the slot and report the violation — release-mode checked,
+    /// unlike the `assert!` this replaces.
+    fn guarded_cas(
+        &self,
+        idx: usize,
+        from: SlotState,
+        to: SlotState,
+    ) -> Result<(), GuardViolation> {
+        if self.cas(idx, from, to) {
+            Ok(())
+        } else {
+            self.poison(SlotIdx(idx));
+            let raw = self.slots[idx].state.load(Ordering::Acquire);
+            Err(GuardViolation::new(
+                GuardKind::IllegalTransition,
+                u64::from(raw),
+                from as u64,
+            ))
+        }
+    }
+
+    /// Caller: claim a free slot, if any. Poisoned slots are skipped.
     #[must_use]
     pub fn claim(&self) -> Option<SlotIdx> {
         (0..self.slots.len())
-            .find(|&i| self.cas(i, SlotState::Free, SlotState::Claimed))
+            .find(|&i| {
+                !self.slots[i].poisoned.load(Ordering::Acquire)
+                    && self.cas(i, SlotState::Free, SlotState::Claimed)
+            })
             .map(SlotIdx)
     }
 
     /// Caller: write the request into a claimed slot and publish it.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the slot is not in the `Claimed` state (protocol bug).
-    pub fn submit(&self, idx: SlotIdx, request: OcallRequest, payload_in: &[u8]) {
+    /// [`GuardViolation`] if the host flipped the state word away from
+    /// `Claimed` while the caller owned the slot (the slot is poisoned;
+    /// the caller must fall back).
+    pub fn submit(
+        &self,
+        idx: SlotIdx,
+        request: OcallRequest,
+        payload_in: &[u8],
+    ) -> Result<(), GuardViolation> {
         {
             let mut data = self.slots[idx.0].data.lock();
             data.request = Some(request);
@@ -146,10 +227,7 @@ impl TaskPool {
             data.payload_out.clear();
             data.reply = OcallReply::default();
         }
-        assert!(
-            self.cas(idx.0, SlotState::Claimed, SlotState::Submitted),
-            "submit on a slot not in CLAIMED state"
-        );
+        self.guarded_cas(idx.0, SlotState::Claimed, SlotState::Submitted)
     }
 
     /// Caller: attempt to cancel a submitted task (rbf exhausted).
@@ -165,28 +243,35 @@ impl TaskPool {
         }
     }
 
-    /// Worker: scan for a submitted task and accept it.
+    /// Worker: scan for a submitted task and accept it. Poisoned slots
+    /// are skipped.
     #[must_use]
     pub fn accept(&self) -> Option<SlotIdx> {
         (0..self.slots.len())
-            .find(|&i| self.cas(i, SlotState::Submitted, SlotState::Accepted))
+            .find(|&i| {
+                !self.slots[i].poisoned.load(Ordering::Acquire)
+                    && self.cas(i, SlotState::Submitted, SlotState::Accepted)
+            })
             .map(SlotIdx)
     }
 
     /// Worker: run `f` on the accepted slot's data, then publish `Done`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the slot is not in the `Accepted` state (protocol bug).
-    pub fn complete(&self, idx: SlotIdx, f: impl FnOnce(&mut SlotData)) {
+    /// [`GuardViolation`] if the host flipped the state word away from
+    /// `Accepted` while the worker owned the slot (the slot is poisoned;
+    /// the caller's guard sees the poison and falls back).
+    pub fn complete(
+        &self,
+        idx: SlotIdx,
+        f: impl FnOnce(&mut SlotData),
+    ) -> Result<(), GuardViolation> {
         {
             let mut data = self.slots[idx.0].data.lock();
             f(&mut data);
         }
-        assert!(
-            self.cas(idx.0, SlotState::Accepted, SlotState::Done),
-            "complete on a slot not in ACCEPTED state"
-        );
+        self.guarded_cas(idx.0, SlotState::Accepted, SlotState::Done)
     }
 
     /// Caller: is the task done?
@@ -204,31 +289,33 @@ impl TaskPool {
 
     /// Caller: read results out of a done slot with `f`, then free it.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the slot is not in the `Done` state (protocol bug).
-    pub fn collect<R>(&self, idx: SlotIdx, f: impl FnOnce(&mut SlotData) -> R) -> R {
+    /// [`GuardViolation`] if the host flipped the state word away from
+    /// `Done` between the caller's readiness check and the collect (the
+    /// slot is poisoned; the results read by `f` must be discarded and
+    /// the call re-routed through the fallback).
+    pub fn collect<R>(
+        &self,
+        idx: SlotIdx,
+        f: impl FnOnce(&mut SlotData) -> R,
+    ) -> Result<R, GuardViolation> {
         let r = {
             let mut data = self.slots[idx.0].data.lock();
             f(&mut data)
         };
-        assert!(
-            self.cas(idx.0, SlotState::Done, SlotState::Free),
-            "collect on a slot not in DONE state"
-        );
-        r
+        self.guarded_cas(idx.0, SlotState::Done, SlotState::Free)?;
+        Ok(r)
     }
 
     /// Release a claimed slot without submitting (caller-side abort).
+    /// A host-flipped state word poisons the slot instead of panicking.
     fn release(&self, idx: SlotIdx) {
         let mut data = self.slots[idx.0].data.lock();
         data.request = None;
         data.payload_in.clear();
         drop(data);
-        assert!(
-            self.cas(idx.0, SlotState::Claimed, SlotState::Free),
-            "release on a slot not in CLAIMED state"
-        );
+        let _ = self.guarded_cas(idx.0, SlotState::Claimed, SlotState::Free);
     }
 
     /// Any submitted-but-unaccepted tasks pending? (Worker fast check.)
@@ -263,7 +350,7 @@ mod tests {
     fn full_task_lifecycle() {
         let pool = TaskPool::new(1);
         let idx = pool.claim().unwrap();
-        pool.submit(idx, req(), b"in");
+        pool.submit(idx, req(), b"in").unwrap();
         assert!(pool.has_pending());
         assert!(!pool.is_done(idx));
 
@@ -275,13 +362,16 @@ mod tests {
             assert_eq!(d.payload_in, b"in");
             d.payload_out.extend_from_slice(b"out");
             d.reply.ret = 7;
-        });
+        })
+        .unwrap();
         assert!(pool.is_done(idx));
 
-        let ret = pool.collect(idx, |d| {
-            assert_eq!(d.payload_out, b"out");
-            d.reply.ret
-        });
+        let ret = pool
+            .collect(idx, |d| {
+                assert_eq!(d.payload_out, b"out");
+                d.reply.ret
+            })
+            .unwrap();
         assert_eq!(ret, 7);
         // Slot reusable.
         assert!(pool.claim().is_some());
@@ -291,21 +381,56 @@ mod tests {
     fn cancel_wins_when_unaccepted() {
         let pool = TaskPool::new(1);
         let idx = pool.claim().unwrap();
-        pool.submit(idx, req(), &[]);
+        pool.submit(idx, req(), &[]).unwrap();
         assert!(pool.cancel(idx), "no worker accepted: cancel succeeds");
-        assert_eq!(pool.state(idx), SlotState::Free);
+        assert_eq!(pool.state(idx), Ok(SlotState::Free));
     }
 
     #[test]
     fn cancel_loses_after_accept() {
         let pool = TaskPool::new(1);
         let idx = pool.claim().unwrap();
-        pool.submit(idx, req(), &[]);
+        pool.submit(idx, req(), &[]).unwrap();
         let w = pool.accept().unwrap();
         assert!(!pool.cancel(idx), "worker already accepted");
-        pool.complete(w, |_| {});
+        pool.complete(w, |_| {}).unwrap();
         assert!(pool.is_done(idx));
-        pool.collect(idx, |_| {});
+        pool.collect(idx, |_| {}).unwrap();
+    }
+
+    #[test]
+    fn host_flip_poisons_instead_of_panicking() {
+        use switchless_core::GuardKind;
+        let pool = TaskPool::new(2);
+        let idx = pool.claim().unwrap();
+        // The host flips the state word while the caller owns the slot:
+        // the guaranteed CLAIMED -> SUBMITTED CAS fails as a violation.
+        pool.host_write_state(idx, SlotState::Done as u8);
+        let v = pool.submit(idx, req(), b"x").unwrap_err();
+        assert_eq!(v.kind, GuardKind::IllegalTransition);
+        assert!(pool.is_poisoned(idx));
+        // Poisoned slots are never claimed or accepted again.
+        pool.host_write_state(idx, SlotState::Free as u8);
+        assert_eq!(pool.claim(), Some(SlotIdx(1)));
+        pool.host_write_state(idx, SlotState::Submitted as u8);
+        assert!(pool.accept().is_none());
+    }
+
+    #[test]
+    fn garbage_state_bytes_decode_to_violations() {
+        use switchless_core::GuardKind;
+        let pool = TaskPool::new(1);
+        let idx = SlotIdx(0);
+        for raw in 0..=u8::MAX {
+            pool.host_write_state(idx, raw);
+            match pool.state(idx) {
+                Ok(s) => assert_eq!(s as u8, raw),
+                Err(v) => {
+                    assert_eq!(v.kind, GuardKind::BadStatusWord);
+                    assert!(raw > SlotState::Done as u8);
+                }
+            }
+        }
     }
 
     #[test]
@@ -354,7 +479,7 @@ mod tests {
         let pool = Arc::new(TaskPool::new(1));
         for _ in 0..200 {
             let idx = pool.claim().unwrap();
-            pool.submit(idx, req(), &[]);
+            pool.submit(idx, req(), &[]).unwrap();
             let p2 = Arc::clone(&pool);
             let acceptor = std::thread::spawn(move || p2.accept());
             let cancelled = pool.cancel(idx);
@@ -365,8 +490,8 @@ mod tests {
                 "exactly one of cancel/accept must win"
             );
             if let Some(w) = accepted {
-                pool.complete(w, |d| d.reply.ret = 1);
-                pool.collect(idx, |_| {});
+                pool.complete(w, |d| d.reply.ret = 1).unwrap();
+                pool.collect(idx, |_| {}).unwrap();
             }
         }
     }

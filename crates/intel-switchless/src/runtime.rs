@@ -7,7 +7,7 @@
 //! cores and never yields). On an idle multicore host the yield is a
 //! no-op; the modelled pause costs are charged either way.
 
-use crate::pool::TaskPool;
+use crate::pool::{SlotIdx, SlotState, TaskPool};
 use parking_lot::{Condvar, Mutex};
 use sgx_sim::{CpuAccounting, CycleClock, Enclave, RegularOcall};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -15,8 +15,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use switchless_core::{
-    CallPath, CallStats, DrainReport, FaultInjector, IntelConfig, OcallDispatcher, OcallRequest,
-    OcallTable, SwitchlessError, WorkerFault,
+    CallPath, CallStats, DrainReport, FaultInjector, GuardViolation, IntelConfig, OcallDispatcher,
+    OcallRequest, OcallTable, SwitchlessError, WorkerFault,
 };
 
 /// Busy-wait loops yield to the OS scheduler after this many pauses.
@@ -258,6 +258,10 @@ impl IntelSwitchless {
                         "intel_sleeping_workers".into(),
                         MetricValue::Gauge(sh.sleepers.load(Ordering::Acquire) as u64),
                     ),
+                    (
+                        "intel_guard_violations_total".into(),
+                        MetricValue::Counter(s.guard_violations),
+                    ),
                 ]
             });
         }
@@ -430,7 +434,9 @@ fn dispatch_inner(
         sh.stats.record_fallback();
         return Ok((ret, CallPath::Fallback));
     };
-    sh.pool.submit(idx, *req, payload_in);
+    if let Err(v) = sh.pool.submit(idx, *req, payload_in) {
+        return guard_violation_fallback(sh, idx, v, req, payload_in, payload_out);
+    }
     sh.wake_one();
 
     // Busy-wait up to rbf pauses for a worker to accept.
@@ -454,22 +460,82 @@ fn dispatch_inner(
         }
     }
     // Accepted: busy-wait for completion (the caller thread pins its
-    // core, exactly as in the SDK).
+    // core, exactly as in the SDK). Each iteration validates the
+    // host-written state word: garbage is a guard violation (fallback),
+    // and a slot the worker-side guard already poisoned will never reach
+    // DONE — both re-route instead of spinning forever.
     let mut spins: u32 = 0;
-    while !sh.pool.is_done(idx) {
-        sh.clock.pause();
-        spins = spins.wrapping_add(1);
-        if spins.is_multiple_of(YIELD_EVERY) {
-            std::thread::yield_now();
+    loop {
+        match sh.pool.state(idx) {
+            Err(v) => return guard_violation_fallback(sh, idx, v, req, payload_in, payload_out),
+            Ok(SlotState::Done) => break,
+            Ok(_) => {
+                if sh.pool.is_poisoned(idx) {
+                    // The worker-side guard caught the host interfering
+                    // with this slot (already counted there): discard
+                    // the switchless attempt and fall back.
+                    let ret = sh
+                        .fallback
+                        .execute_transition(req, payload_in, payload_out)?;
+                    sh.stats.record_fallback();
+                    return Ok((ret, CallPath::Fallback));
+                }
+                sh.clock.pause();
+                spins = spins.wrapping_add(1);
+                if spins.is_multiple_of(YIELD_EVERY) {
+                    std::thread::yield_now();
+                }
+            }
         }
     }
-    let ret = sh.pool.collect(idx, |d| {
+    let collected = sh.pool.collect(idx, |d| {
         payload_out.clear();
         payload_out.extend_from_slice(&d.payload_out);
         d.reply.ret
     });
-    sh.stats.record_switchless();
-    Ok((ret, CallPath::Switchless))
+    match collected {
+        Ok(ret) => {
+            sh.stats.record_switchless();
+            Ok((ret, CallPath::Switchless))
+        }
+        // The host flipped the word between DONE and the collect: the
+        // bytes read above are untrustworthy — discard and fall back
+        // (payload_out is rewritten by the fallback execution).
+        Err(v) => guard_violation_fallback(sh, idx, v, req, payload_in, payload_out),
+    }
+}
+
+/// A guard rejected host interference with slot `idx`: quarantine the
+/// slot, count and trace the violation, and complete the call through
+/// the regular-ocall fallback.
+fn guard_violation_fallback(
+    sh: &Shared,
+    idx: SlotIdx,
+    violation: GuardViolation,
+    req: &OcallRequest,
+    payload_in: &[u8],
+    payload_out: &mut Vec<u8>,
+) -> Result<(i64, CallPath), SwitchlessError> {
+    sh.pool.poison(idx);
+    sh.stats.record_guard_violation();
+    #[cfg(feature = "telemetry")]
+    if let Some(hub) = &sh.telemetry {
+        hub.record(
+            sh.clock.now_cycles(),
+            hub.caller_origin(),
+            zc_telemetry::Event::GuardViolation {
+                worker: idx.index() as u32,
+                kind: violation.kind,
+            },
+        );
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = violation;
+    let ret = sh
+        .fallback
+        .execute_transition(req, payload_in, payload_out)?;
+    sh.stats.record_fallback();
+    Ok((ret, CallPath::Fallback))
 }
 
 /// Spawn worker thread `index`, generation `generation` (0 at startup,
@@ -549,8 +615,14 @@ fn worker_loop(sh: &Arc<Shared>, index: usize) {
         }
         if let Some(idx) = sh.pool.accept() {
             poll_retries = 0;
-            sh.pool.complete(idx, |data| {
-                let req = data.request.take().expect("accepted slot without request");
+            let done = sh.pool.complete(idx, |data| {
+                // A torn request (host overwrote the slot) degrades to an
+                // error return instead of panicking the worker.
+                let Some(req) = data.request.take() else {
+                    data.reply.ret = -1;
+                    data.reply.payload_len = 0;
+                    return;
+                };
                 // Contain host-function panics (see zc worker): a dead
                 // worker would strand its caller mid-spin.
                 let ret = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -562,6 +634,19 @@ fn worker_loop(sh: &Arc<Shared>, index: usize) {
                 data.reply.ret = ret;
                 data.reply.payload_len = data.payload_out.len() as u32;
             });
+            if let Err(_v) = done {
+                // Host flipped the state word mid-completion: the slot is
+                // poisoned; the caller's guard re-routes to the fallback.
+                sh.stats.record_guard_violation();
+                #[cfg(feature = "telemetry")]
+                sh.telemetry_event(
+                    zc_telemetry::Origin::Worker(index as u32),
+                    zc_telemetry::Event::GuardViolation {
+                        worker: idx.index() as u32,
+                        kind: _v.kind,
+                    },
+                );
+            }
             continue;
         }
         if poll_retries < sh.config.retries_before_sleep {

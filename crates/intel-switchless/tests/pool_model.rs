@@ -56,7 +56,7 @@ proptest! {
                 1 => {
                     if let Some((mi, idx)) = claims.pop() {
                         tag += 1;
-                        pool.submit(idx, req(tag), &[]);
+                        pool.submit(idx, req(tag), &[]).unwrap();
                         model[mi] = ModelSlot::Submitted(tag);
                     }
                 }
@@ -93,9 +93,9 @@ proptest! {
                             let got = d.request.take().expect("request present");
                             assert_eq!(got.args[0], t, "slot carries the submitted tag");
                             d.reply.ret = t as i64;
-                        });
+                        }).unwrap();
                         model[mi] = ModelSlot::Done(t);
-                        let ret = pool.collect(idx, |d| d.reply.ret);
+                        let ret = pool.collect(idx, |d| d.reply.ret).unwrap();
                         prop_assert_eq!(ret, t as i64);
                         model[mi] = ModelSlot::Free;
                     }
@@ -149,7 +149,8 @@ fn exactly_once_under_thread_stress() {
                     pool.complete(idx, |d| {
                         let r = d.request.take().expect("request");
                         d.reply.ret = r.args[0] as i64;
-                    });
+                    })
+                    .unwrap();
                     served.fetch_add(1, Ordering::Relaxed);
                 } else {
                     std::thread::yield_now();
@@ -171,11 +172,11 @@ fn exactly_once_under_thread_stress() {
                     }
                     std::thread::yield_now();
                 };
-                pool.submit(idx, req(tag), &[]);
+                pool.submit(idx, req(tag), &[]).unwrap();
                 while !pool.is_done(idx) {
                     std::thread::yield_now();
                 }
-                let ret = pool.collect(idx, |d| d.reply.ret);
+                let ret = pool.collect(idx, |d| d.reply.ret).unwrap();
                 assert_eq!(ret, tag as i64, "caller {c} got someone else's reply");
             }
         }));

@@ -120,6 +120,12 @@ pub struct ZcConfig {
     /// Fallback weight of the scheduler argmin (see
     /// [`crate::policy::PolicyParams::fallback_weight`]).
     pub fallback_weight: u64,
+    /// Caller-declared output capacity in bytes: the most reply payload
+    /// a single ocall may copy back into the enclave. Host-declared
+    /// reply lengths are clamped to this bound by the trusted-side
+    /// guard (machine-derived, not workload knowledge: it bounds the
+    /// enclave memory one hostile reply can touch).
+    pub max_reply_bytes: usize,
     /// Self-healing supervision ([`SuperviseParams`]). `None` (the
     /// default) preserves the paper's original lifecycle: crashed
     /// workers stay quarantined and hung workers are abandoned at
@@ -140,6 +146,7 @@ impl ZcConfig {
             initial_workers: cpu.zc_max_workers(),
             pool_bytes: 64 * 1024,
             fallback_weight: crate::policy::DEFAULT_FALLBACK_WEIGHT,
+            max_reply_bytes: 1024 * 1024,
             supervise: None,
         }
     }
@@ -194,6 +201,13 @@ impl ZcConfig {
     #[must_use]
     pub fn with_fallback_weight(mut self, weight: u64) -> Self {
         self.fallback_weight = weight.max(1);
+        self
+    }
+
+    /// Builder-style override of the caller-declared reply capacity.
+    #[must_use]
+    pub fn with_max_reply_bytes(mut self, bytes: usize) -> Self {
+        self.max_reply_bytes = bytes;
         self
     }
 
@@ -275,6 +289,15 @@ mod tests {
         assert_eq!(c.mu_inverse, 1, "mu_inverse clamps to >=1");
         assert_eq!(c.initial_workers, 1);
         assert_eq!(c.pool_bytes, 256, "pool clamps to a usable minimum");
+    }
+
+    #[test]
+    fn reply_capacity_defaults_and_overrides() {
+        assert_eq!(ZcConfig::default().max_reply_bytes, 1024 * 1024);
+        assert_eq!(
+            ZcConfig::default().with_max_reply_bytes(32).max_reply_bytes,
+            32
+        );
     }
 
     #[test]

@@ -187,6 +187,21 @@ pub struct FaultPlan {
     pub skew_every_dispatch: Option<u64>,
     /// Skew amount in modelled cycles.
     pub skew_cycles: u64,
+    /// Byzantine: overwrite the worker's status word with an
+    /// undecodable byte instead of publishing the reply.
+    pub flip_status_calls: FaultSchedule,
+    /// Byzantine: scribble an undecodable byte into the worker's
+    /// scheduler-command word after servicing the call.
+    pub garbage_command_calls: FaultSchedule,
+    /// Byzantine: declare more reply bytes than were produced.
+    pub oversize_reply_calls: FaultSchedule,
+    /// Byzantine: declare fewer reply bytes than were produced.
+    pub undersize_reply_calls: FaultSchedule,
+    /// Byzantine: stamp the reply with a stale sequence tag (replay).
+    pub stale_seq_calls: FaultSchedule,
+    /// Byzantine: tear the request slot (overwrite the posted request)
+    /// while the worker owns it.
+    pub torn_request_calls: FaultSchedule,
 }
 
 impl FaultPlan {
@@ -276,6 +291,103 @@ impl FaultPlan {
         self.skew_cycles = cycles;
         self
     }
+
+    /// Byzantine: flip the status word on corruption-site index `n`.
+    #[must_use]
+    pub fn flip_status_at(mut self, n: u64) -> Self {
+        self.flip_status_calls = self.flip_status_calls.and_at(n);
+        self
+    }
+
+    /// Byzantine: flip the status word on every `n`-th corruption site.
+    #[must_use]
+    pub fn flip_status_every(mut self, n: u64) -> Self {
+        self.flip_status_calls = self.flip_status_calls.and_every(n);
+        self
+    }
+
+    /// Byzantine: garbage the command word on corruption-site index `n`.
+    #[must_use]
+    pub fn garbage_command_at(mut self, n: u64) -> Self {
+        self.garbage_command_calls = self.garbage_command_calls.and_at(n);
+        self
+    }
+
+    /// Byzantine: garbage the command word on every `n`-th site.
+    #[must_use]
+    pub fn garbage_command_every(mut self, n: u64) -> Self {
+        self.garbage_command_calls = self.garbage_command_calls.and_every(n);
+        self
+    }
+
+    /// Byzantine: oversize the declared reply length at site `n`.
+    #[must_use]
+    pub fn oversize_reply_at(mut self, n: u64) -> Self {
+        self.oversize_reply_calls = self.oversize_reply_calls.and_at(n);
+        self
+    }
+
+    /// Byzantine: oversize the declared reply length on every `n`-th
+    /// site.
+    #[must_use]
+    pub fn oversize_reply_every(mut self, n: u64) -> Self {
+        self.oversize_reply_calls = self.oversize_reply_calls.and_every(n);
+        self
+    }
+
+    /// Byzantine: undersize the declared reply length at site `n`.
+    #[must_use]
+    pub fn undersize_reply_at(mut self, n: u64) -> Self {
+        self.undersize_reply_calls = self.undersize_reply_calls.and_at(n);
+        self
+    }
+
+    /// Byzantine: undersize the declared reply length on every `n`-th
+    /// site.
+    #[must_use]
+    pub fn undersize_reply_every(mut self, n: u64) -> Self {
+        self.undersize_reply_calls = self.undersize_reply_calls.and_every(n);
+        self
+    }
+
+    /// Byzantine: replay a stale sequence tag at site `n`.
+    #[must_use]
+    pub fn stale_seq_at(mut self, n: u64) -> Self {
+        self.stale_seq_calls = self.stale_seq_calls.and_at(n);
+        self
+    }
+
+    /// Byzantine: replay a stale sequence tag on every `n`-th site.
+    #[must_use]
+    pub fn stale_seq_every(mut self, n: u64) -> Self {
+        self.stale_seq_calls = self.stale_seq_calls.and_every(n);
+        self
+    }
+
+    /// Byzantine: tear the request slot at site `n`.
+    #[must_use]
+    pub fn torn_request_at(mut self, n: u64) -> Self {
+        self.torn_request_calls = self.torn_request_calls.and_at(n);
+        self
+    }
+
+    /// Byzantine: tear the request slot on every `n`-th site.
+    #[must_use]
+    pub fn torn_request_every(mut self, n: u64) -> Self {
+        self.torn_request_calls = self.torn_request_calls.and_every(n);
+        self
+    }
+
+    /// `true` when any Byzantine corruption schedule can fire.
+    #[must_use]
+    pub fn has_byzantine(&self) -> bool {
+        !(self.flip_status_calls.is_empty()
+            && self.garbage_command_calls.is_empty()
+            && self.oversize_reply_calls.is_empty()
+            && self.undersize_reply_calls.is_empty()
+            && self.stale_seq_calls.is_empty()
+            && self.torn_request_calls.is_empty())
+    }
 }
 
 /// Decision returned by [`FaultInjector::on_worker_call`].
@@ -289,6 +401,29 @@ pub enum WorkerFault {
     Crash,
     /// Wedge forever (park in an unrecoverable loop).
     Hang,
+}
+
+/// Byzantine corruption decision returned by
+/// [`FaultInjector::on_byzantine`]: how the (modelled) hostile host
+/// lies about the call it is servicing. At most one corruption fires
+/// per site index; earlier variants take precedence on overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByzantineFault {
+    /// Behave honestly.
+    None,
+    /// Overwrite the status word with an undecodable byte instead of
+    /// publishing the reply.
+    FlipStatus,
+    /// Scribble an undecodable byte into the scheduler-command word.
+    GarbageCommand,
+    /// Declare more reply bytes than were produced.
+    OversizeReplyLen,
+    /// Declare fewer reply bytes than were produced.
+    UndersizeReplyLen,
+    /// Stamp the reply with a stale sequence tag (replayed reply).
+    StaleSeqReplay,
+    /// Overwrite the posted request while the worker owns the slot.
+    TornRequest,
 }
 
 /// Snapshot of faults injected so far (observability for tests).
@@ -306,6 +441,31 @@ pub struct FaultCounts {
     pub transition_failures: u64,
     /// Clock skews applied.
     pub clock_skews: u64,
+    /// Byzantine status-word flips injected.
+    pub flipped_status: u64,
+    /// Byzantine command-word scribbles injected.
+    pub garbage_commands: u64,
+    /// Byzantine oversized reply-length lies injected.
+    pub oversize_replies: u64,
+    /// Byzantine undersized reply-length lies injected.
+    pub undersize_replies: u64,
+    /// Byzantine stale-sequence replays injected.
+    pub stale_replays: u64,
+    /// Byzantine torn-request overwrites injected.
+    pub torn_requests: u64,
+}
+
+impl FaultCounts {
+    /// Total Byzantine corruptions injected (all six kinds).
+    #[must_use]
+    pub fn byzantine_total(&self) -> u64 {
+        self.flipped_status
+            + self.garbage_commands
+            + self.oversize_replies
+            + self.undersize_replies
+            + self.stale_replays
+            + self.torn_requests
+    }
 }
 
 /// Thread-safe evaluator of a [`FaultPlan`]: each instrumented site
@@ -318,12 +478,19 @@ pub struct FaultInjector {
     pool_allocs: AtomicU64,
     transitions: AtomicU64,
     dispatches: AtomicU64,
+    byzantine_calls: AtomicU64,
     crashes: AtomicU64,
     stalls: AtomicU64,
     hangs: AtomicU64,
     pool_exhaustions: AtomicU64,
     transition_failures: AtomicU64,
     clock_skews: AtomicU64,
+    flipped_status: AtomicU64,
+    garbage_commands: AtomicU64,
+    oversize_replies: AtomicU64,
+    undersize_replies: AtomicU64,
+    stale_replays: AtomicU64,
+    torn_requests: AtomicU64,
 }
 
 impl FaultInjector {
@@ -336,12 +503,19 @@ impl FaultInjector {
             pool_allocs: AtomicU64::new(0),
             transitions: AtomicU64::new(0),
             dispatches: AtomicU64::new(0),
+            byzantine_calls: AtomicU64::new(0),
             crashes: AtomicU64::new(0),
             stalls: AtomicU64::new(0),
             hangs: AtomicU64::new(0),
             pool_exhaustions: AtomicU64::new(0),
             transition_failures: AtomicU64::new(0),
             clock_skews: AtomicU64::new(0),
+            flipped_status: AtomicU64::new(0),
+            garbage_commands: AtomicU64::new(0),
+            oversize_replies: AtomicU64::new(0),
+            undersize_replies: AtomicU64::new(0),
+            stale_replays: AtomicU64::new(0),
+            torn_requests: AtomicU64::new(0),
         }
     }
 
@@ -368,6 +542,40 @@ impl FaultInjector {
             return WorkerFault::Stall(self.plan.stall_cycles);
         }
         WorkerFault::None
+    }
+
+    /// Site hook: a worker is about to publish the result of a
+    /// switchless call — the moment a hostile host would lie. Advances
+    /// the corruption-site index and returns the corruption to apply
+    /// (at most one per site; earlier [`ByzantineFault`] variants win
+    /// on overlap).
+    pub fn on_byzantine(&self) -> ByzantineFault {
+        let n = self.byzantine_calls.fetch_add(1, Ordering::AcqRel);
+        if self.plan.flip_status_calls.fires_at(n) {
+            self.flipped_status.fetch_add(1, Ordering::Relaxed);
+            return ByzantineFault::FlipStatus;
+        }
+        if self.plan.garbage_command_calls.fires_at(n) {
+            self.garbage_commands.fetch_add(1, Ordering::Relaxed);
+            return ByzantineFault::GarbageCommand;
+        }
+        if self.plan.oversize_reply_calls.fires_at(n) {
+            self.oversize_replies.fetch_add(1, Ordering::Relaxed);
+            return ByzantineFault::OversizeReplyLen;
+        }
+        if self.plan.undersize_reply_calls.fires_at(n) {
+            self.undersize_replies.fetch_add(1, Ordering::Relaxed);
+            return ByzantineFault::UndersizeReplyLen;
+        }
+        if self.plan.stale_seq_calls.fires_at(n) {
+            self.stale_replays.fetch_add(1, Ordering::Relaxed);
+            return ByzantineFault::StaleSeqReplay;
+        }
+        if self.plan.torn_request_calls.fires_at(n) {
+            self.torn_requests.fetch_add(1, Ordering::Relaxed);
+            return ByzantineFault::TornRequest;
+        }
+        ByzantineFault::None
     }
 
     /// Site hook: a caller is allocating from a request pool. Returns
@@ -417,6 +625,12 @@ impl FaultInjector {
             pool_exhaustions: self.pool_exhaustions.load(Ordering::Acquire),
             transition_failures: self.transition_failures.load(Ordering::Acquire),
             clock_skews: self.clock_skews.load(Ordering::Acquire),
+            flipped_status: self.flipped_status.load(Ordering::Acquire),
+            garbage_commands: self.garbage_commands.load(Ordering::Acquire),
+            oversize_replies: self.oversize_replies.load(Ordering::Acquire),
+            undersize_replies: self.undersize_replies.load(Ordering::Acquire),
+            stale_replays: self.stale_replays.load(Ordering::Acquire),
+            torn_requests: self.torn_requests.load(Ordering::Acquire),
         }
     }
 }
@@ -654,6 +868,66 @@ mod tests {
         assert_eq!(clamped.stride(), Some(1), "stride clamps to >=1");
         assert!(clamped.fires_at(0) && clamped.fires_at(1));
         assert!(!FaultSchedule::at(3).is_empty());
+    }
+
+    #[test]
+    fn byzantine_schedules_fire_at_their_sites() {
+        let inj = FaultInjector::new(
+            FaultPlan::new()
+                .flip_status_at(0)
+                .garbage_command_at(1)
+                .oversize_reply_at(2)
+                .undersize_reply_at(3)
+                .stale_seq_at(4)
+                .torn_request_at(5),
+        );
+        let d: Vec<_> = (0..7).map(|_| inj.on_byzantine()).collect();
+        assert_eq!(
+            d,
+            vec![
+                ByzantineFault::FlipStatus,
+                ByzantineFault::GarbageCommand,
+                ByzantineFault::OversizeReplyLen,
+                ByzantineFault::UndersizeReplyLen,
+                ByzantineFault::StaleSeqReplay,
+                ByzantineFault::TornRequest,
+                ByzantineFault::None,
+            ]
+        );
+        let c = inj.counts();
+        assert_eq!(c.byzantine_total(), 6);
+        assert_eq!(
+            (c.flipped_status, c.garbage_commands, c.oversize_replies),
+            (1, 1, 1)
+        );
+        assert_eq!(
+            (c.undersize_replies, c.stale_replays, c.torn_requests),
+            (1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn byzantine_precedence_and_empty_plan() {
+        assert!(!FaultPlan::new().has_byzantine());
+        let plan = FaultPlan::new().flip_status_at(0).torn_request_at(0);
+        assert!(plan.has_byzantine());
+        let inj = FaultInjector::new(plan);
+        assert_eq!(inj.on_byzantine(), ByzantineFault::FlipStatus);
+        assert_eq!(inj.counts().torn_requests, 0);
+        let clean = FaultInjector::new(FaultPlan::new());
+        for _ in 0..10 {
+            assert_eq!(clean.on_byzantine(), ByzantineFault::None);
+        }
+        assert_eq!(clean.counts().byzantine_total(), 0);
+    }
+
+    #[test]
+    fn byzantine_sites_are_independent_of_worker_calls() {
+        // A crash schedule at worker-call 0 must not consume the
+        // corruption-site index, and vice versa.
+        let inj = FaultInjector::new(FaultPlan::new().crash_worker_at(0).stale_seq_at(0));
+        assert_eq!(inj.on_byzantine(), ByzantineFault::StaleSeqReplay);
+        assert_eq!(inj.on_worker_call(), WorkerFault::Crash);
     }
 
     #[test]

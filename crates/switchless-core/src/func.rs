@@ -44,6 +44,11 @@ pub struct OcallRequest {
     pub func: FuncId,
     /// Scalar arguments (semantics defined by the host function).
     pub args: [u64; MAX_OCALL_ARGS],
+    /// Per-call monotonic sequence tag stamped by the dispatcher. An
+    /// honest worker echoes it into [`OcallReply::seq`]; a stale or
+    /// replayed reply carries a different tag and is discarded by the
+    /// trusted-side guard (see [`crate::guard::ReplyGuard`]).
+    pub seq: u64,
 }
 
 impl OcallRequest {
@@ -61,7 +66,18 @@ impl OcallRequest {
         );
         let mut a = [0u64; MAX_OCALL_ARGS];
         a[..args.len()].copy_from_slice(args);
-        OcallRequest { func, args: a }
+        OcallRequest {
+            func,
+            args: a,
+            seq: 0,
+        }
+    }
+
+    /// Builder-style sequence tag (dispatchers stamp one per call).
+    #[must_use]
+    pub fn with_seq(mut self, seq: u64) -> Self {
+        self.seq = seq;
+        self
     }
 }
 
@@ -70,8 +86,13 @@ impl OcallRequest {
 pub struct OcallReply {
     /// Host function return value (errno-style: negative on failure).
     pub ret: i64,
-    /// Number of payload bytes produced by the host function.
+    /// Number of payload bytes produced by the host function. Host-
+    /// written: the guard cross-checks it against the bytes actually
+    /// present before any copy-back.
     pub payload_len: u32,
+    /// Echo of [`OcallRequest::seq`]; a mismatch marks the reply stale
+    /// or replayed and the call re-routes through the fallback.
+    pub seq: u64,
 }
 
 /// A host function executed in the untrusted runtime.
@@ -299,6 +320,14 @@ mod tests {
     fn request_pads_missing_args_with_zero() {
         let r = OcallRequest::new(FuncId(1), &[9]);
         assert_eq!(r.args, [9, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn sequence_tags_default_to_zero_and_build() {
+        let r = OcallRequest::new(FuncId(1), &[]);
+        assert_eq!(r.seq, 0);
+        assert_eq!(r.with_seq(42).seq, 42);
+        assert_eq!(OcallReply::default().seq, 0);
     }
 
     #[test]

@@ -1,0 +1,405 @@
+//! Trusted-side validation boundary for values read from shared memory.
+//!
+//! The paper's threat model (§II) trusts *nothing* outside the enclave,
+//! yet every switchless mechanism necessarily reads host-written words:
+//! worker status bytes, scheduler commands, reply lengths, whole reply
+//! structures. A hostile host can flip any of them at any time (the
+//! Iago / controlled-channel family of attacks). This module is the
+//! *pure* policy that stands between those words and the trusted
+//! runtime:
+//!
+//! * [`SharedWordGuard`] — total-function decoding of status and command
+//!   bytes (an invalid byte is a [`GuardViolation`], never a panic) and
+//!   release-mode legality checks against the
+//!   [`WorkerState::can_transition`] table.
+//! * [`ReplyGuard`] — host-declared reply lengths are validated against
+//!   the bytes actually present and clamped to the caller-declared
+//!   output capacity; per-call monotonic sequence tags
+//!   ([`OcallRequest::seq`](crate::OcallRequest)/
+//!   [`OcallReply::seq`](crate::OcallReply)) detect stale or replayed
+//!   replies.
+//!
+//! A violation never aborts the trusted side: runtimes route the call
+//! through the regular-ocall fallback, poison the offending worker slot
+//! and hand it to the supervisor. The guard itself is thread-free and
+//! clock-free so the real runtimes and the discrete-event simulator
+//! share it byte-for-byte, and property tests can drive it with
+//! arbitrary bytes.
+
+use crate::state::WorkerState;
+use std::fmt;
+
+/// The kind of boundary violation a guard detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum GuardKind {
+    /// A worker status byte decoded to no [`WorkerState`].
+    BadStatusWord,
+    /// A status edge outside the [`WorkerState::can_transition`] table.
+    IllegalTransition,
+    /// A scheduler-command byte decoded to no known command.
+    BadCommandWord,
+    /// The host declared more reply bytes than it produced.
+    OversizedReply,
+    /// The host declared fewer reply bytes than it produced.
+    UndersizedReply,
+    /// A reply carried a sequence tag from a different (stale or
+    /// replayed) call.
+    StaleSequence,
+    /// A request slot was overwritten (torn) while a worker owned it.
+    TornRequest,
+}
+
+impl GuardKind {
+    /// Every violation kind, for exhaustive property tests.
+    pub const ALL: [GuardKind; 7] = [
+        GuardKind::BadStatusWord,
+        GuardKind::IllegalTransition,
+        GuardKind::BadCommandWord,
+        GuardKind::OversizedReply,
+        GuardKind::UndersizedReply,
+        GuardKind::StaleSequence,
+        GuardKind::TornRequest,
+    ];
+
+    /// Stable lowercase name used by telemetry exporters.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            GuardKind::BadStatusWord => "bad_status_word",
+            GuardKind::IllegalTransition => "illegal_transition",
+            GuardKind::BadCommandWord => "bad_command_word",
+            GuardKind::OversizedReply => "oversized_reply",
+            GuardKind::UndersizedReply => "undersized_reply",
+            GuardKind::StaleSequence => "stale_sequence",
+            GuardKind::TornRequest => "torn_request",
+        }
+    }
+}
+
+impl fmt::Display for GuardKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One detected violation: the kind plus the offending (`got`) and
+/// expected/limit (`want`) values, widened to `u64` so a single compact
+/// type covers bytes, lengths and sequence tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardViolation {
+    /// What rule was broken.
+    pub kind: GuardKind,
+    /// The value the host actually supplied.
+    pub got: u64,
+    /// The value (or bound) the trusted side expected.
+    pub want: u64,
+}
+
+impl GuardViolation {
+    /// Violation with explicit evidence values.
+    #[must_use]
+    pub fn new(kind: GuardKind, got: u64, want: u64) -> Self {
+        GuardViolation { kind, got, want }
+    }
+
+    /// A torn-request violation (no meaningful evidence words).
+    #[must_use]
+    pub fn torn_request() -> Self {
+        GuardViolation::new(GuardKind::TornRequest, 0, 0)
+    }
+}
+
+impl fmt::Display for GuardViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            GuardKind::BadStatusWord => write!(f, "invalid status byte {:#04x}", self.got),
+            GuardKind::IllegalTransition => write!(
+                f,
+                "illegal transition raw {:#04x} -> {:#04x}",
+                self.want, self.got
+            ),
+            GuardKind::BadCommandWord => write!(f, "invalid command byte {:#04x}", self.got),
+            GuardKind::OversizedReply => write!(
+                f,
+                "reply declares {} bytes but only {} are present",
+                self.got, self.want
+            ),
+            GuardKind::UndersizedReply => write!(
+                f,
+                "reply declares {} bytes but {} are present",
+                self.got, self.want
+            ),
+            GuardKind::StaleSequence => write!(
+                f,
+                "reply sequence {} does not match in-flight call {}",
+                self.got, self.want
+            ),
+            GuardKind::TornRequest => f.write_str("request slot torn while owned by a worker"),
+        }
+    }
+}
+
+impl std::error::Error for GuardViolation {}
+
+/// Validator for single shared words: status bytes and scheduler
+/// commands. Stateless; exists as a type so call sites read as policy
+/// (`guard.decode_status(raw)?`) rather than scattered checks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SharedWordGuard;
+
+impl SharedWordGuard {
+    /// Decode a host-written status byte, total-function-style.
+    ///
+    /// # Errors
+    ///
+    /// [`GuardKind::BadStatusWord`] if `raw` maps to no [`WorkerState`].
+    pub fn decode_status(self, raw: u8) -> Result<WorkerState, GuardViolation> {
+        WorkerState::from_u8(raw).ok_or_else(|| {
+            GuardViolation::new(
+                GuardKind::BadStatusWord,
+                u64::from(raw),
+                WorkerState::ALL.len() as u64 - 1,
+            )
+        })
+    }
+
+    /// Check a status edge against the paper's legality table — in
+    /// *release* builds too, unlike a `debug_assert!`.
+    ///
+    /// # Errors
+    ///
+    /// [`GuardKind::IllegalTransition`] if `from -> to` is not a legal
+    /// edge per [`WorkerState::can_transition`].
+    pub fn check_transition(
+        self,
+        from: WorkerState,
+        to: WorkerState,
+    ) -> Result<(), GuardViolation> {
+        if from.can_transition(to) {
+            Ok(())
+        } else {
+            Err(GuardViolation::new(
+                GuardKind::IllegalTransition,
+                u64::from(to.as_u8()),
+                u64::from(from.as_u8()),
+            ))
+        }
+    }
+
+    /// Decode a command byte through the mechanism's own (fallible)
+    /// decoder, converting `None` into a violation instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`GuardKind::BadCommandWord`] if `decode(raw)` returns `None`.
+    pub fn decode_command<T>(
+        self,
+        raw: u8,
+        decode: impl FnOnce(u8) -> Option<T>,
+    ) -> Result<T, GuardViolation> {
+        decode(raw).ok_or_else(|| GuardViolation::new(GuardKind::BadCommandWord, u64::from(raw), 0))
+    }
+}
+
+/// Outcome of a successful reply-length validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplyVerdict {
+    /// Bytes the caller may safely copy back.
+    pub copy_len: usize,
+    /// `true` when the reply exceeded the caller-declared capacity and
+    /// was clamped (count it in `CallStats::record_reply_truncation`).
+    pub truncated: bool,
+}
+
+/// Validator for whole replies: host-declared lengths are cross-checked
+/// against the bytes actually present, clamped to the caller-declared
+/// output capacity, and sequence tags are matched to the in-flight call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplyGuard {
+    capacity: usize,
+}
+
+impl ReplyGuard {
+    /// Guard for a caller that declared `capacity` output bytes.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        ReplyGuard { capacity }
+    }
+
+    /// The caller-declared output capacity in bytes.
+    #[must_use]
+    pub fn capacity(self) -> usize {
+        self.capacity
+    }
+
+    /// Validate a host-declared reply length against the `actual` bytes
+    /// present in the shared buffer.
+    ///
+    /// An honest worker always writes `declared == actual`; any mismatch
+    /// is a lie about buffer extents (the classic OOB-read/-write setup)
+    /// and rejects the reply. A matching length larger than the declared
+    /// capacity is *clamped*, not rejected: the host function may
+    /// legitimately produce more bytes than the caller wants.
+    ///
+    /// # Errors
+    ///
+    /// [`GuardKind::OversizedReply`] when `declared > actual`,
+    /// [`GuardKind::UndersizedReply`] when `declared < actual`.
+    pub fn check_reply(self, declared: u32, actual: usize) -> Result<ReplyVerdict, GuardViolation> {
+        let declared = declared as usize;
+        if declared > actual {
+            return Err(GuardViolation::new(
+                GuardKind::OversizedReply,
+                declared as u64,
+                actual as u64,
+            ));
+        }
+        if declared < actual {
+            return Err(GuardViolation::new(
+                GuardKind::UndersizedReply,
+                declared as u64,
+                actual as u64,
+            ));
+        }
+        if declared > self.capacity {
+            Ok(ReplyVerdict {
+                copy_len: self.capacity,
+                truncated: true,
+            })
+        } else {
+            Ok(ReplyVerdict {
+                copy_len: declared,
+                truncated: false,
+            })
+        }
+    }
+
+    /// Match a reply's sequence tag against the in-flight call's tag.
+    ///
+    /// # Errors
+    ///
+    /// [`GuardKind::StaleSequence`] when they differ (stale or replayed
+    /// reply).
+    pub fn check_sequence(self, expected: u64, got: u64) -> Result<(), GuardViolation> {
+        if expected == got {
+            Ok(())
+        } else {
+            Err(GuardViolation::new(GuardKind::StaleSequence, got, expected))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_decode_is_total() {
+        let g = SharedWordGuard;
+        for raw in 0..=u8::MAX {
+            match g.decode_status(raw) {
+                Ok(s) => assert_eq!(s.as_u8(), raw),
+                Err(v) => {
+                    assert_eq!(v.kind, GuardKind::BadStatusWord);
+                    assert_eq!(v.got, u64::from(raw));
+                    assert!(raw as usize >= WorkerState::ALL.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transition_check_mirrors_legality_table() {
+        let g = SharedWordGuard;
+        for &from in &WorkerState::ALL {
+            for &to in &WorkerState::ALL {
+                let ok = g.check_transition(from, to).is_ok();
+                assert_eq!(ok, from.can_transition(to), "{from} -> {to}");
+            }
+        }
+    }
+
+    #[test]
+    fn command_decode_total_function() {
+        let g = SharedWordGuard;
+        let decode = |v: u8| match v {
+            0 => Some("run"),
+            1 => Some("exit"),
+            _ => None,
+        };
+        assert_eq!(g.decode_command(0, decode).unwrap(), "run");
+        let v = g.decode_command(7, decode).unwrap_err();
+        assert_eq!(v.kind, GuardKind::BadCommandWord);
+        assert_eq!(v.got, 7);
+    }
+
+    #[test]
+    fn honest_reply_passes_and_clamps_to_capacity() {
+        let g = ReplyGuard::new(8);
+        assert_eq!(
+            g.check_reply(5, 5).unwrap(),
+            ReplyVerdict {
+                copy_len: 5,
+                truncated: false
+            }
+        );
+        // Matching but over-capacity reply clamps (satellite: truncation).
+        assert_eq!(
+            g.check_reply(20, 20).unwrap(),
+            ReplyVerdict {
+                copy_len: 8,
+                truncated: true
+            }
+        );
+        assert_eq!(g.capacity(), 8);
+    }
+
+    #[test]
+    fn lying_lengths_are_violations() {
+        let g = ReplyGuard::new(64);
+        let over = g.check_reply(10, 4).unwrap_err();
+        assert_eq!(over.kind, GuardKind::OversizedReply);
+        assert_eq!((over.got, over.want), (10, 4));
+        let under = g.check_reply(2, 4).unwrap_err();
+        assert_eq!(under.kind, GuardKind::UndersizedReply);
+        assert_eq!((under.got, under.want), (2, 4));
+    }
+
+    #[test]
+    fn sequence_mismatch_is_stale() {
+        let g = ReplyGuard::new(0);
+        assert!(g.check_sequence(41, 41).is_ok());
+        let v = g.check_sequence(41, 40).unwrap_err();
+        assert_eq!(v.kind, GuardKind::StaleSequence);
+        assert_eq!((v.got, v.want), (40, 41));
+    }
+
+    #[test]
+    fn violations_render_and_name_stably() {
+        for kind in GuardKind::ALL {
+            assert!(!kind.name().is_empty());
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        let v = GuardViolation::new(GuardKind::BadStatusWord, 0xEE, 5);
+        assert!(v.to_string().contains("0xee"));
+        assert_eq!(GuardViolation::torn_request().kind, GuardKind::TornRequest);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_any_guard() {
+        // Exhaustive over the byte domain; lengths probed across the
+        // u32 boundary values.
+        let wg = SharedWordGuard;
+        let rg = ReplyGuard::new(16);
+        for raw in 0..=u8::MAX {
+            let _ = wg.decode_status(raw);
+            let _ = wg.decode_command(raw, |v| (v == 0).then_some(()));
+        }
+        for declared in [0u32, 1, 15, 16, 17, 1 << 20, u32::MAX] {
+            for actual in [0usize, 1, 16, 17, 1 << 20] {
+                let _ = rg.check_reply(declared, actual);
+            }
+        }
+    }
+}

@@ -19,6 +19,10 @@
 //! * [`supervise`] — the *pure* self-healing policy: per-worker health
 //!   ledger, respawn backoff, probation windows and the poison-request
 //!   blacklist ([`Supervisor`]).
+//! * [`guard`] — the trusted-side validation boundary: total-function
+//!   decoding of host-written shared words, release-mode transition
+//!   legality, reply-length clamping and sequence-tag replay detection
+//!   ([`SharedWordGuard`], [`ReplyGuard`]).
 //!
 //! Both the real-thread runtimes (`zc-switchless`, `intel-switchless`) and
 //! the discrete-event simulator (`zc-des`) are written against these types,
@@ -52,6 +56,7 @@ pub mod cpu;
 pub mod error;
 pub mod fault;
 pub mod func;
+pub mod guard;
 pub mod policy;
 pub mod state;
 pub mod stats;
@@ -61,9 +66,11 @@ pub use config::{IntelConfig, ZcConfig};
 pub use cpu::CpuSpec;
 pub use error::SwitchlessError;
 pub use fault::{
-    DrainReport, FaultCounts, FaultInjector, FaultPlan, FaultSchedule, TransitionLog, WorkerFault,
+    ByzantineFault, DrainReport, FaultCounts, FaultInjector, FaultPlan, FaultSchedule,
+    TransitionLog, WorkerFault,
 };
 pub use func::{FuncId, HostFn, OcallReply, OcallRequest, OcallTable, MAX_OCALL_ARGS};
+pub use guard::{GuardKind, GuardViolation, ReplyGuard, ReplyVerdict, SharedWordGuard};
 pub use state::WorkerState;
 pub use stats::{CallStats, CallStatsSnapshot};
 pub use supervise::{

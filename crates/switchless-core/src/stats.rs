@@ -22,6 +22,8 @@ pub struct CallStats {
     regular: AtomicU64,
     cancelled: AtomicU64,
     pool_reallocs: AtomicU64,
+    reply_truncations: AtomicU64,
+    guard_violations: AtomicU64,
 }
 
 impl CallStats {
@@ -68,6 +70,19 @@ impl CallStats {
         self.pool_reallocs.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one host-written reply clamped to the caller-declared
+    /// output capacity (the call still completed switchlessly).
+    pub fn record_reply_truncation(&self) {
+        self.reply_truncations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one trusted-side guard violation (the call re-routed
+    /// through the regular-ocall fallback; the lying worker slot was
+    /// poisoned).
+    pub fn record_guard_violation(&self) {
+        self.guard_violations.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Current fallback count.
     ///
     /// Prefer [`CallStats::snapshot`] for anything that combines or
@@ -96,6 +111,8 @@ impl CallStats {
             regular: self.regular.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
             pool_reallocs: self.pool_reallocs.load(Ordering::Relaxed),
+            reply_truncations: self.reply_truncations.load(Ordering::Relaxed),
+            guard_violations: self.guard_violations.load(Ordering::Relaxed),
         }
     }
 }
@@ -117,6 +134,12 @@ pub struct CallStatsSnapshot {
     pub cancelled: u64,
     /// Untrusted-pool reallocations (each cost one extra real ocall).
     pub pool_reallocs: u64,
+    /// Host-written replies clamped to the caller-declared capacity
+    /// (each call still completed switchlessly, minus excess bytes).
+    pub reply_truncations: u64,
+    /// Trusted-side guard violations detected (each call re-routed via
+    /// fallback, so conservation still holds).
+    pub guard_violations: u64,
 }
 
 impl CallStatsSnapshot {
@@ -162,6 +185,12 @@ impl CallStatsSnapshot {
             regular: self.regular.saturating_sub(earlier.regular),
             cancelled: self.cancelled.saturating_sub(earlier.cancelled),
             pool_reallocs: self.pool_reallocs.saturating_sub(earlier.pool_reallocs),
+            reply_truncations: self
+                .reply_truncations
+                .saturating_sub(earlier.reply_truncations),
+            guard_violations: self
+                .guard_violations
+                .saturating_sub(earlier.guard_violations),
         }
     }
 }
@@ -282,6 +311,27 @@ mod tests {
             ..CallStatsSnapshot::default()
         };
         assert_eq!(snap.transitions(), 3);
+    }
+
+    #[test]
+    fn truncations_and_violations_are_side_counters() {
+        // Neither counter participates in the conservation identity:
+        // a truncated call completed switchlessly and a violated call
+        // completed via fallback.
+        let s = CallStats::new();
+        s.record_issued();
+        s.record_reply_truncation();
+        s.record_switchless();
+        s.record_issued();
+        s.record_guard_violation();
+        s.record_fallback();
+        let snap = s.snapshot();
+        assert_eq!(snap.reply_truncations, 1);
+        assert_eq!(snap.guard_violations, 1);
+        assert!(snap.is_conserved());
+        assert_eq!(snap.total_calls(), 2);
+        let d = snap.delta_since(&CallStatsSnapshot::default());
+        assert_eq!((d.reply_truncations, d.guard_violations), (1, 1));
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Property tests of the trusted-side validation boundary: arbitrary
+//! host-written bytes, lengths and sequence tags must never panic any
+//! guard, and every verdict must agree with the documented policy.
+
+use proptest::prelude::*;
+use switchless_core::{GuardKind, ReplyGuard, SharedWordGuard, WorkerState};
+
+proptest! {
+    /// Status decoding is a total function over the byte domain: every
+    /// byte either round-trips through a [`WorkerState`] or is reported
+    /// as a `BadStatusWord` carrying the offending byte.
+    #[test]
+    fn status_decode_total_over_all_bytes(raw in any::<u8>()) {
+        match SharedWordGuard.decode_status(raw) {
+            Ok(s) => prop_assert_eq!(s.as_u8(), raw),
+            Err(v) => {
+                prop_assert_eq!(v.kind, GuardKind::BadStatusWord);
+                prop_assert_eq!(v.got, u64::from(raw));
+                prop_assert!(WorkerState::from_u8(raw).is_none());
+            }
+        }
+    }
+
+    /// The release-mode transition check agrees with the paper's
+    /// legality table on every state pair, and a rejection carries the
+    /// raw `from`/`to` evidence bytes.
+    #[test]
+    fn transition_check_agrees_with_legality_table(
+        from_idx in 0..WorkerState::ALL.len(),
+        to_idx in 0..WorkerState::ALL.len(),
+    ) {
+        let (from, to) = (WorkerState::ALL[from_idx], WorkerState::ALL[to_idx]);
+        match SharedWordGuard.check_transition(from, to) {
+            Ok(()) => prop_assert!(from.can_transition(to)),
+            Err(v) => {
+                prop_assert!(!from.can_transition(to));
+                prop_assert_eq!(v.kind, GuardKind::IllegalTransition);
+                prop_assert_eq!(v.got, u64::from(to.as_u8()));
+                prop_assert_eq!(v.want, u64::from(from.as_u8()));
+            }
+        }
+    }
+
+    /// Command decoding converts any rejected byte into a violation
+    /// (never a panic) and passes accepted bytes through unchanged.
+    #[test]
+    fn command_decode_total_over_all_bytes(raw in any::<u8>(), cutoff in any::<u8>()) {
+        let decode = |v: u8| (v < cutoff).then_some(v);
+        match SharedWordGuard.decode_command(raw, decode) {
+            Ok(v) => prop_assert!(v == raw && raw < cutoff),
+            Err(e) => {
+                prop_assert!(raw >= cutoff);
+                prop_assert_eq!(e.kind, GuardKind::BadCommandWord);
+                prop_assert_eq!(e.got, u64::from(raw));
+            }
+        }
+    }
+
+    /// Reply-length validation never panics for any (declared, actual,
+    /// capacity) triple, rejects every mismatch with the right kind, and
+    /// on acceptance never lets more than `min(actual, capacity)` bytes
+    /// through.
+    #[test]
+    fn reply_check_never_panics_and_clamps(
+        declared in any::<u32>(),
+        actual in 0usize..(1 << 24),
+        capacity in 0usize..(1 << 24),
+    ) {
+        let guard = ReplyGuard::new(capacity);
+        match guard.check_reply(declared, actual) {
+            Ok(verdict) => {
+                prop_assert_eq!(declared as usize, actual, "only honest lengths pass");
+                prop_assert!(verdict.copy_len <= capacity);
+                prop_assert!(verdict.copy_len <= actual);
+                prop_assert_eq!(verdict.copy_len, actual.min(capacity));
+                prop_assert_eq!(verdict.truncated, actual > capacity);
+            }
+            Err(v) if (declared as usize) > actual => {
+                prop_assert_eq!(v.kind, GuardKind::OversizedReply);
+                prop_assert_eq!((v.got, v.want), (declared as u64, actual as u64));
+            }
+            Err(v) => {
+                prop_assert!((declared as usize) < actual);
+                prop_assert_eq!(v.kind, GuardKind::UndersizedReply);
+                prop_assert_eq!((v.got, v.want), (declared as u64, actual as u64));
+            }
+        }
+    }
+
+    /// Sequence-tag matching accepts exactly the in-flight tag; any
+    /// other value — stale, replayed, or random garbage — is rejected
+    /// with both tags as evidence.
+    #[test]
+    fn sequence_check_accepts_only_the_inflight_tag(expected in any::<u64>(), got in any::<u64>()) {
+        match ReplyGuard::new(0).check_sequence(expected, got) {
+            Ok(()) => prop_assert_eq!(expected, got),
+            Err(v) => {
+                prop_assert!(expected != got);
+                prop_assert_eq!(v.kind, GuardKind::StaleSequence);
+                prop_assert_eq!((v.got, v.want), (got, expected));
+            }
+        }
+    }
+}

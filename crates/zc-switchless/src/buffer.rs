@@ -6,16 +6,21 @@
 //! `UNUSED → RESERVED → PROCESSING → WAITING → UNUSED` state machine, and
 //! a scheduler-communication word ([`SchedCommand`]).
 //!
-//! Status transitions use compare-and-swap with the legality table of
-//! [`WorkerState::can_transition`] enforced in debug builds — an illegal
-//! transition is a protocol bug, not a recoverable condition.
+//! Both shared words live in *untrusted* memory, so every read is
+//! validated by the trusted-side guard ([`SharedWordGuard`]): status and
+//! command bytes decode total-function-style (garbage ⇒
+//! [`GuardViolation`], never a panic) and transitions are checked against
+//! the legality table of [`WorkerState::can_transition`] in release
+//! builds — an illegal edge poisons the slot instead of asserting.
 
 use crate::pool::RequestPool;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::Thread;
-use switchless_core::{OcallReply, OcallRequest, TransitionLog, WorkerState};
+use switchless_core::{
+    GuardViolation, OcallReply, OcallRequest, SharedWordGuard, TransitionLog, WorkerState,
+};
 
 /// Command word the scheduler writes into a worker's buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -30,12 +35,15 @@ pub enum SchedCommand {
 }
 
 impl SchedCommand {
-    fn from_u8(v: u8) -> SchedCommand {
+    /// Fallible decode of a host-written command byte. The command word
+    /// lives in untrusted memory, so an unknown byte is hostile input to
+    /// reject, not a protocol bug to assert on.
+    pub fn from_u8(v: u8) -> Option<SchedCommand> {
         match v {
-            0 => SchedCommand::Run,
-            1 => SchedCommand::Deactivate,
-            2 => SchedCommand::Exit,
-            _ => unreachable!("invalid scheduler command {v}"),
+            0 => Some(SchedCommand::Run),
+            1 => Some(SchedCommand::Deactivate),
+            2 => Some(SchedCommand::Exit),
+            _ => None,
         }
     }
 }
@@ -126,21 +134,27 @@ impl WorkerBuffer {
         }
     }
 
-    /// Current worker state.
-    #[must_use]
-    pub fn state(&self) -> WorkerState {
-        WorkerState::from_u8(self.status.load(Ordering::Acquire)).expect("corrupt status word")
+    /// Current worker state, validated by the trusted-side guard.
+    ///
+    /// # Errors
+    ///
+    /// [`GuardViolation`] (`BadStatusWord`) if the host scribbled a byte
+    /// outside the state machine onto the status word.
+    pub fn state(&self) -> Result<WorkerState, GuardViolation> {
+        SharedWordGuard.decode_status(self.status.load(Ordering::Acquire))
     }
 
     /// Attempt the `from -> to` transition.
     ///
-    /// Returns `true` on success. Debug-asserts that the edge is legal in
-    /// the paper's state machine.
+    /// Returns `true` on success. The edge is checked against the paper's
+    /// legality table *in release builds*: an illegal edge — only
+    /// reachable when untrusted state lied to the caller — poisons the
+    /// slot and fails the transition instead of asserting.
     pub fn try_transition(&self, from: WorkerState, to: WorkerState) -> bool {
-        debug_assert!(
-            from.can_transition(to),
-            "illegal worker transition {from} -> {to}"
-        );
+        if SharedWordGuard.check_transition(from, to).is_err() {
+            self.poison();
+            return false;
+        }
         let ok = self
             .status
             .compare_exchange(
@@ -189,15 +203,35 @@ impl WorkerBuffer {
         let _ = self.tracer.set(tracer);
     }
 
-    /// Scheduler command currently posted.
-    #[must_use]
-    pub fn sched_command(&self) -> SchedCommand {
-        SchedCommand::from_u8(self.sched_cmd.load(Ordering::Acquire))
+    /// Scheduler command currently posted, validated by the guard.
+    ///
+    /// # Errors
+    ///
+    /// [`GuardViolation`] (`BadCommandWord`) if the host scribbled an
+    /// unknown byte onto the command word.
+    pub fn sched_command(&self) -> Result<SchedCommand, GuardViolation> {
+        SharedWordGuard.decode_command(
+            self.sched_cmd.load(Ordering::Acquire),
+            SchedCommand::from_u8,
+        )
     }
 
     /// Post a scheduler command.
     pub fn post_command(&self, cmd: SchedCommand) {
         self.sched_cmd.store(cmd as u8, Ordering::Release);
+    }
+
+    /// Byzantine test hook: the "host" writes an arbitrary byte straight
+    /// onto the status word, bypassing the CAS protocol — exactly what a
+    /// hostile OS can do to shared memory.
+    pub fn host_write_status(&self, raw: u8) {
+        self.status.store(raw, Ordering::Release);
+    }
+
+    /// Byzantine test hook: the "host" writes an arbitrary byte onto the
+    /// scheduler-command word.
+    pub fn host_write_sched_cmd(&self, raw: u8) {
+        self.sched_cmd.store(raw, Ordering::Release);
     }
 
     /// Access the request slot. Callers/workers must hold ownership per
@@ -233,8 +267,8 @@ mod tests {
     #[test]
     fn starts_unused_and_running() {
         let b = WorkerBuffer::new(1024);
-        assert_eq!(b.state(), WorkerState::Unused);
-        assert_eq!(b.sched_command(), SchedCommand::Run);
+        assert_eq!(b.state(), Ok(WorkerState::Unused));
+        assert_eq!(b.sched_command(), Ok(SchedCommand::Run));
     }
 
     #[test]
@@ -244,7 +278,7 @@ mod tests {
         assert!(b.try_transition(WorkerState::Reserved, WorkerState::Processing));
         assert!(b.try_transition(WorkerState::Processing, WorkerState::Waiting));
         assert!(b.try_transition(WorkerState::Waiting, WorkerState::Unused));
-        assert_eq!(b.state(), WorkerState::Unused);
+        assert_eq!(b.state(), Ok(WorkerState::Unused));
     }
 
     #[test]
@@ -253,18 +287,18 @@ mod tests {
         assert!(b.try_transition(WorkerState::Unused, WorkerState::Reserved));
         // Second claim must lose.
         assert!(!b.try_transition(WorkerState::Unused, WorkerState::Reserved));
-        assert_eq!(b.state(), WorkerState::Reserved);
+        assert_eq!(b.state(), Ok(WorkerState::Reserved));
     }
 
     #[test]
     fn commands_round_trip() {
         let b = WorkerBuffer::new(1024);
         b.post_command(SchedCommand::Deactivate);
-        assert_eq!(b.sched_command(), SchedCommand::Deactivate);
+        assert_eq!(b.sched_command(), Ok(SchedCommand::Deactivate));
         b.post_command(SchedCommand::Exit);
-        assert_eq!(b.sched_command(), SchedCommand::Exit);
+        assert_eq!(b.sched_command(), Ok(SchedCommand::Exit));
         b.post_command(SchedCommand::Run);
-        assert_eq!(b.sched_command(), SchedCommand::Run);
+        assert_eq!(b.sched_command(), Ok(SchedCommand::Run));
     }
 
     #[test]
@@ -297,11 +331,34 @@ mod tests {
     }
 
     #[test]
-    #[cfg(debug_assertions)]
-    #[should_panic(expected = "illegal worker transition")]
-    fn illegal_transition_panics_in_debug() {
+    fn illegal_transition_poisons_in_release_too() {
+        // The release-mode promotion of the old debug assertion: an
+        // illegal edge never fires the CAS, quarantines the slot, and
+        // leaves the status word untouched.
         let b = WorkerBuffer::new(64);
-        let _ = b.try_transition(WorkerState::Processing, WorkerState::Unused);
+        assert!(!b.try_transition(WorkerState::Processing, WorkerState::Unused));
+        assert!(b.is_poisoned());
+        assert_eq!(b.state(), Ok(WorkerState::Unused));
+    }
+
+    #[test]
+    fn host_scribbles_become_violations_not_panics() {
+        use switchless_core::GuardKind;
+        let b = WorkerBuffer::new(64);
+        b.host_write_status(0xEE);
+        assert_eq!(b.state().unwrap_err().kind, GuardKind::BadStatusWord);
+        b.host_write_sched_cmd(0x7F);
+        assert_eq!(
+            b.sched_command().unwrap_err().kind,
+            GuardKind::BadCommandWord
+        );
+        // Every byte decodes or rejects; none may panic.
+        for raw in 0..=u8::MAX {
+            b.host_write_status(raw);
+            let _ = b.state();
+            b.host_write_sched_cmd(raw);
+            let _ = b.sched_command();
+        }
     }
 
     #[test]

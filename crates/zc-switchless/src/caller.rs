@@ -11,7 +11,8 @@ use crate::pool::PoolAlloc;
 use crate::runtime::{Shared, YIELD_EVERY};
 use std::sync::atomic::Ordering;
 use switchless_core::{
-    CallPath, FailureKind, OcallRequest, PoisonKey, SuperviseDecision, SwitchlessError, WorkerState,
+    CallPath, FailureKind, GuardViolation, OcallRequest, PoisonKey, ReplyGuard, SuperviseDecision,
+    SwitchlessError, WorkerState,
 };
 
 /// Retries granted to a pool allocation hit by injected exhaustion
@@ -122,6 +123,10 @@ fn switchless_call(
     payload_in: &[u8],
     payload_out: &mut Vec<u8>,
 ) -> Result<(i64, CallPath), SwitchlessError> {
+    // Stamp the per-call monotonic sequence tag: an honest worker echoes
+    // it into the reply, so a stale or replayed reply left over from an
+    // earlier call is detected at copy-back.
+    let req = &req.with_seq(shared.next_seq());
     // Allocate the request payload from the worker's untrusted pool. An
     // injected exhaustion is retried with bounded pause backoff (the
     // graceful-degradation path for transient pressure on the untrusted
@@ -197,7 +202,20 @@ fn switchless_call(
         .supervise
         .map(|p| posted_at.saturating_add(p.watchdog_cycles));
     let mut spins: u32 = 0;
-    while w.state() != WorkerState::Waiting {
+    loop {
+        // Decode the host-written status word *before* the poison check:
+        // a hostile host that scribbles garbage on the word is always
+        // reported as exactly one guard violation, regardless of how the
+        // worker thread races its own exit.
+        let state = match w.state() {
+            Ok(s) => s,
+            Err(v) => {
+                return guard_violation_fallback(shared, w, widx, v, req, payload_in, payload_out);
+            }
+        };
+        if state == WorkerState::Waiting {
+            break;
+        }
         if w.is_poisoned() {
             // The worker crashed or hung *before* invoking our request
             // (poisoning happens ahead of any slot access), so re-routing
@@ -246,16 +264,68 @@ fn switchless_call(
             std::thread::yield_now();
         }
     }
-    // Copy results back into enclave memory and release the worker.
-    let ret = w.with_slot(|slot| {
-        payload_out.resize(slot.payload_out.len(), 0);
-        shared.memcpy.copy(payload_out, &slot.payload_out);
-        slot.reply.ret
+    // Validate the host-written reply, then copy results back into
+    // enclave memory and release the worker. The declared length must
+    // match the bytes actually present (an honest worker writes both),
+    // is clamped to the caller-declared capacity, and the sequence tag
+    // must echo this call's — anything else is a lying host and the
+    // reply is discarded in favour of the fallback path.
+    let guard = ReplyGuard::new(shared.config.max_reply_bytes);
+    let checked = w.with_slot(|slot| {
+        guard.check_sequence(req.seq, slot.reply.seq)?;
+        let verdict = guard.check_reply(slot.reply.payload_len, slot.payload_out.len())?;
+        payload_out.resize(verdict.copy_len, 0);
+        shared
+            .memcpy
+            .copy(payload_out, &slot.payload_out[..verdict.copy_len]);
+        Ok((slot.reply.ret, verdict.truncated))
     });
-    let ok = w.try_transition(WorkerState::Waiting, WorkerState::Unused);
-    debug_assert!(ok, "WAITING -> UNUSED release must not be contended");
-    shared.stats.record_switchless();
-    Ok((ret, CallPath::Switchless))
+    match checked {
+        Ok((ret, truncated)) => {
+            if truncated {
+                shared.stats.record_reply_truncation();
+            }
+            let ok = w.try_transition(WorkerState::Waiting, WorkerState::Unused);
+            debug_assert!(ok, "WAITING -> UNUSED release must not be contended");
+            shared.stats.record_switchless();
+            Ok((ret, CallPath::Switchless))
+        }
+        Err(v) => guard_violation_fallback(shared, w, widx, v, req, payload_in, payload_out),
+    }
+}
+
+/// A guard rejected a host-written value: quarantine the worker, count
+/// and trace the violation, charge the supervisor ledger, and complete
+/// the call through the regular-ocall fallback.
+///
+/// The host function may already have run on the untrusted side before
+/// the lie was detected, so the fallback can double-execute side effects
+/// — the same documented trade-off as a watchdog cancellation, and
+/// unavoidable against a host that lies about completion state.
+fn guard_violation_fallback(
+    shared: &Shared,
+    w: &WorkerBuffer,
+    widx: usize,
+    violation: GuardViolation,
+    req: &OcallRequest,
+    payload_in: &[u8],
+    payload_out: &mut Vec<u8>,
+) -> Result<(i64, CallPath), SwitchlessError> {
+    w.poison();
+    shared.stats.record_guard_violation();
+    #[cfg(feature = "telemetry")]
+    shared.telemetry_caller_event(zc_telemetry::Event::GuardViolation {
+        worker: widx as u32,
+        kind: violation.kind,
+    });
+    #[cfg(not(feature = "telemetry"))]
+    let _ = violation;
+    report_worker_failure(shared, widx, FailureKind::Crash, req, payload_in.len());
+    let ret = shared
+        .fallback
+        .execute_transition(req, payload_in, payload_out)?;
+    shared.stats.record_fallback();
+    Ok((ret, CallPath::Fallback))
 }
 
 /// Report a caller-observed worker failure to the supervisor (no-op when

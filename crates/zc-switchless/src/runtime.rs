@@ -40,6 +40,10 @@ pub(crate) struct Shared {
     pub(crate) active_workers: AtomicUsize,
     pub(crate) decisions: AtomicU64,
     pub(crate) rotor: AtomicUsize,
+    /// Monotonic per-call sequence source: every switchless attempt is
+    /// stamped with a fresh tag so the guard can reject stale/replayed
+    /// replies.
+    pub(crate) seq: AtomicU64,
     pub(crate) residency: Mutex<WorkerResidency>,
     pub(crate) accounting: Option<Arc<CpuAccounting>>,
     pub(crate) faults: Option<Arc<FaultInjector>>,
@@ -60,6 +64,13 @@ impl Shared {
     #[inline]
     pub(crate) fn worker(&self, i: usize) -> Arc<WorkerBuffer> {
         Arc::clone(&self.workers[i].read())
+    }
+
+    /// Next per-call sequence tag (starts at 1, so the zero a fresh
+    /// reply struct carries never matches a live call).
+    #[inline]
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed).wrapping_add(1)
     }
 
     /// Spawn a worker thread for slot `index` serving buffer `buf`
@@ -270,6 +281,7 @@ impl ZcRuntime {
             active_workers: AtomicUsize::new(config.initial_workers.min(max)),
             decisions: AtomicU64::new(0),
             rotor: AtomicUsize::new(0),
+            seq: AtomicU64::new(0),
             residency: Mutex::new(WorkerResidency::new(max)),
             accounting,
             faults,
@@ -352,6 +364,14 @@ impl ZcRuntime {
                     (
                         "zc_watchdog_cancels_total".into(),
                         MetricValue::Counter(s.cancelled),
+                    ),
+                    (
+                        "zc_guard_violations_total".into(),
+                        MetricValue::Counter(s.guard_violations),
+                    ),
+                    (
+                        "zc_reply_truncations_total".into(),
+                        MetricValue::Counter(s.reply_truncations),
                     ),
                 ];
                 if let Some(sup) = &sh.supervisor {

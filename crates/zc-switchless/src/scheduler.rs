@@ -108,7 +108,9 @@ pub(crate) fn set_active_workers(shared: &Shared, m: usize) {
         if activated < m && !w.is_poisoned() {
             activated += 1;
             w.post_command(SchedCommand::Run);
-            if w.state() == WorkerState::Paused
+            // A corrupted status word reads as Err here and is simply not
+            // Paused; the worker/caller guards own the quarantine.
+            if w.state() == Ok(WorkerState::Paused)
                 && w.try_transition(WorkerState::Paused, WorkerState::Unused)
             {
                 w.unpark();

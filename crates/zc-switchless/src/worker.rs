@@ -14,7 +14,7 @@
 
 use crate::buffer::{SchedCommand, WorkerBuffer};
 use crate::runtime::{Shared, YIELD_EVERY};
-use switchless_core::{WorkerFault, WorkerState};
+use switchless_core::{ByzantineFault, GuardKind, WorkerFault, WorkerState};
 
 /// Body of worker thread `index` serving buffer `me` (passed explicitly
 /// rather than read from the slot: a supervisor respawn swaps the slot
@@ -31,7 +31,18 @@ pub(crate) fn worker_loop(shared: &Shared, index: usize, me: &WorkerBuffer) {
     let mut spins: u32 = 0;
 
     loop {
-        match me.state() {
+        // Both shared words are host-writable: garbage in either is a
+        // guard violation, never a panic — count it, quarantine the
+        // buffer and retire the thread (the supervisor respawns the
+        // slot; callers re-route around the poison).
+        let state = match me.state() {
+            Ok(s) => s,
+            Err(v) => {
+                report_own_violation(shared, me, index, v.kind);
+                break;
+            }
+        };
+        match state {
             WorkerState::Processing => {
                 spins = 0;
                 if !execute(shared, me, index) {
@@ -43,12 +54,16 @@ pub(crate) fn worker_loop(shared: &Shared, index: usize, me: &WorkerBuffer) {
                 }
             }
             WorkerState::Unused => match me.sched_command() {
-                SchedCommand::Exit => {
+                Err(v) => {
+                    report_own_violation(shared, me, index, v.kind);
+                    break;
+                }
+                Ok(SchedCommand::Exit) => {
                     if me.try_transition(WorkerState::Unused, WorkerState::Exit) {
                         break;
                     }
                 }
-                SchedCommand::Deactivate => {
+                Ok(SchedCommand::Deactivate) => {
                     if me.try_transition(WorkerState::Unused, WorkerState::Paused) {
                         // Account the spin time up to here as busy, the
                         // parked time as idle.
@@ -62,7 +77,7 @@ pub(crate) fn worker_loop(shared: &Shared, index: usize, me: &WorkerBuffer) {
                         if let Some(m) = &meter {
                             m.add_idle(busy_since.saturating_sub(parked_at));
                         }
-                        if me.state() == WorkerState::Exit {
+                        if me.state() == Ok(WorkerState::Exit) {
                             // Final cleanup happened inside the park loop.
                             if let Some(m) = &meter {
                                 m.add_busy(0);
@@ -71,7 +86,7 @@ pub(crate) fn worker_loop(shared: &Shared, index: usize, me: &WorkerBuffer) {
                         }
                     }
                 }
-                SchedCommand::Run => {
+                Ok(SchedCommand::Run) => {
                     shared.clock.pause();
                     spins = spins.wrapping_add(1);
                     if spins.is_multiple_of(YIELD_EVERY) {
@@ -80,6 +95,12 @@ pub(crate) fn worker_loop(shared: &Shared, index: usize, me: &WorkerBuffer) {
                 }
             },
             WorkerState::Reserved | WorkerState::Waiting => {
+                if me.is_poisoned() {
+                    // The caller quarantined this buffer mid-handoff
+                    // (e.g. a guard rejected our reply) and will never
+                    // release it — retire instead of spinning forever.
+                    break;
+                }
                 // Caller-owned interim states: stay hot.
                 shared.clock.pause();
                 spins = spins.wrapping_add(1);
@@ -90,7 +111,7 @@ pub(crate) fn worker_loop(shared: &Shared, index: usize, me: &WorkerBuffer) {
             WorkerState::Paused => {
                 // Only reachable on a spurious unpark race; re-park.
                 park_until_released(me);
-                if me.state() == WorkerState::Exit {
+                if me.state() == Ok(WorkerState::Exit) {
                     break;
                 }
             }
@@ -107,25 +128,68 @@ pub(crate) fn worker_loop(shared: &Shared, index: usize, me: &WorkerBuffer) {
 /// command.
 fn park_until_released(me: &WorkerBuffer) {
     loop {
-        if me.sched_command() == SchedCommand::Exit {
+        let cmd = match me.sched_command() {
+            Ok(c) => c,
+            Err(_) => {
+                // Garbage on the command word while parked: quarantine
+                // and self-retire (PAUSED -> EXIT is a legal edge). The
+                // worker loop sees EXIT and terminates the thread.
+                me.poison();
+                let _ = me.try_transition(WorkerState::Paused, WorkerState::Exit);
+                return;
+            }
+        };
+        if cmd == SchedCommand::Exit {
             // Either we win PAUSED -> EXIT, or the scheduler already
             // moved us out of PAUSED (reactivation raced the shutdown).
             if me.try_transition(WorkerState::Paused, WorkerState::Exit)
-                || me.state() == WorkerState::Exit
+                || me.state() == Ok(WorkerState::Exit)
             {
                 return;
             }
         }
-        if me.state() != WorkerState::Paused {
-            return; // reactivated
+        if me.state() != Ok(WorkerState::Paused) {
+            return; // reactivated (or the status word was corrupted —
+                    // the worker loop's guard handles that)
         }
         std::thread::park();
     }
 }
 
+/// A worker detected garbage on one of its *own* shared words: count
+/// and trace the violation, then quarantine the buffer so no caller
+/// claims it again. The thread retires right after. The failure is also
+/// charged to the supervisor ledger (with no blacklist culprit — the
+/// worker cannot know which call shape the host was attacking) so the
+/// quarantined slot is respawned instead of being lost forever.
+fn report_own_violation(shared: &Shared, me: &WorkerBuffer, index: usize, kind: GuardKind) {
+    #[cfg(not(feature = "telemetry"))]
+    let _ = kind;
+    shared.stats.record_guard_violation();
+    #[cfg(feature = "telemetry")]
+    shared.telemetry_event(
+        zc_telemetry::Origin::Worker(index as u32),
+        zc_telemetry::Event::GuardViolation {
+            worker: index as u32,
+            kind,
+        },
+    );
+    me.poison();
+    if let Some(sup) = &shared.supervisor {
+        sup.lock().record_failure(
+            index,
+            switchless_core::FailureKind::Crash,
+            None,
+            shared.clock.now_cycles(),
+        );
+    }
+}
+
 /// Execute the posted request and publish results
-/// (`PROCESSING -> WAITING`). Returns `false` if an injected crash
-/// terminated the worker (the caller's request was *not* invoked).
+/// (`PROCESSING -> WAITING`). Returns `false` if the worker thread must
+/// retire: an injected crash (the caller's request was *not* invoked),
+/// a torn request slot, or a Byzantine status corruption that leaves the
+/// caller to detect the lie and quarantine the buffer.
 fn execute(shared: &Shared, me: &WorkerBuffer, index: usize) -> bool {
     #[cfg(not(feature = "telemetry"))]
     let _ = index;
@@ -176,12 +240,25 @@ fn execute(shared: &Shared, me: &WorkerBuffer, index: usize) -> bool {
         // retire the thread instead; the supervisor respawns the slot.
         return false;
     }
-    me.with_pool(|pool| {
+    // Byzantine adversary: a hostile host corrupting the shared words /
+    // reply metadata this worker is about to publish. The *trusted* side
+    // (caller guard) must detect every one of these lies.
+    let byz = shared
+        .faults
+        .as_ref()
+        .map_or(ByzantineFault::None, |f| f.on_byzantine());
+    if byz == ByzantineFault::TornRequest {
+        // The host overwrites the posted request while we own the slot.
+        me.with_slot(|slot| slot.request = None);
+    }
+    let torn = me.with_pool(|pool| {
         me.with_slot(|slot| {
-            let req = slot
-                .request
-                .take()
-                .expect("PROCESSING worker without a posted request");
+            // A PROCESSING slot without a request is host interference
+            // (torn overwrite), not a protocol bug: handled gracefully,
+            // never a panic.
+            let Some(req) = slot.request.take() else {
+                return true;
+            };
             let (off, len) = slot.payload_in;
             let payload_in = pool.slice(off, len);
             // Contain host-function panics: an unwinding worker would
@@ -196,9 +273,42 @@ fn execute(shared: &Shared, me: &WorkerBuffer, index: usize) -> bool {
             }))
             .unwrap_or(-1);
             slot.reply.ret = ret;
-            slot.reply.payload_len = slot.payload_out.len() as u32;
-        });
+            let actual = slot.payload_out.len() as u32;
+            // An honest worker declares exactly the bytes present and
+            // echoes the request's sequence tag; the Byzantine variants
+            // lie about one of the two.
+            slot.reply.payload_len = match byz {
+                ByzantineFault::OversizeReplyLen => actual.wrapping_add(1),
+                // An empty reply cannot be undersold; the +1 lie still
+                // mismatches and is caught as an oversize violation.
+                ByzantineFault::UndersizeReplyLen => actual.checked_sub(1).unwrap_or(1),
+                _ => actual,
+            };
+            slot.reply.seq = match byz {
+                ByzantineFault::StaleSeqReplay => req.seq.wrapping_sub(1),
+                _ => req.seq,
+            };
+            false
+        })
     });
+    if torn {
+        report_own_violation(shared, me, index, GuardKind::TornRequest);
+        return false;
+    }
+    if byz == ByzantineFault::FlipStatus {
+        // The host scribbles garbage on the status word instead of the
+        // legal PROCESSING -> WAITING edge. Retire *without* poisoning:
+        // the spinning caller must read the garbage itself, emit the
+        // violation and quarantine the slot.
+        me.host_write_status(0xEE);
+        return false;
+    }
+    if byz == ByzantineFault::GarbageCommand {
+        // The host scribbles on the scheduler-command word. The reply
+        // itself is honest — this worker detects the garbage on its next
+        // idle iteration and self-quarantines.
+        me.host_write_sched_cmd(0xEE);
+    }
     let ok = me.try_transition(WorkerState::Processing, WorkerState::Waiting);
     debug_assert!(ok, "PROCESSING -> WAITING must not be contended");
     true

@@ -1,0 +1,91 @@
+//! Property test: under *arbitrary* Byzantine corruption schedules the
+//! ZC runtime never panics, never returns corrupted results, and never
+//! loses a call — every rejected switchless attempt completes through
+//! the fallback path, so the call ledger stays conserved.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use switchless_core::{
+    CpuSpec, FaultInjector, FaultPlan, OcallDispatcher, OcallRequest, OcallTable, ZcConfig,
+    MAX_OCALL_ARGS,
+};
+use zc_switchless::ZcRuntime;
+
+const CALLS: usize = 40;
+
+/// Build a plan from `(site, kind)` pairs; `kind` indexes the six
+/// corruption behaviours. Later entries for the same site lose to the
+/// earlier one via the injector's fixed precedence, which is fine — the
+/// property is about survival, not exact counts.
+fn plan_from(schedule: &[(u64, usize)]) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for &(site, kind) in schedule {
+        plan = match kind {
+            0 => plan.flip_status_at(site),
+            1 => plan.garbage_command_at(site),
+            2 => plan.oversize_reply_at(site),
+            3 => plan.undersize_reply_at(site),
+            4 => plan.stale_seq_at(site),
+            _ => plan.torn_request_at(site),
+        };
+    }
+    plan
+}
+
+proptest! {
+    /// Forty checksummed calls against a host lying per an arbitrary
+    /// schedule: every call returns the honest checksum and the stats
+    /// ledger conserves (`issued == switchless + fallback + regular +
+    /// cancelled`). Corrupted slots are quarantined, not respawned
+    /// (supervision stays off), so the run also exercises the
+    /// all-workers-poisoned degraded mode.
+    #[test]
+    fn arbitrary_corruption_never_loses_or_corrupts_calls(
+        schedule in prop::collection::vec((0u64..30, 0usize..6), 0..12),
+    ) {
+        let mut cpu = CpuSpec::paper_machine();
+        cpu.logical_cpus = 4;
+        let mut table = OcallTable::new();
+        let sum = table.register(
+            "sum",
+            |_: &[u64; MAX_OCALL_ARGS], pin: &[u8], pout: &mut Vec<u8>| {
+                let s: u64 = pin.iter().map(|&b| u64::from(b)).sum();
+                pout.extend_from_slice(&s.to_le_bytes());
+                s as i64
+            },
+        );
+        let faults = Arc::new(FaultInjector::new(plan_from(&schedule)));
+        let rt = ZcRuntime::start_with_faults(
+            ZcConfig::for_cpu(cpu),
+            Arc::new(table),
+            sgx_sim::Enclave::new(cpu),
+            Arc::clone(&faults),
+        )
+        .unwrap();
+
+        let mut out = Vec::new();
+        for i in 0..CALLS {
+            let byte = (i % 251 + 1) as u8;
+            let len = 1 + i % 17;
+            let payload = vec![byte; len];
+            let expect = u64::from(byte) * len as u64;
+            let (ret, _path) = rt
+                .dispatch(&OcallRequest::new(sum, &[]), &payload, &mut out)
+                .unwrap();
+            prop_assert_eq!(ret, expect as i64, "call {} returned a corrupted checksum", i);
+            prop_assert_eq!(&out[..], &expect.to_le_bytes()[..], "call {} reply bytes", i);
+        }
+
+        let snap = rt.stats().snapshot();
+        prop_assert_eq!(snap.issued, CALLS as u64);
+        prop_assert!(
+            snap.is_conserved(),
+            "call ledger lost calls under corruption: {:?}",
+            snap
+        );
+        // Every *detected* lie must have routed somewhere countable:
+        // violations never exceed the corruptions actually injected.
+        prop_assert!(snap.guard_violations <= faults.counts().byzantine_total());
+        rt.shutdown();
+    }
+}

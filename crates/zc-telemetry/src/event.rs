@@ -1,7 +1,7 @@
 //! Typed trace events and their origins.
 
 use switchless_core::policy::DecisionRecord;
-use switchless_core::{CallPath, WorkerState};
+use switchless_core::{CallPath, GuardKind, WorkerState};
 
 /// Which scheduler phase a step belongs to (paper §IV-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -180,6 +180,15 @@ pub enum Event {
         /// Cycles the call had been in flight when cancelled.
         waited_cycles: u64,
     },
+    /// The trusted-side guard rejected a host-written value crossing
+    /// the shared-memory boundary; the call re-routed via fallback and
+    /// the worker slot was quarantined.
+    GuardViolation {
+        /// Worker slot whose shared words failed validation.
+        worker: u32,
+        /// Which guard rule was broken.
+        kind: GuardKind,
+    },
     /// A poison request shape was pinned to the regular-ocall path
     /// after killing too many workers.
     Blacklisted {
@@ -210,6 +219,7 @@ impl Event {
             Event::WorkerRespawned { .. } => "worker_respawned",
             Event::WorkerHealed { .. } => "worker_healed",
             Event::WatchdogCancel { .. } => "watchdog_cancel",
+            Event::GuardViolation { .. } => "guard_violation",
             Event::Blacklisted { .. } => "blacklisted",
             Event::Marker { .. } => "marker",
         }

@@ -124,6 +124,9 @@ fn event_fields(event: &Event) -> String {
             func,
             waited_cycles,
         } => format!(",\"worker\":{worker},\"func\":{func},\"waited_cycles\":{waited_cycles}"),
+        Event::GuardViolation { worker, kind } => {
+            format!(",\"worker\":{worker},\"guard\":\"{}\"", kind.name())
+        }
         Event::Blacklisted { func, shape } => format!(",\"func\":{func},\"shape\":{shape}"),
         Event::Marker { label } => format!(",\"label\":\"{}\"", json_escape(label)),
     }
@@ -373,6 +376,12 @@ pub fn to_chrome_trace(events: &[RecordedEvent], freq_hz: u64) -> String {
                     "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"g\",\"name\":\"watchdog_cancel\",\"args\":{{\"worker\":{worker},\"func\":{func},\"waited_cycles\":{waited_cycles}}}}}"
                 ));
             }
+            Event::GuardViolation { worker, kind } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"g\",\"name\":\"guard:{}\",\"args\":{{\"worker\":{worker}}}}}",
+                    kind.name()
+                ));
+            }
             Event::Blacklisted { func, shape } => {
                 lines.push(format!(
                     "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"g\",\"name\":\"blacklisted\",\"args\":{{\"func\":{func},\"shape\":{shape}}}}}"
@@ -469,6 +478,23 @@ mod tests {
         assert!(lines[1].contains("\"costs\":[720,34]"));
         assert!(lines[2].contains("\"path\":\"switchless\""));
         assert!(lines[3].contains("\"fault\":\"worker_crash\""));
+    }
+
+    #[test]
+    fn guard_violation_exports_worker_and_kind() {
+        let evs = vec![RecordedEvent {
+            t_cycles: 500,
+            origin: Origin::Caller(2),
+            event: Event::GuardViolation {
+                worker: 1,
+                kind: switchless_core::GuardKind::StaleSequence,
+            },
+        }];
+        let jsonl = events_to_jsonl(&evs);
+        assert!(jsonl.contains("\"kind\":\"guard_violation\""));
+        assert!(jsonl.contains("\"worker\":1,\"guard\":\"stale_sequence\""));
+        let trace = to_chrome_trace(&evs, 1_000_000_000);
+        assert!(trace.contains("\"name\":\"guard:stale_sequence\""));
     }
 
     #[test]
