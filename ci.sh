@@ -26,6 +26,18 @@ cargo check -q -p zc-switchless -p intel-switchless -p zc-des --no-default-featu
 echo "==> cargo test (workspace)"
 cargo test -q --workspace
 
+echo "==> DES kernel throughput smoke (event-driven vs round-robin)"
+# Times both DES kernels on the oversubscribed 128-vCPU ZC scenario and
+# writes BENCH_des_throughput.json. Full mode enforces the acceptance
+# floor: the event kernel must sustain >=100x the round-robin kernel's
+# simulated-calls-per-wall-second (DESIGN.md §11).
+cargo build --release -q -p zc-bench --bin bench_des_throughput
+if [[ $quick -eq 0 ]]; then
+    ./target/release/bench_des_throughput
+else
+    ./target/release/bench_des_throughput --quick
+fi
+
 if [[ $quick -eq 0 ]]; then
     # The fault-injection, property and telemetry-trace suites must be
     # deterministic on the virtual clock: two more full runs guard

@@ -1,0 +1,969 @@
+//! Priority-queue discrete-event kernel: virtual time jumps straight to
+//! the next scheduled event instead of stepping round-robin quanta.
+//!
+//! # Model
+//!
+//! The [`EventKernel`] runs the same [`Actor`]/[`Syscall`] programs as
+//! the cycle-accurate round-robin [`Kernel`], but schedules them
+//! differently:
+//!
+//! * Threads follow an explicit **Ready / Running / Blocked** state
+//!   machine. A thread is *Running* only while it has a pending
+//!   [`Syscall::Compute`]; every wait ([`Syscall::SpinUntil`],
+//!   [`Syscall::Sleep`], [`Syscall::Park`]) releases the core and parks
+//!   the thread in a *Blocked* state until an event wakes it.
+//! * **Spin-waits are parked, not held**: a `SpinUntil` registers the
+//!   thread as a flag waiter and blocks. A matching flag write wakes it
+//!   one pause-latency later, and the whole blocked span is charged as
+//!   *busy* time — the cycles a real spinner would have burned — so
+//!   busy/idle accounting agrees with the round-robin kernel. Spin
+//!   timeouts elapse in wall (virtual) time from the moment the spin
+//!   starts.
+//! * There is **no preemption and no quantum**: cores only gate how many
+//!   computations overlap. With at most as many threads as cores the
+//!   schedule this produces is *cycle-identical* to the round-robin
+//!   kernel's (which never preempts when the run queue is empty); the
+//!   cross-kernel equivalence suite pins that down. With more threads
+//!   than cores the event kernel stays live (spinners do not hog cores)
+//!   but models cooperative rather than time-sliced scheduling — use the
+//!   round-robin kernel to study core contention.
+//!
+//! The event heap orders by `(time, sequence)` with FIFO tie-breaking,
+//! exactly like the round-robin kernel, so runs are deterministic:
+//! same actors, same trace, byte for byte.
+//!
+//! In discrete-event terms each thread is a component: its `next_tick`
+//! is the timestamp of its earliest armed event, and [`Actor::step`] is
+//! its `tick`. [`EventKernel::next_tick`]/[`EventKernel::tick`] expose
+//! the machine-level form of that interface for external drivers that
+//! want to interleave the simulation with other event sources.
+
+use crate::kernel::{
+    Actor, FlagId, Machine, OccupancyEvent, SpinTarget, Syscall, SyscallResult, Tid,
+};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Virtual-thread scheduling state (the explicit Ready/Running/Blocked
+/// machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    /// Waiting in the FIFO ready queue for a core.
+    Ready,
+    /// On a core with a pending compute op.
+    Running { core: usize },
+    /// Parked on a flag waiter list (charged busy on wake).
+    SpinBlocked,
+    /// Sleeping until a timer (idle).
+    Sleeping,
+    /// Parked until an unpark token (idle).
+    Parked,
+    /// Terminated.
+    Finished,
+}
+
+struct ThreadCb {
+    actor: Box<dyn Actor>,
+    state: TState,
+    /// Spin condition while `SpinBlocked` (used to re-check at wake).
+    spin: Option<(FlagId, SpinTarget)>,
+    /// Result to deliver at the next `step`.
+    next_result: SyscallResult,
+    unpark_pending: bool,
+    /// Event generation: stale wake/timer events are ignored.
+    generation: u64,
+    busy_cycles: u64,
+    idle_cycles: u64,
+    /// When the current busy (running/spinning) or idle segment started.
+    segment_start: u64,
+    group: String,
+}
+
+struct Flag {
+    value: u64,
+    /// Tids currently spin-blocked on this flag.
+    waiters: Vec<Tid>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A running thread's compute finishes, or a spin-blocked thread
+    /// observes its flag / exhausts its timeout.
+    Wake { tid: Tid, generation: u64 },
+    /// Sleep finished.
+    Timer { tid: Tid, generation: u64 },
+}
+
+/// Wrapper giving `Event` a (trivial) total order: the heap orders by
+/// the `(time, seq)` key, never by the event itself.
+#[derive(Debug, Clone, Copy)]
+struct EventBox(Event);
+
+impl PartialEq for EventBox {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl Eq for EventBox {}
+impl PartialOrd for EventBox {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventBox {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+/// The priority-queue discrete-event kernel. See module docs.
+pub struct EventKernel {
+    now: u64,
+    events: BinaryHeap<Reverse<(u64, u64, EventBox)>>,
+    seq: u64,
+    threads: Vec<ThreadCb>,
+    flags: Vec<Flag>,
+    cores: usize,
+    /// Idle core indices; lowest index is handed out first, matching the
+    /// round-robin kernel's core-assignment order.
+    free_cores: BinaryHeap<Reverse<usize>>,
+    /// FIFO queue of `Ready` threads waiting for a core.
+    ready: VecDeque<Tid>,
+    pause_cycles: u64,
+    live_threads: usize,
+    steps: u64,
+    trace: Option<Vec<OccupancyEvent>>,
+}
+
+impl std::fmt::Debug for EventKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventKernel")
+            .field("now", &self.now)
+            .field("cores", &self.cores)
+            .field("threads", &self.threads.len())
+            .field("live", &self.live_threads)
+            .finish()
+    }
+}
+
+impl EventKernel {
+    /// Kernel with `cores` cores and the pause latency in cycles. There
+    /// is no round-robin quantum: the event kernel never preempts.
+    #[must_use]
+    pub fn new(cores: usize, pause_cycles: u64) -> Self {
+        let cores = cores.max(1);
+        EventKernel {
+            now: 0,
+            events: BinaryHeap::new(),
+            seq: 0,
+            threads: Vec::new(),
+            flags: Vec::new(),
+            cores,
+            free_cores: (0..cores).map(Reverse).collect(),
+            ready: VecDeque::new(),
+            pause_cycles: pause_cycles.max(1),
+            live_threads: 0,
+            steps: 0,
+            trace: None,
+        }
+    }
+
+    /// Record core-occupancy changes for later inspection (e.g. the
+    /// [`gantt`](crate::gantt) renderer). Call before running. Only
+    /// compute occupancy is traced: blocked spinners are off-core here.
+    pub fn enable_tracing(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Occupancy trace recorded so far (empty unless tracing enabled).
+    #[must_use]
+    pub fn trace(&self) -> &[OccupancyEvent] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Number of cores in the machine.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Current virtual time in cycles.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Allocate a flag cell initialised to `value`.
+    pub fn new_flag(&mut self, value: u64) -> FlagId {
+        self.flags.push(Flag {
+            value,
+            waiters: Vec::new(),
+        });
+        FlagId(self.flags.len() - 1)
+    }
+
+    /// Current value of a flag.
+    #[must_use]
+    pub fn flag(&self, id: FlagId) -> u64 {
+        self.flags[id.0].value
+    }
+
+    /// Spawn an actor as a ready thread; returns its [`Tid`].
+    pub fn spawn(&mut self, actor: Box<dyn Actor>) -> Tid {
+        let tid = Tid(self.threads.len());
+        let group = actor.group().to_string();
+        self.threads.push(ThreadCb {
+            actor,
+            state: TState::Ready,
+            spin: None,
+            next_result: SyscallResult::Init,
+            unpark_pending: false,
+            generation: 0,
+            busy_cycles: 0,
+            idle_cycles: 0,
+            segment_start: 0,
+            group,
+        });
+        self.live_threads += 1;
+        self.ready.push_back(tid);
+        tid
+    }
+
+    /// `(busy, idle)` cycles recorded for `tid` so far.
+    #[must_use]
+    pub fn thread_cycles(&self, tid: Tid) -> (u64, u64) {
+        let t = &self.threads[tid.0];
+        (t.busy_cycles, t.idle_cycles)
+    }
+
+    /// Sum of busy cycles over all threads whose group name equals
+    /// `group`.
+    #[must_use]
+    pub fn group_busy_cycles(&self, group: &str) -> u64 {
+        self.threads
+            .iter()
+            .filter(|t| t.group == group)
+            .map(|t| t.busy_cycles)
+            .sum()
+    }
+
+    /// Total busy cycles over all threads.
+    #[must_use]
+    pub fn total_busy_cycles(&self) -> u64 {
+        self.threads.iter().map(|t| t.busy_cycles).sum()
+    }
+
+    /// Number of threads not yet finished.
+    #[must_use]
+    pub fn live_threads(&self) -> usize {
+        self.live_threads
+    }
+
+    /// Total actor steps executed (diagnostics / runaway detection).
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Timestamp of the next scheduled event, if any — the machine-level
+    /// `next_tick` of the discrete-event component interface.
+    #[must_use]
+    pub fn next_tick(&self) -> Option<u64> {
+        self.events.peek().map(|Reverse((time, _, _))| *time)
+    }
+
+    /// Process exactly the next event (advancing virtual time to it) and
+    /// everything it unblocks at that instant. Returns the new virtual
+    /// time, or `None` when no event is pending.
+    pub fn tick(&mut self) -> Option<u64> {
+        self.dispatch();
+        let Reverse((time, _, EventBox(ev))) = self.events.pop()?;
+        debug_assert!(time >= self.now);
+        self.now = time;
+        self.handle(ev);
+        self.dispatch();
+        Some(self.now)
+    }
+
+    fn push_event(&mut self, time: u64, ev: Event) {
+        self.seq += 1;
+        self.events.push(Reverse((time, self.seq, EventBox(ev))));
+    }
+
+    /// Run until every thread finishes or virtual time reaches
+    /// `deadline`. Returns the final virtual time.
+    pub fn run_until(&mut self, deadline: u64) -> u64 {
+        self.run_while(deadline, || true)
+    }
+
+    /// Run until every thread finishes, virtual time reaches `deadline`,
+    /// or `keep_going` returns `false` (checked after each event).
+    /// Returns the final virtual time.
+    pub fn run_while(&mut self, deadline: u64, mut keep_going: impl FnMut() -> bool) -> u64 {
+        self.dispatch();
+        while self.live_threads > 0 {
+            let Some(&Reverse((time, _, _))) = self.events.peek() else {
+                // Live threads but no future events: everything is
+                // blocked forever. Return rather than hang.
+                break;
+            };
+            if time > deadline {
+                self.now = deadline.max(self.now);
+                break;
+            }
+            let Reverse((time, _, EventBox(ev))) = self.events.pop().expect("peeked event");
+            debug_assert!(time >= self.now);
+            self.now = time;
+            self.handle(ev);
+            self.dispatch();
+            if !keep_going() {
+                break;
+            }
+        }
+        self.now
+    }
+
+    /// Run to completion (no deadline).
+    pub fn run(&mut self) -> u64 {
+        self.run_until(u64::MAX)
+    }
+
+    fn trace_occupancy(&mut self, core: usize, tid: Option<Tid>) {
+        let now = self.now;
+        if let Some(trace) = &mut self.trace {
+            trace.push(OccupancyEvent { t: now, core, tid });
+        }
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::Wake { tid, generation } => {
+                if self.threads[tid.0].generation != generation {
+                    return; // stale
+                }
+                match self.threads[tid.0].state {
+                    TState::Running { core } => {
+                        // Compute finished: charge the busy segment and
+                        // step in place — the thread keeps its core.
+                        let now = self.now;
+                        let t = &mut self.threads[tid.0];
+                        t.busy_cycles += now.saturating_sub(t.segment_start);
+                        t.segment_start = now;
+                        t.generation += 1;
+                        t.next_result = SyscallResult::Ok;
+                        self.step_thread_on_core(tid, core);
+                    }
+                    TState::SpinBlocked => {
+                        // Spin observed its flag, or timed out. The whole
+                        // blocked span was on-CPU in spirit: charge busy.
+                        // A wake racing a later flag write re-checks the
+                        // condition, mirroring the round-robin kernel: a
+                        // spin completing while the flag no longer
+                        // matches is a timeout.
+                        let now = self.now;
+                        let (flag, target) = self.threads[tid.0]
+                            .spin
+                            .expect("spin-blocked without a spin");
+                        let result = if target.matches(self.flags[flag.0].value) {
+                            SyscallResult::Ok
+                        } else {
+                            SyscallResult::TimedOut
+                        };
+                        self.flags[flag.0].waiters.retain(|&w| w != tid);
+                        let t = &mut self.threads[tid.0];
+                        t.busy_cycles += now.saturating_sub(t.segment_start);
+                        t.segment_start = now;
+                        t.spin = None;
+                        t.generation += 1;
+                        t.next_result = result;
+                        t.state = TState::Ready;
+                        self.ready.push_back(tid);
+                    }
+                    _ => {} // stale wake for a thread that moved on
+                }
+            }
+            Event::Timer { tid, generation } => {
+                if self.threads[tid.0].generation != generation {
+                    return;
+                }
+                let now = self.now;
+                let t = &mut self.threads[tid.0];
+                debug_assert_eq!(t.state, TState::Sleeping);
+                t.idle_cycles += now.saturating_sub(t.segment_start);
+                t.segment_start = now;
+                t.generation += 1;
+                t.next_result = SyscallResult::Ok;
+                t.state = TState::Ready;
+                self.ready.push_back(tid);
+            }
+        }
+    }
+
+    /// Pull ready threads onto idle cores and step them. Stepping may
+    /// ready further threads (unparks) or free cores (blocks), so loop
+    /// until one side is exhausted.
+    fn dispatch(&mut self) {
+        loop {
+            if self.ready.is_empty() {
+                return;
+            }
+            let Some(&Reverse(core)) = self.free_cores.peek() else {
+                return;
+            };
+            let tid = self.ready.pop_front().expect("checked non-empty");
+            self.free_cores.pop();
+            self.threads[tid.0].segment_start = self.now;
+            self.threads[tid.0].state = TState::Running { core };
+            self.trace_occupancy(core, Some(tid));
+            self.step_thread_on_core(tid, core);
+        }
+    }
+
+    fn release_core(&mut self, core: usize) {
+        self.free_cores.push(Reverse(core));
+        self.trace_occupancy(core, None);
+    }
+
+    /// Step the actor of the thread owning `core`, executing instant
+    /// syscalls inline until a time-consuming one is returned.
+    fn step_thread_on_core(&mut self, tid: Tid, core: usize) {
+        self.threads[tid.0].state = TState::Running { core };
+        loop {
+            self.steps += 1;
+            let res = self.threads[tid.0].next_result;
+            self.threads[tid.0].next_result = SyscallResult::Ok;
+            let now = self.now;
+            let sys = self.threads[tid.0].actor.step(res, now);
+            match sys {
+                Syscall::Compute(cycles) => {
+                    let t = &mut self.threads[tid.0];
+                    t.state = TState::Running { core };
+                    t.segment_start = now;
+                    t.generation += 1;
+                    let generation = t.generation;
+                    self.push_event(now + cycles, Event::Wake { tid, generation });
+                    return;
+                }
+                Syscall::SpinUntil {
+                    flag,
+                    target,
+                    timeout_pauses,
+                } => {
+                    // Park the spinner: it no longer holds the core. The
+                    // busy charge for the wait lands at wake time.
+                    self.release_core(core);
+                    let t = &mut self.threads[tid.0];
+                    t.state = TState::SpinBlocked;
+                    t.spin = Some((flag, target));
+                    t.segment_start = now;
+                    t.generation += 1;
+                    let generation = t.generation;
+                    if target.matches(self.flags[flag.0].value) {
+                        // Condition already true: observed after one
+                        // pause.
+                        self.push_event(now + self.pause_cycles, Event::Wake { tid, generation });
+                    } else {
+                        if !self.flags[flag.0].waiters.contains(&tid) {
+                            self.flags[flag.0].waiters.push(tid);
+                        }
+                        if let Some(p) = timeout_pauses {
+                            self.push_event(
+                                now + p.max(1) * self.pause_cycles,
+                                Event::Wake { tid, generation },
+                            );
+                        }
+                        // Without a timeout, only a flag write moves
+                        // this thread.
+                    }
+                    return;
+                }
+                Syscall::SetFlag { flag, value } => {
+                    self.set_flag_internal(flag, value);
+                }
+                Syscall::Unpark(target) => {
+                    self.unpark_internal(target);
+                }
+                Syscall::Sleep(cycles) => {
+                    self.release_core(core);
+                    let t = &mut self.threads[tid.0];
+                    t.state = TState::Sleeping;
+                    t.segment_start = now;
+                    t.generation += 1;
+                    let generation = t.generation;
+                    self.push_event(now + cycles, Event::Timer { tid, generation });
+                    return;
+                }
+                Syscall::Park => {
+                    if self.threads[tid.0].unpark_pending {
+                        self.threads[tid.0].unpark_pending = false;
+                        continue; // token available: return immediately
+                    }
+                    self.release_core(core);
+                    let t = &mut self.threads[tid.0];
+                    t.state = TState::Parked;
+                    t.segment_start = now;
+                    t.generation += 1;
+                    return;
+                }
+                Syscall::Done => {
+                    self.release_core(core);
+                    let t = &mut self.threads[tid.0];
+                    t.state = TState::Finished;
+                    t.generation += 1;
+                    self.live_threads -= 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    fn set_flag_internal(&mut self, flag: FlagId, value: u64) {
+        self.flags[flag.0].value = value;
+        if self.flags[flag.0].waiters.is_empty() {
+            return;
+        }
+        let waiters: Vec<Tid> = self.flags[flag.0].waiters.clone();
+        for tid in waiters {
+            let Some((_, target)) = self.threads[tid.0].spin else {
+                continue;
+            };
+            if !target.matches(value) {
+                continue;
+            }
+            // Observed one pause later; a fresh generation supersedes
+            // any armed timeout event. The waiter entry stays until the
+            // wake fires, mirroring the round-robin kernel.
+            self.threads[tid.0].generation += 1;
+            let generation = self.threads[tid.0].generation;
+            self.push_event(
+                self.now + self.pause_cycles,
+                Event::Wake { tid, generation },
+            );
+        }
+    }
+
+    fn unpark_internal(&mut self, target: Tid) {
+        let now = self.now;
+        let t = &mut self.threads[target.0];
+        match t.state {
+            TState::Parked => {
+                t.idle_cycles += now.saturating_sub(t.segment_start);
+                t.segment_start = now;
+                t.state = TState::Ready;
+                t.next_result = SyscallResult::Ok;
+                self.ready.push_back(target);
+            }
+            TState::Finished => {}
+            _ => {
+                t.unpark_pending = true;
+            }
+        }
+    }
+}
+
+impl Machine for EventKernel {
+    fn new_flag(&mut self, value: u64) -> FlagId {
+        EventKernel::new_flag(self, value)
+    }
+    fn flag(&self, id: FlagId) -> u64 {
+        EventKernel::flag(self, id)
+    }
+    fn spawn(&mut self, actor: Box<dyn Actor>) -> Tid {
+        EventKernel::spawn(self, actor)
+    }
+    fn now(&self) -> u64 {
+        EventKernel::now(self)
+    }
+    fn cores(&self) -> usize {
+        EventKernel::cores(self)
+    }
+    fn run_while_dyn(&mut self, deadline: u64, keep_going: &mut dyn FnMut() -> bool) -> u64 {
+        EventKernel::run_while(self, deadline, keep_going)
+    }
+    fn thread_cycles(&self, tid: Tid) -> (u64, u64) {
+        EventKernel::thread_cycles(self, tid)
+    }
+    fn group_busy_cycles(&self, group: &str) -> u64 {
+        EventKernel::group_busy_cycles(self, group)
+    }
+    fn total_busy_cycles(&self) -> u64 {
+        EventKernel::total_busy_cycles(self)
+    }
+    fn live_threads(&self) -> usize {
+        EventKernel::live_threads(self)
+    }
+    fn steps(&self) -> u64 {
+        EventKernel::steps(self)
+    }
+    fn enable_tracing(&mut self) {
+        EventKernel::enable_tracing(self);
+    }
+    fn trace(&self) -> &[OccupancyEvent] {
+        EventKernel::trace(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Scripted actor: plays a fixed list of syscalls, recording results.
+    struct Script {
+        steps: Vec<Syscall>,
+        i: usize,
+        log: Rc<RefCell<Vec<(u64, SyscallResult)>>>,
+    }
+
+    impl Script {
+        fn new(steps: Vec<Syscall>, log: Rc<RefCell<Vec<(u64, SyscallResult)>>>) -> Box<Self> {
+            Box::new(Script { steps, i: 0, log })
+        }
+    }
+
+    impl Actor for Script {
+        fn step(&mut self, res: SyscallResult, now: u64) -> Syscall {
+            self.log.borrow_mut().push((now, res));
+            let s = self.steps.get(self.i).copied().unwrap_or(Syscall::Done);
+            self.i += 1;
+            s
+        }
+        fn group(&self) -> &str {
+            "script"
+        }
+    }
+
+    fn kernel(cores: usize) -> EventKernel {
+        EventKernel::new(cores, 140)
+    }
+
+    #[test]
+    fn single_compute_finishes_at_exact_time() {
+        let mut k = kernel(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        k.spawn(Script::new(vec![Syscall::Compute(5_000)], Rc::clone(&log)));
+        let end = k.run();
+        assert_eq!(end, 5_000);
+        let log = log.borrow();
+        assert_eq!(log[0], (0, SyscallResult::Init));
+        assert_eq!(log[1], (5_000, SyscallResult::Ok));
+    }
+
+    #[test]
+    fn two_threads_one_core_serialize_cooperatively() {
+        // No preemption: thread 0 runs its whole compute, then thread 1.
+        let mut k = kernel(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let a = k.spawn(Script::new(
+            vec![Syscall::Compute(300_000)],
+            Rc::clone(&log),
+        ));
+        let b = k.spawn(Script::new(
+            vec![Syscall::Compute(300_000)],
+            Rc::clone(&log),
+        ));
+        let end = k.run();
+        assert_eq!(end, 600_000, "one core must serialize the work");
+        assert_eq!(k.thread_cycles(a).0, 300_000);
+        assert_eq!(k.thread_cycles(b).0, 300_000);
+    }
+
+    #[test]
+    fn two_threads_two_cores_parallelize() {
+        let mut k = kernel(2);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        k.spawn(Script::new(
+            vec![Syscall::Compute(300_000)],
+            Rc::clone(&log),
+        ));
+        k.spawn(Script::new(
+            vec![Syscall::Compute(300_000)],
+            Rc::clone(&log),
+        ));
+        assert_eq!(k.run(), 300_000);
+    }
+
+    #[test]
+    fn sleep_yields_the_core() {
+        let mut k = kernel(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let sleeper = k.spawn(Script::new(
+            vec![Syscall::Sleep(1_000_000)],
+            Rc::clone(&log),
+        ));
+        let worker = k.spawn(Script::new(
+            vec![Syscall::Compute(500_000)],
+            Rc::clone(&log),
+        ));
+        let end = k.run();
+        assert_eq!(end, 1_000_000, "sleep dominates");
+        assert_eq!(k.thread_cycles(sleeper), (0, 1_000_000));
+        assert_eq!(k.thread_cycles(worker).0, 500_000);
+        assert!(log.borrow().contains(&(500_000, SyscallResult::Ok)));
+    }
+
+    #[test]
+    fn spin_wakes_one_pause_after_flag_set() {
+        let mut k = kernel(2);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let flag = k.new_flag(0);
+        k.spawn(Script::new(
+            vec![Syscall::SpinUntil {
+                flag,
+                target: SpinTarget::Eq(1),
+                timeout_pauses: None,
+            }],
+            Rc::clone(&log),
+        ));
+        k.spawn(Script::new(
+            vec![
+                Syscall::Compute(10_000),
+                Syscall::SetFlag { flag, value: 1 },
+            ],
+            Rc::clone(&log),
+        ));
+        let end = k.run();
+        assert_eq!(end, 10_000 + 140, "observed one pause after the set");
+        assert_eq!(
+            k.thread_cycles(Tid(0)).0,
+            10_140,
+            "spinner charged busy throughout the parked wait"
+        );
+    }
+
+    #[test]
+    fn spin_timeout_fires_after_budget() {
+        let mut k = kernel(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let flag = k.new_flag(0);
+        k.spawn(Script::new(
+            vec![Syscall::SpinUntil {
+                flag,
+                target: SpinTarget::Eq(1),
+                timeout_pauses: Some(100),
+            }],
+            Rc::clone(&log),
+        ));
+        let end = k.run();
+        assert_eq!(end, 100 * 140);
+        assert_eq!(log.borrow()[1], (14_000, SyscallResult::TimedOut));
+    }
+
+    #[test]
+    fn spin_on_already_set_flag_returns_after_one_pause() {
+        let mut k = kernel(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let flag = k.new_flag(7);
+        k.spawn(Script::new(
+            vec![Syscall::SpinUntil {
+                flag,
+                target: SpinTarget::Eq(7),
+                timeout_pauses: Some(5),
+            }],
+            Rc::clone(&log),
+        ));
+        let end = k.run();
+        assert_eq!(end, 140);
+        assert_eq!(log.borrow()[1].1, SyscallResult::Ok);
+    }
+
+    #[test]
+    fn parked_spinner_frees_its_core_for_the_setter() {
+        // One core: in the round-robin kernel this spinner would hold the
+        // core until preemption or timeout; here it parks, the setter
+        // runs immediately, and the spin completes without a timeout.
+        let mut k = kernel(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let flag = k.new_flag(0);
+        k.spawn(Script::new(
+            vec![Syscall::SpinUntil {
+                flag,
+                target: SpinTarget::Eq(1),
+                timeout_pauses: Some(1_000),
+            }],
+            Rc::clone(&log),
+        ));
+        k.spawn(Script::new(
+            vec![Syscall::Compute(5_000), Syscall::SetFlag { flag, value: 1 }],
+            Rc::clone(&log),
+        ));
+        let end = k.run();
+        assert_eq!(end, 5_140, "setter never waits for the spinner's core");
+        assert!(log.borrow().contains(&(5_140, SyscallResult::Ok)));
+    }
+
+    #[test]
+    fn park_and_unpark() {
+        let mut k = kernel(2);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let parked = k.spawn(Script::new(vec![Syscall::Park], Rc::clone(&log)));
+        k.spawn(Script::new(
+            vec![Syscall::Compute(50_000), Syscall::Unpark(parked)],
+            Rc::clone(&log),
+        ));
+        let end = k.run();
+        assert_eq!(end, 50_000);
+        assert_eq!(k.thread_cycles(parked), (0, 50_000), "parked time is idle");
+    }
+
+    #[test]
+    fn unpark_token_prevents_park() {
+        let mut k = kernel(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let target = Tid(1);
+        k.spawn(Script::new(
+            vec![Syscall::Unpark(target), Syscall::Compute(1_000)],
+            Rc::clone(&log),
+        ));
+        k.spawn(Script::new(
+            vec![Syscall::Park, Syscall::Compute(500)],
+            Rc::clone(&log),
+        ));
+        let end = k.run();
+        assert_eq!(end, 1_500, "park must not block with a pending token");
+    }
+
+    #[test]
+    fn deadline_stops_the_clock() {
+        let mut k = kernel(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        k.spawn(Script::new(
+            vec![Syscall::Compute(u64::MAX / 2)],
+            Rc::clone(&log),
+        ));
+        let end = k.run_until(1_000_000);
+        assert_eq!(end, 1_000_000);
+        assert_eq!(k.live_threads(), 1);
+    }
+
+    #[test]
+    fn all_parked_terminates_run() {
+        let mut k = kernel(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        k.spawn(Script::new(vec![Syscall::Park], Rc::clone(&log)));
+        // No quantum events exist at all: the run breaks at t = 0 with
+        // the parked thread still live.
+        let end = k.run_until(10_000);
+        assert_eq!(end, 0);
+        assert_eq!(k.live_threads(), 1);
+    }
+
+    #[test]
+    fn group_accounting() {
+        let mut k = kernel(2);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        k.spawn(Script::new(vec![Syscall::Compute(1_000)], Rc::clone(&log)));
+        k.spawn(Script::new(vec![Syscall::Compute(2_000)], Rc::clone(&log)));
+        k.run();
+        assert_eq!(k.group_busy_cycles("script"), 3_000);
+        assert_eq!(k.group_busy_cycles("other"), 0);
+        assert_eq!(k.total_busy_cycles(), 3_000);
+    }
+
+    #[test]
+    fn zero_compute_is_instantaneous_but_valid() {
+        let mut k = kernel(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        k.spawn(Script::new(
+            vec![Syscall::Compute(0), Syscall::Compute(100)],
+            Rc::clone(&log),
+        ));
+        assert_eq!(k.run(), 100);
+    }
+
+    #[test]
+    fn flags_read_back() {
+        let mut k = kernel(1);
+        let f = k.new_flag(3);
+        assert_eq!(k.flag(f), 3);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        k.spawn(Script::new(
+            vec![Syscall::SetFlag { flag: f, value: 9 }],
+            Rc::clone(&log),
+        ));
+        k.run();
+        assert_eq!(k.flag(f), 9);
+    }
+
+    #[test]
+    fn next_tick_and_tick_step_the_machine_event_by_event() {
+        let mut k = kernel(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        k.spawn(Script::new(
+            vec![Syscall::Compute(1_000), Syscall::Sleep(500)],
+            Rc::clone(&log),
+        ));
+        // Seed the initial dispatch, then walk the event list manually.
+        assert_eq!(k.tick(), Some(1_000), "first event: compute completes");
+        assert_eq!(k.next_tick(), Some(1_500), "sleep timer is armed");
+        assert_eq!(k.tick(), Some(1_500));
+        assert_eq!(k.next_tick(), None, "thread finished; no more events");
+        assert_eq!(k.tick(), None);
+        assert_eq!(k.live_threads(), 0);
+    }
+
+    #[test]
+    fn oversubscription_stays_live_with_many_spinners() {
+        // 200 spinner/setter pairs on 4 cores: spinners park instead of
+        // hogging cores, so every pair completes.
+        let mut k = kernel(4);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let flags: Vec<FlagId> = (0..200).map(|_| k.new_flag(0)).collect();
+        for &flag in &flags {
+            k.spawn(Script::new(
+                vec![Syscall::SpinUntil {
+                    flag,
+                    target: SpinTarget::Eq(1),
+                    timeout_pauses: None,
+                }],
+                Rc::clone(&log),
+            ));
+        }
+        for &flag in &flags {
+            k.spawn(Script::new(
+                vec![Syscall::Compute(1_000), Syscall::SetFlag { flag, value: 1 }],
+                Rc::clone(&log),
+            ));
+        }
+        k.run();
+        assert_eq!(k.live_threads(), 0, "no spinner may starve the machine");
+        for &flag in &flags {
+            assert_eq!(k.flag(flag), 1);
+        }
+    }
+
+    #[test]
+    fn lifted_core_cap_scales_past_128() {
+        let mut k = kernel(256);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..256 {
+            k.spawn(Script::new(vec![Syscall::Compute(10_000)], Rc::clone(&log)));
+        }
+        assert_eq!(k.run(), 10_000, "256 computes run fully in parallel");
+        assert_eq!(k.total_busy_cycles(), 256 * 10_000);
+    }
+
+    #[test]
+    fn determinism_same_script_same_trace() {
+        let run = || {
+            let mut k = kernel(2);
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let flag = k.new_flag(0);
+            for i in 0..4 {
+                k.spawn(Script::new(
+                    vec![
+                        Syscall::Compute(1_000 * (i + 1)),
+                        Syscall::SetFlag { flag, value: i },
+                        Syscall::Compute(500),
+                    ],
+                    Rc::clone(&log),
+                ));
+            }
+            k.run();
+            let trace = log.borrow().clone();
+            trace
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -204,6 +204,110 @@ impl Ord for EventBox {
 /// Default round-robin quantum: 3 ms at 3.8 GHz.
 pub const DEFAULT_RR_QUANTUM: u64 = 11_400_000;
 
+/// Common interface of the two DES kernels: the cycle-accurate
+/// round-robin [`Kernel`] and the priority-queue
+/// [`EventKernel`](crate::event_kernel::EventKernel).
+///
+/// Protocol worlds ([`ZcWorld`](crate::ocall::zc::ZcWorld) and friends),
+/// the experiment driver ([`sim::run`](crate::sim::run)) and the gantt
+/// renderer are written against this trait, so the same actors run
+/// unchanged on either kernel. See DESIGN.md §11 for when to use which.
+pub trait Machine {
+    /// Allocate a flag cell initialised to `value`.
+    fn new_flag(&mut self, value: u64) -> FlagId;
+    /// Current value of a flag.
+    fn flag(&self, id: FlagId) -> u64;
+    /// Spawn an actor as a runnable thread; returns its [`Tid`].
+    fn spawn(&mut self, actor: Box<dyn Actor>) -> Tid;
+    /// Current virtual time in cycles.
+    fn now(&self) -> u64;
+    /// Number of cores in the machine.
+    fn cores(&self) -> usize;
+    /// Run until every thread finishes, virtual time reaches `deadline`,
+    /// or `keep_going` returns `false` (checked after each event).
+    /// Returns the final virtual time. Object-safe form; prefer the
+    /// [`run_while`](trait.Machine.html#method.run_while) convenience on
+    /// `dyn Machine`.
+    fn run_while_dyn(&mut self, deadline: u64, keep_going: &mut dyn FnMut() -> bool) -> u64;
+    /// `(busy, idle)` cycles recorded for `tid` so far.
+    fn thread_cycles(&self, tid: Tid) -> (u64, u64);
+    /// Sum of busy cycles over all threads whose group name equals
+    /// `group`.
+    fn group_busy_cycles(&self, group: &str) -> u64;
+    /// Total busy cycles over all threads.
+    fn total_busy_cycles(&self) -> u64;
+    /// Number of threads not yet finished.
+    fn live_threads(&self) -> usize;
+    /// Total actor steps executed (diagnostics / runaway detection).
+    fn steps(&self) -> u64;
+    /// Record core-occupancy changes for later inspection. Call before
+    /// running.
+    fn enable_tracing(&mut self);
+    /// Occupancy trace recorded so far (empty unless tracing enabled).
+    fn trace(&self) -> &[OccupancyEvent];
+}
+
+impl dyn Machine + '_ {
+    /// Run until every thread finishes, virtual time reaches `deadline`,
+    /// or `keep_going` returns `false`.
+    pub fn run_while(&mut self, deadline: u64, mut keep_going: impl FnMut() -> bool) -> u64 {
+        self.run_while_dyn(deadline, &mut keep_going)
+    }
+
+    /// Run until every thread finishes or virtual time reaches
+    /// `deadline`.
+    pub fn run_until(&mut self, deadline: u64) -> u64 {
+        self.run_while_dyn(deadline, &mut || true)
+    }
+
+    /// Run to completion (no deadline).
+    pub fn run(&mut self) -> u64 {
+        self.run_until(u64::MAX)
+    }
+}
+
+impl Machine for Kernel {
+    fn new_flag(&mut self, value: u64) -> FlagId {
+        Kernel::new_flag(self, value)
+    }
+    fn flag(&self, id: FlagId) -> u64 {
+        Kernel::flag(self, id)
+    }
+    fn spawn(&mut self, actor: Box<dyn Actor>) -> Tid {
+        Kernel::spawn(self, actor)
+    }
+    fn now(&self) -> u64 {
+        Kernel::now(self)
+    }
+    fn cores(&self) -> usize {
+        Kernel::cores(self)
+    }
+    fn run_while_dyn(&mut self, deadline: u64, keep_going: &mut dyn FnMut() -> bool) -> u64 {
+        Kernel::run_while(self, deadline, keep_going)
+    }
+    fn thread_cycles(&self, tid: Tid) -> (u64, u64) {
+        Kernel::thread_cycles(self, tid)
+    }
+    fn group_busy_cycles(&self, group: &str) -> u64 {
+        Kernel::group_busy_cycles(self, group)
+    }
+    fn total_busy_cycles(&self) -> u64 {
+        Kernel::total_busy_cycles(self)
+    }
+    fn live_threads(&self) -> usize {
+        Kernel::live_threads(self)
+    }
+    fn steps(&self) -> u64 {
+        Kernel::steps(self)
+    }
+    fn enable_tracing(&mut self) {
+        Kernel::enable_tracing(self);
+    }
+    fn trace(&self) -> &[OccupancyEvent] {
+        Kernel::trace(self)
+    }
+}
+
 /// One core-occupancy change, recorded when tracing is enabled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OccupancyEvent {

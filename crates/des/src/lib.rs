@@ -6,8 +6,13 @@
 //! *machine* — cores, preemptive scheduling, spin-waits, sleeps — in
 //! virtual time, and runs the switchless-call protocols on top:
 //!
-//! * [`kernel`] — the event-driven kernel: virtual cores, round-robin
+//! * [`kernel`] — the cycle-accurate kernel: virtual cores, round-robin
 //!   preemption, flags (spin-wait rendezvous), park/unpark.
+//! * [`event_kernel`] — the priority-queue kernel: time jumps to the
+//!   next scheduled event, spin-waits park instead of holding cores,
+//!   and the core count scales to 128+ vCPUs. Selected per run via
+//!   [`sim::KernelMode`]; both kernels run the same actors through the
+//!   shared [`kernel::Machine`] trait (DESIGN.md §11).
 //! * [`ocall`] — the three mechanisms under study as virtual-thread
 //!   protocols: regular ocalls, the Intel switchless mechanism
 //!   (task pool, `rbf`/`rbs`) and ZC-SWITCHLESS (idle-worker handoff,
@@ -25,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod event_kernel;
 pub mod gantt;
 pub mod kernel;
 pub mod metrics;
@@ -32,8 +38,9 @@ pub mod ocall;
 pub mod sim;
 pub mod workload;
 
-pub use kernel::{Actor, FlagId, Kernel, SpinTarget, Syscall, SyscallResult, Tid};
+pub use event_kernel::EventKernel;
+pub use kernel::{Actor, FlagId, Kernel, Machine, SpinTarget, Syscall, SyscallResult, Tid};
 pub use ocall::zc::ZcSimFaults;
 pub use ocall::{CallDesc, CostModel, Dispatcher, Step};
-pub use sim::{run, FaultRecovery, Mechanism, SimConfig, SimReport, ZcSimParams};
+pub use sim::{run, FaultRecovery, KernelMode, Mechanism, SimConfig, SimReport, ZcSimParams};
 pub use workload::{CallClass, PhasedLoad, WorkloadSpec};

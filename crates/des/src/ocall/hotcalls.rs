@@ -14,7 +14,7 @@
 //!   specific call sites); non-hot calls go regular.
 
 use super::{CallDesc, CostModel, Dispatcher, Step};
-use crate::kernel::{FlagId, Kernel, SpinTarget, Syscall, SyscallResult, Tid};
+use crate::kernel::{FlagId, Machine, SpinTarget, Syscall, SyscallResult, Tid};
 use crate::metrics::SimCounters;
 use std::cell::RefCell;
 use std::collections::BTreeSet;
@@ -81,7 +81,7 @@ pub struct HotcallsWorld {
 impl HotcallsWorld {
     /// Build the world and its kernel flags.
     pub fn new(
-        kernel: &mut Kernel,
+        kernel: &mut dyn Machine,
         config: HotcallsConfig,
         callers: usize,
     ) -> Rc<RefCell<HotcallsWorld>> {

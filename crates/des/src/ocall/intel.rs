@@ -6,7 +6,7 @@
 //! Matches the real-thread reimplementation in `intel-switchless`.
 
 use super::{CallDesc, CostModel, Dispatcher, Step};
-use crate::kernel::{FlagId, Kernel, SpinTarget, Syscall, SyscallResult, Tid};
+use crate::kernel::{FlagId, Machine, SpinTarget, Syscall, SyscallResult, Tid};
 use crate::metrics::SimCounters;
 use std::cell::RefCell;
 use std::collections::{BTreeSet, VecDeque};
@@ -97,7 +97,7 @@ pub struct IntelWorld {
 impl IntelWorld {
     /// Build the world and allocate its kernel flags.
     pub fn new(
-        kernel: &mut Kernel,
+        kernel: &mut dyn Machine,
         config: IntelSimConfig,
         callers: usize,
     ) -> Rc<RefCell<IntelWorld>> {

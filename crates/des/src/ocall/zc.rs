@@ -12,7 +12,7 @@
 //! [`SchedulerPolicy`]: switchless_core::policy::SchedulerPolicy
 
 use super::{CallDesc, CostModel, Dispatcher, Step};
-use crate::kernel::{FlagId, Kernel, SpinTarget, Syscall, SyscallResult, Tid};
+use crate::kernel::{FlagId, Machine, SpinTarget, Syscall, SyscallResult, Tid};
 use crate::metrics::SimCounters;
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -97,7 +97,7 @@ pub struct ZcWorld {
 impl ZcWorld {
     /// Build the world and allocate its kernel flags.
     pub fn new(
-        kernel: &mut Kernel,
+        kernel: &mut dyn Machine,
         max_workers: usize,
         callers: usize,
         pool_bytes: u64,

@@ -1,6 +1,7 @@
 //! Experiment assembly: machine + mechanism + workload → report.
 
-use crate::kernel::{Kernel, DEFAULT_RR_QUANTUM};
+use crate::event_kernel::EventKernel;
+use crate::kernel::{Kernel, Machine, DEFAULT_RR_QUANTUM};
 use crate::metrics::{Sample, SimCounters, Timeline};
 use crate::ocall::hotcalls::{HotWorkerActor, HotcallsConfig, HotcallsDispatcher, HotcallsWorld};
 use crate::ocall::intel::{IntelDispatcher, IntelSimConfig, IntelWorkerActor, IntelWorld};
@@ -48,6 +49,22 @@ impl Default for ZcSimParams {
     }
 }
 
+/// Which DES kernel drives the run (DESIGN.md §11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// The round-robin [`Kernel`]: preemptive quanta, spinners hold
+    /// cores. Cycle-accurate under core contention — the paper-fidelity
+    /// mode, and the default.
+    #[default]
+    CycleAccurate,
+    /// The priority-queue [`EventKernel`]: no preemption, spin-waits
+    /// park and wake on flag writes. Cycle-identical to the round-robin
+    /// kernel whenever threads ≤ vCPUs (see the cross-kernel
+    /// equivalence suite), and orders of magnitude faster at 128+
+    /// vCPUs.
+    EventDriven,
+}
+
 /// Which switchless mechanism the simulation runs.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Mechanism {
@@ -66,7 +83,9 @@ pub enum Mechanism {
 pub struct SimConfig {
     /// Machine model.
     pub cpu: CpuSpec,
-    /// OS round-robin quantum in cycles.
+    /// Which DES kernel drives the run.
+    pub kernel_mode: KernelMode,
+    /// OS round-robin quantum in cycles (cycle-accurate mode only).
     pub rr_quantum: u64,
     /// Boundary cost model.
     pub costs: CostModel,
@@ -105,6 +124,7 @@ impl SimConfig {
         let cpu = CpuSpec::paper_machine();
         SimConfig {
             cpu,
+            kernel_mode: KernelMode::default(),
             rr_quantum: DEFAULT_RR_QUANTUM,
             costs: CostModel::paper(),
             mechanism,
@@ -124,6 +144,30 @@ impl SimConfig {
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: std::sync::Arc<zc_telemetry::Telemetry>) -> Self {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Builder-style kernel selection (see [`KernelMode`]).
+    #[must_use]
+    pub fn with_kernel_mode(mut self, mode: KernelMode) -> Self {
+        self.kernel_mode = mode;
+        self
+    }
+
+    /// Shorthand for
+    /// [`with_kernel_mode`](SimConfig::with_kernel_mode)`(KernelMode::EventDriven)`.
+    #[must_use]
+    pub fn with_event_kernel(self) -> Self {
+        self.with_kernel_mode(KernelMode::EventDriven)
+    }
+
+    /// Builder-style vCPU count: overrides the machine's logical CPU
+    /// count (and with it derived quantities such as the ZC worker cap,
+    /// `N/2`). The event kernel scales to 128+ vCPUs; the cycle-accurate
+    /// kernel accepts any count but slows down past the paper's 8.
+    #[must_use]
+    pub fn with_vcpus(mut self, vcpus: usize) -> Self {
+        self.cpu = self.cpu.with_logical_cpus(vcpus);
         self
     }
 
@@ -262,11 +306,17 @@ impl SimReport {
 
 /// Run one experiment to completion (all callers done or deadline).
 pub fn run(config: &SimConfig) -> SimReport {
-    let mut kernel = Kernel::new(
-        config.cpu.logical_cpus,
-        config.rr_quantum,
-        config.cpu.pause_cycles,
-    );
+    let mut kernel: Box<dyn Machine> = match config.kernel_mode {
+        KernelMode::CycleAccurate => Box::new(Kernel::new(
+            config.cpu.logical_cpus,
+            config.rr_quantum,
+            config.cpu.pause_cycles,
+        )),
+        KernelMode::EventDriven => Box::new(EventKernel::new(
+            config.cpu.logical_cpus,
+            config.cpu.pause_cycles,
+        )),
+    };
     if config.gantt_buckets > 0 {
         kernel.enable_tracing();
     }
@@ -289,7 +339,7 @@ pub fn run(config: &SimConfig) -> SimReport {
             make_dispatcher = Box::new(move |_| Box::new(RegularDispatcher::new(costs)));
         }
         Mechanism::Intel(icfg) => {
-            let world = IntelWorld::new(&mut kernel, icfg.clone(), callers);
+            let world = IntelWorld::new(&mut *kernel, icfg.clone(), callers);
             for i in 0..icfg.workers {
                 let tid = kernel.spawn(Box::new(IntelWorkerActor::new(Rc::clone(&world), i)));
                 world.borrow_mut().worker_tids.push(tid);
@@ -307,7 +357,7 @@ pub fn run(config: &SimConfig) -> SimReport {
             });
         }
         Mechanism::Hotcalls(hcfg) => {
-            let world = HotcallsWorld::new(&mut kernel, hcfg.clone(), callers);
+            let world = HotcallsWorld::new(&mut *kernel, hcfg.clone(), callers);
             for i in 0..hcfg.workers {
                 let tid = kernel.spawn(Box::new(HotWorkerActor::new(Rc::clone(&world), i)));
                 world.borrow_mut().worker_tids.push(tid);
@@ -327,7 +377,7 @@ pub fn run(config: &SimConfig) -> SimReport {
         Mechanism::Zc(zp) => {
             let max_workers = zp.max_workers.unwrap_or(config.cpu.zc_max_workers()).max(1);
             let initial = zp.initial_workers.unwrap_or(max_workers).min(max_workers);
-            let world = ZcWorld::new(&mut kernel, max_workers, callers, zp.pool_bytes);
+            let world = ZcWorld::new(&mut *kernel, max_workers, callers, zp.pool_bytes);
             for i in 0..max_workers {
                 let tid = kernel.spawn(Box::new(ZcWorkerActor::new(Rc::clone(&world), i)));
                 world.borrow_mut().worker_tids.push(tid);
@@ -384,7 +434,7 @@ pub fn run(config: &SimConfig) -> SimReport {
 
     // Drive the run, sampling the timeline externally.
     let mut timeline = Timeline::default();
-    let take_sample = |kernel: &Kernel, timeline: &mut Timeline| {
+    let take_sample = |kernel: &dyn Machine, timeline: &mut Timeline| {
         let c = counters.borrow();
         timeline.samples.push(Sample {
             t_cycles: kernel.now(),
@@ -398,7 +448,7 @@ pub fn run(config: &SimConfig) -> SimReport {
         });
     };
 
-    take_sample(&kernel, &mut timeline);
+    take_sample(&*kernel, &mut timeline);
     let interval = if config.sample_interval_cycles == 0 {
         config.deadline_cycles
     } else {
@@ -410,7 +460,7 @@ pub fn run(config: &SimConfig) -> SimReport {
         // workers and the scheduler past that point would pollute the
         // CPU and residency metrics.
         kernel.run_while(next, || counters.borrow().callers_live > 0);
-        take_sample(&kernel, &mut timeline);
+        take_sample(&*kernel, &mut timeline);
         let done = counters.borrow().callers_live == 0;
         if done || kernel.now() >= config.deadline_cycles || kernel.live_threads() == 0 {
             break;
@@ -447,7 +497,7 @@ pub fn run(config: &SimConfig) -> SimReport {
         },
     );
     let gantt = (config.gantt_buckets > 0)
-        .then(|| crate::gantt::render_kernel(&kernel, config.gantt_buckets));
+        .then(|| crate::gantt::render_kernel(&*kernel, config.gantt_buckets));
     #[cfg(feature = "telemetry")]
     if let Some(hub) = &telemetry {
         // Publish the run's counters into the hub registry in one pass
@@ -661,6 +711,21 @@ mod tests {
             .with_watchdog_pauses(5_000)
     }
 
+    /// A ZC soak config parameterized over machine scale: `vcpus`
+    /// logical CPUs and `callers` closed-loop callers of `ops` calls
+    /// each, with the given fault schedule. The `vcpus = 8` shape is
+    /// the paper machine; larger shapes ride the event-driven kernel
+    /// (selected by the caller via [`SimConfig::with_event_kernel`]).
+    fn fault_soak_cfg(faults: ZcSimFaults, vcpus: usize, callers: usize, ops: u64) -> SimConfig {
+        SimConfig::new(
+            Mechanism::Zc(ZcSimParams::default()),
+            vec![closed(ops, 500); callers],
+            1,
+        )
+        .with_vcpus(vcpus)
+        .with_zc_faults(faults)
+    }
+
     #[test]
     fn zc_crashes_and_hangs_recover_without_losing_calls() {
         // 2 callers + 4 workers + scheduler + supervisor = 8 threads on
@@ -668,12 +733,7 @@ mod tests {
         // fire, so the schedule is applied at (not merely after) its
         // nominal virtual times and slot 0 is revived before its second
         // crash.
-        let cfg = SimConfig::new(
-            Mechanism::Zc(ZcSimParams::default()),
-            vec![closed(30_000, 500); 2],
-            1,
-        )
-        .with_zc_faults(chaos_faults());
+        let cfg = fault_soak_cfg(chaos_faults(), 8, 2, 30_000);
         let r = run(&cfg);
         // Conservation: every issued call completes exactly once.
         assert_eq!(r.counters.total_calls(), 60_000);
@@ -710,12 +770,7 @@ mod tests {
 
     #[test]
     fn zc_byzantine_host_recovers_without_losing_calls() {
-        let cfg = SimConfig::new(
-            Mechanism::Zc(ZcSimParams::default()),
-            vec![closed(30_000, 500); 2],
-            1,
-        )
-        .with_zc_faults(byzantine_faults());
+        let cfg = fault_soak_cfg(byzantine_faults(), 8, 2, 30_000);
         let r = run(&cfg);
         // Conservation: every issued call completes exactly once, even
         // under a lying host.
@@ -732,6 +787,42 @@ mod tests {
         );
         assert_eq!(r.fault_recovery.dead_workers, 0, "{:?}", r.fault_recovery);
         // Re-routed calls completed on the regular path, never vanished.
+        assert!(r.counters.cancelled <= r.counters.fallback);
+    }
+
+    #[test]
+    fn zc_chaos_soak_recovers_at_128_vcpus_on_event_kernel() {
+        // The same crash/hang schedule at the lifted scale: 128 vCPUs
+        // (64-worker pool) and 32 callers on the event-driven kernel.
+        // Self-healing must be scale-invariant: every fault still
+        // revives and every call still completes exactly once.
+        let cfg = fault_soak_cfg(chaos_faults(), 128, 32, 10_000).with_event_kernel();
+        let r = run(&cfg);
+        assert_eq!(r.counters.total_calls(), 320_000);
+        assert_eq!(r.counters.ops_per_caller, vec![10_000; 32]);
+        assert_eq!(r.fault_recovery.crashes, 3, "{:?}", r.fault_recovery);
+        assert_eq!(r.fault_recovery.hangs, 2, "{:?}", r.fault_recovery);
+        assert!(r.fault_recovery.respawns >= 5, "{:?}", r.fault_recovery);
+        assert_eq!(r.fault_recovery.dead_workers, 0, "{:?}", r.fault_recovery);
+        assert!(r.counters.cancelled <= r.counters.fallback);
+    }
+
+    #[test]
+    fn zc_byzantine_soak_recovers_at_128_vcpus_on_event_kernel() {
+        // All six corruption kinds against the 128-vCPU event-kernel
+        // machine: the trusted-side guards must detect and quarantine
+        // each one regardless of pool size.
+        let cfg = fault_soak_cfg(byzantine_faults(), 128, 32, 10_000).with_event_kernel();
+        let r = run(&cfg);
+        assert_eq!(r.counters.total_calls(), 320_000);
+        assert_eq!(
+            r.fault_recovery.guard_violations, 6,
+            "{:?}",
+            r.fault_recovery
+        );
+        assert_eq!(r.fault_recovery.crashes, 0, "{:?}", r.fault_recovery);
+        assert!(r.fault_recovery.respawns >= 6, "{:?}", r.fault_recovery);
+        assert_eq!(r.fault_recovery.dead_workers, 0, "{:?}", r.fault_recovery);
         assert!(r.counters.cancelled <= r.counters.fallback);
     }
 

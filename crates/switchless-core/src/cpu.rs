@@ -67,6 +67,16 @@ impl CpuSpec {
         }
     }
 
+    /// The same machine with a different logical CPU count (builder
+    /// style). Derived quantities ([`CpuSpec::zc_max_workers`]) follow.
+    /// Simulated machines may exceed the host: the DES event kernel
+    /// handles 128+ vCPUs.
+    #[must_use]
+    pub fn with_logical_cpus(mut self, logical_cpus: usize) -> Self {
+        self.logical_cpus = logical_cpus.max(1);
+        self
+    }
+
     /// Convert a duration in milliseconds to cycles on this machine.
     #[must_use]
     pub fn quantum_cycles(&self, ms: u64) -> u64 {

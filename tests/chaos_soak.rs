@@ -309,57 +309,66 @@ fn zc_chaos_soak_projection_is_byte_identical_across_runs() {
     );
 }
 
+/// One DES chaos soak parameterized over machine scale: `vcpus`
+/// logical CPUs, `callers` closed-loop callers of `ops` calls each,
+/// on either kernel ([`zc_des::KernelMode`]). Returns the full
+/// timestamped JSONL trace.
+fn des_soak(vcpus: usize, callers: usize, ops: u64, mode: zc_des::KernelMode) -> String {
+    use zc_des::ocall::CallDesc;
+    use zc_des::workload::WorkloadSpec;
+    use zc_des::{run, Mechanism, SimConfig, ZcSimFaults, ZcSimParams};
+
+    let hub = Telemetry::new();
+    let call = CallDesc {
+        host_cycles: 500,
+        ..CallDesc::default()
+    };
+    // At vcpus = 8: 2 callers + 4 workers + scheduler + supervisor = 8
+    // threads on the paper machine's 8 cores, so supervisor timers fire
+    // on time. Larger shapes oversubscribe and ride the event kernel.
+    let faults = ZcSimFaults::new()
+        .crash_at(1_000_000, 0)
+        .crash_at(3_000_000, 1)
+        .crash_at(5_000_000, 0)
+        .hang_at(2_000_000, 2)
+        .hang_at(4_000_000, 3)
+        .with_respawn_delay(800_000)
+        .with_watchdog_pauses(5_000);
+    let cfg = SimConfig::new(
+        Mechanism::Zc(ZcSimParams::default()),
+        vec![
+            WorkloadSpec::ClosedLoop {
+                pattern: vec![call],
+                total_ops: ops,
+            };
+            callers
+        ],
+        1,
+    )
+    .with_vcpus(vcpus)
+    .with_kernel_mode(mode)
+    .with_zc_faults(faults)
+    .with_telemetry(Arc::clone(&hub));
+    let r = run(&cfg);
+    // Conservation on virtual time: every issued op completes once,
+    // watchdog-cancelled calls re-complete on the regular path.
+    assert_eq!(r.counters.total_calls(), ops * callers as u64);
+    assert_eq!(r.counters.ops_per_caller, vec![ops; callers]);
+    assert!(r.counters.cancelled <= r.counters.fallback);
+    // Recovery: all five faults applied, every slot revived.
+    assert_eq!(r.fault_recovery.crashes, 3, "{:?}", r.fault_recovery);
+    assert_eq!(r.fault_recovery.hangs, 2, "{:?}", r.fault_recovery);
+    assert!(r.fault_recovery.respawns >= 5, "{:?}", r.fault_recovery);
+    assert_eq!(r.fault_recovery.dead_workers, 0, "{:?}", r.fault_recovery);
+    events_to_jsonl(&hub.tracer().drain())
+}
+
 /// DES half of the acceptance run: the same crash/hang density against
 /// the simulated machine, where even the timestamped full trace is
 /// byte-identical run to run.
 #[test]
 fn des_chaos_soak_recovers_and_is_byte_identical() {
-    use zc_des::ocall::CallDesc;
-    use zc_des::workload::WorkloadSpec;
-    use zc_des::{run, Mechanism, SimConfig, ZcSimFaults, ZcSimParams};
-
-    let soak = || {
-        let hub = Telemetry::new();
-        let call = CallDesc {
-            host_cycles: 500,
-            ..CallDesc::default()
-        };
-        // 2 callers + 4 workers + scheduler + supervisor = 8 threads on
-        // the paper machine's 8 cores: supervisor timers fire on time.
-        let faults = ZcSimFaults::new()
-            .crash_at(1_000_000, 0)
-            .crash_at(3_000_000, 1)
-            .crash_at(5_000_000, 0)
-            .hang_at(2_000_000, 2)
-            .hang_at(4_000_000, 3)
-            .with_respawn_delay(800_000)
-            .with_watchdog_pauses(5_000);
-        let cfg = SimConfig::new(
-            Mechanism::Zc(ZcSimParams::default()),
-            vec![
-                WorkloadSpec::ClosedLoop {
-                    pattern: vec![call],
-                    total_ops: 20_000,
-                };
-                2
-            ],
-            1,
-        )
-        .with_zc_faults(faults)
-        .with_telemetry(Arc::clone(&hub));
-        let r = run(&cfg);
-        // Conservation on virtual time: every issued op completes once,
-        // watchdog-cancelled calls re-complete on the regular path.
-        assert_eq!(r.counters.total_calls(), 40_000);
-        assert_eq!(r.counters.ops_per_caller, vec![20_000; 2]);
-        assert!(r.counters.cancelled <= r.counters.fallback);
-        // Recovery: all five faults applied, every slot revived.
-        assert_eq!(r.fault_recovery.crashes, 3, "{:?}", r.fault_recovery);
-        assert_eq!(r.fault_recovery.hangs, 2, "{:?}", r.fault_recovery);
-        assert!(r.fault_recovery.respawns >= 5, "{:?}", r.fault_recovery);
-        assert_eq!(r.fault_recovery.dead_workers, 0, "{:?}", r.fault_recovery);
-        events_to_jsonl(&hub.tracer().drain())
-    };
+    let soak = || des_soak(8, 2, 20_000, zc_des::KernelMode::CycleAccurate);
     let first = soak();
     assert!(
         first.contains(r#""fault":"worker_crash""#) && first.contains(r#""fault":"worker_hang""#),
@@ -373,6 +382,24 @@ fn des_chaos_soak_recovers_and_is_byte_identical() {
         first,
         soak(),
         "DES soak must be byte-identical including timestamps"
+    );
+}
+
+/// The 128-vCPU soak variant: the same fault schedule against a
+/// 64-worker pool with 32 callers on the event-driven kernel. Recovery
+/// and trace determinism must be scale-invariant.
+#[test]
+fn des_chaos_soak_recovers_at_128_vcpus_and_is_byte_identical() {
+    let soak = || des_soak(128, 32, 10_000, zc_des::KernelMode::EventDriven);
+    let first = soak();
+    assert!(
+        first.contains(r#""fault":"worker_crash""#) && first.contains(r#""fault":"worker_hang""#),
+        "128-vCPU DES trace must carry the injected faults"
+    );
+    assert_eq!(
+        first,
+        soak(),
+        "128-vCPU DES soak must be byte-identical including timestamps"
     );
 }
 

@@ -234,3 +234,56 @@ fn des_full_trace_is_deterministic_including_timestamps() {
     // timestamped full trace is byte-identical run to run.
     assert_eq!(first, sim_trace(), "DES trace must be fully deterministic");
 }
+
+/// The event-driven kernel obeys the same determinism contract as the
+/// cycle-accurate one: the full timestamped trace is byte-identical
+/// across same-seed runs, at the paper's 8 vCPUs and at the lifted
+/// 128-vCPU scale (DESIGN.md §11).
+#[test]
+fn des_event_kernel_trace_is_deterministic_at_8_and_128_vcpus() {
+    use zc_des::ocall::CallDesc;
+    use zc_des::{run, Mechanism, SimConfig, WorkloadSpec, ZcSimParams};
+
+    let sim_trace = |vcpus: usize, callers: usize, ops: u64| {
+        let hub = Telemetry::new();
+        let call = CallDesc {
+            host_cycles: 2_000,
+            ret_bytes: 8,
+            ..CallDesc::default()
+        };
+        let cfg = SimConfig::new(
+            Mechanism::Zc(ZcSimParams::default()),
+            vec![
+                WorkloadSpec::ClosedLoop {
+                    pattern: vec![call],
+                    total_ops: ops,
+                };
+                callers
+            ],
+            1,
+        )
+        .with_event_kernel()
+        .with_vcpus(vcpus)
+        .with_telemetry(Arc::clone(&hub));
+        let r = run(&cfg);
+        assert_eq!(r.counters.total_calls(), ops * callers as u64);
+        events_to_jsonl(&hub.tracer().drain())
+    };
+
+    // Call counts are sized so each run outlasts the initial 38M-cycle
+    // schedule quantum *and* the probe sweep (0..=N/2 workers at 380k
+    // cycles each — ~25M cycles at 128 vCPUs) and traces a decision.
+    for (vcpus, callers, ops) in [(8, 2, 20_000u64), (128, 32, 40_000)] {
+        let first = sim_trace(vcpus, callers, ops);
+        assert!(
+            first.contains(r#""kind":"decision""#),
+            "event-kernel sim at {vcpus} vCPUs must trace decisions:\n{}",
+            &first[..first.len().min(2_000)]
+        );
+        assert_eq!(
+            first,
+            sim_trace(vcpus, callers, ops),
+            "event-kernel trace at {vcpus} vCPUs must be fully deterministic"
+        );
+    }
+}
