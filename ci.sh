@@ -38,6 +38,27 @@ else
     ./target/release/bench_des_throughput --quick
 fi
 
+echo "==> call-overhead perf smoke (per-phase SLO reports)"
+# Profiles where every cycle of a switchless call goes on the ZC,
+# fallback and Intel paths and writes BENCH_call_overhead.json. The
+# binary itself gates on the reports parsing cleanly, on per-phase
+# cycles summing to within 1% of whole-call cycles (conservation), and
+# on same-seed byte-identical reports — never on absolute speed
+# (DESIGN.md §12).
+cargo build --release -q -p zc-bench --bin call_overhead
+if [[ $quick -eq 0 ]]; then
+    ./target/release/call_overhead
+else
+    ./target/release/call_overhead --quick
+fi
+
+# Collect every benchmark report into the perf trajectory uploaded by
+# CI — one directory per run, so regressions can be traced across
+# commits instead of vanishing with the runner.
+mkdir -p results/bench_trajectory
+cp BENCH_*.json results/bench_trajectory/
+echo "==> bench trajectory: $(ls results/bench_trajectory)"
+
 if [[ $quick -eq 0 ]]; then
     # The fault-injection, property and telemetry-trace suites must be
     # deterministic on the virtual clock: two more full runs guard

@@ -1,0 +1,251 @@
+//! CI perf smoke: where every cycle of a switchless call goes.
+//!
+//! Runs three deterministic virtual-clock DES scenarios — ZC-SWITCHLESS
+//! (switchless path), ZC with an undersized worker pool (every call
+//! takes the immediate-fallback path) and the Intel SDK mechanism
+//! (switchless + regular paths) — each with a fresh telemetry hub, and
+//! emits one [`SloReport`] per scenario: per-path p50/p99/p99.9 latency,
+//! goodput, wasted-cycle ratio and the six-phase cycle breakdown
+//! (DESIGN.md §12).
+//!
+//! Everything runs on the event-driven kernel under virtual time, so
+//! the reports are byte-deterministic; the binary re-runs each scenario
+//! and fails if the JSONL differs. It also gates on *conservation* —
+//! per-phase cycles must sum to within 1% of measured whole-call cycles
+//! on every path — and on the reports parsing cleanly. It does NOT gate
+//! on absolute speed.
+//!
+//! Writes `BENCH_call_overhead.json` at the repo root.
+//!
+//! Usage: `call_overhead [--quick] [--out <path>]`
+
+use std::sync::Arc;
+use switchless_core::CallPath;
+use zc_des::ocall::intel::IntelSimConfig;
+use zc_des::{run, CallDesc, Mechanism, SimConfig, SimReport, WorkloadSpec, ZcSimParams};
+use zc_telemetry::{SloReport, Telemetry};
+
+/// Conservation gate: worst per-path `|phase_sum - total| / total`.
+const CONSERVATION_TOLERANCE: f64 = 0.01;
+
+/// A mixed ocall: modest payloads, a ~1.3 us host function.
+fn call(class: usize) -> CallDesc {
+    CallDesc {
+        class,
+        pre_compute_cycles: 200,
+        host_cycles: 5_000,
+        payload_bytes: 256,
+        ret_bytes: 64,
+    }
+}
+
+/// One named scenario: a config builder, re-run for the determinism
+/// check.
+struct Scenario {
+    label: &'static str,
+    /// Paths this scenario must exercise.
+    must_see: &'static [CallPath],
+    build: fn(u64) -> SimConfig,
+}
+
+fn zc_config(ops: u64) -> SimConfig {
+    SimConfig::new(
+        Mechanism::Zc(ZcSimParams::default()),
+        vec![
+            WorkloadSpec::ClosedLoop {
+                pattern: vec![call(0)],
+                total_ops: ops,
+            };
+            4
+        ],
+        1,
+    )
+    .with_event_kernel()
+}
+
+fn zc_fallback_config(ops: u64) -> SimConfig {
+    // A 16-byte pool cannot hold the 256-byte payload: every call
+    // releases its claimed worker and takes the immediate-fallback path.
+    let params = ZcSimParams {
+        pool_bytes: 16,
+        ..ZcSimParams::default()
+    };
+    SimConfig::new(
+        Mechanism::Zc(params),
+        vec![
+            WorkloadSpec::ClosedLoop {
+                pattern: vec![call(0)],
+                total_ops: ops,
+            };
+            4
+        ],
+        1,
+    )
+    .with_event_kernel()
+}
+
+fn intel_config(ops: u64) -> SimConfig {
+    // Class 0 is in the static switchless set, class 1 is not — the
+    // run exercises the switchless and regular paths side by side.
+    SimConfig::new(
+        Mechanism::Intel(IntelSimConfig::new(2, [0])),
+        vec![
+            WorkloadSpec::ClosedLoop {
+                pattern: vec![call(0), call(1)],
+                total_ops: ops,
+            };
+            4
+        ],
+        2,
+    )
+    .with_event_kernel()
+}
+
+/// Run one scenario on a fresh hub and derive its SLO report.
+fn run_scenario(build: fn(u64) -> SimConfig, label: &str, ops: u64) -> (SimReport, SloReport) {
+    let hub = Telemetry::new();
+    let cfg = build(ops).with_telemetry(Arc::clone(&hub));
+    let report = run(&cfg);
+    let slo = report.slo_report(&hub, label);
+    (report, slo)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_call_overhead.json".to_string());
+    let ops = if quick { 50 } else { 500 };
+
+    let scenarios = [
+        Scenario {
+            label: "zc",
+            must_see: &[CallPath::Switchless],
+            build: zc_config,
+        },
+        Scenario {
+            label: "zc_fallback",
+            must_see: &[CallPath::Fallback],
+            build: zc_fallback_config,
+        },
+        Scenario {
+            label: "intel",
+            must_see: &[CallPath::Switchless, CallPath::Regular],
+            build: intel_config,
+        },
+    ];
+
+    let mut failed = false;
+    let mut reports = Vec::new();
+    for sc in &scenarios {
+        eprintln!(
+            "call_overhead: scenario '{}', 4 callers x {ops} ops...",
+            sc.label
+        );
+        let (sim, slo) = run_scenario(sc.build, sc.label, ops);
+        // Determinism: an identical virtual-clock run must reproduce the
+        // report byte-for-byte.
+        let (_, slo2) = run_scenario(sc.build, sc.label, ops);
+        if slo.to_jsonl() != slo2.to_jsonl() {
+            eprintln!(
+                "FAIL[{}]: repeat run produced a different SLO report",
+                sc.label
+            );
+            failed = true;
+        }
+        let total: u64 = sim.counters.total_calls();
+        assert_eq!(total, ops * 4, "lost calls in scenario '{}'", sc.label);
+        for &path in sc.must_see {
+            let seen = slo.path(path).map_or(0, |p| p.calls);
+            if seen == 0 {
+                eprintln!(
+                    "FAIL[{}]: expected traffic on the {} path, saw none",
+                    sc.label,
+                    zc_telemetry::slo::path_name(path)
+                );
+                failed = true;
+            }
+        }
+        let err = slo.max_conservation_error();
+        if err > CONSERVATION_TOLERANCE {
+            eprintln!(
+                "FAIL[{}]: phase cycles must sum to within {:.0}% of call cycles, worst error {err:.6}",
+                sc.label,
+                CONSERVATION_TOLERANCE * 100.0
+            );
+            failed = true;
+        }
+        print!("{slo}");
+        reports.push(slo);
+    }
+
+    let mut json = String::with_capacity(4096);
+    json.push_str(&format!(
+        "{{\n  \"schema\": \"bench_call_overhead_v1\",\n  \"quick\": {quick},\n  \
+         \"ops_per_caller\": {ops},\n  \"conservation_tolerance\": {CONSERVATION_TOLERANCE},\n  \
+         \"scenarios\": [\n"
+    ));
+    for (i, slo) in reports.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(&slo.to_json());
+        json.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    // Parse gate: the document must be structurally sound JSON (balanced
+    // and with every scenario present) before CI trusts it.
+    for sc in &scenarios {
+        assert!(
+            json.contains(&format!("\"label\":\"{}\"", sc.label)),
+            "report missing scenario '{}'",
+            sc.label
+        );
+    }
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "unbalanced report JSON"
+    );
+
+    std::fs::write(&out, &json).expect("write benchmark json");
+    eprintln!("call_overhead: wrote {out}");
+
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+// Keep the dominant-path expectations honest if the DES defaults drift:
+// the scenarios are also exercised (in quick size) by `cargo test`.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_exercise_their_paths_and_conserve() {
+        for (build, label, path) in [
+            (
+                zc_config as fn(u64) -> SimConfig,
+                "zc",
+                CallPath::Switchless,
+            ),
+            (zc_fallback_config, "zc_fallback", CallPath::Fallback),
+            (intel_config, "intel", CallPath::Switchless),
+        ] {
+            let (_, slo) = run_scenario(build, label, 20);
+            assert!(slo.path(path).is_some(), "{label}: no {path:?} traffic");
+            assert!(
+                slo.max_conservation_error() <= CONSERVATION_TOLERANCE,
+                "{label}"
+            );
+        }
+    }
+
+    #[test]
+    fn quick_kernel_mode_is_event_driven() {
+        assert_eq!(zc_config(1).kernel_mode, zc_des::KernelMode::EventDriven);
+    }
+}

@@ -5,6 +5,7 @@
 //! for completion), and `rbs`-bounded worker polling followed by sleep.
 //! Matches the real-thread reimplementation in `intel-switchless`.
 
+use super::prof::{Phase, Prof};
 use super::{CallDesc, CostModel, Dispatcher, Step};
 use crate::kernel::{FlagId, Machine, SpinTarget, Syscall, SyscallResult, Tid};
 use crate::metrics::SimCounters;
@@ -132,6 +133,7 @@ pub struct IntelDispatcher {
     task_id: u64,
     await_accept_val: u64,
     await_done_val: u64,
+    prof: Prof,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,7 +177,21 @@ impl IntelDispatcher {
             task_id: 0,
             await_accept_val: 0,
             await_done_val: 0,
+            prof: Prof::default(),
         }
+    }
+
+    /// Builder-style telemetry hub: every completed call accumulates its
+    /// per-phase cycle breakdown into the hub's
+    /// [`CallPhaseProfiler`](zc_telemetry::CallPhaseProfiler) and is
+    /// traced as a `call_phases` event at
+    /// [`Origin::Caller`](zc_telemetry::Origin::Caller), stamped with
+    /// kernel virtual time.
+    #[cfg(feature = "telemetry")]
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: std::sync::Arc<zc_telemetry::Telemetry>) -> Self {
+        self.prof.set_hub(telemetry, self.caller as u32);
+        self
     }
 
     fn fallback_remainder(&self, call: &CallDesc) -> u64 {
@@ -187,8 +203,9 @@ impl IntelDispatcher {
 }
 
 impl Dispatcher for IntelDispatcher {
-    fn begin(&mut self, call: &CallDesc, _now: u64) -> Syscall {
+    fn begin(&mut self, call: &CallDesc, now: u64) -> Syscall {
         debug_assert_eq!(self.dialog, Dialog::Idle, "begin during an active dialogue");
+        self.prof.begin(now);
         let wld = self.world.borrow();
         if !wld.config.switchless_classes.contains(&call.class) {
             self.dialog = Dialog::RegularExec;
@@ -199,9 +216,13 @@ impl Dispatcher for IntelDispatcher {
         Syscall::Compute(self.costs.handoff_cycles + self.costs.copy_cycles(call.payload_bytes))
     }
 
-    fn advance(&mut self, call: &CallDesc, res: SyscallResult, _now: u64) -> Step {
+    fn advance(&mut self, call: &CallDesc, res: SyscallResult, now: u64) -> Step {
         match self.dialog {
             Dialog::CopyIn => {
+                // The finished compute was handoff + payload copy.
+                self.prof.mark(Phase::CopyIn, now);
+                self.prof
+                    .transfer(Phase::CopyIn, Phase::Reserve, self.costs.handoff_cycles);
                 let mut wld = self.world.borrow_mut();
                 if wld.queue.len() >= wld.config.capacity {
                     // Pool full: immediate fallback (as in the SDK).
@@ -229,6 +250,7 @@ impl Dispatcher for IntelDispatcher {
                 Step::Next(ring)
             }
             Dialog::RingQueue { wake } => {
+                self.prof.mark(Phase::Signal, now);
                 if let Some(tid) = wake {
                     self.dialog = Dialog::Wake;
                     return Step::Next(Syscall::Unpark(tid));
@@ -242,6 +264,7 @@ impl Dispatcher for IntelDispatcher {
                 })
             }
             Dialog::Wake => {
+                self.prof.mark(Phase::Signal, now);
                 self.dialog = Dialog::AwaitAccept;
                 let wld = self.world.borrow();
                 Step::Next(Syscall::SpinUntil {
@@ -251,6 +274,7 @@ impl Dispatcher for IntelDispatcher {
                 })
             }
             Dialog::AwaitAccept => {
+                self.prof.mark(Phase::Wait, now);
                 if res == SyscallResult::TimedOut {
                     // rbf exhausted: try to cancel.
                     let mut wld = self.world.borrow_mut();
@@ -274,20 +298,56 @@ impl Dispatcher for IntelDispatcher {
             }
             Dialog::AwaitDone => {
                 debug_assert_eq!(res, SyscallResult::Ok);
+                // Both spins (acceptance + completion) are wait time; the
+                // completion spin covered the worker's host-function run.
+                self.prof.mark(Phase::Wait, now);
+                self.prof.set_execute_hint(call.host_cycles);
                 self.dialog = Dialog::Collect;
                 Step::Next(Syscall::Compute(
                     self.costs.collect_cycles + self.costs.copy_cycles(call.ret_bytes),
                 ))
             }
             Dialog::Collect => {
+                // Collect + result copy land in copy-out (finish
+                // residual).
+                self.prof.complete(call.class, CallPath::Switchless, now);
                 self.dialog = Dialog::Idle;
                 Step::Complete(CallPath::Switchless)
             }
             Dialog::RegularExec => {
+                // One regular-call compute: attribute the transition to
+                // signal and the boundary copies to copy-in/copy-out,
+                // leaving the host function in execute.
+                self.prof.mark(Phase::Execute, now);
+                self.prof
+                    .transfer(Phase::Execute, Phase::Signal, self.costs.t_es_cycles);
+                self.prof.transfer(
+                    Phase::Execute,
+                    Phase::CopyIn,
+                    self.costs.copy_cycles(call.payload_bytes),
+                );
+                self.prof.transfer(
+                    Phase::Execute,
+                    Phase::CopyOut,
+                    self.costs.copy_cycles(call.ret_bytes),
+                );
+                self.prof.complete(call.class, CallPath::Regular, now);
                 self.dialog = Dialog::Idle;
                 Step::Complete(CallPath::Regular)
             }
             Dialog::FallbackExec => {
+                // The fallback remainder: transition + host + result copy
+                // (the payload copy was already charged in copy-in). A
+                // cancelled task keeps its rbf spin in the wait phase.
+                self.prof.mark(Phase::Execute, now);
+                self.prof
+                    .transfer(Phase::Execute, Phase::Signal, self.costs.t_es_cycles);
+                self.prof.transfer(
+                    Phase::Execute,
+                    Phase::CopyOut,
+                    self.costs.copy_cycles(call.ret_bytes),
+                );
+                self.prof.complete(call.class, CallPath::Fallback, now);
                 self.dialog = Dialog::Idle;
                 Step::Complete(CallPath::Fallback)
             }

@@ -19,6 +19,7 @@
 
 pub mod hotcalls;
 pub mod intel;
+pub(crate) mod prof;
 pub mod regular;
 pub mod zc;
 

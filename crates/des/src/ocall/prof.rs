@@ -1,0 +1,141 @@
+//! Per-call phase profiling for the DES dispatchers.
+//!
+//! [`Prof`] is the simulator-side analogue of the `prof::Rec` shim in
+//! the real runtimes: each dispatcher owns one and marks phase
+//! boundaries with kernel virtual time as its dialogue advances. On
+//! completion the per-phase breakdown is accumulated into the hub's
+//! [`CallPhaseProfiler`] and emitted as a `call_phases` event, so a DES
+//! run produces the same SLO report schema as the bench harness. With
+//! the `telemetry` feature off (or no hub attached) every method is an
+//! inline no-op.
+//!
+//! The profiler sees *every* call; the trace ring is bounded, so only
+//! the first [`TRACE_CALL_LIMIT`] completions per dispatcher emit a
+//! `call_phases` event. Without the cap a million-op sim floods the
+//! ring and evicts the low-rate events (decisions, faults) that the
+//! trace exists to capture.
+//!
+//! [`CallPhaseProfiler`]: zc_telemetry::CallPhaseProfiler
+
+#[cfg(feature = "telemetry")]
+pub(crate) use zc_telemetry::Phase;
+
+#[cfg(feature = "telemetry")]
+use switchless_core::CallPath;
+
+/// Per-dispatcher cap on traced `call_phases` events (aggregation into
+/// the phase profiler is never capped).
+#[cfg(feature = "telemetry")]
+const TRACE_CALL_LIMIT: u64 = 64;
+
+/// Per-dispatcher phase profiling state: the hub (if attached) plus the
+/// recorder of the in-flight call.
+#[cfg(feature = "telemetry")]
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Prof {
+    hub: Option<(std::sync::Arc<zc_telemetry::Telemetry>, u32)>,
+    rec: Option<zc_telemetry::PhaseRecorder>,
+    traced: u64,
+}
+
+#[cfg(feature = "telemetry")]
+impl Prof {
+    /// Attach a hub; phases are traced at `Origin::Caller(caller)`.
+    pub(crate) fn set_hub(&mut self, hub: std::sync::Arc<zc_telemetry::Telemetry>, caller: u32) {
+        self.hub = Some((hub, caller));
+    }
+
+    /// Open the recording for one call at virtual time `now`.
+    #[inline]
+    pub(crate) fn begin(&mut self, now: u64) {
+        if self.hub.is_some() {
+            self.rec = Some(zc_telemetry::PhaseRecorder::start(|| now));
+        }
+    }
+
+    /// Charge the cycles since the previous boundary to `phase`.
+    #[inline]
+    pub(crate) fn mark(&mut self, phase: Phase, now: u64) {
+        if let Some(r) = &mut self.rec {
+            r.mark(phase, || now);
+        }
+    }
+
+    /// Re-attribute up to `cycles` already charged to `from` onto `to`.
+    #[inline]
+    pub(crate) fn transfer(&mut self, from: Phase, to: Phase, cycles: u64) {
+        if let Some(r) = &mut self.rec {
+            r.transfer(from, to, cycles);
+        }
+    }
+
+    /// Declare the modelled host-function cycles, carved out of the
+    /// wait span when the recording closes.
+    #[inline]
+    pub(crate) fn set_execute_hint(&mut self, cycles: u64) {
+        if let Some(r) = &mut self.rec {
+            r.set_execute_hint(cycles);
+        }
+    }
+
+    /// Close the recording at `now`: accumulate into the hub profiler
+    /// and — for the first [`TRACE_CALL_LIMIT`] calls — emit a
+    /// `call_phases` event for call class `class`.
+    #[inline]
+    pub(crate) fn complete(&mut self, class: usize, path: CallPath, now: u64) {
+        let (Some((hub, caller)), Some(rec)) = (&self.hub, self.rec.take()) else {
+            return;
+        };
+        let (phases, total) = rec.finish(|| now);
+        hub.profile().record_call(path, total, &phases);
+        if self.traced < TRACE_CALL_LIMIT {
+            self.traced += 1;
+            hub.record(
+                now,
+                zc_telemetry::Origin::Caller(*caller),
+                zc_telemetry::Event::CallPhases {
+                    func: class as u16,
+                    path,
+                    phases,
+                },
+            );
+        }
+    }
+}
+
+/// Feature-off phase names (never read; keeps call sites identical).
+#[cfg(not(feature = "telemetry"))]
+#[derive(Debug, Clone, Copy)]
+#[allow(dead_code)]
+pub(crate) enum Phase {
+    Reserve,
+    CopyIn,
+    Signal,
+    Wait,
+    Execute,
+    CopyOut,
+}
+
+/// Feature-off stand-in: a ZST with empty inline methods.
+#[cfg(not(feature = "telemetry"))]
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Prof;
+
+#[cfg(not(feature = "telemetry"))]
+#[allow(dead_code)]
+impl Prof {
+    #[inline]
+    pub(crate) fn begin(&mut self, _now: u64) {}
+
+    #[inline]
+    pub(crate) fn mark(&mut self, _phase: Phase, _now: u64) {}
+
+    #[inline]
+    pub(crate) fn transfer(&mut self, _from: Phase, _to: Phase, _cycles: u64) {}
+
+    #[inline]
+    pub(crate) fn set_execute_hint(&mut self, _cycles: u64) {}
+
+    #[inline]
+    pub(crate) fn complete(&mut self, _class: usize, _path: switchless_core::CallPath, _now: u64) {}
+}

@@ -1,6 +1,7 @@
 //! The `no_sl` baseline: every ocall pays the enclave transition and the
 //! caller's own core runs the host function (EEXIT → host → EENTER).
 
+use super::prof::{Phase, Prof};
 use super::{CallDesc, CostModel, Dispatcher, Step};
 use crate::kernel::{Syscall, SyscallResult};
 use switchless_core::CallPath;
@@ -10,6 +11,7 @@ use switchless_core::CallPath;
 pub struct RegularDispatcher {
     costs: CostModel,
     in_call: bool,
+    prof: Prof,
 }
 
 impl RegularDispatcher {
@@ -19,21 +21,57 @@ impl RegularDispatcher {
         RegularDispatcher {
             costs,
             in_call: false,
+            prof: Prof::default(),
         }
+    }
+
+    /// Builder-style telemetry hub: every completed call accumulates its
+    /// per-phase cycle breakdown into the hub's
+    /// [`CallPhaseProfiler`](zc_telemetry::CallPhaseProfiler) and is
+    /// traced as a `call_phases` event at
+    /// [`Origin::Caller`](zc_telemetry::Origin::Caller), stamped with
+    /// kernel virtual time.
+    #[cfg(feature = "telemetry")]
+    #[must_use]
+    pub fn with_telemetry(
+        mut self,
+        telemetry: std::sync::Arc<zc_telemetry::Telemetry>,
+        caller: u32,
+    ) -> Self {
+        self.prof.set_hub(telemetry, caller);
+        self
     }
 }
 
 impl Dispatcher for RegularDispatcher {
-    fn begin(&mut self, call: &CallDesc, _now: u64) -> Syscall {
+    fn begin(&mut self, call: &CallDesc, now: u64) -> Syscall {
         debug_assert!(!self.in_call, "begin during an active dialogue");
         self.in_call = true;
+        self.prof.begin(now);
         Syscall::Compute(self.costs.regular_call_cycles(call))
     }
 
-    fn advance(&mut self, _call: &CallDesc, res: SyscallResult, _now: u64) -> Step {
+    fn advance(&mut self, call: &CallDesc, res: SyscallResult, now: u64) -> Step {
         debug_assert_eq!(res, SyscallResult::Ok);
         debug_assert!(self.in_call);
         self.in_call = false;
+        // One compute covered the whole call: attribute the transition
+        // to signal and the boundary copies to copy-in/copy-out, leaving
+        // the host function in execute.
+        self.prof.mark(Phase::Execute, now);
+        self.prof
+            .transfer(Phase::Execute, Phase::Signal, self.costs.t_es_cycles);
+        self.prof.transfer(
+            Phase::Execute,
+            Phase::CopyIn,
+            self.costs.copy_cycles(call.payload_bytes),
+        );
+        self.prof.transfer(
+            Phase::Execute,
+            Phase::CopyOut,
+            self.costs.copy_cycles(call.ret_bytes),
+        );
+        self.prof.complete(call.class, CallPath::Regular, now);
         Step::Complete(CallPath::Regular)
     }
 

@@ -11,6 +11,7 @@
 //!
 //! [`SchedulerPolicy`]: switchless_core::policy::SchedulerPolicy
 
+use super::prof::{Phase, Prof};
 use super::{CallDesc, CostModel, Dispatcher, Step};
 use crate::kernel::{FlagId, Machine, SpinTarget, Syscall, SyscallResult, Tid};
 use crate::metrics::SimCounters;
@@ -156,6 +157,7 @@ pub struct ZcDispatcher {
     /// the in-flight call is cancelled and re-routed (None = wait
     /// forever, the fault-free default).
     watchdog_pauses: Option<u64>,
+    prof: Prof,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -198,6 +200,7 @@ impl ZcDispatcher {
             dialog: Dialog::Idle,
             await_db_val: 0,
             watchdog_pauses: None,
+            prof: Prof::default(),
         }
     }
 
@@ -209,11 +212,25 @@ impl ZcDispatcher {
         self.watchdog_pauses = Some(pauses);
         self
     }
+
+    /// Builder-style telemetry hub: every completed call accumulates its
+    /// per-phase cycle breakdown into the hub's
+    /// [`CallPhaseProfiler`](zc_telemetry::CallPhaseProfiler) and is
+    /// traced as a `call_phases` event at
+    /// [`Origin::Caller`](zc_telemetry::Origin::Caller), stamped with
+    /// kernel virtual time.
+    #[cfg(feature = "telemetry")]
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: std::sync::Arc<zc_telemetry::Telemetry>) -> Self {
+        self.prof.set_hub(telemetry, self.caller as u32);
+        self
+    }
 }
 
 impl Dispatcher for ZcDispatcher {
-    fn begin(&mut self, call: &CallDesc, _now: u64) -> Syscall {
+    fn begin(&mut self, call: &CallDesc, now: u64) -> Syscall {
         debug_assert_eq!(self.dialog, Dialog::Idle, "begin during an active dialogue");
+        self.prof.begin(now);
         let mut wld = self.world.borrow_mut();
         let Some(w) = wld.find_unused() else {
             // No idle worker: immediate fallback, no busy-wait.
@@ -244,13 +261,18 @@ impl Dispatcher for ZcDispatcher {
         )
     }
 
-    fn advance(&mut self, call: &CallDesc, res: SyscallResult, _now: u64) -> Step {
+    fn advance(&mut self, call: &CallDesc, res: SyscallResult, now: u64) -> Step {
         debug_assert!(
             res == SyscallResult::Ok || matches!(self.dialog, Dialog::Await { .. }),
             "only the watchdog-armed await may time out"
         );
         match self.dialog {
             Dialog::Post { w } => {
+                // The finished compute was handoff + payload copy (+ any
+                // realloc transition, left in copy-in).
+                self.prof.mark(Phase::CopyIn, now);
+                self.prof
+                    .transfer(Phase::CopyIn, Phase::Reserve, self.costs.handoff_cycles);
                 let mut wld = self.world.borrow_mut();
                 debug_assert_eq!(wld.workers[w].state, WorkerState::Reserved);
                 wld.workers[w].state = WorkerState::Processing;
@@ -266,6 +288,7 @@ impl Dispatcher for ZcDispatcher {
                 Step::Next(Syscall::SetFlag { flag, value: v })
             }
             Dialog::Ring { w } => {
+                self.prof.mark(Phase::Signal, now);
                 let flag = self.world.borrow().caller_db[self.caller];
                 self.dialog = Dialog::Await { w };
                 Step::Next(Syscall::SpinUntil {
@@ -275,6 +298,7 @@ impl Dispatcher for ZcDispatcher {
                 })
             }
             Dialog::Await { w } => {
+                self.prof.mark(Phase::Wait, now);
                 let mut wld = self.world.borrow_mut();
                 if res == SyscallResult::TimedOut {
                     // Watchdog cancellation: the worker crashed, hung, or
@@ -295,6 +319,9 @@ impl Dispatcher for ZcDispatcher {
                     WorkerState::Waiting,
                     "caller woke before the worker published results"
                 );
+                // The completion spin covered the worker's host-function
+                // run: carve the modelled execute time out of the wait.
+                self.prof.set_execute_hint(call.host_cycles);
                 wld.workers[w].state = WorkerState::Unused;
                 // Ring the worker on release: it may have missed a
                 // scheduler Deactivate while executing, and only
@@ -312,10 +339,31 @@ impl Dispatcher for ZcDispatcher {
                 ))
             }
             Dialog::Collect => {
+                // Release ring + collect + result copy land in copy-out
+                // (the finish residual).
+                self.prof.complete(call.class, CallPath::Switchless, now);
                 self.dialog = Dialog::Idle;
                 Step::Complete(CallPath::Switchless)
             }
             Dialog::FallbackExec => {
+                // One regular-call compute: attribute the transition to
+                // signal and the boundary copies to copy-in/copy-out,
+                // leaving the host function in execute. A watchdog-
+                // cancelled call keeps its dead spin in the wait phase.
+                self.prof.mark(Phase::Execute, now);
+                self.prof
+                    .transfer(Phase::Execute, Phase::Signal, self.costs.t_es_cycles);
+                self.prof.transfer(
+                    Phase::Execute,
+                    Phase::CopyIn,
+                    self.costs.copy_cycles(call.payload_bytes),
+                );
+                self.prof.transfer(
+                    Phase::Execute,
+                    Phase::CopyOut,
+                    self.costs.copy_cycles(call.ret_bytes),
+                );
+                self.prof.complete(call.class, CallPath::Fallback, now);
                 self.dialog = Dialog::Idle;
                 Step::Complete(CallPath::Fallback)
             }
@@ -426,6 +474,10 @@ pub struct ZcSchedulerActor {
     telemetry: Option<std::sync::Arc<zc_telemetry::Telemetry>>,
     #[cfg(feature = "telemetry")]
     traced_decisions: u64,
+    /// Detects when the argmin re-settles on a worker count after a
+    /// load shift (same trajectory logic as the real scheduler thread).
+    #[cfg(feature = "telemetry")]
+    convergence: switchless_core::policy::ConvergenceTracker,
 }
 
 impl ZcSchedulerActor {
@@ -448,6 +500,8 @@ impl ZcSchedulerActor {
             telemetry: None,
             #[cfg(feature = "telemetry")]
             traced_decisions: 0,
+            #[cfg(feature = "telemetry")]
+            convergence: switchless_core::policy::ConvergenceTracker::new(),
         }
     }
 
@@ -482,6 +536,7 @@ impl crate::kernel::Actor for ZcSchedulerActor {
             if self.policy.decisions() > self.traced_decisions {
                 self.traced_decisions = self.policy.decisions();
                 if let Some(d) = self.policy.last_decision() {
+                    let chosen = d.chosen_workers;
                     hub.record(
                         _now,
                         Origin::Scheduler,
@@ -489,6 +544,18 @@ impl crate::kernel::Actor for ZcSchedulerActor {
                             decision: d.clone(),
                         },
                     );
+                    if let Some(c) = self.convergence.observe(chosen, _now) {
+                        hub.record(
+                            _now,
+                            Origin::Scheduler,
+                            Event::Converged {
+                                from_workers: c.from_workers,
+                                to_workers: c.to_workers,
+                                decisions: c.decisions,
+                                settle_cycles: c.settle_cycles,
+                            },
+                        );
+                    }
                 }
             }
             let kind = match step {

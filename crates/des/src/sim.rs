@@ -260,6 +260,26 @@ impl SimReport {
         self.cpu.cycles_to_secs(self.duration_cycles)
     }
 
+    /// Per-path SLO report of this run, built from the phase profiler of
+    /// the hub the simulation ran with (the same schema the
+    /// `call_overhead` bench emits). Times are virtual: percentiles,
+    /// goodput and the per-phase breakdown are derived from kernel
+    /// cycles at the simulated CPU frequency.
+    #[cfg(feature = "telemetry")]
+    #[must_use]
+    pub fn slo_report(
+        &self,
+        hub: &zc_telemetry::Telemetry,
+        label: &str,
+    ) -> zc_telemetry::SloReport {
+        zc_telemetry::SloReport::from_profile(
+            label,
+            &hub.profile().snapshot(),
+            self.cpu.freq_hz,
+            self.duration_cycles,
+        )
+    }
+
     /// Machine-wide average CPU utilisation in percent over the run.
     #[must_use]
     pub fn cpu_percent(&self) -> f64 {
@@ -336,7 +356,17 @@ pub fn run(config: &SimConfig) -> SimReport {
     match &config.mechanism {
         Mechanism::NoSl => {
             let costs = config.costs;
-            make_dispatcher = Box::new(move |_| Box::new(RegularDispatcher::new(costs)));
+            #[cfg(feature = "telemetry")]
+            let hub = telemetry.clone();
+            make_dispatcher = Box::new(move |_caller| {
+                let d = RegularDispatcher::new(costs);
+                #[cfg(feature = "telemetry")]
+                let d = match &hub {
+                    Some(h) => d.with_telemetry(std::sync::Arc::clone(h), _caller as u32),
+                    None => d,
+                };
+                Box::new(d)
+            });
         }
         Mechanism::Intel(icfg) => {
             let world = IntelWorld::new(&mut *kernel, icfg.clone(), callers);
@@ -347,13 +377,17 @@ pub fn run(config: &SimConfig) -> SimReport {
             let costs = config.costs;
             let counters2 = Rc::clone(&counters);
             let world2 = Rc::clone(&world);
+            #[cfg(feature = "telemetry")]
+            let hub = telemetry.clone();
             make_dispatcher = Box::new(move |caller| {
-                Box::new(IntelDispatcher::new(
-                    Rc::clone(&world2),
-                    Rc::clone(&counters2),
-                    costs,
-                    caller,
-                ))
+                let d =
+                    IntelDispatcher::new(Rc::clone(&world2), Rc::clone(&counters2), costs, caller);
+                #[cfg(feature = "telemetry")]
+                let d = match &hub {
+                    Some(h) => d.with_telemetry(std::sync::Arc::clone(h)),
+                    None => d,
+                };
+                Box::new(d)
             });
         }
         Mechanism::Hotcalls(hcfg) => {
@@ -411,12 +445,20 @@ pub fn run(config: &SimConfig) -> SimReport {
             let counters2 = Rc::clone(&counters);
             let world2 = Rc::clone(&world);
             zc_world_handle = Some(Rc::clone(&world));
+            #[cfg(feature = "telemetry")]
+            let hub = telemetry.clone();
             make_dispatcher = Box::new(move |caller| {
                 let d = ZcDispatcher::new(Rc::clone(&world2), Rc::clone(&counters2), costs, caller);
-                Box::new(match watchdog {
+                let d = match watchdog {
                     Some(pauses) => d.with_watchdog(pauses),
                     None => d,
-                })
+                };
+                #[cfg(feature = "telemetry")]
+                let d = match &hub {
+                    Some(h) => d.with_telemetry(std::sync::Arc::clone(h)),
+                    None => d,
+                };
+                Box::new(d)
             });
         }
     }

@@ -23,6 +23,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod pool;
+mod prof;
 pub mod runtime;
 
 pub use pool::{SlotIdx, SlotState, TaskPool};

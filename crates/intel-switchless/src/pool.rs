@@ -74,6 +74,10 @@ pub struct SlotData {
     pub payload_out: Vec<u8>,
     /// Completed reply.
     pub reply: OcallReply,
+    /// Host-function execution cycles measured by the worker. Advisory
+    /// (host-writable): the caller clamps it to its own wait window
+    /// before charging it to the execute phase.
+    pub exec_cycles: u64,
 }
 
 #[derive(Debug)]
@@ -226,6 +230,7 @@ impl TaskPool {
             data.payload_in.extend_from_slice(payload_in);
             data.payload_out.clear();
             data.reply = OcallReply::default();
+            data.exec_cycles = 0;
         }
         self.guarded_cas(idx.0, SlotState::Claimed, SlotState::Submitted)
     }

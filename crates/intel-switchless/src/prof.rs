@@ -1,0 +1,107 @@
+//! Zero-cost indirection over the telemetry phase recorder.
+//!
+//! Same shim as `zc_switchless::prof` (the crates cannot share a
+//! `pub(crate)` module): with the `telemetry` feature on, [`Rec`] wraps
+//! an optional [`zc_telemetry::PhaseRecorder`] — `None` when no hub is
+//! installed, so a hub-less runtime pays one branch per mark and never
+//! reads the clock. With the feature off, [`Rec`] is a ZST whose
+//! methods are empty `#[inline]` bodies: the `now` closures are never
+//! invoked, so the hot path compiles to exactly the uninstrumented code.
+
+#[cfg(feature = "telemetry")]
+pub(crate) use zc_telemetry::Phase;
+
+/// Per-call phase stopwatch handle threaded through the dispatch path.
+#[cfg(feature = "telemetry")]
+#[derive(Debug)]
+pub(crate) struct Rec(Option<zc_telemetry::PhaseRecorder>);
+
+#[cfg(feature = "telemetry")]
+impl Rec {
+    /// Recording handle starting at `now()`.
+    #[inline]
+    pub(crate) fn start(now: impl FnOnce() -> u64) -> Self {
+        Rec(Some(zc_telemetry::PhaseRecorder::start(now)))
+    }
+
+    /// Non-recording handle (telemetry feature on, no hub installed).
+    #[inline]
+    pub(crate) fn disabled() -> Self {
+        Rec(None)
+    }
+
+    #[inline]
+    pub(crate) fn mark(&mut self, phase: Phase, now: impl FnOnce() -> u64) {
+        if let Some(r) = &mut self.0 {
+            r.mark(phase, now);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn set_execute_hint(&mut self, cycles: u64) {
+        if let Some(r) = &mut self.0 {
+            r.set_execute_hint(cycles);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn transfer(&mut self, from: Phase, to: Phase, cycles: u64) {
+        if let Some(r) = &mut self.0 {
+            r.transfer(from, to, cycles);
+        }
+    }
+
+    /// Close the recording: per-phase breakdown plus total, or `None`
+    /// for a disabled handle.
+    #[inline]
+    pub(crate) fn finish(self, now: impl FnOnce() -> u64) -> Option<([u64; 6], u64)> {
+        self.0.map(|r| r.finish(now))
+    }
+}
+
+/// Feature-off phase names (never read; keeps call sites identical).
+#[cfg(not(feature = "telemetry"))]
+#[derive(Debug, Clone, Copy)]
+#[allow(dead_code)]
+pub(crate) enum Phase {
+    Reserve,
+    CopyIn,
+    Signal,
+    Wait,
+    Execute,
+    CopyOut,
+}
+
+/// Feature-off stand-in: a ZST with empty inline methods. The `now`
+/// closures are never called, so no clock reads survive compilation.
+#[cfg(not(feature = "telemetry"))]
+#[derive(Debug)]
+pub(crate) struct Rec;
+
+#[cfg(not(feature = "telemetry"))]
+#[allow(dead_code)]
+impl Rec {
+    #[inline]
+    pub(crate) fn start(_now: impl FnOnce() -> u64) -> Self {
+        Rec
+    }
+
+    #[inline]
+    pub(crate) fn disabled() -> Self {
+        Rec
+    }
+
+    #[inline]
+    pub(crate) fn mark(&mut self, _phase: Phase, _now: impl FnOnce() -> u64) {}
+
+    #[inline]
+    pub(crate) fn set_execute_hint(&mut self, _cycles: u64) {}
+
+    #[inline]
+    pub(crate) fn transfer(&mut self, _from: Phase, _to: Phase, _cycles: u64) {}
+
+    #[inline]
+    pub(crate) fn finish(self, _now: impl FnOnce() -> u64) -> Option<([u64; 6], u64)> {
+        None
+    }
+}

@@ -8,6 +8,7 @@
 //! no-op; the modelled pause costs are charged either way.
 
 use crate::pool::{SlotIdx, SlotState, TaskPool};
+use crate::prof::{Phase, Rec};
 use parking_lot::{Condvar, Mutex};
 use sgx_sim::{CpuAccounting, CycleClock, Enclave, RegularOcall};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -379,33 +380,69 @@ impl OcallDispatcher for IntelSwitchless {
             let sh = &*self.shared;
             if let Some(hub) = &sh.telemetry {
                 let start = sh.clock.now_cycles();
-                let result = dispatch_inner(sh, req, payload_in, payload_out);
+                let mut rec = Rec::start(|| start);
+                let result = dispatch_inner(sh, req, payload_in, payload_out, &mut rec);
                 if let Ok((_, path)) = &result {
-                    let now = sh.clock.now_cycles();
-                    hub.record(
-                        now,
-                        hub.caller_origin(),
-                        zc_telemetry::Event::CallRouted {
-                            func: req.func.0,
-                            path: *path,
-                            start_cycles: start,
-                            duration_cycles: now.saturating_sub(start),
-                        },
-                    );
+                    if let Some((phases, total)) = rec.finish(|| sh.clock.now_cycles()) {
+                        hub.profile().record_call(*path, total, &phases);
+                        let now = start.saturating_add(total);
+                        hub.record(
+                            now,
+                            hub.caller_origin(),
+                            zc_telemetry::Event::CallRouted {
+                                func: req.func.0,
+                                path: *path,
+                                start_cycles: start,
+                                duration_cycles: total,
+                            },
+                        );
+                        hub.record(
+                            now,
+                            hub.caller_origin(),
+                            zc_telemetry::Event::CallPhases {
+                                func: req.func.0,
+                                path: *path,
+                                phases,
+                            },
+                        );
+                    }
                 }
                 return result;
             }
         }
-        dispatch_inner(&self.shared, req, payload_in, payload_out)
+        let mut rec = Rec::disabled();
+        dispatch_inner(&self.shared, req, payload_in, payload_out, &mut rec)
     }
 }
 
-/// The Intel dispatch protocol itself (telemetry-free hot path).
+/// Complete a call through the regular-ocall fallback engine, charging
+/// its phase time by the shared convention: the enclave transition cost
+/// is "signal", the host-function run is "execute". The engine's whole
+/// span is first marked execute, then the modelled transition cost is
+/// re-attributed (clamped, so conservation holds exactly).
+fn fallback_with_phases(
+    sh: &Shared,
+    rec: &mut Rec,
+    req: &OcallRequest,
+    payload_in: &[u8],
+    payload_out: &mut Vec<u8>,
+) -> Result<i64, SwitchlessError> {
+    let ret = sh
+        .fallback
+        .execute_transition(req, payload_in, payload_out)?;
+    rec.mark(Phase::Execute, || sh.clock.now_cycles());
+    rec.transfer(Phase::Execute, Phase::Signal, sh.clock.spec().t_es_cycles);
+    Ok(ret)
+}
+
+/// The Intel dispatch protocol itself (telemetry-free hot path; `rec`
+/// is a no-op ZST with the feature off).
 fn dispatch_inner(
     sh: &Shared,
     req: &OcallRequest,
     payload_in: &[u8],
     payload_out: &mut Vec<u8>,
+    rec: &mut Rec,
 ) -> Result<(i64, CallPath), SwitchlessError> {
     if !sh.running.load(Ordering::Acquire) {
         return Err(SwitchlessError::RuntimeStopped);
@@ -419,34 +456,34 @@ fn dispatch_inner(
     }
     // Statically non-switchless functions always pay the transition.
     if !sh.config.is_switchless(req.func) {
-        let ret = sh
-            .fallback
-            .execute_transition(req, payload_in, payload_out)?;
+        let ret = fallback_with_phases(sh, rec, req, payload_in, payload_out)?;
         sh.stats.record_regular();
         return Ok((ret, CallPath::Regular));
     }
     // Switchless attempt: claim a slot (pool full -> immediate
     // fallback, as in the SDK).
     let Some(idx) = sh.pool.claim() else {
-        let ret = sh
-            .fallback
-            .execute_transition(req, payload_in, payload_out)?;
+        rec.mark(Phase::Reserve, || sh.clock.now_cycles());
+        let ret = fallback_with_phases(sh, rec, req, payload_in, payload_out)?;
         sh.stats.record_fallback();
         return Ok((ret, CallPath::Fallback));
     };
-    if let Err(v) = sh.pool.submit(idx, *req, payload_in) {
-        return guard_violation_fallback(sh, idx, v, req, payload_in, payload_out);
+    rec.mark(Phase::Reserve, || sh.clock.now_cycles());
+    let submitted = sh.pool.submit(idx, *req, payload_in);
+    rec.mark(Phase::CopyIn, || sh.clock.now_cycles());
+    if let Err(v) = submitted {
+        return guard_violation_fallback(sh, idx, v, req, payload_in, payload_out, rec);
     }
     sh.wake_one();
+    rec.mark(Phase::Signal, || sh.clock.now_cycles());
 
     // Busy-wait up to rbf pauses for a worker to accept.
     let mut retries: u32 = 0;
     while !sh.pool.is_accepted_or_done(idx) {
         if retries >= sh.config.retries_before_fallback {
             if sh.pool.cancel(idx) {
-                let ret = sh
-                    .fallback
-                    .execute_transition(req, payload_in, payload_out)?;
+                rec.mark(Phase::Wait, || sh.clock.now_cycles());
+                let ret = fallback_with_phases(sh, rec, req, payload_in, payload_out)?;
                 sh.stats.record_fallback();
                 return Ok((ret, CallPath::Fallback));
             }
@@ -467,16 +504,18 @@ fn dispatch_inner(
     let mut spins: u32 = 0;
     loop {
         match sh.pool.state(idx) {
-            Err(v) => return guard_violation_fallback(sh, idx, v, req, payload_in, payload_out),
+            Err(v) => {
+                rec.mark(Phase::Wait, || sh.clock.now_cycles());
+                return guard_violation_fallback(sh, idx, v, req, payload_in, payload_out, rec);
+            }
             Ok(SlotState::Done) => break,
             Ok(_) => {
                 if sh.pool.is_poisoned(idx) {
                     // The worker-side guard caught the host interfering
                     // with this slot (already counted there): discard
                     // the switchless attempt and fall back.
-                    let ret = sh
-                        .fallback
-                        .execute_transition(req, payload_in, payload_out)?;
+                    rec.mark(Phase::Wait, || sh.clock.now_cycles());
+                    let ret = fallback_with_phases(sh, rec, req, payload_in, payload_out)?;
                     sh.stats.record_fallback();
                     return Ok((ret, CallPath::Fallback));
                 }
@@ -488,20 +527,24 @@ fn dispatch_inner(
             }
         }
     }
+    rec.mark(Phase::Wait, || sh.clock.now_cycles());
     let collected = sh.pool.collect(idx, |d| {
         payload_out.clear();
         payload_out.extend_from_slice(&d.payload_out);
-        d.reply.ret
+        (d.reply.ret, d.exec_cycles)
     });
     match collected {
-        Ok(ret) => {
+        Ok((ret, exec_cycles)) => {
+            // Carve the worker-measured host-function time out of the
+            // wait span (clamped at finish: the worker is untrusted).
+            rec.set_execute_hint(exec_cycles);
             sh.stats.record_switchless();
             Ok((ret, CallPath::Switchless))
         }
         // The host flipped the word between DONE and the collect: the
         // bytes read above are untrustworthy — discard and fall back
         // (payload_out is rewritten by the fallback execution).
-        Err(v) => guard_violation_fallback(sh, idx, v, req, payload_in, payload_out),
+        Err(v) => guard_violation_fallback(sh, idx, v, req, payload_in, payload_out, rec),
     }
 }
 
@@ -515,6 +558,7 @@ fn guard_violation_fallback(
     req: &OcallRequest,
     payload_in: &[u8],
     payload_out: &mut Vec<u8>,
+    rec: &mut Rec,
 ) -> Result<(i64, CallPath), SwitchlessError> {
     sh.pool.poison(idx);
     sh.stats.record_guard_violation();
@@ -531,9 +575,7 @@ fn guard_violation_fallback(
     }
     #[cfg(not(feature = "telemetry"))]
     let _ = violation;
-    let ret = sh
-        .fallback
-        .execute_transition(req, payload_in, payload_out)?;
+    let ret = fallback_with_phases(sh, rec, req, payload_in, payload_out)?;
     sh.stats.record_fallback();
     Ok((ret, CallPath::Fallback))
 }
@@ -625,12 +667,18 @@ fn worker_loop(sh: &Arc<Shared>, index: usize) {
                 };
                 // Contain host-function panics (see zc worker): a dead
                 // worker would strand its caller mid-spin.
+                #[cfg(feature = "telemetry")]
+                let exec_start = sh.clock.now_cycles();
                 let ret = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     sh.table
                         .invoke(&req, &data.payload_in, &mut data.payload_out)
                         .unwrap_or(-1)
                 }))
                 .unwrap_or(-1);
+                #[cfg(feature = "telemetry")]
+                {
+                    data.exec_cycles = sh.clock.now_cycles().saturating_sub(exec_start);
+                }
                 data.reply.ret = ret;
                 data.reply.payload_len = data.payload_out.len() as u32;
             });

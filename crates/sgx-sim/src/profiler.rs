@@ -14,8 +14,15 @@ use crate::clock::CycleClock;
 use parking_lot::Mutex;
 use std::fmt;
 use switchless_core::{CallPath, CpuSpec, OcallDispatcher, OcallRequest, SwitchlessError};
+use zc_telemetry::quantile;
+use zc_telemetry::Quantiles;
 
-const BUCKETS: usize = 40;
+/// Histogram bucket count — the telemetry-wide log₂ geometry
+/// ([`zc_telemetry::HIST_BUCKETS`]); bucket math and percentile
+/// estimation are delegated to [`zc_telemetry::quantile`], so this
+/// profiler, the phase profiler and the metrics registry share one
+/// source of truth.
+pub const BUCKETS: usize = zc_telemetry::HIST_BUCKETS;
 
 /// Per-function accumulated statistics.
 #[derive(Debug, Clone)]
@@ -70,8 +77,7 @@ impl FuncProfile {
         self.total_cycles = self.total_cycles.saturating_add(cycles);
         self.min_cycles = self.min_cycles.min(cycles);
         self.max_cycles = self.max_cycles.max(cycles);
-        let bucket = (64 - cycles.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
-        self.histogram[bucket] += 1;
+        self.histogram[quantile::bucket_index(cycles)] += 1;
     }
 
     /// Mean call duration in cycles (0 when never called).
@@ -81,17 +87,19 @@ impl FuncProfile {
     }
 
     /// Median-ish duration: the lower edge of the histogram bucket
-    /// containing the 50th percentile.
+    /// containing the 50th percentile (0 when never called).
     #[must_use]
     pub fn p50_bucket_cycles(&self) -> u64 {
-        let mut remaining = self.calls / 2;
-        for (i, &c) in self.histogram.iter().enumerate() {
-            if c > remaining {
-                return 1 << i;
-            }
-            remaining -= c;
-        }
-        0
+        quantile::percentile_bounds(&self.histogram, 0.50)
+            .map(|(lo, _)| lo)
+            .unwrap_or(0)
+    }
+
+    /// p50/p99/p99.9 estimates (conservative upper bucket edges) over
+    /// the recorded durations.
+    #[must_use]
+    pub fn quantiles(&self) -> Quantiles {
+        Quantiles::from_counts(&self.histogram)
     }
 }
 
@@ -467,6 +475,22 @@ mod tests {
         assert_eq!(p.histogram[1], 2); // [2,4)
         assert_eq!(p.histogram[10], 1); // [1024,2048)
         assert_eq!(p.p50_bucket_cycles(), 2);
+    }
+
+    #[test]
+    fn quantiles_delegate_to_shared_bucket_math() {
+        let mut p = FuncProfile::new("x".into());
+        for _ in 0..99 {
+            p.record(100, CallPath::Switchless);
+        }
+        p.record(1_000_000, CallPath::Switchless);
+        let q = p.quantiles();
+        assert_eq!(q.p50, quantile::bucket_upper(quantile::bucket_index(100)));
+        assert!(q.p999 >= 1_000_000, "tail sample must pull p99.9 up");
+        assert_eq!(
+            p.p50_bucket_cycles(),
+            quantile::bucket_lower(quantile::bucket_index(100))
+        );
     }
 
     #[test]

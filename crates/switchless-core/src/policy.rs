@@ -374,6 +374,116 @@ impl SchedulerPolicy {
     }
 }
 
+/// One detected scheduler convergence: the argmin moved off its settled
+/// worker count and re-settled on a new one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConvergenceRecord {
+    /// Worker count the scheduler was settled on before the shift.
+    pub from_workers: u32,
+    /// Worker count it re-settled on.
+    pub to_workers: u32,
+    /// Argmin decisions from the first deviating one through the
+    /// confirming one, inclusive.
+    pub decisions: u32,
+    /// Cycles from the first deviating decision to the confirming one —
+    /// the paper's "time to converge after a load shift".
+    pub settle_cycles: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingShift {
+    from: usize,
+    to: usize,
+    start_cycles: u64,
+    decisions: u32,
+}
+
+/// Detects scheduler convergence from the stream of argmin decisions.
+///
+/// Feed every completed configuration-phase decision in order via
+/// [`observe`](ConvergenceTracker::observe). The tracker considers the
+/// scheduler *settled* on a count once two consecutive decisions agree
+/// on it; a decision deviating from the settled count opens a shift,
+/// and the first repeated count thereafter closes it, yielding a
+/// [`ConvergenceRecord`] with the settle time. A deviation that
+/// immediately returns to the settled count is discarded as probe noise.
+///
+/// Pure and side-effect-free, so the identical trajectory logic serves
+/// the real scheduler thread and the DES scheduler actor.
+#[derive(Debug, Clone, Default)]
+pub struct ConvergenceTracker {
+    settled: Option<usize>,
+    pending: Option<PendingShift>,
+}
+
+impl ConvergenceTracker {
+    /// Fresh tracker: the first observed decision becomes the baseline.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Worker count the scheduler is currently settled on, if any.
+    #[must_use]
+    pub fn settled_workers(&self) -> Option<usize> {
+        self.settled
+    }
+
+    /// True while a shift is open (argmin moved, not yet re-settled).
+    #[must_use]
+    pub fn shifting(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Record one argmin decision taken at `now_cycles`. Returns the
+    /// completed [`ConvergenceRecord`] when this decision confirms a new
+    /// settled count after a shift.
+    pub fn observe(&mut self, chosen_workers: usize, now_cycles: u64) -> Option<ConvergenceRecord> {
+        let settled = match self.settled {
+            None => {
+                self.settled = Some(chosen_workers);
+                return None;
+            }
+            Some(s) => s,
+        };
+        match self.pending {
+            None => {
+                if chosen_workers != settled {
+                    self.pending = Some(PendingShift {
+                        from: settled,
+                        to: chosen_workers,
+                        start_cycles: now_cycles,
+                        decisions: 1,
+                    });
+                }
+                None
+            }
+            Some(ref mut p) => {
+                p.decisions += 1;
+                if chosen_workers == p.to {
+                    let rec = ConvergenceRecord {
+                        from_workers: p.from as u32,
+                        to_workers: chosen_workers as u32,
+                        decisions: p.decisions,
+                        settle_cycles: now_cycles.saturating_sub(p.start_cycles),
+                    };
+                    self.settled = Some(chosen_workers);
+                    self.pending = None;
+                    Some(rec)
+                } else if chosen_workers == p.from {
+                    // Bounced straight back: probe noise, not a shift.
+                    self.pending = None;
+                    None
+                } else {
+                    // Still hunting: re-anchor on the newest candidate.
+                    p.to = chosen_workers;
+                    None
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -571,6 +681,47 @@ mod tests {
         };
         assert_eq!(s.workers(), 3);
         assert_eq!(s.duration_cycles(), 99);
+    }
+
+    #[test]
+    fn convergence_detects_load_shift() {
+        let mut t = ConvergenceTracker::new();
+        // Steady at 1 worker.
+        assert_eq!(t.observe(1, 0), None);
+        assert_eq!(t.observe(1, 100), None);
+        assert_eq!(t.settled_workers(), Some(1));
+        // Load shift: argmin hunts 3 -> 4 -> 4.
+        assert_eq!(t.observe(3, 200), None);
+        assert!(t.shifting());
+        assert_eq!(t.observe(4, 300), None);
+        let rec = t.observe(4, 500).expect("converged");
+        assert_eq!(
+            rec,
+            ConvergenceRecord {
+                from_workers: 1,
+                to_workers: 4,
+                decisions: 3,
+                settle_cycles: 300,
+            }
+        );
+        assert_eq!(t.settled_workers(), Some(4));
+        assert!(!t.shifting());
+    }
+
+    #[test]
+    fn convergence_ignores_probe_noise() {
+        let mut t = ConvergenceTracker::new();
+        t.observe(2, 0);
+        t.observe(2, 10);
+        // One-decision blip back to the settled count: no record.
+        assert_eq!(t.observe(3, 20), None);
+        assert_eq!(t.observe(2, 30), None);
+        assert!(!t.shifting());
+        assert_eq!(t.settled_workers(), Some(2));
+        // Steady stream never emits records.
+        for i in 0..10 {
+            assert_eq!(t.observe(2, 40 + i), None);
+        }
     }
 
     #[test]

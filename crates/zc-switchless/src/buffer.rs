@@ -61,6 +61,10 @@ pub struct RequestSlot {
     pub payload_out: Vec<u8>,
     /// Completed reply.
     pub reply: OcallReply,
+    /// Worker-measured host-function cycles for the last served call
+    /// (phase profiling; advisory only — the caller clamps it to its
+    /// own wait window, so a lying host cannot break conservation).
+    pub exec_cycles: u64,
 }
 
 /// Emits a telemetry event for every successful status transition of

@@ -8,6 +8,7 @@
 
 use crate::buffer::WorkerBuffer;
 use crate::pool::PoolAlloc;
+use crate::prof;
 use crate::runtime::{Shared, YIELD_EVERY};
 use std::sync::atomic::Ordering;
 use switchless_core::{
@@ -21,10 +22,13 @@ const POOL_RETRY_MAX: u32 = 3;
 
 /// Dispatch one ocall through the ZC protocol.
 ///
-/// With the `telemetry` feature off this *is* [`dispatch_inner`]; with
-/// it on but no hub installed, the added cost is one branch. Only when
-/// a hub is present does the caller read the clock and record a
-/// `CallRouted` span (one relaxed-CAS ring push, no locks, no heap
+/// With the `telemetry` feature off the phase recorder is a ZST whose
+/// `now` closures are never invoked, so this compiles to the bare
+/// protocol; with it on but no hub installed, the added cost is one
+/// branch per phase boundary. Only when a hub is present does the
+/// caller read the clock, accumulate the per-phase breakdown into the
+/// hub's [`zc_telemetry::CallPhaseProfiler`], and record `CallRouted` +
+/// `CallPhases` events (relaxed-CAS ring pushes, no locks, no heap
 /// allocation).
 #[cfg(feature = "telemetry")]
 pub(crate) fn dispatch(
@@ -34,28 +38,75 @@ pub(crate) fn dispatch(
     payload_out: &mut Vec<u8>,
 ) -> Result<(i64, CallPath), SwitchlessError> {
     let Some(hub) = &shared.telemetry else {
-        return dispatch_inner(shared, req, payload_in, payload_out);
+        let mut rec = prof::Rec::disabled();
+        return dispatch_inner(shared, req, payload_in, payload_out, &mut rec);
     };
     let start = shared.clock.now_cycles();
-    let result = dispatch_inner(shared, req, payload_in, payload_out);
+    let mut rec = prof::Rec::start(|| start);
+    let result = dispatch_inner(shared, req, payload_in, payload_out, &mut rec);
     if let Ok((_, path)) = &result {
-        let now = shared.clock.now_cycles();
-        hub.record(
-            now,
-            hub.caller_origin(),
-            zc_telemetry::Event::CallRouted {
-                func: req.func.0,
-                path: *path,
-                start_cycles: start,
-                duration_cycles: now.saturating_sub(start),
-            },
-        );
+        if let Some((phases, total)) = rec.finish(|| shared.clock.now_cycles()) {
+            hub.profile().record_call(*path, total, &phases);
+            let now = start.saturating_add(total);
+            let origin = hub.caller_origin();
+            hub.record(
+                now,
+                origin,
+                zc_telemetry::Event::CallRouted {
+                    func: req.func.0,
+                    path: *path,
+                    start_cycles: start,
+                    duration_cycles: total,
+                },
+            );
+            hub.record(
+                now,
+                origin,
+                zc_telemetry::Event::CallPhases {
+                    func: req.func.0,
+                    path: *path,
+                    phases,
+                },
+            );
+        }
     }
     result
 }
 
 #[cfg(not(feature = "telemetry"))]
-pub(crate) use dispatch_inner as dispatch;
+pub(crate) fn dispatch(
+    shared: &Shared,
+    req: &OcallRequest,
+    payload_in: &[u8],
+    payload_out: &mut Vec<u8>,
+) -> Result<(i64, CallPath), SwitchlessError> {
+    let mut rec = prof::Rec::disabled();
+    dispatch_inner(shared, req, payload_in, payload_out, &mut rec)
+}
+
+/// Execute the regular-ocall fallback engine and charge its cycles to
+/// the phase model: everything since the previous boundary becomes
+/// `execute`, out of which the machine's enclave-transition cost is
+/// re-attributed to `signal` (the transition *is* what a non-switchless
+/// call pays to signal the host).
+fn fallback_with_phases(
+    shared: &Shared,
+    rec: &mut prof::Rec,
+    req: &OcallRequest,
+    payload_in: &[u8],
+    payload_out: &mut Vec<u8>,
+) -> Result<i64, SwitchlessError> {
+    let ret = shared
+        .fallback
+        .execute_transition(req, payload_in, payload_out)?;
+    rec.mark(prof::Phase::Execute, || shared.clock.now_cycles());
+    rec.transfer(
+        prof::Phase::Execute,
+        prof::Phase::Signal,
+        shared.clock.spec().t_es_cycles,
+    );
+    Ok(ret)
+}
 
 /// The ZC dispatch protocol itself (telemetry-free hot path).
 pub(crate) fn dispatch_inner(
@@ -63,6 +114,7 @@ pub(crate) fn dispatch_inner(
     req: &OcallRequest,
     payload_in: &[u8],
     payload_out: &mut Vec<u8>,
+    rec: &mut prof::Rec,
 ) -> Result<(i64, CallPath), SwitchlessError> {
     if !shared.running.load(Ordering::Acquire) {
         return Err(SwitchlessError::RuntimeStopped);
@@ -74,9 +126,7 @@ pub(crate) fn dispatch_inner(
         // at all, so it can never poison another worker.
         let key = PoisonKey::new(req.func, payload_in.len());
         if sup.lock().is_blacklisted(key) {
-            let ret = shared
-                .fallback
-                .execute_transition(req, payload_in, payload_out)?;
+            let ret = fallback_with_phases(shared, rec, req, payload_in, payload_out)?;
             shared.stats.record_regular();
             return Ok((ret, CallPath::Regular));
         }
@@ -103,18 +153,21 @@ pub(crate) fn dispatch_inner(
             continue;
         }
         if w.try_transition(WorkerState::Unused, WorkerState::Reserved) {
-            return switchless_call(shared, &w, idx, req, payload_in, payload_out);
+            rec.mark(prof::Phase::Reserve, || shared.clock.now_cycles());
+            return switchless_call(shared, &w, idx, req, payload_in, payload_out, rec);
         }
     }
-    // No idle worker: immediate fallback.
-    let ret = shared
-        .fallback
-        .execute_transition(req, payload_in, payload_out)?;
+    // No idle worker: immediate fallback. The fruitless scan is still
+    // reserve time — it is exactly the cost the immediate-fallback
+    // design bounds.
+    rec.mark(prof::Phase::Reserve, || shared.clock.now_cycles());
+    let ret = fallback_with_phases(shared, rec, req, payload_in, payload_out)?;
     shared.stats.record_fallback();
     Ok((ret, CallPath::Fallback))
 }
 
 /// Complete a switchless call on a worker already claimed (`RESERVED`).
+#[allow(clippy::too_many_arguments)]
 fn switchless_call(
     shared: &Shared,
     w: &WorkerBuffer,
@@ -122,6 +175,7 @@ fn switchless_call(
     req: &OcallRequest,
     payload_in: &[u8],
     payload_out: &mut Vec<u8>,
+    rec: &mut prof::Rec,
 ) -> Result<(i64, CallPath), SwitchlessError> {
     // Stamp the per-call monotonic sequence tag: an honest worker echoes
     // it into the reply, so a stale or replayed reply left over from an
@@ -172,9 +226,8 @@ fn switchless_call(
             // execute as a regular ocall (the untrusted heap handles it).
             let ok = w.try_transition(WorkerState::Reserved, WorkerState::Unused);
             debug_assert!(ok, "RESERVED -> UNUSED release must not be contended");
-            let ret = shared
-                .fallback
-                .execute_transition(req, payload_in, payload_out)?;
+            rec.mark(prof::Phase::CopyIn, || shared.clock.now_cycles());
+            let ret = fallback_with_phases(shared, rec, req, payload_in, payload_out)?;
             shared.stats.record_fallback();
             return Ok((ret, CallPath::Fallback));
         }
@@ -188,9 +241,12 @@ fn switchless_call(
         slot.request = Some(*req);
         slot.payload_in = (offset, payload_in.len());
         slot.payload_out.clear();
+        slot.exec_cycles = 0;
     });
+    rec.mark(prof::Phase::CopyIn, || shared.clock.now_cycles());
     let ok = w.try_transition(WorkerState::Reserved, WorkerState::Processing);
     debug_assert!(ok, "RESERVED -> PROCESSING must not be contended");
+    rec.mark(prof::Phase::Signal, || shared.clock.now_cycles());
 
     // Busy-wait for completion: while the worker runs our call, this
     // enclave thread spins — the "exactly one busy-waiting thread per
@@ -210,7 +266,17 @@ fn switchless_call(
         let state = match w.state() {
             Ok(s) => s,
             Err(v) => {
-                return guard_violation_fallback(shared, w, widx, v, req, payload_in, payload_out);
+                rec.mark(prof::Phase::Wait, || shared.clock.now_cycles());
+                return guard_violation_fallback(
+                    shared,
+                    w,
+                    widx,
+                    v,
+                    req,
+                    payload_in,
+                    payload_out,
+                    rec,
+                );
             }
         };
         if state == WorkerState::Waiting {
@@ -222,10 +288,9 @@ fn switchless_call(
             // to a regular ocall cannot double-execute side effects. The
             // buffer stays quarantined in PROCESSING until the
             // supervisor (if enabled) respawns the slot.
+            rec.mark(prof::Phase::Wait, || shared.clock.now_cycles());
             report_worker_failure(shared, widx, FailureKind::Crash, req, payload_in.len());
-            let ret = shared
-                .fallback
-                .execute_transition(req, payload_in, payload_out)?;
+            let ret = fallback_with_phases(shared, rec, req, payload_in, payload_out)?;
             shared.stats.record_fallback();
             return Ok((ret, CallPath::Fallback));
         }
@@ -252,9 +317,8 @@ fn switchless_call(
                     waited_cycles: now.saturating_sub(posted_at),
                 });
                 shared.stats.record_cancelled();
-                let ret = shared
-                    .fallback
-                    .execute_transition(req, payload_in, payload_out)?;
+                rec.mark(prof::Phase::Wait, || shared.clock.now_cycles());
+                let ret = fallback_with_phases(shared, rec, req, payload_in, payload_out)?;
                 return Ok((ret, CallPath::Fallback));
             }
         }
@@ -264,6 +328,7 @@ fn switchless_call(
             std::thread::yield_now();
         }
     }
+    rec.mark(prof::Phase::Wait, || shared.clock.now_cycles());
     // Validate the host-written reply, then copy results back into
     // enclave memory and release the worker. The declared length must
     // match the bytes actually present (an honest worker writes both),
@@ -278,19 +343,23 @@ fn switchless_call(
         shared
             .memcpy
             .copy(payload_out, &slot.payload_out[..verdict.copy_len]);
-        Ok((slot.reply.ret, verdict.truncated))
+        Ok((slot.reply.ret, verdict.truncated, slot.exec_cycles))
     });
     match checked {
-        Ok((ret, truncated)) => {
+        Ok((ret, truncated, exec_cycles)) => {
             if truncated {
                 shared.stats.record_reply_truncation();
             }
+            // The worker's self-measured host-function time is carved
+            // out of this caller's wait window at finish (clamped there,
+            // so a lying host cannot break phase conservation).
+            rec.set_execute_hint(exec_cycles);
             let ok = w.try_transition(WorkerState::Waiting, WorkerState::Unused);
             debug_assert!(ok, "WAITING -> UNUSED release must not be contended");
             shared.stats.record_switchless();
             Ok((ret, CallPath::Switchless))
         }
-        Err(v) => guard_violation_fallback(shared, w, widx, v, req, payload_in, payload_out),
+        Err(v) => guard_violation_fallback(shared, w, widx, v, req, payload_in, payload_out, rec),
     }
 }
 
@@ -302,6 +371,7 @@ fn switchless_call(
 /// the lie was detected, so the fallback can double-execute side effects
 /// — the same documented trade-off as a watchdog cancellation, and
 /// unavoidable against a host that lies about completion state.
+#[allow(clippy::too_many_arguments)]
 fn guard_violation_fallback(
     shared: &Shared,
     w: &WorkerBuffer,
@@ -310,6 +380,7 @@ fn guard_violation_fallback(
     req: &OcallRequest,
     payload_in: &[u8],
     payload_out: &mut Vec<u8>,
+    rec: &mut prof::Rec,
 ) -> Result<(i64, CallPath), SwitchlessError> {
     w.poison();
     shared.stats.record_guard_violation();
@@ -321,9 +392,7 @@ fn guard_violation_fallback(
     #[cfg(not(feature = "telemetry"))]
     let _ = violation;
     report_worker_failure(shared, widx, FailureKind::Crash, req, payload_in.len());
-    let ret = shared
-        .fallback
-        .execute_transition(req, payload_in, payload_out)?;
+    let ret = fallback_with_phases(shared, rec, req, payload_in, payload_out)?;
     shared.stats.record_fallback();
     Ok((ret, CallPath::Fallback))
 }

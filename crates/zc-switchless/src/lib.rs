@@ -45,6 +45,7 @@
 pub mod buffer;
 pub mod caller;
 pub mod pool;
+mod prof;
 pub mod runtime;
 pub mod scheduler;
 pub mod supervise;

@@ -35,6 +35,10 @@ pub(crate) fn scheduler_loop(shared: &Shared) {
     let mut last_delta = 0u64;
     #[cfg(feature = "telemetry")]
     let mut traced_decisions = 0u64;
+    // Convergence observable: detects the argmin re-settling on a new
+    // worker count after a load shift and traces the settle time.
+    #[cfg(feature = "telemetry")]
+    let mut convergence = switchless_core::policy::ConvergenceTracker::new();
 
     while shared.running.load(Ordering::Acquire) {
         let step = policy.next(last_delta);
@@ -47,13 +51,26 @@ pub(crate) fn scheduler_loop(shared: &Shared) {
             if policy.decisions() > traced_decisions {
                 traced_decisions = policy.decisions();
                 if let Some(d) = policy.last_decision() {
+                    let now = shared.clock.now_cycles();
                     hub.record(
-                        shared.clock.now_cycles(),
+                        now,
                         Origin::Scheduler,
                         Event::Decision {
                             decision: d.clone(),
                         },
                     );
+                    if let Some(c) = convergence.observe(d.chosen_workers, now) {
+                        hub.record(
+                            now,
+                            Origin::Scheduler,
+                            Event::Converged {
+                                from_workers: c.from_workers,
+                                to_workers: c.to_workers,
+                                decisions: c.decisions,
+                                settle_cycles: c.settle_cycles,
+                            },
+                        );
+                    }
                 }
             }
             let kind = match step {

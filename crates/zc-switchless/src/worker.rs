@@ -261,6 +261,8 @@ fn execute(shared: &Shared, me: &WorkerBuffer, index: usize) -> bool {
             };
             let (off, len) = slot.payload_in;
             let payload_in = pool.slice(off, len);
+            #[cfg(feature = "telemetry")]
+            let exec_start = shared.clock.now_cycles();
             // Contain host-function panics: an unwinding worker would
             // leave its caller spinning forever. The host side is
             // untrusted anyway — a crash there maps to an error return,
@@ -272,6 +274,10 @@ fn execute(shared: &Shared, me: &WorkerBuffer, index: usize) -> bool {
                     .unwrap_or(-1)
             }))
             .unwrap_or(-1);
+            #[cfg(feature = "telemetry")]
+            {
+                slot.exec_cycles = shared.clock.now_cycles().saturating_sub(exec_start);
+            }
             slot.reply.ret = ret;
             let actual = slot.payload_out.len() as u32;
             // An honest worker declares exactly the bytes present and

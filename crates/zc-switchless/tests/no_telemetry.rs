@@ -1,0 +1,48 @@
+//! Feature-off guarantee: with `--no-default-features` the `telemetry`
+//! machinery — hub, tracer, phase profiler — is compiled out entirely,
+//! and the runtime still serves calls on every path. This file is empty
+//! under the default feature set; CI runs it via
+//! `cargo test -p zc-switchless --no-default-features`.
+#![cfg(not(feature = "telemetry"))]
+
+use sgx_sim::Enclave;
+use std::sync::Arc;
+use switchless_core::{
+    CpuSpec, OcallDispatcher, OcallRequest, OcallTable, ZcConfig, MAX_OCALL_ARGS,
+};
+use zc_switchless::ZcRuntime;
+
+#[test]
+fn calls_complete_with_profiling_compiled_out() {
+    let mut t = OcallTable::new();
+    let echo = t.register(
+        "echo",
+        |_: &[u64; MAX_OCALL_ARGS], pin: &[u8], pout: &mut Vec<u8>| {
+            pout.extend_from_slice(pin);
+            pin.len() as i64
+        },
+    );
+    let cpu = CpuSpec::paper_machine();
+    let zc = ZcRuntime::start(
+        ZcConfig::for_cpu(cpu),
+        Arc::new(t),
+        Enclave::new_virtual(cpu),
+    )
+    .expect("zc runtime must start without the telemetry feature");
+    let mut out = Vec::new();
+    for i in 0..200u64 {
+        out.clear();
+        let (ret, _path) = zc
+            .dispatch(&OcallRequest::new(echo, &[i]), b"payload", &mut out)
+            .expect("call must complete with profiling compiled out");
+        assert_eq!(ret, 7);
+        assert_eq!(out, b"payload");
+    }
+    let stats = zc.stats().snapshot();
+    assert_eq!(
+        stats.total_calls(),
+        200,
+        "every call routed through a real path"
+    );
+    zc.shutdown();
+}

@@ -197,6 +197,30 @@ pub enum Event {
         /// `log2` payload-size bucket of the poison shape.
         shape: u8,
     },
+    /// Per-phase cycle breakdown of one completed call (emitted by the
+    /// phase profiler; phases in [`crate::profile::Phase::ALL`] order:
+    /// reserve, copy_in, signal, wait, execute, copy_out). The six
+    /// entries sum to the call's total latency by construction.
+    CallPhases {
+        /// Registered function id.
+        func: u16,
+        /// Switchless / fallback / regular.
+        path: CallPath,
+        /// Cycles charged to each phase, pipeline order.
+        phases: [u64; 6],
+    },
+    /// The scheduler's argmin settled on a new worker count after a
+    /// load shift (see `switchless_core::policy::ConvergenceTracker`).
+    Converged {
+        /// Worker count before the shift.
+        from_workers: u32,
+        /// Worker count the argmin settled on.
+        to_workers: u32,
+        /// Scheduling decisions taken between shift and convergence.
+        decisions: u32,
+        /// Cycles from the first deviating decision to convergence.
+        settle_cycles: u64,
+    },
     /// Free-form marker (phase labels in examples/benches).
     Marker {
         /// Static label.
@@ -221,6 +245,8 @@ impl Event {
             Event::WatchdogCancel { .. } => "watchdog_cancel",
             Event::GuardViolation { .. } => "guard_violation",
             Event::Blacklisted { .. } => "blacklisted",
+            Event::CallPhases { .. } => "call_phases",
+            Event::Converged { .. } => "converged",
             Event::Marker { .. } => "marker",
         }
     }

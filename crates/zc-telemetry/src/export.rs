@@ -128,6 +128,19 @@ fn event_fields(event: &Event) -> String {
             format!(",\"worker\":{worker},\"guard\":\"{}\"", kind.name())
         }
         Event::Blacklisted { func, shape } => format!(",\"func\":{func},\"shape\":{shape}"),
+        Event::CallPhases { func, path, phases } => format!(
+            ",\"func\":{func},\"path\":\"{}\",\"phases\":{}",
+            path_name(*path),
+            u64_list(phases)
+        ),
+        Event::Converged {
+            from_workers,
+            to_workers,
+            decisions,
+            settle_cycles,
+        } => format!(
+            ",\"from_workers\":{from_workers},\"to_workers\":{to_workers},\"decisions\":{decisions},\"settle_cycles\":{settle_cycles}"
+        ),
         Event::Marker { label } => format!(",\"label\":\"{}\"", json_escape(label)),
     }
 }
@@ -385,6 +398,23 @@ pub fn to_chrome_trace(events: &[RecordedEvent], freq_hz: u64) -> String {
             Event::Blacklisted { func, shape } => {
                 lines.push(format!(
                     "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"g\",\"name\":\"blacklisted\",\"args\":{{\"func\":{func},\"shape\":{shape}}}}}"
+                ));
+            }
+            Event::CallPhases { func, path, phases } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"t\",\"name\":\"phases:ocall-{func}\",\"args\":{{\"path\":\"{}\",\"phases\":{}}}}}",
+                    path_name(*path),
+                    u64_list(phases)
+                ));
+            }
+            Event::Converged {
+                from_workers,
+                to_workers,
+                decisions,
+                settle_cycles,
+            } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"g\",\"name\":\"converged\",\"args\":{{\"from_workers\":{from_workers},\"to_workers\":{to_workers},\"decisions\":{decisions},\"settle_cycles\":{settle_cycles}}}}}"
                 ));
             }
             Event::Marker { label } => {

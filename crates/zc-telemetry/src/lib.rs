@@ -31,13 +31,19 @@ pub mod event;
 pub mod export;
 pub mod global;
 pub mod metrics;
+pub mod profile;
+pub mod quantile;
 mod ring;
+pub mod slo;
 pub mod tracer;
 
 pub use event::{Event, FaultKind, Origin, PhaseKind, RecordedEvent};
 pub use metrics::{
     Counter, Gauge, Histogram, MetricValue, MetricsRegistry, MetricsSnapshot, HIST_BUCKETS,
 };
+pub use profile::{CallPhaseProfiler, Phase, PhaseRecorder, ProfileSnapshot, PHASES};
+pub use quantile::{Quantiles, WindowedQuantiles};
+pub use slo::SloReport;
 pub use tracer::Tracer;
 
 use std::sync::Arc;
@@ -54,6 +60,7 @@ pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
 pub struct Telemetry {
     tracer: Tracer,
     metrics: MetricsRegistry,
+    profile: CallPhaseProfiler,
 }
 
 impl Telemetry {
@@ -68,6 +75,7 @@ impl Telemetry {
         Arc::new(Telemetry {
             tracer: Tracer::with_capacity(capacity),
             metrics: MetricsRegistry::new(),
+            profile: CallPhaseProfiler::new(),
         })
     }
 
@@ -79,6 +87,11 @@ impl Telemetry {
     /// The metrics registry.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// The per-phase call profiler.
+    pub fn profile(&self) -> &CallPhaseProfiler {
+        &self.profile
     }
 
     /// Record one event (convenience for `tracer().record(..)`).

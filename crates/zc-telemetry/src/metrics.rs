@@ -71,7 +71,7 @@ impl Histogram {
     /// last bucket rather than indexing out of range.
     #[inline]
     pub fn record(&self, value: u64) {
-        let bucket = (64 - value.max(1).leading_zeros() as usize - 1).min(HIST_BUCKETS - 1);
+        let bucket = crate::quantile::bucket_index(value);
         self.0.buckets[bucket].fetch_add(1, Ordering::Relaxed);
         self.0.count.fetch_add(1, Ordering::Relaxed);
         // Saturating: a pathological sum must not wrap and corrupt means.

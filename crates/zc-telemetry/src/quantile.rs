@@ -1,0 +1,258 @@
+//! Percentile math over log₂ histograms.
+//!
+//! One source of truth for the bucket geometry shared by the metrics
+//! registry ([`crate::metrics::Histogram`]), the phase profiler
+//! ([`crate::profile`]) and `sgx-sim`'s `OcallProfiler`: bucket `i`
+//! covers `[2^i, 2^(i+1))` cycles (bucket 0 additionally absorbs 0) and
+//! the last bucket absorbs everything larger.
+//!
+//! A log₂ histogram cannot recover exact order statistics, but it bounds
+//! them: the q-th percentile of the recorded samples is guaranteed to
+//! lie inside the bucket that [`percentile_bounds`] returns — i.e. the
+//! estimate is off by at most one bucket (a factor of two), which is the
+//! property the proptest suite pins down. Reports quote the conservative
+//! upper edge.
+
+use crate::metrics::HIST_BUCKETS;
+use std::collections::VecDeque;
+
+/// Bucket index of a value: `floor(log2(max(value, 1)))`, clamped to the
+/// last bucket. This is the exact formula the metrics histograms use.
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.max(1).leading_zeros() as usize - 1).min(HIST_BUCKETS - 1)
+}
+
+/// Smallest value that lands in bucket `i` (0 for bucket 0, which also
+/// absorbs zero observations).
+#[must_use]
+pub fn bucket_lower(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << i.min(63)
+    }
+}
+
+/// Largest value that lands in bucket `i`. The final bucket absorbs
+/// everything, so its upper edge is `u64::MAX`.
+#[must_use]
+pub fn bucket_upper(i: usize) -> u64 {
+    if i >= HIST_BUCKETS - 1 || i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// Nearest-rank index (1-based) of the q-th percentile among `total`
+/// samples: `ceil(q · total)`, clamped to `[1, total]`.
+#[must_use]
+pub fn nearest_rank(total: u64, q: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let r = (q * total as f64).ceil() as u64;
+    r.clamp(1, total)
+}
+
+/// `[lower, upper]` value bounds of the bucket holding the q-th
+/// percentile (nearest-rank) of the samples in `counts`. `None` when the
+/// histogram is empty. The exact percentile of the underlying samples is
+/// guaranteed to lie within the returned bounds.
+#[must_use]
+pub fn percentile_bounds(counts: &[u64], q: f64) -> Option<(u64, u64)> {
+    let total: u64 = counts.iter().sum();
+    let rank = nearest_rank(total, q);
+    if rank == 0 {
+        return None;
+    }
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return Some((bucket_lower(i), bucket_upper(i)));
+        }
+    }
+    None
+}
+
+/// Conservative (upper-edge) q-th percentile estimate, or `None` for an
+/// empty histogram. SLO reports quote this value: the true percentile is
+/// at most this, and at least half of it.
+#[must_use]
+pub fn percentile(counts: &[u64], q: f64) -> Option<u64> {
+    percentile_bounds(counts, q).map(|(_, hi)| hi)
+}
+
+/// The three SLO percentiles, estimated from one histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Quantiles {
+    /// Median (upper bucket edge).
+    pub p50: u64,
+    /// 99th percentile (upper bucket edge).
+    pub p99: u64,
+    /// 99.9th percentile (upper bucket edge).
+    pub p999: u64,
+}
+
+impl Quantiles {
+    /// Estimate p50/p99/p99.9 from per-bucket counts (zero for an empty
+    /// histogram).
+    #[must_use]
+    pub fn from_counts(counts: &[u64]) -> Quantiles {
+        Quantiles {
+            p50: percentile(counts, 0.50).unwrap_or(0),
+            p99: percentile(counts, 0.99).unwrap_or(0),
+            p999: percentile(counts, 0.999).unwrap_or(0),
+        }
+    }
+}
+
+/// Windowed percentile estimator for non-stationary runs.
+///
+/// Keeps up to `max_windows` per-window log₂ histograms; estimates are
+/// computed over the kept windows only, so after a load shift the old
+/// regime ages out once its windows are rolled away — a plain cumulative
+/// histogram would stay contaminated forever. Single-threaded by design
+/// (the report-building cold path); the lock-free hot-path accumulation
+/// lives in [`crate::profile::CallPhaseProfiler`].
+#[derive(Debug, Clone)]
+pub struct WindowedQuantiles {
+    windows: VecDeque<[u64; HIST_BUCKETS]>,
+    max_windows: usize,
+}
+
+impl WindowedQuantiles {
+    /// Estimator keeping at most `max_windows` windows (minimum 1),
+    /// starting with one empty current window.
+    #[must_use]
+    pub fn new(max_windows: usize) -> Self {
+        let mut windows = VecDeque::new();
+        windows.push_back([0u64; HIST_BUCKETS]);
+        WindowedQuantiles {
+            windows,
+            max_windows: max_windows.max(1),
+        }
+    }
+
+    /// Record one observation into the current window.
+    pub fn record(&mut self, value: u64) {
+        let w = self.windows.back_mut().expect("at least one window");
+        w[bucket_index(value)] += 1;
+    }
+
+    /// Close the current window and open a fresh one, evicting the
+    /// oldest window beyond the retention limit.
+    pub fn roll(&mut self) {
+        self.windows.push_back([0u64; HIST_BUCKETS]);
+        while self.windows.len() > self.max_windows {
+            self.windows.pop_front();
+        }
+    }
+
+    /// Windows currently retained (including the open one).
+    #[must_use]
+    pub fn window_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Observations across the retained windows.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.windows.iter().flatten().sum()
+    }
+
+    /// Merged per-bucket counts over the retained windows.
+    #[must_use]
+    pub fn merged_counts(&self) -> [u64; HIST_BUCKETS] {
+        let mut out = [0u64; HIST_BUCKETS];
+        for w in &self.windows {
+            for (o, c) in out.iter_mut().zip(w.iter()) {
+                *o += c;
+            }
+        }
+        out
+    }
+
+    /// Upper-edge q-th percentile over the retained windows.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        percentile(&self.merged_counts(), q)
+    }
+
+    /// p50/p99/p99.9 over the retained windows.
+    #[must_use]
+    pub fn quantiles(&self) -> Quantiles {
+        Quantiles::from_counts(&self.merged_counts())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_geometry_round_trips() {
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(bucket_lower(i) <= v, "lower({i}) > {v}");
+            assert!(v <= bucket_upper(i), "{v} > upper({i})");
+        }
+        assert_eq!(bucket_lower(0), 0);
+        assert_eq!(bucket_upper(0), 1);
+        assert_eq!(bucket_lower(10), 1024);
+        assert_eq!(bucket_upper(HIST_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn percentile_of_uniform_histogram() {
+        // 100 samples of exactly 1000 cycles -> bucket 9 ([512, 1024)).
+        let mut counts = vec![0u64; HIST_BUCKETS];
+        counts[bucket_index(1000)] = 100;
+        let (lo, hi) = percentile_bounds(&counts, 0.99).unwrap();
+        assert!(lo <= 1000 && 1000 <= hi);
+        assert_eq!(percentile(&counts, 0.5), Some(1023));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let counts = vec![0u64; HIST_BUCKETS];
+        assert_eq!(percentile(&counts, 0.5), None);
+        assert_eq!(Quantiles::from_counts(&counts), Quantiles::default());
+    }
+
+    #[test]
+    fn tail_lands_in_higher_bucket() {
+        // 99 fast samples (bucket of 100) + 1 slow (bucket of 1e6):
+        // p50 stays in the fast bucket, p99.9 reaches the slow one.
+        let mut counts = vec![0u64; HIST_BUCKETS];
+        counts[bucket_index(100)] = 99;
+        counts[bucket_index(1_000_000)] = 1;
+        let q = Quantiles::from_counts(&counts);
+        assert_eq!(q.p50, bucket_upper(bucket_index(100)));
+        assert_eq!(q.p999, bucket_upper(bucket_index(1_000_000)));
+    }
+
+    #[test]
+    fn windowed_estimator_forgets_old_regime() {
+        let mut w = WindowedQuantiles::new(3);
+        for _ in 0..100 {
+            w.record(100);
+        }
+        assert!(w.percentile(0.5).unwrap() < 256, "low regime");
+        // Load shift: three windows of the high regime evict the low one.
+        for _ in 0..3 {
+            w.roll();
+            for _ in 0..100 {
+                w.record(100_000);
+            }
+        }
+        assert_eq!(w.window_count(), 3);
+        let p50 = w.percentile(0.5).unwrap();
+        let (lo, hi) = percentile_bounds(&w.merged_counts(), 0.5).unwrap();
+        assert!(lo <= 100_000 && 100_000 <= hi, "p50 tracks the new regime");
+        assert!(p50 >= 65_536, "old fast samples aged out, got {p50}");
+        assert_eq!(w.count(), 300);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests of the histogram percentile estimators: the log₂
+//! buckets lose precision but must never lose *bracketing* — every
+//! histogram-derived percentile bounds the exact sample percentile
+//! within one bucket — and the windowed estimator must track a step
+//! change in the observed load once the old windows age out.
+
+use proptest::prelude::*;
+use zc_telemetry::quantile::{
+    bucket_index, bucket_lower, bucket_upper, nearest_rank, percentile_bounds,
+};
+use zc_telemetry::{Quantiles, WindowedQuantiles, HIST_BUCKETS};
+
+/// Exact nearest-rank percentile of a sample set.
+fn exact_percentile(samples: &[u64], q: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = nearest_rank(sorted.len() as u64, q);
+    sorted[(rank as usize).saturating_sub(1)]
+}
+
+/// Histogram of a sample set in the telemetry-wide bucket geometry.
+fn histogram(samples: &[u64]) -> [u64; HIST_BUCKETS] {
+    let mut counts = [0u64; HIST_BUCKETS];
+    for &s in samples {
+        counts[bucket_index(s)] += 1;
+    }
+    counts
+}
+
+proptest! {
+    /// For arbitrary sample sets, each derived p50/p99/p99.9 brackets
+    /// the exact nearest-rank percentile within one log₂ bucket: the
+    /// returned bounds are precisely the edges of the bucket holding
+    /// the exact value.
+    #[test]
+    fn percentiles_bracket_exact_within_one_bucket(
+        samples in prop::collection::vec(0u64..1u64 << 50, 1..200),
+    ) {
+        let counts = histogram(&samples);
+        for q in [0.50, 0.99, 0.999] {
+            let exact = exact_percentile(&samples, q);
+            let (lo, hi) = percentile_bounds(&counts, q).expect("non-empty histogram");
+            prop_assert!(lo <= exact && exact <= hi,
+                "q={}: exact {} outside [{}, {}]", q, exact, lo, hi);
+            let b = bucket_index(exact);
+            prop_assert_eq!(lo, bucket_lower(b));
+            prop_assert_eq!(hi, bucket_upper(b));
+        }
+    }
+
+    /// Derived quantiles are monotone: p50 <= p99 <= p99.9 on any
+    /// histogram.
+    #[test]
+    fn quantiles_are_monotone(
+        samples in prop::collection::vec(0u64..1u64 << 50, 1..200),
+    ) {
+        let q = Quantiles::from_counts(&histogram(&samples));
+        prop_assert!(q.p50 <= q.p99);
+        prop_assert!(q.p99 <= q.p999);
+    }
+
+    /// The windowed estimator tracks a step change in the load: before
+    /// the shift its p50 sits in the low-value bucket; once the shift's
+    /// windows displace the old ones, its p50 sits in the high-value
+    /// bucket (a whole-history histogram would stay biased forever).
+    #[test]
+    fn windowed_estimator_tracks_step_change(
+        low in 1u64..4096,
+        shift in 8u32..20,
+        per_window in 1usize..40,
+        windows in 2usize..6,
+    ) {
+        let high = low << shift;
+        prop_assert!(bucket_index(high) > bucket_index(low));
+        let mut est = WindowedQuantiles::new(windows);
+        for _ in 0..windows {
+            for _ in 0..per_window {
+                est.record(low);
+            }
+            est.roll();
+        }
+        // Settled on the old load.
+        prop_assert_eq!(est.percentile(0.50), Some(bucket_upper(bucket_index(low))));
+        // Step change: the load jumps to `high`.
+        for _ in 0..windows {
+            for _ in 0..per_window {
+                est.record(high);
+            }
+            est.roll();
+        }
+        // Every low window has aged out; the estimate has converged.
+        // (The open current window is empty, so `windows - 1` sealed
+        // high windows remain in history.)
+        prop_assert_eq!(est.count(), ((windows - 1) * per_window) as u64);
+        prop_assert_eq!(est.percentile(0.50), Some(bucket_upper(bucket_index(high))));
+        prop_assert_eq!(est.quantiles().p999, bucket_upper(bucket_index(high)));
+    }
+}

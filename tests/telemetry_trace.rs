@@ -235,6 +235,94 @@ fn des_full_trace_is_deterministic_including_timestamps() {
     assert_eq!(first, sim_trace(), "DES trace must be fully deterministic");
 }
 
+/// Same-seed virtual-clock runs must yield a byte-identical SLO report
+/// (DESIGN.md §12): the phase profiler feeds off kernel virtual time
+/// only, so the JSONL exporter — fixed-precision floats included — is
+/// pinned byte-for-byte, and phase cycles conserve against whole-call
+/// cycles within 1%.
+#[test]
+fn des_slo_report_jsonl_is_byte_identical_across_runs() {
+    use switchless_core::CallPath;
+    use zc_des::ocall::CallDesc;
+    use zc_des::{run, Mechanism, SimConfig, WorkloadSpec, ZcSimParams};
+
+    let slo_jsonl = || {
+        let hub = Telemetry::new();
+        let call = CallDesc {
+            host_cycles: 2_000,
+            payload_bytes: 128,
+            ret_bytes: 8,
+            ..CallDesc::default()
+        };
+        let cfg = SimConfig::new(
+            Mechanism::Zc(ZcSimParams::default()),
+            vec![
+                WorkloadSpec::ClosedLoop {
+                    pattern: vec![call],
+                    total_ops: 5_000,
+                };
+                2
+            ],
+            1,
+        )
+        .with_event_kernel()
+        .with_telemetry(Arc::clone(&hub));
+        let r = run(&cfg);
+        assert_eq!(r.counters.total_calls(), 10_000);
+        let slo = r.slo_report(&hub, "des_zc");
+        let sw = slo
+            .path(CallPath::Switchless)
+            .expect("switchless traffic expected");
+        assert!(sw.calls > 0);
+        assert!(
+            slo.max_conservation_error() <= 0.01,
+            "phase cycles must conserve: {}",
+            slo.max_conservation_error()
+        );
+        let phases_traced = hub
+            .tracer()
+            .drain()
+            .iter()
+            .filter(|e| matches!(e.event, Event::CallPhases { .. }))
+            .count();
+        assert!(phases_traced > 0, "per-call phase spans must be traced");
+        slo.to_jsonl()
+    };
+    let first = slo_jsonl();
+    assert!(first.contains(r#""kind":"slo_report""#), "{first}");
+    assert!(first.contains(r#""path":"switchless""#), "{first}");
+    assert!(first.contains(r#""phase":"reserve""#), "{first}");
+    assert_eq!(
+        first,
+        slo_jsonl(),
+        "same-seed virtual-clock runs must emit byte-identical SLO JSONL"
+    );
+}
+
+/// A hub that is *not* attached to a runtime must stay silent: the
+/// profiler records nothing and the trace stays empty — instrumentation
+/// is pay-for-what-you-attach even with the `telemetry` feature on.
+#[test]
+fn unattached_hub_sees_no_profile_activity() {
+    let hub = Telemetry::new();
+    let (t, echo) = table();
+    let cpu = CpuSpec::paper_machine();
+    let zc = ZcRuntime::start(ZcConfig::for_cpu(cpu), t, Enclave::new_virtual(cpu))
+        .expect("zc runtime must start");
+    let mut out = Vec::new();
+    for _ in 0..100 {
+        zc.dispatch(&OcallRequest::new(echo, &[1]), b"payload", &mut out)
+            .expect("call must complete");
+    }
+    zc.shutdown();
+    let snap = hub.profile().snapshot();
+    for path in &snap.paths {
+        assert_eq!(path.total.count, 0, "unattached profiler must stay empty");
+        assert_eq!(path.phase_sum(), 0);
+    }
+    assert!(hub.tracer().drain().is_empty(), "no events without a hub");
+}
+
 /// The event-driven kernel obeys the same determinism contract as the
 /// cycle-accurate one: the full timestamped trace is byte-identical
 /// across same-seed runs, at the paper's 8 vCPUs and at the lifted
