@@ -52,6 +52,21 @@ else
     ./target/release/call_overhead --quick
 fi
 
+echo "==> overload sweep smoke (admission, shedding, goodput)"
+# Sweeps seeded open-loop MMPP traffic at 0.5x/1x/2x of measured
+# saturation capacity on the 128-vCPU event kernel and writes
+# BENCH_overload.json. The binary gates on exact conservation
+# (offered == completed + shed + abandoned at every point), same-seed
+# byte-identical reproduction of the 2x point, >=70% of saturation
+# capacity held as goodput at 2x overload and bounded p99 sojourn —
+# never on absolute speed (DESIGN.md §13).
+cargo build --release -q -p zc-bench --bin overload
+if [[ $quick -eq 0 ]]; then
+    ./target/release/overload
+else
+    ./target/release/overload --quick
+fi
+
 # Collect every benchmark report into the perf trajectory uploaded by
 # CI — one directory per run, so regressions can be traced across
 # commits instead of vanishing with the runner.
@@ -75,6 +90,8 @@ if [[ $quick -eq 0 ]]; then
         cargo test -q --test chaos_soak
         echo "==> cargo test --test byzantine_soak (hostile host, run $i/3)"
         cargo test -q -p zc-switchless --test byzantine_soak --test byzantine_props
+        echo "==> cargo test -p zc-des overload soak (MMPP, run $i/3)"
+        cargo test -q -p zc-des zc_mmpp_overload
     done
 fi
 

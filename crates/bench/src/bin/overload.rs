@@ -1,0 +1,314 @@
+//! CI overload smoke: admission, shedding and goodput under offered
+//! load swept through saturation.
+//!
+//! Measures the machine's saturation capacity with a closed-loop run,
+//! then drives seeded open-loop MMPP traffic (DESIGN.md §13) at 0.5×,
+//! 1× and 2× that capacity against the ZC mechanism on the 128-vCPU
+//! event-driven kernel, with a client-side dispatch budget shedding
+//! stale arrivals.
+//!
+//! Everything runs under virtual time, so the sweep is
+//! byte-deterministic. The binary gates on:
+//!
+//! * **conservation** — at every sweep point,
+//!   `offered == completed + shed + abandoned` exactly;
+//! * **reproducibility** — the 2× point re-run with the same seed must
+//!   reproduce the full counter set byte-for-byte;
+//! * **goodput under overload** — at 2× sustained overload, completed
+//!   throughput must hold ≥ 70% of the measured saturation capacity
+//!   (shedding protects goodput rather than collapsing it);
+//! * **bounded latency** — p99 sojourn of admitted calls at 2× stays
+//!   within the dispatch budget plus service slack.
+//!
+//! It does NOT gate on absolute speed. Writes `BENCH_overload.json`.
+//!
+//! Usage: `overload [--quick] [--out <path>]`
+
+use zc_des::{
+    run, ArrivalProcess, CallDesc, Mechanism, OpenLoad, ServiceDist, SimConfig, SimReport,
+    WorkloadSpec, ZcSimParams,
+};
+
+/// Callers (and open-loop generators) in every run.
+const CALLERS: usize = 32;
+/// Logical CPUs of the simulated machine.
+const VCPUS: usize = 128;
+/// Mean service time drawn per call (exponential).
+const SERVICE_MEAN_CYCLES: u64 = 400;
+/// Client-side dispatch budget: arrivals older than this shed un-issued.
+const BUDGET_CYCLES: u64 = 100_000;
+/// Goodput floor at 2× overload, as a fraction of saturation capacity.
+const GOODPUT_FLOOR: f64 = 0.70;
+/// p99 sojourn ceiling at 2×: the budget, service tail and factor-of-2
+/// histogram granularity all fit under half a megacycle.
+const P99_CEILING_CYCLES: u64 = 1 << 19;
+/// Offered-load sweep, in percent of measured saturation capacity.
+const SWEEP_PCT: [u64; 3] = [50, 100, 200];
+
+/// Base seed; each sweep point perturbs it so points are independent.
+const SEED: u64 = 0x0515_c41e_55c0_11f1;
+
+fn call_template() -> CallDesc {
+    CallDesc {
+        class: 0,
+        pre_compute_cycles: 0,
+        host_cycles: SERVICE_MEAN_CYCLES,
+        payload_bytes: 256,
+        ret_bytes: 64,
+    }
+}
+
+/// Closed-loop saturation probe: every caller issues back to back.
+fn saturation_config(ops: u64) -> SimConfig {
+    SimConfig::new(
+        Mechanism::Zc(ZcSimParams::default()),
+        vec![
+            WorkloadSpec::ClosedLoop {
+                pattern: vec![call_template()],
+                total_ops: ops,
+            };
+            CALLERS
+        ],
+        1,
+    )
+    .with_vcpus(VCPUS)
+    .with_event_kernel()
+}
+
+/// MMPP with a 4:1 calm/burst rate split whose dwell-weighted mean gap
+/// lands on `target_gap_cycles`.
+fn mmpp_at(target_gap_cycles: u64) -> ArrivalProcess {
+    // Equal dwells, calm gap 4g and burst gap g/2 give a time-averaged
+    // rate of (1/8g + 1/g) = 9/8g → scale g so the effective gap (as
+    // computed by `mean_gap_cycles`) matches the target exactly enough
+    // for a sweep axis.
+    let raw = ArrivalProcess::Mmpp {
+        calm_gap_cycles: target_gap_cycles * 4,
+        burst_gap_cycles: (target_gap_cycles / 2).max(1),
+        calm_dwell_cycles: 200_000,
+        burst_dwell_cycles: 200_000,
+    };
+    let effective = raw.mean_gap_cycles().max(1);
+    let scale = target_gap_cycles as f64 / effective as f64;
+    match raw {
+        ArrivalProcess::Mmpp {
+            calm_gap_cycles,
+            burst_gap_cycles,
+            calm_dwell_cycles,
+            burst_dwell_cycles,
+        } => ArrivalProcess::Mmpp {
+            calm_gap_cycles: ((calm_gap_cycles as f64 * scale) as u64).max(1),
+            burst_gap_cycles: ((burst_gap_cycles as f64 * scale) as u64).max(1),
+            calm_dwell_cycles,
+            burst_dwell_cycles,
+        },
+        _ => unreachable!("raw is Mmpp by construction"),
+    }
+}
+
+/// Open-loop sweep point: offered rate = `pct`% of `capacity_rate`
+/// (ops/cycle machine-wide), split evenly across the callers.
+fn overload_config(pct: u64, capacity_rate: f64, duration_cycles: u64, seed: u64) -> SimConfig {
+    let per_caller_rate = capacity_rate * (pct as f64 / 100.0) / CALLERS as f64;
+    let target_gap = (1.0 / per_caller_rate).max(1.0) as u64;
+    let load = OpenLoad::new(call_template(), mmpp_at(target_gap), seed, duration_cycles)
+        .with_service(ServiceDist::Exponential {
+            mean_cycles: SERVICE_MEAN_CYCLES,
+        })
+        .with_deadline_budget(BUDGET_CYCLES);
+    SimConfig::new(
+        Mechanism::Zc(ZcSimParams::default()),
+        vec![WorkloadSpec::Open(load); CALLERS],
+        1,
+    )
+    .with_vcpus(VCPUS)
+    .with_event_kernel()
+}
+
+struct SweepPoint {
+    pct: u64,
+    report: SimReport,
+}
+
+impl SweepPoint {
+    fn goodput_rate(&self) -> f64 {
+        if self.report.duration_cycles == 0 {
+            return 0.0;
+        }
+        self.report.counters.total_calls() as f64 / self.report.duration_cycles as f64
+    }
+
+    fn to_json(&self) -> String {
+        let c = &self.report.counters;
+        format!(
+            "{{\"offered_pct\":{},\"offered\":{},\"completed\":{},\"shed\":{},\
+             \"abandoned\":{},\"conserves\":{},\"goodput_ratio\":{:.4},\
+             \"goodput_ops_per_mcycle\":{:.3},\"p99_sojourn_cycles\":{},\
+             \"duration_cycles\":{}}}",
+            self.pct,
+            c.offered,
+            c.total_calls(),
+            c.ops_shed,
+            c.ops_abandoned,
+            c.conserves(),
+            c.goodput_ratio(),
+            self.goodput_rate() * 1e6,
+            c.sojourn_quantile_cycles(99),
+            self.report.duration_cycles,
+        )
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_overload.json".to_string());
+    let (sat_ops, duration_cycles) = if quick {
+        (500, 4_000_000)
+    } else {
+        (2_000, 20_000_000)
+    };
+
+    // 1. Saturation capacity: closed loop, every caller back to back.
+    eprintln!("overload: measuring saturation ({CALLERS} callers x {sat_ops} ops)...");
+    let sat = run(&saturation_config(sat_ops));
+    assert!(sat.duration_cycles > 0);
+    let capacity_rate = sat.counters.total_calls() as f64 / sat.duration_cycles as f64;
+    eprintln!(
+        "overload: saturation {:.3} ops/mcycle over {} cycles",
+        capacity_rate * 1e6,
+        sat.duration_cycles
+    );
+
+    // 2. Sweep offered load through saturation.
+    let mut failed = false;
+    let mut points = Vec::new();
+    for &pct in &SWEEP_PCT {
+        eprintln!("overload: sweep point {pct}% of capacity...");
+        let cfg = overload_config(pct, capacity_rate, duration_cycles, SEED ^ pct);
+        let report = run(&cfg);
+        let c = &report.counters;
+        if !c.conserves() {
+            eprintln!(
+                "FAIL[{pct}%]: offered {} != completed {} + shed {} + abandoned {}",
+                c.offered,
+                c.total_calls(),
+                c.ops_shed,
+                c.ops_abandoned
+            );
+            failed = true;
+        }
+        if c.offered == 0 {
+            eprintln!("FAIL[{pct}%]: the generator offered no load");
+            failed = true;
+        }
+        points.push(SweepPoint { pct, report });
+    }
+
+    // 3. Reproducibility: the 2× point re-run with the same seed must
+    //    reproduce the full counter set (histograms included).
+    let top_pct = *SWEEP_PCT.last().expect("non-empty sweep");
+    let rerun = run(&overload_config(
+        top_pct,
+        capacity_rate,
+        duration_cycles,
+        SEED ^ top_pct,
+    ));
+    let top = points.last().expect("non-empty sweep");
+    if rerun.counters != top.report.counters || rerun.duration_cycles != top.report.duration_cycles
+    {
+        eprintln!("FAIL[{top_pct}%]: same-seed re-run diverged");
+        failed = true;
+    }
+
+    // 4. Overload SLOs at the 2× point.
+    let top_rate = top.goodput_rate();
+    if top_rate < GOODPUT_FLOOR * capacity_rate {
+        eprintln!(
+            "FAIL[{top_pct}%]: goodput {:.3} ops/mcycle under {:.0}% of capacity {:.3}",
+            top_rate * 1e6,
+            GOODPUT_FLOOR * 100.0,
+            capacity_rate * 1e6
+        );
+        failed = true;
+    }
+    if top.report.counters.ops_shed == 0 {
+        eprintln!("FAIL[{top_pct}%]: 2x overload must shed, nothing was shed");
+        failed = true;
+    }
+    let p99 = top.report.counters.sojourn_quantile_cycles(99);
+    if p99 == 0 || p99 > P99_CEILING_CYCLES {
+        eprintln!("FAIL[{top_pct}%]: p99 sojourn {p99} outside (0, {P99_CEILING_CYCLES}]");
+        failed = true;
+    }
+
+    // 5. Report.
+    let mut json = String::with_capacity(2048);
+    json.push_str(&format!(
+        "{{\n  \"schema\": \"bench_overload_v1\",\n  \"quick\": {quick},\n  \
+         \"callers\": {CALLERS},\n  \"vcpus\": {VCPUS},\n  \
+         \"window_cycles\": {duration_cycles},\n  \"budget_cycles\": {BUDGET_CYCLES},\n  \
+         \"goodput_floor\": {GOODPUT_FLOOR},\n  \
+         \"saturation_ops_per_mcycle\": {:.3},\n  \"sweep\": [\n",
+        capacity_rate * 1e6
+    ));
+    for (i, p) in points.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(&p.to_json());
+        json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "unbalanced report JSON"
+    );
+    std::fs::write(&out, &json).expect("write benchmark json");
+    eprintln!("overload: wrote {out}");
+
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+// The sweep invariants are also exercised (in quick size) by `cargo
+// test`, so drift in the DES defaults shows up before CI runs the
+// binary.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmpp_axis_hits_its_target_rate() {
+        for target in [1_000u64, 5_000, 40_000] {
+            let got = mmpp_at(target).mean_gap_cycles();
+            let err = got.abs_diff(target) as f64 / target as f64;
+            assert!(err < 0.25, "target {target}, effective {got}");
+        }
+    }
+
+    #[test]
+    fn overloaded_sweep_point_sheds_and_conserves() {
+        let sat = run(&saturation_config(200));
+        let capacity = sat.counters.total_calls() as f64 / sat.duration_cycles as f64;
+        let r = run(&overload_config(200, capacity, 2_000_000, 7));
+        let c = &r.counters;
+        assert!(c.offered > 0);
+        assert!(c.conserves());
+        assert!(c.ops_shed > 0, "2x overload must shed");
+        assert!(c.sojourn_quantile_cycles(99) <= P99_CEILING_CYCLES);
+    }
+
+    #[test]
+    fn sweep_points_are_reproducible() {
+        let a = run(&overload_config(100, 0.005, 1_000_000, 3));
+        let b = run(&overload_config(100, 0.005, 1_000_000, 3));
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.duration_cycles, b.duration_cycles);
+    }
+}

@@ -18,8 +18,10 @@
 //!   (task pool, `rbf`/`rbs`) and ZC-SWITCHLESS (idle-worker handoff,
 //!   immediate fallback, adaptive scheduler driven by
 //!   [`switchless_core::policy`]).
-//! * [`workload`] — caller behaviours: closed-loop call mixes and the
-//!   phase-driven dynamic load of the lmbench experiment.
+//! * [`workload`] — caller behaviours: closed-loop call mixes, the
+//!   phase-driven dynamic load of the lmbench experiment, and seeded
+//!   open-loop stochastic traffic ([`arrival`]) with client-side
+//!   deadline shedding for overload studies.
 //! * [`sim`] — experiment assembly: build a machine + mechanism +
 //!   workload, run it, collect a [`sim::SimReport`].
 //!
@@ -30,6 +32,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arrival;
 pub mod event_kernel;
 pub mod gantt;
 pub mod kernel;
@@ -38,9 +41,10 @@ pub mod ocall;
 pub mod sim;
 pub mod workload;
 
+pub use arrival::{ArrivalGen, ArrivalProcess, ServiceDist, ServiceSampler};
 pub use event_kernel::EventKernel;
 pub use kernel::{Actor, FlagId, Kernel, Machine, SpinTarget, Syscall, SyscallResult, Tid};
 pub use ocall::zc::ZcSimFaults;
 pub use ocall::{CallDesc, CostModel, Dispatcher, Step};
 pub use sim::{run, FaultRecovery, KernelMode, Mechanism, SimConfig, SimReport, ZcSimParams};
-pub use workload::{CallClass, PhasedLoad, WorkloadSpec};
+pub use workload::{CallClass, OpenLoad, PhasedLoad, WorkloadSpec};

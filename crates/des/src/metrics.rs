@@ -31,6 +31,30 @@ pub struct SimCounters {
     pub callers_live: usize,
     /// Virtual time at which the last caller finished (0 until then).
     pub last_completion: u64,
+    /// Calls the workload put on offer: one per closed-loop issue, one
+    /// per period-quota slot for phased load, one per generated arrival
+    /// for open-loop load. The conservation target of
+    /// [`conserves`](SimCounters::conserves).
+    #[serde(default)]
+    pub offered: u64,
+    /// Offered calls an open-loop client dropped because their deadline
+    /// budget expired while they queued (client-side admission — the
+    /// runtimes' own shed counters live in their overload snapshots).
+    #[serde(default)]
+    pub ops_shed: u64,
+    /// Offered calls abandoned un-issued: a phased period's unfinished
+    /// quota at its boundary, whole periods overrun by a slow dialogue,
+    /// or an open-loop backlog left when the traffic stopped. Before
+    /// this counter existed the phased workload lost this work
+    /// silently.
+    #[serde(default)]
+    pub ops_abandoned: u64,
+    /// Log₂-bucketed histogram of open-loop sojourn times
+    /// (arrival → completion, cycles): `sojourn_log2[k]` counts calls
+    /// with sojourn in `[2^k, 2^(k+1))`. Empty until an open-loop
+    /// caller records one.
+    #[serde(default)]
+    pub sojourn_log2: Vec<u64>,
 }
 
 impl SimCounters {
@@ -70,6 +94,57 @@ impl SimCounters {
     #[must_use]
     pub fn transitions(&self) -> u64 {
         self.fallback + self.regular + self.pool_reallocs
+    }
+
+    /// Exact conservation: every offered call either completed on some
+    /// path, was shed by a deadline, or was abandoned un-issued —
+    /// nothing lost, nothing double-counted.
+    #[must_use]
+    pub fn conserves(&self) -> bool {
+        self.offered == self.total_calls() + self.ops_shed + self.ops_abandoned
+    }
+
+    /// Goodput as a fraction of offered load (1.0 when nothing was
+    /// offered — an idle generator is not failing).
+    #[must_use]
+    pub fn goodput_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            return 1.0;
+        }
+        self.total_calls() as f64 / self.offered as f64
+    }
+
+    /// Record one open-loop sojourn (arrival → completion) in the log₂
+    /// histogram.
+    pub fn record_sojourn(&mut self, cycles: u64) {
+        let bucket = (64 - cycles.max(1).leading_zeros() - 1) as usize;
+        if self.sojourn_log2.len() <= bucket {
+            self.sojourn_log2.resize(bucket + 1, 0);
+        }
+        self.sojourn_log2[bucket] += 1;
+    }
+
+    /// Upper bound (cycles) of the histogram bucket containing the
+    /// `q`-quantile sojourn (`q` in 0..=100), or 0 with no samples.
+    /// Bucket granularity makes this exact to within a factor of two —
+    /// plenty for "p99 stays bounded" gates.
+    #[must_use]
+    pub fn sojourn_quantile_cycles(&self, q: u32) -> u64 {
+        let total: u64 = self.sojourn_log2.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (total.saturating_mul(u64::from(q.min(100))))
+            .div_ceil(100)
+            .max(1);
+        let mut seen = 0u64;
+        for (bucket, &count) in self.sojourn_log2.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return 1u64 << (bucket + 1).min(63);
+            }
+        }
+        1u64 << 63
     }
 }
 

@@ -565,6 +565,11 @@ pub fn run(config: &SimConfig) -> SimReport {
             .add(fault_recovery.respawns);
         m.counter("des_guard_violations_total")
             .add(fault_recovery.guard_violations);
+        m.counter("des_offered_total").add(counters_final.offered);
+        m.counter("des_client_sheds_total")
+            .add(counters_final.ops_shed);
+        m.counter("des_abandoned_total")
+            .add(counters_final.ops_abandoned);
         m.gauge("des_duration_cycles").set(duration_cycles);
         m.gauge("des_mean_active_workers_milli")
             .set((mean_active * 1000.0) as u64);
@@ -793,6 +798,7 @@ mod tests {
         assert_eq!(r.fault_recovery.dead_workers, 0, "{:?}", r.fault_recovery);
         // Cancelled calls completed on the regular path, never vanished.
         assert!(r.counters.cancelled <= r.counters.fallback);
+        assert!(r.counters.conserves());
     }
 
     fn byzantine_faults() -> ZcSimFaults {
@@ -830,6 +836,7 @@ mod tests {
         assert_eq!(r.fault_recovery.dead_workers, 0, "{:?}", r.fault_recovery);
         // Re-routed calls completed on the regular path, never vanished.
         assert!(r.counters.cancelled <= r.counters.fallback);
+        assert!(r.counters.conserves());
     }
 
     #[test]
@@ -847,6 +854,7 @@ mod tests {
         assert!(r.fault_recovery.respawns >= 5, "{:?}", r.fault_recovery);
         assert_eq!(r.fault_recovery.dead_workers, 0, "{:?}", r.fault_recovery);
         assert!(r.counters.cancelled <= r.counters.fallback);
+        assert!(r.counters.conserves());
     }
 
     #[test]
@@ -866,6 +874,80 @@ mod tests {
         assert!(r.fault_recovery.respawns >= 6, "{:?}", r.fault_recovery);
         assert_eq!(r.fault_recovery.dead_workers, 0, "{:?}", r.fault_recovery);
         assert!(r.counters.cancelled <= r.counters.fallback);
+        assert!(r.counters.conserves());
+    }
+
+    /// 32 open-loop callers of sustained ~2× MMPP traffic against the
+    /// ZC mechanism on the 128-vCPU event-kernel machine, with a
+    /// client-side dispatch budget — the overload regime of ISSUE 8.
+    fn mmpp_overload_cfg(seed: u64) -> SimConfig {
+        use crate::arrival::{ArrivalProcess, ServiceDist};
+        use crate::workload::OpenLoad;
+        let load = OpenLoad::new(
+            simple_call(500),
+            ArrivalProcess::Mmpp {
+                calm_gap_cycles: 8_000,
+                burst_gap_cycles: 1_000,
+                calm_dwell_cycles: 200_000,
+                burst_dwell_cycles: 100_000,
+            },
+            seed,
+            20_000_000,
+        )
+        .with_service(ServiceDist::Exponential { mean_cycles: 400 })
+        .with_deadline_budget(100_000);
+        SimConfig::new(
+            Mechanism::Zc(ZcSimParams::default()),
+            vec![WorkloadSpec::Open(load); 32],
+            1,
+        )
+        .with_vcpus(128)
+        .with_event_kernel()
+    }
+
+    #[test]
+    fn zc_mmpp_overload_soak_sheds_conserves_and_bounds_p99() {
+        let r = run(&mmpp_overload_cfg(1));
+        let c = &r.counters;
+        assert!(
+            c.offered > 100_000,
+            "sustained MMPP load must offer heavily, got {}",
+            c.offered
+        );
+        assert!(
+            c.ops_shed > 0,
+            "bursts outrun the caller, the budget must shed"
+        );
+        assert!(
+            c.conserves(),
+            "offered {} != completed {} + shed {} + abandoned {}",
+            c.offered,
+            c.total_calls(),
+            c.ops_shed,
+            c.ops_abandoned
+        );
+        assert!(
+            c.goodput_ratio() > 0.3,
+            "shedding must protect goodput, got {:.2}",
+            c.goodput_ratio()
+        );
+        // Admitted calls ride the budget: queueing is capped at 100k
+        // cycles, service at ~64×mean, so p99 sojourn (factor-of-2
+        // histogram granularity) stays far below the 20M-cycle window.
+        let p99 = c.sojourn_quantile_cycles(99);
+        assert!(p99 > 0);
+        assert!(p99 <= 1 << 19, "p99 sojourn unbounded: {p99} cycles");
+    }
+
+    #[test]
+    fn zc_mmpp_overload_soak_is_byte_identical_across_runs() {
+        let a = run(&mmpp_overload_cfg(9));
+        let b = run(&mmpp_overload_cfg(9));
+        assert_eq!(a.counters, b.counters, "same seed, same full trace");
+        assert_eq!(a.duration_cycles, b.duration_cycles);
+        assert_eq!(a.total_busy_cycles, b.total_busy_cycles);
+        let c = run(&mmpp_overload_cfg(10));
+        assert_ne!(a.counters, c.counters, "different seed, different trace");
     }
 
     #[test]

@@ -6,11 +6,13 @@
 //! optional in-enclave pre-compute, then the ocall dialogue, repeated
 //! until the workload is exhausted.
 
+use crate::arrival::{ArrivalGen, ArrivalProcess, ServiceDist, ServiceSampler};
 use crate::kernel::{Actor, Syscall, SyscallResult};
 use crate::metrics::SimCounters;
 use crate::ocall::{CallDesc, Dispatcher, Step};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 /// A named call class (workload vocabulary for figures and static
@@ -39,6 +41,72 @@ pub enum WorkloadSpec {
     /// caller issues the phase-defined number of calls back to back, then
     /// sleeps out the remainder of the period.
     Phased(PhasedLoad),
+    /// Seeded stochastic open loop ([`crate::arrival`]): calls arrive on
+    /// a schedule that does not wait for completions, queue in a
+    /// client-side backlog, and are shed once their deadline budget
+    /// expires — the offered-load regime of the overload experiments.
+    Open(OpenLoad),
+}
+
+/// Seeded open-loop traffic: an arrival process, a service-time
+/// distribution and a deadline budget.
+///
+/// Conservation contract: every generated arrival is counted
+/// [`offered`](SimCounters::offered) and ends exactly one of completed
+/// (via [`SimCounters::record_call`]), [`ops_shed`](SimCounters::ops_shed)
+/// (budget expired while queued) or
+/// [`ops_abandoned`](SimCounters::ops_abandoned) (backlog left when the
+/// traffic window closed) — checked by [`SimCounters::conserves`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpenLoad {
+    /// Call template (class, payload, pre-compute). `host_cycles` is
+    /// overridden per call by `service` unless the draw is 0.
+    pub call: CallDesc,
+    /// When calls arrive.
+    pub arrivals: ArrivalProcess,
+    /// How long each call's host function runs
+    /// ([`ServiceDist::Fixed`]`{cycles: 0}` keeps the template's).
+    pub service: ServiceDist,
+    /// PRNG seed; the same seed reproduces the whole trace
+    /// byte-identically. Each caller index perturbs it, so identical
+    /// specs on different callers draw independent streams.
+    pub seed: u64,
+    /// Arrivals stop after this many cycles; backlog still pending when
+    /// the window closes is abandoned.
+    pub duration_cycles: u64,
+    /// Per-call budget from arrival to dispatch; a queued call older
+    /// than this is shed un-issued. 0 = never shed.
+    pub deadline_budget_cycles: u64,
+}
+
+impl OpenLoad {
+    /// Open-loop traffic of `arrivals` for `duration_cycles`, issuing
+    /// `call` with its template service time, no deadline budget.
+    #[must_use]
+    pub fn new(call: CallDesc, arrivals: ArrivalProcess, seed: u64, duration_cycles: u64) -> Self {
+        OpenLoad {
+            call,
+            arrivals,
+            service: ServiceDist::Fixed { cycles: 0 },
+            seed,
+            duration_cycles,
+            deadline_budget_cycles: 0,
+        }
+    }
+
+    /// Builder-style service-time distribution.
+    #[must_use]
+    pub fn with_service(mut self, service: ServiceDist) -> Self {
+        self.service = service;
+        self
+    }
+
+    /// Builder-style deadline budget (cycles from arrival to dispatch).
+    #[must_use]
+    pub fn with_deadline_budget(mut self, cycles: u64) -> Self {
+        self.deadline_budget_cycles = cycles;
+        self
+    }
 }
 
 /// Phase-driven dynamic load.
@@ -150,8 +218,25 @@ pub struct CallerActor {
     period_start: u64,
     /// Phased mode: ops remaining in the current period.
     period_remaining: u64,
-    /// Phased mode: workload start time.
+    /// Phased/open mode: workload start time.
     started_at: Option<u64>,
+    /// Open mode: generator state (`None` for other specs).
+    open: Option<OpenRun>,
+}
+
+/// Mutable state of an open-loop caller.
+struct OpenRun {
+    gen: ArrivalGen,
+    service: ServiceSampler,
+    /// Next arrival, relative to workload start. Monotone; arrivals at
+    /// or past `duration_cycles` never materialize.
+    next_arrival: u64,
+    /// Arrived-but-not-issued calls (relative arrival times, FIFO).
+    backlog: VecDeque<u64>,
+    /// The call currently in flight (template + sampled service time).
+    current: CallDesc,
+    /// Relative arrival time of `current`, for sojourn recording.
+    current_arrival: u64,
 }
 
 impl std::fmt::Debug for CallerActor {
@@ -187,6 +272,29 @@ impl CallerActor {
         counters: Rc<RefCell<SimCounters>>,
         spec: WorkloadSpec,
     ) -> Self {
+        let open = match &spec {
+            WorkloadSpec::Open(l) => {
+                // Perturb the seed per caller so identical specs on
+                // different callers draw independent streams, then fork
+                // arrival and service streams off one root.
+                let mut root = switchless_core::rand::SplitMix64::new(
+                    l.seed ^ (id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                );
+                let arrival_seed = root.next_u64();
+                let service_seed = root.next_u64();
+                let mut gen = ArrivalGen::new(l.arrivals, arrival_seed);
+                let next_arrival = gen.next_arrival();
+                Some(OpenRun {
+                    gen,
+                    service: ServiceSampler::new(l.service, service_seed),
+                    next_arrival,
+                    backlog: VecDeque::new(),
+                    current: l.call,
+                    current_arrival: 0,
+                })
+            }
+            _ => None,
+        };
         CallerActor {
             id,
             dispatcher,
@@ -197,6 +305,7 @@ impl CallerActor {
             period_start: 0,
             period_remaining: 0,
             started_at: None,
+            open,
         }
     }
 
@@ -206,6 +315,7 @@ impl CallerActor {
                 pattern[(self.ops_issued % pattern.len() as u64) as usize]
             }
             WorkloadSpec::Phased(p) => p.call,
+            WorkloadSpec::Open(_) => self.open.as_ref().expect("open run state").current,
         }
     }
 
@@ -216,23 +326,43 @@ impl CallerActor {
                 if self.ops_issued >= *total_ops {
                     return self.finish(now);
                 }
+                self.counters.borrow_mut().offered += 1;
                 self.start_call(now)
             }
             WorkloadSpec::Phased(p) => {
+                let first = self.started_at.is_none();
                 let started = *self.started_at.get_or_insert(now);
+                if first {
+                    self.period_start = started;
+                }
                 let p = p.clone();
                 // Locate the period containing `now`.
                 let elapsed = now.saturating_sub(started);
                 let period_idx = elapsed / p.period_cycles;
                 let this_period_start = started + period_idx * p.period_cycles;
-                if self.period_remaining > 0 && self.period_start == this_period_start {
+                if this_period_start > self.period_start {
+                    // The period rolled over with quota outstanding: an
+                    // overloaded open-loop client drops, it does not
+                    // queue forever. Count the unfinished quota — and
+                    // the full quota of any whole period the overrun
+                    // skipped — as abandoned, so offered load is
+                    // conserved rather than lost silently.
+                    let mut c = self.counters.borrow_mut();
+                    c.ops_abandoned += self.period_remaining;
+                    self.period_remaining = 0;
+                    let mut t = self.period_start + p.period_cycles;
+                    while t < this_period_start {
+                        if let Some(ops) = p.ops_for_period(t - started) {
+                            c.offered += ops;
+                            c.ops_abandoned += ops;
+                        }
+                        t += p.period_cycles;
+                    }
+                }
+                if self.period_remaining > 0 {
                     self.period_remaining -= 1;
                     return self.start_call(now);
                 }
-                // Either the quota is done or the period rolled over
-                // while a backlog was pending — unfinished quota is
-                // abandoned at the boundary (an overloaded open-loop
-                // client drops, it does not queue forever).
                 match p.ops_for_period(this_period_start - started) {
                     None => self.finish(now),
                     Some(ops) => {
@@ -245,10 +375,80 @@ impl CallerActor {
                         }
                         self.period_start = this_period_start;
                         self.period_remaining = ops.saturating_sub(1);
+                        self.counters.borrow_mut().offered += ops;
                         self.start_call(now)
                     }
                 }
             }
+            WorkloadSpec::Open(_) => self.decide_open(now),
+        }
+    }
+
+    /// Open-loop decide: materialize due arrivals, shed expired backlog,
+    /// then issue, sleep or finish.
+    fn decide_open(&mut self, now: u64) -> Syscall {
+        enum Next {
+            Issue,
+            SleepFor(u64),
+            Finish,
+        }
+        let started = *self.started_at.get_or_insert(now);
+        let elapsed = now.saturating_sub(started);
+        let load = match &self.spec {
+            WorkloadSpec::Open(l) => *l,
+            _ => unreachable!("decide_open is only reached with an Open spec"),
+        };
+        let next = {
+            let o = self.open.as_mut().expect("open run state");
+            let mut c = self.counters.borrow_mut();
+            // Every arrival due by now joins the backlog as offered load.
+            while o.next_arrival < load.duration_cycles && o.next_arrival <= elapsed {
+                o.backlog.push_back(o.next_arrival);
+                c.offered += 1;
+                o.next_arrival = o.gen.next_arrival();
+            }
+            // Shed queued calls whose dispatch budget has expired.
+            if load.deadline_budget_cycles > 0 {
+                while let Some(&arrival) = o.backlog.front() {
+                    if elapsed.saturating_sub(arrival) > load.deadline_budget_cycles {
+                        o.backlog.pop_front();
+                        c.ops_shed += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            if o.backlog.is_empty() {
+                if o.next_arrival >= load.duration_cycles {
+                    Next::Finish
+                } else {
+                    Next::SleepFor((started + o.next_arrival).saturating_sub(now).max(1))
+                }
+            } else if elapsed >= load.duration_cycles {
+                // The traffic window is over: walk away from the
+                // backlog rather than draining it off the clock.
+                c.ops_abandoned += o.backlog.len() as u64;
+                o.backlog.clear();
+                Next::Finish
+            } else {
+                let arrival = o.backlog.pop_front().expect("non-empty backlog");
+                let mut call = load.call;
+                let service = o.service.next_cycles();
+                if service > 0 {
+                    call.host_cycles = service;
+                }
+                o.current = call;
+                o.current_arrival = arrival;
+                Next::Issue
+            }
+        };
+        match next {
+            Next::Issue => self.start_call(now),
+            Next::SleepFor(d) => {
+                self.state = CallerState::PeriodSleep;
+                Syscall::Sleep(d)
+            }
+            Next::Finish => self.finish(now),
         }
     }
 
@@ -288,9 +488,14 @@ impl Actor for CallerActor {
                     match self.dispatcher.advance(&call, res, now) {
                         Step::Next(s) => return s,
                         Step::Complete(path) => {
-                            self.counters
-                                .borrow_mut()
-                                .record_call(self.id, call.class, path);
+                            let mut c = self.counters.borrow_mut();
+                            c.record_call(self.id, call.class, path);
+                            if let Some(o) = &self.open {
+                                let started = self.started_at.unwrap_or(0);
+                                let sojourn = now.saturating_sub(started + o.current_arrival);
+                                c.record_sojourn(sojourn.max(1));
+                            }
+                            drop(c);
                             self.ops_issued += 1;
                             self.state = CallerState::Deciding;
                             // Loop to decide the next action immediately.
@@ -471,11 +676,174 @@ mod tests {
         let end = k.run();
         let c = counters.borrow();
         assert_eq!(c.total_calls(), 6, "3 ops in each of 2 periods");
+        assert_eq!(c.offered, 6);
+        assert_eq!(c.ops_abandoned, 0);
+        assert!(c.conserves());
         assert!(
             end >= 2_000_000,
             "caller must sleep out both periods, ended at {end}"
         );
         // Busy time far below elapsed time.
         assert!(k.thread_cycles(crate::kernel::Tid(0)).0 < 200_000);
+    }
+
+    #[test]
+    fn closed_loop_offered_equals_completed() {
+        use crate::kernel::Kernel;
+        use crate::ocall::regular::RegularDispatcher;
+        use crate::ocall::CostModel;
+
+        let mut k = Kernel::new(1, 1_000_000, 140);
+        let counters = Rc::new(RefCell::new(SimCounters::new(1, 1)));
+        k.spawn(Box::new(CallerActor::new(
+            0,
+            Box::new(RegularDispatcher::new(CostModel::paper())),
+            Rc::clone(&counters),
+            WorkloadSpec::ClosedLoop {
+                pattern: vec![call(100)],
+                total_ops: 5,
+            },
+        )));
+        k.run();
+        let c = counters.borrow();
+        assert_eq!(c.offered, 5);
+        assert_eq!(c.ops_shed + c.ops_abandoned, 0);
+        assert!(c.conserves());
+    }
+
+    #[test]
+    fn overrun_phased_quota_is_abandoned_not_lost() {
+        use crate::kernel::Kernel;
+        use crate::ocall::regular::RegularDispatcher;
+        use crate::ocall::CostModel;
+
+        let mut k = Kernel::new(1, 10_000_000_000, 140);
+        let counters = Rc::new(RefCell::new(SimCounters::new(1, 1)));
+        // Each call costs ~13.6k cycles but the period is only 30k
+        // cycles with a quota of 100: at most 2-3 calls fit, the rest
+        // of the quota must show up as abandoned — before the counter
+        // existed this work vanished silently at each rollover.
+        let p = PhasedLoad {
+            call: call(100),
+            period_cycles: 30_000,
+            initial_ops: 100,
+            phases: vec![Phase {
+                duration_cycles: 90_000,
+                mode: PhaseMode::Constant,
+            }],
+        };
+        k.spawn(Box::new(CallerActor::new(
+            0,
+            Box::new(RegularDispatcher::new(CostModel::paper())),
+            Rc::clone(&counters),
+            WorkloadSpec::Phased(p),
+        )));
+        k.run();
+        let c = counters.borrow();
+        assert_eq!(c.offered, 300, "3 periods × 100 quota, incl. skipped");
+        assert!(c.ops_abandoned > 0, "overrun quota must be abandoned");
+        assert!(c.total_calls() > 0);
+        assert!(
+            c.conserves(),
+            "offered {} != completed {} + shed {} + abandoned {}",
+            c.offered,
+            c.total_calls(),
+            c.ops_shed,
+            c.ops_abandoned
+        );
+    }
+
+    fn open_load(seed: u64) -> OpenLoad {
+        use crate::arrival::{ArrivalProcess, ServiceDist};
+        // Mean gap 5k cycles vs ~13.6k per call: ~2.7× overload, so
+        // with a tight budget a large share of arrivals must shed.
+        OpenLoad::new(
+            call(100),
+            ArrivalProcess::Poisson {
+                mean_gap_cycles: 5_000,
+            },
+            seed,
+            2_000_000,
+        )
+        .with_service(ServiceDist::Exponential { mean_cycles: 400 })
+        .with_deadline_budget(50_000)
+    }
+
+    fn run_open(seed: u64) -> SimCounters {
+        use crate::kernel::Kernel;
+        use crate::ocall::regular::RegularDispatcher;
+        use crate::ocall::CostModel;
+
+        let mut k = Kernel::new(1, 10_000_000_000, 140);
+        let counters = Rc::new(RefCell::new(SimCounters::new(1, 1)));
+        k.spawn(Box::new(CallerActor::new(
+            0,
+            Box::new(RegularDispatcher::new(CostModel::paper())),
+            Rc::clone(&counters),
+            WorkloadSpec::Open(open_load(seed)),
+        )));
+        k.run();
+        let c = counters.borrow().clone();
+        c
+    }
+
+    #[test]
+    fn overloaded_open_loop_sheds_and_conserves_exactly() {
+        let c = run_open(7);
+        assert!(c.offered > 300, "2M cycles / 5k mean gap ≈ 400 arrivals");
+        assert!(c.ops_shed > 0, "2.7× overload with a 50k budget must shed");
+        assert!(c.total_calls() > 0);
+        assert!(
+            c.conserves(),
+            "offered {} != completed {} + shed {} + abandoned {}",
+            c.offered,
+            c.total_calls(),
+            c.ops_shed,
+            c.ops_abandoned
+        );
+        assert!(c.goodput_ratio() < 1.0);
+        assert!(c.sojourn_quantile_cycles(99) > 0, "sojourns were recorded");
+    }
+
+    #[test]
+    fn same_seed_open_loop_runs_are_identical() {
+        let a = run_open(42);
+        let b = run_open(42);
+        assert_eq!(a, b);
+        let c = run_open(43);
+        assert_ne!(a.offered, c.offered, "different seed, different trace");
+    }
+
+    #[test]
+    fn unbudgeted_open_loop_abandons_backlog_at_window_end() {
+        use crate::arrival::ArrivalProcess;
+        use crate::kernel::Kernel;
+        use crate::ocall::regular::RegularDispatcher;
+        use crate::ocall::CostModel;
+
+        let mut k = Kernel::new(1, 10_000_000_000, 140);
+        let counters = Rc::new(RefCell::new(SimCounters::new(1, 1)));
+        // No deadline budget: under overload the backlog only drains
+        // by completion, so whatever is queued when the window closes
+        // must be counted abandoned.
+        let load = OpenLoad::new(
+            call(100),
+            ArrivalProcess::Poisson {
+                mean_gap_cycles: 2_000,
+            },
+            11,
+            1_000_000,
+        );
+        k.spawn(Box::new(CallerActor::new(
+            0,
+            Box::new(RegularDispatcher::new(CostModel::paper())),
+            Rc::clone(&counters),
+            WorkloadSpec::Open(load),
+        )));
+        k.run();
+        let c = counters.borrow();
+        assert_eq!(c.ops_shed, 0, "no budget, nothing sheds");
+        assert!(c.ops_abandoned > 0, "~6.8× overload leaves a backlog");
+        assert!(c.conserves());
     }
 }

@@ -15,9 +15,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+use switchless_core::overload::{BreakerTransition, InflightGuard, ShedReason};
 use switchless_core::{
     CallPath, CallStats, DrainReport, FaultInjector, GuardViolation, IntelConfig, OcallDispatcher,
-    OcallRequest, OcallTable, SwitchlessError, WorkerFault,
+    OcallRequest, OcallTable, OverloadPlane, OverloadSnapshot, SwitchlessError, WorkerFault,
 };
 
 /// Busy-wait loops yield to the OS scheduler after this many pauses.
@@ -37,6 +38,8 @@ struct Shared {
     sleep_cv: Condvar,
     accounting: Option<Arc<CpuAccounting>>,
     faults: Option<Arc<FaultInjector>>,
+    /// Overload-control plane; `Some` iff `config.overload` is set.
+    overload: Option<OverloadPlane>,
     /// Worker thread handles; shared so a dying worker can push its
     /// replacement's handle (respawn) for shutdown to join.
     worker_handles: Mutex<Vec<JoinHandle<()>>>,
@@ -54,6 +57,16 @@ impl Shared {
     fn telemetry_event(&self, origin: zc_telemetry::Origin, event: zc_telemetry::Event) {
         if let Some(t) = &self.telemetry {
             t.record(self.clock.now_cycles(), origin, event);
+        }
+    }
+
+    /// Record one event attributed to the calling (enclave application)
+    /// thread.
+    #[cfg(feature = "telemetry")]
+    #[inline]
+    fn telemetry_caller_event(&self, event: zc_telemetry::Event) {
+        if let Some(t) = &self.telemetry {
+            t.record(self.clock.now_cycles(), t.caller_origin(), event);
         }
     }
 
@@ -213,6 +226,7 @@ impl IntelSwitchless {
             .collect();
         let shared = Arc::new(Shared {
             pool: TaskPool::new(config.task_pool_capacity),
+            overload: config.overload.map(OverloadPlane::new),
             config,
             table,
             fallback,
@@ -238,7 +252,7 @@ impl IntelSwitchless {
                     return Vec::new();
                 };
                 let s = sh.stats.snapshot();
-                vec![
+                let mut out = vec![
                     (
                         "intel_calls_total{path=\"switchless\"}".into(),
                         MetricValue::Counter(s.switchless),
@@ -263,7 +277,37 @@ impl IntelSwitchless {
                         "intel_guard_violations_total".into(),
                         MetricValue::Counter(s.guard_violations),
                     ),
-                ]
+                ];
+                if let Some(plane) = &sh.overload {
+                    let o = plane.snapshot();
+                    out.push((
+                        "intel_offered_total".into(),
+                        MetricValue::Counter(o.offered),
+                    ));
+                    out.push((
+                        "intel_admitted_total".into(),
+                        MetricValue::Counter(o.admitted),
+                    ));
+                    for r in ShedReason::ALL {
+                        out.push((
+                            format!("intel_shed_total{{reason=\"{}\"}}", r.name()),
+                            MetricValue::Counter(o.shed_for(r)),
+                        ));
+                    }
+                    out.push((
+                        "intel_breaker_state".into(),
+                        MetricValue::Gauge(u64::from(o.breaker_state as u8)),
+                    ));
+                    out.push((
+                        "intel_breaker_trips_total".into(),
+                        MetricValue::Counter(o.breaker_trips),
+                    ));
+                    out.push((
+                        "intel_brownout_level".into(),
+                        MetricValue::Gauge(u64::from(o.brownout_level)),
+                    ));
+                }
+                out
             });
         }
         for i in 0..shared.config.num_uworkers {
@@ -290,6 +334,14 @@ impl IntelSwitchless {
     #[must_use]
     pub fn sleeping_workers(&self) -> usize {
         self.shared.sleepers.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of the overload plane's counters and machine states.
+    /// `None` when overload control is off. Once traffic has quiesced
+    /// the counters conserve: `completed + shed_total == offered`.
+    #[must_use]
+    pub fn overload_snapshot(&self) -> Option<OverloadSnapshot> {
+        self.shared.overload.as_ref().map(OverloadPlane::snapshot)
     }
 
     /// Total worker respawns so far (always 0 unless the configuration
@@ -415,6 +467,50 @@ impl OcallDispatcher for IntelSwitchless {
     }
 }
 
+/// Trace a breaker state-machine edge, if one happened.
+fn trace_breaker_edge(sh: &Shared, edge: Option<BreakerTransition>) {
+    #[cfg(feature = "telemetry")]
+    if let Some(e) = edge {
+        sh.telemetry_caller_event(zc_telemetry::Event::BreakerTransition {
+            from: e.from,
+            to: e.to,
+        });
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (sh, edge);
+}
+
+/// Front-door admission: offer the call to the overload plane (when
+/// configured) and either take an in-flight token or shed with a typed
+/// [`SwitchlessError::Overloaded`] before any work is done.
+fn overload_admit<'a>(
+    sh: &'a Shared,
+    req: &OcallRequest,
+) -> Result<Option<InflightGuard<'a>>, SwitchlessError> {
+    let Some(plane) = &sh.overload else {
+        return Ok(None);
+    };
+    let adm = plane.admit(sh.clock.now_cycles(), req.priority, req.deadline());
+    #[cfg(feature = "telemetry")]
+    if let Some((from_level, to_level)) = adm.brownout_shift {
+        sh.telemetry_caller_event(zc_telemetry::Event::BrownoutShift {
+            from_level,
+            to_level,
+        });
+    }
+    match adm.outcome {
+        Ok(guard) => Ok(Some(guard)),
+        Err(reason) => {
+            #[cfg(feature = "telemetry")]
+            sh.telemetry_caller_event(zc_telemetry::Event::CallShed {
+                func: req.func.0,
+                reason,
+            });
+            Err(SwitchlessError::Overloaded { reason })
+        }
+    }
+}
+
 /// Complete a call through the regular-ocall fallback engine, charging
 /// its phase time by the shared convention: the enclave transition cost
 /// is "signal", the host-function run is "execute". The engine's whole
@@ -448,6 +544,8 @@ fn dispatch_inner(
         return Err(SwitchlessError::RuntimeStopped);
     }
     sh.stats.record_issued();
+    // Admission first: a shed call must cost nothing downstream.
+    let _inflight = overload_admit(sh, req)?;
     if let Some(faults) = &sh.faults {
         let skew = faults.on_dispatch();
         if skew > 0 {
@@ -461,11 +559,31 @@ fn dispatch_inner(
         return Ok((ret, CallPath::Regular));
     }
     // Switchless attempt: claim a slot (pool full -> immediate
-    // fallback, as in the SDK).
+    // fallback, as in the SDK). The fallback-storm breaker guards this
+    // would-fallback point; safety re-routes further down are never
+    // gated.
     let Some(idx) = sh.pool.claim() else {
         rec.mark(Phase::Reserve, || sh.clock.now_cycles());
+        if let Some(plane) = &sh.overload {
+            let (allowed, edge) = plane.breaker_allow(sh.clock.now_cycles());
+            trace_breaker_edge(sh, edge);
+            if !allowed {
+                plane.record_shed(ShedReason::BreakerOpen);
+                #[cfg(feature = "telemetry")]
+                sh.telemetry_caller_event(zc_telemetry::Event::CallShed {
+                    func: req.func.0,
+                    reason: ShedReason::BreakerOpen,
+                });
+                return Err(SwitchlessError::Overloaded {
+                    reason: ShedReason::BreakerOpen,
+                });
+            }
+        }
         let ret = fallback_with_phases(sh, rec, req, payload_in, payload_out)?;
         sh.stats.record_fallback();
+        if let Some(plane) = &sh.overload {
+            trace_breaker_edge(sh, plane.on_fallback(sh.clock.now_cycles()));
+        }
         return Ok((ret, CallPath::Fallback));
     };
     rec.mark(Phase::Reserve, || sh.clock.now_cycles());
@@ -485,6 +603,11 @@ fn dispatch_inner(
                 rec.mark(Phase::Wait, || sh.clock.now_cycles());
                 let ret = fallback_with_phases(sh, rec, req, payload_in, payload_out)?;
                 sh.stats.record_fallback();
+                if let Some(plane) = &sh.overload {
+                    // rbf expiry is the SDK's load signal: feed the
+                    // breaker so a sustained storm opens it.
+                    trace_breaker_edge(sh, plane.on_fallback(sh.clock.now_cycles()));
+                }
                 return Ok((ret, CallPath::Fallback));
             }
             // A worker accepted at the last moment: wait for it.
@@ -539,6 +662,9 @@ fn dispatch_inner(
             // wait span (clamped at finish: the worker is untrusted).
             rec.set_execute_hint(exec_cycles);
             sh.stats.record_switchless();
+            if let Some(plane) = &sh.overload {
+                trace_breaker_edge(sh, plane.on_success(sh.clock.now_cycles()));
+            }
             Ok((ret, CallPath::Switchless))
         }
         // The host flipped the word between DONE and the collect: the
@@ -836,6 +962,63 @@ mod tests {
         let snap = rt.stats().snapshot();
         assert_eq!(snap.fallback, fallbacks);
         assert_eq!(snap.total_calls(), 50);
+    }
+
+    #[test]
+    fn overload_admission_sheds_typed_and_conserves() {
+        use switchless_core::{OverloadParams, ShedReason};
+        let (t, echo, _) = table();
+        // Two burst tokens and a refill period beyond the test's span:
+        // the third call on must shed RateLimited, typed, before any
+        // pool traffic.
+        let cpu = switchless_core::CpuSpec::paper_machine();
+        let params = OverloadParams::for_cpu(&cpu).with_bucket(2, 1 << 40);
+        let cfg = IntelConfig::new(1, [echo]).with_overload_params(params);
+        let rt = IntelSwitchless::start(cfg, t, enclave()).unwrap();
+        let mut out = Vec::new();
+        let mut completed = 0u64;
+        let mut shed = 0u64;
+        for _ in 0..10 {
+            match rt.dispatch(&OcallRequest::new(echo, &[]), b"x", &mut out) {
+                Ok(_) => completed += 1,
+                Err(SwitchlessError::Overloaded { reason }) => {
+                    assert_eq!(reason, ShedReason::RateLimited);
+                    shed += 1;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(completed, 2, "exactly the two burst tokens complete");
+        assert_eq!(shed, 8);
+        let snap = rt.overload_snapshot().expect("overload is on");
+        assert_eq!(snap.offered, 10);
+        assert_eq!(snap.shed_for(ShedReason::RateLimited), 8);
+        assert_eq!(snap.inflight, 0, "all guards released");
+        assert!(snap.conserves(rt.stats().snapshot().total_calls()));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_sheds_before_any_work() {
+        use switchless_core::{OverloadParams, ShedReason};
+        let (t, echo, _) = table();
+        let cpu = switchless_core::CpuSpec::paper_machine();
+        let cfg = IntelConfig::new(1, [echo]).with_overload_params(OverloadParams::for_cpu(&cpu));
+        let rt = IntelSwitchless::start(cfg, t, enclave()).unwrap();
+        let mut out = Vec::new();
+        // Cycle 1, not 0: deadline_cycles == 0 means "no deadline".
+        let req = OcallRequest::new(echo, &[]).with_deadline_at(1);
+        let err = rt.dispatch(&req, b"late", &mut out).unwrap_err();
+        assert_eq!(
+            err,
+            SwitchlessError::Overloaded {
+                reason: ShedReason::DeadlineExpired
+            }
+        );
+        assert_eq!(rt.stats().snapshot().total_calls(), 0, "no work performed");
+        let live = OcallRequest::new(echo, &[]).with_deadline_at(u64::MAX);
+        rt.dispatch(&live, b"ok", &mut out).unwrap();
+        rt.shutdown();
     }
 
     #[test]

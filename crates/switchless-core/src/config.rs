@@ -8,6 +8,7 @@
 
 use crate::cpu::CpuSpec;
 use crate::func::FuncId;
+use crate::overload::OverloadParams;
 use crate::policy::PolicyParams;
 use crate::supervise::SuperviseParams;
 use serde::{Deserialize, Serialize};
@@ -39,6 +40,11 @@ pub struct IntelConfig {
     /// permanently. Off by default: the SDK library has no such
     /// mechanism, so the default stays SDK-faithful.
     pub respawn_workers: bool,
+    /// Overload control ([`OverloadParams`]). `None` (the default,
+    /// SDK-faithful) admits every call unconditionally; `Some` enables
+    /// the admission/deadline/brownout plane shared with the ZC
+    /// runtime.
+    pub overload: Option<OverloadParams>,
 }
 
 impl IntelConfig {
@@ -53,6 +59,7 @@ impl IntelConfig {
             retries_before_sleep: INTEL_DEFAULT_RETRIES,
             task_pool_capacity: (2 * workers).max(4),
             respawn_workers: false,
+            overload: None,
         }
     }
 
@@ -87,6 +94,14 @@ impl IntelConfig {
     #[must_use]
     pub fn with_respawn(mut self) -> Self {
         self.respawn_workers = true;
+        self
+    }
+
+    /// Builder-style enable of overload control with explicit
+    /// parameters.
+    #[must_use]
+    pub fn with_overload_params(mut self, params: OverloadParams) -> Self {
+        self.overload = Some(params);
         self
     }
 }
@@ -133,6 +148,13 @@ pub struct ZcConfig {
     /// backoff, probation healing, the caller-side watchdog and the
     /// poison-request blacklist.
     pub supervise: Option<SuperviseParams>,
+    /// Overload control ([`OverloadParams`]). `None` (the default)
+    /// preserves the paper's unconditional admission: every call
+    /// queues or falls back, however hopeless. `Some` enables the
+    /// admission gate, deadline shedding, the brownout ladder and the
+    /// fallback-storm breaker — all machine-derived, so the runtime
+    /// stays configless.
+    pub overload: Option<OverloadParams>,
 }
 
 impl ZcConfig {
@@ -148,6 +170,7 @@ impl ZcConfig {
             fallback_weight: crate::policy::DEFAULT_FALLBACK_WEIGHT,
             max_reply_bytes: 1024 * 1024,
             supervise: None,
+            overload: None,
         }
     }
 
@@ -223,6 +246,22 @@ impl ZcConfig {
     #[must_use]
     pub fn with_supervise_params(mut self, params: SuperviseParams) -> Self {
         self.supervise = Some(params);
+        self
+    }
+
+    /// Builder-style enable of overload control with machine-derived
+    /// defaults ([`OverloadParams::for_cpu`]).
+    #[must_use]
+    pub fn with_overload(mut self) -> Self {
+        self.overload = Some(OverloadParams::for_cpu(&self.cpu));
+        self
+    }
+
+    /// Builder-style enable of overload control with explicit
+    /// parameters.
+    #[must_use]
+    pub fn with_overload_params(mut self, params: OverloadParams) -> Self {
+        self.overload = Some(params);
         self
     }
 }

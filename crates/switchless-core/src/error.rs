@@ -1,6 +1,7 @@
 //! Error type shared by all switchless-call runtimes.
 
 use crate::func::FuncId;
+use crate::overload::ShedReason;
 use std::fmt;
 
 /// Errors returned by ocall dispatch and runtime management.
@@ -29,6 +30,13 @@ pub enum SwitchlessError {
         /// Transition attempts made, including the retries.
         attempts: u32,
     },
+    /// The call was refused by the overload-control plane instead of
+    /// being queued (see [`crate::overload`]). Retryable: the caller
+    /// may back off and resubmit, ideally with a fresh deadline.
+    Overloaded {
+        /// Which admission check shed the call.
+        reason: ShedReason,
+    },
 }
 
 impl fmt::Display for SwitchlessError {
@@ -48,6 +56,9 @@ impl fmt::Display for SwitchlessError {
             SwitchlessError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             SwitchlessError::TransitionFailed { attempts } => {
                 write!(f, "enclave transition failed after {attempts} attempts")
+            }
+            SwitchlessError::Overloaded { reason } => {
+                write!(f, "call shed by overload control: {}", reason.name())
             }
         }
     }

@@ -118,6 +118,24 @@ impl FaultSchedule {
         self.every
     }
 
+    /// Seeded schedule: `count` indices drawn uniformly from
+    /// `[0, max_index)` by the workspace PRNG
+    /// ([`SplitMix64`](crate::rand::SplitMix64)), deduplicated.
+    ///
+    /// The same seed always yields the same schedule, so one `u64`
+    /// reproduces a whole randomized fault scenario — and, with the
+    /// arrival processes drawing from a fork of the same generator, an
+    /// entire overload+fault run (DESIGN.md §13).
+    #[must_use]
+    pub fn seeded(seed: u64, count: usize, max_index: u64) -> Self {
+        let mut rng = crate::rand::SplitMix64::new(seed);
+        let mut s = Self::default();
+        for _ in 0..count {
+            s = s.and_at(rng.next_below(max_index.max(1)));
+        }
+        s
+    }
+
     /// Number of firings with site index below `limit` (explicit indices
     /// plus stride hits, counted without double-counting overlaps) —
     /// lets tests predict how many faults a bounded run will see.
@@ -847,6 +865,20 @@ mod tests {
         let inj = FaultInjector::new(FaultPlan::new().crash_worker_at(0).hang_worker_at(0));
         assert_eq!(inj.on_worker_call(), WorkerFault::Crash);
         assert_eq!(inj.counts().hangs, 0);
+    }
+
+    #[test]
+    fn seeded_schedule_is_reproducible_and_bounded() {
+        let a = FaultSchedule::seeded(42, 16, 1_000);
+        let b = FaultSchedule::seeded(42, 16, 1_000);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, FaultSchedule::seeded(43, 16, 1_000));
+        assert!(!a.is_empty());
+        assert!(a.indices().iter().all(|&i| i < 1_000));
+        assert!(a.indices().len() <= 16, "duplicates collapse");
+        // Degenerate range still works.
+        let z = FaultSchedule::seeded(7, 4, 0);
+        assert_eq!(z.indices(), &[0]);
     }
 
     #[test]

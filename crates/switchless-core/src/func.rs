@@ -9,6 +9,7 @@
 //! arguments, and an optional byte payload (e.g. a write buffer).
 
 use crate::error::SwitchlessError;
+use crate::overload::Priority;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -49,6 +50,13 @@ pub struct OcallRequest {
     /// replayed reply carries a different tag and is discarded by the
     /// trusted-side guard (see [`crate::guard::ReplyGuard`]).
     pub seq: u64,
+    /// Absolute expiry cycle of the call's deadline budget, or 0 for no
+    /// deadline. Consulted only by the caller-side admission check
+    /// ([`crate::overload`]); workers never read it.
+    pub deadline_cycles: u64,
+    /// Importance class for brownout shedding (default
+    /// [`Priority::Normal`]).
+    pub priority: Priority,
 }
 
 impl OcallRequest {
@@ -70,6 +78,8 @@ impl OcallRequest {
             func,
             args: a,
             seq: 0,
+            deadline_cycles: 0,
+            priority: Priority::Normal,
         }
     }
 
@@ -78,6 +88,29 @@ impl OcallRequest {
     pub fn with_seq(mut self, seq: u64) -> Self {
         self.seq = seq;
         self
+    }
+
+    /// Builder-style absolute deadline (expiry cycle on the machine
+    /// clock; calls arriving after it are shed by admission).
+    #[must_use]
+    pub fn with_deadline_at(mut self, expires_at_cycles: u64) -> Self {
+        self.deadline_cycles = expires_at_cycles;
+        self
+    }
+
+    /// Builder-style priority class for brownout shedding.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// The call's deadline, if it carries one.
+    #[must_use]
+    pub fn deadline(&self) -> Option<crate::overload::Deadline> {
+        (self.deadline_cycles > 0).then_some(crate::overload::Deadline {
+            expires_at_cycles: self.deadline_cycles,
+        })
     }
 }
 

@@ -23,6 +23,12 @@
 //!   decoding of host-written shared words, release-mode transition
 //!   legality, reply-length clamping and sequence-tag replay detection
 //!   ([`SharedWordGuard`], [`ReplyGuard`]).
+//! * [`overload`] — the *pure* overload-control plane: queue-depth and
+//!   token-bucket admission verdicts, per-call deadline budgets, the
+//!   fallback-storm circuit breaker and the brownout priority ladder
+//!   ([`OverloadController`]).
+//! * [`rand`] — the workspace's one seeded PRNG ([`SplitMix64`]), so a
+//!   single seed reproduces an overload+fault scenario byte-identically.
 //!
 //! Both the real-thread runtimes (`zc-switchless`, `intel-switchless`) and
 //! the discrete-event simulator (`zc-des`) are written against these types,
@@ -57,7 +63,9 @@ pub mod error;
 pub mod fault;
 pub mod func;
 pub mod guard;
+pub mod overload;
 pub mod policy;
+pub mod rand;
 pub mod state;
 pub mod stats;
 pub mod supervise;
@@ -71,6 +79,12 @@ pub use fault::{
 };
 pub use func::{FuncId, HostFn, OcallReply, OcallRequest, OcallTable, MAX_OCALL_ARGS};
 pub use guard::{GuardKind, GuardViolation, ReplyGuard, ReplyVerdict, SharedWordGuard};
+pub use overload::{
+    Admission, BreakerParams, BreakerState, BreakerTransition, BrownoutLadder, BrownoutParams,
+    CircuitBreaker, Deadline, InflightGuard, OverloadController, OverloadParams, OverloadPlane,
+    OverloadSnapshot, PlaneAdmission, Priority, ShedReason, TokenBucket, Verdict,
+};
+pub use rand::SplitMix64;
 pub use state::WorkerState;
 pub use stats::{CallStats, CallStatsSnapshot};
 pub use supervise::{

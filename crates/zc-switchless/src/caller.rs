@@ -11,13 +11,15 @@ use crate::pool::PoolAlloc;
 use crate::prof;
 use crate::runtime::{Shared, YIELD_EVERY};
 use std::sync::atomic::Ordering;
+use switchless_core::overload::{BreakerTransition, InflightGuard, ShedReason};
 use switchless_core::{
     CallPath, FailureKind, GuardViolation, OcallRequest, PoisonKey, ReplyGuard, SuperviseDecision,
     SwitchlessError, WorkerState,
 };
 
 /// Retries granted to a pool allocation hit by injected exhaustion
-/// before the call degrades to a regular ocall.
+/// before the call degrades to a regular ocall. With the overload plane
+/// on, the breaker can cut the retry loop short of this cap.
 const POOL_RETRY_MAX: u32 = 3;
 
 /// Dispatch one ocall through the ZC protocol.
@@ -84,6 +86,51 @@ pub(crate) fn dispatch(
     dispatch_inner(shared, req, payload_in, payload_out, &mut rec)
 }
 
+/// Trace a breaker state-machine edge, if one happened.
+fn trace_breaker_edge(shared: &Shared, edge: Option<BreakerTransition>) {
+    #[cfg(feature = "telemetry")]
+    if let Some(e) = edge {
+        shared.telemetry_caller_event(zc_telemetry::Event::BreakerTransition {
+            from: e.from,
+            to: e.to,
+        });
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (shared, edge);
+}
+
+/// Front-door admission: offer the call to the overload plane (when
+/// configured) and either take an in-flight token or shed with a typed
+/// [`SwitchlessError::Overloaded`]. A shed call performs no work at
+/// all — no worker scan, no fallback transition.
+fn overload_admit<'a>(
+    shared: &'a Shared,
+    req: &OcallRequest,
+) -> Result<Option<InflightGuard<'a>>, SwitchlessError> {
+    let Some(plane) = &shared.overload else {
+        return Ok(None);
+    };
+    let adm = plane.admit(shared.clock.now_cycles(), req.priority, req.deadline());
+    #[cfg(feature = "telemetry")]
+    if let Some((from_level, to_level)) = adm.brownout_shift {
+        shared.telemetry_caller_event(zc_telemetry::Event::BrownoutShift {
+            from_level,
+            to_level,
+        });
+    }
+    match adm.outcome {
+        Ok(guard) => Ok(Some(guard)),
+        Err(reason) => {
+            #[cfg(feature = "telemetry")]
+            shared.telemetry_caller_event(zc_telemetry::Event::CallShed {
+                func: req.func.0,
+                reason,
+            });
+            Err(SwitchlessError::Overloaded { reason })
+        }
+    }
+}
+
 /// Execute the regular-ocall fallback engine and charge its cycles to
 /// the phase model: everything since the previous boundary becomes
 /// `execute`, out of which the machine's enclave-transition cost is
@@ -120,6 +167,10 @@ pub(crate) fn dispatch_inner(
         return Err(SwitchlessError::RuntimeStopped);
     }
     shared.stats.record_issued();
+    // Admission first: a shed call must cost nothing downstream. The
+    // guard holds one unit of the queue-depth gate until this dispatch
+    // returns (any path, including errors).
+    let _inflight = overload_admit(shared, req)?;
     if let Some(sup) = &shared.supervisor {
         // Poison-request quarantine: a shape that killed too many
         // workers is pinned to the regular path — no switchless attempt
@@ -161,8 +212,32 @@ pub(crate) fn dispatch_inner(
     // reserve time — it is exactly the cost the immediate-fallback
     // design bounds.
     rec.mark(prof::Phase::Reserve, || shared.clock.now_cycles());
+    if let Some(plane) = &shared.overload {
+        // The breaker guards this would-fallback point: during a storm
+        // it opens and over-capacity calls are shed here instead of
+        // piling onto the regular-ocall path. Safety re-routes (crash,
+        // watchdog, guard violation) are never gated — they must
+        // complete the call.
+        let (allowed, edge) = plane.breaker_allow(shared.clock.now_cycles());
+        trace_breaker_edge(shared, edge);
+        if !allowed {
+            plane.record_shed(ShedReason::BreakerOpen);
+            #[cfg(feature = "telemetry")]
+            shared.telemetry_caller_event(zc_telemetry::Event::CallShed {
+                func: req.func.0,
+                reason: ShedReason::BreakerOpen,
+            });
+            return Err(SwitchlessError::Overloaded {
+                reason: ShedReason::BreakerOpen,
+            });
+        }
+    }
     let ret = fallback_with_phases(shared, rec, req, payload_in, payload_out)?;
     shared.stats.record_fallback();
+    if let Some(plane) = &shared.overload {
+        let edge = plane.on_fallback(shared.clock.now_cycles());
+        trace_breaker_edge(shared, edge);
+    }
     Ok((ret, CallPath::Fallback))
 }
 
@@ -182,10 +257,13 @@ fn switchless_call(
     // earlier call is detected at copy-back.
     let req = &req.with_seq(shared.next_seq());
     // Allocate the request payload from the worker's untrusted pool. An
-    // injected exhaustion is retried with bounded pause backoff (the
+    // injected exhaustion is retried with exponential pause backoff (the
     // graceful-degradation path for transient pressure on the untrusted
     // heap); persistent exhaustion degrades to the regular-ocall path
-    // below, exactly like an oversized payload.
+    // below, exactly like an oversized payload. Each exhaustion is also
+    // a storm signal for the overload plane's breaker, which can cut
+    // the retry loop short: once the breaker opens there is no point
+    // burning backoff spins on a heap that is not recovering.
     let alloc = {
         let mut attempts: u32 = 0;
         loop {
@@ -197,7 +275,17 @@ fn switchless_call(
             shared.telemetry_caller_event(zc_telemetry::Event::Fault {
                 kind: zc_telemetry::FaultKind::PoolExhaustion,
             });
-            if attempts >= POOL_RETRY_MAX {
+            let retry_allowed = match &shared.overload {
+                Some(plane) => {
+                    let now = shared.clock.now_cycles();
+                    trace_breaker_edge(shared, plane.on_fallback(now));
+                    let (allowed, edge) = plane.breaker_allow(now);
+                    trace_breaker_edge(shared, edge);
+                    allowed
+                }
+                None => true,
+            };
+            if attempts >= POOL_RETRY_MAX || !retry_allowed {
                 break PoolAlloc::TooLarge;
             }
             shared
@@ -224,11 +312,18 @@ fn switchless_call(
         PoolAlloc::TooLarge => {
             // Payload exceeds the pool outright: release the worker and
             // execute as a regular ocall (the untrusted heap handles it).
+            // This is a load-driven fallback, so it feeds the breaker's
+            // storm signal — but it is never *gated*: the worker is
+            // already claimed and the call must complete.
             let ok = w.try_transition(WorkerState::Reserved, WorkerState::Unused);
             debug_assert!(ok, "RESERVED -> UNUSED release must not be contended");
             rec.mark(prof::Phase::CopyIn, || shared.clock.now_cycles());
             let ret = fallback_with_phases(shared, rec, req, payload_in, payload_out)?;
             shared.stats.record_fallback();
+            if let Some(plane) = &shared.overload {
+                let edge = plane.on_fallback(shared.clock.now_cycles());
+                trace_breaker_edge(shared, edge);
+            }
             return Ok((ret, CallPath::Fallback));
         }
     };
@@ -357,6 +452,12 @@ fn switchless_call(
             let ok = w.try_transition(WorkerState::Waiting, WorkerState::Unused);
             debug_assert!(ok, "WAITING -> UNUSED release must not be contended");
             shared.stats.record_switchless();
+            if let Some(plane) = &shared.overload {
+                // A switchless completion is the breaker's success
+                // signal: half-open probes that make it here close it.
+                let edge = plane.on_success(shared.clock.now_cycles());
+                trace_breaker_edge(shared, edge);
+            }
             Ok((ret, CallPath::Switchless))
         }
         Err(v) => guard_violation_fallback(shared, w, widx, v, req, payload_in, payload_out, rec),

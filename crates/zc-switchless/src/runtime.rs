@@ -11,7 +11,7 @@ use std::time::Duration;
 use switchless_core::stats::WorkerResidency;
 use switchless_core::{
     CallPath, CallStats, DrainReport, FaultInjector, OcallDispatcher, OcallRequest, OcallTable,
-    Supervisor, SwitchlessError, TransitionLog, ZcConfig,
+    OverloadPlane, OverloadSnapshot, Supervisor, SwitchlessError, TransitionLog, ZcConfig,
 };
 
 /// Busy-wait loops yield to the OS scheduler after this many pauses
@@ -49,6 +49,10 @@ pub(crate) struct Shared {
     pub(crate) faults: Option<Arc<FaultInjector>>,
     /// Self-healing policy state; `Some` iff `config.supervise` is set.
     pub(crate) supervisor: Option<Mutex<Supervisor>>,
+    /// Overload-control plane; `Some` iff `config.overload` is set.
+    /// Callers funnel admission through it and drive its breaker at
+    /// their would-fallback points (see `caller`).
+    pub(crate) overload: Option<OverloadPlane>,
     /// TransitionLog attached via `install_transition_log`, kept so
     /// respawned buffers inherit the same recorder.
     pub(crate) transition_log: Mutex<Option<Arc<TransitionLog>>>,
@@ -288,6 +292,7 @@ impl ZcRuntime {
             supervisor: config
                 .supervise
                 .map(|params| Mutex::new(Supervisor::new(max, params))),
+            overload: config.overload.map(OverloadPlane::new),
             transition_log: Mutex::new(None),
             worker_handles: Mutex::new(Vec::with_capacity(max)),
             #[cfg(feature = "telemetry")]
@@ -386,6 +391,30 @@ impl ZcRuntime {
                         MetricValue::Gauge(sup.blacklisted().len() as u64),
                     ));
                 }
+                if let Some(plane) = &sh.overload {
+                    let o = plane.snapshot();
+                    out.push(("zc_offered_total".into(), MetricValue::Counter(o.offered)));
+                    out.push(("zc_admitted_total".into(), MetricValue::Counter(o.admitted)));
+                    for r in switchless_core::ShedReason::ALL {
+                        out.push((
+                            format!("zc_shed_total{{reason=\"{}\"}}", r.name()),
+                            MetricValue::Counter(o.shed_for(r)),
+                        ));
+                    }
+                    out.push((
+                        "zc_breaker_state".into(),
+                        MetricValue::Gauge(u64::from(o.breaker_state as u8)),
+                    ));
+                    out.push((
+                        "zc_breaker_trips_total".into(),
+                        MetricValue::Counter(o.breaker_trips),
+                    ));
+                    out.push((
+                        "zc_brownout_level".into(),
+                        MetricValue::Gauge(u64::from(o.brownout_level)),
+                    ));
+                    out.push(("zc_inflight_calls".into(), MetricValue::Gauge(o.inflight)));
+                }
                 out
             });
         }
@@ -482,6 +511,15 @@ impl ZcRuntime {
     #[must_use]
     pub fn supervisor_state(&self) -> Option<Supervisor> {
         self.shared.supervisor.as_ref().map(|s| s.lock().clone())
+    }
+
+    /// Snapshot of the overload plane's counters and machine states
+    /// (offered/admitted/shed, breaker, brownout). `None` when overload
+    /// control is off. Once traffic has quiesced the counters conserve
+    /// exactly: `completed + shed_total == offered`.
+    #[must_use]
+    pub fn overload_snapshot(&self) -> Option<OverloadSnapshot> {
+        self.shared.overload.as_ref().map(OverloadPlane::snapshot)
     }
 
     /// Stop the scheduler and workers and join them. Idempotent; also
@@ -835,6 +873,127 @@ mod tests {
             report.drained >= 3,
             "max workers plus the respawned generation must join: {report:?}"
         );
+    }
+
+    #[test]
+    fn overload_admission_sheds_typed_and_conserves() {
+        use switchless_core::{OverloadParams, ShedReason};
+        let (t, echo, _) = table();
+        // Two burst tokens, a refill period far beyond the test's
+        // virtual-time span: the third call must shed RateLimited.
+        let cfg = test_config().with_quantum_ms(1000);
+        let cfg =
+            cfg.with_overload_params(OverloadParams::for_cpu(&cfg.cpu).with_bucket(2, 1 << 40));
+        let rt = ZcRuntime::start(cfg, t, enclave(&cfg)).unwrap();
+        let mut out = Vec::new();
+        let mut completed = 0u64;
+        let mut shed = 0u64;
+        for _ in 0..10 {
+            match rt.dispatch(&OcallRequest::new(echo, &[]), b"x", &mut out) {
+                Ok(_) => completed += 1,
+                Err(SwitchlessError::Overloaded { reason }) => {
+                    assert_eq!(reason, ShedReason::RateLimited);
+                    shed += 1;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(completed, 2, "exactly the two burst tokens complete");
+        assert_eq!(shed, 8);
+        let snap = rt.overload_snapshot().expect("overload is on");
+        assert_eq!(snap.offered, 10);
+        assert_eq!(snap.admitted, 2);
+        assert_eq!(snap.shed_for(ShedReason::RateLimited), 8);
+        assert_eq!(snap.inflight, 0, "all guards released");
+        assert!(snap.conserves(rt.stats().snapshot().total_calls()));
+        rt.shutdown();
+    }
+    #[test]
+    fn expired_deadline_sheds_before_any_work() {
+        use switchless_core::{OverloadParams, ShedReason};
+        let (t, echo, _) = table();
+        let cfg = test_config();
+        let cfg = cfg.with_overload_params(OverloadParams::for_cpu(&cfg.cpu));
+        let rt = ZcRuntime::start(cfg, t, enclave(&cfg)).unwrap();
+        let mut out = Vec::new();
+        // A deadline already in the past on arrival is shed, first.
+        // (Cycle 1, not 0: deadline_cycles == 0 means "no deadline".)
+        let req = OcallRequest::new(echo, &[]).with_deadline_at(1);
+        let err = rt.dispatch(&req, b"late", &mut out).unwrap_err();
+        assert_eq!(
+            err,
+            SwitchlessError::Overloaded {
+                reason: ShedReason::DeadlineExpired
+            }
+        );
+        assert_eq!(rt.stats().snapshot().total_calls(), 0, "no work performed");
+        // A live deadline sails through.
+        let live = OcallRequest::new(echo, &[]).with_deadline_at(u64::MAX);
+        rt.dispatch(&live, b"ok", &mut out).unwrap();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn fallback_storm_opens_breaker_and_sheds() {
+        use switchless_core::fault::{FaultInjector, FaultPlan};
+        use switchless_core::{BreakerParams, OverloadParams, ShedReason};
+        let (t, echo, _) = table();
+        // Crash the only active worker (no supervisor, so no respawn;
+        // slot 1 is deactivated by initial_workers(1) and pauses
+        // itself): every call after the crash re-route finds no idle
+        // worker and hits the breaker-guarded would-fallback point. The
+        // crash re-route is a safety path — it completes the call and
+        // does NOT feed the breaker; only the storm of no-idle
+        // fallbacks does, so with a threshold of 3 the breaker opens
+        // after calls 1..=3 and sheds the rest.
+        let cfg = test_config().with_quantum_ms(10_000);
+        let cfg = cfg.with_overload_params(OverloadParams::for_cpu(&cfg.cpu).with_breaker(
+            BreakerParams {
+                failure_threshold: 3,
+                window_cycles: 1 << 40,
+                open_cycles: 1 << 40,
+                probe_successes: 1,
+            },
+        ));
+        let faults = Arc::new(FaultInjector::new(FaultPlan::new().crash_worker_at(0)));
+        let rt = ZcRuntime::start_with_faults(cfg, t, enclave(&cfg), faults).unwrap();
+        // Wait for the deactivated slot to park itself, so the storm
+        // below can never race a still-Unused spare worker.
+        {
+            use switchless_core::WorkerState;
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while rt.shared.worker(1).state() != Ok(WorkerState::Paused) {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "deactivated worker never paused"
+                );
+                std::thread::yield_now();
+            }
+        }
+        let mut out = Vec::new();
+        let mut fallbacks = 0u64;
+        let mut breaker_sheds = 0u64;
+        for _ in 0..10 {
+            match rt.dispatch(&OcallRequest::new(echo, &[]), b"s", &mut out) {
+                Ok((_, CallPath::Fallback)) => fallbacks += 1,
+                Ok((_, p)) => panic!("unexpected path {p:?} with all workers down"),
+                Err(SwitchlessError::Overloaded { reason }) => {
+                    assert_eq!(reason, ShedReason::BreakerOpen);
+                    breaker_sheds += 1;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(
+            fallbacks, 4,
+            "one crash re-route plus the three storm fallbacks that trip the breaker"
+        );
+        assert_eq!(breaker_sheds, 6, "the rest of the storm is shed");
+        let snap = rt.overload_snapshot().unwrap();
+        assert_eq!(snap.breaker_trips, 1);
+        assert_eq!(snap.shed_for(ShedReason::BreakerOpen), 6);
+        assert!(snap.conserves(rt.stats().snapshot().total_calls()));
+        rt.shutdown();
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Typed trace events and their origins.
 
+use switchless_core::overload::{BreakerState, ShedReason};
 use switchless_core::policy::DecisionRecord;
 use switchless_core::{CallPath, GuardKind, WorkerState};
 
@@ -221,6 +222,32 @@ pub enum Event {
         /// Cycles from the first deviating decision to convergence.
         settle_cycles: u64,
     },
+    /// The overload-control plane refused a call instead of queueing
+    /// it (see `switchless_core::overload`). The caller observed a
+    /// typed `Overloaded` error; no work was performed.
+    CallShed {
+        /// Registered function id of the shed call.
+        func: u16,
+        /// Which admission check shed it.
+        reason: ShedReason,
+    },
+    /// The fallback-storm circuit breaker walked one edge of its state
+    /// machine (Closed→Open on a storm, Open→HalfOpen at probation,
+    /// HalfOpen→Closed/Open on probe outcome).
+    BreakerTransition {
+        /// State before the edge.
+        from: BreakerState,
+        /// State after the edge.
+        to: BreakerState,
+    },
+    /// The brownout ladder moved one rung (raised under queue growth,
+    /// lowered inside the hysteresis band).
+    BrownoutShift {
+        /// Ladder level before the shift.
+        from_level: u8,
+        /// Ladder level after the shift.
+        to_level: u8,
+    },
     /// Free-form marker (phase labels in examples/benches).
     Marker {
         /// Static label.
@@ -247,6 +274,9 @@ impl Event {
             Event::Blacklisted { .. } => "blacklisted",
             Event::CallPhases { .. } => "call_phases",
             Event::Converged { .. } => "converged",
+            Event::CallShed { .. } => "call_shed",
+            Event::BreakerTransition { .. } => "breaker_transition",
+            Event::BrownoutShift { .. } => "brownout_shift",
             Event::Marker { .. } => "marker",
         }
     }

@@ -141,6 +141,16 @@ fn event_fields(event: &Event) -> String {
         } => format!(
             ",\"from_workers\":{from_workers},\"to_workers\":{to_workers},\"decisions\":{decisions},\"settle_cycles\":{settle_cycles}"
         ),
+        Event::CallShed { func, reason } => {
+            format!(",\"func\":{func},\"reason\":\"{}\"", reason.name())
+        }
+        Event::BreakerTransition { from, to } => {
+            format!(",\"from\":\"{}\",\"to\":\"{}\"", from.name(), to.name())
+        }
+        Event::BrownoutShift {
+            from_level,
+            to_level,
+        } => format!(",\"from_level\":{from_level},\"to_level\":{to_level}"),
         Event::Marker { label } => format!(",\"label\":\"{}\"", json_escape(label)),
     }
 }
@@ -415,6 +425,27 @@ pub fn to_chrome_trace(events: &[RecordedEvent], freq_hz: u64) -> String {
             } => {
                 lines.push(format!(
                     "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"g\",\"name\":\"converged\",\"args\":{{\"from_workers\":{from_workers},\"to_workers\":{to_workers},\"decisions\":{decisions},\"settle_cycles\":{settle_cycles}}}}}"
+                ));
+            }
+            Event::CallShed { func, reason } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"g\",\"name\":\"shed:{}\",\"args\":{{\"func\":{func}}}}}",
+                    reason.name()
+                ));
+            }
+            Event::BreakerTransition { from, to } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"g\",\"name\":\"breaker:{}->{}\"}}",
+                    from.name(),
+                    to.name()
+                ));
+            }
+            Event::BrownoutShift {
+                from_level,
+                to_level,
+            } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"g\",\"name\":\"brownout:{from_level}->{to_level}\"}}"
                 ));
             }
             Event::Marker { label } => {

@@ -43,7 +43,7 @@ pub use metrics::{
 };
 pub use profile::{CallPhaseProfiler, Phase, PhaseRecorder, ProfileSnapshot, PHASES};
 pub use quantile::{Quantiles, WindowedQuantiles};
-pub use slo::SloReport;
+pub use slo::{OverloadSlo, SloReport};
 pub use tracer::Tracer;
 
 use std::sync::Arc;

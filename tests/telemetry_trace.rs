@@ -14,9 +14,10 @@
 use sgx_sim::Enclave;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use switchless_core::overload::OverloadParams;
 use switchless_core::{
-    CpuSpec, FaultInjector, FaultPlan, OcallDispatcher, OcallRequest, OcallTable, ZcConfig,
-    MAX_OCALL_ARGS,
+    CpuSpec, FaultInjector, FaultPlan, OcallDispatcher, OcallRequest, OcallTable, ShedReason,
+    SwitchlessError, ZcConfig, MAX_OCALL_ARGS,
 };
 use zc_switchless::ZcRuntime;
 use zc_telemetry::export::{canonical_jsonl, events_to_jsonl, to_chrome_trace, to_prometheus};
@@ -296,6 +297,139 @@ fn des_slo_report_jsonl_is_byte_identical_across_runs() {
         first,
         slo_jsonl(),
         "same-seed virtual-clock runs must emit byte-identical SLO JSONL"
+    );
+}
+
+/// One deterministic overload scenario: a token bucket of 2 with a
+/// refill period far beyond the test (no deadline, breaker untouched),
+/// so of 10 sequential calls exactly the first 2 complete and the
+/// remaining 8 shed as `rate_limited`. Returns the canonical projection
+/// of the shed/breaker/brownout events.
+fn overloaded_run() -> String {
+    let hub = Telemetry::new();
+    let (t, echo) = table();
+    let cpu = CpuSpec::paper_machine();
+    let cfg = ZcConfig::for_cpu(cpu)
+        .with_overload_params(OverloadParams::for_cpu(&cpu).with_bucket(2, 1 << 40));
+    let zc = ZcRuntime::start_with_telemetry(cfg, t, Enclave::new_virtual(cpu), hub.clone(), None)
+        .expect("zc runtime must start");
+    let mut out = Vec::new();
+    let (mut completed, mut shed) = (0, 0);
+    for _ in 0..10 {
+        match zc.dispatch(&OcallRequest::new(echo, &[1]), b"x", &mut out) {
+            Ok(_) => completed += 1,
+            Err(SwitchlessError::Overloaded { reason }) => {
+                assert_eq!(reason, ShedReason::RateLimited);
+                shed += 1;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert_eq!((completed, shed), (2, 8), "2 bucket tokens, 8 sheds");
+    let snap = zc.overload_snapshot().expect("overload plane configured");
+    assert!(snap.conserves(zc.stats().snapshot().total_calls()));
+    zc.shutdown();
+    canonical_jsonl(&hub.tracer().drain(), |ev| {
+        matches!(
+            ev.event,
+            Event::CallShed { .. } | Event::BreakerTransition { .. } | Event::BrownoutShift { .. }
+        )
+    })
+}
+
+/// The overload shed sequence is causally deterministic even on the
+/// real (wall-clock) runtime: admission depends only on the token count,
+/// not on timing, so the canonical shed trace is byte-identical across
+/// runs (the overload-plane analogue of the fault-trace pin above).
+#[test]
+fn overload_shed_trace_is_byte_identical_across_runs() {
+    let first = overloaded_run();
+    let second = overloaded_run();
+    assert_eq!(
+        first.lines().count(),
+        8,
+        "one canonical line per shed call:\n{first}"
+    );
+    assert!(
+        first.contains(r#""kind":"call_shed""#),
+        "sheds must be traced:\n{first}"
+    );
+    assert!(
+        first.contains(r#""reason":"rate_limited""#),
+        "shed reason must be attributed:\n{first}"
+    );
+    assert!(
+        !first.contains(r#""t":"#),
+        "canonical projection strips timestamps:\n{first}"
+    );
+    assert_eq!(
+        first, second,
+        "same overload scenario must yield a byte-identical canonical trace"
+    );
+}
+
+/// Seeded open-loop MMPP overload traffic on the DES: the full
+/// timestamped trace — scheduler decisions included — is byte-identical
+/// across same-seed runs, and the client-side shed accounting conserves
+/// offered load exactly (DESIGN.md §13).
+#[test]
+fn des_mmpp_overload_trace_is_byte_identical_and_conserves() {
+    use zc_des::ocall::CallDesc;
+    use zc_des::{
+        run, ArrivalProcess, Mechanism, OpenLoad, ServiceDist, SimConfig, WorkloadSpec, ZcSimParams,
+    };
+
+    let sim_trace = || {
+        let hub = Telemetry::new();
+        let load = OpenLoad::new(
+            CallDesc {
+                host_cycles: 500,
+                payload_bytes: 64,
+                ..CallDesc::default()
+            },
+            ArrivalProcess::Mmpp {
+                calm_gap_cycles: 8_000,
+                burst_gap_cycles: 1_000,
+                calm_dwell_cycles: 200_000,
+                burst_dwell_cycles: 100_000,
+            },
+            0xdecaf,
+            8_000_000,
+        )
+        .with_service(ServiceDist::Exponential { mean_cycles: 400 })
+        .with_deadline_budget(100_000);
+        // 1 ms quanta so the 8M-cycle window spans two scheduler
+        // configuration phases and traces their decisions.
+        let params = ZcSimParams {
+            quantum_ms: 1,
+            ..ZcSimParams::default()
+        };
+        let cfg = SimConfig::new(Mechanism::Zc(params), vec![WorkloadSpec::Open(load); 4], 1)
+            .with_event_kernel()
+            .with_telemetry(Arc::clone(&hub));
+        let r = run(&cfg);
+        let c = &r.counters;
+        assert!(c.offered > 0 && c.ops_shed > 0, "bursts must shed: {c:?}");
+        assert!(
+            c.conserves(),
+            "offered {} != completed {} + shed {} + abandoned {}",
+            c.offered,
+            c.total_calls(),
+            c.ops_shed,
+            c.ops_abandoned
+        );
+        events_to_jsonl(&hub.tracer().drain())
+    };
+    let first = sim_trace();
+    assert!(
+        first.contains(r#""kind":"decision""#),
+        "the scheduler must decide under open-loop load:\n{}",
+        &first[..first.len().min(2_000)]
+    );
+    assert_eq!(
+        first,
+        sim_trace(),
+        "same-seed MMPP overload trace must be byte-identical"
     );
 }
 
