@@ -67,6 +67,22 @@ else
     ./target/release/overload --quick
 fi
 
+echo "==> recovery smoke (enclave crash/restart, exactly-once ledger)"
+# Drives the DES recovery soak — three whole-enclave crash/restart
+# cycles plus a crash-during-replay on the 128-vCPU event kernel, then
+# an all-non-idempotent refusal probe — and writes BENCH_recovery.json.
+# The binary gates on exact conservation (offered == completed +
+# refused_non_idempotent, journal drained, every crash restarted),
+# same-schedule byte-identical reproduction, and bounded
+# restart-to-first-completion latency — never on absolute speed
+# (DESIGN.md §14).
+cargo build --release -q -p zc-bench --bin recovery
+if [[ $quick -eq 0 ]]; then
+    ./target/release/recovery
+else
+    ./target/release/recovery --quick
+fi
+
 # Collect every benchmark report into the perf trajectory uploaded by
 # CI — one directory per run, so regressions can be traced across
 # commits instead of vanishing with the runner.
@@ -92,6 +108,10 @@ if [[ $quick -eq 0 ]]; then
         cargo test -q -p zc-switchless --test byzantine_soak --test byzantine_props
         echo "==> cargo test -p zc-des overload soak (MMPP, run $i/3)"
         cargo test -q -p zc-des zc_mmpp_overload
+        echo "==> cargo test --test recovery_soak (crash/restart cycles, run $i/3)"
+        cargo test -q --test recovery_soak
+        echo "==> cargo test -p zc-des recovery conservation (run $i/3)"
+        cargo test -q -p zc-des --test recovery_conservation
     done
 fi
 

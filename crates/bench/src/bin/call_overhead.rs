@@ -36,6 +36,7 @@ fn call(class: usize) -> CallDesc {
         host_cycles: 5_000,
         payload_bytes: 256,
         ret_bytes: 64,
+        non_idempotent: false,
     }
 }
 

@@ -55,6 +55,7 @@ fn call_template() -> CallDesc {
         host_cycles: SERVICE_MEAN_CYCLES,
         payload_bytes: 256,
         ret_bytes: 64,
+        ..CallDesc::default()
     }
 }
 

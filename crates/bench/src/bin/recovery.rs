@@ -1,0 +1,295 @@
+//! CI recovery smoke: enclave crash/restart behaviour of the ZC
+//! mechanism under the DES recovery soak.
+//!
+//! Drives a closed-loop idempotent workload on the 128-vCPU
+//! event-driven kernel through three whole-enclave crash/restart cycles
+//! plus one crash-during-replay, then a second all-non-idempotent probe
+//! run that measures typed refusals. Everything runs under virtual
+//! time, so both runs are byte-deterministic. The binary gates on:
+//!
+//! * **conservation** — `offered == completed + refused_non_idempotent`
+//!   exactly, zero duplicate executions, journal drained to zero live
+//!   entries, every crash completing its restart;
+//! * **reproducibility** — the soak re-run with the same schedule must
+//!   reproduce counters, recovery ledger and latency samples
+//!   byte-for-byte;
+//! * **recovery latency sanity** — one restart-to-first-completion
+//!   sample per crash, each at least the configured restart time and
+//!   within an order-of-magnitude envelope of it.
+//!
+//! It does NOT gate on absolute speed. Writes `BENCH_recovery.json`.
+//!
+//! Usage: `recovery [--quick] [--out <path>]`
+
+use zc_des::{
+    run, CallDesc, Mechanism, SimConfig, SimReport, WorkloadSpec, ZcSimFaults, ZcSimParams,
+};
+
+/// Closed-loop callers in every run.
+const CALLERS: usize = 32;
+/// Logical CPUs of the simulated machine.
+const VCPUS: usize = 128;
+/// Virtual cycles the enclave stays down per crash.
+const RESTART_CYCLES: u64 = 500_000;
+/// Restart-to-first-completion ceiling: restart time plus a generous
+/// reconciliation-and-redispatch envelope.
+const RTFC_CEILING_CYCLES: u64 = RESTART_CYCLES * 10;
+
+fn call_template(non_idempotent: bool) -> CallDesc {
+    CallDesc {
+        class: 0,
+        host_cycles: 500,
+        payload_bytes: 128,
+        ret_bytes: 32,
+        non_idempotent,
+        ..CallDesc::default()
+    }
+}
+
+/// The three scripted crash sites, scaled into the offered range.
+fn crash_sites(offered: u64) -> [u64; 3] {
+    [offered / 100, offered / 4, (offered * 3) / 4]
+}
+
+fn soak_config(ops_per_caller: u64, non_idempotent: bool, replay_crash: bool) -> SimConfig {
+    let offered = CALLERS as u64 * ops_per_caller;
+    let sites = crash_sites(offered);
+    let mut faults = ZcSimFaults::new().with_enclave_restart_cycles(RESTART_CYCLES);
+    for &n in &sites {
+        faults = faults.crash_enclave_at_call(n);
+    }
+    if replay_crash {
+        faults = faults.crash_enclave_during_replay(0);
+    }
+    SimConfig::new(
+        Mechanism::Zc(ZcSimParams::default()),
+        vec![
+            WorkloadSpec::ClosedLoop {
+                pattern: vec![call_template(non_idempotent)],
+                total_ops: ops_per_caller,
+            };
+            CALLERS
+        ],
+        1,
+    )
+    .with_vcpus(VCPUS)
+    .with_event_kernel()
+    .with_zc_faults(faults)
+}
+
+/// Percentile of a sample vector (nearest-rank); 0 when empty.
+fn pctile(samples: &[u64], p: usize) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut v = samples.to_vec();
+    v.sort_unstable();
+    v[(p * (v.len() - 1)).div_ceil(100)]
+}
+
+/// Audit the exactly-once ledger of one soak; returns failure messages.
+fn audit(tag: &str, r: &SimReport, offered: u64, expect_refusals: bool) -> Vec<String> {
+    let mut fails = Vec::new();
+    let c = &r.counters;
+    let f = &r.fault_recovery;
+    if !c.conserves() {
+        fails.push(format!("{tag}: conservation violated: {c:?}"));
+    }
+    if c.total_calls() + c.refused_non_idempotent != offered {
+        fails.push(format!(
+            "{tag}: offered {offered} != completed {} + refused {}",
+            c.total_calls(),
+            c.refused_non_idempotent
+        ));
+    }
+    if f.enclave_crashes < 3 {
+        fails.push(format!("{tag}: expected >=3 crashes, got {f:?}"));
+    }
+    if f.enclave_restarts != f.enclave_crashes {
+        fails.push(format!("{tag}: unfinished restarts: {f:?}"));
+    }
+    if f.journal_live != 0 {
+        fails.push(format!("{tag}: journal did not drain: {f:?}"));
+    }
+    if f.dead_workers != 0 {
+        fails.push(format!("{tag}: workers died: {f:?}"));
+    }
+    if expect_refusals {
+        if c.refused_non_idempotent == 0 {
+            fails.push(format!("{tag}: non-idempotent soak must refuse: {c:?}"));
+        }
+        if f.journal_replays != 0 {
+            fails.push(format!(
+                "{tag}: non-idempotent calls must never replay: {f:?}"
+            ));
+        }
+    } else {
+        if c.refused_non_idempotent != 0 {
+            fails.push(format!("{tag}: idempotent soak must not refuse: {c:?}"));
+        }
+        if f.journal_replays < 3 {
+            fails.push(format!("{tag}: expected >=3 replays, got {f:?}"));
+        }
+    }
+    fails
+}
+
+fn soak_json(r: &SimReport, offered: u64) -> String {
+    let c = &r.counters;
+    let f = &r.fault_recovery;
+    let rtfc = &r.recovery_latencies.restart_to_first_completion;
+    let redeliver = &r.recovery_latencies.redelivery_cycles;
+    format!(
+        "{{\"offered\":{offered},\"completed\":{},\"refused_non_idempotent\":{},\
+         \"conserves\":{},\"enclave_crashes\":{},\"enclave_restarts\":{},\
+         \"journal_replays\":{},\"call_redeliveries\":{},\"journal_live\":{},\
+         \"restart_to_first_completion_cycles\":{{\"samples\":{},\"p50\":{},\"p99\":{},\"max\":{}}},\
+         \"redelivery_cycles\":{{\"samples\":{},\"p50\":{},\"p99\":{}}},\
+         \"duration_cycles\":{}}}",
+        c.total_calls(),
+        c.refused_non_idempotent,
+        c.conserves(),
+        f.enclave_crashes,
+        f.enclave_restarts,
+        f.journal_replays,
+        f.call_redeliveries,
+        f.journal_live,
+        rtfc.len(),
+        pctile(rtfc, 50),
+        pctile(rtfc, 99),
+        rtfc.iter().copied().max().unwrap_or(0),
+        redeliver.len(),
+        pctile(redeliver, 50),
+        pctile(redeliver, 99),
+        r.duration_cycles,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_recovery.json".to_string());
+    let ops_per_caller: u64 = if quick { 1_000 } else { 5_000 };
+    let offered = CALLERS as u64 * ops_per_caller;
+    let mut failed = Vec::new();
+
+    // 1. The idempotent soak: 3 crashes + 1 crash-during-replay; every
+    //    offered call must complete exactly once.
+    eprintln!("recovery: idempotent soak ({CALLERS} callers x {ops_per_caller} ops, 3 crashes)...");
+    let idem_cfg = soak_config(ops_per_caller, false, true);
+    let idem = run(&idem_cfg);
+    failed.extend(audit("idempotent", &idem, offered, false));
+    if idem.fault_recovery.call_redeliveries == 0 {
+        failed.push("idempotent: crash-during-replay must redeliver".to_string());
+    }
+
+    // 2. Recovery-latency sanity: one restart-to-first-completion
+    //    sample per *scripted* crash (the replay crash interrupts an
+    //    already-measured window), each within the envelope.
+    let rtfc = &idem.recovery_latencies.restart_to_first_completion;
+    if rtfc.len() < 3 {
+        failed.push(format!(
+            "idempotent: expected >=3 rtfc samples, got {rtfc:?}"
+        ));
+    }
+    for &s in rtfc {
+        if s > RTFC_CEILING_CYCLES {
+            failed.push(format!(
+                "idempotent: restart-to-first-completion {s} above ceiling {RTFC_CEILING_CYCLES}"
+            ));
+        }
+    }
+
+    // 3. Reproducibility: the same schedule must reproduce the full
+    //    report — counters, recovery ledger and latency samples.
+    eprintln!("recovery: reproducibility re-run...");
+    let rerun = run(&idem_cfg);
+    let reproducible = rerun.counters == idem.counters
+        && rerun.duration_cycles == idem.duration_cycles
+        && rerun.fault_recovery == idem.fault_recovery
+        && rerun.recovery_latencies == idem.recovery_latencies;
+    if !reproducible {
+        failed.push("idempotent: same-schedule re-run diverged".to_string());
+    }
+
+    // 4. The refusal probe: all calls non-idempotent; in-flight calls
+    //    at each crash must surface as typed refusals, never replay.
+    eprintln!("recovery: non-idempotent refusal probe...");
+    let refuse = run(&soak_config(ops_per_caller, true, false));
+    failed.extend(audit("refusal", &refuse, offered, true));
+
+    // 5. Report.
+    let sites = crash_sites(offered);
+    let json = format!(
+        "{{\n  \"schema\": \"bench_recovery_v1\",\n  \"quick\": {quick},\n  \
+         \"callers\": {CALLERS},\n  \"vcpus\": {VCPUS},\n  \
+         \"ops_per_caller\": {ops_per_caller},\n  \
+         \"crash_sites\": [{},{},{}],\n  \"restart_cycles\": {RESTART_CYCLES},\n  \
+         \"reproducible\": {reproducible},\n  \
+         \"idempotent_soak\": {},\n  \"refusal_probe\": {}\n}}\n",
+        sites[0],
+        sites[1],
+        sites[2],
+        soak_json(&idem, offered),
+        soak_json(&refuse, offered),
+    );
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "unbalanced report JSON"
+    );
+    std::fs::write(&out, &json).expect("write benchmark json");
+    eprintln!("recovery: wrote {out}");
+
+    if !failed.is_empty() {
+        for f in &failed {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+// The soak invariants are also exercised (in quick size) by `cargo
+// test`, so drift in the DES defaults shows up before CI runs the
+// binary.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_soak_conserves_and_replays() {
+        let offered = CALLERS as u64 * 500;
+        let r = run(&soak_config(500, false, true));
+        assert!(audit("test", &r, offered, false).is_empty());
+        assert!(r.fault_recovery.call_redeliveries >= 1);
+    }
+
+    #[test]
+    fn refusal_probe_refuses_and_conserves() {
+        let offered = CALLERS as u64 * 500;
+        let r = run(&soak_config(500, true, false));
+        assert!(audit("test", &r, offered, true).is_empty());
+    }
+
+    #[test]
+    fn soaks_are_reproducible() {
+        let cfg = soak_config(300, false, false);
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.fault_recovery, b.fault_recovery);
+        assert_eq!(a.recovery_latencies, b.recovery_latencies);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        assert_eq!(pctile(&[], 99), 0);
+        assert_eq!(pctile(&[7], 50), 7);
+        assert_eq!(pctile(&[30, 10, 20], 50), 20);
+        assert_eq!(pctile(&[30, 10, 20], 99), 30);
+    }
+}

@@ -46,5 +46,7 @@ pub use event_kernel::EventKernel;
 pub use kernel::{Actor, FlagId, Kernel, Machine, SpinTarget, Syscall, SyscallResult, Tid};
 pub use ocall::zc::ZcSimFaults;
 pub use ocall::{CallDesc, CostModel, Dispatcher, Step};
-pub use sim::{run, FaultRecovery, KernelMode, Mechanism, SimConfig, SimReport, ZcSimParams};
+pub use sim::{
+    run, FaultRecovery, KernelMode, Mechanism, RecoveryLatencies, SimConfig, SimReport, ZcSimParams,
+};
 pub use workload::{CallClass, OpenLoad, PhasedLoad, WorkloadSpec};

@@ -49,6 +49,13 @@ pub struct SimCounters {
     /// silently.
     #[serde(default)]
     pub ops_abandoned: u64,
+    /// Offered calls refused by post-crash reconciliation: the enclave
+    /// was lost with a non-idempotent call's fate unknown, so neither
+    /// completing nor re-executing it could be proven safe
+    /// ([`Step::Refused`](crate::ocall::Step::Refused)). Zero without
+    /// enclave faults.
+    #[serde(default)]
+    pub refused_non_idempotent: u64,
     /// Log₂-bucketed histogram of open-loop sojourn times
     /// (arrival → completion, cycles): `sojourn_log2[k]` counts calls
     /// with sojourn in `[2^k, 2^(k+1))`. Empty until an open-loop
@@ -97,11 +104,13 @@ impl SimCounters {
     }
 
     /// Exact conservation: every offered call either completed on some
-    /// path, was shed by a deadline, or was abandoned un-issued —
-    /// nothing lost, nothing double-counted.
+    /// path, was shed by a deadline, was abandoned un-issued, or was
+    /// refused by post-crash reconciliation — nothing lost, nothing
+    /// double-counted.
     #[must_use]
     pub fn conserves(&self) -> bool {
-        self.offered == self.total_calls() + self.ops_shed + self.ops_abandoned
+        self.offered
+            == self.total_calls() + self.ops_shed + self.ops_abandoned + self.refused_non_idempotent
     }
 
     /// Goodput as a fraction of offered load (1.0 when nothing was

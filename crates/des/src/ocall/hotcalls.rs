@@ -202,7 +202,9 @@ impl Dispatcher for HotcallsDispatcher {
         }
         match self.try_claim(call) {
             Step::Next(s) => s,
-            Step::Complete(_) => unreachable!("claim never completes a call"),
+            Step::Complete(_) | Step::Refused => {
+                unreachable!("claim never completes or refuses a call")
+            }
         }
     }
 

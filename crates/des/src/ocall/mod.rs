@@ -43,6 +43,26 @@ pub struct CallDesc {
     pub payload_bytes: u64,
     /// Result bytes crossing back into the enclave.
     pub ret_bytes: u64,
+    /// The call has effects that must happen exactly once: after an
+    /// enclave loss its fate cannot be guessed, so reconciliation
+    /// refuses it instead of replaying (see
+    /// [`switchless_core::recovery::IdempotencyClass`]). Default
+    /// `false` — most modelled ocalls (reads, clock, stat) are
+    /// replay-safe.
+    #[serde(default)]
+    pub non_idempotent: bool,
+}
+
+impl CallDesc {
+    /// The recovery-plane idempotency class of this call.
+    #[must_use]
+    pub fn idempotency_class(&self) -> switchless_core::recovery::IdempotencyClass {
+        if self.non_idempotent {
+            switchless_core::recovery::IdempotencyClass::NonIdempotent
+        } else {
+            switchless_core::recovery::IdempotencyClass::Idempotent
+        }
+    }
 }
 
 /// Cost model of the boundary machinery, in cycles.
@@ -103,6 +123,11 @@ pub enum Step {
     Next(Syscall),
     /// The call finished via the given path.
     Complete(CallPath),
+    /// Post-crash reconciliation refused the (non-idempotent) call:
+    /// the enclave was lost with the call's fate unknown, so it ends
+    /// without completing — the DES mirror of
+    /// [`SwitchlessError::EnclaveLost`](switchless_core::SwitchlessError::EnclaveLost).
+    Refused,
 }
 
 /// Per-caller dialogue driver for one mechanism.
@@ -146,6 +171,7 @@ mod tests {
             host_cycles: 1_000,
             payload_bytes: 160,
             ret_bytes: 32,
+            ..CallDesc::default()
         };
         assert_eq!(m.regular_call_cycles(&call), 13_500 + 10 + 1_000 + 2);
     }

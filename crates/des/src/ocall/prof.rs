@@ -78,6 +78,14 @@ impl Prof {
         }
     }
 
+    /// Drop the in-flight recording without accumulating it: the call
+    /// was refused by post-crash reconciliation, so there is no
+    /// completed path to attribute its phases to.
+    #[inline]
+    pub(crate) fn discard(&mut self) {
+        self.rec = None;
+    }
+
     /// Close the recording at `now`: accumulate into the hub profiler
     /// and — for the first [`TRACE_CALL_LIMIT`] calls — emit a
     /// `call_phases` event for call class `class`.
@@ -135,6 +143,9 @@ impl Prof {
 
     #[inline]
     pub(crate) fn set_execute_hint(&mut self, _cycles: u64) {}
+
+    #[inline]
+    pub(crate) fn discard(&mut self) {}
 
     #[inline]
     pub(crate) fn complete(&mut self, _class: usize, _path: switchless_core::CallPath, _now: u64) {}

@@ -20,7 +20,9 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 use switchless_core::policy::{PolicyParams, SchedulerPolicy};
 use switchless_core::stats::WorkerResidency;
-use switchless_core::{CallPath, GuardKind, WorkerState};
+use switchless_core::{
+    CallPath, GuardKind, ReconcileVerdict, RecoveryParams, RecoveryPlane, ReplyGuard, WorkerState,
+};
 
 /// Scheduler command posted to a worker (DES model: no exit — the driver
 /// simply stops the simulation).
@@ -93,6 +95,41 @@ pub struct ZcWorld {
     /// Byzantine corruptions detected by the trusted-side guards (each
     /// quarantines its worker slot until revival).
     pub guard_violations: u64,
+    /// Enclave recovery plane (durable call journal + restart policy).
+    /// Built only when the fault schedule injects enclave faults, so
+    /// fault-free and worker-only-fault runs are byte-identical to a
+    /// world without the recovery machinery.
+    pub recovery: Option<RecoveryPlane>,
+    /// The enclave lifecycle actor's tid (unparked by a crash trigger).
+    pub enclave_tid: Option<Tid>,
+    /// A crash trigger fired; the enclave actor consumes this and
+    /// walks fence → restart → reconcile-ready.
+    pub pending_enclave_restart: bool,
+    /// Global dispatch counter driving the crash/stall-at-call
+    /// schedules (0-based, across all callers).
+    pub enclave_calls: u64,
+    /// Global replay counter driving the crash-during-replay schedule.
+    pub enclave_replays: u64,
+    /// Dispatch indices at which the enclave crashes.
+    pub enclave_crashes_at_calls: Vec<u64>,
+    /// `(dispatch index, stall cycles)` enclave stall injections.
+    pub enclave_stalls_at_calls: Vec<(u64, u64)>,
+    /// Replay indices at which a second crash interrupts recovery.
+    pub enclave_crashes_at_replays: Vec<u64>,
+    /// Modelled enclave teardown + reload duration.
+    pub enclave_restart_cycles: u64,
+    /// Virtual time of the most recent crash trigger.
+    pub last_crash_at: u64,
+    /// Virtual time the most recent restart completed.
+    pub last_restart_done_at: u64,
+    /// Set at restart completion; the next completed call (any path)
+    /// records restart-to-first-completion and clears it.
+    pub awaiting_first_completion: bool,
+    /// Restart-to-first-completion latencies, one per restart (cycles).
+    pub restart_to_first_completion: Vec<u64>,
+    /// Crash-detection-to-resolution latencies of calls that straddled
+    /// a crash and were redelivered or replayed (cycles).
+    pub redelivery_cycles: Vec<u64>,
 }
 
 impl ZcWorld {
@@ -134,6 +171,20 @@ impl ZcWorld {
             respawns: 0,
             cancelled: 0,
             guard_violations: 0,
+            recovery: None,
+            enclave_tid: None,
+            pending_enclave_restart: false,
+            enclave_calls: 0,
+            enclave_replays: 0,
+            enclave_crashes_at_calls: Vec::new(),
+            enclave_stalls_at_calls: Vec::new(),
+            enclave_crashes_at_replays: Vec::new(),
+            enclave_restart_cycles: 0,
+            last_crash_at: 0,
+            last_restart_done_at: 0,
+            awaiting_first_completion: false,
+            restart_to_first_completion: Vec::new(),
+            redelivery_cycles: Vec::new(),
         }))
     }
 
@@ -141,6 +192,41 @@ impl ZcWorld {
         self.workers
             .iter()
             .position(|w| w.state == WorkerState::Unused && !w.dead)
+    }
+
+    /// Install the enclave-fault schedule and build its recovery plane.
+    /// A schedule without enclave faults leaves the world untouched.
+    pub fn install_enclave_faults(&mut self, faults: &ZcSimFaults) {
+        if !faults.has_enclave_faults() {
+            return;
+        }
+        self.enclave_crashes_at_calls = faults.enclave_crashes_at_calls.clone();
+        self.enclave_stalls_at_calls = faults.enclave_stalls_at_calls.clone();
+        self.enclave_crashes_at_replays = faults.enclave_crashes_at_replays.clone();
+        self.enclave_restart_cycles = faults.enclave_restart_cycles;
+        self.recovery = Some(RecoveryPlane::new(
+            RecoveryParams::default()
+                .with_journal_slots(faults.journal_slots)
+                .with_restart_cycles(faults.enclave_restart_cycles),
+        ));
+    }
+
+    /// Note one completed call: the first after a restart records the
+    /// restart-to-first-completion latency. No-op outside recovery.
+    fn note_completion(&mut self, now: u64) {
+        if self.awaiting_first_completion {
+            self.awaiting_first_completion = false;
+            self.restart_to_first_completion
+                .push(now.saturating_sub(self.last_restart_done_at));
+        }
+    }
+
+    /// `true` while the enclave is lost or restarting, or already moved
+    /// past the epoch an in-flight call was journaled under.
+    fn enclave_lost_since(&self, epoch0: u64) -> bool {
+        self.recovery
+            .as_ref()
+            .is_some_and(|p| p.is_lost() || p.epoch() != epoch0)
     }
 }
 
@@ -158,6 +244,15 @@ pub struct ZcDispatcher {
     /// forever, the fault-free default).
     watchdog_pauses: Option<u64>,
     prof: Prof,
+    /// Journal sequence of the in-flight call (0 = nothing journaled;
+    /// the plane's sequences start at 1).
+    call_seq: u64,
+    /// Recovery epoch sampled when the in-flight call was journaled.
+    call_epoch0: u64,
+    /// Virtual time this caller detected the enclave loss.
+    crash_detected_at: u64,
+    #[cfg(feature = "telemetry")]
+    hub: Option<std::sync::Arc<zc_telemetry::Telemetry>>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,6 +276,17 @@ enum Dialog {
     Collect,
     /// Executing the fallback regular ocall.
     FallbackExec,
+    /// Stalled by an injected enclave stall before the dialogue opens.
+    StallThenBegin,
+    /// Waking the enclave actor: this caller's dispatch tripped a
+    /// crash trigger.
+    WakeEnclave,
+    /// Spinning until the enclave restart bumps the recovery epoch.
+    AwaitRestart,
+    /// Asking the post-restart journal for the in-flight call's fate.
+    Reconcile,
+    /// Re-executing a replayed idempotent call on the regular path.
+    ReplayExec,
 }
 
 impl ZcDispatcher {
@@ -201,6 +307,11 @@ impl ZcDispatcher {
             await_db_val: 0,
             watchdog_pauses: None,
             prof: Prof::default(),
+            call_seq: 0,
+            call_epoch0: 0,
+            crash_detected_at: 0,
+            #[cfg(feature = "telemetry")]
+            hub: None,
         }
     }
 
@@ -222,15 +333,138 @@ impl ZcDispatcher {
     #[cfg(feature = "telemetry")]
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: std::sync::Arc<zc_telemetry::Telemetry>) -> Self {
+        self.hub = Some(std::sync::Arc::clone(&telemetry));
         self.prof.set_hub(telemetry, self.caller as u32);
         self
     }
+
+    /// Trace a recovery event at this caller's origin, stamped with
+    /// kernel virtual time.
+    #[cfg(feature = "telemetry")]
+    fn trace(&self, now: u64, event: zc_telemetry::Event) {
+        if let Some(hub) = &self.hub {
+            hub.record(now, zc_telemetry::Origin::Caller(self.caller as u32), event);
+        }
+    }
+
+    /// Recovery-plane prologue of one dispatch: journal the call's
+    /// intent, apply any enclave fault scheduled at this dispatch
+    /// index, and divert to the restart-await path when the enclave is
+    /// already lost. Returns `None` when the dialogue opens normally.
+    /// Only called when the world carries a recovery plane.
+    fn begin_recovery(&mut self, call: &CallDesc, now: u64) -> Option<Syscall> {
+        let world = Rc::clone(&self.world);
+        let mut wld = world.borrow_mut();
+        {
+            let plane = wld.recovery.as_ref().expect("caller checked presence");
+            self.call_seq = plane.next_seq();
+            self.call_epoch0 = plane.epoch();
+            plane.record_intent(self.call_seq, call.idempotency_class());
+        }
+        let n = wld.enclave_calls;
+        wld.enclave_calls += 1;
+        let loss_in_progress =
+            wld.pending_enclave_restart || wld.recovery.as_ref().is_some_and(|p| p.is_lost());
+        if !loss_in_progress && wld.enclave_crashes_at_calls.contains(&n) {
+            return Some(self.trigger_crash(&mut wld, now));
+        }
+        if loss_in_progress {
+            // A crash (scheduled here or detected by another caller) is
+            // still recovering: this dispatch folds into it and waits
+            // for the epoch bump like every other straddling call.
+            self.crash_detected_at = now;
+            return Some(self.await_restart(&mut wld));
+        }
+        if let Some(&(_, cycles)) = wld.enclave_stalls_at_calls.iter().find(|&&(at, _)| at == n) {
+            // The enclave stalls (an AEX storm, paging) but is not
+            // lost: the dialogue opens once the stall drains.
+            self.dialog = Dialog::StallThenBegin;
+            return Some(Syscall::Compute(cycles.max(1)));
+        }
+        None
+    }
+
+    /// Trip the crash trigger: mark the restart pending and wake the
+    /// enclave actor to fence and restart. This caller then awaits the
+    /// epoch bump like any other in-flight caller.
+    fn trigger_crash(&mut self, wld: &mut ZcWorld, now: u64) -> Syscall {
+        wld.pending_enclave_restart = true;
+        wld.last_crash_at = now;
+        self.crash_detected_at = now;
+        #[cfg(feature = "telemetry")]
+        if let Some(plane) = &wld.recovery {
+            self.trace(
+                now,
+                zc_telemetry::Event::EnclaveCrash {
+                    epoch: plane.epoch(),
+                },
+            );
+        }
+        let tid = wld.enclave_tid.expect("enclave actor spawned with faults");
+        self.dialog = Dialog::WakeEnclave;
+        Syscall::Unpark(tid)
+    }
+
+    /// Arm a spin on this caller's doorbell until the enclave actor
+    /// completes the restart (it rings every caller doorbell), or move
+    /// straight to reconciliation when the epoch already advanced.
+    fn await_restart(&mut self, wld: &mut ZcWorld) -> Syscall {
+        self.await_db_val = wld.caller_db_val[self.caller];
+        let restarted = wld
+            .recovery
+            .as_ref()
+            .is_some_and(|p| !p.is_lost() && p.epoch() != self.call_epoch0);
+        if restarted {
+            self.dialog = Dialog::Reconcile;
+            return Syscall::Compute(1);
+        }
+        let flag = wld.caller_db[self.caller];
+        self.dialog = Dialog::AwaitRestart;
+        Syscall::SpinUntil {
+            flag,
+            target: SpinTarget::Ne(self.await_db_val),
+            timeout_pauses: None,
+        }
+    }
+
+    /// Release worker slot `w` after an enclave loss: a published
+    /// result is discarded (the journal, not the worker buffer, is the
+    /// source of truth across a restart) and an in-flight execution is
+    /// poisoned so its late completion is never published.
+    fn abandon_slot(wld: &mut ZcWorld, w: usize, caller: usize) {
+        let st = &mut wld.workers[w];
+        if st.caller != caller {
+            return; // the slot moved on (e.g. already self-recovered)
+        }
+        match st.state {
+            WorkerState::Waiting => {
+                st.state = WorkerState::Unused;
+                st.caller = usize::MAX;
+            }
+            WorkerState::Processing | WorkerState::Reserved => {
+                st.cancelled = true;
+            }
+            _ => {}
+        }
+    }
+
+    /// Journal the normal-path completion and retire the entry (the
+    /// real runtimes journal the reply before delivering it). No-op
+    /// without a recovery plane.
+    fn complete_journaled(&mut self, call: &CallDesc, now: u64) {
+        let mut wld = self.world.borrow_mut();
+        if let Some(plane) = &wld.recovery {
+            plane.record_completion(self.call_seq, 0, call.ret_bytes as u32);
+            plane.retire(self.call_seq);
+        }
+        wld.note_completion(now);
+    }
 }
 
-impl Dispatcher for ZcDispatcher {
-    fn begin(&mut self, call: &CallDesc, now: u64) -> Syscall {
-        debug_assert_eq!(self.dialog, Dialog::Idle, "begin during an active dialogue");
-        self.prof.begin(now);
+impl ZcDispatcher {
+    /// Open the ZC dialogue proper: claim an idle worker or fall back
+    /// immediately (the recovery prologue, if any, already ran).
+    fn begin_dialogue(&mut self, call: &CallDesc) -> Syscall {
         let mut wld = self.world.borrow_mut();
         let Some(w) = wld.find_unused() else {
             // No idle worker: immediate fallback, no busy-wait.
@@ -259,6 +493,19 @@ impl Dispatcher for ZcDispatcher {
         Syscall::Compute(
             self.costs.handoff_cycles + self.costs.copy_cycles(call.payload_bytes) + extra,
         )
+    }
+}
+
+impl Dispatcher for ZcDispatcher {
+    fn begin(&mut self, call: &CallDesc, now: u64) -> Syscall {
+        debug_assert_eq!(self.dialog, Dialog::Idle, "begin during an active dialogue");
+        self.prof.begin(now);
+        if self.world.borrow().recovery.is_some() {
+            if let Some(diverted) = self.begin_recovery(call, now) {
+                return diverted;
+            }
+        }
+        self.begin_dialogue(call)
     }
 
     fn advance(&mut self, call: &CallDesc, res: SyscallResult, now: u64) -> Step {
@@ -299,7 +546,17 @@ impl Dispatcher for ZcDispatcher {
             }
             Dialog::Await { w } => {
                 self.prof.mark(Phase::Wait, now);
-                let mut wld = self.world.borrow_mut();
+                let world = Rc::clone(&self.world);
+                let mut wld = world.borrow_mut();
+                if wld.enclave_lost_since(self.call_epoch0) {
+                    // The enclave died under this call. Abandon the
+                    // worker slot (the journal, not its buffer, is the
+                    // source of truth now) and let reconciliation
+                    // decide the call's fate after the restart.
+                    self.crash_detected_at = now;
+                    Self::abandon_slot(&mut wld, w, self.caller);
+                    return Step::Next(self.await_restart(&mut wld));
+                }
                 if res == SyscallResult::TimedOut {
                     // Watchdog cancellation: the worker crashed, hung, or
                     // overran the deadline. Poison the in-flight request
@@ -341,6 +598,7 @@ impl Dispatcher for ZcDispatcher {
             Dialog::Collect => {
                 // Release ring + collect + result copy land in copy-out
                 // (the finish residual).
+                self.complete_journaled(call, now);
                 self.prof.complete(call.class, CallPath::Switchless, now);
                 self.dialog = Dialog::Idle;
                 Step::Complete(CallPath::Switchless)
@@ -350,6 +608,135 @@ impl Dispatcher for ZcDispatcher {
                 // signal and the boundary copies to copy-in/copy-out,
                 // leaving the host function in execute. A watchdog-
                 // cancelled call keeps its dead spin in the wait phase.
+                self.prof.mark(Phase::Execute, now);
+                self.prof
+                    .transfer(Phase::Execute, Phase::Signal, self.costs.t_es_cycles);
+                self.prof.transfer(
+                    Phase::Execute,
+                    Phase::CopyIn,
+                    self.costs.copy_cycles(call.payload_bytes),
+                );
+                self.prof.transfer(
+                    Phase::Execute,
+                    Phase::CopyOut,
+                    self.costs.copy_cycles(call.ret_bytes),
+                );
+                self.complete_journaled(call, now);
+                self.prof.complete(call.class, CallPath::Fallback, now);
+                self.dialog = Dialog::Idle;
+                Step::Complete(CallPath::Fallback)
+            }
+            Dialog::StallThenBegin => {
+                // The injected stall drained. If the enclave was also
+                // lost meanwhile, straddle into recovery; otherwise the
+                // dialogue opens as if nothing happened.
+                if self.world.borrow().enclave_lost_since(self.call_epoch0) {
+                    self.crash_detected_at = now;
+                    let world = Rc::clone(&self.world);
+                    let mut wld = world.borrow_mut();
+                    return Step::Next(self.await_restart(&mut wld));
+                }
+                Step::Next(self.begin_dialogue(call))
+            }
+            Dialog::WakeEnclave => {
+                // The enclave actor is awake and will fence + restart;
+                // wait for the epoch bump with the other stragglers.
+                let world = Rc::clone(&self.world);
+                let mut wld = world.borrow_mut();
+                Step::Next(self.await_restart(&mut wld))
+            }
+            Dialog::AwaitRestart => {
+                // Rung — either by the restarted enclave or by a stale
+                // pre-crash completion. `await_restart` re-checks the
+                // epoch and re-arms if the restart is not done yet.
+                let world = Rc::clone(&self.world);
+                let mut wld = world.borrow_mut();
+                Step::Next(self.await_restart(&mut wld))
+            }
+            Dialog::Reconcile => {
+                self.prof.mark(Phase::Wait, now);
+                let mut wld = self.world.borrow_mut();
+                let verdict = {
+                    let plane = wld.recovery.as_ref().expect("reconcile implies recovery");
+                    plane.reconcile_with_class(
+                        self.call_seq,
+                        ReplyGuard::new(usize::MAX),
+                        call.idempotency_class(),
+                    )
+                };
+                match verdict {
+                    ReconcileVerdict::Replay => {
+                        // Idempotent and incomplete at the crash:
+                        // re-execute through the regular path.
+                        #[cfg(feature = "telemetry")]
+                        self.trace(
+                            now,
+                            zc_telemetry::Event::JournalReplay { seq: self.call_seq },
+                        );
+                        drop(wld);
+                        self.dialog = Dialog::ReplayExec;
+                        Step::Next(Syscall::Compute(self.costs.regular_call_cycles(call)))
+                    }
+                    ReconcileVerdict::Redeliver => {
+                        // Completed before the crash but never
+                        // delivered: hand back the journaled result
+                        // without re-executing anything.
+                        #[cfg(feature = "telemetry")]
+                        self.trace(
+                            now,
+                            zc_telemetry::Event::CallRedelivered { seq: self.call_seq },
+                        );
+                        if let Some(plane) = &wld.recovery {
+                            plane.retire(self.call_seq);
+                        }
+                        let dt = now.saturating_sub(self.crash_detected_at);
+                        wld.redelivery_cycles.push(dt);
+                        wld.note_completion(now);
+                        drop(wld);
+                        self.prof.complete(call.class, CallPath::Fallback, now);
+                        self.dialog = Dialog::Idle;
+                        Step::Complete(CallPath::Fallback)
+                    }
+                    ReconcileVerdict::Refuse => {
+                        // Non-idempotent with an unknown fate: neither
+                        // completing nor re-executing is provably safe.
+                        #[cfg(feature = "telemetry")]
+                        self.trace(now, zc_telemetry::Event::CallRefused { seq: self.call_seq });
+                        if let Some(plane) = &wld.recovery {
+                            plane.retire(self.call_seq);
+                        }
+                        drop(wld);
+                        self.prof.discard();
+                        self.dialog = Dialog::Idle;
+                        Step::Refused
+                    }
+                }
+            }
+            Dialog::ReplayExec => {
+                // The re-executed host call finished. Journal the
+                // completion BEFORE checking the crash-during-replay
+                // schedule, so a second loss redelivers the recorded
+                // result instead of executing a third time.
+                let world = Rc::clone(&self.world);
+                let mut wld = world.borrow_mut();
+                if let Some(plane) = &wld.recovery {
+                    plane.record_completion(self.call_seq, 0, call.ret_bytes as u32);
+                }
+                let r = wld.enclave_replays;
+                wld.enclave_replays += 1;
+                let loss_in_progress = wld.pending_enclave_restart
+                    || wld.recovery.as_ref().is_some_and(|p| p.is_lost());
+                if !loss_in_progress && wld.enclave_crashes_at_replays.contains(&r) {
+                    return Step::Next(self.trigger_crash(&mut wld, now));
+                }
+                if let Some(plane) = &wld.recovery {
+                    plane.retire(self.call_seq);
+                }
+                let dt = now.saturating_sub(self.crash_detected_at);
+                wld.redelivery_cycles.push(dt);
+                wld.note_completion(now);
+                drop(wld);
+                // Same phase attribution as a fallback execution.
                 self.prof.mark(Phase::Execute, now);
                 self.prof
                     .transfer(Phase::Execute, Phase::Signal, self.costs.t_es_cycles);
@@ -632,6 +1019,24 @@ pub struct ZcSimFaults {
     /// Caller watchdog: on-CPU pauses spent awaiting completion before
     /// an in-flight call is cancelled and re-routed.
     pub watchdog_pauses: u64,
+    /// Enclave crash triggers by 0-based global dispatch index: the
+    /// `n`-th ZC dispatch (across all callers) finds the enclave dead
+    /// and escalates to a whole-enclave restart. A crash scheduled
+    /// while a previous loss is still recovering folds into it.
+    pub enclave_crashes_at_calls: Vec<u64>,
+    /// `(dispatch index, stall cycles)` enclave stall injections: the
+    /// enclave freezes (AEX storm, paging) but is not lost, and the
+    /// stalled dispatch proceeds once the stall drains.
+    pub enclave_stalls_at_calls: Vec<(u64, u64)>,
+    /// Second-crash triggers by 0-based global replay index: the
+    /// `n`-th post-restart replay is interrupted by another crash just
+    /// after its completion is journaled — the redelivery-not-
+    /// re-execution schedule.
+    pub enclave_crashes_at_replays: Vec<u64>,
+    /// Modelled enclave teardown + reload duration.
+    pub enclave_restart_cycles: u64,
+    /// Durable call-journal capacity in slots.
+    pub journal_slots: usize,
 }
 
 impl ZcSimFaults {
@@ -646,6 +1051,11 @@ impl ZcSimFaults {
             byzantine: Vec::new(),
             respawn_delay_cycles: 2_000_000,
             watchdog_pauses: 10_000,
+            enclave_crashes_at_calls: Vec::new(),
+            enclave_stalls_at_calls: Vec::new(),
+            enclave_crashes_at_replays: Vec::new(),
+            enclave_restart_cycles: 2_000_000,
+            journal_slots: 1024,
         }
     }
 
@@ -719,6 +1129,52 @@ impl ZcSimFaults {
     pub fn with_watchdog_pauses(mut self, pauses: u64) -> Self {
         self.watchdog_pauses = pauses;
         self
+    }
+
+    /// Builder-style enclave crash at the `n`-th dispatch (0-based,
+    /// global across callers).
+    #[must_use]
+    pub fn crash_enclave_at_call(mut self, n: u64) -> Self {
+        self.enclave_crashes_at_calls.push(n);
+        self
+    }
+
+    /// Builder-style enclave stall of `cycles` at the `n`-th dispatch.
+    #[must_use]
+    pub fn stall_enclave_at_call(mut self, n: u64, cycles: u64) -> Self {
+        self.enclave_stalls_at_calls.push((n, cycles));
+        self
+    }
+
+    /// Builder-style second crash at the `n`-th post-restart replay
+    /// (0-based, global): exercises exactly-once redelivery.
+    #[must_use]
+    pub fn crash_enclave_during_replay(mut self, n: u64) -> Self {
+        self.enclave_crashes_at_replays.push(n);
+        self
+    }
+
+    /// Builder-style enclave restart (teardown + reload) duration.
+    #[must_use]
+    pub fn with_enclave_restart_cycles(mut self, cycles: u64) -> Self {
+        self.enclave_restart_cycles = cycles;
+        self
+    }
+
+    /// Builder-style durable-journal capacity.
+    #[must_use]
+    pub fn with_journal_slots(mut self, slots: usize) -> Self {
+        self.journal_slots = slots.max(1);
+        self
+    }
+
+    /// `true` when the schedule injects any enclave-level fault; only
+    /// then are the recovery plane and enclave actor built.
+    #[must_use]
+    pub fn has_enclave_faults(&self) -> bool {
+        !self.enclave_crashes_at_calls.is_empty()
+            || !self.enclave_stalls_at_calls.is_empty()
+            || !self.enclave_crashes_at_replays.is_empty()
     }
 }
 
@@ -950,5 +1406,97 @@ impl crate::kernel::Actor for ZcSupervisorActor {
 
     fn group(&self) -> &str {
         "supervisor"
+    }
+}
+
+/// The enclave lifecycle actor of the recovery model: parked until a
+/// crash trigger unparks it, then it drives the shared
+/// [`RecoveryPlane`] through the whole-enclave restart — the DES
+/// mirror of the real runtime's supervisor escalation.
+///
+/// One step **fences** (poisons every in-flight worker request so no
+/// pre-crash execution can publish into the new epoch) and starts the
+/// modelled teardown + reload sleep; the next step **completes** the
+/// restart — the epoch bump every blocked caller spins on — resumes
+/// the plane, and rings every caller and live-worker doorbell so
+/// nothing stays parked on a pre-crash ring. Spawned only when the
+/// fault schedule has enclave faults.
+#[derive(Debug)]
+pub struct ZcEnclaveActor {
+    world: Rc<RefCell<ZcWorld>>,
+    queue: VecDeque<Syscall>,
+    restarting: bool,
+}
+
+impl ZcEnclaveActor {
+    /// Lifecycle actor over `world` (which must carry a recovery
+    /// plane by the time the first crash trigger fires).
+    #[must_use]
+    pub fn new(world: Rc<RefCell<ZcWorld>>) -> Self {
+        ZcEnclaveActor {
+            world,
+            queue: VecDeque::new(),
+            restarting: false,
+        }
+    }
+}
+
+impl crate::kernel::Actor for ZcEnclaveActor {
+    fn step(&mut self, _res: SyscallResult, now: u64) -> Syscall {
+        if let Some(s) = self.queue.pop_front() {
+            return s;
+        }
+        let mut wld = self.world.borrow_mut();
+        if self.restarting {
+            // The reload sleep drained: bump the epoch, resume, and
+            // wake everyone blocked on the old one.
+            self.restarting = false;
+            {
+                let plane = wld.recovery.as_ref().expect("spawned with recovery");
+                plane.complete_restart();
+                plane.resume();
+            }
+            wld.last_restart_done_at = now;
+            wld.awaiting_first_completion = true;
+            for c in 0..wld.caller_db.len() {
+                wld.caller_db_val[c] += 1;
+                let v = wld.caller_db_val[c];
+                let flag = wld.caller_db[c];
+                self.queue.push_back(Syscall::SetFlag { flag, value: v });
+            }
+            for i in 0..wld.workers.len() {
+                if !wld.workers[i].dead && wld.workers[i].state != WorkerState::Paused {
+                    wld.worker_db_val[i] += 1;
+                    let v = wld.worker_db_val[i];
+                    let flag = wld.worker_db[i];
+                    self.queue.push_back(Syscall::SetFlag { flag, value: v });
+                }
+            }
+            drop(wld);
+            return self.queue.pop_front().unwrap_or(Syscall::Park);
+        }
+        if wld.pending_enclave_restart {
+            wld.pending_enclave_restart = false;
+            // Fence: poison every in-flight request so a pre-crash
+            // execution drains without publishing.
+            for w in wld.workers.iter_mut() {
+                if !w.dead && matches!(w.state, WorkerState::Processing | WorkerState::Reserved) {
+                    w.cancelled = true;
+                }
+            }
+            let cycles = {
+                let plane = wld.recovery.as_ref().expect("spawned with recovery");
+                plane.begin_crash();
+                plane.begin_restart();
+                plane.params().restart_cycles
+            };
+            self.restarting = true;
+            return Syscall::Sleep(cycles.max(1));
+        }
+        Syscall::Park
+    }
+
+    fn group(&self) -> &str {
+        "enclave"
     }
 }

@@ -7,7 +7,8 @@ use crate::ocall::hotcalls::{HotWorkerActor, HotcallsConfig, HotcallsDispatcher,
 use crate::ocall::intel::{IntelDispatcher, IntelSimConfig, IntelWorkerActor, IntelWorld};
 use crate::ocall::regular::RegularDispatcher;
 use crate::ocall::zc::{
-    ZcDispatcher, ZcSchedulerActor, ZcSimFaults, ZcSupervisorActor, ZcWorkerActor, ZcWorld,
+    ZcDispatcher, ZcEnclaveActor, ZcSchedulerActor, ZcSimFaults, ZcSupervisorActor, ZcWorkerActor,
+    ZcWorld,
 };
 use crate::ocall::{CostModel, Dispatcher};
 use crate::workload::{CallerActor, WorkloadSpec};
@@ -221,6 +222,35 @@ pub struct FaultRecovery {
     pub guard_violations: u64,
     /// Workers still dead when the run ended (0 = full recovery).
     pub dead_workers: u64,
+    /// Whole-enclave crashes injected by the fault schedule.
+    #[serde(default)]
+    pub enclave_crashes: u64,
+    /// Completed enclave restarts (recovery-plane epoch at run end).
+    #[serde(default)]
+    pub enclave_restarts: u64,
+    /// Journaled calls replayed after a restart (idempotent re-runs).
+    #[serde(default)]
+    pub journal_replays: u64,
+    /// Journaled results redelivered without re-execution.
+    #[serde(default)]
+    pub call_redeliveries: u64,
+    /// Non-idempotent calls refused by post-crash reconciliation.
+    #[serde(default)]
+    pub refused_non_idempotent: u64,
+    /// Journal entries still live at run end (0 = every journaled call
+    /// was reconciled and retired).
+    #[serde(default)]
+    pub journal_live: u64,
+}
+
+/// Recovery-latency samples of one run (empty without enclave faults).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryLatencies {
+    /// Restart-completion → first completed call, per restart (cycles).
+    pub restart_to_first_completion: Vec<u64>,
+    /// Crash-detection → resolution of each call that straddled a
+    /// crash and was redelivered or replayed (cycles).
+    pub redelivery_cycles: Vec<u64>,
 }
 
 /// Result of one simulation run.
@@ -246,6 +276,9 @@ pub struct SimReport {
     /// [`SimConfig::zc_faults`] was set).
     #[serde(default)]
     pub fault_recovery: FaultRecovery,
+    /// Enclave-recovery latency samples (empty without enclave faults).
+    #[serde(default)]
+    pub recovery_latencies: RecoveryLatencies,
     /// Machine model the run used.
     pub cpu: CpuSpec,
     /// Text Gantt chart of core occupancy (only when
@@ -439,6 +472,13 @@ pub fn run(config: &SimConfig) -> SimReport {
                     None => supervisor,
                 };
                 kernel.spawn(Box::new(supervisor));
+                if faults.has_enclave_faults() {
+                    // Enclave faults: build the recovery plane and the
+                    // lifecycle actor that drives restarts through it.
+                    world.borrow_mut().install_enclave_faults(faults);
+                    let tid = kernel.spawn(Box::new(ZcEnclaveActor::new(Rc::clone(&world))));
+                    world.borrow_mut().enclave_tid = Some(tid);
+                }
             }
             let watchdog = config.zc_faults.as_ref().map(|f| f.watchdog_pauses);
             let costs = config.costs;
@@ -522,6 +562,7 @@ pub fn run(config: &SimConfig) -> SimReport {
         .as_ref()
         .map_or_else(FaultRecovery::default, |w| {
             let w = w.borrow();
+            let rec = w.recovery.as_ref().map(|p| p.snapshot());
             FaultRecovery {
                 crashes: w.crashes,
                 hangs: w.hangs,
@@ -529,8 +570,24 @@ pub fn run(config: &SimConfig) -> SimReport {
                 cancelled: w.cancelled,
                 guard_violations: w.guard_violations,
                 dead_workers: w.workers.iter().filter(|s| s.dead).count() as u64,
+                enclave_crashes: rec.as_ref().map_or(0, |s| s.crashes),
+                enclave_restarts: rec.as_ref().map_or(0, |s| s.epoch),
+                journal_replays: rec.as_ref().map_or(0, |s| s.replayed),
+                call_redeliveries: rec.as_ref().map_or(0, |s| s.redelivered),
+                refused_non_idempotent: rec.as_ref().map_or(0, |s| s.refused_non_idempotent),
+                journal_live: rec.as_ref().map_or(0, |s| s.journal_live as u64),
             }
         });
+    let recovery_latencies =
+        zc_world_handle
+            .as_ref()
+            .map_or_else(RecoveryLatencies::default, |w| {
+                let w = w.borrow();
+                RecoveryLatencies {
+                    restart_to_first_completion: w.restart_to_first_completion.clone(),
+                    redelivery_cycles: w.redelivery_cycles.clone(),
+                }
+            });
     let (residency, mean_active) = zc_world_handle.map_or_else(
         || (WorkerResidency::new(0), 0.0),
         |w| {
@@ -570,6 +627,16 @@ pub fn run(config: &SimConfig) -> SimReport {
             .add(counters_final.ops_shed);
         m.counter("des_abandoned_total")
             .add(counters_final.ops_abandoned);
+        m.counter("des_enclave_crashes_total")
+            .add(fault_recovery.enclave_crashes);
+        m.counter("des_enclave_restarts_total")
+            .add(fault_recovery.enclave_restarts);
+        m.counter("des_journal_replays_total")
+            .add(fault_recovery.journal_replays);
+        m.counter("des_call_redeliveries_total")
+            .add(fault_recovery.call_redeliveries);
+        m.counter("des_calls_refused_total")
+            .add(fault_recovery.refused_non_idempotent);
         m.gauge("des_duration_cycles").set(duration_cycles);
         m.gauge("des_mean_active_workers_milli")
             .set((mean_active * 1000.0) as u64);
@@ -591,6 +658,7 @@ pub fn run(config: &SimConfig) -> SimReport {
         residency,
         mean_active_workers: mean_active,
         fault_recovery,
+        recovery_latencies,
         cpu: config.cpu,
         gantt,
     }
@@ -875,6 +943,161 @@ mod tests {
         assert_eq!(r.fault_recovery.dead_workers, 0, "{:?}", r.fault_recovery);
         assert!(r.counters.cancelled <= r.counters.fallback);
         assert!(r.counters.conserves());
+    }
+
+    /// Three whole-enclave crashes spread across the run plus an
+    /// enclave stall: the ≥3-cycle crash/restart recovery soak.
+    fn enclave_chaos_faults() -> ZcSimFaults {
+        ZcSimFaults::new()
+            .crash_enclave_at_call(100)
+            .crash_enclave_at_call(5_000)
+            .crash_enclave_at_call(20_000)
+            .stall_enclave_at_call(10_000, 50_000)
+            .with_enclave_restart_cycles(500_000)
+    }
+
+    #[test]
+    fn zc_enclave_crash_soak_recovers_with_exact_accounting() {
+        // 2 closed-loop callers × 15k idempotent calls across three
+        // enclave crash/restart cycles and one stall. Every offered
+        // call must complete exactly once (idempotent calls straddling
+        // a crash are replayed, completed-but-undelivered ones are
+        // redelivered from the journal) and the journal must drain.
+        let cfg = fault_soak_cfg(enclave_chaos_faults(), 8, 2, 15_000);
+        let r = run(&cfg);
+        assert_eq!(r.counters.total_calls(), 30_000);
+        assert_eq!(r.counters.ops_per_caller, vec![15_000; 2]);
+        assert_eq!(r.counters.refused_non_idempotent, 0);
+        assert!(r.counters.conserves());
+        let f = &r.fault_recovery;
+        assert_eq!(f.enclave_crashes, 3, "{f:?}");
+        assert_eq!(f.enclave_restarts, 3, "{f:?}");
+        assert!(f.journal_replays >= 3, "{f:?}");
+        assert_eq!(f.refused_non_idempotent, 0, "{f:?}");
+        assert_eq!(f.journal_live, 0, "journal must drain: {f:?}");
+        assert_eq!(r.recovery_latencies.restart_to_first_completion.len(), 3);
+        assert!(!r.recovery_latencies.redelivery_cycles.is_empty());
+    }
+
+    #[test]
+    fn zc_enclave_crash_refuses_non_idempotent_calls() {
+        // All calls are non-idempotent: every call whose fate straddles
+        // the crash must be refused (never silently replayed), and the
+        // refusals must balance the conservation identity.
+        let call = CallDesc {
+            host_cycles: 500,
+            payload_bytes: 64,
+            non_idempotent: true,
+            ..CallDesc::default()
+        };
+        let cfg = SimConfig::new(
+            Mechanism::Zc(ZcSimParams::default()),
+            vec![
+                WorkloadSpec::ClosedLoop {
+                    pattern: vec![call],
+                    total_ops: 5_000,
+                };
+                2
+            ],
+            1,
+        )
+        .with_vcpus(8)
+        .with_zc_faults(
+            ZcSimFaults::new()
+                .crash_enclave_at_call(100)
+                .with_enclave_restart_cycles(500_000),
+        );
+        let r = run(&cfg);
+        let f = &r.fault_recovery;
+        assert_eq!(f.enclave_crashes, 1, "{f:?}");
+        assert!(r.counters.refused_non_idempotent >= 1, "{:?}", r.counters);
+        assert_eq!(
+            r.counters.refused_non_idempotent, f.refused_non_idempotent,
+            "world and counter views must agree"
+        );
+        assert_eq!(f.journal_replays, 0, "nothing may replay: {f:?}");
+        assert_eq!(
+            r.counters.total_calls() + r.counters.refused_non_idempotent,
+            10_000
+        );
+        assert!(r.counters.conserves());
+        assert_eq!(f.journal_live, 0, "{f:?}");
+    }
+
+    #[test]
+    fn zc_crash_during_replay_redelivers_without_reexecution() {
+        // A second crash lands right after the first replay journals
+        // its completion: reconciliation after the second restart must
+        // redeliver the recorded result, not execute a third time.
+        let cfg = fault_soak_cfg(
+            ZcSimFaults::new()
+                .crash_enclave_at_call(100)
+                .crash_enclave_during_replay(0)
+                .with_enclave_restart_cycles(500_000),
+            8,
+            2,
+            5_000,
+        );
+        let r = run(&cfg);
+        let f = &r.fault_recovery;
+        assert_eq!(f.enclave_crashes, 2, "{f:?}");
+        assert_eq!(f.enclave_restarts, 2, "{f:?}");
+        assert!(f.call_redeliveries >= 1, "{f:?}");
+        assert_eq!(r.counters.total_calls(), 10_000);
+        assert!(r.counters.conserves());
+        assert_eq!(f.journal_live, 0, "{f:?}");
+    }
+
+    #[test]
+    fn zc_enclave_recovery_soak_at_128_vcpus_on_event_kernel() {
+        // The recovery plane at the lifted scale: 128 vCPUs and 32
+        // callers on the event-driven kernel, three crash/restart
+        // cycles. Exactly-once accounting must be scale-invariant.
+        let cfg = fault_soak_cfg(enclave_chaos_faults(), 128, 32, 5_000).with_event_kernel();
+        let r = run(&cfg);
+        assert_eq!(r.counters.total_calls(), 160_000);
+        assert_eq!(r.counters.ops_per_caller, vec![5_000; 32]);
+        assert!(r.counters.conserves());
+        let f = &r.fault_recovery;
+        assert_eq!(f.enclave_crashes, 3, "{f:?}");
+        assert_eq!(f.enclave_restarts, 3, "{f:?}");
+        assert!(f.journal_replays >= 3, "{f:?}");
+        assert_eq!(f.journal_live, 0, "{f:?}");
+        assert_eq!(f.dead_workers, 0, "{f:?}");
+        assert_eq!(r.recovery_latencies.restart_to_first_completion.len(), 3);
+    }
+
+    #[test]
+    fn zc_enclave_recovery_runs_are_deterministic() {
+        // Same seed-free closed-loop schedule, same report — including
+        // the recovery counters and latency samples — byte for byte.
+        let cfg = fault_soak_cfg(enclave_chaos_faults(), 128, 8, 2_000).with_event_kernel();
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.duration_cycles, b.duration_cycles);
+        assert_eq!(a.fault_recovery, b.fault_recovery);
+        assert_eq!(a.recovery_latencies, b.recovery_latencies);
+    }
+
+    #[test]
+    fn zc_enclave_faults_compose_with_worker_faults() {
+        // Worker crashes and an enclave crash in one schedule: the
+        // supervisor revives workers, the recovery plane restarts the
+        // enclave, and the accounting still balances.
+        let faults = chaos_faults()
+            .crash_enclave_at_call(2_000)
+            .with_enclave_restart_cycles(500_000);
+        let cfg = fault_soak_cfg(faults, 8, 2, 10_000);
+        let r = run(&cfg);
+        assert_eq!(r.counters.total_calls(), 20_000);
+        assert!(r.counters.conserves());
+        let f = &r.fault_recovery;
+        assert_eq!(f.crashes, 3, "{f:?}");
+        assert_eq!(f.hangs, 2, "{f:?}");
+        assert_eq!(f.enclave_crashes, 1, "{f:?}");
+        assert_eq!(f.dead_workers, 0, "{f:?}");
+        assert_eq!(f.journal_live, 0, "{f:?}");
     }
 
     /// 32 open-loop callers of sustained ~2× MMPP traffic against the

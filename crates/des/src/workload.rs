@@ -500,6 +500,15 @@ impl Actor for CallerActor {
                             self.state = CallerState::Deciding;
                             // Loop to decide the next action immediately.
                         }
+                        Step::Refused => {
+                            // The call was consumed (its fate decided)
+                            // but never completed: it counts against
+                            // offered load as a refusal, not a
+                            // completion, and records no sojourn.
+                            self.counters.borrow_mut().refused_non_idempotent += 1;
+                            self.ops_issued += 1;
+                            self.state = CallerState::Deciding;
+                        }
                     }
                 }
                 CallerState::PeriodSleep => {

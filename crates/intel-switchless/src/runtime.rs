@@ -16,9 +16,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use switchless_core::overload::{BreakerTransition, InflightGuard, ShedReason};
+use switchless_core::recovery::{EntryState, ReconcileVerdict, RecoveryPlane, RecoverySnapshot};
 use switchless_core::{
-    CallPath, CallStats, DrainReport, FaultInjector, GuardViolation, IntelConfig, OcallDispatcher,
-    OcallRequest, OcallTable, OverloadPlane, OverloadSnapshot, SwitchlessError, WorkerFault,
+    CallPath, CallStats, DrainReport, EnclaveFault, FaultInjector, GuardViolation, IntelConfig,
+    OcallDispatcher, OcallRequest, OcallTable, OverloadPlane, OverloadSnapshot, ReplyGuard,
+    SwitchlessError, WorkerFault,
 };
 
 /// Busy-wait loops yield to the OS scheduler after this many pauses.
@@ -40,6 +42,10 @@ struct Shared {
     faults: Option<Arc<FaultInjector>>,
     /// Overload-control plane; `Some` iff `config.overload` is set.
     overload: Option<OverloadPlane>,
+    /// Enclave-restart recovery plane; `Some` iff `config.recovery` is
+    /// set. Workers are untrusted and survive an enclave loss; only the
+    /// enclave-side callers (and their in-flight calls) are affected.
+    recovery: Option<RecoveryPlane>,
     /// Worker thread handles; shared so a dying worker can push its
     /// replacement's handle (respawn) for shutdown to join.
     worker_handles: Mutex<Vec<JoinHandle<()>>>,
@@ -227,6 +233,7 @@ impl IntelSwitchless {
         let shared = Arc::new(Shared {
             pool: TaskPool::new(config.task_pool_capacity),
             overload: config.overload.map(OverloadPlane::new),
+            recovery: config.recovery.map(RecoveryPlane::new),
             config,
             table,
             fallback,
@@ -307,6 +314,26 @@ impl IntelSwitchless {
                         MetricValue::Gauge(u64::from(o.brownout_level)),
                     ));
                 }
+                if let Some(plane) = &sh.recovery {
+                    let r = plane.snapshot();
+                    out.push((
+                        "intel_enclave_crashes_total".into(),
+                        MetricValue::Counter(r.crashes),
+                    ));
+                    out.push((
+                        "intel_journal_replays_total".into(),
+                        MetricValue::Counter(r.replayed),
+                    ));
+                    out.push((
+                        "intel_call_redeliveries_total".into(),
+                        MetricValue::Counter(r.redelivered),
+                    ));
+                    out.push((
+                        "intel_calls_refused_total".into(),
+                        MetricValue::Counter(r.refused_non_idempotent),
+                    ));
+                    out.push(("intel_recovery_epoch".into(), MetricValue::Gauge(r.epoch)));
+                }
                 out
             });
         }
@@ -342,6 +369,14 @@ impl IntelSwitchless {
     #[must_use]
     pub fn overload_snapshot(&self) -> Option<OverloadSnapshot> {
         self.shared.overload.as_ref().map(OverloadPlane::snapshot)
+    }
+
+    /// Snapshot of the enclave-restart recovery plane (crash count,
+    /// replay/redeliver/refuse counters, journal occupancy). `None`
+    /// when recovery is off.
+    #[must_use]
+    pub fn recovery_snapshot(&self) -> Option<RecoverySnapshot> {
+        self.shared.recovery.as_ref().map(RecoveryPlane::snapshot)
     }
 
     /// Total worker respawns so far (always 0 unless the configuration
@@ -552,6 +587,70 @@ fn dispatch_inner(
             sh.clock.advance_cycles(skew);
         }
     }
+    // Journal the call's intent under a fresh sequence tag (recovery
+    // on), then evaluate the enclave-level fault site: a crash here
+    // loses every in-flight call, and this caller reconciles its own
+    // against the journal once the enclave is back.
+    let stamped;
+    let req = match &sh.recovery {
+        Some(plane) => {
+            stamped = req.with_seq(plane.next_seq());
+            let _covered = plane.record_intent(stamped.seq, stamped.idempotency_class());
+            if let Some(faults) = &sh.faults {
+                match faults.on_enclave_call() {
+                    EnclaveFault::Crash => {
+                        let epoch0 = plane.epoch();
+                        if plane.begin_crash() {
+                            #[cfg(feature = "telemetry")]
+                            sh.telemetry_caller_event(zc_telemetry::Event::EnclaveCrash {
+                                epoch: epoch0,
+                            });
+                            enclave_restart(sh);
+                        } else {
+                            wait_for_restart(sh, plane, epoch0);
+                        }
+                        return recover_call(sh, &stamped, payload_in, payload_out, rec);
+                    }
+                    EnclaveFault::Stall(cycles) => {
+                        sh.clock.advance_cycles(cycles);
+                        #[cfg(feature = "telemetry")]
+                        sh.telemetry_caller_event(zc_telemetry::Event::Fault {
+                            kind: zc_telemetry::FaultKind::EnclaveStall,
+                        });
+                    }
+                    EnclaveFault::None => {}
+                }
+            }
+            &stamped
+        }
+        None => req,
+    };
+    let result = dispatch_routed(sh, req, payload_in, payload_out, rec);
+    if let Some(plane) = &sh.recovery {
+        // Retire on every outcome: the call either completed (reply
+        // delivered) or failed with a typed error — it is no longer in
+        // flight. Recovery's own paths have already retired (retire is
+        // idempotent).
+        plane.retire(req.seq);
+    }
+    result
+}
+
+/// Route one admitted, journaled call: pool claim, rbf-bounded accept
+/// wait, completion spin, regular-ocall fallback. Split out of
+/// [`dispatch_inner`] so the recovery paths can re-enter routing-free
+/// reconciliation without re-journalling.
+fn dispatch_routed(
+    sh: &Shared,
+    req: &OcallRequest,
+    payload_in: &[u8],
+    payload_out: &mut Vec<u8>,
+    rec: &mut Rec,
+) -> Result<(i64, CallPath), SwitchlessError> {
+    // Epoch under which this call entered routing: the loss checks in
+    // the spin loops below compare against it, so a crash/restart cycle
+    // that completes while this caller spins is still observed.
+    let epoch0 = sh.recovery.as_ref().map_or(0, RecoveryPlane::epoch);
     // Statically non-switchless functions always pay the transition.
     if !sh.config.is_switchless(req.func) {
         let ret = fallback_with_phases(sh, rec, req, payload_in, payload_out)?;
@@ -598,6 +697,17 @@ fn dispatch_inner(
     // Busy-wait up to rbf pauses for a worker to accept.
     let mut retries: u32 = 0;
     while !sh.pool.is_accepted_or_done(idx) {
+        // Enclave-loss check first: a dead enclave must surface as
+        // typed recovery (replay / redeliver / refuse), not as an
+        // rbf-expiry fallback racing the restart.
+        if let Some(plane) = &sh.recovery {
+            if enclave_lost_since(plane, epoch0) {
+                rec.mark(Phase::Wait, || sh.clock.now_cycles());
+                abandon_slot(sh, idx);
+                wait_for_restart(sh, plane, epoch0);
+                return recover_call(sh, req, payload_in, payload_out, rec);
+            }
+        }
         if retries >= sh.config.retries_before_fallback {
             if sh.pool.cancel(idx) {
                 rec.mark(Phase::Wait, || sh.clock.now_cycles());
@@ -633,6 +743,18 @@ fn dispatch_inner(
             }
             Ok(SlotState::Done) => break,
             Ok(_) => {
+                // Enclave loss while awaiting completion: the worker
+                // survives (it is untrusted) but its result raced the
+                // crash and proves nothing — drain the slot and let the
+                // journal decide whether re-execution is safe.
+                if let Some(plane) = &sh.recovery {
+                    if enclave_lost_since(plane, epoch0) {
+                        rec.mark(Phase::Wait, || sh.clock.now_cycles());
+                        abandon_slot(sh, idx);
+                        wait_for_restart(sh, plane, epoch0);
+                        return recover_call(sh, req, payload_in, payload_out, rec);
+                    }
+                }
                 if sh.pool.is_poisoned(idx) {
                     // The worker-side guard caught the host interfering
                     // with this slot (already counted there): discard
@@ -704,6 +826,157 @@ fn guard_violation_fallback(
     let ret = fallback_with_phases(sh, rec, req, payload_in, payload_out)?;
     sh.stats.record_fallback();
     Ok((ret, CallPath::Fallback))
+}
+
+/// Has the enclave been lost since this call captured `epoch0`? Either
+/// the loss flag is currently raised, or a full crash/restart cycle
+/// already completed (epoch moved on).
+fn enclave_lost_since(plane: &RecoveryPlane, epoch0: u64) -> bool {
+    plane.is_lost() || plane.epoch() != epoch0
+}
+
+/// Spin until the restart the plane has begun completes: the epoch has
+/// advanced past `epoch0` and the loss flag is cleared. The caller that
+/// won the detection race drives the restart synchronously, so this
+/// wait is bounded.
+fn wait_for_restart(sh: &Shared, plane: &RecoveryPlane, epoch0: u64) {
+    let mut spins: u32 = 0;
+    while plane.is_lost() || plane.epoch() == epoch0 {
+        sh.clock.pause();
+        spins = spins.wrapping_add(1);
+        if spins.is_multiple_of(YIELD_EVERY) {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Restart the enclave after a loss. The task pool and the workers live
+/// in untrusted memory and survive the crash, so unlike the zc runtime
+/// there is no worker generation to fence and respawn: the restart pays
+/// the modelled enclave-rebuild cost and advances the recovery epoch.
+/// Blocked callers observe the epoch change and reconcile their own
+/// in-flight calls against the journal.
+fn enclave_restart(sh: &Shared) {
+    let plane = sh
+        .recovery
+        .as_ref()
+        .expect("enclave_restart without a recovery plane");
+    plane.begin_restart();
+    sh.clock
+        .advance_cycles(plane.params().restart_cycles.max(1));
+    plane.complete_restart();
+    plane.resume();
+}
+
+/// Walk away from slot `idx` after an enclave loss: cancel if no worker
+/// accepted yet, otherwise drain the (surviving, untrusted) worker's
+/// completion and discard it so the slot returns to the pool. The
+/// discarded result is not lost information — reconciliation against
+/// the journal decides the call's fate.
+fn abandon_slot(sh: &Shared, idx: SlotIdx) {
+    if sh.pool.cancel(idx) {
+        return;
+    }
+    let mut spins: u32 = 0;
+    loop {
+        match sh.pool.state(idx) {
+            Err(_) => {
+                sh.pool.poison(idx);
+                return;
+            }
+            Ok(SlotState::Done) => break,
+            Ok(_) => {
+                if sh.pool.is_poisoned(idx) {
+                    return;
+                }
+                sh.clock.pause();
+                spins = spins.wrapping_add(1);
+                if spins.is_multiple_of(YIELD_EVERY) {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+    let _ = sh.pool.collect(idx, |_| {});
+}
+
+/// Reconcile one lost in-flight call against the journal after the
+/// enclave restarted, and act on the verdict:
+///
+/// * `Replay` — the intent was journaled but no completion: re-execute
+///   through the regular-ocall engine (this caller still holds the
+///   payload), journal the completion, and deliver.
+/// * `Redeliver` — a completion was journaled but the reply never
+///   reached the caller: return the recorded result without touching
+///   the host function again.
+/// * `Refuse` — the call is non-idempotent and execution state is
+///   unknowable: surface the typed [`SwitchlessError::EnclaveLost`].
+fn recover_call(
+    sh: &Shared,
+    req: &OcallRequest,
+    payload_in: &[u8],
+    payload_out: &mut Vec<u8>,
+    rec: &mut Rec,
+) -> Result<(i64, CallPath), SwitchlessError> {
+    let plane = sh
+        .recovery
+        .as_ref()
+        .expect("recover_call without a recovery plane");
+    // This runtime has no configured reply bound; the reconcile guard
+    // only validates the journal slot's sequence tag.
+    let guard = ReplyGuard::new(usize::MAX);
+    match plane.reconcile_with_class(req.seq, guard, req.idempotency_class()) {
+        ReconcileVerdict::Replay => {
+            #[cfg(feature = "telemetry")]
+            sh.telemetry_caller_event(zc_telemetry::Event::JournalReplay { seq: req.seq });
+            let ret = fallback_with_phases(sh, rec, req, payload_in, payload_out)?;
+            plane.record_completion(req.seq, ret, payload_out.len() as u32);
+            // Crash-during-replay site: the enclave dies again right
+            // after the replay journaled its completion. The second
+            // reconciliation downgrades to Redeliver — the recorded
+            // result is returned and the host function never runs a
+            // second time.
+            if sh.faults.as_ref().is_some_and(|f| f.on_enclave_replay()) {
+                let epoch0 = plane.epoch();
+                if plane.begin_crash() {
+                    #[cfg(feature = "telemetry")]
+                    sh.telemetry_caller_event(zc_telemetry::Event::EnclaveCrash { epoch: epoch0 });
+                    enclave_restart(sh);
+                } else {
+                    wait_for_restart(sh, plane, epoch0);
+                }
+                return recover_call(sh, req, payload_in, payload_out, rec);
+            }
+            plane.retire(req.seq);
+            sh.stats.record_fallback();
+            Ok((ret, CallPath::Fallback))
+        }
+        ReconcileVerdict::Redeliver => {
+            #[cfg(feature = "telemetry")]
+            sh.telemetry_caller_event(zc_telemetry::Event::CallRedelivered { seq: req.seq });
+            let ret = match plane.entry(req.seq).map(|e| e.state) {
+                Some(EntryState::Completed { ret, .. }) => ret,
+                // Unreachable by construction (Redeliver only comes
+                // from a Completed entry), but never panic on the
+                // recovery path.
+                _ => 0,
+            };
+            // `payload_out` already holds the replayed output: the
+            // redelivery window only opens after a replay's own
+            // completion was journaled (crash-during-replay).
+            plane.retire(req.seq);
+            sh.stats.record_fallback();
+            Ok((ret, CallPath::Fallback))
+        }
+        ReconcileVerdict::Refuse => {
+            #[cfg(feature = "telemetry")]
+            sh.telemetry_caller_event(zc_telemetry::Event::CallRefused { seq: req.seq });
+            plane.retire(req.seq);
+            Err(SwitchlessError::EnclaveLost {
+                in_flight_seq: req.seq,
+            })
+        }
+    }
 }
 
 /// Spawn worker thread `index`, generation `generation` (0 at startup,
@@ -1145,6 +1418,93 @@ mod tests {
         // calls must be fallbacks (the crash-triggering call itself also
         // times out and falls back).
         assert!(snap.fallback >= 4, "expected fallbacks, got {snap:?}");
+    }
+
+    #[test]
+    fn enclave_crash_replays_idempotent_in_flight_exactly_once() {
+        use switchless_core::{FaultInjector, FaultPlan};
+        let (t, echo, _) = table();
+        let cfg = IntelConfig::new(1, [echo]).with_recovery();
+        let faults = Arc::new(FaultInjector::new(FaultPlan::new().crash_enclave_at(2)));
+        let rt = IntelSwitchless::start_with_faults(cfg, t, enclave(), faults).unwrap();
+        let mut out = Vec::new();
+        for i in 0..10 {
+            let req = OcallRequest::new(echo, &[]).with_idempotent();
+            let (ret, _) = rt.dispatch(&req, b"rcvr", &mut out).unwrap();
+            assert_eq!(ret, 4, "call {i} must complete despite the crash");
+            assert_eq!(out, b"rcvr");
+        }
+        let snap = rt.recovery_snapshot().expect("recovery is on");
+        assert_eq!(snap.crashes, 1);
+        assert_eq!(snap.replayed, 1);
+        assert_eq!(snap.refused_non_idempotent, 0);
+        assert_eq!(snap.journal_live, 0, "every journal entry retired");
+    }
+
+    #[test]
+    fn enclave_crash_refuses_non_idempotent_in_flight() {
+        use switchless_core::{FaultInjector, FaultPlan};
+        let (t, echo, _) = table();
+        let cfg = IntelConfig::new(1, [echo]).with_recovery();
+        let faults = Arc::new(FaultInjector::new(FaultPlan::new().crash_enclave_at(0)));
+        let rt = IntelSwitchless::start_with_faults(cfg, t, enclave(), faults).unwrap();
+        let mut out = Vec::new();
+        // Default requests are conservatively non-idempotent: the lost
+        // in-flight call surfaces as a typed refusal, never re-executes.
+        let err = rt
+            .dispatch(&OcallRequest::new(echo, &[]), b"x", &mut out)
+            .unwrap_err();
+        assert_eq!(err, SwitchlessError::EnclaveLost { in_flight_seq: 1 });
+        for _ in 0..5 {
+            let (ret, _) = rt
+                .dispatch(&OcallRequest::new(echo, &[]), b"ok", &mut out)
+                .unwrap();
+            assert_eq!(ret, 2, "dispatch must resume after the restart");
+        }
+        let snap = rt.recovery_snapshot().expect("recovery is on");
+        assert_eq!(snap.crashes, 1);
+        assert_eq!(snap.refused_non_idempotent, 1);
+        assert_eq!(snap.journal_live, 0);
+    }
+
+    #[test]
+    fn crash_during_replay_redelivers_without_double_execution() {
+        use switchless_core::{FaultInjector, FaultPlan, MAX_OCALL_ARGS};
+        let execs = Arc::new(AtomicU64::new(0));
+        let mut t = OcallTable::new();
+        let counted = {
+            let execs = Arc::clone(&execs);
+            t.register(
+                "counted",
+                move |_: &[u64; MAX_OCALL_ARGS], _: &[u8], pout: &mut Vec<u8>| {
+                    pout.extend_from_slice(b"done");
+                    execs.fetch_add(1, Ordering::AcqRel) as i64 + 1
+                },
+            )
+        };
+        let cfg = IntelConfig::new(1, [counted]).with_recovery();
+        let faults = Arc::new(FaultInjector::new(
+            FaultPlan::new()
+                .crash_enclave_at(0)
+                .crash_enclave_during_replay_at(0),
+        ));
+        let rt = IntelSwitchless::start_with_faults(cfg, Arc::new(t), enclave(), faults).unwrap();
+        let mut out = Vec::new();
+        let req = OcallRequest::new(counted, &[]).with_idempotent();
+        let (ret, path) = rt.dispatch(&req, b"x", &mut out).unwrap();
+        assert_eq!(ret, 1, "the journaled replay result is redelivered");
+        assert_eq!(path, CallPath::Fallback);
+        assert_eq!(out, b"done");
+        assert_eq!(
+            execs.load(Ordering::Acquire),
+            1,
+            "host function ran exactly once across two crashes"
+        );
+        let snap = rt.recovery_snapshot().expect("recovery is on");
+        assert_eq!(snap.crashes, 2);
+        assert_eq!(snap.replayed, 1);
+        assert_eq!(snap.redelivered, 1);
+        assert_eq!(snap.journal_live, 0);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::cpu::CpuSpec;
 use crate::func::FuncId;
 use crate::overload::OverloadParams;
 use crate::policy::PolicyParams;
+use crate::recovery::RecoveryParams;
 use crate::supervise::SuperviseParams;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -45,6 +46,11 @@ pub struct IntelConfig {
     /// the admission/deadline/brownout plane shared with the ZC
     /// runtime.
     pub overload: Option<OverloadParams>,
+    /// Enclave-restart recovery ([`RecoveryParams`]). `None` (the
+    /// default, SDK-faithful) means an enclave loss strands in-flight
+    /// calls; `Some` enables the durable call journal and
+    /// exactly-once redelivery plane shared with the ZC runtime.
+    pub recovery: Option<RecoveryParams>,
 }
 
 impl IntelConfig {
@@ -60,6 +66,7 @@ impl IntelConfig {
             task_pool_capacity: (2 * workers).max(4),
             respawn_workers: false,
             overload: None,
+            recovery: None,
         }
     }
 
@@ -102,6 +109,21 @@ impl IntelConfig {
     #[must_use]
     pub fn with_overload_params(mut self, params: OverloadParams) -> Self {
         self.overload = Some(params);
+        self
+    }
+
+    /// Builder-style enable of enclave-restart recovery with default
+    /// parameters ([`RecoveryParams::default`]).
+    #[must_use]
+    pub fn with_recovery(mut self) -> Self {
+        self.recovery = Some(RecoveryParams::default());
+        self
+    }
+
+    /// Builder-style enable of recovery with explicit parameters.
+    #[must_use]
+    pub fn with_recovery_params(mut self, params: RecoveryParams) -> Self {
+        self.recovery = Some(params);
         self
     }
 }
@@ -155,6 +177,13 @@ pub struct ZcConfig {
     /// fallback-storm breaker — all machine-derived, so the runtime
     /// stays configless.
     pub overload: Option<OverloadParams>,
+    /// Enclave-restart recovery ([`RecoveryParams`]). `None` (the
+    /// default) preserves the paper's lifecycle: an enclave loss
+    /// strands in-flight callers until the watchdog fires. `Some`
+    /// enables the durable call journal, whole-enclave restart and
+    /// exactly-once redelivery (see [`crate::recovery`]) — all
+    /// machine-derived, so the runtime stays configless.
+    pub recovery: Option<RecoveryParams>,
 }
 
 impl ZcConfig {
@@ -171,6 +200,7 @@ impl ZcConfig {
             max_reply_bytes: 1024 * 1024,
             supervise: None,
             overload: None,
+            recovery: None,
         }
     }
 
@@ -264,6 +294,21 @@ impl ZcConfig {
         self.overload = Some(params);
         self
     }
+
+    /// Builder-style enable of enclave-restart recovery with
+    /// machine-derived defaults ([`RecoveryParams::for_cpu`]).
+    #[must_use]
+    pub fn with_recovery(mut self) -> Self {
+        self.recovery = Some(RecoveryParams::for_cpu(self.cpu));
+        self
+    }
+
+    /// Builder-style enable of recovery with explicit parameters.
+    #[must_use]
+    pub fn with_recovery_params(mut self, params: RecoveryParams) -> Self {
+        self.recovery = Some(params);
+        self
+    }
 }
 
 impl Default for ZcConfig {
@@ -354,6 +399,26 @@ mod tests {
             Some(custom)
         );
         assert!(IntelConfig::default().with_respawn().respawn_workers);
+    }
+
+    #[test]
+    fn recovery_is_opt_in() {
+        assert!(ZcConfig::default().recovery.is_none());
+        assert!(IntelConfig::default().recovery.is_none());
+        let zc = ZcConfig::default().with_recovery();
+        assert_eq!(
+            zc.recovery,
+            Some(RecoveryParams::for_cpu(CpuSpec::paper_machine()))
+        );
+        let custom = RecoveryParams::default().with_journal_slots(16);
+        assert_eq!(
+            ZcConfig::default().with_recovery_params(custom).recovery,
+            Some(custom)
+        );
+        assert!(IntelConfig::default()
+            .with_recovery_params(custom)
+            .recovery
+            .is_some());
     }
 
     #[test]

@@ -37,6 +37,19 @@ pub enum SwitchlessError {
         /// Which admission check shed the call.
         reason: ShedReason,
     },
+    /// The enclave died with this call in flight and the call is not
+    /// idempotent: whether the host function executed is unknowable, so
+    /// the recovery plane refuses it rather than guessing (see
+    /// [`crate::recovery`]). Unlike a watchdog timeout this is *typed*
+    /// loss: clients can distinguish retry-safe loss (idempotent calls
+    /// are replayed transparently and never surface this) from
+    /// execution-unknown loss, which needs an application-level check
+    /// before any retry.
+    EnclaveLost {
+        /// Sequence tag of the in-flight call, for correlation with the
+        /// intent journal and telemetry.
+        in_flight_seq: u64,
+    },
 }
 
 impl fmt::Display for SwitchlessError {
@@ -60,6 +73,12 @@ impl fmt::Display for SwitchlessError {
             SwitchlessError::Overloaded { reason } => {
                 write!(f, "call shed by overload control: {}", reason.name())
             }
+            SwitchlessError::EnclaveLost { in_flight_seq } => {
+                write!(
+                    f,
+                    "enclave lost with non-idempotent call {in_flight_seq} in flight; execution state unknown"
+                )
+            }
         }
     }
 }
@@ -80,6 +99,13 @@ mod tests {
         };
         assert!(e.to_string().contains("100"));
         assert!(e.to_string().contains("64"));
+    }
+
+    #[test]
+    fn enclave_lost_carries_the_in_flight_seq() {
+        let e = SwitchlessError::EnclaveLost { in_flight_seq: 41 };
+        assert!(e.to_string().contains("41"));
+        assert!(e.to_string().contains("unknown"));
     }
 
     #[test]

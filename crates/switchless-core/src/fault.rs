@@ -220,6 +220,24 @@ pub struct FaultPlan {
     /// Byzantine: tear the request slot (overwrite the posted request)
     /// while the worker owns it.
     pub torn_request_calls: FaultSchedule,
+    /// Crash the whole enclave as each scheduled switchless call is
+    /// dispatched (before the host function runs): every in-flight
+    /// call's fate becomes unknown and the recovery plane reconciles
+    /// them against the intent journal ([`crate::recovery`]).
+    pub enclave_crash_calls: FaultSchedule,
+    /// Stall the whole enclave for
+    /// [`enclave_stall_cycles`](Self::enclave_stall_cycles) as each
+    /// scheduled call is dispatched, then let it revive on its own —
+    /// the stall-then-revive scenario (callers must ride it out, not
+    /// misroute it into a watchdog cancellation).
+    pub enclave_stall_calls: FaultSchedule,
+    /// Enclave stall duration in modelled cycles.
+    pub enclave_stall_cycles: u64,
+    /// Crash the enclave again as each scheduled *replay* executes
+    /// (after the replay's completion is journaled, before delivery):
+    /// the crash-during-replay scenario that proves replay idempotence
+    /// — the second recovery round must redeliver, never re-execute.
+    pub enclave_replay_crash_calls: FaultSchedule,
 }
 
 impl FaultPlan {
@@ -396,6 +414,48 @@ impl FaultPlan {
         self
     }
 
+    /// Crash the enclave at dispatch-site index `n` (0-based). May be
+    /// chained to build a multi-crash schedule.
+    #[must_use]
+    pub fn crash_enclave_at(mut self, n: u64) -> Self {
+        self.enclave_crash_calls = self.enclave_crash_calls.and_at(n);
+        self
+    }
+
+    /// Crash the enclave at each of the given dispatch-site indices.
+    #[must_use]
+    pub fn crash_enclave_at_each(mut self, ns: impl IntoIterator<Item = u64>) -> Self {
+        self.enclave_crash_calls = ns
+            .into_iter()
+            .fold(self.enclave_crash_calls, FaultSchedule::and_at);
+        self
+    }
+
+    /// Stall the enclave for `cycles` at dispatch-site index `n`, then
+    /// revive. May be chained; the last `cycles` value wins.
+    #[must_use]
+    pub fn stall_enclave_at(mut self, n: u64, cycles: u64) -> Self {
+        self.enclave_stall_calls = self.enclave_stall_calls.and_at(n);
+        self.enclave_stall_cycles = cycles;
+        self
+    }
+
+    /// Crash the enclave again during replay-site index `n` — after
+    /// the replay journals its completion, before delivery.
+    #[must_use]
+    pub fn crash_enclave_during_replay_at(mut self, n: u64) -> Self {
+        self.enclave_replay_crash_calls = self.enclave_replay_crash_calls.and_at(n);
+        self
+    }
+
+    /// `true` when any enclave-fault schedule can fire.
+    #[must_use]
+    pub fn has_enclave_faults(&self) -> bool {
+        !(self.enclave_crash_calls.is_empty()
+            && self.enclave_stall_calls.is_empty()
+            && self.enclave_replay_crash_calls.is_empty())
+    }
+
     /// `true` when any Byzantine corruption schedule can fire.
     #[must_use]
     pub fn has_byzantine(&self) -> bool {
@@ -419,6 +479,20 @@ pub enum WorkerFault {
     Crash,
     /// Wedge forever (park in an unrecoverable loop).
     Hang,
+}
+
+/// Decision returned by [`FaultInjector::on_enclave_call`]: what to do
+/// to the whole enclave as a call dispatches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnclaveFault {
+    /// Proceed normally.
+    None,
+    /// Freeze the enclave for the given number of modelled cycles, then
+    /// revive it (in-flight calls ride it out).
+    Stall(u64),
+    /// Kill the enclave: every in-flight call's fate becomes unknown
+    /// until the recovery plane reconciles it.
+    Crash,
 }
 
 /// Byzantine corruption decision returned by
@@ -471,6 +545,12 @@ pub struct FaultCounts {
     pub stale_replays: u64,
     /// Byzantine torn-request overwrites injected.
     pub torn_requests: u64,
+    /// Whole-enclave crashes injected.
+    pub enclave_crashes: u64,
+    /// Whole-enclave stalls injected.
+    pub enclave_stalls: u64,
+    /// Enclave crashes injected during replay.
+    pub enclave_replay_crashes: u64,
 }
 
 impl FaultCounts {
@@ -509,6 +589,11 @@ pub struct FaultInjector {
     undersize_replies: AtomicU64,
     stale_replays: AtomicU64,
     torn_requests: AtomicU64,
+    enclave_calls: AtomicU64,
+    replay_calls: AtomicU64,
+    enclave_crashes: AtomicU64,
+    enclave_stalls: AtomicU64,
+    enclave_replay_crashes: AtomicU64,
 }
 
 impl FaultInjector {
@@ -534,6 +619,11 @@ impl FaultInjector {
             undersize_replies: AtomicU64::new(0),
             stale_replays: AtomicU64::new(0),
             torn_requests: AtomicU64::new(0),
+            enclave_calls: AtomicU64::new(0),
+            replay_calls: AtomicU64::new(0),
+            enclave_crashes: AtomicU64::new(0),
+            enclave_stalls: AtomicU64::new(0),
+            enclave_replay_crashes: AtomicU64::new(0),
         }
     }
 
@@ -596,6 +686,36 @@ impl FaultInjector {
         ByzantineFault::None
     }
 
+    /// Site hook: a call is dispatching into the enclave machinery.
+    /// Advances the enclave-site index and returns the whole-enclave
+    /// fault to inject (crash wins over stall on overlap).
+    pub fn on_enclave_call(&self) -> EnclaveFault {
+        let n = self.enclave_calls.fetch_add(1, Ordering::AcqRel);
+        if self.plan.enclave_crash_calls.fires_at(n) {
+            self.enclave_crashes.fetch_add(1, Ordering::Relaxed);
+            return EnclaveFault::Crash;
+        }
+        if self.plan.enclave_stall_calls.fires_at(n) {
+            self.enclave_stalls.fetch_add(1, Ordering::Relaxed);
+            return EnclaveFault::Stall(self.plan.enclave_stall_cycles);
+        }
+        EnclaveFault::None
+    }
+
+    /// Site hook: a reconciled call is replaying after a restart (the
+    /// replay's completion is journaled, delivery has not happened).
+    /// Returns `true` if the enclave must crash again right here —
+    /// the crash-during-replay scenario.
+    pub fn on_enclave_replay(&self) -> bool {
+        let n = self.replay_calls.fetch_add(1, Ordering::AcqRel);
+        if self.plan.enclave_replay_crash_calls.fires_at(n) {
+            self.enclave_replay_crashes.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Site hook: a caller is allocating from a request pool. Returns
     /// `true` if the allocation must report exhaustion.
     pub fn on_pool_alloc(&self) -> bool {
@@ -649,6 +769,9 @@ impl FaultInjector {
             undersize_replies: self.undersize_replies.load(Ordering::Acquire),
             stale_replays: self.stale_replays.load(Ordering::Acquire),
             torn_requests: self.torn_requests.load(Ordering::Acquire),
+            enclave_crashes: self.enclave_crashes.load(Ordering::Acquire),
+            enclave_stalls: self.enclave_stalls.load(Ordering::Acquire),
+            enclave_replay_crashes: self.enclave_replay_crashes.load(Ordering::Acquire),
         }
     }
 }
@@ -960,6 +1083,58 @@ mod tests {
         let inj = FaultInjector::new(FaultPlan::new().crash_worker_at(0).stale_seq_at(0));
         assert_eq!(inj.on_byzantine(), ByzantineFault::StaleSeqReplay);
         assert_eq!(inj.on_worker_call(), WorkerFault::Crash);
+    }
+
+    #[test]
+    fn enclave_fault_schedules_fire_at_their_sites() {
+        let inj = FaultInjector::new(
+            FaultPlan::new()
+                .crash_enclave_at(1)
+                .stall_enclave_at(3, 9_000)
+                .crash_enclave_during_replay_at(0),
+        );
+        let d: Vec<_> = (0..5).map(|_| inj.on_enclave_call()).collect();
+        assert_eq!(
+            d,
+            vec![
+                EnclaveFault::None,
+                EnclaveFault::Crash,
+                EnclaveFault::None,
+                EnclaveFault::Stall(9_000),
+                EnclaveFault::None,
+            ]
+        );
+        assert!(inj.on_enclave_replay());
+        assert!(!inj.on_enclave_replay());
+        let c = inj.counts();
+        assert_eq!(
+            (
+                c.enclave_crashes,
+                c.enclave_stalls,
+                c.enclave_replay_crashes
+            ),
+            (1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn enclave_crash_wins_over_stall_on_overlap() {
+        let plan = FaultPlan::new()
+            .crash_enclave_at(0)
+            .stall_enclave_at(0, 100);
+        assert!(plan.has_enclave_faults());
+        assert!(!FaultPlan::new().has_enclave_faults());
+        let inj = FaultInjector::new(plan);
+        assert_eq!(inj.on_enclave_call(), EnclaveFault::Crash);
+        assert_eq!(inj.counts().enclave_stalls, 0);
+    }
+
+    #[test]
+    fn enclave_sites_are_independent_of_worker_sites() {
+        let inj = FaultInjector::new(FaultPlan::new().crash_worker_at(0).crash_enclave_at(0));
+        assert_eq!(inj.on_enclave_call(), EnclaveFault::Crash);
+        assert_eq!(inj.on_worker_call(), WorkerFault::Crash);
+        assert!(!inj.on_enclave_replay(), "replay site separate too");
     }
 
     #[test]

@@ -57,6 +57,12 @@ pub struct OcallRequest {
     /// Importance class for brownout shedding (default
     /// [`Priority::Normal`]).
     pub priority: Priority,
+    /// Caller-declared replay safety: `true` when re-executing the
+    /// call after an enclave loss is observably equivalent to one
+    /// execution. Defaults to `false` (non-idempotent), so unknown
+    /// calls are refused rather than replayed — see
+    /// [`crate::recovery::IdempotencyClass`].
+    pub idempotent: bool,
 }
 
 impl OcallRequest {
@@ -80,6 +86,7 @@ impl OcallRequest {
             seq: 0,
             deadline_cycles: 0,
             priority: Priority::Normal,
+            idempotent: false,
         }
     }
 
@@ -103,6 +110,24 @@ impl OcallRequest {
     pub fn with_priority(mut self, priority: Priority) -> Self {
         self.priority = priority;
         self
+    }
+
+    /// Builder-style declaration that the call is safe to replay after
+    /// an enclave loss.
+    #[must_use]
+    pub fn with_idempotent(mut self) -> Self {
+        self.idempotent = true;
+        self
+    }
+
+    /// The call's recovery class, from the caller's declaration.
+    #[must_use]
+    pub fn idempotency_class(&self) -> crate::recovery::IdempotencyClass {
+        if self.idempotent {
+            crate::recovery::IdempotencyClass::Idempotent
+        } else {
+            crate::recovery::IdempotencyClass::NonIdempotent
+        }
     }
 
     /// The call's deadline, if it carries one.
@@ -361,6 +386,16 @@ mod tests {
         assert_eq!(r.seq, 0);
         assert_eq!(r.with_seq(42).seq, 42);
         assert_eq!(OcallReply::default().seq, 0);
+    }
+
+    #[test]
+    fn idempotency_defaults_conservative_and_builds() {
+        use crate::recovery::IdempotencyClass;
+        let r = OcallRequest::new(FuncId(1), &[]);
+        assert!(!r.idempotent);
+        assert_eq!(r.idempotency_class(), IdempotencyClass::NonIdempotent);
+        let r = r.with_idempotent();
+        assert_eq!(r.idempotency_class(), IdempotencyClass::Idempotent);
     }
 
     #[test]

@@ -27,6 +27,10 @@
 //!   token-bucket admission verdicts, per-call deadline budgets, the
 //!   fallback-storm circuit breaker and the brownout priority ladder
 //!   ([`OverloadController`]).
+//! * [`recovery`] — the *pure* enclave-restart recovery plane: the
+//!   per-call intent journal, the idempotency-class reconciliation
+//!   verdict lattice and the Detect → Fence → Restart → Reconcile →
+//!   Drain-resume policy state machine ([`RecoveryPlane`]).
 //! * [`rand`] — the workspace's one seeded PRNG ([`SplitMix64`]), so a
 //!   single seed reproduces an overload+fault scenario byte-identically.
 //!
@@ -66,6 +70,7 @@ pub mod guard;
 pub mod overload;
 pub mod policy;
 pub mod rand;
+pub mod recovery;
 pub mod state;
 pub mod stats;
 pub mod supervise;
@@ -74,8 +79,8 @@ pub use config::{IntelConfig, ZcConfig};
 pub use cpu::CpuSpec;
 pub use error::SwitchlessError;
 pub use fault::{
-    ByzantineFault, DrainReport, FaultCounts, FaultInjector, FaultPlan, FaultSchedule,
-    TransitionLog, WorkerFault,
+    ByzantineFault, DrainReport, EnclaveFault, FaultCounts, FaultInjector, FaultPlan,
+    FaultSchedule, TransitionLog, WorkerFault,
 };
 pub use func::{FuncId, HostFn, OcallReply, OcallRequest, OcallTable, MAX_OCALL_ARGS};
 pub use guard::{GuardKind, GuardViolation, ReplyGuard, ReplyVerdict, SharedWordGuard};
@@ -85,6 +90,10 @@ pub use overload::{
     OverloadSnapshot, PlaneAdmission, Priority, ShedReason, TokenBucket, Verdict,
 };
 pub use rand::SplitMix64;
+pub use recovery::{
+    CallJournal, EntryState, IdempotencyClass, JournalEntry, ReconcileVerdict, RecoveryParams,
+    RecoveryPhase, RecoveryPlane, RecoveryPolicy, RecoverySnapshot,
+};
 pub use state::WorkerState;
 pub use stats::{CallStats, CallStatsSnapshot};
 pub use supervise::{

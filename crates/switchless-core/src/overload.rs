@@ -801,7 +801,17 @@ impl OverloadSnapshot {
     /// owning runtime's [`crate::CallStats`]: valid once quiesced.
     #[must_use]
     pub fn conserves(&self, completed: u64) -> bool {
-        completed + self.shed_total() == self.offered
+        self.conserves_with(completed, 0)
+    }
+
+    /// Conservation check extended with the recovery plane's
+    /// refused-non-idempotent count (see [`crate::recovery`]): with
+    /// enclave crashes in play, every offered call is exactly one of
+    /// completed, shed, or refused-with-typed-error —
+    /// `completed + shed + refused == offered`.
+    #[must_use]
+    pub fn conserves_with(&self, completed: u64, refused_non_idempotent: u64) -> bool {
+        completed + self.shed_total() + refused_non_idempotent == self.offered
     }
 }
 
@@ -1135,6 +1145,10 @@ mod tests {
         // Two calls completed, one shed: exact conservation.
         assert!(snap.conserves(2));
         assert!(!snap.conserves(3));
+        // Extended form: one completion traded for a typed refusal
+        // still conserves; double counting does not.
+        assert!(snap.conserves_with(1, 1));
+        assert!(!snap.conserves_with(2, 1));
     }
 
     #[test]

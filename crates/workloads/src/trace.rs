@@ -164,6 +164,7 @@ pub fn fs_trace_to_calls(
             host_cycles: cost.cycles_for(op, funcs),
             payload_bytes: op.payload_in as u64,
             ret_bytes: op.payload_out as u64,
+            ..CallDesc::default()
         })
         .collect()
 }

@@ -11,10 +11,12 @@ use crate::pool::PoolAlloc;
 use crate::prof;
 use crate::runtime::{Shared, YIELD_EVERY};
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use switchless_core::overload::{BreakerTransition, InflightGuard, ShedReason};
+use switchless_core::recovery::{EntryState, ReconcileVerdict, RecoveryPlane};
 use switchless_core::{
-    CallPath, FailureKind, GuardViolation, OcallRequest, PoisonKey, ReplyGuard, SuperviseDecision,
-    SwitchlessError, WorkerState,
+    CallPath, EnclaveFault, FailureKind, GuardViolation, OcallRequest, PoisonKey, ReplyGuard,
+    SuperviseDecision, SwitchlessError, WorkerState,
 };
 
 /// Retries granted to a pool allocation hit by injected exhaustion
@@ -34,7 +36,7 @@ const POOL_RETRY_MAX: u32 = 3;
 /// allocation).
 #[cfg(feature = "telemetry")]
 pub(crate) fn dispatch(
-    shared: &Shared,
+    shared: &Arc<Shared>,
     req: &OcallRequest,
     payload_in: &[u8],
     payload_out: &mut Vec<u8>,
@@ -77,7 +79,7 @@ pub(crate) fn dispatch(
 
 #[cfg(not(feature = "telemetry"))]
 pub(crate) fn dispatch(
-    shared: &Shared,
+    shared: &Arc<Shared>,
     req: &OcallRequest,
     payload_in: &[u8],
     payload_out: &mut Vec<u8>,
@@ -157,7 +159,7 @@ fn fallback_with_phases(
 
 /// The ZC dispatch protocol itself (telemetry-free hot path).
 pub(crate) fn dispatch_inner(
-    shared: &Shared,
+    shared: &Arc<Shared>,
     req: &OcallRequest,
     payload_in: &[u8],
     payload_out: &mut Vec<u8>,
@@ -192,6 +194,68 @@ pub(crate) fn dispatch_inner(
             });
         }
     }
+    // Recovery plane: stamp the sequence tag at admission and journal
+    // the call's intent, so whatever happens to the enclave from here
+    // on, the reconciliation after a restart can classify this call. A
+    // slot collision (journal full) leaves the call uncovered rather
+    // than failing it — the journal is sized far above any realistic
+    // in-flight population. This is also the injector's enclave fault
+    // site: a scheduled crash fires while exactly this call is in
+    // flight.
+    let stamped;
+    let req = match &shared.recovery {
+        Some(plane) => {
+            stamped = req.with_seq(plane.next_seq());
+            let _covered = plane.record_intent(stamped.seq, stamped.idempotency_class());
+            if let Some(faults) = &shared.faults {
+                match faults.on_enclave_call() {
+                    EnclaveFault::Crash => {
+                        let epoch0 = plane.epoch();
+                        if plane.begin_crash() {
+                            #[cfg(feature = "telemetry")]
+                            shared.telemetry_caller_event(zc_telemetry::Event::EnclaveCrash {
+                                epoch: epoch0,
+                            });
+                            crate::runtime::enclave_restart(shared);
+                        } else {
+                            wait_for_restart(shared, plane, epoch0);
+                        }
+                        return recover_call(shared, &stamped, payload_in, payload_out, rec);
+                    }
+                    EnclaveFault::Stall(cycles) => {
+                        shared.clock.advance_cycles(cycles);
+                        #[cfg(feature = "telemetry")]
+                        shared.telemetry_caller_event(zc_telemetry::Event::Fault {
+                            kind: zc_telemetry::FaultKind::EnclaveStall,
+                        });
+                    }
+                    EnclaveFault::None => {}
+                }
+            }
+            &stamped
+        }
+        None => req,
+    };
+    let result = dispatch_routed(shared, req, payload_in, payload_out, rec);
+    if let Some(plane) = &shared.recovery {
+        // Retire on every outcome: either the call completed (reply
+        // delivered, journal entry dead) or it failed with a typed
+        // error and is no longer in flight. Recovery's own paths have
+        // already retired — retire is idempotent.
+        plane.retire(req.seq);
+    }
+    result
+}
+
+/// Route one admitted, journaled call: worker scan, breaker-guarded
+/// would-fallback point, regular-ocall fallback.
+fn dispatch_routed(
+    shared: &Arc<Shared>,
+    req: &OcallRequest,
+    payload_in: &[u8],
+    payload_out: &mut Vec<u8>,
+    rec: &mut prof::Rec,
+) -> Result<(i64, CallPath), SwitchlessError> {
     let n = shared.workers.len();
     // Rotate the scan start so callers spread over workers.
     let start = shared.rotor.fetch_add(1, Ordering::Relaxed) % n.max(1);
@@ -244,7 +308,7 @@ pub(crate) fn dispatch_inner(
 /// Complete a switchless call on a worker already claimed (`RESERVED`).
 #[allow(clippy::too_many_arguments)]
 fn switchless_call(
-    shared: &Shared,
+    shared: &Arc<Shared>,
     w: &WorkerBuffer,
     widx: usize,
     req: &OcallRequest,
@@ -252,10 +316,17 @@ fn switchless_call(
     payload_out: &mut Vec<u8>,
     rec: &mut prof::Rec,
 ) -> Result<(i64, CallPath), SwitchlessError> {
-    // Stamp the per-call monotonic sequence tag: an honest worker echoes
+    // Stamp the per-call monotonic sequence tag (unless the recovery
+    // plane already stamped it at admission): an honest worker echoes
     // it into the reply, so a stale or replayed reply left over from an
     // earlier call is detected at copy-back.
-    let req = &req.with_seq(shared.next_seq());
+    let stamped;
+    let req = if req.seq == 0 {
+        stamped = req.with_seq(shared.next_seq());
+        &stamped
+    } else {
+        req
+    };
     // Allocate the request payload from the worker's untrusted pool. An
     // injected exhaustion is retried with exponential pause backoff (the
     // graceful-degradation path for transient pressure on the untrusted
@@ -352,8 +423,21 @@ fn switchless_call(
         .config
         .supervise
         .map(|p| posted_at.saturating_add(p.watchdog_cycles));
+    // Recovery epoch this call was posted under: a later epoch (or the
+    // loss flag) means the enclave died with this call in flight.
+    let epoch0 = shared.recovery.as_ref().map_or(0, RecoveryPlane::epoch);
     let mut spins: u32 = 0;
     loop {
+        // Enclave-loss check first: a dead enclave must surface as
+        // typed recovery (replay / redeliver / refuse), not as a
+        // watchdog timeout after spinning out the full deadline.
+        if let Some(plane) = &shared.recovery {
+            if enclave_lost_since(plane, epoch0) {
+                rec.mark(prof::Phase::Wait, || shared.clock.now_cycles());
+                wait_for_restart(shared, plane, epoch0);
+                return recover_call(shared, req, payload_in, payload_out, rec);
+            }
+        }
         // Decode the host-written status word *before* the poison check:
         // a hostile host that scribbles garbage on the word is always
         // reported as exactly one guard violation, regardless of how the
@@ -378,6 +462,18 @@ fn switchless_call(
             break;
         }
         if w.is_poisoned() {
+            // Distinguish a single-worker failure from the enclave-wide
+            // fence: the restart fence raises the loss flag *before*
+            // poisoning every buffer, and a fenced worker may have been
+            // mid-execution — only the journal may decide whether
+            // re-execution is safe, so loss routes to reconciliation.
+            if let Some(plane) = &shared.recovery {
+                if enclave_lost_since(plane, epoch0) {
+                    rec.mark(prof::Phase::Wait, || shared.clock.now_cycles());
+                    wait_for_restart(shared, plane, epoch0);
+                    return recover_call(shared, req, payload_in, payload_out, rec);
+                }
+            }
             // The worker crashed or hung *before* invoking our request
             // (poisoning happens ahead of any slot access), so re-routing
             // to a regular ocall cannot double-execute side effects. The
@@ -501,7 +597,10 @@ fn guard_violation_fallback(
 /// Report a caller-observed worker failure to the supervisor (no-op when
 /// supervision is off). The in-flight request shape is charged as the
 /// blacklist culprit; a shape crossing the poison threshold gets pinned
-/// to the regular path and traced.
+/// to the regular path and traced. A charge that crosses the enclave
+/// escalation threshold raises the pending-restart flag for the
+/// supervisor thread: repeated ledger charges mean slot respawns are
+/// not containing the damage.
 fn report_worker_failure(
     shared: &Shared,
     widx: usize,
@@ -516,13 +615,131 @@ fn report_worker_failure(
     let decision = sup
         .lock()
         .record_failure(widx, kind, Some(key), shared.clock.now_cycles());
-    if let Some(SuperviseDecision::Blacklist { key }) = decision {
-        #[cfg(feature = "telemetry")]
-        shared.telemetry_caller_event(zc_telemetry::Event::Blacklisted {
-            func: key.func.0,
-            shape: key.shape,
-        });
-        #[cfg(not(feature = "telemetry"))]
-        let _ = key;
+    match decision {
+        Some(SuperviseDecision::Blacklist { key }) => {
+            #[cfg(feature = "telemetry")]
+            shared.telemetry_caller_event(zc_telemetry::Event::Blacklisted {
+                func: key.func.0,
+                shape: key.shape,
+            });
+            #[cfg(not(feature = "telemetry"))]
+            let _ = key;
+        }
+        // Escalation needs the recovery plane: without a journal,
+        // blocked callers could not reconcile and a whole-enclave
+        // restart would strand them.
+        Some(SuperviseDecision::RestartEnclave { .. }) if shared.recovery.is_some() => {
+            shared
+                .pending_enclave_restart
+                .store(true, Ordering::Release);
+        }
+        _ => {}
+    }
+}
+
+/// Has the enclave been lost since this call captured `epoch0`? Either
+/// the loss flag is currently raised, or a full crash/restart cycle
+/// already completed (epoch moved on).
+fn enclave_lost_since(plane: &RecoveryPlane, epoch0: u64) -> bool {
+    plane.is_lost() || plane.epoch() != epoch0
+}
+
+/// Spin until the restart the plane has begun completes: the epoch has
+/// advanced past `epoch0` and the loss flag is cleared. The winner of
+/// the detection race drives the restart synchronously (and the
+/// supervisor thread polls on the virtual clock), so this wait is
+/// bounded.
+fn wait_for_restart(shared: &Shared, plane: &RecoveryPlane, epoch0: u64) {
+    let mut spins: u32 = 0;
+    while plane.is_lost() || plane.epoch() == epoch0 {
+        shared.clock.pause();
+        spins = spins.wrapping_add(1);
+        if spins.is_multiple_of(YIELD_EVERY) {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Reconcile one lost in-flight call against the journal after the
+/// enclave restarted, and act on the verdict:
+///
+/// * `Replay` — the intent was journaled but no completion: re-execute
+///   through the regular-ocall engine (this caller still holds the
+///   payload), journal the completion, and deliver. Exactly-once holds
+///   because the journal proves the host function never ran.
+/// * `Redeliver` — a completion was journaled but the reply never
+///   reached the caller: return the recorded result without touching
+///   the host function again.
+/// * `Refuse` — the call is non-idempotent and execution state is
+///   unknowable: surface the typed [`SwitchlessError::EnclaveLost`].
+fn recover_call(
+    shared: &Arc<Shared>,
+    req: &OcallRequest,
+    payload_in: &[u8],
+    payload_out: &mut Vec<u8>,
+    rec: &mut prof::Rec,
+) -> Result<(i64, CallPath), SwitchlessError> {
+    let plane = shared
+        .recovery
+        .as_ref()
+        .expect("recover_call without a recovery plane");
+    let guard = ReplyGuard::new(shared.config.max_reply_bytes);
+    match plane.reconcile_with_class(req.seq, guard, req.idempotency_class()) {
+        ReconcileVerdict::Replay => {
+            #[cfg(feature = "telemetry")]
+            shared.telemetry_caller_event(zc_telemetry::Event::JournalReplay { seq: req.seq });
+            let ret = fallback_with_phases(shared, rec, req, payload_in, payload_out)?;
+            plane.record_completion(req.seq, ret, payload_out.len() as u32);
+            // Crash-during-replay site: the enclave dies again right
+            // after the replay journaled its completion. The second
+            // reconciliation downgrades to Redeliver — the recorded
+            // result is returned and the host function never runs a
+            // second time.
+            if shared
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.on_enclave_replay())
+            {
+                let epoch0 = plane.epoch();
+                if plane.begin_crash() {
+                    #[cfg(feature = "telemetry")]
+                    shared.telemetry_caller_event(zc_telemetry::Event::EnclaveCrash {
+                        epoch: epoch0,
+                    });
+                    crate::runtime::enclave_restart(shared);
+                } else {
+                    wait_for_restart(shared, plane, epoch0);
+                }
+                return recover_call(shared, req, payload_in, payload_out, rec);
+            }
+            plane.retire(req.seq);
+            shared.stats.record_fallback();
+            Ok((ret, CallPath::Fallback))
+        }
+        ReconcileVerdict::Redeliver => {
+            #[cfg(feature = "telemetry")]
+            shared.telemetry_caller_event(zc_telemetry::Event::CallRedelivered { seq: req.seq });
+            let ret = match plane.entry(req.seq).map(|e| e.state) {
+                Some(EntryState::Completed { ret, .. }) => ret,
+                // Unreachable by construction (Redeliver only comes
+                // from a Completed entry), but never panic on the
+                // recovery path.
+                _ => 0,
+            };
+            // `payload_out` already holds the replayed output: in this
+            // runtime the redelivery window only opens after a replay's
+            // own completion was journaled (crash-during-replay).
+            plane.retire(req.seq);
+            shared.stats.record_fallback();
+            Ok((ret, CallPath::Fallback))
+        }
+        ReconcileVerdict::Refuse => {
+            #[cfg(feature = "telemetry")]
+            shared.telemetry_caller_event(zc_telemetry::Event::CallRefused { seq: req.seq });
+            plane.retire(req.seq);
+            Err(SwitchlessError::EnclaveLost {
+                in_flight_seq: req.seq,
+            })
+        }
     }
 }

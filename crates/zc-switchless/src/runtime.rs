@@ -11,7 +11,8 @@ use std::time::Duration;
 use switchless_core::stats::WorkerResidency;
 use switchless_core::{
     CallPath, CallStats, DrainReport, FaultInjector, OcallDispatcher, OcallRequest, OcallTable,
-    OverloadPlane, OverloadSnapshot, Supervisor, SwitchlessError, TransitionLog, ZcConfig,
+    OverloadPlane, OverloadSnapshot, RecoveryPlane, RecoverySnapshot, Supervisor, SwitchlessError,
+    TransitionLog, ZcConfig,
 };
 
 /// Busy-wait loops yield to the OS scheduler after this many pauses
@@ -53,6 +54,17 @@ pub(crate) struct Shared {
     /// Callers funnel admission through it and drive its breaker at
     /// their would-fallback points (see `caller`).
     pub(crate) overload: Option<OverloadPlane>,
+    /// Enclave-restart recovery plane; `Some` iff `config.recovery` is
+    /// set. Sequence tags then come from the plane, so journal entries
+    /// and reply guards agree on the same tag space (see `caller`).
+    pub(crate) recovery: Option<RecoveryPlane>,
+    /// Raised by callers when the supervisor policy escalates from slot
+    /// respawn to a whole-enclave restart; consumed by the supervisor
+    /// thread, which performs the restart.
+    pub(crate) pending_enclave_restart: AtomicBool,
+    /// Monotonic enclave incarnation, used as the worker-thread
+    /// generation tag for post-restart spawns.
+    pub(crate) enclave_generation: AtomicU64,
     /// TransitionLog attached via `install_transition_log`, kept so
     /// respawned buffers inherit the same recorder.
     pub(crate) transition_log: Mutex<Option<Arc<TransitionLog>>>,
@@ -71,10 +83,14 @@ impl Shared {
     }
 
     /// Next per-call sequence tag (starts at 1, so the zero a fresh
-    /// reply struct carries never matches a live call).
+    /// reply struct carries never matches a live call). With recovery
+    /// on, the plane owns the counter so journal entries share it.
     #[inline]
     pub(crate) fn next_seq(&self) -> u64 {
-        self.seq.fetch_add(1, Ordering::Relaxed).wrapping_add(1)
+        match &self.recovery {
+            Some(plane) => plane.next_seq(),
+            None => self.seq.fetch_add(1, Ordering::Relaxed).wrapping_add(1),
+        }
     }
 
     /// Spawn a worker thread for slot `index` serving buffer `buf`
@@ -114,6 +130,59 @@ impl Shared {
             t.record(self.clock.now_cycles(), origin, event);
         }
     }
+}
+
+/// Whole-enclave restart, driven by the one thread that won the loss
+/// detection race (`RecoveryPlane::begin_crash`).
+///
+/// Fence first: every buffer of the dead incarnation is poisoned and
+/// told to exit, so no old-generation worker can touch a request again
+/// (crashed threads have already exited; stalled ones retire on wake
+/// and are joined — or abandoned — at shutdown). The restart cost is
+/// then paid on the clock, a fresh buffer + thread generation is
+/// installed, the supervisor's per-slot ledgers are wiped (the
+/// blacklist deliberately survives — poison request shapes outlive the
+/// enclave), and the plane reopens under a new epoch. Blocked callers
+/// observe the epoch change and reconcile their own calls against the
+/// journal (see `caller::recover_call`).
+pub(crate) fn enclave_restart(shared: &Arc<Shared>) {
+    let plane = shared
+        .recovery
+        .as_ref()
+        .expect("enclave restart without a recovery plane");
+    for w in &shared.workers {
+        let w = w.read();
+        w.poison();
+        w.post_command(SchedCommand::Exit);
+        w.unpark();
+    }
+    plane.begin_restart();
+    shared
+        .clock
+        .advance_cycles(plane.params().restart_cycles.max(1));
+    let generation = shared.enclave_generation.fetch_add(1, Ordering::AcqRel) + 1;
+    for (i, slot) in shared.workers.iter().enumerate() {
+        let fresh = Arc::new(WorkerBuffer::new(shared.config.pool_bytes));
+        if let Some(log) = shared.transition_log.lock().clone() {
+            fresh.set_recorder(log);
+        }
+        #[cfg(feature = "telemetry")]
+        if let Some(hub) = &shared.telemetry {
+            fresh.set_tracer(crate::buffer::TransitionTracer::new(
+                Arc::clone(hub),
+                shared.clock.clone(),
+                i as u32,
+            ));
+        }
+        *slot.write() = Arc::clone(&fresh);
+        shared.spawn_worker(i, generation, fresh);
+    }
+    scheduler::set_active_workers(shared, shared.active_workers.load(Ordering::Acquire));
+    if let Some(sup) = &shared.supervisor {
+        sup.lock().note_enclave_restart();
+    }
+    plane.complete_restart();
+    plane.resume();
 }
 
 /// The ZC-SWITCHLESS runtime: adaptive switchless ocalls with zero
@@ -293,6 +362,9 @@ impl ZcRuntime {
                 .supervise
                 .map(|params| Mutex::new(Supervisor::new(max, params))),
             overload: config.overload.map(OverloadPlane::new),
+            recovery: config.recovery.map(RecoveryPlane::new),
+            pending_enclave_restart: AtomicBool::new(false),
+            enclave_generation: AtomicU64::new(0),
             transition_log: Mutex::new(None),
             worker_handles: Mutex::new(Vec::with_capacity(max)),
             #[cfg(feature = "telemetry")]
@@ -390,6 +462,26 @@ impl ZcRuntime {
                         "zc_blacklisted_funcs".into(),
                         MetricValue::Gauge(sup.blacklisted().len() as u64),
                     ));
+                }
+                if let Some(plane) = &sh.recovery {
+                    let r = plane.snapshot();
+                    out.push((
+                        "zc_enclave_crashes_total".into(),
+                        MetricValue::Counter(r.crashes),
+                    ));
+                    out.push((
+                        "zc_journal_replays_total".into(),
+                        MetricValue::Counter(r.replayed),
+                    ));
+                    out.push((
+                        "zc_call_redeliveries_total".into(),
+                        MetricValue::Counter(r.redelivered),
+                    ));
+                    out.push((
+                        "zc_calls_refused_total".into(),
+                        MetricValue::Counter(r.refused_non_idempotent),
+                    ));
+                    out.push(("zc_recovery_epoch".into(), MetricValue::Gauge(r.epoch)));
                 }
                 if let Some(plane) = &sh.overload {
                     let o = plane.snapshot();
@@ -520,6 +612,16 @@ impl ZcRuntime {
     #[must_use]
     pub fn overload_snapshot(&self) -> Option<OverloadSnapshot> {
         self.shared.overload.as_ref().map(OverloadPlane::snapshot)
+    }
+
+    /// Snapshot of the recovery plane's counters and phase (crashes,
+    /// replays, redeliveries, refused non-idempotent calls, journal
+    /// occupancy). `None` when recovery is off. Once traffic has
+    /// quiesced, `offered == completed + shed + refused_non_idempotent`
+    /// holds exactly (see `OverloadSnapshot::conserves_with`).
+    #[must_use]
+    pub fn recovery_snapshot(&self) -> Option<RecoverySnapshot> {
+        self.shared.recovery.as_ref().map(RecoveryPlane::snapshot)
     }
 
     /// Stop the scheduler and workers and join them. Idempotent; also

@@ -53,9 +53,31 @@ pub(crate) fn supervise_loop(shared: &Arc<Shared>) {
                         },
                     );
                 }
-                // poll() never emits Blacklist (that happens at failure
-                // recording time, caller-side).
+                // poll() never emits Blacklist or RestartEnclave (those
+                // happen at failure recording time, caller-side; the
+                // restart request arrives via the pending flag below).
                 SuperviseDecision::Blacklist { .. } => {}
+                SuperviseDecision::RestartEnclave { .. } => {}
+            }
+        }
+        // Escalation: a caller's ledger charge crossed the enclave
+        // restart threshold. This thread performs the whole-enclave
+        // restart (fence → pay restart cost → fresh worker generation →
+        // wipe per-slot ledgers); blocked callers observe the epoch
+        // change and reconcile against the journal.
+        if shared.pending_enclave_restart.swap(false, Ordering::AcqRel) {
+            if let Some(plane) = &shared.recovery {
+                let epoch0 = plane.epoch();
+                #[cfg(not(feature = "telemetry"))]
+                let _ = epoch0;
+                if plane.begin_crash() {
+                    #[cfg(feature = "telemetry")]
+                    shared.telemetry_event(
+                        zc_telemetry::Origin::Scheduler,
+                        zc_telemetry::Event::EnclaveCrash { epoch: epoch0 },
+                    );
+                    crate::runtime::enclave_restart(shared);
+                }
             }
         }
         // On a virtual clock this advances logical time instantly, so

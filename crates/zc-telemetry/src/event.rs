@@ -38,6 +38,9 @@ pub enum FaultKind {
     TransitionFailure,
     /// Injected clock skew was applied to a caller.
     ClockSkew,
+    /// The whole enclave stalled for an injected number of cycles
+    /// (all in-flight calls frozen, no loss).
+    EnclaveStall,
 }
 
 impl FaultKind {
@@ -50,6 +53,7 @@ impl FaultKind {
             FaultKind::PoolExhaustion => "pool_exhaustion",
             FaultKind::TransitionFailure => "transition_failure",
             FaultKind::ClockSkew => "clock_skew",
+            FaultKind::EnclaveStall => "enclave_stall",
         }
     }
 }
@@ -248,6 +252,33 @@ pub enum Event {
         /// Ladder level after the shift.
         to_level: u8,
     },
+    /// The enclave died and the recovery plane began a restart cycle
+    /// (see `switchless_core::recovery`). Emitted once per loss by the
+    /// caller that won the detection race.
+    EnclaveCrash {
+        /// Recovery epoch *before* the restart (the epoch the lost
+        /// calls were posted under).
+        epoch: u64,
+    },
+    /// Post-restart reconciliation replayed an idempotent in-flight
+    /// call from its journaled intent (re-executed exactly once).
+    JournalReplay {
+        /// Sequence tag of the replayed call.
+        seq: u64,
+    },
+    /// Post-restart reconciliation redelivered a journaled result
+    /// without re-executing: the crash landed between completion and
+    /// reply delivery.
+    CallRedelivered {
+        /// Sequence tag of the redelivered call.
+        seq: u64,
+    },
+    /// Post-restart reconciliation refused a non-idempotent in-flight
+    /// call; the caller observed `EnclaveLost`.
+    CallRefused {
+        /// Sequence tag of the refused call.
+        seq: u64,
+    },
     /// Free-form marker (phase labels in examples/benches).
     Marker {
         /// Static label.
@@ -277,6 +308,10 @@ impl Event {
             Event::CallShed { .. } => "call_shed",
             Event::BreakerTransition { .. } => "breaker_transition",
             Event::BrownoutShift { .. } => "brownout_shift",
+            Event::EnclaveCrash { .. } => "enclave_crash",
+            Event::JournalReplay { .. } => "journal_replay",
+            Event::CallRedelivered { .. } => "call_redelivered",
+            Event::CallRefused { .. } => "call_refused",
             Event::Marker { .. } => "marker",
         }
     }

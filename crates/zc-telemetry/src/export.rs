@@ -151,6 +151,10 @@ fn event_fields(event: &Event) -> String {
             from_level,
             to_level,
         } => format!(",\"from_level\":{from_level},\"to_level\":{to_level}"),
+        Event::EnclaveCrash { epoch } => format!(",\"epoch\":{epoch}"),
+        Event::JournalReplay { seq } => format!(",\"seq\":{seq}"),
+        Event::CallRedelivered { seq } => format!(",\"seq\":{seq}"),
+        Event::CallRefused { seq } => format!(",\"seq\":{seq}"),
         Event::Marker { label } => format!(",\"label\":\"{}\"", json_escape(label)),
     }
 }
@@ -448,6 +452,26 @@ pub fn to_chrome_trace(events: &[RecordedEvent], freq_hz: u64) -> String {
                     "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"g\",\"name\":\"brownout:{from_level}->{to_level}\"}}"
                 ));
             }
+            Event::EnclaveCrash { epoch } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"g\",\"name\":\"enclave_crash\",\"args\":{{\"epoch\":{epoch}}}}}"
+                ));
+            }
+            Event::JournalReplay { seq } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"g\",\"name\":\"journal_replay\",\"args\":{{\"seq\":{seq}}}}}"
+                ));
+            }
+            Event::CallRedelivered { seq } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"t\",\"name\":\"call_redelivered\",\"args\":{{\"seq\":{seq}}}}}"
+                ));
+            }
+            Event::CallRefused { seq } => {
+                lines.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"g\",\"name\":\"call_refused\",\"args\":{{\"seq\":{seq}}}}}"
+                ));
+            }
             Event::Marker { label } => {
                 lines.push(format!(
                     "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"s\":\"g\",\"name\":\"{}\"}}",
@@ -556,6 +580,53 @@ mod tests {
         assert!(jsonl.contains("\"worker\":1,\"guard\":\"stale_sequence\""));
         let trace = to_chrome_trace(&evs, 1_000_000_000);
         assert!(trace.contains("\"name\":\"guard:stale_sequence\""));
+    }
+
+    #[test]
+    fn recovery_events_export_their_fields() {
+        let evs = vec![
+            RecordedEvent {
+                t_cycles: 10,
+                origin: Origin::Caller(0),
+                event: Event::EnclaveCrash { epoch: 2 },
+            },
+            RecordedEvent {
+                t_cycles: 20,
+                origin: Origin::Caller(1),
+                event: Event::JournalReplay { seq: 41 },
+            },
+            RecordedEvent {
+                t_cycles: 30,
+                origin: Origin::Caller(1),
+                event: Event::CallRedelivered { seq: 41 },
+            },
+            RecordedEvent {
+                t_cycles: 40,
+                origin: Origin::Caller(2),
+                event: Event::CallRefused { seq: 42 },
+            },
+        ];
+        let jsonl = events_to_jsonl(&evs);
+        assert!(jsonl.contains("\"kind\":\"enclave_crash\",\"epoch\":2"));
+        assert!(jsonl.contains("\"kind\":\"journal_replay\",\"seq\":41"));
+        assert!(jsonl.contains("\"kind\":\"call_redelivered\",\"seq\":41"));
+        assert!(jsonl.contains("\"kind\":\"call_refused\",\"seq\":42"));
+        let trace = to_chrome_trace(&evs, 1_000_000_000);
+        assert!(trace.contains("\"name\":\"enclave_crash\""));
+        assert!(trace.contains("\"name\":\"journal_replay\""));
+        assert!(trace.contains("\"name\":\"call_redelivered\""));
+        assert!(trace.contains("\"name\":\"call_refused\""));
+        assert!(to_chrome_trace(
+            &[RecordedEvent {
+                t_cycles: 5,
+                origin: Origin::Sim,
+                event: Event::Fault {
+                    kind: FaultKind::EnclaveStall,
+                },
+            }],
+            1_000_000_000
+        )
+        .contains("\"name\":\"fault:enclave_stall\""));
     }
 
     #[test]

@@ -326,6 +326,7 @@ fn des_randomized_workloads_are_deterministic() {
                 host_cycles: rand() % 20_000,
                 payload_bytes: rand() % 4_096,
                 ret_bytes: rand() % 1_024,
+                non_idempotent: false,
             })
             .collect();
         let callers = (rand() % 4 + 1) as usize;

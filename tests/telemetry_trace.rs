@@ -433,6 +433,149 @@ fn des_mmpp_overload_trace_is_byte_identical_and_conserves() {
     );
 }
 
+/// One scripted enclave-crash scenario on the real runtime: a single
+/// caller with recovery on, three whole-enclave crashes at fixed
+/// dispatch sites, all calls idempotent. Returns the canonical
+/// projection of the recovery events (crash/replay/redeliver/refuse).
+fn recovery_run() -> String {
+    let hub = Telemetry::new();
+    let (t, echo) = table();
+    let mut cpu = CpuSpec::paper_machine();
+    cpu.logical_cpus = 2;
+    let cfg = ZcConfig::for_cpu(cpu).with_quantum_ms(10).with_recovery();
+    let faults = Arc::new(FaultInjector::new(
+        FaultPlan::new().crash_enclave_at_each([2, 5, 8]),
+    ));
+    let zc = ZcRuntime::start_with_telemetry(
+        cfg,
+        t,
+        Enclave::new_virtual(cpu),
+        Arc::clone(&hub),
+        Some(Arc::clone(&faults)),
+    )
+    .expect("zc runtime must start");
+    let mut out = Vec::new();
+    for i in 0..20u8 {
+        let req = OcallRequest::new(echo, &[]).with_idempotent();
+        let (ret, _) = zc
+            .dispatch(&req, b"pin", &mut out)
+            .expect("idempotent calls must survive the crashes");
+        assert_eq!(ret, 3, "call {i}");
+    }
+    let snap = zc.recovery_snapshot().expect("recovery is on");
+    assert_eq!(snap.crashes, 3, "all scripted crashes must fire: {snap:?}");
+    assert_eq!(snap.journal_live, 0, "journal must drain: {snap:?}");
+    zc.shutdown();
+    canonical_jsonl(&hub.tracer().drain(), |ev| {
+        matches!(
+            ev.event,
+            Event::EnclaveCrash { .. }
+                | Event::JournalReplay { .. }
+                | Event::CallRedelivered { .. }
+                | Event::CallRefused { .. }
+        )
+    })
+}
+
+/// The recovery-plane trace pin: crash detection and reconciliation
+/// depend only on the scripted dispatch sites and the journal contents,
+/// so the canonical recovery trace is byte-identical across runs — the
+/// crash-recovery analogue of the worker-fault pin above.
+#[test]
+fn recovery_trace_is_byte_identical_across_runs() {
+    let first = recovery_run();
+    let second = recovery_run();
+    assert_eq!(
+        first.matches(r#""kind":"enclave_crash""#).count(),
+        3,
+        "one canonical line per enclave crash:\n{first}"
+    );
+    assert_eq!(
+        first.matches(r#""kind":"journal_replay""#).count(),
+        3,
+        "each crash replays its idempotent in-flight call:\n{first}"
+    );
+    assert!(
+        !first.contains(r#""kind":"call_refused""#),
+        "idempotent-only traffic must never be refused:\n{first}"
+    );
+    assert!(
+        !first.contains(r#""t":"#),
+        "canonical projection strips timestamps:\n{first}"
+    );
+    assert_eq!(
+        first, second,
+        "same crash schedule must yield a byte-identical canonical trace"
+    );
+}
+
+/// The DES recovery soak obeys the full determinism contract: the
+/// timestamped trace of a multi-crash run — including the replay of a
+/// call interrupted by a second crash mid-replay — is byte-identical
+/// across same-seed runs (the trace pinned for ISSUE 9's acceptance).
+#[test]
+fn des_recovery_trace_is_byte_identical_across_runs() {
+    use zc_des::ocall::CallDesc;
+    use zc_des::{run, Mechanism, SimConfig, WorkloadSpec, ZcSimFaults, ZcSimParams};
+
+    let sim_trace = || {
+        let hub = Telemetry::new();
+        let call = CallDesc {
+            host_cycles: 2_000,
+            payload_bytes: 64,
+            ret_bytes: 8,
+            ..CallDesc::default()
+        };
+        let cfg = SimConfig::new(
+            Mechanism::Zc(ZcSimParams::default()),
+            vec![
+                WorkloadSpec::ClosedLoop {
+                    pattern: vec![call],
+                    total_ops: 5_000,
+                };
+                2
+            ],
+            1,
+        )
+        .with_zc_faults(
+            ZcSimFaults::new()
+                .crash_enclave_at_call(100)
+                .crash_enclave_at_call(5_000)
+                .crash_enclave_during_replay(0)
+                .with_enclave_restart_cycles(500_000),
+        )
+        .with_telemetry(Arc::clone(&hub));
+        let r = run(&cfg);
+        assert_eq!(r.counters.total_calls(), 10_000);
+        assert!(r.counters.conserves());
+        assert_eq!(
+            r.fault_recovery.enclave_crashes, 3,
+            "two scripted + one during replay"
+        );
+        assert_eq!(r.fault_recovery.journal_live, 0);
+        events_to_jsonl(&hub.tracer().drain())
+    };
+    let first = sim_trace();
+    assert!(
+        first.contains(r#""kind":"enclave_crash""#),
+        "crashes must be traced:\n{}",
+        &first[..first.len().min(2_000)]
+    );
+    assert!(
+        first.contains(r#""kind":"journal_replay""#),
+        "replays must be traced"
+    );
+    assert!(
+        first.contains(r#""kind":"call_redelivered""#),
+        "the replay interrupted by the second crash must be redelivered"
+    );
+    assert_eq!(
+        first,
+        sim_trace(),
+        "same-seed recovery trace must be byte-identical"
+    );
+}
+
 /// A hub that is *not* attached to a runtime must stay silent: the
 /// profiler records nothing and the trace stays empty — instrumentation
 /// is pay-for-what-you-attach even with the `telemetry` feature on.
