@@ -83,6 +83,22 @@ else
     ./target/release/recovery --quick
 fi
 
+echo "==> multitenant fleet smoke (bulkhead isolation, global budget)"
+# Runs the noisy-neighbour fleet soak — a well-behaved tenant sharing
+# the global worker budget with a 4x-saturation hog, an enclave
+# crash-looper and an all-six-Byzantine tenant — and writes
+# BENCH_multitenant.json. The binary gates on exact per-tenant and
+# global conservation, the isolation criterion (>=90% of solo goodput,
+# p99 sojourn within 2x of the solo baseline, guard violations only on
+# the offending shard), and same-seed byte-identical reproduction —
+# never on absolute speed (DESIGN.md §15).
+cargo build --release -q -p zc-bench --bin multitenant
+if [[ $quick -eq 0 ]]; then
+    ./target/release/multitenant
+else
+    ./target/release/multitenant --quick
+fi
+
 # Collect every benchmark report into the perf trajectory uploaded by
 # CI — one directory per run, so regressions can be traced across
 # commits instead of vanishing with the runner.
@@ -112,6 +128,8 @@ if [[ $quick -eq 0 ]]; then
         cargo test -q --test recovery_soak
         echo "==> cargo test -p zc-des recovery conservation (run $i/3)"
         cargo test -q -p zc-des --test recovery_conservation
+        echo "==> cargo test --test fleet_isolation (noisy neighbours, run $i/3)"
+        cargo test -q -p zc-des --test fleet_isolation
     done
 fi
 

@@ -1,0 +1,381 @@
+//! CI multi-tenant fleet smoke: bulkhead isolation under noisy
+//! neighbours, on the DES fleet plane.
+//!
+//! Four tenants share one simulated machine and one global worker
+//! budget: a well-behaved tenant, a hog at ~4× its shard's saturation
+//! point (sustained fallback storm + client-side shedding), a tenant
+//! whose enclave crash-loops, and a Byzantine tenant running the
+//! all-six corruption schedule. A solo run of the well-behaved tenant
+//! under the same budget provides the baseline. The binary gates on:
+//!
+//! * **per-tenant conservation** — for every tenant,
+//!   `offered == completed + shed + abandoned + refused` exactly, and
+//!   the global ledger is the exact sum of the tenant rows;
+//! * **isolation** — the well-behaved tenant keeps ≥90% of its solo
+//!   goodput and its p99 sojourn stays within 2× of the solo baseline;
+//!   guard violations land only on the Byzantine shard, enclave
+//!   crashes only on the crash-looping shard;
+//! * **reproducibility** — the noisy run re-executed with the same
+//!   seeds must reproduce every tenant's counters, recovery ledger and
+//!   final cap byte-for-byte.
+//!
+//! It does NOT gate on absolute speed. Writes `BENCH_multitenant.json`.
+//!
+//! Usage: `multitenant [--quick] [--out <path>]`
+
+use zc_des::arrival::{ArrivalProcess, ServiceDist};
+use zc_des::fleet::{run_fleet, FleetReport, FleetSpec, TenantSimSpec};
+use zc_des::ocall::CallDesc;
+use zc_des::workload::{OpenLoad, WorkloadSpec};
+use zc_des::{KernelMode, ZcSimFaults};
+
+/// Logical CPUs of the simulated machine.
+const VCPUS: usize = 40;
+/// Global busy-wait worker budget shared by all shards.
+const BUDGET: usize = 8;
+
+fn call(host: u64) -> CallDesc {
+    CallDesc {
+        host_cycles: host,
+        payload_bytes: 64,
+        ret_bytes: 0,
+        ..CallDesc::default()
+    }
+}
+
+/// Well-behaved tenant: two open-loop callers at comfortable
+/// utilisation with a generous deadline budget.
+fn good_tenant(run_cycles: u64) -> TenantSimSpec {
+    let load = OpenLoad::new(
+        call(2_000),
+        ArrivalProcess::Poisson {
+            mean_gap_cycles: 60_000,
+        },
+        11,
+        run_cycles,
+    )
+    .with_service(ServiceDist::Exponential { mean_cycles: 1_500 })
+    .with_deadline_budget(10_000_000);
+    TenantSimSpec::new("good", vec![WorkloadSpec::Open(load); 2])
+}
+
+/// The hog: four open-loop callers whose arrivals outrun service by
+/// roughly 4×, under a tight deadline budget — more concurrent callers
+/// than its fair-share worker cap, so it storms the fallback path and
+/// sheds the queue it can never drain.
+fn hog_tenant(run_cycles: u64) -> TenantSimSpec {
+    let load = OpenLoad::new(
+        call(500),
+        ArrivalProcess::Poisson {
+            mean_gap_cycles: 1_500,
+        },
+        22,
+        run_cycles,
+    )
+    .with_service(ServiceDist::Exponential { mean_cycles: 2_000 })
+    .with_deadline_budget(100_000);
+    TenantSimSpec::new("hog", vec![WorkloadSpec::Open(load); 4])
+}
+
+/// Crash-looper: closed-loop caller whose enclave is lost and
+/// restarted three times across the run.
+fn crashloop_tenant(ops: u64) -> TenantSimSpec {
+    TenantSimSpec::new(
+        "crashloop",
+        vec![WorkloadSpec::ClosedLoop {
+            pattern: vec![call(500)],
+            total_ops: ops,
+        }],
+    )
+    .with_faults(
+        ZcSimFaults::new()
+            .crash_enclave_at_call(ops / 60)
+            .crash_enclave_at_call(ops / 3)
+            .crash_enclave_at_call((ops * 2) / 3)
+            .with_enclave_restart_cycles(500_000),
+    )
+}
+
+/// Byzantine tenant: all six corruption kinds against its own shard.
+fn byzantine_tenant(ops: u64) -> TenantSimSpec {
+    TenantSimSpec::new(
+        "byzantine",
+        vec![WorkloadSpec::ClosedLoop {
+            pattern: vec![call(500)],
+            total_ops: ops,
+        }],
+    )
+    .with_faults(
+        ZcSimFaults::new()
+            .flip_status_at(1_000_000, 0)
+            .garbage_command_at(2_000_000, 1)
+            .oversize_reply_at(3_000_000, 2)
+            .undersize_reply_at(4_000_000, 3)
+            .stale_seq_at(5_000_000, 0)
+            .torn_request_at(6_000_000, 1)
+            .with_respawn_delay(800_000)
+            .with_watchdog_pauses(5_000),
+    )
+}
+
+fn fleet_of(tenants: Vec<TenantSimSpec>, run_cycles: u64) -> FleetSpec {
+    FleetSpec::new(tenants, 1)
+        .with_vcpus(VCPUS)
+        .with_budget(BUDGET)
+        .with_kernel_mode(KernelMode::EventDriven)
+        .with_deadline(run_cycles * 4)
+        // Re-divide the budget ~8 times per run so the soak exercises
+        // repeated quiesce-and-migrate, not just the initial decision.
+        .with_rebalance_interval(run_cycles / 8)
+}
+
+struct Scenario {
+    run_cycles: u64,
+    crash_ops: u64,
+    byz_ops: u64,
+}
+
+impl Scenario {
+    fn new(quick: bool) -> Scenario {
+        if quick {
+            Scenario {
+                run_cycles: 30_000_000,
+                crash_ops: 6_000,
+                byz_ops: 8_000,
+            }
+        } else {
+            Scenario {
+                run_cycles: 120_000_000,
+                crash_ops: 24_000,
+                byz_ops: 32_000,
+            }
+        }
+    }
+
+    fn solo(&self) -> FleetSpec {
+        fleet_of(vec![good_tenant(self.run_cycles)], self.run_cycles)
+    }
+
+    fn noisy(&self) -> FleetSpec {
+        fleet_of(
+            vec![
+                good_tenant(self.run_cycles),
+                hog_tenant(self.run_cycles),
+                crashloop_tenant(self.crash_ops),
+                byzantine_tenant(self.byz_ops),
+            ],
+            self.run_cycles,
+        )
+    }
+}
+
+/// Audit conservation + isolation; returns failure messages.
+fn audit(s: &Scenario, solo: &FleetReport, noisy: &FleetReport) -> Vec<String> {
+    let mut fails = Vec::new();
+    if let Err(e) = solo.snapshot().check() {
+        fails.push(format!("solo conservation: {e}"));
+    }
+    if let Err(e) = noisy.snapshot().check() {
+        fails.push(format!("noisy conservation: {e}"));
+    }
+
+    let g_solo = &solo.tenants[0].counters;
+    let g_noisy = &noisy.tenants[0].counters;
+    let solo_ratio = g_solo.goodput_ratio();
+    let noisy_ratio = g_noisy.goodput_ratio();
+    if noisy_ratio < 0.9 * solo_ratio {
+        fails.push(format!(
+            "isolation: good tenant goodput {noisy_ratio:.3} < 0.9 x solo {solo_ratio:.3}"
+        ));
+    }
+    let p99_solo = g_solo.sojourn_quantile_cycles(99);
+    let p99_noisy = g_noisy.sojourn_quantile_cycles(99);
+    if p99_solo == 0 {
+        fails.push("baseline recorded no sojourns".to_string());
+    } else if p99_noisy > 2 * p99_solo {
+        fails.push(format!(
+            "isolation: good tenant p99 {p99_noisy} > 2 x solo {p99_solo}"
+        ));
+    }
+
+    // Blast radius: violations only on the offending shards.
+    for (i, name) in [(0, "good"), (1, "hog"), (2, "crashloop")] {
+        let v = noisy.tenants[i].fault_recovery.guard_violations;
+        if v != 0 {
+            fails.push(format!("blast radius: {name} charged {v} guard violations"));
+        }
+    }
+    if noisy.tenants[3].fault_recovery.guard_violations != 6 {
+        fails.push(format!(
+            "byzantine shard must show all 6 violations, got {}",
+            noisy.tenants[3].fault_recovery.guard_violations
+        ));
+    }
+    let crash = &noisy.tenants[2].fault_recovery;
+    if crash.enclave_crashes != 3 || crash.enclave_restarts != 3 || crash.journal_live != 0 {
+        fails.push(format!("crashloop shard recovery ledger off: {crash:?}"));
+    }
+    for (i, name) in [(0, "good"), (1, "hog"), (3, "byzantine")] {
+        let c = noisy.tenants[i].fault_recovery.enclave_crashes;
+        if c != 0 {
+            fails.push(format!("blast radius: {name} saw {c} enclave crashes"));
+        }
+    }
+
+    // The neighbours really are noisy, and still complete.
+    if noisy.tenants[1].counters.ops_shed == 0 {
+        fails.push("hog never shed: scenario is not saturating".to_string());
+    }
+    if noisy.tenants[2].counters.total_calls() != s.crash_ops {
+        fails.push(format!(
+            "crashloop completed {} of {} calls",
+            noisy.tenants[2].counters.total_calls(),
+            s.crash_ops
+        ));
+    }
+    if noisy.tenants[3].counters.total_calls() != s.byz_ops {
+        fails.push(format!(
+            "byzantine completed {} of {} calls",
+            noisy.tenants[3].counters.total_calls(),
+            s.byz_ops
+        ));
+    }
+    if noisy.decisions == 0 {
+        fails.push("global allocator never decided".to_string());
+    }
+    fails
+}
+
+fn tenant_json(r: &zc_des::fleet::TenantSimReport) -> String {
+    let c = &r.counters;
+    let f = &r.fault_recovery;
+    format!(
+        "{{\"tenant\":\"{}\",\"offered\":{},\"completed\":{},\"shed\":{},\
+         \"abandoned\":{},\"refused\":{},\"goodput_ratio\":{:.6},\
+         \"p50_sojourn_cycles\":{},\"p99_sojourn_cycles\":{},\
+         \"guard_violations\":{},\"enclave_crashes\":{},\"enclave_restarts\":{},\
+         \"final_cap\":{},\"final_verdict\":\"{}\"}}",
+        r.name,
+        c.offered,
+        c.total_calls(),
+        c.ops_shed,
+        c.ops_abandoned,
+        c.refused_non_idempotent,
+        c.goodput_ratio(),
+        c.sojourn_quantile_cycles(50),
+        c.sojourn_quantile_cycles(99),
+        f.guard_violations,
+        f.enclave_crashes,
+        f.enclave_restarts,
+        r.final_cap,
+        r.final_verdict.name(),
+    )
+}
+
+fn fleet_json(r: &FleetReport) -> String {
+    let tenants: Vec<String> = r.tenants.iter().map(tenant_json).collect();
+    format!(
+        "{{\"duration_cycles\":{},\"decisions\":{},\"conserves\":{},\"tenants\":[{}]}}",
+        r.duration_cycles,
+        r.decisions,
+        r.snapshot().check().is_ok(),
+        tenants.join(",")
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_multitenant.json".to_string());
+    let s = Scenario::new(quick);
+    let mut failed = Vec::new();
+
+    eprintln!(
+        "multitenant: solo baseline ({} Mcycles, budget {BUDGET})...",
+        s.run_cycles / 1_000_000
+    );
+    let solo = run_fleet(&s.solo());
+
+    eprintln!("multitenant: noisy fleet (good + hog + crashloop + byzantine)...");
+    let noisy = run_fleet(&s.noisy());
+    failed.extend(audit(&s, &solo, &noisy));
+
+    eprintln!("multitenant: reproducibility re-run...");
+    let rerun = run_fleet(&s.noisy());
+    let reproducible = rerun.duration_cycles == noisy.duration_cycles
+        && rerun.decisions == noisy.decisions
+        && rerun.tenants.iter().zip(&noisy.tenants).all(|(a, b)| {
+            a.counters == b.counters
+                && a.fault_recovery == b.fault_recovery
+                && a.final_cap == b.final_cap
+        });
+    if !reproducible {
+        failed.push("noisy fleet re-run diverged".to_string());
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"bench_multitenant_v1\",\n  \"quick\": {quick},\n  \
+         \"vcpus\": {VCPUS},\n  \"budget\": {BUDGET},\n  \
+         \"run_cycles\": {},\n  \"reproducible\": {reproducible},\n  \
+         \"isolation\": {{\"goodput_floor\": 0.9, \"p99_ceiling_x\": 2}},\n  \
+         \"solo_baseline\": {},\n  \"noisy_fleet\": {}\n}}\n",
+        s.run_cycles,
+        fleet_json(&solo),
+        fleet_json(&noisy),
+    );
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "unbalanced report JSON"
+    );
+    std::fs::write(&out, &json).expect("write benchmark json");
+    eprintln!("multitenant: wrote {out}");
+
+    if !failed.is_empty() {
+        for f in &failed {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+// The gates are also exercised (in quick size) by `cargo test`, so
+// drift in the fleet defaults shows up before CI runs the binary.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scenario_holds_isolation_gates() {
+        let s = Scenario::new(true);
+        let solo = run_fleet(&s.solo());
+        let noisy = run_fleet(&s.noisy());
+        let fails = audit(&s, &solo, &noisy);
+        assert!(fails.is_empty(), "{fails:?}");
+    }
+
+    #[test]
+    fn quick_scenario_is_reproducible() {
+        let s = Scenario::new(true);
+        let a = run_fleet(&s.noisy());
+        let b = run_fleet(&s.noisy());
+        assert_eq!(a.duration_cycles, b.duration_cycles);
+        for (ta, tb) in a.tenants.iter().zip(&b.tenants) {
+            assert_eq!(ta.counters, tb.counters);
+            assert_eq!(ta.fault_recovery, tb.fault_recovery);
+        }
+    }
+
+    #[test]
+    fn report_json_is_balanced() {
+        let s = Scenario::new(true);
+        let r = run_fleet(&s.solo());
+        let j = fleet_json(&r);
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"tenant\":\"good\""));
+    }
+}

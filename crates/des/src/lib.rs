@@ -24,6 +24,9 @@
 //!   deadline shedding for overload studies.
 //! * [`sim`] — experiment assembly: build a machine + mechanism +
 //!   workload, run it, collect a [`sim::SimReport`].
+//! * [`fleet`] — multi-tenant assembly: M ZC shard stacks as bulkhead
+//!   fault domains in one kernel, with per-tenant counters and a global
+//!   worker-budget allocator actor ([`fleet::run_fleet`]).
 //!
 //! All results are in cycles of the modelled CPU and bit-for-bit
 //! reproducible across hosts. Enable [`Kernel::enable_tracing`] and
@@ -34,6 +37,7 @@
 
 pub mod arrival;
 pub mod event_kernel;
+pub mod fleet;
 pub mod gantt;
 pub mod kernel;
 pub mod metrics;
@@ -43,6 +47,7 @@ pub mod workload;
 
 pub use arrival::{ArrivalGen, ArrivalProcess, ServiceDist, ServiceSampler};
 pub use event_kernel::EventKernel;
+pub use fleet::{run_fleet, FleetReport, FleetSpec, TenantSimReport, TenantSimSpec};
 pub use kernel::{Actor, FlagId, Kernel, Machine, SpinTarget, Syscall, SyscallResult, Tid};
 pub use ocall::zc::ZcSimFaults;
 pub use ocall::{CallDesc, CostModel, Dispatcher, Step};

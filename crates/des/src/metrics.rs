@@ -56,12 +56,14 @@ pub struct SimCounters {
     /// enclave faults.
     #[serde(default)]
     pub refused_non_idempotent: u64,
-    /// Log₂-bucketed histogram of open-loop sojourn times
-    /// (arrival → completion, cycles): `sojourn_log2[k]` counts calls
-    /// with sojourn in `[2^k, 2^(k+1))`. Empty until an open-loop
-    /// caller records one.
+    /// Log-linear histogram of open-loop sojourn times
+    /// (arrival → completion, cycles), same geometry as
+    /// `zc-telemetry`'s quantile module: values 0–3 are singleton
+    /// buckets, then four linear sub-buckets per power-of-two octave,
+    /// so a bucket is at most 25% wide relative to its lower edge.
+    /// Empty until an open-loop caller records one.
     #[serde(default)]
-    pub sojourn_log2: Vec<u64>,
+    pub sojourn_hist: Vec<u64>,
 }
 
 impl SimCounters {
@@ -123,23 +125,55 @@ impl SimCounters {
         self.total_calls() as f64 / self.offered as f64
     }
 
-    /// Record one open-loop sojourn (arrival → completion) in the log₂
-    /// histogram.
-    pub fn record_sojourn(&mut self, cycles: u64) {
-        let bucket = (64 - cycles.max(1).leading_zeros() - 1) as usize;
-        if self.sojourn_log2.len() <= bucket {
-            self.sojourn_log2.resize(bucket + 1, 0);
+    /// Bucket index of a sojourn value: singleton buckets for 0–3, then
+    /// `(o-1)·4 + sub` for octave `o = floor(log2 v)` with `sub` the two
+    /// mantissa bits below the leading one. Must stay in lockstep with
+    /// `zc_telemetry::quantile::bucket_index` (duplicated here because
+    /// telemetry is an optional feature of this crate).
+    fn sojourn_bucket(cycles: u64) -> usize {
+        if cycles < 4 {
+            return cycles as usize;
         }
-        self.sojourn_log2[bucket] += 1;
+        let o = 63 - cycles.leading_zeros() as usize;
+        let sub = ((cycles >> (o - 2)) & 3) as usize;
+        (o - 1) * 4 + sub
+    }
+
+    /// Inclusive upper bound (cycles) of sojourn bucket `i`.
+    fn sojourn_bucket_upper(i: usize) -> u64 {
+        let lower = |i: usize| -> u64 {
+            if i < 4 {
+                i as u64
+            } else {
+                (4 + (i & 3) as u64) << ((i / 4 - 1).min(60))
+            }
+        };
+        let (lo, next) = (lower(i), lower(i + 1));
+        if next <= lo {
+            u64::MAX
+        } else {
+            next - 1
+        }
+    }
+
+    /// Record one open-loop sojourn (arrival → completion) in the
+    /// log-linear histogram.
+    pub fn record_sojourn(&mut self, cycles: u64) {
+        let bucket = Self::sojourn_bucket(cycles);
+        if self.sojourn_hist.len() <= bucket {
+            self.sojourn_hist.resize(bucket + 1, 0);
+        }
+        self.sojourn_hist[bucket] += 1;
     }
 
     /// Upper bound (cycles) of the histogram bucket containing the
     /// `q`-quantile sojourn (`q` in 0..=100), or 0 with no samples.
-    /// Bucket granularity makes this exact to within a factor of two —
-    /// plenty for "p99 stays bounded" gates.
+    /// Log-linear buckets make this exact to within 25% — tight enough
+    /// for "p99 within 2× of baseline" isolation gates, which log₂
+    /// buckets (factor-of-two error) could not support.
     #[must_use]
     pub fn sojourn_quantile_cycles(&self, q: u32) -> u64 {
-        let total: u64 = self.sojourn_log2.iter().sum();
+        let total: u64 = self.sojourn_hist.iter().sum();
         if total == 0 {
             return 0;
         }
@@ -147,13 +181,13 @@ impl SimCounters {
             .div_ceil(100)
             .max(1);
         let mut seen = 0u64;
-        for (bucket, &count) in self.sojourn_log2.iter().enumerate() {
+        for (bucket, &count) in self.sojourn_hist.iter().enumerate() {
             seen += count;
             if seen >= rank {
-                return 1u64 << (bucket + 1).min(63);
+                return Self::sojourn_bucket_upper(bucket);
             }
         }
-        1u64 << 63
+        u64::MAX
     }
 }
 
@@ -254,6 +288,30 @@ mod tests {
         c.record_call(5, 9, CallPath::Switchless);
         assert_eq!(c.switchless, 1);
         assert_eq!(c.ops_per_caller, vec![0]);
+    }
+
+    #[test]
+    fn sojourn_histogram_separates_same_octave_values() {
+        // 1000 and 1900 differ by <2x; log2 buckets merged them and the
+        // quantile gate saw p50 == p99. Log-linear buckets keep them
+        // apart and quote an upper edge within 25% of the sample.
+        let mut c = SimCounters::new(1, 1);
+        for _ in 0..99 {
+            c.record_sojourn(1000);
+        }
+        c.record_sojourn(1900);
+        let p50 = c.sojourn_quantile_cycles(50);
+        let p99 = c.sojourn_quantile_cycles(99);
+        let p100 = c.sojourn_quantile_cycles(100);
+        assert_eq!(p50, 1023, "upper edge of [896, 1024)");
+        assert_eq!(p99, p50, "rank 99 of 100 still in the 1000s bucket");
+        assert!(p100 > p99, "the 1900 sample lands in a higher bucket");
+        assert!((1900..1900 + 1900 / 2).contains(&p100));
+        // Extremes: zero samples and huge values stay in range.
+        let mut z = SimCounters::new(1, 1);
+        assert_eq!(z.sojourn_quantile_cycles(99), 0);
+        z.record_sojourn(u64::MAX);
+        assert_eq!(z.sojourn_quantile_cycles(99), u64::MAX);
     }
 
     #[test]

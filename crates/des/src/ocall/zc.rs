@@ -79,10 +79,18 @@ pub struct ZcWorld {
     pub pool_bytes: u64,
     /// Worker count of the current scheduler step.
     pub active_workers: usize,
+    /// Externally imposed ceiling on the scheduler's worker count
+    /// (fleet bulkhead): the scheduler clamps every step to this cap, so
+    /// a fleet allocator can bound this shard's share of a global
+    /// worker budget. Takes effect at the next scheduler step.
+    pub worker_cap: usize,
     /// Worker-count residency histogram (paper §V-B).
     pub residency: WorkerResidency,
     /// Completed scheduler decisions.
     pub decisions: u64,
+    /// Latest completed configuration-phase decision, kept so a fleet
+    /// allocator can read this shard's per-worker-count fallback probes.
+    pub last_decision: Option<switchless_core::policy::DecisionRecord>,
     /// Injected crashes applied so far.
     pub crashes: u64,
     /// Injected hangs applied so far.
@@ -164,8 +172,10 @@ impl ZcWorld {
             caller_db_val: vec![0; callers],
             pool_bytes,
             active_workers: 0,
+            worker_cap: max_workers,
             residency: WorkerResidency::new(max_workers),
             decisions: 0,
+            last_decision: None,
             crashes: 0,
             hangs: 0,
             respawns: 0,
@@ -916,6 +926,9 @@ impl crate::kernel::Actor for ZcSchedulerActor {
         let delta = fb.saturating_sub(self.last_fallbacks);
         self.last_fallbacks = fb;
         let step = self.policy.next(delta);
+        // Fleet bulkhead: an externally imposed cap bounds whatever the
+        // shard-local argmin picked (see `ZcWorld::worker_cap`).
+        let m = step.workers().min(self.world.borrow().worker_cap);
         #[cfg(feature = "telemetry")]
         if let Some(hub) = &self.telemetry {
             use switchless_core::policy::PolicyStep;
@@ -954,16 +967,18 @@ impl crate::kernel::Actor for ZcSchedulerActor {
                 Origin::Scheduler,
                 Event::PhaseStart {
                     kind,
-                    workers: step.workers() as u32,
+                    workers: m as u32,
                     duration_cycles: step.duration_cycles(),
                 },
             );
         }
-        let m = step.workers();
         {
             let mut wld = self.world.borrow_mut();
             wld.active_workers = m;
             wld.residency.record(m, step.duration_cycles());
+            if self.policy.decisions() > wld.decisions {
+                wld.last_decision = self.policy.last_decision().cloned();
+            }
             wld.decisions = self.policy.decisions();
             for i in 0..wld.workers.len() {
                 if i < m {

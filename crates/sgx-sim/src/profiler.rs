@@ -72,8 +72,8 @@ impl FuncProfile {
         }
         // Saturate rather than wrap: a single pathological duration (or
         // a very long profiling window) must not corrupt the mean, and
-        // durations at or beyond 2^BUCKETS cycles clamp into the last
-        // bucket instead of indexing out of range.
+        // durations at or beyond the last bucket's lower edge clamp
+        // into it instead of indexing out of range.
         self.total_cycles = self.total_cycles.saturating_add(cycles);
         self.min_cycles = self.min_cycles.min(cycles);
         self.max_cycles = self.max_cycles.max(cycles);
@@ -465,15 +465,19 @@ mod tests {
     }
 
     #[test]
-    fn histogram_buckets_are_log2() {
+    fn histogram_buckets_follow_shared_log_linear_geometry() {
         let mut p = FuncProfile::new("x".into());
         p.record(1, CallPath::Regular);
         p.record(2, CallPath::Regular);
         p.record(3, CallPath::Regular);
         p.record(1024, CallPath::Regular);
-        assert_eq!(p.histogram[0], 1); // [1,2)
-        assert_eq!(p.histogram[1], 2); // [2,4)
-        assert_eq!(p.histogram[10], 1); // [1024,2048)
+        // Values below 4 get singleton buckets; larger values land in
+        // 4-per-octave sub-buckets (see zc_telemetry::quantile).
+        assert_eq!(p.histogram[quantile::bucket_index(1)], 1);
+        assert_eq!(p.histogram[quantile::bucket_index(2)], 1);
+        assert_eq!(p.histogram[quantile::bucket_index(3)], 1);
+        assert_eq!(p.histogram[quantile::bucket_index(1024)], 1);
+        assert_ne!(quantile::bucket_index(2), quantile::bucket_index(3));
         assert_eq!(p.p50_bucket_cycles(), 2);
     }
 
@@ -495,11 +499,11 @@ mod tests {
 
     #[test]
     fn histogram_saturates_instead_of_overflowing() {
-        // Durations at or beyond 2^BUCKETS cycles (~15 minutes at the
-        // paper machine's clock) must clamp into the last bucket, and
-        // the running total must saturate instead of wrapping.
+        // Durations at or beyond the last bucket's lower edge must
+        // clamp into that bucket, and the running total must saturate
+        // instead of wrapping.
         let mut p = FuncProfile::new("x".into());
-        p.record(1u64 << BUCKETS, CallPath::Regular); // first out-of-range value
+        p.record(quantile::bucket_lower(BUCKETS - 1), CallPath::Regular); // first clamped value
         p.record(u64::MAX, CallPath::Regular); // extreme
         p.record(u64::MAX, CallPath::Regular); // would wrap a wrapping sum
         assert_eq!(p.calls, 3);

@@ -1,0 +1,918 @@
+//! Pure multi-enclave fleet scheduling: one worker budget, M tenants.
+//!
+//! ROADMAP item 4 generalises the single-enclave runtime to M enclaves
+//! (*tenants*) sharing one untrusted worker budget. Each tenant is a
+//! **bulkhead fault domain**: it keeps its own supervisor, guards,
+//! overload gate and recovery journal, and this module decides — purely,
+//! deterministically — how many workers each tenant's shard may run.
+//!
+//! The allocator extends the paper's wasted-cycle objective across
+//! pools. For an assignment `(m_1, …, m_M)` the global waste is
+//!
+//! ```text
+//! U = Σ_t w_t · F_t(m_t) · T_es  +  (Σ_t m_t) · T
+//! ```
+//!
+//! where `F_t(m)` is tenant `t`'s observed fallback count at `m`
+//! workers (its shard's configuration-phase probe vector), `w_t` its
+//! provisioned weight, and `T` the scheduling interval. [`allocate`]
+//! minimises this greedily: starting from the fairness floor it gives
+//! each next worker to the tenant whose marginal fallback saving most
+//! exceeds the worker's interval cost. Because each additional worker
+//! can only reduce a tenant's fallbacks by a diminishing amount in the
+//! probe vectors the paper's scheduler produces, the greedy choice is
+//! exact for concave savings and never worse than one worker per tenant
+//! otherwise.
+//!
+//! Three robustness rules sit on top of the argmin:
+//!
+//! * **Fairness floor** — every tenant with nonzero offered load gets at
+//!   least one worker (bounded by the budget), however noisy its
+//!   neighbours: a starved shard would otherwise pay `T_es` on *every*
+//!   call forever.
+//! * **Verdict caps** — a [`TenantVerdict`] lattice folds each shard's
+//!   supervision/guard/overload/recovery signals into one ordered
+//!   judgement; misbehaving tenants are capped (fair share when
+//!   [`TenantVerdict::Suspect`], the floor when
+//!   [`TenantVerdict::Faulty`]) so their demand cannot pull budget away
+//!   from well-behaved shards. The cap charges the *offending* shard
+//!   only — other tenants' allocations are computed as if the faulty
+//!   tenant simply demanded less.
+//! * **Anti-starvation escalation** — a stateful [`FleetAllocator`]
+//!   watches for tenants pinned at the floor with unmet demand for
+//!   [`FleetParams::starvation_intervals`] consecutive decisions and
+//!   escalates their effective weight (doubling per escalation) until
+//!   the argmin lifts them above the floor, so a low-weight tenant can
+//!   be delayed but never starved indefinitely.
+//!
+//! [`FleetSnapshot`] extends the runtime conservation contracts
+//! (`offered == completed + shed + abandoned + refused`) to the fleet:
+//! it proves the identity per tenant *and* globally, and flags any
+//! cross-tenant leakage (global totals drifting from the per-tenant
+//! sums) as a hard error.
+
+use crate::policy::PolicyParams;
+use serde::{Deserialize, Serialize};
+
+/// Default consecutive floor-pinned intervals before anti-starvation
+/// escalation kicks in.
+pub const DEFAULT_STARVATION_INTERVALS: u32 = 3;
+
+/// Default worker crashes per interval that mark a tenant
+/// [`TenantVerdict::Suspect`].
+pub const DEFAULT_CRASH_SUSPECT_THRESHOLD: u64 = 3;
+
+/// Cap on anti-starvation weight doublings (2^16 ≫ any sane weight
+/// ratio; the cap only bounds the shift).
+const MAX_ESCALATION: u32 = 16;
+
+/// Parameters of the fleet allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetParams {
+    /// Shared machine constants (`T_es`, interval `T = quantum_cycles`,
+    /// per-shard worker ceiling, fallback weight). One machine hosts
+    /// the whole fleet, so these are fleet-wide.
+    pub policy: PolicyParams,
+    /// Global worker budget shared by all shards (the machine's
+    /// busy-wait capacity, e.g. `N/2` cores).
+    pub budget: usize,
+    /// Consecutive decisions a tenant may sit at the floor with unmet
+    /// demand before its effective weight escalates.
+    pub starvation_intervals: u32,
+    /// Worker crashes in one interval that mark a tenant
+    /// [`TenantVerdict::Suspect`].
+    pub crash_suspect_threshold: u64,
+}
+
+impl FleetParams {
+    /// Fleet parameters for a machine (`budget` workers shared by all
+    /// tenants) with default robustness thresholds.
+    #[must_use]
+    pub fn new(policy: PolicyParams, budget: usize) -> Self {
+        FleetParams {
+            policy,
+            budget: budget.max(1),
+            starvation_intervals: DEFAULT_STARVATION_INTERVALS,
+            crash_suspect_threshold: DEFAULT_CRASH_SUSPECT_THRESHOLD,
+        }
+    }
+
+    /// Builder-style override of the starvation-escalation threshold.
+    #[must_use]
+    pub fn with_starvation_intervals(mut self, n: u32) -> Self {
+        self.starvation_intervals = n.max(1);
+        self
+    }
+
+    /// Builder-style override of the crash-suspicion threshold.
+    #[must_use]
+    pub fn with_crash_suspect_threshold(mut self, n: u64) -> Self {
+        self.crash_suspect_threshold = n.max(1);
+        self
+    }
+}
+
+/// Ordered verdict on one tenant's behaviour, derived from its shard's
+/// robustness planes. Forms a join-semilattice under
+/// [`TenantVerdict::join`] (worst evidence wins), so independent signal
+/// sources can be combined without ordering concerns.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum TenantVerdict {
+    /// No adverse signals; full access to the shared budget.
+    #[default]
+    Healthy,
+    /// Overloaded but honest (breaker open / brownout active): its own
+    /// admission gate is already shedding; allocation is not capped.
+    Degraded,
+    /// Crash-looping (workers or whole enclave): capped at its weighted
+    /// fair share so respawn churn cannot annex surplus budget.
+    Suspect,
+    /// Byzantine evidence (guard violations): capped at the floor —
+    /// blast-radius containment while its shard-local guards and
+    /// supervisor deal with the hostile host.
+    Faulty,
+}
+
+impl TenantVerdict {
+    /// All verdicts in lattice order.
+    pub const ALL: [TenantVerdict; 4] = [
+        TenantVerdict::Healthy,
+        TenantVerdict::Degraded,
+        TenantVerdict::Suspect,
+        TenantVerdict::Faulty,
+    ];
+
+    /// Least upper bound: the worse of the two verdicts.
+    #[must_use]
+    pub fn join(self, other: TenantVerdict) -> TenantVerdict {
+        self.max(other)
+    }
+
+    /// Stable lowercase name used by exporters and reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TenantVerdict::Healthy => "healthy",
+            TenantVerdict::Degraded => "degraded",
+            TenantVerdict::Suspect => "suspect",
+            TenantVerdict::Faulty => "faulty",
+        }
+    }
+}
+
+/// Per-interval robustness signals from one tenant's shard, gathered
+/// from its supervisor, guards, overload gate and recovery plane.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantSignals {
+    /// Trusted-side guard violations (Byzantine evidence).
+    pub guard_violations: u64,
+    /// Worker crashes/hangs charged by the shard supervisor.
+    pub worker_crashes: u64,
+    /// Whole-enclave losses handled by the recovery plane.
+    pub enclave_crashes: u64,
+    /// The shard's fallback-storm circuit breaker is open.
+    pub breaker_open: bool,
+    /// The shard's brownout ladder is above level 0.
+    pub brownout_level: u8,
+}
+
+impl TenantSignals {
+    /// Fold the signals into one verdict (worst evidence wins).
+    #[must_use]
+    pub fn verdict(&self, params: &FleetParams) -> TenantVerdict {
+        let mut v = TenantVerdict::Healthy;
+        if self.breaker_open || self.brownout_level > 0 {
+            v = v.join(TenantVerdict::Degraded);
+        }
+        if self.enclave_crashes > 0 || self.worker_crashes >= params.crash_suspect_threshold {
+            v = v.join(TenantVerdict::Suspect);
+        }
+        if self.guard_violations > 0 {
+            v = v.join(TenantVerdict::Faulty);
+        }
+        v
+    }
+}
+
+/// One tenant's demand as seen by the allocator at a decision point.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantDemand {
+    /// Provisioned weight (≥ 1; scales the tenant's fallback pain in
+    /// the global objective).
+    pub weight: u64,
+    /// Calls the tenant offered in the last interval. A tenant with
+    /// zero offered load has no floor claim and receives workers only
+    /// if its probe vector still shows fallback savings.
+    pub offered: u64,
+    /// Observed fallback counts `F_t(m)` by worker count `m` (index),
+    /// from the shard's latest configuration-phase probes. Missing
+    /// entries extend with the last value (more workers cannot save
+    /// more than the last probe showed).
+    pub probes: Vec<u64>,
+    /// The tenant's current behaviour verdict.
+    pub verdict: TenantVerdict,
+}
+
+impl TenantDemand {
+    /// Demand for a healthy tenant.
+    #[must_use]
+    pub fn new(weight: u64, offered: u64, probes: Vec<u64>) -> Self {
+        TenantDemand {
+            weight: weight.max(1),
+            offered,
+            probes,
+            verdict: TenantVerdict::Healthy,
+        }
+    }
+
+    /// Builder-style verdict override.
+    #[must_use]
+    pub fn with_verdict(mut self, verdict: TenantVerdict) -> Self {
+        self.verdict = verdict;
+        self
+    }
+
+    /// `F_t(m)`: fallbacks expected at `m` workers (probe vector with
+    /// last-value extension; 0 when no probes exist).
+    #[must_use]
+    pub fn fallbacks_at(&self, m: usize) -> u64 {
+        self.probes
+            .get(m)
+            .or(self.probes.last())
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// The record of one fleet decision: assignment, caps, verdicts and the
+/// global cost, kept for observability (mirrors the per-shard
+/// `DecisionRecord`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetDecision {
+    /// Workers assigned per tenant.
+    pub assigned: Vec<usize>,
+    /// Effective per-tenant caps after verdict containment.
+    pub caps: Vec<usize>,
+    /// Verdict each tenant was judged under.
+    pub verdicts: Vec<TenantVerdict>,
+    /// Tenants whose weight was escalated by the anti-starvation rule.
+    pub escalated: Vec<bool>,
+    /// Global wasted-cycle cost `U` of the assignment.
+    pub cost: u64,
+}
+
+/// Global waste `U = Σ_t w_t·fw·F_t(m_t)·T_es + (Σ m_t)·T` of an
+/// assignment (`fw` = the policy fallback weight; saturating).
+#[must_use]
+pub fn fleet_cost(demands: &[TenantDemand], assigned: &[usize], params: &FleetParams) -> u64 {
+    let mut u = 0u64;
+    let mut total_workers = 0u64;
+    for (t, d) in demands.iter().enumerate() {
+        let m = assigned.get(t).copied().unwrap_or(0);
+        total_workers += m as u64;
+        u = u.saturating_add(
+            d.weight
+                .saturating_mul(params.policy.fallback_weight.max(1))
+                .saturating_mul(d.fallbacks_at(m))
+                .saturating_mul(params.policy.t_es_cycles),
+        );
+    }
+    u.saturating_add(total_workers.saturating_mul(params.policy.quantum_cycles))
+}
+
+/// Effective worker cap for one tenant under its verdict.
+///
+/// `Faulty` tenants are contained at the floor (1 if they offered load,
+/// else 0); `Suspect` tenants at their weighted fair share; everyone
+/// else at the shard ceiling (`policy.max_workers`).
+#[must_use]
+pub fn verdict_cap(demand: &TenantDemand, weight_sum: u64, params: &FleetParams) -> usize {
+    let floor = usize::from(demand.offered > 0);
+    let shard_max = params.policy.max_workers.max(1);
+    match demand.verdict {
+        TenantVerdict::Faulty => floor.min(shard_max),
+        TenantVerdict::Suspect => {
+            let fair = (params.budget as u64).saturating_mul(demand.weight) / weight_sum.max(1);
+            (fair as usize).max(floor).min(shard_max)
+        }
+        TenantVerdict::Healthy | TenantVerdict::Degraded => shard_max,
+    }
+}
+
+/// Deterministic global worker assignment.
+///
+/// Guarantees, for any input:
+///
+/// * `Σ assigned ≤ params.budget` and `assigned[t] ≤ cap(t)` always;
+/// * **floor**: if the budget covers every tenant with nonzero offered
+///   load, each such tenant gets ≥ 1 worker (with a short budget, the
+///   floors go to the lowest tenant ids — deterministic, and the fleet
+///   runtimes size budgets ≥ tenant count);
+/// * **determinism**: the output is a pure function of the inputs; ties
+///   break towards the lower tenant id.
+#[must_use]
+pub fn allocate(demands: &[TenantDemand], params: &FleetParams) -> Vec<usize> {
+    let n = demands.len();
+    let mut assigned = vec![0usize; n];
+    if n == 0 {
+        return assigned;
+    }
+    let weight_sum: u64 = demands.iter().map(|d| d.weight.max(1)).sum();
+    let caps: Vec<usize> = demands
+        .iter()
+        .map(|d| verdict_cap(d, weight_sum, params))
+        .collect();
+
+    // Fairness floors first, in tenant-id order while the budget lasts.
+    let mut left = params.budget;
+    for (t, d) in demands.iter().enumerate() {
+        if d.offered > 0 && caps[t] > 0 && left > 0 {
+            assigned[t] = 1;
+            left -= 1;
+        }
+    }
+
+    // Greedy argmin: hand each remaining worker to the tenant whose
+    // marginal fallback saving most exceeds the worker's interval cost.
+    let fw = params.policy.fallback_weight.max(1);
+    while left > 0 {
+        let mut best: Option<(u64, usize)> = None; // (net gain, tenant)
+        for (t, d) in demands.iter().enumerate() {
+            if assigned[t] >= caps[t] {
+                continue;
+            }
+            let saved = d
+                .fallbacks_at(assigned[t])
+                .saturating_sub(d.fallbacks_at(assigned[t] + 1));
+            let benefit = d
+                .weight
+                .saturating_mul(fw)
+                .saturating_mul(saved)
+                .saturating_mul(params.policy.t_es_cycles);
+            let Some(net) = benefit.checked_sub(params.policy.quantum_cycles) else {
+                continue; // the worker costs more than it saves
+            };
+            if net == 0 {
+                continue;
+            }
+            // Strict improvement only; ties break to the lower id by
+            // visiting tenants in id order and requiring a strict win.
+            if best.is_none_or(|(g, _)| net > g) {
+                best = Some((net, t));
+            }
+        }
+        match best {
+            Some((_, t)) => {
+                assigned[t] += 1;
+                left -= 1;
+            }
+            None => break, // no worker pays for itself any more
+        }
+    }
+    assigned
+}
+
+/// Stateful allocator adding the anti-starvation escalation rule on top
+/// of [`allocate`]. One instance per fleet; call
+/// [`FleetAllocator::decide`] once per scheduling interval.
+#[derive(Debug, Clone)]
+pub struct FleetAllocator {
+    params: FleetParams,
+    /// Consecutive intervals each tenant sat at the floor with unmet
+    /// demand.
+    starved: Vec<u32>,
+    /// Current escalation level per tenant (weight is scaled by
+    /// `2^level`).
+    escalation: Vec<u32>,
+    decisions: u64,
+    last: Option<FleetDecision>,
+}
+
+impl FleetAllocator {
+    /// Allocator for `tenants` tenants.
+    #[must_use]
+    pub fn new(params: FleetParams, tenants: usize) -> Self {
+        FleetAllocator {
+            params,
+            starved: vec![0; tenants],
+            escalation: vec![0; tenants],
+            decisions: 0,
+            last: None,
+        }
+    }
+
+    /// The fleet parameters this allocator runs under.
+    #[must_use]
+    pub fn params(&self) -> &FleetParams {
+        &self.params
+    }
+
+    /// Decisions taken so far.
+    #[must_use]
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// The most recent decision, if any.
+    #[must_use]
+    pub fn last_decision(&self) -> Option<&FleetDecision> {
+        self.last.as_ref()
+    }
+
+    /// Run one fleet decision over the tenants' current demands.
+    ///
+    /// `demands.len()` must equal the tenant count given at
+    /// construction (excess state is ignored, missing state grows).
+    pub fn decide(&mut self, demands: &[TenantDemand]) -> FleetDecision {
+        let n = demands.len();
+        self.starved.resize(n, 0);
+        self.escalation.resize(n, 0);
+
+        // Apply escalation boosts to the effective weights.
+        let boosted: Vec<TenantDemand> = demands
+            .iter()
+            .zip(&self.escalation)
+            .map(|(d, &e)| {
+                let mut b = d.clone();
+                b.weight = d
+                    .weight
+                    .max(1)
+                    .saturating_mul(1u64 << e.min(MAX_ESCALATION));
+                b
+            })
+            .collect();
+        let assigned = allocate(&boosted, &self.params);
+
+        // Update starvation ledgers: a tenant is starving when it is
+        // pinned at its floor while its probe vector says more workers
+        // would still save fallbacks. Faulty tenants are contained, not
+        // starved — containment must not escalate into extra budget.
+        let weight_sum: u64 = boosted.iter().map(|d| d.weight.max(1)).sum();
+        let mut escalated = vec![false; n];
+        for (t, d) in demands.iter().enumerate() {
+            let floor = usize::from(d.offered > 0);
+            let unmet = d.fallbacks_at(assigned[t]) > d.fallbacks_at(assigned[t] + 1)
+                || (assigned[t] == 0 && d.offered > 0);
+            let starving =
+                d.verdict < TenantVerdict::Faulty && d.offered > 0 && assigned[t] <= floor && unmet;
+            if starving {
+                self.starved[t] = self.starved[t].saturating_add(1);
+                if self.starved[t] >= self.params.starvation_intervals {
+                    self.escalation[t] = (self.escalation[t] + 1).min(MAX_ESCALATION);
+                    self.starved[t] = 0;
+                }
+            } else {
+                self.starved[t] = 0;
+                // Gradual decay avoids hard oscillation between the
+                // boosted and unboosted assignments.
+                self.escalation[t] = self.escalation[t].saturating_sub(1);
+            }
+            escalated[t] = self.escalation[t] > 0;
+        }
+
+        let decision = FleetDecision {
+            caps: boosted
+                .iter()
+                .map(|d| verdict_cap(d, weight_sum, &self.params))
+                .collect(),
+            verdicts: demands.iter().map(|d| d.verdict).collect(),
+            cost: fleet_cost(demands, &assigned, &self.params),
+            assigned,
+            escalated,
+        };
+        self.decisions += 1;
+        self.last = Some(decision.clone());
+        decision
+    }
+}
+
+/// One tenant's call accounting, in the vocabulary of the runtime
+/// conservation contracts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantUsage {
+    /// Calls the tenant's workload put on offer.
+    pub offered: u64,
+    /// Calls that completed on some path.
+    pub completed: u64,
+    /// Calls shed by admission control or client-side deadlines.
+    pub shed: u64,
+    /// Offered calls abandoned un-issued.
+    pub abandoned: u64,
+    /// Non-idempotent calls refused by post-crash reconciliation.
+    pub refused: u64,
+    /// Guard violations charged to this tenant's shard.
+    pub guard_violations: u64,
+}
+
+impl TenantUsage {
+    /// Exact per-tenant conservation:
+    /// `offered == completed + shed + abandoned + refused`.
+    #[must_use]
+    pub fn conserves(&self) -> bool {
+        self.offered == self.completed + self.shed + self.abandoned + self.refused
+    }
+
+    /// Accumulate another usage record into this one (saturating).
+    pub fn absorb(&mut self, other: &TenantUsage) {
+        self.offered = self.offered.saturating_add(other.offered);
+        self.completed = self.completed.saturating_add(other.completed);
+        self.shed = self.shed.saturating_add(other.shed);
+        self.abandoned = self.abandoned.saturating_add(other.abandoned);
+        self.refused = self.refused.saturating_add(other.refused);
+        self.guard_violations = self.guard_violations.saturating_add(other.guard_violations);
+    }
+}
+
+/// A fleet-accounting violation found by [`FleetSnapshot::check`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetAccountingError {
+    /// One tenant's own books do not balance.
+    TenantImbalance {
+        /// Offending tenant index.
+        tenant: usize,
+        /// Its offered count.
+        offered: u64,
+        /// `completed + shed + abandoned + refused`.
+        accounted: u64,
+    },
+    /// The global totals drifted from the per-tenant sums: calls leaked
+    /// across a bulkhead (charged to the wrong tenant or double/never
+    /// counted).
+    CrossTenantLeak {
+        /// Name of the leaking field.
+        field: &'static str,
+        /// Sum over tenants.
+        tenant_sum: u64,
+        /// Independently accumulated global total.
+        global: u64,
+    },
+}
+
+impl std::fmt::Display for FleetAccountingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetAccountingError::TenantImbalance {
+                tenant,
+                offered,
+                accounted,
+            } => write!(
+                f,
+                "tenant {tenant} books do not balance: offered {offered} != accounted {accounted}"
+            ),
+            FleetAccountingError::CrossTenantLeak {
+                field,
+                tenant_sum,
+                global,
+            } => write!(
+                f,
+                "cross-tenant leak in {field}: per-tenant sum {tenant_sum} != global {global}"
+            ),
+        }
+    }
+}
+
+/// The fleet-wide conservation snapshot: per-tenant books plus the
+/// independently accumulated global totals.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetSnapshot {
+    /// One usage record per tenant, by tenant index.
+    pub tenants: Vec<TenantUsage>,
+    /// Global totals accumulated independently of the per-tenant books
+    /// (when the producer has no independent global counters, use
+    /// [`FleetSnapshot::from_tenants`], which sums — the leak check is
+    /// then vacuous but the conservation checks still bite).
+    pub global: TenantUsage,
+}
+
+impl FleetSnapshot {
+    /// Snapshot whose global totals are the per-tenant sums.
+    #[must_use]
+    pub fn from_tenants(tenants: Vec<TenantUsage>) -> Self {
+        let mut global = TenantUsage::default();
+        for t in &tenants {
+            global.absorb(t);
+        }
+        FleetSnapshot { tenants, global }
+    }
+
+    /// `Σ per-tenant` of every field.
+    #[must_use]
+    pub fn tenant_sum(&self) -> TenantUsage {
+        let mut sum = TenantUsage::default();
+        for t in &self.tenants {
+            sum.absorb(t);
+        }
+        sum
+    }
+
+    /// Do all books balance — each tenant, the global totals, and no
+    /// cross-tenant leakage?
+    #[must_use]
+    pub fn conserves(&self) -> bool {
+        self.check().is_ok()
+    }
+
+    /// Check every fleet accounting invariant, returning the first
+    /// violation: per-tenant conservation, global conservation, and
+    /// field-by-field agreement between the per-tenant sums and the
+    /// global totals (cross-tenant leak detection).
+    pub fn check(&self) -> Result<(), FleetAccountingError> {
+        for (i, t) in self.tenants.iter().enumerate() {
+            if !t.conserves() {
+                return Err(FleetAccountingError::TenantImbalance {
+                    tenant: i,
+                    offered: t.offered,
+                    accounted: t.completed + t.shed + t.abandoned + t.refused,
+                });
+            }
+        }
+        let sum = self.tenant_sum();
+        for (field, s, g) in [
+            ("offered", sum.offered, self.global.offered),
+            ("completed", sum.completed, self.global.completed),
+            ("shed", sum.shed, self.global.shed),
+            ("abandoned", sum.abandoned, self.global.abandoned),
+            ("refused", sum.refused, self.global.refused),
+            (
+                "guard_violations",
+                sum.guard_violations,
+                self.global.guard_violations,
+            ),
+        ] {
+            if s != g {
+                return Err(FleetAccountingError::CrossTenantLeak {
+                    field,
+                    tenant_sum: s,
+                    global: g,
+                });
+            }
+        }
+        if !self.global.conserves() {
+            return Err(FleetAccountingError::TenantImbalance {
+                tenant: usize::MAX,
+                offered: self.global.offered,
+                accounted: self.global.completed
+                    + self.global.shed
+                    + self.global.abandoned
+                    + self.global.refused,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuSpec;
+
+    fn params(budget: usize) -> FleetParams {
+        FleetParams::new(PolicyParams::from_cpu(&CpuSpec::paper_machine()), budget)
+    }
+
+    /// A probe vector where each worker saves `saving` fallbacks until
+    /// the count hits zero.
+    fn linear_probes(start: u64, saving: u64, len: usize) -> Vec<u64> {
+        (0..len as u64)
+            .map(|m| start.saturating_sub(m * saving))
+            .collect()
+    }
+
+    #[test]
+    fn verdict_lattice_is_ordered_join() {
+        use TenantVerdict::*;
+        assert!(Healthy < Degraded && Degraded < Suspect && Suspect < Faulty);
+        for a in TenantVerdict::ALL {
+            for b in TenantVerdict::ALL {
+                assert_eq!(a.join(b), b.join(a), "commutative");
+                assert_eq!(a.join(a), a, "idempotent");
+                assert!(a.join(b) >= a && a.join(b) >= b, "upper bound");
+            }
+        }
+    }
+
+    #[test]
+    fn signals_fold_to_worst_evidence() {
+        let p = params(4);
+        let mut s = TenantSignals::default();
+        assert_eq!(s.verdict(&p), TenantVerdict::Healthy);
+        s.brownout_level = 2;
+        assert_eq!(s.verdict(&p), TenantVerdict::Degraded);
+        s.enclave_crashes = 1;
+        assert_eq!(s.verdict(&p), TenantVerdict::Suspect);
+        s.guard_violations = 1;
+        assert_eq!(s.verdict(&p), TenantVerdict::Faulty);
+    }
+
+    #[test]
+    fn floor_holds_for_every_offered_tenant() {
+        // Tenant 1 has overwhelming demand; tenant 0 still gets one.
+        let demands = vec![
+            TenantDemand::new(1, 10, vec![1, 0]),
+            TenantDemand::new(100, 1_000_000, linear_probes(100_000, 20_000, 5)),
+        ];
+        let a = allocate(&demands, &params(4));
+        assert!(a[0] >= 1, "floored tenant starved: {a:?}");
+        assert!(a[1] >= 1);
+        assert!(a.iter().sum::<usize>() <= 4);
+    }
+
+    #[test]
+    fn idle_tenants_release_their_floor() {
+        let demands = vec![
+            TenantDemand::new(1, 0, vec![]),
+            TenantDemand::new(1, 100, linear_probes(10_000, 5_000, 3)),
+        ];
+        let a = allocate(&demands, &params(2));
+        assert_eq!(a[0], 0, "no offered load, no floor claim");
+        assert!(a[1] >= 1);
+    }
+
+    #[test]
+    fn greedy_matches_brute_force_on_small_fleets() {
+        // Exhaustive check: concave savings, 2 tenants, budget 4.
+        let p = params(4);
+        let demands = vec![
+            TenantDemand::new(2, 500, linear_probes(6_000, 2_500, 5)),
+            TenantDemand::new(1, 500, linear_probes(9_000, 3_000, 5)),
+        ];
+        let greedy = allocate(&demands, &p);
+        let mut best = (u64::MAX, vec![]);
+        for m0 in 0..=4usize {
+            for m1 in 0..=(4 - m0) {
+                // Respect the floor the greedy allocator guarantees.
+                if m0 == 0 || m1 == 0 {
+                    continue;
+                }
+                let cost = fleet_cost(&demands, &[m0, m1], &p);
+                if cost < best.0 {
+                    best = (cost, vec![m0, m1]);
+                }
+            }
+        }
+        assert_eq!(
+            fleet_cost(&demands, &greedy, &p),
+            best.0,
+            "greedy {greedy:?} vs brute {best:?}"
+        );
+    }
+
+    #[test]
+    fn faulty_tenant_is_contained_at_floor() {
+        let storm = linear_probes(1_000_000, 100_000, 5);
+        let honest = linear_probes(1_000, 400, 5);
+        let p = params(4);
+        let byz = vec![
+            TenantDemand::new(1, 1_000_000, storm.clone()).with_verdict(TenantVerdict::Faulty),
+            TenantDemand::new(1, 1_000, honest.clone()),
+        ];
+        let a = allocate(&byz, &p);
+        assert_eq!(a[0], 1, "faulty tenant pinned to the floor");
+        // The honest tenant's allocation matches what it would get if
+        // the faulty tenant simply demanded nothing beyond its floor.
+        let solo = vec![
+            TenantDemand::new(1, 1_000_000, vec![0]),
+            TenantDemand::new(1, 1_000, honest),
+        ];
+        assert_eq!(
+            a[1],
+            allocate(&solo, &p)[1],
+            "containment charges only the offender"
+        );
+    }
+
+    #[test]
+    fn suspect_tenant_capped_at_fair_share() {
+        let p = params(4);
+        let demands = vec![
+            TenantDemand::new(1, 100_000, linear_probes(1_000_000, 100_000, 5))
+                .with_verdict(TenantVerdict::Suspect),
+            TenantDemand::new(1, 100_000, linear_probes(1_000_000, 100_000, 5)),
+        ];
+        let a = allocate(&demands, &p);
+        assert!(a[0] <= 2, "suspect capped at fair share (4·1/2): {a:?}");
+    }
+
+    #[test]
+    fn allocation_is_deterministic() {
+        let demands = vec![
+            TenantDemand::new(3, 500, linear_probes(700, 300, 5)),
+            TenantDemand::new(2, 400, linear_probes(700, 300, 5)),
+            TenantDemand::new(1, 300, linear_probes(700, 300, 5)),
+        ];
+        let p = params(4);
+        let a = allocate(&demands, &p);
+        for _ in 0..10 {
+            assert_eq!(allocate(&demands, &p), a);
+        }
+        // Exact ties break towards the lower tenant id.
+        let tied = vec![
+            TenantDemand::new(1, 100, linear_probes(700, 300, 5)),
+            TenantDemand::new(1, 100, linear_probes(700, 300, 5)),
+        ];
+        let t = allocate(&tied, &params(3));
+        assert!(t[0] >= t[1], "tie must favour the lower id: {t:?}");
+    }
+
+    #[test]
+    fn starved_tenant_escalates_and_recovers() {
+        // Tenant 1's weight dwarfs tenant 0's, and the budget holds the
+        // floors plus one surplus worker; without escalation tenant 0
+        // would sit at the floor forever while its probes keep showing
+        // unmet savings.
+        let mut alloc = FleetAllocator::new(params(3).with_starvation_intervals(2), 2);
+        let demands = vec![
+            TenantDemand::new(1, 10_000, linear_probes(5_000, 2_000, 3)),
+            TenantDemand::new(64, 10_000, linear_probes(5_000, 2_000, 3)),
+        ];
+        let first = alloc.decide(&demands);
+        assert_eq!(
+            first.assigned,
+            vec![1, 2],
+            "surplus goes to the heavy tenant"
+        );
+        let mut lifted = false;
+        for _ in 0..32 {
+            let d = alloc.decide(&demands);
+            if d.assigned[0] > 1 {
+                assert!(d.escalated[0], "the lift must come from escalation");
+                lifted = true;
+                break;
+            }
+        }
+        assert!(lifted, "anti-starvation never lifted tenant 0");
+    }
+
+    #[test]
+    fn allocator_reports_decision_metadata() {
+        let mut alloc = FleetAllocator::new(params(4), 2);
+        let demands = vec![
+            TenantDemand::new(1, 100, linear_probes(700, 300, 5)),
+            TenantDemand::new(1, 0, vec![]).with_verdict(TenantVerdict::Faulty),
+        ];
+        let d = alloc.decide(&demands);
+        assert_eq!(d.assigned.len(), 2);
+        assert_eq!(d.verdicts[1], TenantVerdict::Faulty);
+        assert_eq!(d.caps[1], 0, "faulty + idle = no workers at all");
+        assert_eq!(alloc.decisions(), 1);
+        assert_eq!(alloc.last_decision(), Some(&d));
+        assert_eq!(d.cost, fleet_cost(&demands, &d.assigned, alloc.params()));
+    }
+
+    #[test]
+    fn snapshot_balances_and_detects_leaks() {
+        let t0 = TenantUsage {
+            offered: 100,
+            completed: 90,
+            shed: 6,
+            abandoned: 3,
+            refused: 1,
+            guard_violations: 0,
+        };
+        let t1 = TenantUsage {
+            offered: 50,
+            completed: 50,
+            ..TenantUsage::default()
+        };
+        let snap = FleetSnapshot::from_tenants(vec![t0, t1]);
+        assert!(snap.conserves());
+        assert_eq!(snap.global.offered, 150);
+
+        // A tenant whose books do not balance.
+        let mut bad = snap.clone();
+        bad.tenants[0].completed -= 1;
+        bad.global.completed -= 1;
+        assert!(matches!(
+            bad.check(),
+            Err(FleetAccountingError::TenantImbalance { tenant: 0, .. })
+        ));
+
+        // Books balance per tenant but a call leaked across a bulkhead:
+        // tenant 1 charged with a completion tenant 0 offered.
+        let mut leak = snap.clone();
+        leak.tenants[0].completed -= 1;
+        leak.tenants[0].shed += 1;
+        leak.tenants[1].completed += 1;
+        leak.tenants[1].offered += 1;
+        assert!(matches!(
+            leak.check(),
+            Err(FleetAccountingError::CrossTenantLeak {
+                field: "offered",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn budget_is_never_exceeded() {
+        for budget in 1..8usize {
+            let demands: Vec<TenantDemand> = (0..5)
+                .map(|i| TenantDemand::new(i + 1, 1_000, linear_probes(10_000, 3_000, 4)))
+                .collect();
+            let a = allocate(&demands, &params(budget));
+            assert!(a.iter().sum::<usize>() <= budget, "budget {budget}: {a:?}");
+        }
+    }
+}

@@ -31,6 +31,11 @@
 //!   per-call intent journal, the idempotency-class reconciliation
 //!   verdict lattice and the Detect → Fence → Restart → Reconcile →
 //!   Drain-resume policy state machine ([`RecoveryPlane`]).
+//! * [`fleet`] — the *pure* multi-enclave fleet plane: the global
+//!   worker-budget allocator running the wasted-cycle argmin across M
+//!   tenant shards, the fairness floor and anti-starvation escalation,
+//!   the [`TenantVerdict`] behaviour lattice and the fleet-wide
+//!   conservation snapshot ([`FleetSnapshot`]).
 //! * [`rand`] — the workspace's one seeded PRNG ([`SplitMix64`]), so a
 //!   single seed reproduces an overload+fault scenario byte-identically.
 //!
@@ -65,6 +70,7 @@ pub mod config;
 pub mod cpu;
 pub mod error;
 pub mod fault;
+pub mod fleet;
 pub mod func;
 pub mod guard;
 pub mod overload;
@@ -81,6 +87,10 @@ pub use error::SwitchlessError;
 pub use fault::{
     ByzantineFault, DrainReport, EnclaveFault, FaultCounts, FaultInjector, FaultPlan,
     FaultSchedule, TransitionLog, WorkerFault,
+};
+pub use fleet::{
+    FleetAccountingError, FleetAllocator, FleetDecision, FleetParams, FleetSnapshot, TenantDemand,
+    TenantSignals, TenantUsage, TenantVerdict,
 };
 pub use func::{FuncId, HostFn, OcallReply, OcallRequest, OcallTable, MAX_OCALL_ARGS};
 pub use guard::{GuardKind, GuardViolation, ReplyGuard, ReplyVerdict, SharedWordGuard};

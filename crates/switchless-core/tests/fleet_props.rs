@@ -1,0 +1,117 @@
+//! Property tests of the fleet allocator's fairness invariants: for
+//! arbitrary tenant weights, traffic mixes, probe vectors and verdicts,
+//! no tenant with nonzero offered load is ever allocated below its
+//! floor (budget permitting), the budget is never exceeded, and
+//! decisions are a deterministic function of the inputs.
+
+use proptest::prelude::*;
+use switchless_core::cpu::CpuSpec;
+use switchless_core::fleet::allocate;
+use switchless_core::policy::PolicyParams;
+use switchless_core::{FleetAllocator, FleetParams, TenantDemand, TenantVerdict};
+
+fn fleet_params(budget: usize) -> FleetParams {
+    FleetParams::new(PolicyParams::from_cpu(&CpuSpec::paper_machine()), budget)
+}
+
+/// Raw generated tenant: (weight, offered, probes, verdict index).
+type RawTenant = (u64, u64, Vec<u64>, u8);
+
+fn arb_fleet() -> impl Strategy<Value = Vec<RawTenant>> {
+    prop::collection::vec(
+        (
+            1u64..1_000,
+            0u64..1_000_000,
+            prop::collection::vec(0u64..1_000_000, 0..8),
+            0u8..4,
+        ),
+        1..8,
+    )
+}
+
+fn demands_from(raw: &[RawTenant]) -> Vec<TenantDemand> {
+    raw.iter()
+        .map(|(weight, offered, probes, v)| {
+            TenantDemand::new(*weight, *offered, probes.clone())
+                .with_verdict(TenantVerdict::ALL[*v as usize % TenantVerdict::ALL.len()])
+        })
+        .collect()
+}
+
+proptest! {
+    /// The assignment never exceeds the budget, never exceeds the
+    /// per-shard ceiling, and never lifts a Byzantine tenant above the
+    /// containment floor.
+    #[test]
+    fn budget_and_caps_always_hold(raw in arb_fleet(), budget in 1usize..16) {
+        let demands = demands_from(&raw);
+        let p = fleet_params(budget);
+        let a = allocate(&demands, &p);
+        prop_assert_eq!(a.len(), demands.len());
+        prop_assert!(a.iter().sum::<usize>() <= p.budget);
+        for (t, d) in demands.iter().enumerate() {
+            prop_assert!(a[t] <= p.policy.max_workers);
+            if d.verdict == TenantVerdict::Faulty {
+                prop_assert!(a[t] <= usize::from(d.offered > 0),
+                    "faulty tenant {} above floor: {:?}", t, a);
+            }
+        }
+    }
+
+    /// Fairness floor: when the budget covers every tenant with
+    /// nonzero offered load, each such tenant is allocated at least
+    /// one worker — regardless of its weight, its neighbours' demand
+    /// or anyone's verdict.
+    #[test]
+    fn floor_never_violated_under_sufficient_budget(raw in arb_fleet()) {
+        let demands = demands_from(&raw);
+        let eligible = demands.iter().filter(|d| d.offered > 0).count();
+        let p = fleet_params(eligible.max(1));
+        let a = allocate(&demands, &p);
+        for (t, d) in demands.iter().enumerate() {
+            if d.offered > 0 {
+                prop_assert!(a[t] >= 1, "tenant {} starved below floor: {:?}", t, a);
+            }
+        }
+    }
+
+    /// Same input ⇒ same assignment: the pure allocator and a fresh
+    /// stateful allocator agree with themselves across repeated calls
+    /// on identical snapshots.
+    #[test]
+    fn allocation_is_deterministic(raw in arb_fleet(), budget in 1usize..16) {
+        let demands = demands_from(&raw);
+        let p = fleet_params(budget);
+        let a = allocate(&demands, &p);
+        for _ in 0..3 {
+            prop_assert_eq!(allocate(&demands, &p), a.clone());
+        }
+        let d1 = FleetAllocator::new(p, demands.len()).decide(&demands);
+        let d2 = FleetAllocator::new(p, demands.len()).decide(&demands);
+        prop_assert_eq!(d1, d2);
+    }
+
+    /// A misbehaving tenant's verdict cap never changes what a
+    /// well-behaved tenant would have received had the offender simply
+    /// demanded nothing beyond its cap — containment is charged to the
+    /// offending shard only.
+    #[test]
+    fn containment_charges_only_the_offender(raw in arb_fleet(), budget in 2usize..16) {
+        if raw.len() < 2 {
+            return Ok(());
+        }
+        let mut demands = demands_from(&raw);
+        let p = fleet_params(budget);
+        // Make tenant 0 Byzantine with nonzero demand.
+        demands[0].verdict = TenantVerdict::Faulty;
+        demands[0].offered = demands[0].offered.max(1);
+        let capped = allocate(&demands, &p);
+        // Replace the offender with a tenant that demands exactly the
+        // floor it was contained to.
+        let mut quiet = demands.clone();
+        quiet[0] = TenantDemand::new(demands[0].weight, demands[0].offered, vec![0]);
+        let solo = allocate(&quiet, &p);
+        prop_assert_eq!(&capped[1..], &solo[1..],
+            "honest tenants' allocations changed under containment");
+    }
+}

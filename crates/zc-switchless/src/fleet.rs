@@ -1,0 +1,557 @@
+//! Multi-enclave fleet: M [`ZcRuntime`] shards as bulkhead fault
+//! domains under one global worker budget.
+//!
+//! Each tenant gets its **own** enclave, worker pool, shared buffers and
+//! robustness planes (supervision, overload control, recovery) — a
+//! crashing, Byzantine or overloaded tenant can corrupt nothing beyond
+//! its own shard. What the shards *share* is the machine's busy-wait
+//! capacity: a global worker budget carved up by the pure
+//! [`FleetAllocator`] from `switchless_core::fleet`, which runs the
+//! paper's wasted-cycle argmin `U = F·T_es + M·T` *across* shards using
+//! each shard's own configuration-phase probes as its demand curve.
+//!
+//! The allocator's output is applied as per-shard worker-count **caps**
+//! ([`ZcRuntime::set_worker_cap`]); the shard-local argmin keeps running
+//! underneath and may pick fewer workers than its cap. Rebalancing is
+//! quiesce-and-migrate: donors' caps are lowered first, the fleet waits
+//! for their schedulers to actually drop (workers park at the next
+//! step), and only then are receivers' caps raised — a moving worker
+//! never serves two shards at once, and the sum of running workers never
+//! exceeds the budget mid-migration.
+
+use crate::ZcRuntime;
+use parking_lot::Mutex;
+use sgx_sim::Enclave;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use switchless_core::stats::CallStatsSnapshot;
+use switchless_core::{
+    BreakerState, FaultInjector, FleetAllocator, FleetDecision, FleetParams, FleetSnapshot,
+    OcallTable, SwitchlessError, TenantDemand, TenantSignals, TenantUsage, ZcConfig,
+};
+
+/// One tenant's slice of a [`Fleet`]: its runtime configuration, host
+/// function table, fairness weight and (optionally) a fault injector
+/// for chaos scenarios scoped to this shard only.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Human-readable tenant label (telemetry, reports).
+    pub name: String,
+    /// Fairness weight for the global allocator (≥1).
+    pub weight: u64,
+    /// Shard-local runtime configuration (robustness planes included).
+    pub config: ZcConfig,
+    /// Host functions this tenant may call.
+    pub table: Arc<OcallTable>,
+    /// Deterministic fault injector scoped to this shard, if any.
+    pub faults: Option<Arc<FaultInjector>>,
+    /// Shard-local telemetry hub, if any — a bulkhead like everything
+    /// else shard-scoped: one tenant's trace volume cannot evict
+    /// another's events.
+    #[cfg(feature = "telemetry")]
+    pub telemetry: Option<Arc<zc_telemetry::Telemetry>>,
+}
+
+impl TenantSpec {
+    /// Tenant with weight 1 and no fault injection.
+    #[must_use]
+    pub fn new(name: impl Into<String>, config: ZcConfig, table: Arc<OcallTable>) -> Self {
+        TenantSpec {
+            name: name.into(),
+            weight: 1,
+            config,
+            table,
+            faults: None,
+            #[cfg(feature = "telemetry")]
+            telemetry: None,
+        }
+    }
+
+    /// Set the fairness weight (clamped to ≥1).
+    #[must_use]
+    pub fn with_weight(mut self, weight: u64) -> Self {
+        self.weight = weight.max(1);
+        self
+    }
+
+    /// Attach a deterministic fault injector to this shard.
+    #[must_use]
+    pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Attach a shard-local telemetry hub. The fleet also emits a
+    /// tenant-labelled `FleetRebalance` event into it whenever a global
+    /// decision moves this shard's worker cap.
+    #[cfg(feature = "telemetry")]
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Arc<zc_telemetry::Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+}
+
+/// Counter baselines at the last rebalance, so demand and verdict
+/// signals are computed from *interval* deltas (a tenant that was
+/// Byzantine an hour ago but clean since is judged on the clean
+/// interval, not its history — the allocator's own escalation state
+/// carries the memory).
+#[derive(Debug)]
+struct ShardLedger {
+    stats: CallStatsSnapshot,
+    enclave_crashes: u64,
+    respawns: u64,
+}
+
+#[derive(Debug)]
+struct Shard {
+    name: String,
+    weight: u64,
+    runtime: ZcRuntime,
+    ledger: Mutex<ShardLedger>,
+    #[cfg(feature = "telemetry")]
+    telemetry: Option<Arc<zc_telemetry::Telemetry>>,
+}
+
+impl Shard {
+    /// Emit a tenant-labelled rebalance event into this shard's hub
+    /// (no-op without one), stamped with the shard's runtime clock.
+    #[cfg(feature = "telemetry")]
+    fn record_rebalance(&self, verdict: &'static str, cap_before: usize, cap_after: usize) {
+        if let Some(hub) = &self.telemetry {
+            hub.record(
+                self.runtime.clock().now_cycles(),
+                zc_telemetry::Origin::Scheduler,
+                zc_telemetry::Event::FleetRebalance {
+                    tenant: self.name.clone(),
+                    verdict,
+                    cap_before: cap_before as u32,
+                    cap_after: cap_after as u32,
+                },
+            );
+        }
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    fn record_rebalance(&self, _verdict: &'static str, _cap_before: usize, _cap_after: usize) {}
+}
+
+/// M [`ZcRuntime`] shards under one global worker budget.
+///
+/// Start with [`Fleet::start`]; dispatch each tenant's traffic through
+/// [`Fleet::runtime`]; call [`Fleet::rebalance`] at whatever cadence
+/// suits the deployment (every few quanta is plenty — demand curves move
+/// at workload speed, not call speed). [`Fleet::fleet_snapshot`] gives
+/// the per-tenant conservation ledger.
+#[derive(Debug)]
+pub struct Fleet {
+    shards: Vec<Shard>,
+    allocator: Mutex<FleetAllocator>,
+}
+
+impl Fleet {
+    /// Start one runtime per tenant and seed per-shard worker caps with
+    /// the weighted fair share of the budget (every tenant ≥1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwitchlessError::InvalidConfig`] if `specs` is empty,
+    /// the budget is zero, or any shard's machine model yields zero
+    /// workers.
+    pub fn start(params: FleetParams, specs: Vec<TenantSpec>) -> Result<Self, SwitchlessError> {
+        if specs.is_empty() {
+            return Err(SwitchlessError::InvalidConfig(
+                "fleet needs at least one tenant".into(),
+            ));
+        }
+        if params.budget == 0 {
+            return Err(SwitchlessError::InvalidConfig(
+                "fleet worker budget must be nonzero".into(),
+            ));
+        }
+        let weight_sum: u64 = specs.iter().map(|s| s.weight.max(1)).sum();
+        let mut shards = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let enclave = Enclave::new_virtual(spec.config.cpu);
+            #[cfg(feature = "telemetry")]
+            let runtime = match (&spec.telemetry, &spec.faults) {
+                (Some(hub), f) => ZcRuntime::start_with_telemetry(
+                    spec.config,
+                    Arc::clone(&spec.table),
+                    enclave,
+                    Arc::clone(hub),
+                    f.clone(),
+                )?,
+                (None, Some(f)) => ZcRuntime::start_with_faults(
+                    spec.config,
+                    Arc::clone(&spec.table),
+                    enclave,
+                    Arc::clone(f),
+                )?,
+                (None, None) => ZcRuntime::start(spec.config, Arc::clone(&spec.table), enclave)?,
+            };
+            #[cfg(not(feature = "telemetry"))]
+            let runtime = match &spec.faults {
+                Some(f) => ZcRuntime::start_with_faults(
+                    spec.config,
+                    Arc::clone(&spec.table),
+                    enclave,
+                    Arc::clone(f),
+                )?,
+                None => ZcRuntime::start(spec.config, Arc::clone(&spec.table), enclave)?,
+            };
+            // Weighted fair share before any demand is known; the first
+            // rebalance replaces this with the measured argmin.
+            let share = (params.budget as u64).saturating_mul(spec.weight.max(1)) / weight_sum;
+            runtime.set_worker_cap((share as usize).max(1));
+            let ledger = ShardLedger {
+                stats: runtime.stats().snapshot(),
+                enclave_crashes: 0,
+                respawns: 0,
+            };
+            shards.push(Shard {
+                name: spec.name,
+                weight: spec.weight.max(1),
+                runtime,
+                ledger: Mutex::new(ledger),
+                #[cfg(feature = "telemetry")]
+                telemetry: spec.telemetry,
+            });
+        }
+        let allocator = FleetAllocator::new(params, shards.len());
+        Ok(Fleet {
+            shards,
+            allocator: Mutex::new(allocator),
+        })
+    }
+
+    /// Number of tenants.
+    #[must_use]
+    pub fn tenants(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Tenant label.
+    #[must_use]
+    pub fn name(&self, tenant: usize) -> &str {
+        &self.shards[tenant].name
+    }
+
+    /// The tenant's shard runtime (dispatch traffic through this).
+    #[must_use]
+    pub fn runtime(&self, tenant: usize) -> &ZcRuntime {
+        &self.shards[tenant].runtime
+    }
+
+    /// Current per-shard worker caps.
+    #[must_use]
+    pub fn caps(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.runtime.worker_cap()).collect()
+    }
+
+    /// Completed global allocation decisions.
+    #[must_use]
+    pub fn decisions(&self) -> u64 {
+        self.allocator.lock().decisions()
+    }
+
+    /// Gather per-shard demand and behaviour evidence, run the global
+    /// argmin, and apply the new caps with the quiesce-and-migrate
+    /// protocol: donors shrink first, the fleet waits (bounded by
+    /// `quiesce_timeout` of wall time) for their schedulers to drop to
+    /// the new cap, then receivers grow. Returns the decision.
+    pub fn rebalance(&self, quiesce_timeout: Duration) -> FleetDecision {
+        let mut demands = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let mut ledger = shard.ledger.lock();
+            let now = shard.runtime.stats().snapshot();
+            let delta = now.delta_since(&ledger.stats);
+            let offered = delta.issued;
+
+            // Demand curve: the shard's own configuration-phase probes
+            // (fallbacks observed at each worker count during one
+            // micro-quantum), scaled up to the full quantum so the
+            // fleet objective weighs them against `T = quantum_cycles`.
+            let policy = self.allocator.lock().params().policy;
+            let scale = (policy.quantum_cycles / policy.micro_quantum_cycles().max(1)).max(1);
+            let probes = match shard.runtime.last_decision() {
+                Some(d) => {
+                    let mut v = vec![0u64; policy.max_workers + 1];
+                    for p in &d.probes {
+                        if let Some(slot) = v.get_mut(p.workers) {
+                            *slot = p.fallbacks.saturating_mul(scale);
+                        }
+                    }
+                    v
+                }
+                // No probe data yet: a flat curve demands nothing
+                // beyond the fairness floor.
+                None => vec![delta.fallback],
+            };
+
+            let crashes = shard.runtime.recovery_snapshot().map_or(0, |r| r.crashes);
+            let respawns = shard.runtime.supervisor_state().map_or(0, |s| s.respawns());
+            let overload = shard.runtime.overload_snapshot();
+            let signals = TenantSignals {
+                guard_violations: delta.guard_violations,
+                worker_crashes: respawns.saturating_sub(ledger.respawns)
+                    + shard.runtime.poisoned_workers() as u64,
+                enclave_crashes: crashes.saturating_sub(ledger.enclave_crashes),
+                breaker_open: overload
+                    .as_ref()
+                    .is_some_and(|o| o.breaker_state == BreakerState::Open),
+                brownout_level: overload.as_ref().map_or(0, |o| o.brownout_level),
+            };
+            ledger.stats = now;
+            ledger.enclave_crashes = crashes;
+            ledger.respawns = respawns;
+
+            let verdict = signals.verdict(self.allocator.lock().params());
+            demands.push(TenantDemand::new(shard.weight, offered, probes).with_verdict(verdict));
+        }
+        let decision = self.allocator.lock().decide(&demands);
+        self.apply(&decision, quiesce_timeout);
+        decision
+    }
+
+    /// Quiesce-and-migrate cap application. Shrinking donors before
+    /// growing receivers keeps `Σ running workers ≤ budget` throughout;
+    /// the wait observes each donor's *published* worker count, which
+    /// only moves when its scheduler has actually re-parked workers.
+    fn apply(&self, decision: &FleetDecision, quiesce_timeout: Duration) {
+        let mut donors = Vec::new();
+        for (t, shard) in self.shards.iter().enumerate() {
+            let new = decision.assigned[t].max(1);
+            let old = shard.runtime.worker_cap();
+            if new != old {
+                shard.record_rebalance(decision.verdicts[t].name(), old, new);
+            }
+            if new < old {
+                shard.runtime.set_worker_cap(new);
+                donors.push((t, new));
+            }
+        }
+        let deadline = Instant::now() + quiesce_timeout;
+        while donors
+            .iter()
+            .any(|&(t, new)| self.shards[t].runtime.active_workers() > new)
+        {
+            if Instant::now() >= deadline {
+                break;
+            }
+            std::thread::yield_now();
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        for (t, shard) in self.shards.iter().enumerate() {
+            let new = decision.assigned[t].max(1);
+            if new > shard.runtime.worker_cap() {
+                shard.runtime.set_worker_cap(new);
+            }
+        }
+    }
+
+    /// Per-tenant conservation ledger: for each shard,
+    /// `offered == completed + shed + abandoned + refused` from its own
+    /// counters, with the global row summed across shards. Exact at
+    /// quiescent points (no calls in flight).
+    #[must_use]
+    pub fn fleet_snapshot(&self) -> FleetSnapshot {
+        let tenants = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let s = shard.runtime.stats().snapshot();
+                let shed = shard
+                    .runtime
+                    .overload_snapshot()
+                    .map_or(0, |o| o.shed_total());
+                let refused = shard
+                    .runtime
+                    .recovery_snapshot()
+                    .map_or(0, |r| r.refused_non_idempotent);
+                TenantUsage {
+                    offered: s.issued,
+                    completed: s.switchless + s.fallback + s.regular,
+                    shed,
+                    abandoned: s.cancelled,
+                    refused,
+                    guard_violations: s.guard_violations,
+                }
+            })
+            .collect();
+        FleetSnapshot::from_tenants(tenants)
+    }
+
+    /// Shut every shard down (idempotent; also runs on drop).
+    pub fn shutdown(&self) {
+        for shard in &self.shards {
+            shard.runtime.shutdown();
+        }
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use switchless_core::policy::PolicyParams;
+    use switchless_core::{CpuSpec, OcallDispatcher, OcallRequest};
+
+    fn echo_table() -> (Arc<OcallTable>, switchless_core::FuncId) {
+        let mut table = OcallTable::new();
+        let id = table.register("echo", |_: &[u64; 6], pin: &[u8], out: &mut Vec<u8>| {
+            out.extend_from_slice(pin);
+            pin.len() as i64
+        });
+        (Arc::new(table), id)
+    }
+
+    fn params(budget: usize) -> FleetParams {
+        FleetParams::new(PolicyParams::from_cpu(&CpuSpec::paper_machine()), budget)
+    }
+
+    fn spec(name: &str) -> (TenantSpec, switchless_core::FuncId) {
+        let (table, id) = echo_table();
+        (
+            TenantSpec::new(name, ZcConfig::for_cpu(CpuSpec::paper_machine()), table),
+            id,
+        )
+    }
+
+    #[test]
+    fn fleet_starts_dispatches_and_conserves() {
+        let (a, fa) = spec("alpha");
+        let (b, fb) = spec("beta");
+        let fleet = Fleet::start(params(4), vec![a, b]).expect("fleet start");
+        assert_eq!(fleet.tenants(), 2);
+        let mut out = Vec::new();
+        for _ in 0..32 {
+            let (ret, _) = fleet
+                .runtime(0)
+                .dispatch(&OcallRequest::new(fa, &[]), b"aaaa", &mut out)
+                .expect("tenant 0 call");
+            assert_eq!(ret, 4);
+            let (ret, _) = fleet
+                .runtime(1)
+                .dispatch(&OcallRequest::new(fb, &[]), b"bb", &mut out)
+                .expect("tenant 1 call");
+            assert_eq!(ret, 2);
+        }
+        fleet.shutdown();
+        let snap = fleet.fleet_snapshot();
+        snap.check().expect("per-tenant conservation");
+        assert_eq!(snap.tenants[0].offered, 32);
+        assert_eq!(snap.tenants[1].offered, 32);
+        assert_eq!(snap.global.offered, 64);
+    }
+
+    #[test]
+    fn initial_caps_follow_weights_and_respect_budget() {
+        let (a, _) = spec("heavy");
+        let (b, _) = spec("light");
+        let fleet = Fleet::start(params(4), vec![a.with_weight(3), b]).expect("fleet start");
+        let caps = fleet.caps();
+        assert!(caps[0] >= caps[1], "heavier tenant seeded below lighter");
+        assert!(caps.iter().all(|&c| c >= 1));
+        fleet.shutdown();
+    }
+
+    #[test]
+    fn rebalance_applies_caps_within_budget() {
+        let (a, fa) = spec("busy");
+        let (b, _) = spec("idle");
+        let fleet = Fleet::start(params(4), vec![a, b]).expect("fleet start");
+        let mut out = Vec::new();
+        for _ in 0..64 {
+            fleet
+                .runtime(0)
+                .dispatch(&OcallRequest::new(fa, &[]), b"x", &mut out)
+                .expect("tenant 0 call");
+        }
+        let d = fleet.rebalance(Duration::from_millis(500));
+        assert_eq!(d.assigned.len(), 2);
+        assert!(d.assigned.iter().sum::<usize>() <= 4);
+        // Applied caps match the decision (floored at 1).
+        for (t, &m) in d.assigned.iter().enumerate() {
+            assert_eq!(fleet.runtime(t).worker_cap(), m.max(1));
+        }
+        assert_eq!(fleet.decisions(), 1);
+        fleet.shutdown();
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn rebalance_emits_tenant_labelled_events() {
+        let (a, fa) = spec("noisy");
+        let (b, _) = spec("quiet");
+        let hub = zc_telemetry::Telemetry::new();
+        let fleet = Fleet::start(params(4), vec![a.with_telemetry(Arc::clone(&hub)), b])
+            .expect("fleet start");
+        let mut out = Vec::new();
+        for _ in 0..64 {
+            fleet
+                .runtime(0)
+                .dispatch(&OcallRequest::new(fa, &[]), b"x", &mut out)
+                .expect("call");
+        }
+        // Drive rebalances until tenant 0's cap moves off its seed.
+        let seeded = fleet.caps()[0];
+        for _ in 0..50 {
+            fleet.rebalance(Duration::from_millis(200));
+            if fleet.caps()[0] != seeded {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        fleet.shutdown();
+        let moved = fleet.caps()[0] != seeded;
+        let events = hub.tracer().drain();
+        let rebalances: Vec<_> = events
+            .iter()
+            .filter_map(|e| match &e.event {
+                zc_telemetry::Event::FleetRebalance {
+                    tenant,
+                    cap_before,
+                    cap_after,
+                    ..
+                } => Some((tenant.clone(), *cap_before, *cap_after)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            moved,
+            !rebalances.is_empty(),
+            "cap moves and rebalance events must agree: caps {:?}, events {rebalances:?}",
+            fleet.caps()
+        );
+        for (tenant, before, after) in &rebalances {
+            assert_eq!(tenant, "noisy", "event labelled with the wrong tenant");
+            assert_ne!(before, after);
+        }
+    }
+
+    #[test]
+    fn worker_cap_bounds_the_scheduler() {
+        let (a, fa) = spec("capped");
+        let fleet = Fleet::start(params(1), vec![a]).expect("fleet start");
+        assert_eq!(fleet.caps(), vec![1]);
+        let mut out = Vec::new();
+        for _ in 0..128 {
+            fleet
+                .runtime(0)
+                .dispatch(&OcallRequest::new(fa, &[]), b"y", &mut out)
+                .expect("call");
+        }
+        // The published worker count can never exceed the cap once the
+        // scheduler has taken a step under it.
+        assert!(fleet.runtime(0).active_workers() <= fleet.runtime(0).config().max_workers());
+        fleet.shutdown();
+        assert!(fleet.runtime(0).active_workers() <= 1);
+    }
+}

@@ -16,7 +16,10 @@
 //! * hands requests over through per-worker shared buffers with the
 //!   `UNUSED → RESERVED → PROCESSING → WAITING → UNUSED` state machine
 //!   ([`buffer`]) and preallocated untrusted request pools that are
-//!   reallocated via one real ocall when full ([`pool`]).
+//!   reallocated via one real ocall when full ([`pool`]);
+//! * scales out to **multi-tenant fleets** ([`fleet`]): M runtimes as
+//!   bulkhead fault domains under one global worker budget, rebalanced
+//!   by the fleet-wide argmin with quiesce-and-migrate worker moves.
 //!
 //! # Quickstart
 //!
@@ -44,6 +47,7 @@
 
 pub mod buffer;
 pub mod caller;
+pub mod fleet;
 pub mod pool;
 mod prof;
 pub mod runtime;
@@ -52,6 +56,7 @@ pub mod supervise;
 pub mod worker;
 
 pub use buffer::{SchedCommand, WorkerBuffer};
+pub use fleet::{Fleet, TenantSpec};
 pub use pool::RequestPool;
 pub use runtime::ZcRuntime;
 pub use switchless_core::ZcConfig;

@@ -39,7 +39,17 @@ pub(crate) struct Shared {
     pub(crate) memcpy: MemcpyKind,
     pub(crate) running: AtomicBool,
     pub(crate) active_workers: AtomicUsize,
+    /// Externally imposed ceiling on the scheduler's worker count
+    /// (fleet bulkhead): the scheduler clamps every step to this cap, so
+    /// a fleet allocator can shrink or grow a shard's share of the
+    /// global budget without touching the shard's own argmin policy.
+    /// Takes effect at the next scheduler step (≤ one quantum).
+    pub(crate) worker_cap: AtomicUsize,
     pub(crate) decisions: AtomicU64,
+    /// Latest completed configuration-phase decision, kept so an
+    /// external allocator can read the per-worker-count fallback probes
+    /// (`F_i`) this shard measured, without requiring telemetry.
+    pub(crate) last_decision: Mutex<Option<switchless_core::policy::DecisionRecord>>,
     pub(crate) rotor: AtomicUsize,
     /// Monotonic per-call sequence source: every switchless attempt is
     /// stamped with a fresh tag so the guard can reject stale/replayed
@@ -352,7 +362,9 @@ impl ZcRuntime {
             memcpy: MemcpyKind::Zc,
             running: AtomicBool::new(true),
             active_workers: AtomicUsize::new(config.initial_workers.min(max)),
+            worker_cap: AtomicUsize::new(max),
             decisions: AtomicU64::new(0),
+            last_decision: Mutex::new(None),
             rotor: AtomicUsize::new(0),
             seq: AtomicU64::new(0),
             residency: Mutex::new(WorkerResidency::new(max)),
@@ -566,6 +578,47 @@ impl ZcRuntime {
     #[must_use]
     pub fn scheduler_decisions(&self) -> u64 {
         self.shared.decisions.load(Ordering::Acquire)
+    }
+
+    /// Latest completed configuration-phase decision, with its
+    /// per-worker-count fallback probes (`F_i`) and costs. `None` until
+    /// the first configuration phase completes. A fleet allocator reads
+    /// this to weigh the shard's marginal benefit of extra workers.
+    #[must_use]
+    pub fn last_decision(&self) -> Option<switchless_core::policy::DecisionRecord> {
+        self.shared.last_decision.lock().clone()
+    }
+
+    /// Impose a ceiling on the scheduler's worker count (fleet
+    /// bulkhead). The cap is clamped to `1..=max_workers` and applied by
+    /// the scheduler at its next step (≤ one quantum later); the
+    /// shard-local argmin keeps running underneath and is free to pick
+    /// fewer workers than the cap.
+    pub fn set_worker_cap(&self, cap: usize) {
+        let max = self.shared.config.max_workers();
+        self.shared
+            .worker_cap
+            .store(cap.clamp(1, max), Ordering::Release);
+    }
+
+    /// The current externally imposed worker-count ceiling.
+    #[must_use]
+    pub fn worker_cap(&self) -> usize {
+        self.shared.worker_cap.load(Ordering::Acquire)
+    }
+
+    /// Workers currently parked in the `Paused` state (quiesced: not
+    /// spinning, holding no call). A fleet migration waits for a donor
+    /// shard's worker count to drop — observed here — before crediting
+    /// the freed budget to the receiving shard, so a moving worker never
+    /// serves two shards at once.
+    #[must_use]
+    pub fn paused_workers(&self) -> usize {
+        self.shared
+            .workers
+            .iter()
+            .filter(|w| w.read().state() == Ok(switchless_core::WorkerState::Paused))
+            .count()
     }
 
     /// Snapshot of the worker-count residency histogram (paper §V-B).

@@ -42,6 +42,13 @@ pub(crate) fn scheduler_loop(shared: &Shared) {
 
     while shared.running.load(Ordering::Acquire) {
         let step = policy.next(last_delta);
+        // Fleet bulkhead: an externally imposed cap (set via
+        // `ZcRuntime::set_worker_cap`) bounds whatever the shard-local
+        // argmin picked. Computed once per step so activation, the
+        // published gauge, telemetry and the residency record agree.
+        let m = step
+            .workers()
+            .min(shared.worker_cap.load(Ordering::Acquire));
         #[cfg(feature = "telemetry")]
         if let Some(hub) = &shared.telemetry {
             use switchless_core::policy::PolicyStep;
@@ -82,15 +89,13 @@ pub(crate) fn scheduler_loop(shared: &Shared) {
                 Origin::Scheduler,
                 Event::PhaseStart {
                     kind,
-                    workers: step.workers() as u32,
+                    workers: m as u32,
                     duration_cycles: step.duration_cycles(),
                 },
             );
         }
-        set_active_workers(shared, step.workers());
-        shared
-            .active_workers
-            .store(step.workers(), Ordering::Release);
+        set_active_workers(shared, m);
+        shared.active_workers.store(m, Ordering::Release);
 
         // Sleep out the step in real time (the scheduler itself is idle:
         // its CPU cost is negligible by design).
@@ -104,11 +109,14 @@ pub(crate) fn scheduler_loop(shared: &Shared) {
         shared
             .residency
             .lock()
-            .record(step.workers(), now.saturating_sub(slept_at));
+            .record(m, now.saturating_sub(slept_at));
 
         let stats_now = shared.stats.snapshot();
         last_delta = stats_now.delta_since(&stats_at_step_start).fallback;
         stats_at_step_start = stats_now;
+        if policy.decisions() > shared.decisions.load(Ordering::Acquire) {
+            *shared.last_decision.lock() = policy.last_decision().cloned();
+        }
         shared
             .decisions
             .store(policy.decisions(), Ordering::Release);

@@ -11,9 +11,11 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// Number of log₂ latency buckets (bucket `i` covers `[2^i, 2^(i+1))`
-/// cycles; the last bucket absorbs everything larger).
-pub const HIST_BUCKETS: usize = 40;
+/// Number of log-linear latency buckets: values 0–3 get singleton
+/// buckets, then each power-of-two octave splits into four linear
+/// sub-buckets (see [`crate::quantile::bucket_index`]); the last bucket
+/// absorbs everything larger (lower edge `7·2^38 ≈ 1.9e12` cycles).
+pub const HIST_BUCKETS: usize = 160;
 
 /// Monotonic counter handle (relaxed increments).
 #[derive(Debug, Clone)]
@@ -62,13 +64,13 @@ struct HistogramInner {
     sum: AtomicU64,
 }
 
-/// Log₂ histogram handle (relaxed updates, saturating sum).
+/// Log-linear histogram handle (relaxed updates, saturating sum).
 #[derive(Debug, Clone)]
 pub struct Histogram(Arc<HistogramInner>);
 
 impl Histogram {
-    /// Record one observation. Values ≥ `2^HIST_BUCKETS` clamp into the
-    /// last bucket rather than indexing out of range.
+    /// Record one observation. Values beyond the last bucket's lower
+    /// edge clamp into it rather than indexing out of range.
     #[inline]
     pub fn record(&self, value: u64) {
         let bucket = crate::quantile::bucket_index(value);
@@ -105,7 +107,7 @@ pub enum MetricValue {
     /// Histogram reading: per-bucket counts plus total count and
     /// saturating sum.
     Histogram {
-        /// Count per log₂ bucket.
+        /// Count per log-linear bucket.
         buckets: Vec<u64>,
         /// Total observations.
         count: u64,
@@ -271,8 +273,8 @@ mod tests {
     fn histogram_clamps_oversized_values() {
         let reg = MetricsRegistry::new();
         let h = reg.histogram("lat");
-        h.record(0); // -> bucket 0 (clamped up via max(1))
-        h.record(1u64 << (HIST_BUCKETS as u32)); // beyond range
+        h.record(0); // -> bucket 0 (the zero singleton)
+        h.record(1u64 << 62); // beyond the last bucket's lower edge
         h.record(u64::MAX); // extreme: must clamp, sum must saturate
         let snap = reg.snapshot();
         let Some(MetricValue::Histogram {
